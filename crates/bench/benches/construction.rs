@@ -1,0 +1,49 @@
+//! Microbenchmarks of the dataset construction algorithms (the §IV-C3
+//! complexity analysis): Algorithm 1 per-sentence cost and Algorithm 2
+//! per-iteration cost.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dim_kgraph::{synthesize, SynthConfig};
+use dimeval::{algo1, algo2};
+use dimkb::DimUnitKb;
+use dimlink::{Annotator, LinkerConfig, UnitLinker};
+
+fn bench_construction(c: &mut Criterion) {
+    let kb = DimUnitKb::shared();
+    let corpus = dim_corpus::generate(&kb, &dim_corpus::CorpusConfig { sentences: 100, seed: 1 });
+    let annotator = Annotator::new(UnitLinker::new(kb.clone(), None, LinkerConfig::default()));
+    let mlm = algo1::train_filter(&corpus);
+    let kg = synthesize(&kb, &SynthConfig { entities_per_type: 30, seed: 2 });
+
+    c.bench_function("algo1_per_100_sentences", |b| {
+        b.iter(|| {
+            algo1::semi_automated_annotate(&annotator, &mlm, &corpus, algo1::Algo1Config::default())
+                .dataset
+                .len()
+        })
+    });
+    c.bench_function("algo1_train_filter", |b| {
+        b.iter(|| algo1::train_filter(&corpus).prior())
+    });
+    c.bench_function("algo2_bootstrap_5_iters", |b| {
+        b.iter_batched(
+            || (),
+            |_| {
+                algo2::bootstrap_retrieve(&kg, &annotator, algo2::Algo2Config::default())
+                    .triplets
+                    .len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("kg_synthesize", |b| {
+        b.iter(|| synthesize(&kb, &SynthConfig { entities_per_type: 30, seed: 3 }).store.len())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_construction
+}
+criterion_main!(benches);

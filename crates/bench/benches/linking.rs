@@ -1,0 +1,36 @@
+//! Microbenchmarks of the unit linking module: Levenshtein similarity,
+//! exact and fuzzy linking, and full-sentence annotation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dimkb::DimUnitKb;
+use dimlink::{lev, Annotator, LinkerConfig, UnitLinker};
+use std::hint::black_box;
+
+fn bench_linking(c: &mut Criterion) {
+    let kb = DimUnitKb::shared();
+    let linker = UnitLinker::new(kb.clone(), None, LinkerConfig::default());
+    let annotator = Annotator::new(UnitLinker::new(kb, None, LinkerConfig::default()));
+
+    c.bench_function("levenshtein_similarity", |b| {
+        b.iter(|| lev::similarity(black_box("kilometre"), black_box("kilometer")))
+    });
+    c.bench_function("link_exact_mention", |b| {
+        b.iter(|| linker.link(black_box("km/h"), black_box("the car drove fast")))
+    });
+    c.bench_function("link_fuzzy_mention", |b| {
+        b.iter(|| linker.link(black_box("kilometrs"), black_box("distance on the road")))
+    });
+    c.bench_function("annotate_sentence", |b| {
+        b.iter(|| {
+            annotator.annotate(black_box(
+                "LeBron James's height is 2.06 meters and Stephen Curry's height is 188 cm.",
+            ))
+        })
+    });
+    c.bench_function("annotate_chinese_sentence", |b| {
+        b.iter(|| annotator.annotate(black_box("小王要将150千克含药量20%的农药稀释成含药量5%的药水")))
+    });
+}
+
+criterion_group!(benches, bench_linking);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Microbenchmarks of the MWP engine: equation parsing/evaluation, problem
+//! generation, and quantity-oriented augmentation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dim_mwp::{calculate, generate, AugmentMethod, Augmenter, GenConfig, Source};
+use dimkb::DimUnitKb;
+use std::hint::black_box;
+
+fn bench_mwp(c: &mut Criterion) {
+    let kb = DimUnitKb::shared();
+    let problems = generate(Source::Ape210k, &GenConfig { count: 100, seed: 1 });
+
+    c.bench_function("equation_calculate", |b| {
+        b.iter(|| calculate(black_box("x=(150*20%/5%-150)/1000")).unwrap())
+    });
+    c.bench_function("generate_100_problems", |b| {
+        b.iter(|| generate(Source::Ape210k, &GenConfig { count: 100, seed: 2 }).len())
+    });
+    c.bench_function("augment_context_dimension", |b| {
+        let mut aug = Augmenter::new(&kb, 3);
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % problems.len();
+            aug.augment(&problems[i], AugmentMethod::ContextDimension)
+        })
+    });
+    c.bench_function("to_qmwp_100", |b| {
+        b.iter(|| Augmenter::new(&kb, 4).to_qmwp(&problems).len())
+    });
+}
+
+criterion_group!(benches, bench_mwp);
+criterion_main!(benches);

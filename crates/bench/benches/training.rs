@@ -1,0 +1,52 @@
+//! Microbenchmarks of TinyLM training steps: choice-scorer SGD, extractor
+//! SGD, and equation-generator updates (the per-step cost behind the
+//! Fig. 6/7 sweeps).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dim_models::tinylm::choice::ChoiceScorer;
+use dim_models::tinylm::eqgen::EquationGenerator;
+use dim_mwp::{generate, GenConfig, Source};
+use dimeval::{Generator, TaskKind};
+use dimkb::DimUnitKb;
+
+fn bench_training(c: &mut Criterion) {
+    let kb = DimUnitKb::shared();
+    let items = Generator::new(&kb, 1).generate(TaskKind::UnitConversion, 64);
+    let problems = generate(Source::Math23k, &GenConfig { count: 64, seed: 2 });
+
+    c.bench_function("choice_sgd_64_items", |b| {
+        b.iter_batched(
+            || ChoiceScorer::naive(3),
+            |mut s| s.train(&items, 1, 4),
+            BatchSize::LargeInput,
+        )
+    });
+    c.bench_function("choice_answer", |b| {
+        let mut s = ChoiceScorer::naive(5);
+        s.train(&items, 2, 6);
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % items.len();
+            s.answer(&items[i])
+        })
+    });
+    c.bench_function("eqgen_train_64_problems", |b| {
+        b.iter_batched(
+            || EquationGenerator::new(),
+            |mut g| {
+                for p in &problems {
+                    g.train_one(p);
+                }
+                g.examples()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_training
+}
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Runs every table/figure harness in sequence (pass --quick for a fast pass).
+
+use std::process::Command;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for bin in ["table4", "fig3", "fig4", "table6", "table7", "table8", "table9", "fig6", "fig7"] {
+        println!("\n================= {bin} =================\n");
+        let mut cmd = Command::new(std::env::current_exe().unwrap().parent().unwrap().join(bin));
+        if quick {
+            cmd.arg("--quick");
+        }
+        let status = cmd.status().expect("run harness binary");
+        assert!(status.success(), "{bin} failed");
+    }
+}

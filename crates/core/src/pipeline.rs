@@ -1,0 +1,138 @@
+//! The three-step framework of Fig. 2: build DimKS, fine-tune dimension
+//! perception (DimPerc), then apply it to quantitative reasoning with
+//! quantity-oriented data augmentation.
+
+use dim_models::tinylm::TinyLm;
+use dim_mwp::{Augmenter, EqTokenization, GenConfig, MwpProblem, Source};
+use dimeval::{DimEval, DimEvalConfig};
+use dimkb::DimUnitKb;
+use std::sync::Arc;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Training items per DimEval task.
+    pub train_per_task: usize,
+    /// Epochs of DimEval fine-tuning.
+    pub epochs: usize,
+    /// MWP training problems per source style.
+    pub mwp_train: usize,
+    /// Augmentation rate η for the quantitative-reasoning step.
+    pub eta: f64,
+    /// Equation tokenization strategy (ablation switch).
+    pub tokenization: EqTokenization,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            train_per_task: 600,
+            epochs: 6,
+            mwp_train: 900,
+            eta: 0.5,
+            tokenization: EqTokenization::Regular,
+            seed: 77,
+        }
+    }
+}
+
+/// Builds the DimEval *training* benchmark (distinct seeds from the
+/// evaluation benchmark).
+pub fn build_train_dimeval(kb: &Arc<DimUnitKb>, config: &PipelineConfig) -> DimEval {
+    DimEval::build(
+        kb,
+        &DimEvalConfig {
+            per_task: config.train_per_task,
+            extraction_items: (config.train_per_task / 2).max(100),
+            seed: config.seed ^ 0x7EA1,
+            ..Default::default()
+        },
+    )
+}
+
+/// Step 2 (Fig. 2b): continual fine-tuning on DimEval → DimPerc.
+pub fn train_dimperc(kb: &Arc<DimUnitKb>, config: &PipelineConfig) -> TinyLm {
+    let train = build_train_dimeval(kb, config);
+    let mut model = TinyLm::llama_ift(config.seed);
+    model.finetune_dimeval(kb, &train, config.epochs, config.seed ^ 0xF1);
+    model
+}
+
+/// The MWP training mixture: both dataset styles, augmented at rate η.
+pub fn build_mwp_training(kb: &DimUnitKb, config: &PipelineConfig) -> Vec<MwpProblem> {
+    let mut problems = dim_mwp::generate(
+        Source::Math23k,
+        &GenConfig { count: config.mwp_train, seed: config.seed ^ 0x23 },
+    );
+    problems.extend(dim_mwp::generate(
+        Source::Ape210k,
+        &GenConfig { count: config.mwp_train, seed: config.seed ^ 0x210 },
+    ));
+    let mut aug = Augmenter::new(kb, config.seed ^ 0xA6);
+    let mut out = aug.augment_dataset(&problems, config.eta);
+    // Deterministic interleave so originals and augmented variants mix.
+    let mut rng_order: Vec<usize> = (0..out.len()).collect();
+    rng_order.sort_by_key(|&i| (i * 2654435761) % out.len().max(1));
+    let reordered: Vec<MwpProblem> = rng_order.into_iter().map(|i| out[i].clone()).collect();
+    out = reordered;
+    out
+}
+
+/// Step 3 (Fig. 2c): quantitative-reasoning fine-tuning of a model on the
+/// augmented MWP mixture. Checkpoints via the callback when requested.
+pub fn train_quantitative(
+    model: &mut TinyLm,
+    kb: &DimUnitKb,
+    config: &PipelineConfig,
+    checkpoint_every: usize,
+    callback: impl FnMut(usize, &TinyLm),
+) {
+    let training = build_mwp_training(kb, config);
+    model.tokenization = config.tokenization;
+    model.finetune_mwp(&training, checkpoint_every, callback);
+}
+
+/// The full pipeline: steps 1–3 end to end, returning the finished model.
+pub fn run_full_pipeline(config: &PipelineConfig) -> TinyLm {
+    let kb = DimUnitKb::shared(); // step 1: the knowledge system
+    let mut model = train_dimperc(&kb, config); // step 2
+    train_quantitative(&mut model, &kb, config, 0, |_, _| {}); // step 3
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dim_mwp::accuracy;
+
+    #[test]
+    fn full_pipeline_solves_qmwp() {
+        let config = PipelineConfig {
+            train_per_task: 120,
+            epochs: 3,
+            // 17 problem templates per style need enough examples each for
+            // the template memory to cover the held-out set.
+            mwp_train: 500,
+            ..Default::default()
+        };
+        let kb = DimUnitKb::shared();
+        let mut model = run_full_pipeline(&config);
+        assert_eq!(model.display_name, "DimPerc");
+        // Held-out Q-MWP evaluation.
+        let n = dim_mwp::generate(Source::Math23k, &GenConfig { count: 120, seed: 999 });
+        let q = Augmenter::new(&kb, 999).to_qmwp(&n);
+        let acc = accuracy(&mut model, &q);
+        assert!(acc > 0.4, "pipeline Q-MWP accuracy {acc}");
+    }
+
+    #[test]
+    fn augmentation_rate_changes_training_size() {
+        let kb = DimUnitKb::shared();
+        let base = PipelineConfig { mwp_train: 100, eta: 0.0, ..Default::default() };
+        let aug = PipelineConfig { mwp_train: 100, eta: 1.0, ..Default::default() };
+        assert_eq!(build_mwp_training(&kb, &base).len(), 200);
+        assert_eq!(build_mwp_training(&kb, &aug).len(), 400);
+    }
+}

@@ -1,0 +1,18 @@
+//! # dim-corpus — quantity-rich corpus generation and the masked-LM filter
+//!
+//! Substitutes the paper's gated crawls (§IV-C1): a bilingual template
+//! generator produces sentences dense with quantities in diverse unit
+//! surface forms, with gold spans and deliberate decoy tokens, and an
+//! n-gram numeric-slot model substitutes for the BERT masked-LM filter of
+//! Algorithm 1.
+
+#![warn(missing_docs)]
+
+pub mod generate;
+pub mod mlm;
+pub mod noise;
+pub mod sentence;
+
+pub use generate::{generate, CorpusConfig};
+pub use mlm::NumericSlotModel;
+pub use sentence::{Domain, QuantitySpan, Sentence};

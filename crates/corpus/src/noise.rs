@@ -1,0 +1,55 @@
+//! Decoy tokens: strings that *look* like quantities to a heuristic
+//! annotator but are not — the paper's motivating example is the device
+//! code `LPUI-1T`, whose `1T` suffix gets misread as "1 ton" or "1 tesla"
+//! (§IV-C1).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Literal hint strings used before decoys in corpus templates.
+pub const DECOY_AFTER_HINTS: &[&str] = &["型号", "编号", "firmware", "封装"];
+
+const CODE_LETTERS: &[&str] = &["LPUI", "XJ", "QR", "ZV", "HA", "TB", "KF", "MX", "GT", "RZ"];
+/// Trailing letters deliberately chosen to collide with unit symbols
+/// (T = tesla/tonne, K = kelvin, M = metre-ish, G = gauss, A = ampere, W = watt).
+const CODE_SUFFIX: &[char] = &['T', 'K', 'M', 'G', 'A', 'W', 'V', 'S'];
+
+/// Draws one decoy token: a device code (`LPUI-1T`), a year (`1999`), or a
+/// version string (`v2.5`).
+pub fn decoy_token(rng: &mut StdRng) -> String {
+    match rng.gen_range(0..10) {
+        0..=5 => {
+            let head = CODE_LETTERS[rng.gen_range(0..CODE_LETTERS.len())];
+            let digit = rng.gen_range(1..10);
+            let suffix = CODE_SUFFIX[rng.gen_range(0..CODE_SUFFIX.len())];
+            format!("{head}-{digit}{suffix}")
+        }
+        6..=7 => format!("{}", rng.gen_range(1980..2024)),
+        _ => format!("v{}.{}", rng.gen_range(1..9), rng.gen_range(0..10)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn decoys_include_device_codes_with_unit_suffixes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let toks: Vec<String> = (0..100).map(|_| decoy_token(&mut rng)).collect();
+        assert!(toks.iter().any(|t| t.contains('-') && t.ends_with('T')),
+            "device codes ending in T (the tesla/tonne trap) must occur");
+        assert!(toks.iter().any(|t| t.starts_with('v')), "version strings must occur");
+        assert!(toks.iter().any(|t| t.len() == 4 && t.parse::<u32>().is_ok()), "years must occur");
+    }
+
+    #[test]
+    fn decoys_are_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..20 {
+            assert_eq!(decoy_token(&mut a), decoy_token(&mut b));
+        }
+    }
+}

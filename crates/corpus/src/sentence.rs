@@ -1,0 +1,90 @@
+//! Sentence records with gold quantity annotations.
+
+/// A gold-annotated quantity occurrence inside a sentence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantitySpan {
+    /// Byte span of the whole quantity (value + unit).
+    pub start: usize,
+    /// One past the end byte of the whole quantity.
+    pub end: usize,
+    /// The numeric value.
+    pub value: f64,
+    /// Byte span of the value part.
+    pub value_span: (usize, usize),
+    /// The unit surface form as written.
+    pub unit_surface: String,
+    /// Byte span of the unit part.
+    pub unit_span: (usize, usize),
+    /// KB code of the unit.
+    pub unit_code: String,
+    /// The (narrow) quantity-kind name.
+    pub kind: String,
+}
+
+/// The corpus domains the paper crawls (§IV-C1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// High-school physics test problems.
+    PhysicsTest,
+    /// Electronic-information forum posts.
+    Electronics,
+    /// Industrial knowledge-graph descriptions.
+    Industrial,
+    /// General-domain knowledge-graph text.
+    General,
+}
+
+impl Domain {
+    /// All domains.
+    pub const ALL: [Domain; 4] =
+        [Domain::PhysicsTest, Domain::Electronics, Domain::Industrial, Domain::General];
+}
+
+/// A corpus sentence with gold annotations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sentence {
+    /// The raw text.
+    pub text: String,
+    /// Gold quantity spans (possibly empty).
+    pub quantities: Vec<QuantitySpan>,
+    /// Spans of decoy tokens that *look* like quantities but are not
+    /// (device codes, years, version numbers).
+    pub decoys: Vec<(usize, usize)>,
+    /// Source domain.
+    pub domain: Domain,
+}
+
+impl Sentence {
+    /// True if the sentence contains at least one gold quantity.
+    pub fn has_quantity(&self) -> bool {
+        !self.quantities.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_accessors() {
+        let s = Sentence {
+            text: "重150千克".into(),
+            quantities: vec![QuantitySpan {
+                start: 3,
+                end: 12,
+                value: 150.0,
+                value_span: (3, 6),
+                unit_surface: "千克".into(),
+                unit_span: (6, 12),
+                unit_code: "KiloGM".into(),
+                kind: "Weight".into(),
+            }],
+            decoys: vec![],
+            domain: Domain::General,
+        };
+        assert!(s.has_quantity());
+        let q = &s.quantities[0];
+        assert_eq!(&s.text[q.value_span.0..q.value_span.1], "150");
+        assert_eq!(&s.text[q.unit_span.0..q.unit_span.1], "千克");
+    }
+}

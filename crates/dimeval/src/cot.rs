@@ -1,0 +1,67 @@
+//! Chain-of-thought target formatting (§IV-D).
+//!
+//! Fine-tuning targets are serialized as `<bos> R <sep> A <eos>` where `R`
+//! is the templated reasoning sequence and `A` the answer sequence.
+
+use crate::gen::OPTION_LETTERS;
+use crate::task::ChoiceItem;
+
+/// Sequence delimiters of the output format.
+pub const BOS: &str = "<bos>";
+/// Separator between reasoning and answer.
+pub const SEP: &str = "<sep>";
+/// End-of-sequence marker.
+pub const EOS: &str = "<eos>";
+
+/// Formats the training target for a choice item.
+pub fn format_target(item: &ChoiceItem) -> String {
+    format!(
+        "{BOS} {} {SEP} The answer is ({}). {EOS}",
+        item.rationale, OPTION_LETTERS[item.answer]
+    )
+}
+
+/// Parses the answer letter back out of a generated target; `None` when the
+/// output is malformed (treated as abstention by evaluation).
+pub fn parse_answer(output: &str) -> Option<usize> {
+    let tail = output.rsplit(SEP).next()?;
+    for (i, letter) in OPTION_LETTERS.iter().enumerate() {
+        if tail.contains(&format!("({letter})")) {
+            return Some(i);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{ItemMeta, TaskKind};
+    use dimkb::UnitId;
+
+    fn item(answer: usize) -> ChoiceItem {
+        ChoiceItem {
+            task: TaskKind::MagnitudeComparison,
+            question: "q".into(),
+            options: vec!["a".into(), "b".into(), "c".into(), "d".into()],
+            answer,
+            rationale: "because reasons".into(),
+            meta: ItemMeta::Magnitude { options: vec![UnitId(0); 4] },
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        for a in 0..4 {
+            let target = format_target(&item(a));
+            assert!(target.starts_with(BOS) && target.ends_with(EOS));
+            assert_eq!(parse_answer(&target), Some(a));
+        }
+    }
+
+    #[test]
+    fn malformed_output_abstains() {
+        assert_eq!(parse_answer("no answer here"), None);
+        assert_eq!(parse_answer(""), None);
+    }
+}

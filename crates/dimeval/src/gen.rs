@@ -1,0 +1,623 @@
+//! Heuristic rule-based item generators for the five DimEval tasks that the
+//! paper constructs directly from DimKS (§IV-C: "the remaining five tasks
+//! can be constructed with heuristic rule-based methods with DimKS"), plus
+//! the template-based dimension-prediction generator.
+//!
+//! Every item carries a templated chain-of-thought rationale (§IV-D), used
+//! as the `R` segment of fine-tuning targets.
+
+use crate::task::{ChoiceItem, ItemMeta, TaskKind};
+use dimkb::expr::eval_powers;
+use dimkb::{DimUnitKb, KindId, Unit, UnitId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Letters used to label options.
+pub const OPTION_LETTERS: [char; 4] = ['A', 'B', 'C', 'D'];
+
+/// The number of options per item (m = 4 in the paper).
+pub const NUM_OPTIONS: usize = 4;
+
+/// Item generator over a knowledge base.
+pub struct Generator<'a> {
+    kb: &'a DimUnitKb,
+    rng: StdRng,
+}
+
+impl<'a> Generator<'a> {
+    /// Creates a generator with a deterministic seed.
+    pub fn new(kb: &'a DimUnitKb, seed: u64) -> Self {
+        Generator { kb, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Generates `n` items of the given choice task (panics on the
+    /// extraction task, which is corpus-driven — see `algo1`).
+    pub fn generate(&mut self, task: TaskKind, n: usize) -> Vec<ChoiceItem> {
+        let mut items = Vec::with_capacity(n);
+        let mut guard = 0usize;
+        while items.len() < n {
+            guard += 1;
+            assert!(
+                guard < n * 200 + 10_000,
+                "generator failed to produce enough {task:?} items"
+            );
+            let item = match task {
+                TaskKind::QuantityKindMatch => self.kind_match(),
+                TaskKind::ComparableAnalysis => self.comparable(),
+                TaskKind::DimensionPrediction => self.dim_prediction(),
+                TaskKind::DimensionArithmetic => self.dim_arithmetic(),
+                TaskKind::MagnitudeComparison => self.magnitude(),
+                TaskKind::UnitConversion => self.conversion(),
+                TaskKind::QuantityExtraction => {
+                    panic!("extraction items come from the annotated corpus (algo1)")
+                }
+            };
+            if let Some(item) = item {
+                items.push(item);
+            }
+        }
+        items
+    }
+
+    /// Frequency-weighted unit sample satisfying `pred`.
+    fn sample_unit(&mut self, mut pred: impl FnMut(&Unit) -> bool) -> Option<UnitId> {
+        let units = self.kb.units();
+        for _ in 0..400 {
+            let u = &units[self.rng.gen_range(0..units.len())];
+            if self.rng.gen_bool(u.frequency.clamp(0.05, 1.0)) && pred(u) {
+                return Some(u.id);
+            }
+        }
+        // Deterministic fallback scan.
+        units.iter().find(|u| pred(u)).map(|u| u.id)
+    }
+
+    fn display(&self, id: UnitId) -> String {
+        let u = self.kb.unit(id);
+        if u.label_en == u.symbol {
+            u.label_en.clone()
+        } else {
+            format!("{} ({})", u.label_en, u.symbol)
+        }
+    }
+
+    /// Shuffles options, returning (index of gold after shuffle).
+    fn shuffle_gold<T>(&mut self, options: &mut [T], gold: usize) -> usize {
+        let n = options.len();
+        let mut gold = gold;
+        for i in (1..n).rev() {
+            let j = self.rng.gen_range(0..=i);
+            options.swap(i, j);
+            if gold == i {
+                gold = j;
+            } else if gold == j {
+                gold = i;
+            }
+        }
+        gold
+    }
+
+    fn options_text(&self, ids: &[UnitId]) -> (String, Vec<String>) {
+        let texts: Vec<String> = ids.iter().map(|&id| self.display(id)).collect();
+        let labelled = texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| format!("({}) {}", OPTION_LETTERS[i], t))
+            .collect::<Vec<_>>()
+            .join("  ");
+        (labelled, texts)
+    }
+
+    // ---- Def. 3: QuantityKind Match -----------------------------------
+
+    fn kind_match(&mut self) -> Option<ChoiceItem> {
+        let correct = self.sample_unit(|_| true)?;
+        let kind = self.kb.unit(correct).kind;
+        let dim = self.kb.unit(correct).dim;
+        let mut options = vec![correct];
+        for _ in 0..(NUM_OPTIONS - 1) {
+            let id = self.sample_unit(|u| u.dim != dim && !options.contains(&u.id))?;
+            options.push(id);
+        }
+        let gold = self.shuffle_gold(&mut options, 0);
+        let kind_rec = self.kb.kind(kind);
+        let (labelled, _) = self.options_text(&options);
+        let question = format!(
+            "Which of the following units measures the quantity kind \"{}\" ({})?  {}",
+            kind_rec.name_en, kind_rec.name_zh, labelled
+        );
+        let rationale = format!(
+            "The quantity kind {} has dimension {}. Among the candidates, {} measures {}.",
+            kind_rec.name_en,
+            kind_rec.dim.formula(),
+            self.display(options[gold]),
+            kind_rec.name_en,
+        );
+        Some(ChoiceItem {
+            task: TaskKind::QuantityKindMatch,
+            question,
+            options: options.iter().map(|&id| self.display(id)).collect(),
+            answer: gold,
+            rationale,
+            meta: ItemMeta::KindMatch { kind, options },
+        })
+    }
+
+    // ---- Def. 4: Comparable Analysis -----------------------------------
+
+    fn comparable(&mut self) -> Option<ChoiceItem> {
+        let reference = self.sample_unit(|_| true)?;
+        let dim = self.kb.unit(reference).dim;
+        let same = self.sample_unit(|u| u.dim == dim && u.id != reference)?;
+        let mut options = vec![same];
+        for _ in 0..(NUM_OPTIONS - 1) {
+            let id = self.sample_unit(|u| u.dim != dim && !options.contains(&u.id))?;
+            options.push(id);
+        }
+        let gold = self.shuffle_gold(&mut options, 0);
+        let (labelled, _) = self.options_text(&options);
+        let question = format!(
+            "Which of the following units is comparable with \"{}\" (i.e. shares its dimension)?  {}",
+            self.display(reference),
+            labelled
+        );
+        let rationale = format!(
+            "dim({}) = {}. Only quantities with identical dimensions are comparable; \
+             dim({}) = {} matches, while the other candidates have different dimensions.",
+            self.display(reference),
+            dim.formula(),
+            self.display(options[gold]),
+            dim.formula(),
+        );
+        Some(ChoiceItem {
+            task: TaskKind::ComparableAnalysis,
+            question,
+            options: options.iter().map(|&id| self.display(id)).collect(),
+            answer: gold,
+            rationale,
+            meta: ItemMeta::Comparable { reference, options },
+        })
+    }
+
+    // ---- Def. 5: Dimension Prediction ------------------------------------
+
+    fn dim_prediction(&mut self) -> Option<ChoiceItem> {
+        // Pick a kind with units, verbalize a masked sentence from its
+        // (narrow-)kind name — the CN-DBpedia-style predicate.
+        let correct = self.sample_unit(|u| !u.conversion.is_affine())?;
+        let unit = self.kb.unit(correct);
+        let kind = self.kb.kind(unit.kind);
+        let dim = unit.dim;
+        let mut options = vec![correct];
+        for _ in 0..(NUM_OPTIONS - 1) {
+            let id = self.sample_unit(|u| u.dim != dim && !options.contains(&u.id))?;
+            options.push(id);
+        }
+        let gold = self.shuffle_gold(&mut options, 0);
+        let masked = if self.rng.gen_bool(0.5) {
+            format!("这件物品的{}是 3 [MASK]。", kind.name_zh)
+        } else {
+            format!("The {} of the object is 3 [MASK].", lower_words(&kind.name_en))
+        };
+        let (labelled, _) = self.options_text(&options);
+        let question = format!(
+            "{masked}  Which unit fits the [MASK] so the sentence is dimensionally consistent?  {labelled}"
+        );
+        let rationale = format!(
+            "The context asks for the {} of an object, a quantity of dimension {}. \
+             {} has dimension {}, so it fits the mask.",
+            lower_words(&kind.name_en),
+            dim.formula(),
+            self.display(options[gold]),
+            dim.formula(),
+        );
+        Some(ChoiceItem {
+            task: TaskKind::DimensionPrediction,
+            question,
+            options: options.iter().map(|&id| self.display(id)).collect(),
+            answer: gold,
+            rationale,
+            meta: ItemMeta::DimPrediction { gold_kind: kind.id, options },
+        })
+    }
+
+    /// Builds a dimension-prediction item from an external masked sentence
+    /// (the Algorithm 2 path: bootstrapped triples verbalized and masked).
+    pub fn dim_prediction_from_masked(
+        &mut self,
+        masked_sentence: &str,
+        gold_kind: KindId,
+    ) -> Option<ChoiceItem> {
+        let dim = self.kb.kind(gold_kind).dim;
+        let correct = self.sample_unit(|u| u.dim == dim && !u.conversion.is_affine())?;
+        let mut options = vec![correct];
+        for _ in 0..(NUM_OPTIONS - 1) {
+            let id = self.sample_unit(|u| u.dim != dim && !options.contains(&u.id))?;
+            options.push(id);
+        }
+        let gold = self.shuffle_gold(&mut options, 0);
+        let (labelled, _) = self.options_text(&options);
+        let kind = self.kb.kind(gold_kind);
+        let question = format!(
+            "{masked_sentence}  Which unit fits the [MASK] so the sentence is dimensionally consistent?  {labelled}"
+        );
+        let rationale = format!(
+            "The masked quantity is a {} with dimension {}; {} matches that dimension.",
+            lower_words(&kind.name_en),
+            dim.formula(),
+            self.display(options[gold]),
+        );
+        Some(ChoiceItem {
+            task: TaskKind::DimensionPrediction,
+            question,
+            options: options.iter().map(|&id| self.display(id)).collect(),
+            answer: gold,
+            rationale,
+            meta: ItemMeta::DimPrediction { gold_kind, options },
+        })
+    }
+
+    // ---- Def. 6: Dimension Arithmetic -------------------------------------
+
+    fn dim_arithmetic(&mut self) -> Option<ChoiceItem> {
+        // Build an expression of 2-3 units with × and ÷.
+        let len = self.rng.gen_range(2..=3);
+        let mut expr: Vec<(UnitId, i8)> = Vec::new();
+        for i in 0..len {
+            let id = self.sample_unit(|u| !u.conversion.is_affine() && !u.dim.is_dimensionless())?;
+            let exp = if i == 0 || self.rng.gen_bool(0.5) { 1 } else { -1 };
+            expr.push((id, exp));
+        }
+        let value = eval_powers(self.kb, &expr).ok()?;
+        // The result must be a dimension some KB unit has, and non-trivial.
+        let matches = self.kb.units_with_dim(value.dim);
+        if matches.is_empty() || value.dim.is_dimensionless() {
+            return None;
+        }
+        let correct = *matches
+            .iter()
+            .max_by(|a, b| {
+                self.kb
+                    .unit(**a)
+                    .frequency
+                    .partial_cmp(&self.kb.unit(**b).frequency)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("nonempty");
+        let mut options = vec![correct];
+        for _ in 0..(NUM_OPTIONS - 1) {
+            let id = self.sample_unit(|u| u.dim != value.dim && !options.contains(&u.id))?;
+            options.push(id);
+        }
+        let gold = self.shuffle_gold(&mut options, 0);
+        let expr_text = expr
+            .iter()
+            .enumerate()
+            .map(|(i, (id, exp))| {
+                let sym = self.kb.unit(*id).symbol.clone();
+                if i == 0 {
+                    sym
+                } else if *exp > 0 {
+                    format!(" × {sym}")
+                } else {
+                    format!(" ÷ {sym}")
+                }
+            })
+            .collect::<String>();
+        let (labelled, _) = self.options_text(&options);
+        let question = format!(
+            "Which unit has the same dimension as the expression {expr_text}?  {labelled}"
+        );
+        let steps = expr
+            .iter()
+            .map(|(id, exp)| {
+                let u = self.kb.unit(*id);
+                format!("dim({}) = {}{}", u.symbol, u.dim.formula(), if *exp < 0 { " (divided)" } else { "" })
+            })
+            .collect::<Vec<_>>()
+            .join("; ");
+        let rationale = format!(
+            "{steps}. Combining, dim({expr_text}) = {}. {} has exactly this dimension.",
+            value.dim.formula(),
+            self.display(options[gold]),
+        );
+        Some(ChoiceItem {
+            task: TaskKind::DimensionArithmetic,
+            question,
+            options: options.iter().map(|&id| self.display(id)).collect(),
+            answer: gold,
+            rationale,
+            meta: ItemMeta::DimArithmetic { expr, options },
+        })
+    }
+
+    // ---- Def. 7: Magnitude Comparison ---------------------------------------
+
+    fn magnitude(&mut self) -> Option<ChoiceItem> {
+        let first = self.sample_unit(|u| !u.conversion.is_affine())?;
+        let dim = self.kb.unit(first).dim;
+        if self.kb.units_with_dim(dim).len() < NUM_OPTIONS {
+            return None;
+        }
+        let mut options = vec![first];
+        let mut factors = vec![self.kb.unit(first).conversion.factor];
+        let anchor = factors[0];
+        for _ in 0..(NUM_OPTIONS - 1) {
+            let taken = options.clone();
+            let existing = factors.clone();
+            // Candidates within a few decades of the anchor make the item
+            // discriminative (km vs mile, not km vs light-year); fall back
+            // to any same-dimension unit if the family is too small.
+            let near = self.sample_unit(move |u| {
+                u.dim == dim
+                    && !u.conversion.is_affine()
+                    && !taken.contains(&u.id)
+                    && (u.conversion.factor / anchor).abs().log10().abs() <= 3.5
+                    // Distinct magnitudes keep a unique answer.
+                    && existing.iter().all(|&f| {
+                        let r = u.conversion.factor / f;
+                        !(0.999..=1.001).contains(&r)
+                    })
+            });
+            let taken = options.clone();
+            let existing = factors.clone();
+            let id = match near {
+                Some(id) => id,
+                None => self.sample_unit(move |u| {
+                    u.dim == dim
+                        && !u.conversion.is_affine()
+                        && !taken.contains(&u.id)
+                        && existing.iter().all(|&f| {
+                            let r = u.conversion.factor / f;
+                            !(0.999..=1.001).contains(&r)
+                        })
+                })?,
+            };
+            options.push(id);
+            factors.push(self.kb.unit(id).conversion.factor);
+        }
+        let gold_id = options[factors
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("nonempty")
+            .0];
+        let gold_pos = options.iter().position(|&o| o == gold_id).expect("present");
+        let gold = self.shuffle_gold(&mut options, gold_pos);
+        let (labelled, _) = self.options_text(&options);
+        let question =
+            format!("Which of the following units has the largest magnitude?  {labelled}");
+        let steps = options
+            .iter()
+            .map(|&id| {
+                let u = self.kb.unit(id);
+                format!("1 {} = {:.6e} SI", u.symbol, u.conversion.factor)
+            })
+            .collect::<Vec<_>>()
+            .join("; ");
+        let rationale = format!(
+            "All candidates share dimension {}. {steps}. The largest is {}.",
+            dim.formula(),
+            self.display(options[gold]),
+        );
+        Some(ChoiceItem {
+            task: TaskKind::MagnitudeComparison,
+            question,
+            options: options.iter().map(|&id| self.display(id)).collect(),
+            answer: gold,
+            rationale,
+            meta: ItemMeta::Magnitude { options },
+        })
+    }
+
+    // ---- Def. 8: Unit Conversion -----------------------------------------------
+
+    fn conversion(&mut self) -> Option<ChoiceItem> {
+        let from = self.sample_unit(|u| !u.conversion.is_affine())?;
+        let dim = self.kb.unit(from).dim;
+        let to = self.sample_unit(|u| u.dim == dim && !u.conversion.is_affine() && u.id != from)?;
+        let beta = self.kb.conversion_factor(from, to).ok()?;
+        // Same-scale pairs (公斤 vs 千克, g/cm³ vs kg/L) make a degenerate
+        // conversion question; skip them.
+        if !beta.is_finite() || beta == 0.0 || (beta - 1.0).abs() < 1e-9 {
+            return None;
+        }
+        let mut factors = vec![beta, beta * 10.0, beta / 100.0, 1.0 / beta];
+        // Keep factors pairwise distinct (β and 1/β collide near 1).
+        let mut distinct: Vec<f64> = Vec::with_capacity(NUM_OPTIONS);
+        for f in factors.drain(..) {
+            if distinct.iter().all(|d| (d / f - 1.0).abs() > 1e-9) {
+                distinct.push(f);
+            }
+        }
+        let mut factors = distinct;
+        while factors.len() < NUM_OPTIONS {
+            factors.push(factors[0] * 10f64.powi(self.rng.gen_range(2..5)));
+        }
+        let gold = self.shuffle_gold(&mut factors, 0);
+        let (fu, tu) = (self.kb.unit(from), self.kb.unit(to));
+        let labelled = factors
+            .iter()
+            .enumerate()
+            .map(|(i, f)| format!("({}) {}", OPTION_LETTERS[i], fmt_factor(*f)))
+            .collect::<Vec<_>>()
+            .join("  ");
+        let question = format!(
+            "By what factor β must a value in {} be multiplied to express it in {}?  {}",
+            self.display(from),
+            self.display(to),
+            labelled
+        );
+        let rationale = format!(
+            "1 {} = {:.6e} SI and 1 {} = {:.6e} SI, so β = {:.6e} / {:.6e} = {}.",
+            fu.symbol,
+            fu.conversion.factor,
+            tu.symbol,
+            tu.conversion.factor,
+            fu.conversion.factor,
+            tu.conversion.factor,
+            fmt_factor(factors[gold]),
+        );
+        Some(ChoiceItem {
+            task: TaskKind::UnitConversion,
+            question,
+            options: factors.iter().map(|f| fmt_factor(*f)).collect(),
+            answer: gold,
+            rationale,
+            meta: ItemMeta::Conversion { from, to, factors },
+        })
+    }
+}
+
+/// Formats a conversion factor for display.
+pub fn fmt_factor(f: f64) -> String {
+    if f == 0.0 {
+        return "0".into();
+    }
+    let a = f.abs();
+    if (1e-4..1e7).contains(&a) {
+        let s = format!("{f}");
+        if s.len() <= 12 {
+            return s;
+        }
+        return format!("{f:.6}");
+    }
+    format!("{f:.4e}")
+}
+
+fn lower_words(camel: &str) -> String {
+    let mut out = String::new();
+    for c in camel.chars() {
+        if c.is_uppercase() && !out.is_empty() {
+            out.push(' ');
+        }
+        out.extend(c.to_lowercase());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dimkb::DimUnitKb;
+
+    fn gen_items(task: TaskKind, n: usize) -> Vec<ChoiceItem> {
+        let kb = DimUnitKb::shared();
+        let mut g = Generator::new(&kb, 99);
+        g.generate(task, n)
+    }
+
+    #[test]
+    fn all_choice_tasks_generate() {
+        for task in TaskKind::CHOICE {
+            let items = gen_items(task, 10);
+            assert_eq!(items.len(), 10, "{task:?}");
+            for item in &items {
+                assert_eq!(item.task, task);
+                assert_eq!(item.options.len(), NUM_OPTIONS);
+                assert!(item.answer < NUM_OPTIONS);
+                assert!(!item.rationale.is_empty());
+                assert!(!item.question.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn kind_match_gold_is_only_unit_of_kind_dim() {
+        let kb = DimUnitKb::shared();
+        for item in gen_items(TaskKind::QuantityKindMatch, 25) {
+            let ItemMeta::KindMatch { kind, options } = &item.meta else { panic!() };
+            let dim = kb.kind(*kind).dim;
+            for (i, &u) in options.iter().enumerate() {
+                if i == item.answer {
+                    assert_eq!(kb.unit(u).dim, dim);
+                } else {
+                    assert_ne!(kb.unit(u).dim, dim, "distractors differ in dimension");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn comparable_gold_shares_reference_dim() {
+        let kb = DimUnitKb::shared();
+        for item in gen_items(TaskKind::ComparableAnalysis, 25) {
+            let ItemMeta::Comparable { reference, options } = &item.meta else { panic!() };
+            let dim = kb.unit(*reference).dim;
+            assert_eq!(kb.unit(options[item.answer]).dim, dim);
+            for (i, &u) in options.iter().enumerate() {
+                if i != item.answer {
+                    assert_ne!(kb.unit(u).dim, dim);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dim_arithmetic_gold_matches_expression() {
+        let kb = DimUnitKb::shared();
+        for item in gen_items(TaskKind::DimensionArithmetic, 25) {
+            let ItemMeta::DimArithmetic { expr, options } = &item.meta else { panic!() };
+            let v = eval_powers(&kb, expr).unwrap();
+            assert_eq!(kb.unit(options[item.answer]).dim, v.dim);
+        }
+    }
+
+    #[test]
+    fn magnitude_gold_is_largest() {
+        let kb = DimUnitKb::shared();
+        for item in gen_items(TaskKind::MagnitudeComparison, 25) {
+            let ItemMeta::Magnitude { options } = &item.meta else { panic!() };
+            let gold_f = kb.unit(options[item.answer]).conversion.factor;
+            for &u in options {
+                assert!(kb.unit(u).conversion.factor <= gold_f + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn conversion_gold_factor_is_exact() {
+        let kb = DimUnitKb::shared();
+        for item in gen_items(TaskKind::UnitConversion, 25) {
+            let ItemMeta::Conversion { from, to, factors } = &item.meta else { panic!() };
+            let beta = kb.conversion_factor(*from, *to).unwrap();
+            let gold = factors[item.answer];
+            assert!((gold / beta - 1.0).abs() < 1e-9, "{gold} vs {beta}");
+            // All options distinct.
+            for (i, a) in factors.iter().enumerate() {
+                for b in &factors[i + 1..] {
+                    assert!((a / b - 1.0).abs() > 1e-9, "duplicate options {a} {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = gen_items(TaskKind::UnitConversion, 5);
+        let b = gen_items(TaskKind::UnitConversion, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn answers_are_uniformly_spread() {
+        // Shuffling must not leave the gold always at index 0.
+        let items = gen_items(TaskKind::ComparableAnalysis, 40);
+        let firsts = items.iter().filter(|i| i.answer == 0).count();
+        assert!(firsts < 30, "answers concentrated at A: {firsts}/40");
+    }
+
+    #[test]
+    fn masked_prediction_from_external_sentence() {
+        let kb = DimUnitKb::shared();
+        let mut g = Generator::new(&kb, 7);
+        let kind = kb.kind_by_name("Height").unwrap().id;
+        let item = g
+            .dim_prediction_from_masked("勒布朗·詹姆斯的身高是[MASK]。", kind)
+            .expect("generates");
+        let ItemMeta::DimPrediction { gold_kind, options } = &item.meta else { panic!() };
+        assert_eq!(*gold_kind, kind);
+        assert_eq!(kb.unit(options[item.answer]).dim, kb.kind(kind).dim);
+        assert!(item.question.contains("[MASK]"));
+    }
+}

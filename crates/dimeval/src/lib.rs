@@ -1,0 +1,35 @@
+//! # dimeval — the DimEval benchmark (§IV of the paper)
+//!
+//! Seven tasks in three categories probe dimension perception:
+//!
+//! * **Basic Perception** — quantity extraction (Def. 2), quantity-kind
+//!   match (Def. 3);
+//! * **Dimension Perception** — comparable analysis (Def. 4), dimension
+//!   prediction (Def. 5), dimension arithmetic (Def. 6);
+//! * **Scale Perception** — magnitude comparison (Def. 7), unit conversion
+//!   (Def. 8).
+//!
+//! Datasets are constructed exactly as §IV-C describes: Algorithm 1
+//! (semi-automated annotating with a masked-LM filter) for extraction,
+//! Algorithm 2 (bootstrapping retrieval over a knowledge graph, then
+//! verbalization) for dimension prediction, and heuristic rule-based
+//! generation with DimKS for the rest. Items carry templated
+//! chain-of-thought rationales (§IV-D).
+
+#![warn(missing_docs)]
+
+pub mod algo1;
+pub mod algo2;
+mod benchmark;
+pub mod cot;
+pub mod gen;
+pub mod metrics;
+mod task;
+
+pub use benchmark::{evaluate, DimEval, DimEvalConfig, EvalReport};
+pub use gen::{Generator, NUM_OPTIONS, OPTION_LETTERS};
+pub use metrics::{ChoiceScore, ExtractionScore, PrfCounts};
+pub use task::{
+    Category, ChoiceItem, DimEvalSolver, ExtractedQuantity, ExtractionItem, GoldExtraction,
+    ItemMeta, TaskKind,
+};

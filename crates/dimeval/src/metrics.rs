@@ -1,0 +1,243 @@
+//! Evaluation metrics: precision / F1 with abstention for choice tasks,
+//! and the QE / VE / UE F1 triple for quantity extraction (§VI-D).
+
+use crate::task::{ExtractedQuantity, GoldExtraction};
+
+/// Precision and F1 of a choice task under abstention.
+///
+/// * precision = correct / answered (1.0 precision when nothing answered is
+///   defined as 0 to avoid rewarding total abstention);
+/// * recall = correct / total;
+/// * F1 = harmonic mean.
+///
+/// This reproduces the paper's observation that abstaining models show
+/// F1 well below precision.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ChoiceScore {
+    /// Items in the dataset.
+    pub total: usize,
+    /// Items the solver answered.
+    pub answered: usize,
+    /// Correct answers.
+    pub correct: usize,
+}
+
+impl ChoiceScore {
+    /// Accumulates one prediction.
+    pub fn push(&mut self, gold: usize, pred: Option<usize>) {
+        self.total += 1;
+        if let Some(p) = pred {
+            self.answered += 1;
+            if p == gold {
+                self.correct += 1;
+            }
+        }
+    }
+
+    /// Precision over answered items.
+    pub fn precision(&self) -> f64 {
+        if self.answered == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.answered as f64
+        }
+    }
+
+    /// Recall over all items.
+    pub fn recall(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+
+    /// F1 of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// The three extraction F1s: full quantity (QE), value only (VE), unit
+/// only (UE).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ExtractionScore {
+    /// Full-quantity F1 counts.
+    pub qe: PrfCounts,
+    /// Value F1 counts.
+    pub ve: PrfCounts,
+    /// Unit F1 counts.
+    pub ue: PrfCounts,
+}
+
+/// Raw precision/recall counts.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PrfCounts {
+    /// True positives.
+    pub tp: usize,
+    /// Predicted items.
+    pub pred: usize,
+    /// Gold items.
+    pub gold: usize,
+}
+
+impl PrfCounts {
+    /// Precision.
+    pub fn precision(&self) -> f64 {
+        if self.pred == 0 {
+            0.0
+        } else {
+            self.tp as f64 / self.pred as f64
+        }
+    }
+
+    /// Recall.
+    pub fn recall(&self) -> f64 {
+        if self.gold == 0 {
+            0.0
+        } else {
+            self.tp as f64 / self.gold as f64
+        }
+    }
+
+    /// F1.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+fn value_matches(a: f64, b: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    let scale = a.abs().max(b.abs());
+    scale > 0.0 && (a - b).abs() / scale < 1e-6
+}
+
+fn unit_matches(a: &str, b: &str) -> bool {
+    dimkb::normalize(a) == dimkb::normalize(b)
+}
+
+impl ExtractionScore {
+    /// Scores one text's predictions against gold with greedy one-to-one
+    /// matching per criterion.
+    pub fn push(&mut self, gold: &[GoldExtraction], pred: &[ExtractedQuantity]) {
+        self.qe.gold += gold.len();
+        self.ve.gold += gold.len();
+        self.ue.gold += gold.len();
+        self.qe.pred += pred.len();
+        self.ve.pred += pred.len();
+        self.ue.pred += pred.len();
+        // Greedy matching for each criterion independently.
+        let mut used_q = vec![false; gold.len()];
+        let mut used_v = vec![false; gold.len()];
+        let mut used_u = vec![false; gold.len()];
+        for p in pred {
+            if let Some(i) = gold.iter().enumerate().position(|(i, g)| {
+                !used_q[i] && value_matches(g.value, p.value) && unit_matches(&g.unit_surface, &p.unit_surface)
+            }) {
+                used_q[i] = true;
+                self.qe.tp += 1;
+            }
+            if let Some(i) = gold
+                .iter()
+                .enumerate()
+                .position(|(i, g)| !used_v[i] && value_matches(g.value, p.value))
+            {
+                used_v[i] = true;
+                self.ve.tp += 1;
+            }
+            if let Some(i) = gold
+                .iter()
+                .enumerate()
+                .position(|(i, g)| !used_u[i] && unit_matches(&g.unit_surface, &p.unit_surface))
+            {
+                used_u[i] = true;
+                self.ue.tp += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abstention_lowers_f1_not_precision() {
+        let mut confident = ChoiceScore::default();
+        let mut abstainer = ChoiceScore::default();
+        for i in 0..10 {
+            confident.push(0, Some(if i < 6 { 0 } else { 1 }));
+            // The abstainer answers only 5, all correct.
+            abstainer.push(0, if i < 5 { Some(0) } else { None });
+        }
+        assert!((confident.precision() - 0.6).abs() < 1e-12);
+        assert!((abstainer.precision() - 1.0).abs() < 1e-12);
+        assert!(abstainer.f1() < abstainer.precision());
+        assert!((abstainer.recall() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_scores_are_zero() {
+        let s = ChoiceScore::default();
+        assert_eq!(s.precision(), 0.0);
+        assert_eq!(s.f1(), 0.0);
+    }
+
+    #[test]
+    fn extraction_partial_credit() {
+        let mut s = ExtractionScore::default();
+        let gold = vec![
+            GoldExtraction { value: 2.06, unit_surface: "meters".into() },
+            GoldExtraction { value: 188.0, unit_surface: "cm".into() },
+        ];
+        // Right values, one wrong unit.
+        let pred = vec![
+            ExtractedQuantity { value: 2.06, unit_surface: "meters".into() },
+            ExtractedQuantity { value: 188.0, unit_surface: "mm".into() },
+        ];
+        s.push(&gold, &pred);
+        assert_eq!(s.qe.tp, 1);
+        assert_eq!(s.ve.tp, 2);
+        assert_eq!(s.ue.tp, 1);
+        assert!(s.ve.f1() > s.qe.f1());
+    }
+
+    #[test]
+    fn unit_match_is_normalized() {
+        assert!(unit_matches("Meters", "meters"));
+        assert!(unit_matches(" km ", "km"));
+        assert!(!unit_matches("km", "m"));
+    }
+
+    #[test]
+    fn value_match_tolerates_float_noise() {
+        assert!(value_matches(0.1 + 0.2, 0.3));
+        assert!(!value_matches(1.0, 1.1));
+    }
+
+    #[test]
+    fn duplicate_predictions_do_not_double_count() {
+        let mut s = ExtractionScore::default();
+        let gold = vec![GoldExtraction { value: 5.0, unit_surface: "kg".into() }];
+        let pred = vec![
+            ExtractedQuantity { value: 5.0, unit_surface: "kg".into() },
+            ExtractedQuantity { value: 5.0, unit_surface: "kg".into() },
+        ];
+        s.push(&gold, &pred);
+        assert_eq!(s.qe.tp, 1);
+        assert_eq!(s.qe.pred, 2);
+        assert!(s.qe.precision() < 1.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! The SI base units and the coherent derived SI units (with prefix
+//! expansion), plus time units beyond the second.
+
+use crate::spec::{u, UnitSpec};
+
+/// SI base units, coherent derived units, and common time units.
+pub const UNITS: &[UnitSpec] = &[
+    // ---- the seven SI base units (Table III of the paper) ------------
+    u("M", "metre", "米", "m", "Length", 1.0, 100.0)
+        .aliases(&["meter", "metres", "meters", "公尺"])
+        .kw(&["distance", "long", "tall", "si"])
+        .desc("the SI base unit of length")
+        .prefixable(),
+    u("GM", "gram", "克", "g", "Mass", 1e-3, 92.0)
+        .aliases(&["grams", "gramme"])
+        .kw(&["weigh", "heavy", "si"])
+        .desc("one thousandth of the SI base unit of mass")
+        .prefixable(),
+    u("SEC", "second", "秒", "s", "Time", 1.0, 98.0)
+        .aliases(&["seconds", "sec", "秒钟"])
+        .kw(&["duration", "clock", "si"])
+        .desc("the SI base unit of time")
+        .prefixable(),
+    u("A", "ampere", "安培", "A", "ElectricCurrent", 1.0, 70.0)
+        .aliases(&["amperes", "amp", "amps", "安"])
+        .kw(&["current", "electric", "circuit", "si"])
+        .desc("the SI base unit of electric current")
+        .prefixable(),
+    u("K", "kelvin", "开尔文", "K", "Temperature", 1.0, 55.0)
+        .aliases(&["kelvins", "开氏度"])
+        .kw(&["temperature", "thermodynamic", "absolute", "si"])
+        .desc("the SI base unit of thermodynamic temperature")
+        .prefixable(),
+    u("MOL", "mole", "摩尔", "mol", "AmountOfSubstance", 1.0, 50.0)
+        .aliases(&["moles", "摩"])
+        .kw(&["substance", "chemistry", "avogadro", "si"])
+        .desc("the SI base unit of amount of substance")
+        .prefixable(),
+    u("CD", "candela", "坎德拉", "cd", "LuminousIntensity", 1.0, 25.0)
+        .aliases(&["candelas", "坎"])
+        .kw(&["luminous", "light", "intensity", "si"])
+        .desc("the SI base unit of luminous intensity")
+        .prefixable(),
+    // ---- time beyond the second ---------------------------------------
+    u("MIN", "minute", "分钟", "min", "Time", 60.0, 97.0)
+        .aliases(&["minutes", "分"])
+        .kw(&["duration", "clock"]),
+    u("HR", "hour", "小时", "h", "Time", 3600.0, 97.0)
+        .aliases(&["hours", "hr", "时", "钟头"])
+        .kw(&["duration", "clock", "day"]),
+    u("DAY", "day", "天", "d", "Time", 86_400.0, 96.0)
+        .aliases(&["days", "日"])
+        .kw(&["duration", "calendar"]),
+    u("WK", "week", "周", "wk", "Time", 604_800.0, 88.0)
+        .aliases(&["weeks", "星期", "礼拜"])
+        .kw(&["duration", "calendar"]),
+    u("MO", "month", "个月", "mo", "Time", 2_629_800.0, 90.0)
+        .aliases(&["months", "月"])
+        .kw(&["duration", "calendar"])
+        .desc("one twelfth of a Julian year"),
+    u("YR", "year", "年", "yr", "Time", 31_557_600.0, 95.0)
+        .aliases(&["years", "annum", "岁"])
+        .kw(&["duration", "calendar", "age"])
+        .desc("the Julian year of 365.25 days"),
+    u("DECADE", "decade", "十年", "dec", "Time", 315_576_000.0, 40.0)
+        .aliases(&["decades"])
+        .kw(&["duration", "calendar"]),
+    u("CENTURY", "century", "世纪", "c.", "Time", 3_155_760_000.0, 42.0)
+        .aliases(&["centuries"])
+        .kw(&["duration", "calendar", "history"]),
+    u("FORTNIGHT", "fortnight", "两周", "fn", "Time", 1_209_600.0, 8.0)
+        .aliases(&["fortnights"])
+        .kw(&["duration", "calendar", "british"]),
+    // ---- mass beyond the gram ------------------------------------------
+    u("TONNE", "tonne", "吨", "t", "Mass", 1000.0, 85.0)
+        .aliases(&["metric ton", "tonnes", "ton", "公吨"])
+        .kw(&["weigh", "heavy", "freight"])
+        .desc("one thousand kilograms")
+        .prefixable(),
+    u("CARAT", "carat", "克拉", "ct", "Mass", 2e-4, 35.0)
+        .aliases(&["carats"])
+        .kw(&["gem", "diamond", "jewel"]),
+    u("DALTON", "dalton", "道尔顿", "Da", "Mass", 1.660_539_066_6e-27, 12.0)
+        .aliases(&["atomic mass unit", "amu", "u"])
+        .kw(&["atomic", "molecule", "proton"]),
+    u("SOLAR-MASS", "solar mass", "太阳质量", "M☉", "Mass", 1.988_47e30, 6.0)
+        .aliases(&["solar masses"])
+        .kw(&["astronomy", "star", "sun"]),
+    // ---- temperature scales --------------------------------------------
+    u("DEG-C", "degree Celsius", "摄氏度", "°C", "Temperature", 1.0, 96.0)
+        .offset(273.15)
+        .aliases(&["degrees Celsius", "celsius", "centigrade", "℃", "度", "degree", "degrees"])
+        .kw(&["temperature", "weather", "thermometer"]),
+    u("DEG-F", "degree Fahrenheit", "华氏度", "°F", "Temperature", 5.0 / 9.0, 60.0)
+        .offset(273.15 - 32.0 * 5.0 / 9.0)
+        .aliases(&["degrees Fahrenheit", "fahrenheit", "℉"])
+        .kw(&["temperature", "weather", "imperial"]),
+    u("DEG-R", "degree Rankine", "兰氏度", "°R", "Temperature", 5.0 / 9.0, 5.0)
+        .aliases(&["degrees Rankine", "rankine"])
+        .kw(&["temperature", "thermodynamic", "absolute"]),
+    u("DEG-RE", "degree Réaumur", "列氏度", "°Ré", "Temperature", 1.25, 2.0)
+        .offset(273.15)
+        .aliases(&["degrees Reaumur", "reaumur"])
+        .kw(&["temperature", "historical"]),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_is_coherent() {
+        let sec = UNITS.iter().find(|s| s.code == "SEC").unwrap();
+        assert_eq!(sec.factor, 1.0);
+        assert!(sec.prefixable);
+    }
+
+    #[test]
+    fn gram_is_milli_kilogram() {
+        let g = UNITS.iter().find(|s| s.code == "GM").unwrap();
+        assert_eq!(g.factor, 1e-3, "SI coherent mass unit is the kilogram");
+    }
+
+    #[test]
+    fn fahrenheit_freezing_point() {
+        let f = UNITS.iter().find(|s| s.code == "DEG-F").unwrap();
+        let si = 32.0 * f.factor + f.offset;
+        assert!((si - 273.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn year_is_365_25_days() {
+        let yr = UNITS.iter().find(|s| s.code == "YR").unwrap();
+        let day = UNITS.iter().find(|s| s.code == "DAY").unwrap();
+        assert!((yr.factor / day.factor - 365.25).abs() < 1e-9);
+    }
+}

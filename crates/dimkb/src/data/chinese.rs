@@ -1,0 +1,91 @@
+//! Chinese traditional (市制) units — the paper manually adds these to cater
+//! to the Chinese context (§III-A2).
+
+use crate::spec::{u, UnitSpec};
+
+/// Chinese market-system units.
+pub const UNITS: &[UnitSpec] = &[
+    // ---- length (市制) ------------------------------------------------------
+    u("LI-ZH", "li", "里", "里", "Length", 500.0, 45.0)
+        .aliases(&["市里", "华里", "chinese mile"])
+        .kw(&["chinese", "road", "traditional"])
+        .desc("the Chinese mile of 500 metres"),
+    u("ZHANG-ZH", "zhang", "丈", "丈", "Length", 10.0 / 3.0, 12.0)
+        .aliases(&["市丈"])
+        .kw(&["chinese", "traditional", "construction"]),
+    u("CHI-ZH", "chi", "尺", "尺", "Length", 1.0 / 3.0, 35.0)
+        .aliases(&["市尺", "chinese foot"])
+        .kw(&["chinese", "traditional", "tailor"]),
+    u("CUN-ZH", "cun", "寸", "寸", "Length", 1.0 / 30.0, 28.0)
+        .aliases(&["市寸", "chinese inch"])
+        .kw(&["chinese", "traditional", "small"]),
+    u("FEN-LEN-ZH", "fen (length)", "分(长度)", "分", "Length", 1.0 / 300.0, 6.0)
+        .aliases(&["市分"])
+        .kw(&["chinese", "traditional", "tiny"]),
+    // ---- mass (市制) ---------------------------------------------------------
+    u("DAN-ZH", "dan", "担", "担", "Mass", 50.0, 10.0)
+        .aliases(&["市担", "picul", "石"])
+        .kw(&["chinese", "grain", "load"]),
+    u("JIN-ZH", "jin", "斤", "斤", "Mass", 0.5, 80.0)
+        .aliases(&["市斤", "catty", "chinese pound"])
+        .kw(&["chinese", "market", "food", "weigh"]),
+    u("LIANG-ZH", "liang", "两", "两", "Mass", 0.05, 50.0)
+        .aliases(&["市两", "tael", "chinese ounce"])
+        .kw(&["chinese", "market", "medicine", "gold"]),
+    u("QIAN-ZH", "qian", "钱", "钱", "Mass", 0.005, 15.0)
+        .aliases(&["市钱", "mace"])
+        .kw(&["chinese", "medicine", "herb"]),
+    u("GONGJIN-ZH", "gongjin", "公斤", "公斤", "Mass", 1.0, 88.0)
+        .aliases(&["kilogram (chinese)"])
+        .kw(&["chinese", "market", "weigh"])
+        .desc("the Chinese name for the kilogram"),
+    // ---- area (市制) -----------------------------------------------------------
+    u("MU-ZH", "mu", "亩", "亩", "Area", 2000.0 / 3.0, 52.0)
+        .aliases(&["市亩", "chinese acre"])
+        .kw(&["chinese", "farm", "land", "field"]),
+    u("QING-ZH", "qing", "顷", "顷", "Area", 200_000.0 / 3.0, 5.0)
+        .aliases(&["市顷", "公顷(市)"])
+        .kw(&["chinese", "land", "estate"]),
+    u("FEN-AREA-ZH", "fen (area)", "分(地)", "分地", "Area", 200.0 / 3.0, 8.0)
+        .kw(&["chinese", "land", "plot"]),
+    // ---- volume (市制) ----------------------------------------------------------
+    u("SHENG-ZH", "sheng", "市升", "市升", "Volume", 1e-3, 10.0)
+        .aliases(&["chinese litre"])
+        .kw(&["chinese", "grain", "rice"]),
+    u("DOU-ZH", "dou", "斗", "斗", "Volume", 1e-2, 7.0)
+        .aliases(&["市斗"])
+        .kw(&["chinese", "grain", "traditional"]),
+    u("DAN-VOL-ZH", "dan (volume)", "石(容量)", "石", "Volume", 1e-1, 3.0)
+        .aliases(&["市石"])
+        .kw(&["chinese", "grain", "historical"]),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jin_is_half_kilogram() {
+        let jin = UNITS.iter().find(|s| s.code == "JIN-ZH").unwrap();
+        assert_eq!(jin.factor, 0.5);
+    }
+
+    #[test]
+    fn jin_is_ten_liang() {
+        let jin = UNITS.iter().find(|s| s.code == "JIN-ZH").unwrap();
+        let liang = UNITS.iter().find(|s| s.code == "LIANG-ZH").unwrap();
+        assert!((jin.factor / liang.factor - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fifteen_mu_is_one_hectare() {
+        let mu = UNITS.iter().find(|s| s.code == "MU-ZH").unwrap();
+        assert!((mu.factor * 15.0 - 1e4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn li_is_500_metres() {
+        let li = UNITS.iter().find(|s| s.code == "LI-ZH").unwrap();
+        assert_eq!(li.factor, 500.0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Specialist derived units: engineering, physics, textiles, printing,
+//! meteorology, electrochemistry. These broaden the dimension-vector
+//! inventory the way QUDT's long tail does.
+
+use crate::spec::{u, UnitSpec};
+
+/// Specialist derived units.
+pub const UNITS: &[UnitSpec] = &[
+    // ---- kinematics long tail ------------------------------------------
+    u("M-PER-SEC3", "metre per second cubed", "米每三次方秒", "m/s³", "Jerk", 1.0, 1.0)
+        .aliases(&["meter per second cubed", "m/s^3", "m/s3"])
+        .kw(&["jerk", "ride", "comfort"]),
+    u("KM-PER-SEC", "kilometre per second", "千米每秒", "km/s", "Velocity", 1000.0, 8.0)
+        .aliases(&["kilometer per second"])
+        .kw(&["orbital", "rocket", "escape"]),
+    u("MM-PER-HR", "millimetre per hour", "毫米每小时", "mm/h", "Velocity", 1e-3 / 3600.0, 10.0)
+        .aliases(&["millimeter per hour", "mm/hr"])
+        .kw(&["rainfall", "precipitation", "weather"]),
+    u("M-PER-MIN", "metre per minute", "米每分钟", "m/min", "Velocity", 1.0 / 60.0, 5.0)
+        .aliases(&["meter per minute"])
+        .kw(&["conveyor", "walking", "feed"]),
+    u("RAD-PER-SEC2", "radian per second squared", "弧度每二次方秒", "rad/s²", "AngularAcceleration", 1.0, 1.5)
+        .aliases(&["rad/s^2", "rad/s2"])
+        .kw(&["angular", "spin", "rotor"]),
+    // ---- mechanics long tail ----------------------------------------------
+    u("N-SEC", "newton second", "牛秒", "N·s", "Momentum", 1.0, 3.0)
+        .aliases(&["newton-second", "N s", "N*s"])
+        .kw(&["impulse", "thrust", "collision"]),
+    u("N-PER-SEC", "newton per second", "牛每秒", "N/s", "ForceRate", 1.0, 1.0)
+        .aliases(&["N/s"])
+        .kw(&["loading", "rate", "testing"]),
+    u("J-SEC", "joule second", "焦秒", "J·s", "Action", 1.0, 2.0)
+        .aliases(&["joule-second", "J s"])
+        .kw(&["planck", "action", "quantum"]),
+    u("KSI", "kip per square inch", "千磅每平方英寸", "ksi", "Pressure", 6.894_757_293_168e6, 5.0)
+        .aliases(&["kilopound per square inch"])
+        .kw(&["steel", "strength", "imperial"]),
+    u("G-PER-M2", "gram per square metre", "克每平方米", "g/m²", "SurfaceDensity", 1e-3, 12.0)
+        .aliases(&["gram per square meter", "gsm", "g/m2"])
+        .kw(&["paper", "fabric", "weight"]),
+    u("KG-PER-HA", "kilogram per hectare", "千克每公顷", "kg/ha", "SurfaceDensity", 1e-4, 4.0)
+        .aliases(&["kg/ha"])
+        .kw(&["yield", "fertilizer", "farm"]),
+    u("TEX", "tex", "特克斯", "tex", "LinearDensity", 1e-6, 2.0)
+        .aliases(&["texes"])
+        .kw(&["yarn", "fibre", "textile"]),
+    u("DENIER", "denier", "旦尼尔", "den", "LinearDensity", 1e-6 / 9.0, 3.0)
+        .aliases(&["deniers"])
+        .kw(&["stocking", "fibre", "textile"]),
+    u("J-PER-M2", "joule per square metre", "焦耳每平方米", "J/m²", "SurfaceEnergy", 1.0, 2.0)
+        .aliases(&["joule per square meter", "J/m2"])
+        .kw(&["surface", "energy", "fracture"]),
+    u("W-PER-M3", "watt per cubic metre", "瓦特每立方米", "W/m³", "PowerDensity", 1.0, 1.0)
+        .aliases(&["watt per cubic meter", "W/m3"])
+        .kw(&["reactor", "power", "density"]),
+    u("M2-PER-KG", "square metre per kilogram", "平方米每千克", "m²/kg", "MassAttenuation", 1.0, 1.0)
+        .aliases(&["square meter per kilogram", "m2/kg"])
+        .kw(&["attenuation", "absorber", "shielding"]),
+    u("M3-PER-HR", "cubic metre per hour", "立方米每小时", "m³/h", "VolumeFlowRate", 1.0 / 3600.0, 12.0)
+        .aliases(&["cubic meter per hour", "m3/h"])
+        .kw(&["ventilation", "pump", "gas"]),
+    u("ML-PER-MIN", "millilitre per minute", "毫升每分钟", "mL/min", "VolumeFlowRate", 1e-6 / 60.0, 8.0)
+        .aliases(&["milliliter per minute", "ml/min"])
+        .kw(&["infusion", "drip", "medical"]),
+    u("CFM", "cubic foot per minute", "立方英尺每分钟", "cfm", "VolumeFlowRate", 2.831_684_659_2e-2 / 60.0, 6.0)
+        .aliases(&["cubic feet per minute", "ft3/min"])
+        .kw(&["fan", "hvac", "airflow"]),
+    u("G-PER-SEC", "gram per second", "克每秒", "g/s", "MassFlowRate", 1e-3, 3.0)
+        .aliases(&["g/s"])
+        .kw(&["injector", "flow", "fuel"]),
+    // ---- thermal long tail ----------------------------------------------------
+    u("J-PER-M3-K", "joule per cubic metre kelvin", "焦耳每立方米开尔文", "J/(m³·K)", "VolumetricHeatCapacity", 1.0, 1.0)
+        .aliases(&["J/(m3 K)", "J/m3/K"])
+        .kw(&["volumetric", "heat", "storage"]),
+    u("W-PER-M2-K", "watt per square metre kelvin", "瓦特每平方米开尔文", "W/(m²·K)", "HeatTransferCoefficient", 1.0, 3.0)
+        .aliases(&["W/(m2 K)", "W/m2/K", "u-value"])
+        .kw(&["insulation", "window", "transfer"]),
+    u("M2-K-PER-W", "square metre kelvin per watt", "平方米开尔文每瓦特", "m²·K/W", "ThermalInsulance", 1.0, 2.0)
+        .aliases(&["r-value (SI)", "m2K/W"])
+        .kw(&["insulation", "building", "r-value"]),
+    u("GY-PER-SEC", "gray per second", "戈瑞每秒", "Gy/s", "AbsorbedDoseRate", 1.0, 1.0)
+        .aliases(&["Gy/s"])
+        .kw(&["dose", "rate", "radiotherapy"]),
+    u("SV-PER-HR", "sievert per hour", "希沃特每小时", "Sv/h", "DoseRate", 1.0 / 3600.0, 4.0)
+        .aliases(&["Sv/h", "Sv/hr"])
+        .kw(&["radiation", "survey", "safety"]),
+    // ---- electromagnetism long tail ----------------------------------------------
+    u("C-PER-KG", "coulomb per kilogram", "库仑每千克", "C/kg", "RadiationExposure", 1.0, 1.0)
+        .aliases(&["C/kg"])
+        .kw(&["exposure", "ionizing", "si"]),
+    u("A-M2", "ampere square metre", "安培二次方米", "A·m²", "MagneticMoment", 1.0, 1.0)
+        .aliases(&["ampere square meter", "A m2"])
+        .kw(&["magnetic", "moment", "dipole"]),
+    u("C-M", "coulomb metre", "库仑米", "C·m", "ElectricDipoleMoment", 1.0, 1.0)
+        .aliases(&["coulomb meter", "C m"])
+        .kw(&["dipole", "molecule", "polar"]),
+    u("DEBYE", "debye", "德拜", "D", "ElectricDipoleMoment", 3.335_64e-30, 2.0)
+        .aliases(&["debyes"])
+        .kw(&["dipole", "chemistry", "molecular"]),
+    u("V-SEC-PER-M", "volt second per metre", "伏秒每米", "V·s/m", "MagneticVectorPotential", 1.0, 0.5)
+        .aliases(&["V s/m", "Wb/m"])
+        .kw(&["vector", "potential", "field"]),
+    u("C-PER-M2", "coulomb per square metre", "库仑每平方米", "C/m²", "SurfaceChargeDensity", 1.0, 1.0)
+        .aliases(&["C/m2"])
+        .kw(&["charge", "surface", "capacitor"]),
+    u("M2-PER-V-SEC", "square metre per volt second", "平方米每伏秒", "m²/(V·s)", "ElectronMobility", 1.0, 1.0)
+        .aliases(&["m2/(V s)", "m2/V/s"])
+        .kw(&["mobility", "semiconductor", "carrier"]),
+    u("S-M2-PER-MOL", "siemens square metre per mole", "西门子二次方米每摩尔", "S·m²/mol", "MolarConductivity", 1.0, 0.5)
+        .aliases(&["S m2/mol"])
+        .kw(&["electrolyte", "conductivity", "molar"]),
+    u("V-PER-K", "volt per kelvin", "伏特每开尔文", "V/K", "SeebeckCoefficient", 1.0, 0.5)
+        .aliases(&["V/K"])
+        .kw(&["thermoelectric", "seebeck", "thermocouple"]),
+    // ---- photometry / radiometry long tail -------------------------------------------
+    u("LM-SEC", "lumen second", "流明秒", "lm·s", "LuminousEnergy", 1.0, 0.5)
+        .aliases(&["lumen-second", "talbot"])
+        .kw(&["luminous", "energy", "flash"]),
+    u("LM-PER-W", "lumen per watt", "流明每瓦特", "lm/W", "LuminousEfficacy", 1.0, 6.0)
+        .aliases(&["lm/W"])
+        .kw(&["efficacy", "led", "lighting"]),
+    u("W-PER-M2-SR", "watt per square metre steradian", "瓦特每平方米球面度", "W/(m²·sr)", "Radiance", 1.0, 1.0)
+        .aliases(&["W/(m2 sr)"])
+        .kw(&["radiance", "remote", "sensing"]),
+    u("W-PER-M2-NM", "watt per square metre nanometre", "瓦特每平方米纳米", "W/(m²·nm)", "SpectralIrradiance", 1e9, 0.5)
+        .aliases(&["W/(m2 nm)"])
+        .kw(&["spectral", "solar", "spectrum"]),
+    u("JY", "jansky", "央斯基", "Jy", "SpectralFluxDensity", 1e-26, 1.0)
+        .aliases(&["janskys"])
+        .kw(&["radio", "astronomy", "flux"]),
+    // ---- chemistry long tail ----------------------------------------------------------
+    u("KAT-PER-L", "katal per litre", "开特每升", "kat/L", "CatalyticConcentration", 1000.0, 0.5)
+        .aliases(&["kat/l"])
+        .kw(&["enzyme", "concentration", "assay"]),
+    u("MOL-PER-SEC", "mole per second", "摩尔每秒", "mol/s", "CatalyticActivity", 1.0, 1.0)
+        .aliases(&["mol/s"])
+        .kw(&["reaction", "rate", "turnover"]),
+    u("PH-UNIT", "pH unit", "pH值", "pH", "Acidity", 1.0, 30.0)
+        .aliases(&["ph"])
+        .kw(&["acid", "alkaline", "chemistry"]),
+    u("MOL-PER-M2-SEC", "mole per square metre second", "摩尔每平方米秒", "mol/(m²·s)", "MolarFlux", 1.0, 0.5)
+        .aliases(&["mol/(m2 s)"])
+        .kw(&["flux", "diffusion", "membrane"]),
+    // ---- printing / imaging / misc -------------------------------------------------------
+    u("DPI", "dot per inch", "点每英寸", "dpi", "Resolution", 1.0 / 0.0254, 15.0)
+        .aliases(&["dots per inch"])
+        .kw(&["printer", "scanner", "image"]),
+    u("PPI", "pixel per inch", "像素每英寸", "ppi", "Resolution", 1.0 / 0.0254, 10.0)
+        .aliases(&["pixels per inch"])
+        .kw(&["screen", "display", "density"]),
+    u("LPM-PRINT", "line per minute", "行每分钟", "lpm", "Frequency", 1.0 / 60.0, 1.0)
+        .aliases(&["lines per minute"])
+        .kw(&["printer", "throughput", "output"]),
+    u("FPS-FRAME", "frame per second", "帧每秒", "fps", "Frequency", 1.0, 25.0)
+        .aliases(&["frames per second"])
+        .kw(&["video", "game", "camera"]),
+    u("KM-PER-L-GAS", "kilometre per litre (gas)", "公里每升", "km/L", "FuelEconomy", 1e6, 1.0)
+        .aliases(&["kilometers per liter"])
+        .kw(&["mileage", "economy", "fuel"]),
+    u("PER-SEC-DECAY", "decay per second", "衰变每秒", "dps", "Radioactivity", 1.0, 1.0)
+        .aliases(&["decays per second", "disintegrations per second"])
+        .kw(&["decay", "activity", "count"]),
+    u("CPM-COUNT", "count per minute", "计数每分钟", "cpm", "Radioactivity", 1.0 / 60.0, 2.0)
+        .aliases(&["counts per minute"])
+        .kw(&["geiger", "counter", "survey"]),
+    // ---- gravitational / geophysics -----------------------------------------------------
+    u("MGAL", "milligal", "毫伽", "mGal", "Acceleration", 1e-5, 1.0)
+        .aliases(&["milligals"])
+        .kw(&["gravimetry", "survey", "anomaly"]),
+    u("EOTVOS", "eotvos", "厄缶", "E", "GravityGradient", 1e-9, 0.5)
+        .aliases(&["eötvös"])
+        .kw(&["gravity", "gradient", "geophysics"]),
+    // ---- acoustics -------------------------------------------------------------------------
+    u("PA-SEC-PER-M", "pascal second per metre", "帕秒每米", "Pa·s/m", "AcousticImpedance", 1.0, 0.5)
+        .aliases(&["rayl", "Pa s/m"])
+        .kw(&["acoustic", "impedance", "sound"]),
+    u("SONE", "sone", "宋", "sone", "Loudness", 1.0, 1.0)
+        .aliases(&["sones"])
+        .kw(&["loudness", "perception", "noise"]),
+    u("PHON", "phon", "方", "phon", "SoundLevel", 1.0, 1.0)
+        .aliases(&["phons"])
+        .kw(&["loudness", "level", "hearing"]),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dpi_equals_reciprocal_inch() {
+        let dpi = UNITS.iter().find(|s| s.code == "DPI").unwrap();
+        assert!((dpi.factor * 0.0254 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn denier_is_ninth_of_tex() {
+        let den = UNITS.iter().find(|s| s.code == "DENIER").unwrap();
+        let tex = UNITS.iter().find(|s| s.code == "TEX").unwrap();
+        assert!((tex.factor / den.factor - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ksi_is_1000_psi() {
+        let ksi = UNITS.iter().find(|s| s.code == "KSI").unwrap();
+        assert!((ksi.factor / 6894.757_293_168 - 1000.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,114 @@
+//! Electromagnetic units, including the CGS-Gaussian family.
+
+use crate::spec::{u, UnitSpec};
+
+/// Electromagnetic units.
+pub const UNITS: &[UnitSpec] = &[
+    // ---- charge ----------------------------------------------------------
+    u("C", "coulomb", "库仑", "C", "ElectricCharge", 1.0, 40.0)
+        .aliases(&["coulombs", "库"])
+        .kw(&["charge", "electric", "si"])
+        .prefixable(),
+    u("AH", "ampere hour", "安时", "Ah", "ElectricCharge", 3600.0, 45.0)
+        .aliases(&["ampere-hour", "amp hour", "amp-hour"])
+        .kw(&["battery", "capacity", "charge"])
+        .prefixable(),
+    u("E-CHARGE", "elementary charge", "基本电荷", "e", "ElectricCharge", 1.602_176_634e-19, 6.0)
+        .kw(&["electron", "proton", "fundamental"]),
+    u("STATC", "statcoulomb", "静库", "statC", "ElectricCharge", 3.335_640_951e-10, 1.0)
+        .aliases(&["esu", "franklin"])
+        .kw(&["cgs", "electrostatic"]),
+    // ---- voltage ----------------------------------------------------------
+    u("V", "volt", "伏特", "V", "Voltage", 1.0, 78.0)
+        .aliases(&["volts", "伏"])
+        .kw(&["voltage", "battery", "circuit", "si"])
+        .prefixable(),
+    u("STATV", "statvolt", "静伏", "statV", "Voltage", 299.792_458, 1.0)
+        .kw(&["cgs", "electrostatic"]),
+    // ---- resistance / conductance -------------------------------------------
+    u("OHM", "ohm", "欧姆", "Ω", "Resistance", 1.0, 55.0)
+        .aliases(&["ohms", "欧"])
+        .kw(&["resistance", "resistor", "circuit", "si"])
+        .prefixable(),
+    u("S-SIEMENS", "siemens", "西门子", "S", "Conductance", 1.0, 10.0)
+        .aliases(&["mho", "西"])
+        .kw(&["conductance", "circuit", "si"])
+        .prefixable(),
+    // ---- capacitance / inductance --------------------------------------------
+    u("F-FARAD", "farad", "法拉", "F", "Capacitance", 1.0, 30.0)
+        .aliases(&["farads", "法"])
+        .kw(&["capacitor", "circuit", "si"])
+        .prefixable(),
+    u("H-HENRY", "henry", "亨利", "H", "Inductance", 1.0, 18.0)
+        .aliases(&["henries", "henrys", "亨"])
+        .kw(&["inductor", "coil", "si"])
+        .prefixable(),
+    // ---- magnetism ---------------------------------------------------------------
+    u("WB", "weber", "韦伯", "Wb", "MagneticFlux", 1.0, 8.0)
+        .aliases(&["webers", "韦"])
+        .kw(&["magnetic", "flux", "si"])
+        .prefixable(),
+    u("MX", "maxwell", "麦克斯韦", "Mx", "MagneticFlux", 1e-8, 2.0)
+        .aliases(&["maxwells"])
+        .kw(&["cgs", "magnetic", "flux"]),
+    u("T-TESLA", "tesla", "特斯拉", "T", "MagneticFluxDensity", 1.0, 35.0)
+        .aliases(&["teslas", "特"])
+        .kw(&["magnetic", "field", "mri", "si"])
+        .prefixable(),
+    u("GAUSS", "gauss", "高斯", "G", "MagneticFluxDensity", 1e-4, 12.0)
+        .aliases(&["gausses", "Gs"])
+        .kw(&["cgs", "magnetic", "field"]),
+    u("A-PER-M", "ampere per metre", "安培每米", "A/m", "MagneticFieldStrength", 1.0, 4.0)
+        .aliases(&["ampere per meter", "A/m"])
+        .kw(&["magnetic", "field", "strength"]),
+    u("OERSTED", "oersted", "奥斯特", "Oe", "MagneticFieldStrength", 79.577_471_545_947_67, 3.0)
+        .aliases(&["oersteds"])
+        .kw(&["cgs", "magnetic", "coercivity"]),
+    // ---- fields / densities --------------------------------------------------------
+    u("V-PER-M", "volt per metre", "伏特每米", "V/m", "ElectricFieldStrength", 1.0, 6.0)
+        .aliases(&["volt per meter", "V/m"])
+        .kw(&["electric", "field", "strength"]),
+    u("A-PER-M2", "ampere per square metre", "安培每平方米", "A/m²", "CurrentDensity", 1.0, 3.0)
+        .aliases(&["ampere per square meter", "A/m2"])
+        .kw(&["current", "density", "electrode"]),
+    u("C-PER-M3", "coulomb per cubic metre", "库仑每立方米", "C/m³", "ElectricChargeDensity", 1.0, 1.0)
+        .aliases(&["C/m3"])
+        .kw(&["charge", "density", "plasma"]),
+    u("OHM-M", "ohm metre", "欧姆米", "Ω·m", "Resistivity", 1.0, 5.0)
+        .aliases(&["ohm meter", "ohm-m"])
+        .kw(&["resistivity", "material", "conductor"]),
+    u("S-PER-M", "siemens per metre", "西门子每米", "S/m", "ElectricalConductivity", 1.0, 4.0)
+        .aliases(&["siemens per meter", "S/m"])
+        .kw(&["conductivity", "electrolyte", "material"]),
+    u("F-PER-M", "farad per metre", "法拉每米", "F/m", "Permittivity", 1.0, 2.0)
+        .aliases(&["farad per meter", "F/m"])
+        .kw(&["permittivity", "dielectric", "vacuum"]),
+    u("H-PER-M", "henry per metre", "亨利每米", "H/m", "Permeability", 1.0, 2.0)
+        .aliases(&["henry per meter", "H/m"])
+        .kw(&["permeability", "magnetic", "vacuum"]),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauss_is_1e_minus_4_tesla() {
+        let g = UNITS.iter().find(|s| s.code == "GAUSS").unwrap();
+        assert_eq!(g.factor, 1e-4);
+    }
+
+    #[test]
+    fn ampere_hour_is_3600_coulombs() {
+        let ah = UNITS.iter().find(|s| s.code == "AH").unwrap();
+        assert_eq!(ah.factor, 3600.0);
+    }
+
+    #[test]
+    fn si_electrical_units_are_coherent() {
+        for code in ["V", "OHM", "F-FARAD", "H-HENRY", "WB", "T-TESLA", "S-SIEMENS"] {
+            let unit = UNITS.iter().find(|s| s.code == code).unwrap();
+            assert_eq!(unit.factor, 1.0, "{code} should be coherent");
+        }
+    }
+}

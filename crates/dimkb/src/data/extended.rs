@@ -1,0 +1,224 @@
+//! Extended long-tail units: astronomy, maritime, apothecary, historical,
+//! natural-unit systems, and additional Chinese market units — the breadth
+//! that pushes DimUnitKB toward QUDT-scale coverage.
+
+use crate::spec::{u, UnitSpec};
+
+/// Extended long-tail units.
+pub const UNITS: &[UnitSpec] = &[
+    // ---- lengths: physics & history -------------------------------------
+    u("FERMI", "fermi", "费米", "fm.", "Length", 1e-15, 2.0)
+        .aliases(&["fermis"])
+        .kw(&["nuclear", "femtometre", "particle"]),
+    u("BOHR", "bohr radius", "玻尔半径", "a₀", "Length", 5.291_772_109e-11, 1.5)
+        .aliases(&["bohr"])
+        .kw(&["atomic", "hydrogen", "quantum"]),
+    u("PLANCK-L", "planck length", "普朗克长度", "ℓP", "Length", 1.616_255e-35, 1.0)
+        .kw(&["planck", "quantum", "gravity"]),
+    u("ROD", "rod", "杆", "rd.", "Length", 5.0292, 1.5)
+        .aliases(&["perch", "pole"])
+        .kw(&["survey", "old", "imperial"]),
+    u("CHAIN", "chain", "测链", "ch", "Length", 20.1168, 2.0)
+        .aliases(&["chains", "gunter's chain"])
+        .kw(&["survey", "cricket", "imperial"]),
+    u("LEAGUE", "league", "里格", "lea", "Length", 4828.032, 2.0)
+        .aliases(&["leagues"])
+        .kw(&["historical", "travel", "sea"]),
+    u("SMOOT", "smoot", "斯穆特", "smoot", "Length", 1.702, 0.5)
+        .aliases(&["smoots"])
+        .kw(&["mit", "bridge", "joke"]),
+    u("RACK-U", "rack unit", "机架单位", "U", "Length", 0.04445, 4.0)
+        .aliases(&["rack units"])
+        .kw(&["server", "datacenter", "rack"]),
+    u("EARTH-RADIUS", "earth radius", "地球半径", "R⊕", "Length", 6.371e6, 2.0)
+        .aliases(&["earth radii"])
+        .kw(&["planet", "astronomy", "geodesy"]),
+    // ---- mass: troy & apothecary -------------------------------------------
+    u("OZT", "troy ounce", "金衡盎司", "ozt", "Mass", 0.031_103_476_8, 8.0)
+        .aliases(&["troy ounces"])
+        .kw(&["gold", "silver", "bullion"]),
+    u("DWT", "pennyweight", "英钱", "dwt", "Mass", 1.555_173_84e-3, 1.0)
+        .aliases(&["pennyweights"])
+        .kw(&["jewellery", "troy", "old"]),
+    u("SCRUPLE", "scruple", "英分", "℈", "Mass", 1.295_978_2e-3, 0.5)
+        .aliases(&["scruples"])
+        .kw(&["apothecary", "pharmacy", "old"]),
+    u("QUINTAL", "quintal", "公担", "q", "Mass", 100.0, 4.0)
+        .aliases(&["quintals", "centner"])
+        .kw(&["grain", "agriculture", "market"]),
+    u("PLANCK-M", "planck mass", "普朗克质量", "mP", "Mass", 2.176_434e-8, 0.5)
+        .kw(&["planck", "quantum", "gravity"]),
+    // ---- time: physics & whimsy ----------------------------------------------
+    u("SHAKE", "shake", "息", "shake", "Time", 1e-8, 0.5)
+        .aliases(&["shakes"])
+        .kw(&["nuclear", "fast", "physics"]),
+    u("JIFFY", "jiffy", "一瞬", "jiffy", "Time", 1.0 / 60.0, 1.0)
+        .aliases(&["jiffies"])
+        .kw(&["frame", "tick", "informal"]),
+    u("SIDEREAL-DAY", "sidereal day", "恒星日", "d★", "Time", 86_164.0905, 1.0)
+        .aliases(&["sidereal days"])
+        .kw(&["astronomy", "rotation", "star"]),
+    u("PLANCK-T", "planck time", "普朗克时间", "tP", "Time", 5.391_247e-44, 0.5)
+        .kw(&["planck", "quantum", "gravity"]),
+    // ---- volume: dry, cask & timber ---------------------------------------------
+    u("PECK", "peck", "配克", "pk", "Volume", 8.809_767_541_72e-3, 1.5)
+        .aliases(&["pecks"])
+        .kw(&["dry", "apples", "harvest"]),
+    u("CORD", "cord", "考得", "cd.", "Volume", 3.624_556_363_776, 1.5)
+        .aliases(&["cords"])
+        .kw(&["firewood", "timber", "stack"]),
+    u("BOARD-FT", "board foot", "板英尺", "FBM", "Volume", 2.359_737_216e-3, 1.5)
+        .aliases(&["board feet"])
+        .kw(&["lumber", "timber", "sawmill"]),
+    u("ACRE-FT", "acre-foot", "英亩英尺", "ac⋅ft", "Volume", 1233.481_837_547_52, 2.0)
+        .aliases(&["acre-feet", "acre foot"])
+        .kw(&["reservoir", "irrigation", "water"]),
+    u("HOGSHEAD", "hogshead", "豪格海", "hhd", "Volume", 0.238_480_942_392, 0.5)
+        .aliases(&["hogsheads"])
+        .kw(&["cask", "wine", "old"]),
+    u("FIRKIN", "firkin", "弗金", "fir", "Volume", 0.040_914_81, 0.5)
+        .aliases(&["firkins"])
+        .kw(&["beer", "cask", "old"]),
+    u("DRY-QT", "US dry quart", "干量夸脱", "dry qt", "Volume", 1.101_220_942_715e-3, 0.5)
+        .aliases(&["dry quart"])
+        .kw(&["dry", "berries", "produce"]),
+    // ---- pressure long tail --------------------------------------------------------
+    u("PIEZE", "pieze", "皮兹", "pz", "Pressure", 1000.0, 0.5)
+        .aliases(&["pièze"])
+        .kw(&["metric", "historical", "mts"]),
+    u("AT-TECH", "technical atmosphere", "工程大气压", "at", "Pressure", 98_066.5, 2.0)
+        .aliases(&["technical atmospheres"])
+        .kw(&["gauge", "engineering", "boiler"]),
+    u("CMH2O", "centimetre of water", "厘米水柱", "cmH₂O", "Pressure", 98.0665, 3.0)
+        .aliases(&["centimeter of water", "cmH2O"])
+        .kw(&["medical", "ventilator", "breathing"]),
+    // ---- energy & power long tail ------------------------------------------------------
+    u("RYDBERG", "rydberg", "里德伯", "Ry", "Energy", 2.179_872_361e-18, 1.0)
+        .aliases(&["rydbergs"])
+        .kw(&["atomic", "spectroscopy", "hydrogen"]),
+    u("HARTREE", "hartree", "哈特里", "Eh", "Energy", 4.359_744_722e-18, 1.0)
+        .aliases(&["hartrees"])
+        .kw(&["atomic", "quantum", "chemistry"]),
+    u("QUAD", "quad", "千兆英热单位", "quad", "Energy", 1.055_055_852_62e18, 1.0)
+        .aliases(&["quads"])
+        .kw(&["national", "energy", "statistics"]),
+    u("TOE", "tonne of oil equivalent", "吨油当量", "toe", "Energy", 4.186_8e10, 3.0)
+        .aliases(&["tonnes of oil equivalent"])
+        .kw(&["oil", "energy", "statistics"]),
+    u("BOE", "barrel of oil equivalent", "桶油当量", "BOE", "Energy", 6.118_7e9, 2.0)
+        .aliases(&["barrels of oil equivalent"])
+        .kw(&["oil", "gas", "reserves"]),
+    u("LANGLEY", "langley", "兰利", "Ly", "SurfaceEnergy", 41_840.0, 0.5)
+        .aliases(&["langleys"])
+        .kw(&["solar", "radiation", "meteorology"]),
+    u("TON-REFRIG", "ton of refrigeration", "冷吨", "TR", "Power", 3516.852_842_067, 2.0)
+        .aliases(&["tons of refrigeration", "refrigeration ton"])
+        .kw(&["cooling", "hvac", "chiller"]),
+    u("BHP-BOILER", "boiler horsepower", "锅炉马力", "bhp", "Power", 9809.5, 0.5)
+        .aliases(&["boiler horsepowers"])
+        .kw(&["boiler", "steam", "rating"]),
+    // ---- flow, permeability, insulation ---------------------------------------------------
+    u("SVERDRUP", "sverdrup", "斯韦德鲁普", "Sv.", "VolumeFlowRate", 1e6, 0.5)
+        .aliases(&["sverdrups"])
+        .kw(&["ocean", "current", "transport"]),
+    u("DARCY", "darcy", "达西", "D.", "Area", 9.869_233e-13, 0.5)
+        .aliases(&["darcys", "darcies"])
+        .kw(&["permeability", "rock", "petroleum"]),
+    u("CLO", "clo", "克罗", "clo", "ThermalInsulance", 0.155, 0.5)
+        .aliases(&["clos"])
+        .kw(&["clothing", "insulation", "comfort"]),
+    u("REYN", "reyn", "雷恩", "reyn", "DynamicViscosity", 6894.757_293_168, 0.5)
+        .aliases(&["reyns"])
+        .kw(&["lubrication", "imperial", "viscosity"]),
+    // ---- photometry & magnetism long tail ---------------------------------------------------
+    u("PHOT", "phot", "辐透", "ph", "Illuminance", 10_000.0, 0.5)
+        .aliases(&["phots"])
+        .kw(&["cgs", "illumination", "old"]),
+    u("STILB", "stilb", "熙提", "sb", "Luminance", 10_000.0, 0.5)
+        .aliases(&["stilbs"])
+        .kw(&["cgs", "luminance", "old"]),
+    u("LAMBERT", "lambert", "朗伯", "Lb", "Luminance", 3183.098_861_837_907, 0.5)
+        .aliases(&["lamberts"])
+        .kw(&["cgs", "diffuse", "luminance"]),
+    u("FOOT-LAMBERT", "foot-lambert", "英尺朗伯", "fL", "Luminance", 3.426_259_099, 1.0)
+        .aliases(&["footlambert", "foot lamberts"])
+        .kw(&["cinema", "projector", "screen"]),
+    u("GAMMA-MAG", "gamma", "伽马", "γ", "MagneticFluxDensity", 1e-9, 0.5)
+        .aliases(&["gammas"])
+        .kw(&["geomagnetic", "survey", "nanotesla"]),
+    u("RUTHERFORD", "rutherford", "卢瑟福", "Rd", "Radioactivity", 1e6, 0.5)
+        .aliases(&["rutherfords"])
+        .kw(&["decay", "historical", "mega"]),
+    // ---- angles & navigation long tail -----------------------------------------------
+    u("MIL-ANGLE", "angular mil", "密位", "mil (angle)", "PlaneAngle", 2.0 * std::f64::consts::PI / 6400.0, 1.5)
+        .aliases(&["mils"])
+        .kw(&["artillery", "military", "sight"]),
+    u("QUADRANT-ANGLE", "quadrant", "象限角", "quad.", "PlaneAngle", std::f64::consts::FRAC_PI_2, 0.5)
+        .aliases(&["quadrants"])
+        .kw(&["quarter", "turn", "navigation"]),
+    u("COMPASS-POINT", "compass point", "罗经点", "pt-compass", "PlaneAngle", 2.0 * std::f64::consts::PI / 32.0, 0.5)
+        .aliases(&["points of the compass"])
+        .kw(&["navigation", "wind", "rose"]),
+    // ---- Chinese market long tail -------------------------------------------------------
+    u("YIN-ZH", "yin", "引", "引", "Length", 100.0 / 3.0, 1.0)
+        .aliases(&["市引"])
+        .kw(&["chinese", "traditional", "survey"]),
+    u("HAO-ZH", "hao (length)", "毫(长度)", "毫", "Length", 1.0 / 30_000.0, 1.0)
+        .kw(&["chinese", "tiny", "traditional"]),
+    u("ZHU-ZH", "zhu", "铢", "铢", "Mass", 0.05 / 24.0, 0.5)
+        .aliases(&["市铢"])
+        .kw(&["chinese", "ancient", "coin"]),
+    u("JUN-ZH", "jun", "钧", "钧", "Mass", 15.0, 0.5)
+        .aliases(&["市钧"])
+        .kw(&["chinese", "ancient", "thirty-catties"]),
+    u("GE-ZH", "ge", "合", "合", "Volume", 1e-4, 1.0)
+        .aliases(&["市合"])
+        .kw(&["chinese", "grain", "measure"]),
+    u("SHAO-ZH", "shao", "勺", "勺", "Volume", 1e-5, 1.5)
+        .aliases(&["市勺"])
+        .kw(&["chinese", "spoon", "tiny"]),
+    u("LI-MASS-ZH", "li (mass)", "厘(质量)", "市厘", "Mass", 0.0005, 0.5)
+        .kw(&["chinese", "medicine", "tiny"]),
+    // ---- counting & typography long tail -------------------------------------------------
+    u("REAM", "ream", "令", "rm", "Count", 500.0, 3.0)
+        .aliases(&["reams"])
+        .kw(&["paper", "sheets", "office"]),
+    u("SCORE-COUNT", "score", "二十", "score", "Count", 20.0, 1.0)
+        .aliases(&["scores"])
+        .kw(&["twenty", "archaic", "counting"]),
+    u("MOL-RATIO-PPT", "part per trillion", "万亿分比", "ppt", "Ratio", 1e-12, 2.0)
+        .aliases(&["parts per trillion"])
+        .kw(&["trace", "contaminant", "ultra"]),
+    u("KARAT-PURITY", "karat", "开金", "kt", "Ratio", 1.0 / 24.0, 4.0)
+        .aliases(&["karats", "carat (purity)"])
+        .kw(&["gold", "purity", "alloy"]),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn troy_ounce_heavier_than_avoirdupois() {
+        let ozt = UNITS.iter().find(|s| s.code == "OZT").unwrap();
+        assert!(ozt.factor > 0.028_349, "troy ounce > avoirdupois ounce");
+    }
+
+    #[test]
+    fn technical_atmosphere_is_kgf_per_cm2() {
+        let at = UNITS.iter().find(|s| s.code == "AT-TECH").unwrap();
+        assert!((at.factor - 9.806_65 / 1e-4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn compass_has_32_points() {
+        let pt = UNITS.iter().find(|s| s.code == "COMPASS-POINT").unwrap();
+        assert!((pt.factor * 32.0 - 2.0 * std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jun_is_thirty_jin() {
+        let jun = UNITS.iter().find(|s| s.code == "JUN-ZH").unwrap();
+        assert!((jun.factor / 0.5 - 30.0).abs() < 1e-12);
+    }
+}

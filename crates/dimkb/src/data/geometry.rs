@@ -1,0 +1,212 @@
+//! Length (non-metric), area, volume, and angle units.
+
+use crate::spec::{u, UnitSpec};
+
+/// Geometry-related units.
+pub const UNITS: &[UnitSpec] = &[
+    // ---- imperial & other lengths --------------------------------------
+    u("IN", "inch", "英寸", "in", "Length", 0.0254, 80.0)
+        .aliases(&["inches", "吋"])
+        .kw(&["imperial", "screen", "short"]),
+    u("FT", "foot", "英尺", "ft", "Length", 0.3048, 78.0)
+        .aliases(&["feet", "呎"])
+        .kw(&["imperial", "tall", "height"]),
+    u("YD", "yard", "码", "yd", "Length", 0.9144, 55.0)
+        .aliases(&["yards"])
+        .kw(&["imperial", "field", "fabric"]),
+    u("MI", "mile", "英里", "mi", "Length", 1609.344, 75.0)
+        .aliases(&["miles", "statute mile", "哩"])
+        .kw(&["imperial", "road", "far"]),
+    u("NMI", "nautical mile", "海里", "nmi", "Length", 1852.0, 30.0)
+        .aliases(&["nautical miles", "浬"])
+        .kw(&["sea", "navigation", "ship"]),
+    u("MIL", "mil", "密尔", "mil", "Length", 2.54e-5, 8.0)
+        .aliases(&["thou"])
+        .kw(&["machining", "thin", "wire"]),
+    u("FUR", "furlong", "弗隆", "fur", "Length", 201.168, 3.0)
+        .aliases(&["furlongs"])
+        .kw(&["horse", "racing", "old"]),
+    u("FATHOM", "fathom", "英寻", "ftm", "Length", 1.8288, 4.0)
+        .aliases(&["fathoms"])
+        .kw(&["sea", "depth", "sounding"]),
+    u("ANGSTROM", "angstrom", "埃", "Å", "Length", 1e-10, 15.0)
+        .aliases(&["ångström", "angstroms"])
+        .kw(&["atomic", "crystal", "x-ray"]),
+    u("AU", "astronomical unit", "天文单位", "au", "Length", 1.495_978_707e11, 18.0)
+        .aliases(&["astronomical units", "AU"])
+        .kw(&["astronomy", "orbit", "sun"]),
+    u("LY", "light year", "光年", "ly", "Length", 9.460_730_472_580_8e15, 28.0)
+        .aliases(&["light-year", "light years", "lightyear"])
+        .kw(&["astronomy", "star", "galaxy"]),
+    u("PARSEC", "parsec", "秒差距", "pc", "Length", 3.085_677_581_49e16, 10.0)
+        .aliases(&["parsecs"])
+        .kw(&["astronomy", "galaxy", "parallax"]),
+    u("POINT", "point", "磅因", "pt.", "Length", 3.527_777_78e-4, 12.0)
+        .aliases(&["typographic point"])
+        .kw(&["font", "typography", "print"]),
+    u("PICA", "pica", "派卡", "pica", "Length", 4.233_333_33e-3, 3.0)
+        .kw(&["typography", "print", "column"]),
+    u("CUBIT", "cubit", "腕尺", "cbt", "Length", 0.4572, 1.0)
+        .aliases(&["cubits"])
+        .kw(&["ancient", "bible", "historical"]),
+    u("HAND", "hand", "一手之宽", "hh", "Length", 0.1016, 2.0)
+        .aliases(&["hands"])
+        .kw(&["horse", "height", "equine"]),
+    // ---- area -----------------------------------------------------------
+    u("M2", "square metre", "平方米", "m²", "Area", 1.0, 92.0)
+        .aliases(&["square meter", "square metres", "square meters", "sq m", "m^2", "m2", "平米", "平方公尺"])
+        .kw(&["floor", "surface", "room"]),
+    u("KM2", "square kilometre", "平方千米", "km²", "Area", 1e6, 80.0)
+        .aliases(&["square kilometer", "sq km", "km^2", "km2", "平方公里"])
+        .kw(&["land", "city", "territory"]),
+    u("CM2", "square centimetre", "平方厘米", "cm²", "Area", 1e-4, 70.0)
+        .aliases(&["square centimeter", "sq cm", "cm^2", "cm2"])
+        .kw(&["small", "surface", "paper"]),
+    u("MM2", "square millimetre", "平方毫米", "mm²", "Area", 1e-6, 45.0)
+        .aliases(&["square millimeter", "sq mm", "mm^2", "mm2"])
+        .kw(&["wire", "cross", "section"]),
+    u("DM2", "square decimetre", "平方分米", "dm²", "Area", 1e-2, 20.0)
+        .aliases(&["square decimeter", "dm^2", "dm2"])
+        .kw(&["school", "textbook"]),
+    u("HA", "hectare", "公顷", "ha", "Area", 1e4, 65.0)
+        .aliases(&["hectares"])
+        .kw(&["land", "farm", "field"]),
+    u("ARE", "are", "公亩", "a", "Area", 100.0, 6.0)
+        .aliases(&["ares"])
+        .kw(&["land", "metric", "plot"]),
+    u("ACRE", "acre", "英亩", "ac", "Area", 4046.856_422_4, 55.0)
+        .aliases(&["acres"])
+        .kw(&["land", "farm", "imperial"]),
+    u("FT2", "square foot", "平方英尺", "ft²", "Area", 0.092_903_04, 58.0)
+        .aliases(&["square feet", "sq ft", "ft^2", "ft2"])
+        .kw(&["floor", "house", "imperial"]),
+    u("IN2", "square inch", "平方英寸", "in²", "Area", 6.4516e-4, 25.0)
+        .aliases(&["square inches", "sq in", "in^2", "in2"])
+        .kw(&["imperial", "small", "surface"]),
+    u("MI2", "square mile", "平方英里", "mi²", "Area", 2.589_988_110_336e6, 35.0)
+        .aliases(&["square miles", "sq mi", "mi^2", "mi2"])
+        .kw(&["land", "imperial", "territory"]),
+    u("YD2", "square yard", "平方码", "yd²", "Area", 0.836_127_36, 12.0)
+        .aliases(&["square yards", "sq yd", "yd^2", "yd2"])
+        .kw(&["imperial", "fabric", "carpet"]),
+    u("BARN", "barn", "靶恩", "b", "Area", 1e-28, 2.0)
+        .aliases(&["barns"])
+        .kw(&["nuclear", "cross", "section"]),
+    // ---- volume ----------------------------------------------------------
+    u("M3", "cubic metre", "立方米", "m³", "Volume", 1.0, 85.0)
+        .aliases(&["cubic meter", "cubic metres", "cu m", "m^3", "m3", "立方", "方"])
+        .kw(&["water", "tank", "concrete"]),
+    u("CM3", "cubic centimetre", "立方厘米", "cm³", "Volume", 1e-6, 62.0)
+        .aliases(&["cubic centimeter", "cc", "cm^3", "cm3"])
+        .kw(&["engine", "small", "medical"]),
+    u("DM3", "cubic decimetre", "立方分米", "dm³", "Volume", 1e-3, 18.0)
+        .aliases(&["cubic decimeter", "dm^3", "dm3"])
+        .kw(&["school", "litre", "textbook"]),
+    u("MM3", "cubic millimetre", "立方毫米", "mm³", "Volume", 1e-9, 15.0)
+        .aliases(&["cubic millimeter", "mm^3", "mm3"])
+        .kw(&["tiny", "droplet"]),
+    u("KM3", "cubic kilometre", "立方千米", "km³", "Volume", 1e9, 10.0)
+        .aliases(&["cubic kilometer", "km^3", "km3"])
+        .kw(&["lake", "reservoir", "geology"]),
+    u("L", "litre", "升", "L", "Volume", 1e-3, 95.0)
+        .aliases(&["liter", "litres", "liters", "l", "公升"])
+        .kw(&["water", "bottle", "drink"])
+        .prefixable(),
+    u("GAL-US", "US gallon", "美制加仑", "gal", "Volume", 3.785_411_784e-3, 48.0)
+        .aliases(&["gallon", "gallons", "加仑"])
+        .kw(&["fuel", "gas", "american"]),
+    u("GAL-UK", "imperial gallon", "英制加仑", "gal (imp)", "Volume", 4.546_09e-3, 15.0)
+        .aliases(&["imperial gallons", "UK gallon"])
+        .kw(&["fuel", "british", "imperial"]),
+    u("QT", "US quart", "夸脱", "qt", "Volume", 9.463_529_46e-4, 20.0)
+        .aliases(&["quart", "quarts"])
+        .kw(&["cooking", "milk", "american"]),
+    u("PT-US", "US pint", "品脱", "pt", "Volume", 4.731_764_73e-4, 22.0)
+        .aliases(&["pint", "pints"])
+        .kw(&["beer", "milk", "pub"]),
+    u("CUP", "US cup", "量杯", "cup", "Volume", 2.365_882_365e-4, 30.0)
+        .aliases(&["cups"])
+        .kw(&["cooking", "recipe", "baking"]),
+    u("FLOZ-US", "US fluid ounce", "液量盎司", "fl oz", "Volume", 2.957_352_956e-5, 25.0)
+        .aliases(&["fluid ounce", "fluid ounces"])
+        .kw(&["drink", "cosmetics", "bottle"]),
+    u("TBSP", "tablespoon", "汤匙", "tbsp", "Volume", 1.478_676_478e-5, 28.0)
+        .aliases(&["tablespoons", "大勺"])
+        .kw(&["cooking", "recipe", "kitchen"]),
+    u("TSP", "teaspoon", "茶匙", "tsp", "Volume", 4.928_921_59e-6, 28.0)
+        .aliases(&["teaspoons", "小勺"])
+        .kw(&["cooking", "recipe", "kitchen"]),
+    u("BBL", "oil barrel", "桶", "bbl", "Volume", 0.158_987_294_928, 40.0)
+        .aliases(&["barrel", "barrels"])
+        .kw(&["oil", "petroleum", "crude"]),
+    u("BU-US", "US bushel", "蒲式耳", "bu", "Volume", 3.523_907_016_688e-2, 8.0)
+        .aliases(&["bushel", "bushels"])
+        .kw(&["grain", "harvest", "farm"]),
+    u("GILL-US", "US gill", "及耳", "gi", "Volume", 1.182_941_183e-4, 2.0)
+        .aliases(&["gill", "gills"])
+        .kw(&["spirits", "old", "measure"]),
+    u("IN3", "cubic inch", "立方英寸", "in³", "Volume", 1.638_706_4e-5, 12.0)
+        .aliases(&["cubic inches", "cu in", "in^3", "in3"])
+        .kw(&["engine", "imperial"]),
+    u("FT3", "cubic foot", "立方英尺", "ft³", "Volume", 2.831_684_659_2e-2, 20.0)
+        .aliases(&["cubic feet", "cu ft", "ft^3", "ft3"])
+        .kw(&["imperial", "shipping", "gas"]),
+    u("YD3", "cubic yard", "立方码", "yd³", "Volume", 0.764_554_857_984, 8.0)
+        .aliases(&["cubic yards", "cu yd", "yd^3", "yd3"])
+        .kw(&["imperial", "concrete", "soil"]),
+    // ---- plane & solid angle ---------------------------------------------
+    u("RAD-ANGLE", "radian", "弧度", "rad", "PlaneAngle", 1.0, 45.0)
+        .aliases(&["radians"])
+        .kw(&["angle", "mathematics", "arc"]),
+    u("DEG-ANGLE", "degree of arc", "角度", "°", "PlaneAngle", 0.017_453_292_519_943_295, 85.0)
+        .aliases(&["degree", "degrees", "arc degree", "deg"])
+        .kw(&["angle", "rotation", "geometry", "compass"]),
+    u("ARCMIN", "arcminute", "角分", "′", "PlaneAngle", 2.908_882_086_657_216e-4, 10.0)
+        .aliases(&["arc minute", "arcminutes", "minute of arc"])
+        .kw(&["angle", "astronomy", "telescope"]),
+    u("ARCSEC", "arcsecond", "角秒", "″", "PlaneAngle", 4.848_136_811_095_36e-6, 9.0)
+        .aliases(&["arc second", "arcseconds", "second of arc"])
+        .kw(&["angle", "astronomy", "parallax"]),
+    u("GRADIAN", "gradian", "百分度", "gon", "PlaneAngle", 0.015_707_963_267_948_967, 4.0)
+        .aliases(&["gon", "grade", "gradians"])
+        .kw(&["angle", "survey", "metric"]),
+    u("REV", "revolution", "转", "rev", "PlaneAngle", std::f64::consts::TAU, 35.0)
+        .aliases(&["revolutions", "turn", "圈"])
+        .kw(&["rotation", "wheel", "full"]),
+    u("SR", "steradian", "球面度", "sr", "SolidAngle", 1.0, 8.0)
+        .aliases(&["steradians"])
+        .kw(&["solid", "angle", "sphere"]),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mile_is_1760_yards() {
+        let mi = UNITS.iter().find(|s| s.code == "MI").unwrap();
+        let yd = UNITS.iter().find(|s| s.code == "YD").unwrap();
+        assert!((mi.factor / yd.factor - 1760.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn acre_is_43560_square_feet() {
+        let acre = UNITS.iter().find(|s| s.code == "ACRE").unwrap();
+        let ft2 = UNITS.iter().find(|s| s.code == "FT2").unwrap();
+        assert!((acre.factor / ft2.factor - 43_560.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn us_gallon_is_four_quarts() {
+        let gal = UNITS.iter().find(|s| s.code == "GAL-US").unwrap();
+        let qt = UNITS.iter().find(|s| s.code == "QT").unwrap();
+        assert!((gal.factor / qt.factor - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn revolution_is_360_degrees() {
+        let rev = UNITS.iter().find(|s| s.code == "REV").unwrap();
+        let deg = UNITS.iter().find(|s| s.code == "DEG-ANGLE").unwrap();
+        assert!((rev.factor / deg.factor - 360.0).abs() < 1e-9);
+    }
+}

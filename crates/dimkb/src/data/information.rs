@@ -1,0 +1,115 @@
+//! Information, counting, ratio and miscellaneous dimensionless units.
+
+use crate::spec::{u, UnitSpec};
+
+/// Information / counting / ratio units.
+pub const UNITS: &[UnitSpec] = &[
+    // ---- information -------------------------------------------------------
+    u("BIT", "bit", "比特", "bit", "Information", 1.0, 55.0)
+        .aliases(&["bits", "位"])
+        .kw(&["data", "binary", "computer"])
+        .prefixable(),
+    u("BYTE", "byte", "字节", "B", "Information", 8.0, 70.0)
+        .aliases(&["bytes"])
+        .kw(&["data", "file", "memory", "storage"])
+        .prefixable(),
+    u("KIB", "kibibyte", "二进制千字节", "KiB", "Information", 8192.0, 12.0)
+        .aliases(&["kibibytes"])
+        .kw(&["data", "binary", "memory"]),
+    u("MIB", "mebibyte", "二进制兆字节", "MiB", "Information", 8.0 * 1_048_576.0, 14.0)
+        .aliases(&["mebibytes"])
+        .kw(&["data", "binary", "memory"]),
+    u("GIB", "gibibyte", "二进制吉字节", "GiB", "Information", 8.0 * 1_073_741_824.0, 14.0)
+        .aliases(&["gibibytes"])
+        .kw(&["data", "binary", "memory"]),
+    u("NAT", "nat", "奈特", "nat", "Information", std::f64::consts::LOG2_E, 1.0)
+        .aliases(&["nats"])
+        .kw(&["entropy", "information", "theory"]),
+    // ---- data rate -----------------------------------------------------------
+    u("BIT-PER-SEC", "bit per second", "比特每秒", "bit/s", "DataRate", 1.0, 30.0)
+        .aliases(&["bits per second", "bps"])
+        .kw(&["network", "bandwidth", "internet"])
+        .prefixable(),
+    u("BYTE-PER-SEC", "byte per second", "字节每秒", "B/s", "DataRate", 8.0, 20.0)
+        .aliases(&["bytes per second", "Bps"])
+        .kw(&["download", "transfer", "disk"])
+        .prefixable(),
+    // ---- ratio -----------------------------------------------------------------
+    u("PERCENT", "percent", "百分比", "%", "Ratio", 0.01, 98.0)
+        .aliases(&["per cent", "percentage", "百分之"])
+        .kw(&["fraction", "rate", "share"]),
+    u("PERMILLE", "per mille", "千分比", "‰", "Ratio", 0.001, 20.0)
+        .aliases(&["permil", "per mil", "千分之"])
+        .kw(&["fraction", "alcohol", "salinity"]),
+    u("PPM", "part per million", "百万分比", "ppm", "Ratio", 1e-6, 25.0)
+        .aliases(&["parts per million"])
+        .kw(&["pollution", "trace", "concentration"]),
+    u("PPB", "part per billion", "十亿分比", "ppb", "Ratio", 1e-9, 10.0)
+        .aliases(&["parts per billion"])
+        .kw(&["pollution", "trace", "contaminant"]),
+    u("BASIS-POINT", "basis point", "基点", "bp", "Ratio", 1e-4, 15.0)
+        .aliases(&["basis points", "bps (finance)"])
+        .kw(&["finance", "interest", "rate"]),
+    u("UNITY", "unity ratio", "单位一", "1", "Ratio", 1.0, 5.0)
+        .aliases(&["unit ratio"])
+        .kw(&["pure", "number", "fraction"]),
+    // ---- count -------------------------------------------------------------------
+    u("EACH", "each", "个", "ea", "Count", 1.0, 95.0)
+        .aliases(&["piece", "pieces", "只", "件", "台", "架", "辆", "颗", "枚", "本", "张"])
+        .kw(&["count", "item", "number"]),
+    u("DOZEN", "dozen", "打", "doz", "Count", 12.0, 30.0)
+        .aliases(&["dozens"])
+        .kw(&["count", "egg", "twelve"]),
+    u("PAIR", "pair", "双", "pr", "Count", 2.0, 60.0)
+        .aliases(&["pairs", "对"])
+        .kw(&["count", "shoes", "two"]),
+    u("GROSS", "gross", "罗", "gr.", "Count", 144.0, 2.0)
+        .kw(&["count", "wholesale", "144"]),
+    u("WAN-ZH", "wan (ten thousand)", "万", "万", "Count", 1e4, 85.0)
+        .aliases(&["ten thousand"])
+        .kw(&["chinese", "count", "large"]),
+    u("YI-ZH", "yi (hundred million)", "亿", "亿", "Count", 1e8, 70.0)
+        .aliases(&["hundred million"])
+        .kw(&["chinese", "count", "population"]),
+    u("MOLE-COUNT", "avogadro count", "阿伏伽德罗数", "N_A", "Count", 6.022_140_76e23, 2.0)
+        .kw(&["chemistry", "particles", "constant"]),
+    // ---- sound level ----------------------------------------------------------------
+    u("DB", "decibel", "分贝", "dB", "SoundLevel", 1.0, 50.0)
+        .aliases(&["decibels"])
+        .kw(&["sound", "noise", "loud"]),
+    // ---- fuel economy -----------------------------------------------------------------
+    u("KM-PER-L", "kilometre per litre", "千米每升", "km/L", "FuelEconomy", 1e6, 12.0)
+        .aliases(&["kilometer per liter", "km/l"])
+        .kw(&["fuel", "mileage", "car"]),
+    u("MPG-US", "mile per US gallon", "英里每加仑", "mpg", "FuelEconomy", 1609.344 / 3.785_411_784e-3, 30.0)
+        .aliases(&["miles per gallon"])
+        .kw(&["fuel", "mileage", "american"]),
+    u("L-PER-100KM", "litre per 100 kilometres", "升每百公里", "L/100km", "FuelConsumptionPerDistance", 1e-8, 35.0)
+        .aliases(&["liter per 100 kilometers", "l/100km", "百公里油耗"])
+        .kw(&["fuel", "consumption", "car"]),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_is_eight_bits() {
+        let b = UNITS.iter().find(|s| s.code == "BYTE").unwrap();
+        assert_eq!(b.factor, 8.0);
+    }
+
+    #[test]
+    fn percent_permille_ratio() {
+        let pct = UNITS.iter().find(|s| s.code == "PERCENT").unwrap();
+        let pml = UNITS.iter().find(|s| s.code == "PERMILLE").unwrap();
+        assert!((pct.factor / pml.factor - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wan_and_yi() {
+        let wan = UNITS.iter().find(|s| s.code == "WAN-ZH").unwrap();
+        let yi = UNITS.iter().find(|s| s.code == "YI-ZH").unwrap();
+        assert!((yi.factor / wan.factor - 1e4).abs() < 1e-6);
+    }
+}

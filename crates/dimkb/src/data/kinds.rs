@@ -1,0 +1,304 @@
+//! The quantity-kind taxonomy of `DimUnitKB`.
+//!
+//! Top-level kinds carry the dimension; `narrow` sub-kinds mirror QUDT's
+//! fine-grained kinds (e.g. `Height` and `Wavelength` are both `Length`).
+//! Narrow kinds matter for dimension prediction: natural-language predicates
+//! ("height", "top speed") name narrow kinds, not dimensions.
+
+use crate::spec::{kind, KindSpec};
+
+/// All quantity-kind specifications.
+pub const KINDS: &[KindSpec] = &[
+    // ---- the seven base quantities + dimensionless -------------------
+    kind("Length", "长度", "L").narrow(&[
+        ("Distance", "距离"),
+        ("Height", "高度"),
+        ("Width", "宽度"),
+        ("Depth", "深度"),
+        ("Thickness", "厚度"),
+        ("Radius", "半径"),
+        ("Diameter", "直径"),
+        ("Wavelength", "波长"),
+        ("Altitude", "海拔"),
+        ("Perimeter", "周长"),
+        ("Displacement", "位移"),
+        ("FocalLength", "焦距"),
+        ("Elevation", "标高"),
+        ("Breadth", "幅宽"),
+        ("Span", "跨度"),
+    ]),
+    kind("Mass", "质量", "M").narrow(&[
+        ("Weight", "重量"),
+        ("BodyMass", "体重"),
+        ("Payload", "载重"),
+        ("DryMass", "干重"),
+        ("GrossMass", "毛重"),
+        ("NetMass", "净重"),
+    ]),
+    kind("Time", "时间", "T").narrow(&[
+        ("Duration", "时长"),
+        ("Period", "周期"),
+        ("Age", "年龄"),
+        ("Lifetime", "寿命"),
+        ("HalfLife", "半衰期"),
+        ("ResponseTime", "响应时间"),
+        ("Delay", "延迟"),
+    ]),
+    kind("ElectricCurrent", "电流", "E").narrow(&[
+        ("RatedCurrent", "额定电流"),
+        ("LeakageCurrent", "漏电流"),
+    ]),
+    kind("Temperature", "温度", "H").narrow(&[
+        ("BodyTemperature", "体温"),
+        ("BoilingPoint", "沸点"),
+        ("MeltingPoint", "熔点"),
+        ("AmbientTemperature", "环境温度"),
+    ]),
+    kind("AmountOfSubstance", "物质的量", "A"),
+    kind("LuminousIntensity", "发光强度", "I"),
+    kind("Dimensionless", "无量纲", "").narrow(&[
+        ("RefractiveIndex", "折射率"),
+        ("MachNumber", "马赫数"),
+        ("ReynoldsNumber", "雷诺数"),
+        ("StrainValue", "应变"),
+    ]),
+    // ---- geometry ----------------------------------------------------
+    kind("Area", "面积", "L2").narrow(&[
+        ("LandArea", "土地面积"),
+        ("SurfaceArea", "表面积"),
+        ("CrossSection", "横截面积"),
+        ("FloorArea", "建筑面积"),
+    ]),
+    kind("Volume", "体积", "L3").narrow(&[
+        ("Capacity", "容量"),
+        ("LiquidVolume", "液体体积"),
+        ("EngineDisplacement", "排量"),
+        ("StorageVolume", "储存体积"),
+    ]),
+    kind("PlaneAngle", "平面角", "").narrow(&[
+        ("Latitude", "纬度"),
+        ("Longitude", "经度"),
+        ("Inclination", "倾角"),
+    ]),
+    kind("SolidAngle", "立体角", ""),
+    // ---- kinematics ----------------------------------------------------
+    kind("Velocity", "速度", "L T-1").narrow(&[
+        ("Speed", "速率"),
+        ("WindSpeed", "风速"),
+        ("FlowVelocity", "流速"),
+        ("TopSpeed", "最高速度"),
+        ("OrbitalVelocity", "轨道速度"),
+    ]),
+    kind("AngularVelocity", "角速度", "T-1"),
+    kind("Acceleration", "加速度", "L T-2").narrow(&[
+        ("GravitationalAcceleration", "重力加速度"),
+    ]),
+    kind("AngularAcceleration", "角加速度", "T-2"),
+    kind("Frequency", "频率", "T-1").narrow(&[
+        ("RotationalSpeed", "转速"),
+        ("ClockRate", "时钟频率"),
+        ("HeartRate", "心率"),
+        ("SamplingRate", "采样率"),
+    ]),
+    kind("Wavenumber", "波数", "L-1"),
+    kind("VolumeFlowRate", "体积流量", "L3 T-1").narrow(&[
+        ("WaterDischarge", "流量"),
+    ]),
+    kind("MassFlowRate", "质量流量", "M T-1"),
+    // ---- mechanics ----------------------------------------------------
+    kind("Force", "力", "L M T-2").narrow(&[
+        ("Thrust", "推力"),
+        ("Tension", "张力"),
+        ("Load", "载荷"),
+        ("Friction", "摩擦力"),
+    ]),
+    kind("Pressure", "压强", "L-1 M T-2").narrow(&[
+        ("Stress", "应力"),
+        ("BloodPressure", "血压"),
+        ("AtmosphericPressure", "大气压"),
+        ("TirePressure", "胎压"),
+        ("VaporPressure", "蒸气压"),
+    ]),
+    kind("Energy", "能量", "L2 M T-2").narrow(&[
+        ("Work", "功"),
+        ("Heat", "热量"),
+        ("KineticEnergy", "动能"),
+        ("PotentialEnergy", "势能"),
+        ("FoodEnergy", "食物能量"),
+        ("ElectricityConsumption", "耗电量"),
+    ]),
+    kind("Power", "功率", "L2 M T-3").narrow(&[
+        ("ElectricPower", "电功率"),
+        ("RadiantPower", "辐射功率"),
+        ("EnginePower", "发动机功率"),
+        ("RatedPower", "额定功率"),
+    ]),
+    kind("Momentum", "动量", "L M T-1"),
+    kind("AngularMomentum", "角动量", "L2 M T-1"),
+    kind("MassDensity", "密度", "L-3 M").narrow(&[
+        ("BulkDensity", "堆积密度"),
+        ("AirDensity", "空气密度"),
+    ]),
+    kind("SurfaceDensity", "面密度", "L-2 M"),
+    kind("LinearDensity", "线密度", "L-1 M"),
+    kind("SpecificVolume", "比容", "L3 M-1"),
+    kind("DynamicViscosity", "动力粘度", "L-1 M T-1"),
+    kind("KinematicViscosity", "运动粘度", "L2 T-1"),
+    kind("ForcePerLength", "线力", "M T-2").narrow(&[
+        ("SurfaceTension", "表面张力"),
+        ("SpringConstant", "弹簧常数"),
+    ]),
+    kind("MomentOfInertia", "转动惯量", "L2 M"),
+    kind("Torque", "力矩", "L2 M T-2"),
+    kind("EnergyDensity", "能量密度", "L-1 M T-2"),
+    kind("SpecificEnergy", "比能", "L2 T-2"),
+    // ---- thermal ----------------------------------------------------
+    kind("HeatCapacity", "热容", "L2 M T-2 H-1"),
+    kind("SpecificHeatCapacity", "比热容", "L2 T-2 H-1"),
+    kind("ThermalConductivity", "导热系数", "L M T-3 H-1"),
+    kind("HeatFluxDensity", "热流密度", "M T-3"),
+    kind("Entropy", "熵", "L2 M T-2 H-1"),
+    kind("ThermalExpansion", "热膨胀系数", "H-1"),
+    kind("TemperatureGradient", "温度梯度", "L-1 H"),
+    kind("ThermalResistance", "热阻", "L-2 M-1 T3 H"),
+    // ---- electromagnetism ---------------------------------------------
+    kind("ElectricCharge", "电荷", "T E").narrow(&[
+        ("BatteryCapacity", "电池容量"),
+    ]),
+    kind("Voltage", "电压", "L2 M T-3 E-1").narrow(&[
+        ("RatedVoltage", "额定电压"),
+        ("BreakdownVoltage", "击穿电压"),
+    ]),
+    kind("Resistance", "电阻", "L2 M T-3 E-2"),
+    kind("Conductance", "电导", "L-2 M-1 T3 E2"),
+    kind("Capacitance", "电容", "L-2 M-1 T4 E2"),
+    kind("Inductance", "电感", "L2 M T-2 E-2"),
+    kind("MagneticFlux", "磁通量", "L2 M T-2 E-1"),
+    kind("MagneticFluxDensity", "磁感应强度", "M T-2 E-1"),
+    kind("MagneticFieldStrength", "磁场强度", "L-1 E"),
+    kind("ElectricFieldStrength", "电场强度", "L M T-3 E-1"),
+    kind("CurrentDensity", "电流密度", "L-2 E"),
+    kind("ElectricChargeDensity", "电荷密度", "L-3 T E"),
+    kind("Resistivity", "电阻率", "L3 M T-3 E-2"),
+    kind("ElectricalConductivity", "电导率", "L-3 M-1 T3 E2"),
+    kind("Permittivity", "介电常数", "L-3 M-1 T4 E2"),
+    kind("Permeability", "磁导率", "L M T-2 E-2"),
+    // ---- light & radiation --------------------------------------------
+    kind("LuminousFlux", "光通量", "I"),
+    kind("Illuminance", "照度", "L-2 I"),
+    kind("Luminance", "亮度", "L-2 I"),
+    kind("Radioactivity", "放射性活度", "T-1"),
+    kind("AbsorbedDose", "吸收剂量", "L2 T-2"),
+    kind("DoseEquivalent", "剂量当量", "L2 T-2"),
+    kind("RadiationExposure", "照射量", "M-1 T E"),
+    kind("RadiantIntensity", "辐射强度", "L2 M T-3"),
+    kind("Irradiance", "辐照度", "M T-3").narrow(&[
+        ("SolarIrradiance", "太阳辐照度"),
+    ]),
+    // ---- chemistry ----------------------------------------------------
+    kind("Concentration", "浓度", "L-3 A").narrow(&[
+        ("BloodGlucose", "血糖浓度"),
+    ]),
+    kind("MassConcentration", "质量浓度", "L-3 M"),
+    kind("MolarMass", "摩尔质量", "M A-1"),
+    kind("MolarVolume", "摩尔体积", "L3 A-1"),
+    kind("MolarEnergy", "摩尔能", "L2 M T-2 A-1"),
+    kind("MolarHeatCapacity", "摩尔热容", "L2 M T-2 H-1 A-1"),
+    kind("CatalyticActivity", "催化活性", "T-1 A"),
+    kind("Molality", "质量摩尔浓度", "M-1 A"),
+    // ---- information & counting ---------------------------------------
+    kind("Information", "信息量", "").narrow(&[
+        ("StorageCapacity", "存储容量"),
+        ("MemorySize", "内存大小"),
+    ]),
+    kind("DataRate", "数据速率", "T-1").narrow(&[
+        ("Bandwidth", "带宽"),
+        ("DownloadSpeed", "下载速度"),
+    ]),
+    kind("Ratio", "比率", "").narrow(&[
+        ("Efficiency", "效率"),
+        ("Humidity", "湿度"),
+        ("Slope", "坡度"),
+        ("AlcoholContent", "酒精度"),
+        ("MassFraction", "质量分数"),
+    ]),
+    kind("Count", "数量", "").narrow(&[
+        ("Population", "人口"),
+        ("Households", "户数"),
+    ]),
+    kind("FuelEconomy", "燃油经济性", "L-2"),
+    kind("FuelConsumptionPerDistance", "油耗", "L2"),
+    kind("SoundLevel", "声级", ""),
+    // ---- specialist derived kinds (the QUDT-style long tail) -----------
+    kind("Jerk", "加加速度", "L T-3"),
+    kind("ForceRate", "力变化率", "L M T-3"),
+    kind("Action", "作用量", "L2 M T-1"),
+    kind("SurfaceEnergy", "表面能", "M T-2"),
+    kind("PowerDensity", "功率密度", "L-1 M T-3"),
+    kind("MassAttenuation", "质量衰减系数", "L2 M-1"),
+    kind("VolumetricHeatCapacity", "体积热容", "L-1 M T-2 H-1"),
+    kind("HeatTransferCoefficient", "传热系数", "M T-3 H-1"),
+    kind("ThermalInsulance", "热绝缘系数", "M-1 T3 H"),
+    kind("AbsorbedDoseRate", "吸收剂量率", "L2 T-3"),
+    kind("DoseRate", "剂量率", "L2 T-3"),
+    kind("MagneticMoment", "磁矩", "L2 E"),
+    kind("ElectricDipoleMoment", "电偶极矩", "L T E"),
+    kind("MagneticVectorPotential", "磁矢势", "L M T-2 E-1"),
+    kind("SurfaceChargeDensity", "面电荷密度", "L-2 T E"),
+    kind("ElectronMobility", "电子迁移率", "M-1 T2 E"),
+    kind("MolarConductivity", "摩尔电导率", "M-1 T3 E2 A-1"),
+    kind("SeebeckCoefficient", "塞贝克系数", "L2 M T-3 E-1 H-1"),
+    kind("LuminousEnergy", "光能", "I T"),
+    kind("LuminousEfficacy", "发光效率", "L-2 M-1 T3 I"),
+    kind("Radiance", "辐射亮度", "M T-3"),
+    kind("SpectralIrradiance", "光谱辐照度", "L-1 M T-3"),
+    kind("SpectralFluxDensity", "光谱通量密度", "M T-2"),
+    kind("CatalyticConcentration", "催化浓度", "L-3 T-1 A"),
+    kind("Acidity", "酸碱度", ""),
+    kind("MolarFlux", "摩尔通量", "L-2 T-1 A"),
+    kind("Resolution", "分辨率", "L-1"),
+    kind("GravityGradient", "重力梯度", "T-2"),
+    kind("AcousticImpedance", "声阻抗", "L-2 M T-1"),
+    kind("Loudness", "响度", ""),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dim::DimVec;
+    use std::collections::HashSet;
+
+    #[test]
+    fn all_dims_parse() {
+        for k in KINDS {
+            assert!(DimVec::parse(k.dim).is_ok(), "kind {} has bad dim {:?}", k.name_en, k.dim);
+        }
+    }
+
+    #[test]
+    fn kind_names_are_unique_including_narrow() {
+        let mut seen = HashSet::new();
+        for k in KINDS {
+            assert!(seen.insert(k.name_en), "duplicate kind {}", k.name_en);
+            for (n, _) in k.narrow {
+                assert!(seen.insert(*n), "duplicate narrow kind {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn taxonomy_is_substantial() {
+        let total: usize = KINDS.iter().map(|k| 1 + k.narrow.len()).sum();
+        assert!(total >= 120, "got {total} kinds");
+    }
+
+    #[test]
+    fn energy_and_torque_share_dimension_but_not_kind() {
+        let energy = KINDS.iter().find(|k| k.name_en == "Energy").unwrap();
+        let torque = KINDS.iter().find(|k| k.name_en == "Torque").unwrap();
+        assert_eq!(
+            DimVec::parse(energy.dim).unwrap(),
+            DimVec::parse(torque.dim).unwrap()
+        );
+    }
+}

@@ -1,0 +1,294 @@
+//! Mechanics: mass (imperial), velocity, acceleration, force, pressure,
+//! energy, power, density, viscosity, flow.
+
+use crate::spec::{u, UnitSpec};
+
+/// Mechanics-related units.
+pub const UNITS: &[UnitSpec] = &[
+    // ---- imperial mass ---------------------------------------------------
+    u("LB", "pound", "磅", "lb", "Mass", 0.453_592_37, 82.0)
+        .aliases(&["pounds", "lbs", "pound-mass", "lbm"])
+        .kw(&["imperial", "weigh", "body"]),
+    u("OZ", "ounce", "盎司", "oz", "Mass", 0.028_349_523_125, 60.0)
+        .aliases(&["ounces", "安士"])
+        .kw(&["imperial", "light", "food"]),
+    u("STONE", "stone", "英石", "st", "Mass", 6.350_293_18, 25.0)
+        .aliases(&["stones"])
+        .kw(&["british", "body", "weigh"]),
+    u("TON-US", "short ton", "美吨", "tn", "Mass", 907.184_74, 30.0)
+        .aliases(&["US ton", "short tons"])
+        .kw(&["american", "freight", "heavy"]),
+    u("TON-UK", "long ton", "英吨", "LT", "Mass", 1016.046_908_8, 8.0)
+        .aliases(&["imperial ton", "long tons"])
+        .kw(&["british", "ship", "heavy"]),
+    u("SLUG", "slug", "斯勒格", "slug", "Mass", 14.593_902_94, 3.0)
+        .aliases(&["slugs"])
+        .kw(&["imperial", "dynamics", "engineering"]),
+    u("GRAIN", "grain", "格令", "gr", "Mass", 6.479_891e-5, 4.0)
+        .aliases(&["grains"])
+        .kw(&["bullet", "pharmacy", "tiny"]),
+    u("DRAM", "dram", "打兰", "dr", "Mass", 1.771_845_195e-3, 2.0)
+        .aliases(&["drams", "drachm"])
+        .kw(&["apothecary", "old", "small"]),
+    // ---- velocity ---------------------------------------------------------
+    u("M-PER-SEC", "metre per second", "米每秒", "m/s", "Velocity", 1.0, 75.0)
+        .aliases(&["meter per second", "metres per second", "meters per second", "m/sec", "mps"])
+        .kw(&["speed", "physics", "wind"]),
+    u("KM-PER-HR", "kilometre per hour", "千米每小时", "km/h", "Velocity", 1.0 / 3.6, 88.0)
+        .aliases(&["kilometer per hour", "kph", "kmh", "km/hr", "公里每小时"])
+        .kw(&["speed", "car", "road", "limit"]),
+    u("MI-PER-HR", "mile per hour", "英里每小时", "mph", "Velocity", 0.447_04, 65.0)
+        .aliases(&["miles per hour", "mi/h"])
+        .kw(&["speed", "car", "american", "road"]),
+    u("KNOT", "knot", "节", "kn", "Velocity", 1852.0 / 3600.0, 28.0)
+        .aliases(&["knots", "kt"])
+        .kw(&["ship", "sea", "wind", "aviation"]),
+    u("FT-PER-SEC", "foot per second", "英尺每秒", "ft/s", "Velocity", 0.3048, 15.0)
+        .aliases(&["feet per second", "fps"])
+        .kw(&["speed", "ballistics", "imperial"]),
+    u("CM-PER-SEC", "centimetre per second", "厘米每秒", "cm/s", "Velocity", 0.01, 10.0)
+        .aliases(&["centimeter per second"])
+        .kw(&["slow", "flow", "laboratory"]),
+    u("MACH", "mach number unit", "马赫", "Ma", "Velocity", 340.3, 22.0)
+        .aliases(&["mach"])
+        .kw(&["aircraft", "supersonic", "jet"])
+        .desc("speed of sound at sea level, 340.3 m/s"),
+    u("SPEED-OF-LIGHT", "speed of light", "光速", "c", "Velocity", 299_792_458.0, 12.0)
+        .kw(&["relativity", "vacuum", "physics"]),
+    // ---- acceleration ------------------------------------------------------
+    u("M-PER-SEC2", "metre per second squared", "米每二次方秒", "m/s²", "Acceleration", 1.0, 50.0)
+        .aliases(&["meter per second squared", "m/s^2", "m/s2", "m s-2"])
+        .kw(&["physics", "gravity", "motion"]),
+    u("GN", "standard gravity", "标准重力加速度", "gₙ", "Acceleration", 9.806_65, 30.0)
+        .aliases(&["g-force", "gee", "g0"])
+        .kw(&["gravity", "rocket", "pilot"]),
+    u("GAL-CGS", "gal", "伽", "Gal", "Acceleration", 0.01, 2.0)
+        .aliases(&["galileo"])
+        .kw(&["gravimetry", "geophysics", "cgs"]),
+    u("FT-PER-SEC2", "foot per second squared", "英尺每二次方秒", "ft/s²", "Acceleration", 0.3048, 4.0)
+        .aliases(&["ft/s^2", "ft/s2"])
+        .kw(&["imperial", "dynamics"]),
+    // ---- force -------------------------------------------------------------
+    u("N", "newton", "牛顿", "N", "Force", 1.0, 72.0)
+        .aliases(&["newtons", "牛"])
+        .kw(&["push", "pull", "physics", "si"])
+        .prefixable(),
+    u("DYN", "dyne", "达因", "dyn", "Force", 1e-5, 8.0)
+        .aliases(&["dynes"])
+        .kw(&["cgs", "small", "laboratory"]),
+    u("KGF", "kilogram-force", "千克力", "kgf", "Force", 9.806_65, 30.0)
+        .aliases(&["kilopond", "kp", "公斤力"])
+        .kw(&["engineering", "weight", "gravitational"]),
+    u("LBF", "pound-force", "磅力", "lbf", "Force", 4.448_221_615_260_5, 25.0)
+        .aliases(&["pounds-force"])
+        .kw(&["imperial", "thrust", "engineering"]),
+    u("PDL", "poundal", "磅达", "pdl", "Force", 0.138_254_954_376, 2.0)
+        .aliases(&["poundals"])
+        .kw(&["imperial", "absolute", "dynamics"])
+        .desc("the force accelerating one pound at one foot per second squared"),
+    u("TONF", "ton-force", "吨力", "tnf", "Force", 9806.65, 5.0)
+        .aliases(&["tonne-force"])
+        .kw(&["heavy", "engineering", "crane"]),
+    // ---- pressure ------------------------------------------------------------
+    u("PA", "pascal", "帕斯卡", "Pa", "Pressure", 1.0, 68.0)
+        .aliases(&["pascals", "帕"])
+        .kw(&["pressure", "physics", "si"])
+        .prefixable(),
+    u("BAR", "bar", "巴", "bar", "Pressure", 1e5, 45.0)
+        .aliases(&["bars"])
+        .kw(&["weather", "tank", "diving"])
+        .prefixable(),
+    u("ATM", "standard atmosphere", "标准大气压", "atm", "Pressure", 101_325.0, 40.0)
+        .aliases(&["atmosphere", "atmospheres"])
+        .kw(&["air", "weather", "chemistry"]),
+    u("TORR", "torr", "托", "Torr", "Pressure", 101_325.0 / 760.0, 8.0)
+        .aliases(&["torrs"])
+        .kw(&["vacuum", "laboratory", "gauge"]),
+    u("MMHG", "millimetre of mercury", "毫米汞柱", "mmHg", "Pressure", 133.322_387_415, 35.0)
+        .aliases(&["millimeter of mercury", "mm Hg"])
+        .kw(&["blood", "medical", "barometer"]),
+    u("INHG", "inch of mercury", "英寸汞柱", "inHg", "Pressure", 3386.389, 6.0)
+        .aliases(&["inches of mercury"])
+        .kw(&["aviation", "barometer", "weather"]),
+    u("PSI", "pound per square inch", "磅每平方英寸", "psi", "Pressure", 6894.757_293_168, 50.0)
+        .aliases(&["pounds per square inch", "lbf/in2"])
+        .kw(&["tire", "imperial", "gauge"]),
+    u("MH2O", "metre of water", "米水柱", "mH₂O", "Pressure", 9806.65, 4.0)
+        .aliases(&["meter of water", "mH2O"])
+        .kw(&["head", "pump", "hydraulic"]),
+    u("BARYE", "barye", "微巴", "Ba", "Pressure", 0.1, 1.0)
+        .kw(&["cgs", "laboratory"]),
+    // ---- energy ---------------------------------------------------------------
+    u("J", "joule", "焦耳", "J", "Energy", 1.0, 70.0)
+        .aliases(&["joules", "焦"])
+        .kw(&["energy", "work", "physics", "si"])
+        .prefixable(),
+    u("CAL", "calorie", "卡路里", "cal", "Energy", 4.184, 62.0)
+        .aliases(&["calories", "small calorie", "卡"])
+        .kw(&["food", "diet", "heat"])
+        .prefixable(),
+    u("KCAL", "kilocalorie", "千卡", "kcal", "Energy", 4184.0, 60.0)
+        .aliases(&["Calorie", "large calorie", "food calorie", "大卡"])
+        .kw(&["food", "diet", "nutrition"]),
+    u("WH", "watt hour", "瓦时", "Wh", "Energy", 3600.0, 55.0)
+        .aliases(&["watt-hour", "watt hours"])
+        .kw(&["electricity", "battery", "meter"])
+        .prefixable(),
+    u("EV", "electronvolt", "电子伏特", "eV", "Energy", 1.602_176_634e-19, 20.0)
+        .aliases(&["electron volt", "electronvolts"])
+        .kw(&["particle", "atomic", "accelerator"])
+        .prefixable(),
+    u("BTU", "British thermal unit", "英热单位", "BTU", "Energy", 1055.055_852_62, 25.0)
+        .aliases(&["Btu", "british thermal units"])
+        .kw(&["heating", "air", "conditioner"]),
+    u("ERG", "erg", "尔格", "erg", "Energy", 1e-7, 5.0)
+        .aliases(&["ergs"])
+        .kw(&["cgs", "small", "laboratory"]),
+    u("FT-LBF", "foot-pound", "英尺磅", "ft⋅lbf", "Energy", 1.355_817_948_331_400_4, 10.0)
+        .aliases(&["foot-pounds", "ft-lb", "foot pound"])
+        .kw(&["imperial", "torque", "work"]),
+    u("THERM", "therm", "撒姆", "thm", "Energy", 1.055_055_852_62e8, 4.0)
+        .aliases(&["therms"])
+        .kw(&["natural", "gas", "billing"]),
+    u("TNT-TON", "ton of TNT", "吨TNT当量", "tTNT", "Energy", 4.184e9, 6.0)
+        .aliases(&["tons of TNT", "TNT equivalent"])
+        .kw(&["explosion", "blast", "yield"]),
+    // ---- power -----------------------------------------------------------------
+    u("W", "watt", "瓦特", "W", "Power", 1.0, 80.0)
+        .aliases(&["watts", "瓦"])
+        .kw(&["power", "electric", "bulb", "si"])
+        .prefixable(),
+    u("HP", "horsepower", "马力", "hp", "Power", 745.699_871_582_270_2, 48.0)
+        .aliases(&["mechanical horsepower", "bhp", "匹"])
+        .kw(&["engine", "car", "motor"]),
+    u("PS", "metric horsepower", "公制马力", "PS", "Power", 735.498_75, 12.0)
+        .aliases(&["cheval-vapeur", "cv"])
+        .kw(&["engine", "european", "car"]),
+    u("BTU-PER-HR", "BTU per hour", "英热单位每小时", "BTU/h", "Power", 0.293_071_070_172_222, 8.0)
+        .aliases(&["BTU/hr", "BTUH"])
+        .kw(&["heating", "cooling", "hvac"]),
+    u("ERG-PER-SEC", "erg per second", "尔格每秒", "erg/s", "Power", 1e-7, 1.0)
+        .kw(&["cgs", "astronomy", "luminosity"]),
+    // ---- torque & force/length ----------------------------------------------------
+    u("N-M", "newton metre", "牛米", "N·m", "Torque", 1.0, 40.0)
+        .aliases(&["newton meter", "newton-metre", "Nm", "N*m", "N m"])
+        .kw(&["torque", "wrench", "engine"]),
+    u("N-PER-M", "newton per metre", "牛每米", "N/m", "ForcePerLength", 1.0, 18.0)
+        .aliases(&["newton per meter", "N/m"])
+        .kw(&["surface", "tension", "stiffness"]),
+    u("DYN-PER-CentiM", "dyne per centimetre", "达因每厘米", "dyn/cm", "ForcePerLength", 1e-3, 3.0)
+        .aliases(&["dyne per centimeter", "dyne/cm"])
+        .kw(&["surface", "tension", "cgs", "liquid"]),
+    // ---- density -------------------------------------------------------------------
+    u("KG-PER-M3", "kilogram per cubic metre", "千克每立方米", "kg/m³", "MassDensity", 1.0, 45.0)
+        .aliases(&["kilogram per cubic meter", "kg/m3", "kg/m^3"])
+        .kw(&["density", "material", "physics"]),
+    u("G-PER-CM3", "gram per cubic centimetre", "克每立方厘米", "g/cm³", "MassDensity", 1000.0, 42.0)
+        .aliases(&["gram per cubic centimeter", "g/cm3", "g/cc"])
+        .kw(&["density", "chemistry", "mineral"]),
+    u("G-PER-ML", "gram per millilitre", "克每毫升", "g/mL", "MassDensity", 1000.0, 25.0)
+        .aliases(&["gram per milliliter", "g/ml"])
+        .kw(&["density", "liquid", "solution"]),
+    u("KG-PER-L", "kilogram per litre", "千克每升", "kg/L", "MassDensity", 1000.0, 15.0)
+        .aliases(&["kilogram per liter", "kg/l"])
+        .kw(&["density", "fuel", "liquid"]),
+    u("LB-PER-FT3", "pound per cubic foot", "磅每立方英尺", "lb/ft³", "MassDensity", 16.018_463_373_96, 6.0)
+        .aliases(&["lb/ft3", "pcf"])
+        .kw(&["imperial", "material", "soil"]),
+    // ---- viscosity --------------------------------------------------------------------
+    u("PA-SEC", "pascal second", "帕秒", "Pa·s", "DynamicViscosity", 1.0, 12.0)
+        .aliases(&["pascal-second", "Pa s", "Pa.s"])
+        .kw(&["viscosity", "fluid", "si"]),
+    u("POISE", "poise", "泊", "P", "DynamicViscosity", 0.1, 6.0)
+        .aliases(&["poises"])
+        .kw(&["viscosity", "cgs", "fluid"])
+        .prefixable(),
+    u("M2-PER-SEC", "square metre per second", "平方米每秒", "m²/s", "KinematicViscosity", 1.0, 5.0)
+        .aliases(&["square meter per second", "m2/s"])
+        .kw(&["kinematic", "viscosity", "diffusion"]),
+    u("STOKES", "stokes", "斯托克斯", "St", "KinematicViscosity", 1e-4, 3.0)
+        .aliases(&["stoke"])
+        .kw(&["kinematic", "viscosity", "cgs"])
+        .prefixable(),
+    // ---- flow -------------------------------------------------------------------------
+    u("M3-PER-SEC", "cubic metre per second", "立方米每秒", "m³/s", "VolumeFlowRate", 1.0, 25.0)
+        .aliases(&["cubic meter per second", "m3/s", "cumec"])
+        .kw(&["river", "discharge", "flow"]),
+    u("L-PER-MIN", "litre per minute", "升每分钟", "L/min", "VolumeFlowRate", 1e-3 / 60.0, 22.0)
+        .aliases(&["liter per minute", "lpm", "l/min"])
+        .kw(&["pump", "flow", "water"]),
+    u("L-PER-SEC", "litre per second", "升每秒", "L/s", "VolumeFlowRate", 1e-3, 12.0)
+        .aliases(&["liter per second", "l/s"])
+        .kw(&["pump", "flow", "pipe"]),
+    u("GAL-PER-MIN", "US gallon per minute", "加仑每分钟", "gpm", "VolumeFlowRate", 3.785_411_784e-3 / 60.0, 10.0)
+        .aliases(&["gallon per minute", "gal/min"])
+        .kw(&["pump", "flow", "american"]),
+    u("GILL-PER-HR", "gill per hour", "及耳每小时", "gill/h", "VolumeFlowRate", 1.182_941_183e-4 / 3600.0, 1.0)
+        .aliases(&["gills per hour"])
+        .kw(&["obscure", "drip", "slow"]),
+    u("KG-PER-SEC", "kilogram per second", "千克每秒", "kg/s", "MassFlowRate", 1.0, 8.0)
+        .aliases(&["kg/s"])
+        .kw(&["mass", "flow", "rocket"]),
+    u("T-PER-HR", "tonne per hour", "吨每小时", "t/h", "MassFlowRate", 1000.0 / 3600.0, 6.0)
+        .aliases(&["ton per hour", "t/hr"])
+        .kw(&["conveyor", "industrial", "throughput"]),
+    // ---- momentum & inertia --------------------------------------------------------------
+    u("KG-M-PER-SEC", "kilogram metre per second", "千克米每秒", "kg·m/s", "Momentum", 1.0, 5.0)
+        .aliases(&["kg m/s", "kg*m/s"])
+        .kw(&["momentum", "collision", "physics"]),
+    u("KG-M2-PER-SEC", "kilogram square metre per second", "千克二次方米每秒", "kg·m²/s", "AngularMomentum", 1.0, 2.0)
+        .aliases(&["kg m2/s"])
+        .kw(&["angular", "momentum", "spin"]),
+    u("KG-M2", "kilogram square metre", "千克二次方米", "kg·m²", "MomentOfInertia", 1.0, 3.0)
+        .aliases(&["kg m2", "kg*m^2"])
+        .kw(&["inertia", "rotation", "flywheel"]),
+    // ---- specific / energy density -------------------------------------------------------
+    u("J-PER-KG", "joule per kilogram", "焦耳每千克", "J/kg", "SpecificEnergy", 1.0, 6.0)
+        .aliases(&["J/kg"])
+        .kw(&["specific", "energy", "latent"]),
+    u("J-PER-M3", "joule per cubic metre", "焦耳每立方米", "J/m³", "EnergyDensity", 1.0, 3.0)
+        .aliases(&["joule per cubic meter", "J/m3"])
+        .kw(&["energy", "density", "field"]),
+    u("J-PER-G", "joule per gram", "焦耳每克", "J/g", "SpecificEnergy", 1000.0, 5.0)
+        .aliases(&["J/g"])
+        .kw(&["specific", "energy", "combustion"]),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poundal_matches_fig1() {
+        // Fig. 1: 0.1 poundal ≈ 0.013825 newtons.
+        let pdl = UNITS.iter().find(|s| s.code == "PDL").unwrap();
+        assert!((0.1 * pdl.factor - 0.013_825_495_437_6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dyne_per_centimetre_is_surface_tension_scale() {
+        let d = UNITS.iter().find(|s| s.code == "DYN-PER-CentiM").unwrap();
+        assert!((d.factor - 1e-3).abs() < 1e-18, "1 dyn/cm = 1 mN/m");
+    }
+
+    #[test]
+    fn atmosphere_in_torr() {
+        let atm = UNITS.iter().find(|s| s.code == "ATM").unwrap();
+        let torr = UNITS.iter().find(|s| s.code == "TORR").unwrap();
+        assert!((atm.factor / torr.factor - 760.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kilocalorie_is_1000_calories() {
+        let kcal = UNITS.iter().find(|s| s.code == "KCAL").unwrap();
+        let cal = UNITS.iter().find(|s| s.code == "CAL").unwrap();
+        assert!((kcal.factor / cal.factor - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pound_force_is_pound_times_gravity() {
+        let lbf = UNITS.iter().find(|s| s.code == "LBF").unwrap();
+        let lb = UNITS.iter().find(|s| s.code == "LB").unwrap();
+        assert!((lbf.factor - lb.factor * 9.806_65).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,118 @@
+//! Curated source data for `DimUnitKB`.
+//!
+//! The paper builds DimUnitKB from QUDT plus manual bilingual curation; this
+//! module is the equivalent curated corpus, organised by domain. The tables
+//! here are *specifications*; [`crate::DimUnitKb::standard`] expands them
+//! (SI prefixes, derived keywords, Eq. 1–2 frequency scoring) into the full
+//! knowledge base.
+
+pub mod base_si;
+pub mod chinese;
+pub mod derived;
+pub mod electromagnetic;
+pub mod extended;
+pub mod geometry;
+pub mod information;
+pub mod kinds;
+pub mod mechanics;
+pub mod thermal_chem;
+
+use crate::spec::{KindSpec, UnitSpec};
+
+/// All quantity-kind specifications.
+pub fn all_kinds() -> &'static [KindSpec] {
+    kinds::KINDS
+}
+
+/// All curated unit specifications across every domain table.
+pub fn all_units() -> Vec<&'static UnitSpec> {
+    let tables: [&[UnitSpec]; 9] = [
+        base_si::UNITS,
+        geometry::UNITS,
+        mechanics::UNITS,
+        electromagnetic::UNITS,
+        thermal_chem::UNITS,
+        chinese::UNITS,
+        information::UNITS,
+        derived::UNITS,
+        extended::UNITS,
+    ];
+    tables.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashMap, HashSet};
+
+    #[test]
+    fn unit_codes_are_globally_unique() {
+        let mut seen = HashSet::new();
+        for spec in all_units() {
+            assert!(seen.insert(spec.code), "duplicate unit code {}", spec.code);
+        }
+    }
+
+    #[test]
+    fn every_unit_references_a_known_kind() {
+        let kinds: HashSet<&str> = all_kinds()
+            .iter()
+            .flat_map(|k| std::iter::once(k.name_en).chain(k.narrow.iter().map(|(n, _)| *n)))
+            .collect();
+        for spec in all_units() {
+            assert!(kinds.contains(spec.kind), "unit {} has unknown kind {}", spec.code, spec.kind);
+        }
+    }
+
+    #[test]
+    fn factors_are_positive_and_finite() {
+        for spec in all_units() {
+            assert!(spec.factor.is_finite() && spec.factor > 0.0, "unit {}", spec.code);
+            assert!(spec.offset.is_finite(), "unit {}", spec.code);
+        }
+    }
+
+    #[test]
+    fn popularity_is_in_range() {
+        for spec in all_units() {
+            assert!(spec.pop > 0.0 && spec.pop <= 100.0, "unit {} pop {}", spec.code, spec.pop);
+        }
+    }
+
+    #[test]
+    fn curated_count_is_substantial() {
+        assert!(all_units().len() >= 200, "got {}", all_units().len());
+    }
+
+    #[test]
+    fn labels_are_nonempty_and_bilingual() {
+        for spec in all_units() {
+            assert!(!spec.en.is_empty(), "unit {} missing english label", spec.code);
+            assert!(!spec.zh.is_empty(), "unit {} missing chinese label", spec.code);
+            assert!(!spec.sym.is_empty(), "unit {} missing symbol", spec.code);
+        }
+    }
+
+    #[test]
+    fn units_of_same_kind_have_distinct_factors_or_offsets() {
+        // Units of one kind should mostly differ in scale; exact duplicates
+        // (same factor AND offset) within one kind are suspicious unless
+        // they are genuinely synonymous records, which we forbid.
+        let mut by_kind: HashMap<(&str, u64, u64), Vec<&str>> = HashMap::new();
+        for spec in all_units() {
+            by_kind
+                .entry((spec.kind, spec.factor.to_bits(), spec.offset.to_bits()))
+                .or_default()
+                .push(spec.code);
+        }
+        for ((kind, _, _), codes) in by_kind {
+            // Genuinely synonymous scales are allowed in small numbers:
+            // 公斤 = kg, and g/cm³ = g/mL = kg/L are the known families.
+            assert!(
+                codes.len() <= 3,
+                "kind {kind} has {} identical-scale units: {codes:?}",
+                codes.len()
+            );
+        }
+    }
+}

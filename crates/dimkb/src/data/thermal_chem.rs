@@ -1,0 +1,165 @@
+//! Thermal, chemical, photometric and radiological units, plus frequency.
+
+use crate::spec::{u, UnitSpec};
+
+/// Thermal / chemistry / light / radiation / frequency units.
+pub const UNITS: &[UnitSpec] = &[
+    // ---- frequency --------------------------------------------------------
+    u("HZ", "hertz", "赫兹", "Hz", "Frequency", 1.0, 75.0)
+        .aliases(&["赫"])
+        .kw(&["frequency", "wave", "signal", "si"])
+        .prefixable(),
+    u("RPM", "revolution per minute", "转每分钟", "rpm", "Frequency", 1.0 / 60.0, 40.0)
+        .aliases(&["revolutions per minute", "rev/min", "r/min"])
+        .kw(&["engine", "motor", "rotation"]),
+    u("BPM", "beat per minute", "次每分钟", "bpm", "Frequency", 1.0 / 60.0, 35.0)
+        .aliases(&["beats per minute"])
+        .kw(&["heart", "music", "tempo"]),
+    u("RAD-PER-SEC", "radian per second", "弧度每秒", "rad/s", "AngularVelocity", 1.0, 8.0)
+        .aliases(&["radians per second"])
+        .kw(&["angular", "rotation", "physics"]),
+    u("DEG-PER-SEC", "degree per second", "度每秒", "°/s", "AngularVelocity", 0.017_453_292_519_943_295, 4.0)
+        .aliases(&["degrees per second", "deg/s"])
+        .kw(&["gyroscope", "rotation", "turret"]),
+    u("PER-M", "reciprocal metre", "每米", "m⁻¹", "Wavenumber", 1.0, 2.0)
+        .aliases(&["reciprocal meter", "1/m", "m-1"])
+        .kw(&["wavenumber", "optics"]),
+    u("PER-CM", "reciprocal centimetre", "每厘米", "cm⁻¹", "Wavenumber", 100.0, 4.0)
+        .aliases(&["reciprocal centimeter", "1/cm", "kayser"])
+        .kw(&["spectroscopy", "infrared", "wavenumber"]),
+    // ---- thermal -----------------------------------------------------------
+    u("J-PER-K", "joule per kelvin", "焦耳每开尔文", "J/K", "HeatCapacity", 1.0, 5.0)
+        .aliases(&["J/K"])
+        .kw(&["heat", "capacity", "entropy"]),
+    u("J-PER-KG-K", "joule per kilogram kelvin", "焦耳每千克开尔文", "J/(kg·K)", "SpecificHeatCapacity", 1.0, 8.0)
+        .aliases(&["J/(kg K)", "J/kg/K", "J/kg·K"])
+        .kw(&["specific", "heat", "water"]),
+    u("CAL-PER-G-C", "calorie per gram degree Celsius", "卡每克摄氏度", "cal/(g·°C)", "SpecificHeatCapacity", 4184.0, 4.0)
+        .aliases(&["cal/g/°C", "cal/(g C)"])
+        .kw(&["specific", "heat", "classical"]),
+    u("W-PER-M-K", "watt per metre kelvin", "瓦特每米开尔文", "W/(m·K)", "ThermalConductivity", 1.0, 6.0)
+        .aliases(&["watt per meter kelvin", "W/m/K", "W/m·K"])
+        .kw(&["thermal", "conductivity", "insulation"]),
+    u("W-PER-M2", "watt per square metre", "瓦特每平方米", "W/m²", "Irradiance", 1.0, 10.0)
+        .aliases(&["watt per square meter", "W/m2"])
+        .kw(&["solar", "radiation", "flux"]),
+    u("K-PER-W", "kelvin per watt", "开尔文每瓦特", "K/W", "ThermalResistance", 1.0, 3.0)
+        .aliases(&["K/W", "°C/W"])
+        .kw(&["thermal", "resistance", "heatsink"]),
+    u("K-PER-M", "kelvin per metre", "开尔文每米", "K/m", "TemperatureGradient", 1.0, 1.0)
+        .aliases(&["kelvin per meter", "K/m"])
+        .kw(&["gradient", "geothermal", "lapse"]),
+    u("PER-K", "reciprocal kelvin", "每开尔文", "K⁻¹", "ThermalExpansion", 1.0, 1.0)
+        .aliases(&["1/K", "K-1"])
+        .kw(&["expansion", "coefficient", "thermal"]),
+    // ---- chemistry ------------------------------------------------------------
+    u("MOL-PER-L", "mole per litre", "摩尔每升", "mol/L", "Concentration", 1000.0, 30.0)
+        .aliases(&["mole per liter", "molar", "mol/l"])
+        .kw(&["solution", "molarity", "laboratory"]),
+    u("MOL-PER-M3", "mole per cubic metre", "摩尔每立方米", "mol/m³", "Concentration", 1.0, 3.0)
+        .aliases(&["mole per cubic meter", "mol/m3"])
+        .kw(&["concentration", "si", "gas"]),
+    u("MMOL-PER-L", "millimole per litre", "毫摩尔每升", "mmol/L", "Concentration", 1.0, 18.0)
+        .aliases(&["millimole per liter", "mmol/l"])
+        .kw(&["blood", "glucose", "medical"]),
+    u("G-PER-L", "gram per litre", "克每升", "g/L", "MassConcentration", 1.0, 12.0)
+        .aliases(&["gram per liter", "g/l"])
+        .kw(&["solution", "concentration", "brewing"]),
+    u("MG-PER-DL", "milligram per decilitre", "毫克每分升", "mg/dL", "MassConcentration", 0.01, 10.0)
+        .aliases(&["milligram per deciliter", "mg/dl"])
+        .kw(&["blood", "cholesterol", "medical"]),
+    u("G-PER-MOL", "gram per mole", "克每摩尔", "g/mol", "MolarMass", 1e-3, 20.0)
+        .aliases(&["grams per mole"])
+        .kw(&["molar", "mass", "molecule"]),
+    u("L-PER-MOL", "litre per mole", "升每摩尔", "L/mol", "MolarVolume", 1e-3, 4.0)
+        .aliases(&["liter per mole", "l/mol"])
+        .kw(&["molar", "volume", "gas"]),
+    u("J-PER-MOL", "joule per mole", "焦耳每摩尔", "J/mol", "MolarEnergy", 1.0, 8.0)
+        .aliases(&["J/mol"])
+        .kw(&["molar", "energy", "reaction"])
+        .prefixable(),
+    u("J-PER-MOL-K", "joule per mole kelvin", "焦耳每摩尔开尔文", "J/(mol·K)", "MolarHeatCapacity", 1.0, 3.0)
+        .aliases(&["J/(mol K)", "J/mol/K"])
+        .kw(&["molar", "heat", "gas", "constant"]),
+    u("KAT", "katal", "开特", "kat", "CatalyticActivity", 1.0, 1.0)
+        .aliases(&["katals"])
+        .kw(&["enzyme", "catalysis", "si"])
+        .prefixable(),
+    u("ENZ-U", "enzyme unit", "酶活力单位", "U", "CatalyticActivity", 1.0 / 60.0 * 1e-6, 3.0)
+        .aliases(&["enzyme units", "IU"])
+        .kw(&["enzyme", "assay", "biochemistry"]),
+    u("MOL-PER-KG", "mole per kilogram", "摩尔每千克", "mol/kg", "Molality", 1.0, 2.0)
+        .aliases(&["molal"])
+        .kw(&["molality", "solution", "solvent"]),
+    // ---- photometry -------------------------------------------------------------
+    u("LM", "lumen", "流明", "lm", "LuminousFlux", 1.0, 32.0)
+        .aliases(&["lumens"])
+        .kw(&["light", "bulb", "brightness"])
+        .prefixable(),
+    u("LX", "lux", "勒克斯", "lx", "Illuminance", 1.0, 22.0)
+        .aliases(&["luxes"])
+        .kw(&["illumination", "light", "office"])
+        .prefixable(),
+    u("FC", "foot-candle", "英尺烛光", "fc", "Illuminance", 10.763_910_416_709_722, 3.0)
+        .aliases(&["foot candle", "footcandle"])
+        .kw(&["illumination", "imperial", "photography"]),
+    u("CD-PER-M2", "candela per square metre", "坎德拉每平方米", "cd/m²", "Luminance", 1.0, 10.0)
+        .aliases(&["candela per square meter", "nit", "nits", "cd/m2"])
+        .kw(&["display", "screen", "brightness"]),
+    // ---- radiation ----------------------------------------------------------------
+    u("BQ", "becquerel", "贝可勒尔", "Bq", "Radioactivity", 1.0, 10.0)
+        .aliases(&["becquerels", "贝可"])
+        .kw(&["radioactive", "decay", "si"])
+        .prefixable(),
+    u("CI", "curie", "居里", "Ci", "Radioactivity", 3.7e10, 6.0)
+        .aliases(&["curies"])
+        .kw(&["radioactive", "radium", "historical"]),
+    u("GY", "gray", "戈瑞", "Gy", "AbsorbedDose", 1.0, 6.0)
+        .aliases(&["grays", "戈"])
+        .kw(&["radiation", "dose", "therapy"])
+        .prefixable(),
+    u("RAD-DOSE", "rad", "拉德", "rd", "AbsorbedDose", 0.01, 2.0)
+        .kw(&["radiation", "dose", "historical"]),
+    u("SV", "sievert", "希沃特", "Sv", "DoseEquivalent", 1.0, 15.0)
+        .aliases(&["sieverts", "希"])
+        .kw(&["radiation", "protection", "exposure"])
+        .prefixable(),
+    u("REM", "rem", "雷姆", "rem", "DoseEquivalent", 0.01, 3.0)
+        .aliases(&["rems"])
+        .kw(&["radiation", "dose", "historical"]),
+    u("R-ROENTGEN", "roentgen", "伦琴", "R", "RadiationExposure", 2.58e-4, 3.0)
+        .aliases(&["röntgen", "roentgens"])
+        .kw(&["x-ray", "exposure", "historical"]),
+    u("W-PER-SR", "watt per steradian", "瓦特每球面度", "W/sr", "RadiantIntensity", 1.0, 1.0)
+        .aliases(&["W/sr"])
+        .kw(&["radiant", "intensity", "beam"]),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rpm_is_one_sixtieth_hertz() {
+        let rpm = UNITS.iter().find(|s| s.code == "RPM").unwrap();
+        assert!((rpm.factor - 1.0 / 60.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn molar_is_1000_si() {
+        let m = UNITS.iter().find(|s| s.code == "MOL-PER-L").unwrap();
+        assert_eq!(m.factor, 1000.0, "1 mol/L = 1000 mol/m³");
+    }
+
+    #[test]
+    fn curie_in_becquerels() {
+        let ci = UNITS.iter().find(|s| s.code == "CI").unwrap();
+        assert_eq!(ci.factor, 3.7e10);
+    }
+
+    #[test]
+    fn rem_is_hundredth_sievert() {
+        let rem = UNITS.iter().find(|s| s.code == "REM").unwrap();
+        assert_eq!(rem.factor, 0.01);
+    }
+}

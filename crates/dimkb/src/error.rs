@@ -1,0 +1,63 @@
+//! Error types for `DimUnitKB` operations.
+
+use crate::dim::DimVec;
+use std::fmt;
+
+/// Errors raised by knowledge-base queries and conversions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KbError {
+    /// No unit with the given surface form or code exists.
+    UnknownUnit(String),
+    /// No quantity kind with the given name exists.
+    UnknownKind(String),
+    /// Conversion between units of different dimensions (violates the
+    /// dimension law).
+    DimensionMismatch {
+        /// Dimension of the source unit.
+        from: DimVec,
+        /// Dimension of the target unit.
+        to: DimVec,
+    },
+    /// An affine unit (e.g. °C) was used inside a compound expression,
+    /// where only multiplicative conversions are meaningful.
+    AffineInCompound(String),
+    /// A unit expression could not be parsed.
+    ExprParse(String),
+    /// A duplicate unit code was inserted while building the KB.
+    DuplicateCode(String),
+}
+
+impl fmt::Display for KbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KbError::UnknownUnit(s) => write!(f, "unknown unit: {s:?}"),
+            KbError::UnknownKind(s) => write!(f, "unknown quantity kind: {s:?}"),
+            KbError::DimensionMismatch { from, to } => {
+                write!(f, "dimension mismatch: cannot convert {from} to {to}")
+            }
+            KbError::AffineInCompound(s) => {
+                write!(f, "affine unit {s:?} is not allowed in compound expressions")
+            }
+            KbError::ExprParse(s) => write!(f, "cannot parse unit expression: {s}"),
+            KbError::DuplicateCode(s) => write!(f, "duplicate unit code: {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for KbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dim::{Base, DimVec};
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = KbError::DimensionMismatch {
+            from: DimVec::from_exponents(&[(Base::Length, 1), (Base::Mass, 1), (Base::Time, -2)]),
+            to: DimVec::from_exponents(&[(Base::Mass, 1), (Base::Time, -2)]),
+        };
+        assert_eq!(e.to_string(), "dimension mismatch: cannot convert LMT⁻² to MT⁻²");
+        assert!(KbError::UnknownUnit("frob".into()).to_string().contains("frob"));
+    }
+}

@@ -1,0 +1,371 @@
+//! Arithmetic expressions over units (`F_c` in Table I of the paper, e.g.
+//! `Joule × Meter`), used by the dimension-arithmetic task and by the
+//! WolframAlpha-style tool engine.
+//!
+//! Expressions combine units with `*` (also `·`, `×`, ` per `→`/`), `/`,
+//! integer exponents (`^2`, `²`, `³`, `⁻¹`) and parentheses. Evaluation
+//! yields the combined [`DimVec`] and the combined multiplicative SI factor.
+//! Affine units (°C, °F) are rejected inside compounds but allowed as a
+//! bare single-unit expression.
+
+use crate::dim::DimVec;
+use crate::error::KbError;
+use crate::kb::DimUnitKb;
+use crate::unit::UnitId;
+
+/// The value of a unit expression: its dimension and SI factor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExprValue {
+    /// Combined dimension vector.
+    pub dim: DimVec,
+    /// Combined multiplicative factor to SI coherent units.
+    pub factor: f64,
+}
+
+/// A binary operation between units in an expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnitOp {
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+}
+
+/// Evaluates a product of unit powers, e.g. `[(J, 1), (kg, -1), (K, -1)]`.
+///
+/// This is the programmatic counterpart of [`eval`], used when expressions
+/// are generated rather than parsed.
+pub fn eval_powers(kb: &DimUnitKb, powers: &[(UnitId, i8)]) -> Result<ExprValue, KbError> {
+    let mut dim = DimVec::DIMENSIONLESS;
+    let mut factor = 1.0;
+    let single = powers.len() == 1 && powers[0].1 == 1;
+    for &(id, exp) in powers {
+        let unit = kb.unit(id);
+        if unit.conversion.is_affine() && !single {
+            return Err(KbError::AffineInCompound(unit.label_en.clone()));
+        }
+        dim = dim * unit.dim.powi(exp);
+        factor *= unit.conversion.factor.powi(exp as i32);
+    }
+    Ok(ExprValue { dim, factor })
+}
+
+/// Parses and evaluates a textual unit expression against the KB.
+///
+/// ```
+/// use dimkb::{expr::eval, DimUnitKb, DimVec};
+///
+/// let kb = DimUnitKb::shared();
+/// let v = eval(&kb, "J / (kg * K)").unwrap();
+/// assert_eq!(v.dim, DimVec::parse("L2 T-2 H-1").unwrap());
+/// ```
+pub fn eval(kb: &DimUnitKb, input: &str) -> Result<ExprValue, KbError> {
+    let tokens = tokenize(input)?;
+    let mut parser = Parser { kb, tokens, pos: 0, unit_count: 0 };
+    let value = parser.expr()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(KbError::ExprParse(format!("trailing input in {input:?}")));
+    }
+    Ok(value)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Name(String),
+    Op(UnitOp),
+    Pow(i8),
+    Open,
+    Close,
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>, KbError> {
+    // ` per ` is division; `squared`/`cubed` are postfix exponents.
+    let lowered = format!(" {} ", input.trim());
+    let pre = lowered
+        .replace(" per ", " / ")
+        .replace(" Per ", " / ")
+        .replace(" PER ", " / ");
+    let mut tokens = Vec::new();
+    let mut word = String::new();
+    let mut chars = pre.chars().peekable();
+    let flush = |word: &mut String, tokens: &mut Vec<Token>| {
+        let w = word.trim();
+        if !w.is_empty() {
+            match w {
+                "squared" => tokens.push(Token::Pow(2)),
+                "cubed" => tokens.push(Token::Pow(3)),
+                _ => {
+                    // Merge consecutive name words into one phrase token.
+                    if let Some(Token::Name(prev)) = tokens.last_mut() {
+                        prev.push(' ');
+                        prev.push_str(w);
+                    } else {
+                        tokens.push(Token::Name(w.to_string()));
+                    }
+                }
+            }
+        }
+        word.clear();
+    };
+    while let Some(c) = chars.next() {
+        match c {
+            '*' | '·' | '×' | '⋅' => {
+                flush(&mut word, &mut tokens);
+                tokens.push(Token::Op(UnitOp::Mul));
+            }
+            '/' | '÷' => {
+                flush(&mut word, &mut tokens);
+                tokens.push(Token::Op(UnitOp::Div));
+            }
+            '(' => {
+                flush(&mut word, &mut tokens);
+                tokens.push(Token::Open);
+            }
+            ')' => {
+                flush(&mut word, &mut tokens);
+                tokens.push(Token::Close);
+            }
+            '^' => {
+                flush(&mut word, &mut tokens);
+                let mut num = String::new();
+                if matches!(chars.peek(), Some('-') | Some('+')) {
+                    num.push(chars.next().expect("peeked"));
+                }
+                while matches!(chars.peek(), Some(d) if d.is_ascii_digit()) {
+                    num.push(chars.next().expect("peeked"));
+                }
+                let exp: i8 = num
+                    .parse()
+                    .map_err(|_| KbError::ExprParse(format!("bad exponent {num:?}")))?;
+                tokens.push(Token::Pow(exp));
+            }
+            '⁻' => {
+                flush(&mut word, &mut tokens);
+                let exp = match chars.next() {
+                    Some('¹') => -1,
+                    Some('²') => -2,
+                    Some('³') => -3,
+                    other => {
+                        return Err(KbError::ExprParse(format!(
+                            "bad superscript after ⁻: {other:?}"
+                        )))
+                    }
+                };
+                tokens.push(Token::Pow(exp));
+            }
+            '²' => {
+                flush(&mut word, &mut tokens);
+                tokens.push(Token::Pow(2));
+            }
+            '³' => {
+                flush(&mut word, &mut tokens);
+                tokens.push(Token::Pow(3));
+            }
+            c if c.is_whitespace() => {
+                // End the current word but allow multi-word names: flush
+                // merges consecutive words into the previous Name token
+                // unless an operator intervened.
+                flush(&mut word, &mut tokens);
+            }
+            c => word.push(c),
+        }
+    }
+    flush(&mut word, &mut tokens);
+    if tokens.is_empty() {
+        return Err(KbError::ExprParse("empty expression".into()));
+    }
+    Ok(tokens)
+}
+
+struct Parser<'a> {
+    kb: &'a DimUnitKb,
+    tokens: Vec<Token>,
+    pos: usize,
+    unit_count: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn expr(&mut self) -> Result<ExprValue, KbError> {
+        let mut acc = self.term()?;
+        while let Some(Token::Op(op)) = self.peek().cloned() {
+            self.pos += 1;
+            let rhs = self.term()?;
+            match op {
+                UnitOp::Mul => {
+                    acc.dim = acc.dim * rhs.dim;
+                    acc.factor *= rhs.factor;
+                }
+                UnitOp::Div => {
+                    acc.dim = acc.dim / rhs.dim;
+                    acc.factor /= rhs.factor;
+                }
+            }
+        }
+        Ok(acc)
+    }
+
+    fn term(&mut self) -> Result<ExprValue, KbError> {
+        let mut base = match self.peek().cloned() {
+            Some(Token::Open) => {
+                self.pos += 1;
+                let inner = self.expr()?;
+                match self.peek() {
+                    Some(Token::Close) => {
+                        self.pos += 1;
+                        inner
+                    }
+                    _ => return Err(KbError::ExprParse("unclosed parenthesis".into())),
+                }
+            }
+            Some(Token::Name(name)) => {
+                self.pos += 1;
+                self.resolve(&name)?
+            }
+            other => return Err(KbError::ExprParse(format!("unexpected token {other:?}"))),
+        };
+        while let Some(Token::Pow(exp)) = self.peek().cloned() {
+            self.pos += 1;
+            base.dim = base.dim.powi(exp);
+            base.factor = base.factor.powi(exp as i32);
+        }
+        Ok(base)
+    }
+
+    /// Resolves a (possibly multi-word) unit name, preferring the
+    /// highest-frequency candidate; falls back to trying the trailing word
+    /// alone so phrases like "force in newton" degrade gracefully.
+    fn resolve(&mut self, name: &str) -> Result<ExprValue, KbError> {
+        let candidates = self.kb.lookup(name);
+        let id = if candidates.is_empty() {
+            let last = name.rsplit(' ').next().unwrap_or(name);
+            let fallback = self.kb.lookup(last);
+            *best_by_frequency(self.kb, fallback).ok_or_else(|| KbError::UnknownUnit(name.to_string()))?
+        } else {
+            *best_by_frequency(self.kb, candidates).expect("nonempty")
+        };
+        self.unit_count += 1;
+        let unit = self.kb.unit(id);
+        if unit.conversion.is_affine() && (self.unit_count > 1 || self.tokens.len() > 1) {
+            return Err(KbError::AffineInCompound(unit.label_en.clone()));
+        }
+        Ok(ExprValue { dim: unit.dim, factor: unit.conversion.factor })
+    }
+}
+
+fn best_by_frequency<'a>(kb: &DimUnitKb, ids: &'a [UnitId]) -> Option<&'a UnitId> {
+    ids.iter().max_by(|a, b| {
+        kb.unit(**a)
+            .frequency
+            .partial_cmp(&kb.unit(**b).frequency)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dim::{Base, DimVec};
+
+    fn kb() -> std::sync::Arc<DimUnitKb> {
+        DimUnitKb::shared()
+    }
+
+    #[test]
+    fn joule_times_metre() {
+        let v = eval(&kb(), "joule * metre").unwrap();
+        assert_eq!(v.dim, DimVec::parse("L3 M T-2").unwrap());
+        assert!((v.factor - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn newton_over_square_metre_is_pascal() {
+        let kb = kb();
+        let v = eval(&kb, "N / m^2").unwrap();
+        let pa = kb.unit_by_code("PA").unwrap();
+        assert_eq!(v.dim, pa.dim);
+        assert!((v.factor - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_keyword_divides() {
+        let kb = kb();
+        let v = eval(&kb, "dyne per centimetre").unwrap();
+        assert_eq!(v.dim, DimVec::parse("M T-2").unwrap());
+        assert!((v.factor - 1e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn parentheses_and_unicode_dot() {
+        let kb = kb();
+        let v = eval(&kb, "J / (kg · K)").unwrap();
+        assert_eq!(v.dim, DimVec::parse("L2 T-2 H-1").unwrap());
+    }
+
+    #[test]
+    fn superscripts_work() {
+        let kb = kb();
+        let a = eval(&kb, "m²").unwrap();
+        assert_eq!(a.dim, DimVec::base(Base::Length).powi(2));
+        let b = eval(&kb, "s⁻¹").unwrap();
+        assert_eq!(b.dim, DimVec::base(Base::Time).powi(-1));
+    }
+
+    #[test]
+    fn multiword_names_resolve() {
+        let kb = kb();
+        let v = eval(&kb, "light year / year").unwrap();
+        assert_eq!(v.dim, DimVec::parse("L T-1").unwrap());
+        // ly/yr is the speed of light.
+        assert!((v.factor - 299_792_458.0).abs() / 299_792_458.0 < 1e-6);
+    }
+
+    #[test]
+    fn squared_postfix_word() {
+        let kb = kb();
+        let v = eval(&kb, "m / s squared").unwrap();
+        assert_eq!(v.dim, DimVec::parse("L T-2").unwrap());
+    }
+
+    #[test]
+    fn affine_rejected_in_compound_allowed_bare() {
+        let kb = kb();
+        assert!(eval(&kb, "°C").is_ok());
+        assert!(matches!(eval(&kb, "°C / s"), Err(KbError::AffineInCompound(_))));
+    }
+
+    #[test]
+    fn unknown_unit_is_reported() {
+        let kb = kb();
+        assert!(matches!(eval(&kb, "flibbertigibbet"), Err(KbError::UnknownUnit(_))));
+    }
+
+    #[test]
+    fn eval_powers_matches_parsed() {
+        let kb = kb();
+        let j = kb.unit_by_code("J").unwrap().id;
+        let kg = kb.unit_by_code("KiloGM").unwrap().id;
+        let k = kb.unit_by_code("K").unwrap().id;
+        let p = eval_powers(&kb, &[(j, 1), (kg, -1), (k, -1)]).unwrap();
+        let e = eval(&kb, "J/(kg*K)").unwrap();
+        assert_eq!(p.dim, e.dim);
+        assert!((p.factor - e.factor).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eval_powers_rejects_affine() {
+        let kb = kb();
+        let c = kb.unit_by_code("DEG-C").unwrap().id;
+        let s = kb.unit_by_code("SEC").unwrap().id;
+        assert!(eval_powers(&kb, &[(c, 1), (s, -1)]).is_err());
+        assert!(eval_powers(&kb, &[(c, 1)]).is_ok());
+    }
+
+    #[test]
+    fn empty_expression_errors() {
+        assert!(matches!(eval(&kb(), "   "), Err(KbError::ExprParse(_))));
+    }
+}

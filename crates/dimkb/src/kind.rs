@@ -1,0 +1,85 @@
+//! Quantity kinds: the `QuantityKind` feature of `DimUnitKB` (Table II).
+//!
+//! A quantity kind (e.g. `VolumeFlowRate`, `ForcePerLength`) names *what is
+//! being measured*. Every kind has a single dimension vector, but several
+//! kinds may share one dimension (e.g. `Energy` and `Torque` are both
+//! `L²MT⁻²`) — which is exactly why kind and dimension are separate features.
+
+use crate::dim::DimVec;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a quantity kind inside a [`crate::DimUnitKb`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct KindId(pub u32);
+
+impl fmt::Display for KindId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "K{}", self.0)
+    }
+}
+
+/// A quantity kind record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantityKind {
+    /// Stable index within the knowledge base.
+    pub id: KindId,
+    /// CamelCase English name, e.g. `VolumeFlowRate`.
+    pub name_en: String,
+    /// Chinese name, e.g. `体积流量`.
+    pub name_zh: String,
+    /// The dimension every unit of this kind shares.
+    pub dim: DimVec,
+}
+
+impl QuantityKind {
+    /// Splits the CamelCase English name into space-separated words
+    /// (`VolumeFlowRate` → `volume flow rate`), used as default keywords.
+    pub fn words(&self) -> Vec<String> {
+        let mut words = Vec::new();
+        let mut cur = String::new();
+        for c in self.name_en.chars() {
+            if c.is_uppercase() && !cur.is_empty() {
+                words.push(std::mem::take(&mut cur));
+            }
+            cur.extend(c.to_lowercase());
+        }
+        if !cur.is_empty() {
+            words.push(cur);
+        }
+        words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dim::Base;
+
+    #[test]
+    fn words_splits_camel_case() {
+        let k = QuantityKind {
+            id: KindId(0),
+            name_en: "VolumeFlowRate".into(),
+            name_zh: "体积流量".into(),
+            dim: DimVec::from_exponents(&[(Base::Length, 3), (Base::Time, -1)]),
+        };
+        assert_eq!(k.words(), vec!["volume", "flow", "rate"]);
+    }
+
+    #[test]
+    fn words_handles_single_word() {
+        let k = QuantityKind {
+            id: KindId(1),
+            name_en: "Length".into(),
+            name_zh: "长度".into(),
+            dim: DimVec::base(Base::Length),
+        };
+        assert_eq!(k.words(), vec!["length"]);
+    }
+
+    #[test]
+    fn kind_id_display() {
+        assert_eq!(KindId(42).to_string(), "K42");
+    }
+}

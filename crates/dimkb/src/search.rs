@@ -1,0 +1,124 @@
+//! Free-text unit search over labels, aliases, keywords and descriptions —
+//! the "find me the unit for X" entry point a downstream user reaches for
+//! before they know any code or symbol.
+
+use crate::kb::DimUnitKb;
+use crate::unit::UnitId;
+use dim_embed::tokenize::words;
+
+/// A scored search hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchHit {
+    /// The matched unit.
+    pub unit: UnitId,
+    /// Relevance score (higher is better).
+    pub score: f64,
+}
+
+/// Searches units by free text. Scoring blends field matches (label >
+/// alias > keyword > description token) with the unit's frequency so that
+/// "flow" surfaces litre-per-minute before gill-per-hour.
+pub fn search(kb: &DimUnitKb, query: &str, limit: usize) -> Vec<SearchHit> {
+    let terms = words(query);
+    if terms.is_empty() {
+        return Vec::new();
+    }
+    let mut hits: Vec<SearchHit> = kb
+        .units()
+        .iter()
+        .filter_map(|u| {
+            let mut score = 0.0;
+            let label_words = words(&u.label_en);
+            let zh_chars = words(&u.label_zh);
+            for term in &terms {
+                if label_words.iter().any(|w| w == term) || zh_chars.iter().any(|w| w == term) {
+                    score += 3.0;
+                } else if label_words.iter().any(|w| w.contains(term.as_str()))
+                    && term.chars().count() >= 3
+                {
+                    score += 1.5;
+                }
+                if u.aliases.iter().any(|a| words(a).iter().any(|w| w == term)) {
+                    score += 2.0;
+                }
+                if u.keywords.iter().any(|k| k == term) {
+                    score += 1.5;
+                }
+                if words(&u.description).iter().any(|w| w == term) {
+                    score += 0.5;
+                }
+                if crate::kb::normalize(&u.symbol) == *term {
+                    score += 3.0;
+                }
+            }
+            if score == 0.0 {
+                return None;
+            }
+            // Prefer tight matches: "newton" should rank the newton above
+            // the newton-metre, whose longer label matched only partially.
+            let full_label = crate::kb::normalize(&u.label_en) == crate::kb::normalize(query)
+                || u.label_zh == query.trim();
+            if full_label {
+                score += 6.0;
+            }
+            score /= 1.0 + 0.35 * (label_words.len().saturating_sub(1)) as f64;
+            Some(SearchHit { unit: u.id, score: score * (0.5 + u.frequency) })
+        })
+        .collect();
+    hits.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.unit.cmp(&b.unit))
+    });
+    hits.truncate(limit);
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_label_word_ranks_first() {
+        let kb = DimUnitKb::shared();
+        let hits = search(&kb, "newton", 5);
+        assert!(!hits.is_empty());
+        assert_eq!(kb.unit(hits[0].unit).code, "N");
+    }
+
+    #[test]
+    fn keyword_search_finds_domain_units() {
+        let kb = DimUnitKb::shared();
+        let hits = search(&kb, "blood pressure medical", 10);
+        let codes: Vec<&str> = hits.iter().map(|h| kb.unit(h.unit).code.as_str()).collect();
+        assert!(codes.contains(&"MMHG"), "mmHg should surface for blood pressure: {codes:?}");
+    }
+
+    #[test]
+    fn frequency_breaks_ties_toward_common_units() {
+        let kb = DimUnitKb::shared();
+        let hits = search(&kb, "surface tension", 10);
+        assert!(!hits.is_empty());
+        // N/m and dyn/cm both carry the keywords; results are ranked.
+        for w in hits.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn chinese_query_works() {
+        let kb = DimUnitKb::shared();
+        let hits = search(&kb, "千克", 5);
+        assert!(!hits.is_empty());
+        let top = kb.unit(hits[0].unit);
+        assert!(top.label_zh.contains('克'), "{}", top.label_zh);
+    }
+
+    #[test]
+    fn empty_and_garbage_queries() {
+        let kb = DimUnitKb::shared();
+        assert!(search(&kb, "", 5).is_empty());
+        assert!(search(&kb, "zzqqxx", 5).is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! Compile-time specification records from which `DimUnitKB` is built.
+//!
+//! The paper sources its unit data from QUDT plus manual bilingual curation;
+//! here the curated data lives as `const` tables in [`crate::data`] and is
+//! expanded (SI prefixes, derived keywords, frequency scoring) by
+//! [`crate::kb::DimUnitKb::standard`].
+
+/// Specification of a quantity kind.
+#[derive(Debug, Clone, Copy)]
+pub struct KindSpec {
+    /// CamelCase English name (`VolumeFlowRate`).
+    pub name_en: &'static str,
+    /// Chinese name (`体积流量`).
+    pub name_zh: &'static str,
+    /// Dimension formula parseable by [`crate::DimVec::parse`], e.g. `"L3 T-1"`.
+    pub dim: &'static str,
+    /// Narrow sub-kinds sharing this dimension (QUDT-style fine-grained
+    /// kinds, e.g. `Height`/`Width`/`Radius` under `Length`): `(en, zh)`.
+    pub narrow: &'static [(&'static str, &'static str)],
+}
+
+/// Builds a [`KindSpec`] with no narrow sub-kinds.
+pub const fn kind(name_en: &'static str, name_zh: &'static str, dim: &'static str) -> KindSpec {
+    KindSpec { name_en, name_zh, dim, narrow: &[] }
+}
+
+impl KindSpec {
+    /// Attaches narrow sub-kinds.
+    pub const fn narrow(mut self, narrow: &'static [(&'static str, &'static str)]) -> Self {
+        self.narrow = narrow;
+        self
+    }
+}
+
+/// Specification of a curated unit.
+#[derive(Debug, Clone, Copy)]
+pub struct UnitSpec {
+    /// QUDT-style code; must be unique across the whole KB.
+    pub code: &'static str,
+    /// English label.
+    pub en: &'static str,
+    /// Chinese label.
+    pub zh: &'static str,
+    /// Symbol.
+    pub sym: &'static str,
+    /// Quantity kind (must match a [`KindSpec::name_en`]).
+    pub kind: &'static str,
+    /// Multiplicative conversion factor to the coherent SI unit.
+    pub factor: f64,
+    /// Additive conversion offset (temperature scales only).
+    pub offset: f64,
+    /// Curated base popularity in `(0, 100]`, fed to the Eq. 1 blend.
+    pub pop: f64,
+    /// Alternative surface forms.
+    pub aliases: &'static [&'static str],
+    /// Extra keywords beyond the kind-derived defaults.
+    pub kw: &'static [&'static str],
+    /// Description; auto-generated from kind + factor when empty.
+    pub desc: &'static str,
+    /// Whether SI-prefix expansion applies.
+    pub prefixable: bool,
+}
+
+/// Builds a [`UnitSpec`] with defaults (no aliases/keywords/offset, not
+/// prefixable); refine with the const builder methods.
+pub const fn u(
+    code: &'static str,
+    en: &'static str,
+    zh: &'static str,
+    sym: &'static str,
+    kind: &'static str,
+    factor: f64,
+    pop: f64,
+) -> UnitSpec {
+    UnitSpec {
+        code,
+        en,
+        zh,
+        sym,
+        kind,
+        factor,
+        offset: 0.0,
+        pop,
+        aliases: &[],
+        kw: &[],
+        desc: "",
+        prefixable: false,
+    }
+}
+
+impl UnitSpec {
+    /// Sets alternative surface forms.
+    pub const fn aliases(mut self, aliases: &'static [&'static str]) -> Self {
+        self.aliases = aliases;
+        self
+    }
+
+    /// Sets extra keywords.
+    pub const fn kw(mut self, kw: &'static [&'static str]) -> Self {
+        self.kw = kw;
+        self
+    }
+
+    /// Sets the description.
+    pub const fn desc(mut self, desc: &'static str) -> Self {
+        self.desc = desc;
+        self
+    }
+
+    /// Sets a conversion offset (affine units such as °C).
+    pub const fn offset(mut self, offset: f64) -> Self {
+        self.offset = offset;
+        self
+    }
+
+    /// Marks the unit as SI-prefixable.
+    pub const fn prefixable(mut self) -> Self {
+        self.prefixable = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains_in_const_context() {
+        const METRE: UnitSpec = u("M", "metre", "米", "m", "Length", 1.0, 100.0)
+            .aliases(&["meter"])
+            .kw(&["distance"])
+            .prefixable();
+        assert!(METRE.prefixable);
+        assert_eq!(METRE.aliases, &["meter"]);
+        assert_eq!(METRE.offset, 0.0);
+    }
+
+    #[test]
+    fn kind_builder_defaults() {
+        const K: KindSpec = kind("Length", "长度", "L");
+        assert!(K.narrow.is_empty());
+    }
+}

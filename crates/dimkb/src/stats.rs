@@ -1,0 +1,148 @@
+//! Knowledge-base statistics: the data behind Table IV, Fig. 3 and Fig. 4
+//! of the paper.
+
+use crate::kb::DimUnitKb;
+use crate::kind::KindId;
+use crate::unit::UnitId;
+use std::collections::HashSet;
+
+/// Aggregate statistics of a knowledge base (the Table IV row format).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KbStatistics {
+    /// Number of units.
+    pub units: usize,
+    /// Number of quantity kinds actually used by at least one unit.
+    pub quantity_kinds: usize,
+    /// Number of distinct dimension vectors.
+    pub dim_vectors: usize,
+    /// Supported languages ("En" or "En&Zh").
+    pub languages: &'static str,
+    /// Whether the frequency feature is populated.
+    pub has_frequency: bool,
+}
+
+/// Computes the Table IV statistics for a knowledge base.
+pub fn statistics(kb: &DimUnitKb) -> KbStatistics {
+    let mut kinds: HashSet<KindId> = HashSet::new();
+    let mut dims = HashSet::new();
+    let mut has_zh = false;
+    let mut has_freq = false;
+    for unit in kb.units() {
+        kinds.insert(unit.kind);
+        dims.insert(unit.dim);
+        if !unit.label_zh.is_empty() {
+            has_zh = true;
+        }
+        if unit.frequency > 0.0 {
+            has_freq = true;
+        }
+    }
+    KbStatistics {
+        units: kb.units().len(),
+        quantity_kinds: kinds.len(),
+        dim_vectors: dims.len(),
+        languages: if has_zh { "En&Zh" } else { "En" },
+        has_frequency: has_freq,
+    }
+}
+
+/// The `k` most frequent units (Fig. 3): `(unit, frequency)` descending.
+pub fn top_units(kb: &DimUnitKb, k: usize) -> Vec<(UnitId, f64)> {
+    let mut all: Vec<(UnitId, f64)> = kb.units().iter().map(|u| (u.id, u.frequency)).collect();
+    all.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    all.truncate(k);
+    all
+}
+
+/// Frequency of a quantity kind: the mean frequency of its top-five units
+/// (the paper's Fig. 4 definition). `None` if the kind has no units.
+pub fn kind_frequency(kb: &DimUnitKb, kind: KindId) -> Option<f64> {
+    let ids = kb.units_of_kind(kind);
+    if ids.is_empty() {
+        return None;
+    }
+    let mut freqs: Vec<f64> = ids.iter().map(|&id| kb.unit(id).frequency).collect();
+    freqs.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    freqs.truncate(5);
+    Some(freqs.iter().sum::<f64>() / freqs.len() as f64)
+}
+
+/// The `k` most frequent quantity kinds and, for each, its top-five units
+/// with their frequencies (the full Fig. 4 payload).
+pub fn top_kinds(kb: &DimUnitKb, k: usize) -> Vec<(KindId, f64, Vec<(UnitId, f64)>)> {
+    let mut rows: Vec<(KindId, f64)> = kb
+        .kinds()
+        .iter()
+        .filter_map(|kind| kind_frequency(kb, kind.id).map(|f| (kind.id, f)))
+        .collect();
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    rows.truncate(k);
+    rows.into_iter()
+        .map(|(kid, f)| {
+            let mut units: Vec<(UnitId, f64)> = kb
+                .units_of_kind(kid)
+                .iter()
+                .map(|&id| (id, kb.unit(id).frequency))
+                .collect();
+            units.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            units.truncate(5);
+            (kid, f, units)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_statistics_shape() {
+        let kb = DimUnitKb::shared();
+        let s = statistics(&kb);
+        assert!(s.units >= 900);
+        assert!(s.quantity_kinds >= 70);
+        assert!(s.dim_vectors >= 50);
+        assert_eq!(s.languages, "En&Zh");
+        assert!(s.has_frequency);
+    }
+
+    #[test]
+    fn dimunitkb_dominates_wolfram_and_uom_scale() {
+        // Table IV shape: DimUnitKB(1778) > WolframAlpha(540) > UoM(76).
+        let kb = DimUnitKb::shared();
+        let s = statistics(&kb);
+        assert!(s.units > 540, "must exceed the WolframAlpha unit count");
+    }
+
+    #[test]
+    fn top_units_sorted_descending() {
+        let kb = DimUnitKb::shared();
+        let top = top_units(&kb, 20);
+        assert_eq!(top.len(), 20);
+        for w in top.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn kind_frequency_uses_top_five() {
+        let kb = DimUnitKb::shared();
+        let length = kb.kind_by_name("Length").unwrap();
+        let f = kind_frequency(&kb, length.id).unwrap();
+        assert!(f > 0.5, "length units are common, got {f}");
+    }
+
+    #[test]
+    fn top_kinds_come_with_units() {
+        let kb = DimUnitKb::shared();
+        let rows = top_kinds(&kb, 14);
+        assert_eq!(rows.len(), 14);
+        for (_, freq, units) in &rows {
+            assert!(!units.is_empty());
+            assert!(*freq <= 1.0 + 1e-9);
+            for w in units.windows(2) {
+                assert!(w[0].1 >= w[1].1);
+            }
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! The DimKS text annotator: finds quantities (value + unit) in raw text
+//! and links the unit mention into `DimUnitKB`.
+//!
+//! This is the `DimKS annotator D` of Algorithm 1: a heuristic, high-recall
+//! pass — numbers are scanned (including inside device codes), the text
+//! right after each number is matched against the naming dictionary
+//! (longest match first, falling back to fuzzy linking), and successful
+//! links become quantity mentions. Precision is then recovered by the
+//! masked-LM filter and manual review stages of Algorithm 1 (see
+//! `dimeval::algo1`).
+
+use crate::linker::{LinkResult, UnitLinker};
+use crate::numparse::{scan_numbers, NumberMatch};
+use dim_embed::tokenize::is_cjk;
+
+/// A quantity mention found and linked in text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantityMention {
+    /// Byte span of the whole quantity (value + unit).
+    pub start: usize,
+    /// One past the end.
+    pub end: usize,
+    /// Parsed numeric value.
+    pub value: f64,
+    /// Byte span of the value.
+    pub value_span: (usize, usize),
+    /// The unit surface form as written.
+    pub unit_surface: String,
+    /// Byte span of the unit.
+    pub unit_span: (usize, usize),
+    /// Ranked candidate links (best first, never empty).
+    pub links: Vec<LinkResult>,
+}
+
+impl QuantityMention {
+    /// The best-linked unit.
+    pub fn best_unit(&self) -> dimkb::UnitId {
+        self.links[0].unit
+    }
+}
+
+/// The annotator: a [`UnitLinker`] plus mention-extraction heuristics.
+pub struct Annotator {
+    linker: UnitLinker,
+    /// Maximum CJK characters tried for a unit mention.
+    max_cjk_chars: usize,
+    /// Maximum extra Latin words tried for multiword names.
+    max_extra_words: usize,
+}
+
+impl Annotator {
+    /// Wraps a linker.
+    pub fn new(linker: UnitLinker) -> Self {
+        Annotator { linker, max_cjk_chars: 4, max_extra_words: 2 }
+    }
+
+    /// Access to the underlying linker.
+    pub fn linker(&self) -> &UnitLinker {
+        &self.linker
+    }
+
+    /// Annotates text, returning all linked quantity mentions.
+    pub fn annotate(&self, text: &str) -> Vec<QuantityMention> {
+        let mut out = Vec::new();
+        for num in scan_numbers(text) {
+            if let Some(m) = self.try_unit_after(text, &num) {
+                out.push(m);
+            }
+        }
+        out
+    }
+
+    /// Attempts to read a unit mention right after a number.
+    fn try_unit_after(&self, text: &str, num: &NumberMatch) -> Option<QuantityMention> {
+        let mut unit_start = num.end;
+        // Allow a single space (ASCII or ideographic) between value and unit.
+        let rest = &text[unit_start..];
+        if let Some(c) = rest.chars().next() {
+            if c == ' ' || c == '\u{3000}' {
+                unit_start += c.len_utf8();
+            }
+        }
+        let rest = &text[unit_start..];
+        let first = rest.chars().next()?;
+
+        let candidates: Vec<String> = if is_cjk(first) {
+            // Longest CJK prefix first: 平方厘米 before 厘米 before 米.
+            let chars: Vec<char> = rest.chars().take(self.max_cjk_chars).collect();
+            (1..=chars.len()).rev().map(|n| chars[..n].iter().collect()).collect()
+        } else if first.is_ascii_alphabetic() || "°µΩ%‰′″".contains(first) {
+            // A symbol run like `km/h`, `m²`, `°C`, `dyn/cm`, then
+            // optionally extended by following words ("square metres").
+            let run_end = rest
+                .char_indices()
+                .find(|&(_, c)| {
+                    !(c.is_ascii_alphanumeric()
+                        || "°µΩ%‰/·*^²³⁻¹-′″.".contains(c))
+                })
+                .map(|(i, _)| i)
+                .unwrap_or(rest.len());
+            let run = rest[..run_end].trim_end_matches(['.', '-']);
+            if run.is_empty() {
+                return None;
+            }
+            let mut cands = Vec::new();
+            // Multiword extensions, longest first.
+            let tail = &rest[run.len()..];
+            let words: Vec<&str> = tail.split_whitespace().take(self.max_extra_words).collect();
+            for n in (1..=words.len()).rev() {
+                let mut phrase = run.to_string();
+                for w in &words[..n] {
+                    phrase.push(' ');
+                    phrase.push_str(w.trim_end_matches(['.', ',', ';', '!', '?']));
+                }
+                cands.push(phrase);
+            }
+            cands.push(run.to_string());
+            cands
+        } else {
+            return Vec::new().into_iter().next(); // no unit-shaped text follows
+        };
+
+        let context = context_window(text, num.start, 60);
+        // Exact naming-dictionary hit wins (longest first); otherwise fall
+        // back to fuzzy linking of the shortest candidate (the symbol run).
+        for cand in &candidates {
+            if !self.linker.kb().lookup(cand).is_empty() {
+                let links = self.linker.link(cand, &context);
+                if !links.is_empty() {
+                    return Some(self.mention(num, unit_start, cand, links, text));
+                }
+            }
+        }
+        let fallback = candidates.last()?;
+        let links = self.linker.link(fallback, &context);
+        if links.is_empty() {
+            return None;
+        }
+        Some(self.mention(num, unit_start, fallback, links, text))
+    }
+
+    fn mention(
+        &self,
+        num: &NumberMatch,
+        unit_start: usize,
+        surface: &str,
+        links: Vec<LinkResult>,
+        text: &str,
+    ) -> QuantityMention {
+        let unit_end = unit_start + surface.len();
+        debug_assert!(text.is_char_boundary(unit_end));
+        QuantityMention {
+            start: num.start,
+            end: unit_end,
+            value: num.value,
+            value_span: (num.start, num.end),
+            unit_surface: surface.to_string(),
+            unit_span: (unit_start, unit_end),
+            links,
+        }
+    }
+}
+
+/// A byte-window of context around a position, clipped to char boundaries.
+fn context_window(text: &str, pos: usize, radius: usize) -> String {
+    let mut lo = pos.saturating_sub(radius);
+    while lo > 0 && !text.is_char_boundary(lo) {
+        lo -= 1;
+    }
+    let mut hi = (pos + radius).min(text.len());
+    while hi < text.len() && !text.is_char_boundary(hi) {
+        hi += 1;
+    }
+    text[lo..hi].to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linker::LinkerConfig;
+    use dimkb::DimUnitKb;
+
+    fn annotator() -> Annotator {
+        Annotator::new(UnitLinker::new(DimUnitKb::shared(), None, LinkerConfig::default()))
+    }
+
+    fn code_of(a: &Annotator, m: &QuantityMention) -> String {
+        a.linker().kb().unit(m.best_unit()).code.clone()
+    }
+
+    #[test]
+    fn fig1_sentence_annotates_both_quantities() {
+        let a = annotator();
+        let text = "LeBron James's height is 2.06 meters and Stephen Curry's height is 188 cm.";
+        let ms = a.annotate(text);
+        assert_eq!(ms.len(), 2, "{ms:?}");
+        assert_eq!(ms[0].value, 2.06);
+        assert_eq!(code_of(&a, &ms[0]), "M");
+        assert_eq!(ms[1].value, 188.0);
+        assert_eq!(code_of(&a, &ms[1]), "CentiM");
+    }
+
+    #[test]
+    fn chinese_tight_quantities() {
+        let a = annotator();
+        let ms = a.annotate("小王要将150千克含药量20%的农药稀释成含药量5%的药水");
+        assert!(ms.len() >= 3, "{ms:?}");
+        assert_eq!(code_of(&a, &ms[0]), "KiloGM");
+        assert_eq!(code_of(&a, &ms[1]), "PERCENT");
+        assert_eq!(ms[0].value, 150.0);
+    }
+
+    #[test]
+    fn longest_cjk_match_wins() {
+        let a = annotator();
+        let ms = a.annotate("面积为25平方厘米的纸片");
+        assert_eq!(ms.len(), 1);
+        assert_eq!(code_of(&a, &ms[0]), "CM2", "平方厘米 must not truncate to 米");
+    }
+
+    #[test]
+    fn compound_symbol_links() {
+        let a = annotator();
+        let ms = a.annotate("表面张力为30 dyn/cm左右");
+        assert_eq!(ms.len(), 1);
+        assert_eq!(code_of(&a, &ms[0]), "DYN-PER-CentiM");
+    }
+
+    #[test]
+    fn device_code_is_heuristically_mislinked() {
+        // The paper's motivating failure: 1T inside LPUI-1T links to tesla
+        // or tonne at this (pre-filter) stage — Algorithm 1's MLM stage
+        // exists to remove it.
+        let a = annotator();
+        let ms = a.annotate("设备型号为LPUI-1T");
+        assert_eq!(ms.len(), 1, "the heuristic stage should over-trigger");
+        let code = code_of(&a, &ms[0]);
+        assert!(code.contains('T') || code == "TONNE", "got {code}");
+    }
+
+    #[test]
+    fn number_without_unit_is_skipped() {
+        let a = annotator();
+        let ms = a.annotate("共有25个苹果分给5个人");
+        // 个 links to EACH (a count unit), which is correct behaviour.
+        for m in &ms {
+            assert_eq!(code_of(&a, m), "EACH");
+        }
+    }
+
+    #[test]
+    fn multiword_english_unit() {
+        let a = annotator();
+        let ms = a.annotate("a pressure of 3 standard atmosphere inside");
+        assert_eq!(ms.len(), 1);
+        assert_eq!(code_of(&a, &ms[0]), "ATM");
+    }
+
+    #[test]
+    fn chinese_numeral_value_with_unit() {
+        let a = annotator();
+        let ms = a.annotate("这座桥全长三千五百米。");
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].value, 3500.0);
+        assert_eq!(code_of(&a, &ms[0]), "M");
+    }
+
+    #[test]
+    fn spans_reconstruct_surface() {
+        let a = annotator();
+        let text = "重量是150 kg左右";
+        let ms = a.annotate(text);
+        assert_eq!(ms.len(), 1);
+        let m = &ms[0];
+        assert_eq!(&text[m.unit_span.0..m.unit_span.1], m.unit_surface);
+        assert_eq!(&text[m.value_span.0..m.value_span.1], "150");
+    }
+}

@@ -1,0 +1,70 @@
+//! Levenshtein distance and the normalized string similarity used as
+//! `Pr(u|m)` in unit linking (§III-B1 of the paper).
+
+/// Levenshtein edit distance between two strings (by `char`).
+pub fn distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Normalized similarity in `[0, 1]`: `1 − dist / max(|a|, |b|)`.
+/// Equal strings score 1; completely different strings score 0.
+pub fn similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - distance(a, b) as f64 / max_len as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_distances() {
+        assert_eq!(distance("kitten", "sitting"), 3);
+        assert_eq!(distance("", "abc"), 3);
+        assert_eq!(distance("abc", ""), 3);
+        assert_eq!(distance("same", "same"), 0);
+    }
+
+    #[test]
+    fn unicode_is_by_char_not_byte() {
+        assert_eq!(distance("千米", "厘米"), 1);
+        assert_eq!(distance("米", "米"), 0);
+    }
+
+    #[test]
+    fn similarity_bounds() {
+        assert_eq!(similarity("", ""), 1.0);
+        assert_eq!(similarity("abc", "abc"), 1.0);
+        assert_eq!(similarity("abc", "xyz"), 0.0);
+        let s = similarity("meter", "metre");
+        assert!(s > 0.5 && s < 1.0);
+    }
+
+    #[test]
+    fn similarity_is_symmetric() {
+        for (a, b) in [("km/h", "kmh"), ("dyn/cm", "dyne/cm"), ("斤", "公斤")] {
+            assert!((similarity(a, b) - similarity(b, a)).abs() < 1e-12);
+        }
+    }
+}

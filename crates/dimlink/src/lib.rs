@@ -1,0 +1,22 @@
+//! # dimlink — the unit linking module of DimKS
+//!
+//! Implements §III-B of the paper: candidate generation via Levenshtein
+//! similarity over the naming dictionary, a frequency prior `Pr(u)`, and
+//! context disambiguation `Pr(u|c)` via embedding cosine similarity against
+//! stored unit keywords. Together with `dimkb` this forms the paper's
+//! dimensional knowledge system (DimKS).
+//!
+//! The crate also ships the DimKS *text annotator* used by Algorithm 1:
+//! a bilingual number scanner (ASCII decimals, Chinese numerals, mixed
+//! 万/亿 forms) plus longest-match unit-mention extraction.
+
+#![warn(missing_docs)]
+
+pub mod annotate;
+pub mod lev;
+pub mod linker;
+pub mod numparse;
+
+pub use annotate::{Annotator, QuantityMention};
+pub use linker::{LinkResult, LinkerConfig, UnitLinker};
+pub use numparse::{parse_chinese_numeral, scan_numbers, NumberMatch};

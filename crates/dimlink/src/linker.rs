@@ -1,0 +1,302 @@
+//! The unit linking module (Definition 1 of the paper).
+//!
+//! Given a mention `m` and context `c`, rank candidate units by
+//!
+//! ```text
+//! ũ = argmax_u Pr(u) · Pr(u|m) · Pr(u|c)
+//! ```
+//!
+//! where `Pr(u)` is the KB frequency prior (§III-A4), `Pr(u|m)` is the
+//! normalized Levenshtein similarity between mention and the unit's surface
+//! forms, and `Pr(u|c)` aggregates cosine similarities between context
+//! words and the unit's stored keywords (§III-B2).
+
+use crate::lev;
+use dim_embed::tokenize::{tokenize, TokenKind};
+use dim_embed::EmbeddingModel;
+use dimkb::{DimUnitKb, UnitId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A scored candidate from the linker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkResult {
+    /// The candidate unit.
+    pub unit: UnitId,
+    /// Combined confidence `Pr(u)·Pr(u|m)·Pr(u|c)`.
+    pub score: f64,
+    /// The frequency prior `Pr(u)`.
+    pub prior: f64,
+    /// The mention similarity `Pr(u|m)`.
+    pub mention_sim: f64,
+    /// The context probability `Pr(u|c)`.
+    pub context_prob: f64,
+}
+
+/// Linker configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkerConfig {
+    /// Minimum `Pr(u|m)` for a candidate to be considered.
+    pub mention_threshold: f64,
+    /// Maximum number of ranked results returned.
+    pub top_k: usize,
+    /// Smoothing floor for `Pr(u|c)` so context never zeroes a candidate.
+    pub context_floor: f64,
+    /// Ablation switch: include the frequency prior `Pr(u)` in the score.
+    pub use_prior: bool,
+    /// Ablation switch: include the context term `Pr(u|c)` in the score.
+    pub use_context: bool,
+}
+
+impl Default for LinkerConfig {
+    fn default() -> Self {
+        LinkerConfig {
+            mention_threshold: 0.6,
+            top_k: 8,
+            context_floor: 0.05,
+            use_prior: true,
+            use_context: true,
+        }
+    }
+}
+
+/// The unit linker. Owns a reference to the KB and optional embeddings for
+/// context disambiguation (without embeddings, `Pr(u|c)` falls back to
+/// lexical keyword overlap).
+pub struct UnitLinker {
+    kb: Arc<DimUnitKb>,
+    embeddings: Option<EmbeddingModel>,
+    config: LinkerConfig,
+    /// Naming-dictionary keys bucketed by char length for cheap pre-filter.
+    keys_by_len: HashMap<usize, Vec<String>>,
+}
+
+impl UnitLinker {
+    /// Builds a linker over a KB.
+    pub fn new(kb: Arc<DimUnitKb>, embeddings: Option<EmbeddingModel>, config: LinkerConfig) -> Self {
+        let mut keys_by_len: HashMap<usize, Vec<String>> = HashMap::new();
+        for (key, _) in kb.naming_dictionary() {
+            keys_by_len.entry(key.chars().count()).or_default().push(key.to_string());
+        }
+        // Deterministic candidate order regardless of hash-map iteration.
+        for bucket in keys_by_len.values_mut() {
+            bucket.sort_unstable();
+        }
+        UnitLinker { kb, embeddings, config, keys_by_len }
+    }
+
+    /// The knowledge base this linker resolves into.
+    pub fn kb(&self) -> &DimUnitKb {
+        &self.kb
+    }
+
+    /// Links a mention within a context, returning ranked candidates
+    /// (highest confidence first).
+    pub fn link(&self, mention: &str, context: &str) -> Vec<LinkResult> {
+        let mention_norm = dimkb::normalize(mention);
+        if mention_norm.is_empty() {
+            return Vec::new();
+        }
+        // Candidate generation: exact hit short-circuits the fuzzy scan.
+        // The raw mention goes through the KB's case-aware lookup so `MW`
+        // and `mW` resolve differently; the lowercased form only drives the
+        // fuzzy Levenshtein pass.
+        let mut cand: HashMap<UnitId, f64> = HashMap::new();
+        for &id in self.kb.lookup(mention) {
+            cand.insert(id, 1.0);
+        }
+        if cand.is_empty() {
+            let m_len = mention_norm.chars().count();
+            let radius = (m_len as f64 * (1.0 - self.config.mention_threshold)).ceil() as usize;
+            let lo = m_len.saturating_sub(radius);
+            let hi = m_len + radius;
+            for len in lo..=hi {
+                let Some(keys) = self.keys_by_len.get(&len) else { continue };
+                for key in keys {
+                    let sim = lev::similarity(&mention_norm, key);
+                    if sim >= self.config.mention_threshold {
+                        for &id in self.kb.lookup(key) {
+                            let e = cand.entry(id).or_insert(0.0);
+                            if sim > *e {
+                                *e = sim;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if cand.is_empty() {
+            return Vec::new();
+        }
+
+        let context_words: Vec<String> = tokenize(context)
+            .into_iter()
+            .filter(|t| matches!(t.kind, TokenKind::Word | TokenKind::Cjk))
+            .map(|t| t.text)
+            .collect();
+
+        let mut results: Vec<LinkResult> = cand
+            .into_iter()
+            .map(|(id, mention_sim)| {
+                let unit = self.kb.unit(id);
+                let prior = unit.frequency;
+                let context_prob = self
+                    .context_probability(&context_words, &unit.keywords)
+                    .max(self.config.context_floor);
+                let score = mention_sim
+                    * if self.config.use_prior { prior } else { 1.0 }
+                    * if self.config.use_context { context_prob } else { 1.0 };
+                LinkResult { unit: id, score, prior, mention_sim, context_prob }
+            })
+            .collect();
+        results.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.unit.cmp(&b.unit))
+        });
+        results.truncate(self.config.top_k);
+        results
+    }
+
+    /// Convenience: the single best link, if any.
+    pub fn best(&self, mention: &str, context: &str) -> Option<LinkResult> {
+        self.link(mention, context).into_iter().next()
+    }
+
+    /// `Pr(u|c) = (1/n) Σ_i max_j sim(c_i, k_j)` (the paper's formula), with
+    /// embedding cosine when available and exact-match overlap as fallback.
+    fn context_probability(&self, context_words: &[String], keywords: &[String]) -> f64 {
+        if context_words.is_empty() || keywords.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for cw in context_words {
+            let mut best: f64 = 0.0;
+            for kw in keywords {
+                let sim = if cw == kw {
+                    1.0
+                } else if let Some(model) = &self.embeddings {
+                    f64::from(model.similarity(cw, kw)).max(0.0)
+                } else {
+                    0.0
+                };
+                if sim > best {
+                    best = sim;
+                }
+            }
+            total += best;
+        }
+        total / context_words.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linker() -> UnitLinker {
+        UnitLinker::new(DimUnitKb::shared(), None, LinkerConfig::default())
+    }
+
+    #[test]
+    fn exact_symbol_links_to_unit() {
+        let l = linker();
+        let best = l.best("km", "the road is long").expect("km resolves");
+        assert_eq!(l.kb().unit(best.unit).code, "KiloM");
+        assert_eq!(best.mention_sim, 1.0);
+    }
+
+    #[test]
+    fn fig1_dyn_per_cm_links() {
+        let l = linker();
+        let best = l.best("dyn/cm", "surface tension of the liquid").expect("resolves");
+        assert_eq!(l.kb().unit(best.unit).code, "DYN-PER-CentiM");
+    }
+
+    #[test]
+    fn fuzzy_typo_links() {
+        let l = linker();
+        let best = l.best("kilometr", "distance travelled on the road").expect("fuzzy match");
+        let unit = l.kb().unit(best.unit);
+        assert!(unit.label_en.contains("kilometre") || unit.aliases.iter().any(|a| a.contains("kilometer")),
+            "got {}", unit.label_en);
+        assert!(best.mention_sim < 1.0);
+    }
+
+    #[test]
+    fn frequency_prior_breaks_ties() {
+        // "m" is both metre and milli-prefix symbol clash candidates; the
+        // frequent metre must win with neutral context.
+        let l = linker();
+        let best = l.best("m", "").expect("resolves");
+        assert_eq!(l.kb().unit(best.unit).code, "M");
+    }
+
+    #[test]
+    fn chinese_mention_links() {
+        let l = linker();
+        let best = l.best("千克", "这袋大米的重量").expect("resolves");
+        assert_eq!(l.kb().unit(best.unit).code, "KiloGM");
+    }
+
+    #[test]
+    fn garbage_mention_returns_empty() {
+        let l = linker();
+        assert!(l.link("qqqqzzzzqqqqzzzz", "context").is_empty());
+    }
+
+    #[test]
+    fn results_are_sorted_and_bounded() {
+        let l = linker();
+        let results = l.link("degree", "the angle of rotation");
+        assert!(results.len() <= LinkerConfig::default().top_k);
+        for w in results.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn context_disambiguates_degree_with_embeddings() {
+        // Train tiny embeddings where "angle"-context words cluster with the
+        // arc-degree keywords and "weather" words with celsius keywords.
+        let kb = DimUnitKb::shared();
+        let mut sents: Vec<Vec<String>> = Vec::new();
+        for _ in 0..40 {
+            sents.push(
+                ["rotation", "angle", "geometry", "compass"].iter().map(|s| s.to_string()).collect(),
+            );
+            sents.push(
+                ["weather", "temperature", "thermometer", "forecast"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+            );
+        }
+        let model = dim_embed::EmbeddingModel::train(&sents, dim_embed::EmbedConfig::default());
+        let l = UnitLinker::new(kb, Some(model), LinkerConfig::default());
+        let angle = l.best("degree", "rotation angle of the compass needle").unwrap();
+        let weather = l.best("degree", "weather forecast temperature today").unwrap();
+        let angle_unit = l.kb().unit(angle.unit).code.clone();
+        let weather_unit = l.kb().unit(weather.unit).code.clone();
+        assert_eq!(angle_unit, "DEG-ANGLE");
+        // The weather context should shift probability mass toward Celsius
+        // relative to the angle context even if the final argmax is shared.
+        let celsius_in_weather = l
+            .link("degree", "weather forecast temperature today")
+            .iter()
+            .find(|r| l.kb().unit(r.unit).code == "DEG-C")
+            .map(|r| r.context_prob)
+            .unwrap_or(0.0);
+        let celsius_in_angle = l
+            .link("degree", "rotation angle of the compass needle")
+            .iter()
+            .find(|r| l.kb().unit(r.unit).code == "DEG-C")
+            .map(|r| r.context_prob)
+            .unwrap_or(0.0);
+        assert!(
+            celsius_in_weather > celsius_in_angle || weather_unit == "DEG-C",
+            "weather context must favour Celsius: {celsius_in_weather} vs {celsius_in_angle}"
+        );
+    }
+}

@@ -1,0 +1,264 @@
+//! Number scanning for bilingual text: ASCII decimals, Chinese numerals
+//! (三千五百, 一点五), and mixed forms (3万, 1.5亿).
+
+/// A number found in text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NumberMatch {
+    /// Byte span of the number.
+    pub start: usize,
+    /// One past the end byte.
+    pub end: usize,
+    /// Parsed value.
+    pub value: f64,
+}
+
+const CN_DIGITS: &[(char, f64)] = &[
+    ('零', 0.0),
+    ('一', 1.0),
+    ('二', 2.0),
+    ('两', 2.0),
+    ('三', 3.0),
+    ('四', 4.0),
+    ('五', 5.0),
+    ('六', 6.0),
+    ('七', 7.0),
+    ('八', 8.0),
+    ('九', 9.0),
+];
+
+fn cn_digit(c: char) -> Option<f64> {
+    CN_DIGITS.iter().find(|&&(d, _)| d == c).map(|&(_, v)| v)
+}
+
+fn cn_small_unit(c: char) -> Option<f64> {
+    match c {
+        '十' => Some(10.0),
+        '百' => Some(100.0),
+        '千' => Some(1000.0),
+        _ => None,
+    }
+}
+
+fn cn_section_unit(c: char) -> Option<f64> {
+    match c {
+        '万' => Some(1e4),
+        '亿' => Some(1e8),
+        _ => None,
+    }
+}
+
+fn is_cn_numeral(c: char) -> bool {
+    cn_digit(c).is_some() || cn_small_unit(c).is_some() || cn_section_unit(c).is_some() || c == '点'
+}
+
+/// Parses a pure Chinese numeral string (already isolated), e.g.
+/// `三千五百`, `十五`, `一点五`, `两百零三`. Returns `None` for invalid
+/// sequences.
+pub fn parse_chinese_numeral(s: &str) -> Option<f64> {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.is_empty() {
+        return None;
+    }
+    // Split at 点 for decimals.
+    if let Some(dot) = chars.iter().position(|&c| c == '点') {
+        let int_part: String = chars[..dot].iter().collect();
+        let frac_part = &chars[dot + 1..];
+        if frac_part.is_empty() {
+            return None;
+        }
+        let int_val = if int_part.is_empty() { 0.0 } else { parse_chinese_numeral(&int_part)? };
+        let mut frac = 0.0;
+        let mut scale = 0.1;
+        for &c in frac_part {
+            let d = cn_digit(c)?;
+            frac += d * scale;
+            scale *= 0.1;
+        }
+        return Some(int_val + frac);
+    }
+    let mut total = 0.0; // completed 万/亿 sections
+    let mut section = 0.0; // current section value
+    let mut digit: Option<f64> = None;
+    for (i, &c) in chars.iter().enumerate() {
+        if let Some(d) = cn_digit(c) {
+            if d == 0.0 {
+                // 零 is a positional filler.
+                if digit.is_some() {
+                    return None;
+                }
+                continue;
+            }
+            if digit.is_some() {
+                return None; // two digits in a row (e.g. 三五) — not a numeral
+            }
+            digit = Some(d);
+        } else if let Some(mult) = cn_small_unit(c) {
+            // A bare 十 means 1×10 (十五 = 15); bare 百/千 are invalid.
+            let d = match digit.take() {
+                Some(d) => d,
+                None if c == '十' && i == 0 => 1.0,
+                None => return None,
+            };
+            section += d * mult;
+        } else if let Some(mult) = cn_section_unit(c) {
+            // 万/亿 closes the current section: 两亿三千万 = 2·10⁸ + 3000·10⁴.
+            section += digit.take().unwrap_or(0.0);
+            if section == 0.0 {
+                return None;
+            }
+            total += section * mult;
+            section = 0.0;
+        } else {
+            return None;
+        }
+    }
+    if let Some(d) = digit {
+        section += d;
+    }
+    Some(total + section)
+}
+
+/// Scans text for all numbers (ASCII and Chinese), longest-match, with
+/// trailing 万/亿 multipliers applied to ASCII numbers (`3万` = 30 000).
+pub fn scan_numbers(text: &str) -> Vec<NumberMatch> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut idx = 0;
+    let char_at = |i: usize| text[i..].chars().next();
+    while idx < bytes.len() {
+        let Some(c) = char_at(idx) else { break };
+        if c.is_ascii_digit() {
+            // ASCII number.
+            let start = idx;
+            let mut end = idx;
+            let mut seen_dot = false;
+            while let Some(nc) = char_at(end) {
+                if nc.is_ascii_digit() {
+                    end += 1;
+                } else if nc == '.' && !seen_dot {
+                    // decimal point only when followed by a digit
+                    let after = char_at(end + 1);
+                    if matches!(after, Some(d) if d.is_ascii_digit()) {
+                        seen_dot = true;
+                        end += 1;
+                    } else {
+                        break;
+                    }
+                } else {
+                    break;
+                }
+            }
+            // Reject digits embedded in identifiers like "LPUI-1T"?
+            // No: Algorithm 1's heuristic annotator deliberately picks
+            // those up; the MLM filter removes them later.
+            let mut value: f64 = text[start..end].parse().unwrap_or(f64::NAN);
+            let mut full_end = end;
+            // Trailing 万/亿 multipliers (only when NOT followed by another
+            // CJK numeral continuing a unit like 万米 — we conservatively
+            // apply the multiplier and let the unit matcher consume from
+            // after it; ambiguity between 万 as count-unit and multiplier is
+            // inherent and resolved by the caller trying both spans).
+            if let Some(nc) = char_at(full_end) {
+                if let Some(mult) = cn_section_unit(nc) {
+                    value *= mult;
+                    full_end += nc.len_utf8();
+                }
+            }
+            if value.is_finite() {
+                out.push(NumberMatch { start, end: full_end, value });
+            }
+            idx = full_end.max(end).max(idx + 1);
+        } else if is_cn_numeral(c) && cn_digit(c).is_some() || c == '十' {
+            // Chinese numeral run starting with a digit or 十.
+            let start = idx;
+            let mut end = idx;
+            while let Some(nc) = char_at(end) {
+                if is_cn_numeral(nc) {
+                    end += nc.len_utf8();
+                } else {
+                    break;
+                }
+            }
+            match parse_chinese_numeral(&text[start..end]) {
+                Some(v) => {
+                    out.push(NumberMatch { start, end, value: v });
+                    idx = end;
+                }
+                None => {
+                    idx += c.len_utf8();
+                }
+            }
+        } else {
+            idx += c.len_utf8();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_decimals() {
+        let ms = scan_numbers("height 2.06 meters, weight 98 kg");
+        assert_eq!(ms.len(), 2);
+        assert_eq!(ms[0].value, 2.06);
+        assert_eq!(ms[1].value, 98.0);
+    }
+
+    #[test]
+    fn chinese_numerals() {
+        assert_eq!(parse_chinese_numeral("三千五百"), Some(3500.0));
+        assert_eq!(parse_chinese_numeral("十五"), Some(15.0));
+        assert_eq!(parse_chinese_numeral("两百零三"), Some(203.0));
+        assert_eq!(parse_chinese_numeral("一点五"), Some(1.5));
+        assert_eq!(parse_chinese_numeral("九"), Some(9.0));
+        assert_eq!(parse_chinese_numeral("三万"), Some(30_000.0));
+        assert_eq!(parse_chinese_numeral("两亿"), Some(200_000_000.0));
+    }
+
+    #[test]
+    fn invalid_chinese_sequences() {
+        assert_eq!(parse_chinese_numeral("三五"), None, "two adjacent digits");
+        assert_eq!(parse_chinese_numeral(""), None);
+        assert_eq!(parse_chinese_numeral("点"), None);
+    }
+
+    #[test]
+    fn mixed_multiplier() {
+        let ms = scan_numbers("人口约3万人");
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].value, 30_000.0);
+    }
+
+    #[test]
+    fn scan_chinese_in_context() {
+        let ms = scan_numbers("全长三千五百米的大桥");
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].value, 3500.0);
+    }
+
+    #[test]
+    fn device_code_digits_are_scanned() {
+        // Algorithm 1's *heuristic* stage deliberately over-triggers here.
+        let ms = scan_numbers("型号LPUI-1T");
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].value, 1.0);
+    }
+
+    #[test]
+    fn spans_are_byte_accurate() {
+        let text = "重三千五百克，长2.5米";
+        for m in scan_numbers(text) {
+            assert!(text.is_char_boundary(m.start) && text.is_char_boundary(m.end));
+        }
+    }
+
+    #[test]
+    fn decimal_point_not_sentence_period() {
+        let ms = scan_numbers("it weighs 5. Then more.");
+        assert_eq!(ms[0].value, 5.0);
+        assert_eq!(&"it weighs 5. Then more."[ms[0].start..ms[0].end], "5");
+    }
+}

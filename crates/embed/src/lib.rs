@@ -1,0 +1,15 @@
+//! # dim-embed — distributional word embeddings (Word2Vec substitution)
+//!
+//! The paper's unit linking module (§III-B) computes `Pr(u|c)` from cosine
+//! similarities between context words and stored unit keywords using
+//! Word2Vec. Pretrained Word2Vec is a gated artifact, so this crate trains
+//! real distributional embeddings from scratch: PPMI co-occurrence
+//! statistics factorized by randomized subspace iteration. It also provides
+//! the bilingual tokenizer shared across the framework.
+
+#![warn(missing_docs)]
+
+mod model;
+pub mod tokenize;
+
+pub use model::{cosine, EmbedConfig, EmbeddingModel, Vocab};

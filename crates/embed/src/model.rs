@@ -1,0 +1,377 @@
+//! PPMI-factorization word embeddings.
+//!
+//! The paper disambiguates unit mentions with Word2Vec cosine similarity
+//! (§III-B). Pretrained Word2Vec vectors are a gated artifact, so this
+//! module trains real distributional embeddings from scratch: window
+//! co-occurrence counts → positive pointwise mutual information → a low-rank
+//! factorization by randomized subspace (power) iteration. Levy & Goldberg
+//! showed this family is equivalent to skip-gram with negative sampling up
+//! to hyperparameters, so the cosine geometry the linker needs is preserved.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// A string-interning vocabulary.
+#[derive(Debug, Clone, Default)]
+pub struct Vocab {
+    words: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Vocab {
+    /// Interns a word, returning its id.
+    pub fn intern(&mut self, word: &str) -> u32 {
+        if let Some(&id) = self.index.get(word) {
+            return id;
+        }
+        let id = self.words.len() as u32;
+        self.words.push(word.to_string());
+        self.index.insert(word.to_string(), id);
+        id
+    }
+
+    /// Looks up a word's id.
+    pub fn get(&self, word: &str) -> Option<u32> {
+        self.index.get(word).copied()
+    }
+
+    /// The word for an id.
+    pub fn word(&self, id: u32) -> &str {
+        &self.words[id as usize]
+    }
+
+    /// Vocabulary size.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+/// Configuration for embedding training.
+#[derive(Debug, Clone, Copy)]
+pub struct EmbedConfig {
+    /// Context window radius.
+    pub window: usize,
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Power-iteration rounds.
+    pub iterations: usize,
+    /// RNG seed for the random projection.
+    pub seed: u64,
+}
+
+impl Default for EmbedConfig {
+    fn default() -> Self {
+        EmbedConfig { window: 4, dim: 32, iterations: 4, seed: 17 }
+    }
+}
+
+/// A trained embedding model: vocabulary plus unit-normalized vectors.
+#[derive(Debug, Clone)]
+pub struct EmbeddingModel {
+    vocab: Vocab,
+    dim: usize,
+    /// Row-major `len × dim`, each row L2-normalized (zero rows allowed).
+    vectors: Vec<f32>,
+}
+
+impl EmbeddingModel {
+    /// Trains embeddings from tokenized sentences.
+    pub fn train(sentences: &[Vec<String>], config: EmbedConfig) -> Self {
+        let mut vocab = Vocab::default();
+        let ids: Vec<Vec<u32>> = sentences
+            .iter()
+            .map(|s| s.iter().map(|w| vocab.intern(w)).collect())
+            .collect();
+        let n = vocab.len();
+        if n == 0 {
+            return EmbeddingModel { vocab, dim: config.dim, vectors: Vec::new() };
+        }
+
+        // Window co-occurrence counts (symmetric).
+        let mut cooc: HashMap<(u32, u32), f64> = HashMap::new();
+        let mut word_count = vec![0f64; n];
+        let mut total = 0f64;
+        for sent in &ids {
+            for (i, &a) in sent.iter().enumerate() {
+                word_count[a as usize] += 1.0;
+                let hi = (i + config.window + 1).min(sent.len());
+                for &b in &sent[i + 1..hi] {
+                    *cooc.entry((a.min(b), a.max(b))).or_insert(0.0) += 1.0;
+                    total += 2.0;
+                }
+            }
+        }
+        let corpus_words: f64 = word_count.iter().sum();
+        if total == 0.0 || corpus_words == 0.0 {
+            return EmbeddingModel { vocab, dim: config.dim, vectors: vec![0.0; n * config.dim] };
+        }
+
+        // PPMI rows: max(0, log(p(a,b) / (p(a) p(b)))).
+        let mut rows: Vec<Vec<(u32, f32)>> = vec![Vec::new(); n];
+        for (&(a, b), &c) in &cooc {
+            let pab = c * 2.0 / total;
+            let pa = word_count[a as usize] / corpus_words;
+            let pb = word_count[b as usize] / corpus_words;
+            let pmi = (pab / (pa * pb)).ln();
+            if pmi > 0.0 {
+                rows[a as usize].push((b, pmi as f32));
+                if a != b {
+                    rows[b as usize].push((a, pmi as f32));
+                }
+            }
+        }
+        // HashMap iteration order is unspecified; sort rows so float
+        // accumulation (and therefore training) is bit-deterministic.
+        for row in &mut rows {
+            row.sort_unstable_by_key(|&(j, _)| j);
+        }
+
+        // Randomized subspace iteration for the top-dim left singular
+        // subspace of the PPMI matrix M (symmetric, so eigen-subspace).
+        let d = config.dim.min(n);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut e: Vec<f32> = (0..n * d).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        orthonormalize(&mut e, n, d);
+        for _ in 0..config.iterations {
+            let tmp = spmm(&rows, &e, n, d);
+            e = tmp;
+            orthonormalize(&mut e, n, d);
+        }
+        // Scale rows by sqrt of eigenvalue proxy (norm of M·e per row block)
+        // then L2-normalize each word vector for cosine use.
+        let m_e = spmm(&rows, &e, n, d);
+        let mut vectors = m_e;
+        for row in vectors.chunks_mut(d) {
+            let norm: f32 = row.iter().map(|x| x * x).sum::<f32>().sqrt();
+            if norm > 1e-9 {
+                for x in row {
+                    *x /= norm;
+                }
+            }
+        }
+        let mut padded = vectors;
+        if d < config.dim {
+            // Pad to requested dim with zeros for a stable layout.
+            let mut full = vec![0.0f32; n * config.dim];
+            for i in 0..n {
+                full[i * config.dim..i * config.dim + d]
+                    .copy_from_slice(&padded[i * d..(i + 1) * d]);
+            }
+            padded = full;
+        }
+        EmbeddingModel { vocab, dim: config.dim, vectors: padded }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The vocabulary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// The vector for a word, if in vocabulary.
+    pub fn vector(&self, word: &str) -> Option<&[f32]> {
+        let id = self.vocab.get(word)?;
+        let start = id as usize * self.dim;
+        Some(&self.vectors[start..start + self.dim])
+    }
+
+    /// Cosine similarity between two words; 0 when either is OOV or has a
+    /// zero vector.
+    pub fn similarity(&self, a: &str, b: &str) -> f32 {
+        match (self.vector(a), self.vector(b)) {
+            (Some(va), Some(vb)) => cosine(va, vb),
+            _ => 0.0,
+        }
+    }
+
+    /// Mean-of-vectors embedding for a phrase; `None` if every word is OOV.
+    pub fn phrase(&self, words: &[String]) -> Option<Vec<f32>> {
+        let mut acc = vec![0.0f32; self.dim];
+        let mut hits = 0;
+        for w in words {
+            if let Some(v) = self.vector(w) {
+                for (a, x) in acc.iter_mut().zip(v) {
+                    *a += x;
+                }
+                hits += 1;
+            }
+        }
+        if hits == 0 {
+            return None;
+        }
+        let norm: f32 = acc.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if norm > 1e-9 {
+            for x in &mut acc {
+                *x /= norm;
+            }
+        }
+        Some(acc)
+    }
+
+    /// The `k` nearest vocabulary words to `word` by cosine.
+    pub fn nearest(&self, word: &str, k: usize) -> Vec<(String, f32)> {
+        let Some(v) = self.vector(word) else { return Vec::new() };
+        let v = v.to_vec();
+        let mut scored: Vec<(String, f32)> = (0..self.vocab.len())
+            .filter(|&i| self.vocab.word(i as u32) != word)
+            .map(|i| {
+                let row = &self.vectors[i * self.dim..(i + 1) * self.dim];
+                (self.vocab.word(i as u32).to_string(), cosine(&v, row))
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(k);
+        scored
+    }
+}
+
+/// Cosine similarity of two equal-length vectors.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut dot = 0.0f32;
+    let mut na = 0.0f32;
+    let mut nb = 0.0f32;
+    for (x, y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na <= 1e-12 || nb <= 1e-12 {
+        return 0.0;
+    }
+    dot / (na.sqrt() * nb.sqrt())
+}
+
+/// Sparse (rows) × dense (n×d) multiply.
+fn spmm(rows: &[Vec<(u32, f32)>], e: &[f32], n: usize, d: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; n * d];
+    for (i, row) in rows.iter().enumerate() {
+        let dst = &mut out[i * d..(i + 1) * d];
+        for &(j, w) in row {
+            let src = &e[j as usize * d..(j as usize + 1) * d];
+            for (o, s) in dst.iter_mut().zip(src) {
+                *o += w * s;
+            }
+        }
+    }
+    out
+}
+
+/// Modified Gram-Schmidt on the d columns of a row-major n×d matrix.
+fn orthonormalize(e: &mut [f32], n: usize, d: usize) {
+    for c in 0..d {
+        for prev in 0..c {
+            let mut dot = 0.0f32;
+            for r in 0..n {
+                dot += e[r * d + c] * e[r * d + prev];
+            }
+            for r in 0..n {
+                e[r * d + c] -= dot * e[r * d + prev];
+            }
+        }
+        let mut norm = 0.0f32;
+        for r in 0..n {
+            norm += e[r * d + c] * e[r * d + c];
+        }
+        let norm = norm.sqrt();
+        if norm > 1e-9 {
+            for r in 0..n {
+                e[r * d + c] /= norm;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_corpus() -> Vec<Vec<String>> {
+        // Two topical clusters: lengths and temperatures.
+        let length = ["road", "distance", "kilometre", "long", "travel"];
+        let temp = ["weather", "hot", "celsius", "temperature", "degree"];
+        let mut sents = Vec::new();
+        for i in 0..60 {
+            let rot = |words: &[&str], k: usize| -> Vec<String> {
+                words.iter().cycle().skip(k).take(4).map(|s| s.to_string()).collect()
+            };
+            sents.push(rot(&length, i % 5));
+            sents.push(rot(&temp, i % 5));
+        }
+        sents
+    }
+
+    #[test]
+    fn same_cluster_words_are_closer() {
+        let model = EmbeddingModel::train(&toy_corpus(), EmbedConfig::default());
+        let within = model.similarity("kilometre", "distance");
+        let across = model.similarity("kilometre", "celsius");
+        assert!(
+            within > across,
+            "within-cluster {within} should beat cross-cluster {across}"
+        );
+    }
+
+    #[test]
+    fn vectors_are_unit_norm() {
+        let model = EmbeddingModel::train(&toy_corpus(), EmbedConfig::default());
+        let v = model.vector("road").unwrap();
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-3, "norm {norm}");
+    }
+
+    #[test]
+    fn oov_similarity_is_zero() {
+        let model = EmbeddingModel::train(&toy_corpus(), EmbedConfig::default());
+        assert_eq!(model.similarity("kilometre", "zebra"), 0.0);
+    }
+
+    #[test]
+    fn phrase_embedding_averages() {
+        let model = EmbeddingModel::train(&toy_corpus(), EmbedConfig::default());
+        let phrase =
+            model.phrase(&["road".to_string(), "travel".to_string()]).expect("in vocab");
+        let sim = cosine(&phrase, model.vector("distance").unwrap());
+        assert!(sim > 0.0);
+        assert!(model.phrase(&["zzz".to_string()]).is_none());
+    }
+
+    #[test]
+    fn nearest_returns_sorted_neighbours() {
+        let model = EmbeddingModel::train(&toy_corpus(), EmbedConfig::default());
+        let nn = model.nearest("hot", 3);
+        assert_eq!(nn.len(), 3);
+        for w in nn.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let a = EmbeddingModel::train(&toy_corpus(), EmbedConfig::default());
+        let b = EmbeddingModel::train(&toy_corpus(), EmbedConfig::default());
+        assert_eq!(a.vector("road"), b.vector("road"));
+    }
+
+    #[test]
+    fn empty_corpus_is_fine() {
+        let model = EmbeddingModel::train(&[], EmbedConfig::default());
+        assert!(model.vocab().is_empty());
+        assert!(model.vector("x").is_none());
+    }
+
+    #[test]
+    fn cosine_of_zero_vector_is_zero() {
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+    }
+}

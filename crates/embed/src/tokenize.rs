@@ -1,0 +1,170 @@
+//! Bilingual tokenization shared across the framework.
+//!
+//! Latin-script text is split on non-alphanumeric boundaries and lowercased;
+//! CJK text is split into single characters (the standard character-level
+//! fallback when no segmenter is available). Digits are kept as contiguous
+//! number tokens so quantity values survive tokenization.
+
+/// A token with its byte span in the original text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The normalized token text (lowercased for Latin script).
+    pub text: String,
+    /// Byte offset of the token start in the input.
+    pub start: usize,
+    /// Byte offset one past the token end.
+    pub end: usize,
+    /// Token class.
+    pub kind: TokenKind,
+}
+
+/// Classification of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A Latin-script word.
+    Word,
+    /// A single CJK character.
+    Cjk,
+    /// A run of ASCII digits, possibly with one decimal point.
+    Number,
+    /// Punctuation or symbols.
+    Symbol,
+}
+
+/// True for characters in the main CJK blocks.
+pub fn is_cjk(c: char) -> bool {
+    matches!(c,
+        '\u{4E00}'..='\u{9FFF}'   // CJK Unified Ideographs
+        | '\u{3400}'..='\u{4DBF}' // Extension A
+        | '\u{F900}'..='\u{FAFF}' // Compatibility Ideographs
+    )
+}
+
+/// Tokenizes bilingual text into [`Token`]s with spans.
+///
+/// ```
+/// use dim_embed::tokenize::{tokenize, TokenKind};
+///
+/// let toks = tokenize("LeBron身高2.06米");
+/// let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+/// assert_eq!(texts, vec!["lebron", "身", "高", "2.06", "米"]);
+/// assert_eq!(toks[3].kind, TokenKind::Number);
+/// ```
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut chars = text.char_indices().peekable();
+    while let Some((start, c)) = chars.next() {
+        if c.is_whitespace() {
+            continue;
+        }
+        if is_cjk(c) {
+            tokens.push(Token {
+                text: c.to_string(),
+                start,
+                end: start + c.len_utf8(),
+                kind: TokenKind::Cjk,
+            });
+        } else if c.is_ascii_digit() {
+            let mut end = start + c.len_utf8();
+            let mut text_buf = c.to_string();
+            let mut seen_dot = false;
+            while let Some(&(i, nc)) = chars.peek() {
+                if nc.is_ascii_digit() || (nc == '.' && !seen_dot) {
+                    if nc == '.' {
+                        // Only treat as decimal point when followed by a digit.
+                        let mut ahead = chars.clone();
+                        ahead.next();
+                        match ahead.peek() {
+                            Some(&(_, d)) if d.is_ascii_digit() => seen_dot = true,
+                            _ => break,
+                        }
+                    }
+                    text_buf.push(nc);
+                    end = i + nc.len_utf8();
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            tokens.push(Token { text: text_buf, start, end, kind: TokenKind::Number });
+        } else if c.is_alphabetic() {
+            let mut end = start + c.len_utf8();
+            let mut text_buf: String = c.to_lowercase().collect();
+            while let Some(&(i, nc)) = chars.peek() {
+                if nc.is_alphabetic() && !is_cjk(nc) {
+                    text_buf.extend(nc.to_lowercase());
+                    end = i + nc.len_utf8();
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            tokens.push(Token { text: text_buf, start, end, kind: TokenKind::Word });
+        } else {
+            tokens.push(Token {
+                text: c.to_string(),
+                start,
+                end: start + c.len_utf8(),
+                kind: TokenKind::Symbol,
+            });
+        }
+    }
+    tokens
+}
+
+/// Convenience: just the token texts.
+pub fn words(text: &str) -> Vec<String> {
+    tokenize(text).into_iter().map(|t| t.text).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_mixed_script() {
+        let toks = words("小王有150千克农药 weighing 150 kg");
+        assert!(toks.contains(&"千".to_string()));
+        assert!(toks.contains(&"weighing".to_string()));
+        assert!(toks.contains(&"150".to_string()));
+    }
+
+    #[test]
+    fn decimal_numbers_stay_whole() {
+        let toks = tokenize("2.06 meters and 3. dots");
+        assert_eq!(toks[0].text, "2.06");
+        assert_eq!(toks[0].kind, TokenKind::Number);
+        // "3." keeps the 3 and emits the dot separately.
+        let three = toks.iter().find(|t| t.text == "3").unwrap();
+        assert_eq!(three.kind, TokenKind::Number);
+    }
+
+    #[test]
+    fn spans_are_byte_accurate() {
+        let text = "高2米";
+        let toks = tokenize(text);
+        for t in &toks {
+            if t.kind != TokenKind::Word {
+                assert_eq!(&text[t.start..t.end], t.text);
+            }
+        }
+    }
+
+    #[test]
+    fn lowercases_latin() {
+        assert_eq!(words("KM and Km"), vec!["km", "and", "km"]);
+    }
+
+    #[test]
+    fn symbols_are_single_tokens() {
+        let toks = tokenize("m/s");
+        let kinds: Vec<TokenKind> = toks.iter().map(|t| t.kind).collect();
+        assert_eq!(kinds, vec![TokenKind::Word, TokenKind::Symbol, TokenKind::Word]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   ").is_empty());
+    }
+}

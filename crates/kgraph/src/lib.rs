@@ -1,0 +1,16 @@
+//! # dim-kgraph — an in-memory triple store (CN-DBpedia substitution)
+//!
+//! Algorithm 2 of the paper bootstraps quantitative triples out of
+//! CN-DBpedia. That graph is a gated resource, so this crate provides the
+//! substrate the algorithm actually needs: a triple store with subject /
+//! predicate / object-mention indexes, plus a synthetic population with
+//! quantity-bearing predicates, diverse unit surface forms, decoy
+//! predicates and trap objects.
+
+#![warn(missing_docs)]
+
+pub mod store;
+pub mod synthesize;
+
+pub use store::{EntityId, PredicateId, Triple, TripleId, TripleStore};
+pub use synthesize::{synthesize, GoldQuantity, SynthConfig, SynthKg};

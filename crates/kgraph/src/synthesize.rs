@@ -1,0 +1,373 @@
+//! Synthetic knowledge-graph population.
+//!
+//! CN-DBpedia is a gated resource; this module grows a synthetic graph with
+//! the same *structural* properties Algorithm 2 depends on: entities of many
+//! types, quantity-bearing predicates whose objects embed values with
+//! diverse unit surface forms (Chinese labels, symbols, English labels),
+//! decoy predicates with non-quantity objects, and trap objects (device
+//! codes like "LPUI-1T") that a naive heuristic annotator mislabels.
+
+use crate::store::{TripleId, TripleStore};
+use dimkb::DimUnitKb;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Gold annotation of a quantitative triple: what the object really means.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GoldQuantity {
+    /// The numeric value as written in the object.
+    pub value: f64,
+    /// The KB code of the unit used.
+    pub unit_code: String,
+    /// The (narrow) quantity-kind name of the predicate.
+    pub kind: String,
+}
+
+/// A synthesized graph plus its gold quantity annotations.
+#[derive(Debug, Clone)]
+pub struct SynthKg {
+    /// The triple store.
+    pub store: TripleStore,
+    /// For each quantitative triple: its gold quantity.
+    pub gold: HashMap<TripleId, GoldQuantity>,
+}
+
+impl SynthKg {
+    /// Whether a triple is (gold-)quantitative.
+    pub fn is_quantitative(&self, id: TripleId) -> bool {
+        self.gold.contains_key(&id)
+    }
+
+    /// Number of quantitative triples.
+    pub fn quantitative_count(&self) -> usize {
+        self.gold.len()
+    }
+}
+
+/// Configuration for graph synthesis.
+#[derive(Debug, Clone, Copy)]
+pub struct SynthConfig {
+    /// Entities generated per archetype.
+    pub entities_per_type: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig { entities_per_type: 60, seed: 7 }
+    }
+}
+
+/// How a quantity object is rendered.
+#[derive(Debug, Clone, Copy)]
+enum Surface {
+    /// `{value}{中文单位}` — no space, Chinese label.
+    ZhTight,
+    /// `{value} {symbol}`.
+    Symbol,
+    /// `{value} {english label}`.
+    English,
+}
+
+/// One quantity-bearing predicate of an archetype.
+struct QuantPred {
+    predicate: &'static str,
+    kind: &'static str,
+    /// Candidate unit codes with log10 value range (lo, hi) per unit.
+    units: &'static [(&'static str, f64, f64)],
+}
+
+/// One archetype of entity.
+struct Archetype {
+    name_parts: (&'static [&'static str], &'static [&'static str]),
+    quants: &'static [QuantPred],
+    decoys: &'static [(&'static str, &'static [&'static str])],
+}
+
+const SURNAMES: &[&str] = &["王", "李", "张", "刘", "陈", "杨", "赵", "黄", "周", "吴"];
+const GIVEN: &[&str] = &["伟", "芳", "娜", "敏", "静", "丽", "强", "磊", "军", "洋", "杰", "涛"];
+const CITIES: &[&str] = &["上海", "北京", "广州", "深圳", "杭州", "成都", "武汉", "西安", "南京", "重庆"];
+const SUFFIX_BUILDING: &[&str] = &["大厦", "中心", "广场", "国际金融中心", "塔"];
+const RIVER_HEADS: &[&str] = &["清", "白", "金", "黑", "长", "青", "沙", "渭", "汾", "淮"];
+const SUFFIX_RIVER: &[&str] = &["河", "江", "溪", "水"];
+const BRANDS: &[&str] = &["星河", "蓝鲸", "凌云", "磐石", "疾风", "天枢", "极光", "曙光", "巨浪", "启明"];
+const SUFFIX_DEVICE: &[&str] = &["Pro", "Max", "Air", "Plus", "Ultra"];
+const CHEM_HEADS: &[&str] = &["氯化", "硫酸", "硝酸", "碳酸", "磷酸", "氢氧化", "氧化", "溴化"];
+const CHEM_TAILS: &[&str] = &["钠", "钾", "钙", "镁", "铁", "铜", "锌", "铝"];
+const COLORS: &[&str] = &["红色", "蓝色", "黑色", "白色", "银色", "金色"];
+const FOUNDERS: &[&str] = &["王建国", "李文华", "张志强", "陈美玲", "刘国栋"];
+const MODELS: &[&str] = &["LPUI-1T", "XJ-5T", "QR-2K", "ZV-9M", "HA-3G", "TB-7A", "KF-1M"];
+
+const PERSON_QUANTS: &[QuantPred] = &[
+    QuantPred {
+        predicate: "身高",
+        kind: "Height",
+        units: &[("M", 0.2, 0.33), ("CentiM", 2.17, 2.3), ("FT", 0.72, 0.82)],
+    },
+    QuantPred {
+        predicate: "体重",
+        kind: "BodyMass",
+        units: &[("KiloGM", 1.65, 2.05), ("JIN-ZH", 1.95, 2.35), ("LB", 2.0, 2.4)],
+    },
+    QuantPred { predicate: "年龄", kind: "Age", units: &[("YR", 1.1, 1.95)] },
+];
+
+const BUILDING_QUANTS: &[QuantPred] = &[
+    QuantPred { predicate: "高度", kind: "Height", units: &[("M", 1.9, 2.8), ("FT", 2.4, 3.3)] },
+    QuantPred {
+        predicate: "建筑面积",
+        kind: "FloorArea",
+        units: &[("M2", 3.8, 5.3), ("FT2", 4.8, 6.3)],
+    },
+];
+
+const RIVER_QUANTS: &[QuantPred] = &[
+    QuantPred {
+        predicate: "全长",
+        kind: "Distance",
+        units: &[("KiloM", 1.5, 3.8), ("MI", 1.3, 3.5), ("LI-ZH", 1.8, 4.1)],
+    },
+    QuantPred {
+        predicate: "流量",
+        kind: "WaterDischarge",
+        units: &[("M3-PER-SEC", 0.5, 4.5)],
+    },
+    QuantPred {
+        predicate: "流域面积",
+        kind: "LandArea",
+        units: &[("KM2", 2.0, 5.5), ("MU-ZH", 5.0, 8.0)],
+    },
+];
+
+const DEVICE_QUANTS: &[QuantPred] = &[
+    QuantPred { predicate: "屏幕尺寸", kind: "Diameter", units: &[("IN", 0.6, 1.1)] },
+    QuantPred {
+        predicate: "电池容量",
+        kind: "BatteryCapacity",
+        units: &[("MilliAH", 3.3, 3.9)],
+    },
+    QuantPred { predicate: "重量", kind: "Weight", units: &[("GM", 2.0, 2.5), ("OZ", 0.5, 1.0)] },
+    QuantPred {
+        predicate: "存储容量",
+        kind: "StorageCapacity",
+        units: &[("GigaBYTE", 1.5, 3.1)],
+    },
+];
+
+const CAR_QUANTS: &[QuantPred] = &[
+    QuantPred {
+        predicate: "最高时速",
+        kind: "TopSpeed",
+        units: &[("KM-PER-HR", 2.1, 2.6), ("MI-PER-HR", 1.9, 2.4)],
+    },
+    QuantPred {
+        predicate: "功率",
+        kind: "EnginePower",
+        units: &[("KiloW", 1.8, 2.6), ("HP", 1.9, 2.8)],
+    },
+    QuantPred { predicate: "排量", kind: "EngineDisplacement", units: &[("L", 0.0, 0.8)] },
+    QuantPred {
+        predicate: "整备质量",
+        kind: "GrossMass",
+        units: &[("KiloGM", 3.0, 3.5), ("TONNE", 0.0, 0.5)],
+    },
+];
+
+const CHEM_QUANTS: &[QuantPred] = &[
+    QuantPred { predicate: "摩尔质量", kind: "MolarMass", units: &[("G-PER-MOL", 1.2, 2.6)] },
+    QuantPred { predicate: "熔点", kind: "MeltingPoint", units: &[("DEG-C", 1.5, 3.0)] },
+    QuantPred {
+        predicate: "密度",
+        kind: "MassDensity",
+        units: &[("G-PER-CM3", -0.3, 1.1), ("KG-PER-M3", 2.7, 4.1)],
+    },
+];
+
+const CITY_QUANTS: &[QuantPred] = &[
+    QuantPred { predicate: "人口", kind: "Population", units: &[("WAN-ZH", 1.0, 3.1)] },
+    QuantPred {
+        predicate: "面积",
+        kind: "LandArea",
+        units: &[("KM2", 2.5, 4.3), ("HA", 4.5, 6.3)],
+    },
+    QuantPred { predicate: "海拔", kind: "Altitude", units: &[("M", 0.7, 3.5)] },
+];
+
+const ARCHETYPES: &[Archetype] = &[
+    Archetype {
+        name_parts: (SURNAMES, GIVEN),
+        quants: PERSON_QUANTS,
+        decoys: &[("国籍", &["中国", "美国", "法国"]), ("职业", &["篮球运动员", "教师", "工程师"])],
+    },
+    Archetype {
+        name_parts: (CITIES, SUFFIX_BUILDING),
+        quants: BUILDING_QUANTS,
+        decoys: &[("设计师", FOUNDERS), ("外观颜色", COLORS)],
+    },
+    Archetype {
+        name_parts: (RIVER_HEADS, SUFFIX_RIVER),
+        quants: RIVER_QUANTS,
+        decoys: &[("流经省份", &["四川", "湖北", "江苏", "安徽"])],
+    },
+    Archetype {
+        name_parts: (BRANDS, SUFFIX_DEVICE),
+        quants: DEVICE_QUANTS,
+        decoys: &[("型号", MODELS), ("颜色", COLORS)],
+    },
+    Archetype {
+        name_parts: (BRANDS, &["轿车", "SUV", "跑车"]),
+        quants: CAR_QUANTS,
+        decoys: &[("变速箱", &["6AT", "8AT", "CVT", "7DCT"]), ("颜色", COLORS)],
+    },
+    Archetype {
+        name_parts: (CHEM_HEADS, CHEM_TAILS),
+        quants: CHEM_QUANTS,
+        decoys: &[("外观", &["白色晶体", "无色液体", "淡黄色粉末"])],
+    },
+    Archetype {
+        name_parts: (CITIES, &["市", "新区", "县"]),
+        quants: CITY_QUANTS,
+        decoys: &[("市花", &["月季", "桂花", "白玉兰"]), ("创始人", FOUNDERS)],
+    },
+];
+
+/// Synthesizes a knowledge graph against the given unit KB.
+pub fn synthesize(kb: &DimUnitKb, config: &SynthConfig) -> SynthKg {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut store = TripleStore::new();
+    let mut gold = HashMap::new();
+    for (ai, arch) in ARCHETYPES.iter().enumerate() {
+        for i in 0..config.entities_per_type {
+            let (heads, tails) = arch.name_parts;
+            let name = format!(
+                "{}{}{}",
+                heads[rng.gen_range(0..heads.len())],
+                tails[rng.gen_range(0..tails.len())],
+                // Disambiguating index keeps entities unique.
+                ai * config.entities_per_type + i
+            );
+            let subject = store.entity(&name);
+            for q in arch.quants {
+                // Some entities simply lack some attributes, like real KGs.
+                if rng.gen_bool(0.15) {
+                    continue;
+                }
+                let (code, lo, hi) = q.units[rng.gen_range(0..q.units.len())];
+                let unit = kb
+                    .unit_by_code(code)
+                    .unwrap_or_else(|| panic!("archetype references unknown unit {code}"));
+                let value = round_sig(10f64.powf(rng.gen_range(lo..hi)), 3);
+                let surface = match rng.gen_range(0..10) {
+                    0..=5 => Surface::ZhTight,
+                    6..=8 => Surface::Symbol,
+                    _ => Surface::English,
+                };
+                let object = match surface {
+                    Surface::ZhTight => format!("{}{}", fmt_value(value), unit.label_zh),
+                    Surface::Symbol => format!("{} {}", fmt_value(value), unit.symbol),
+                    Surface::English => format!("{} {}", fmt_value(value), unit.label_en),
+                };
+                let pred = store.predicate(q.predicate);
+                let id = store.insert(subject, pred, &object);
+                gold.insert(
+                    id,
+                    GoldQuantity {
+                        value,
+                        unit_code: unit.code.clone(),
+                        kind: q.kind.to_string(),
+                    },
+                );
+            }
+            for (pred_name, values) in arch.decoys {
+                let pred = store.predicate(pred_name);
+                let v = values[rng.gen_range(0..values.len())];
+                store.insert(subject, pred, v);
+            }
+        }
+    }
+    SynthKg { store, gold }
+}
+
+fn fmt_value(v: f64) -> String {
+    if (v - v.round()).abs() < 1e-9 && v.abs() < 1e15 {
+        format!("{}", v.round() as i64)
+    } else {
+        let s = format!("{v}");
+        s
+    }
+}
+
+fn round_sig(v: f64, digits: i32) -> f64 {
+    if v == 0.0 {
+        return 0.0;
+    }
+    let mag = v.abs().log10().floor() as i32;
+    let factor = 10f64.powi(digits - 1 - mag);
+    (v * factor).round() / factor
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kg() -> SynthKg {
+        synthesize(&DimUnitKb::shared(), &SynthConfig { entities_per_type: 30, seed: 42 })
+    }
+
+    #[test]
+    fn graph_has_quantity_and_decoy_triples() {
+        let kg = kg();
+        assert!(kg.store.len() > 300);
+        let q = kg.quantitative_count();
+        assert!(q > 100, "got {q} quantitative triples");
+        assert!(q < kg.store.len(), "decoys must exist");
+    }
+
+    #[test]
+    fn gold_units_exist_in_kb() {
+        let kb = DimUnitKb::shared();
+        let kg = kg();
+        for g in kg.gold.values() {
+            assert!(kb.unit_by_code(&g.unit_code).is_some(), "unknown {}", g.unit_code);
+        }
+    }
+
+    #[test]
+    fn height_mentions_are_retrievable_by_unit_mention() {
+        let kg = kg();
+        let hits = kg.store.find_by_object_mention("米");
+        assert!(!hits.is_empty());
+        // Every hit that is gold-quantitative should be metres-family.
+        let quantitative = hits.iter().filter(|id| kg.is_quantitative(**id)).count();
+        assert!(quantitative > 0);
+    }
+
+    #[test]
+    fn trap_objects_exist() {
+        // Device codes such as "LPUI-1T" must appear as decoy objects.
+        let kg = kg();
+        let hits = kg.store.find_by_object_mention("LPUI");
+        assert!(!hits.is_empty(), "trap device codes should be present");
+        for id in hits {
+            assert!(!kg.is_quantitative(id), "device codes are not quantities");
+        }
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let a = kg();
+        let b = kg();
+        assert_eq!(a.store.len(), b.store.len());
+        assert_eq!(a.gold.len(), b.gold.len());
+    }
+
+    #[test]
+    fn values_are_plausible() {
+        let kg = kg();
+        for g in kg.gold.values() {
+            assert!(g.value.is_finite() && g.value > 0.0);
+        }
+    }
+}

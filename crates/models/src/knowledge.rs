@@ -1,0 +1,166 @@
+//! Degraded knowledge views: what a simulated model "knows" about units.
+//!
+//! A [`KnowledgeView`] is a deterministic, frequency-weighted sample of
+//! DimUnitKB: common units are known even to weak models; rare units
+//! (decimetre, poundal, gill/h) are only known to strong ones. Conversion
+//! factors may be noisily known — off by one or two orders of magnitude,
+//! the characteristic LLM unit-conversion failure the paper's Fig. 1 shows.
+
+use crate::profile::CapabilityProfile;
+use dimkb::{DimUnitKb, UnitId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// What one model knows about one unit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitKnowledge {
+    /// Recognizes the unit at all.
+    pub known: bool,
+    /// Knows its dimension vector (implies `known`).
+    pub dimension: bool,
+    /// Knows its quantity-kind association (implies `known`).
+    pub kind: bool,
+    /// The model's *believed* conversion factor divided by the true one
+    /// (1.0 = exact; 10.0 = an order-of-magnitude slip).
+    pub factor_ratio: f64,
+}
+
+const UNKNOWN: UnitKnowledge =
+    UnitKnowledge { known: false, dimension: false, kind: false, factor_ratio: 1.0 };
+
+/// A per-model sampled view over the KB.
+#[derive(Debug, Clone)]
+pub struct KnowledgeView {
+    per_unit: HashMap<UnitId, UnitKnowledge>,
+}
+
+impl KnowledgeView {
+    /// Samples a view for a profile (deterministic in `seed`).
+    pub fn sample(kb: &DimUnitKb, profile: &CapabilityProfile, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ fxhash(profile.name) ^ fxhash(profile.params));
+        let mut per_unit = HashMap::with_capacity(kb.units().len());
+        for unit in kb.units() {
+            // Frequency-weighted recognition: even weak models know
+            // "metre"; only strong ones know "gill per hour".
+            let p_known = (profile.unit_knowledge * (0.35 + 0.95 * unit.frequency)).min(0.995);
+            let known = rng.gen_bool(p_known);
+            if !known {
+                per_unit.insert(unit.id, UNKNOWN);
+                continue;
+            }
+            let dimension =
+                rng.gen_bool((profile.dimension_knowledge * (0.5 + 0.8 * unit.frequency)).min(0.99));
+            let kind =
+                rng.gen_bool((profile.kind_knowledge * (0.5 + 0.8 * unit.frequency)).min(0.99));
+            let exact =
+                rng.gen_bool((profile.conversion_accuracy * (0.45 + 0.85 * unit.frequency)).min(0.99));
+            let factor_ratio = if exact {
+                1.0
+            } else {
+                // Characteristic failure: off by 1-2 orders of magnitude,
+                // in either direction.
+                let slip = *[10.0, 100.0, 0.1, 0.01, 1000.0]
+                    .get(rng.gen_range(0..5))
+                    .expect("in range");
+                slip
+            };
+            per_unit.insert(unit.id, UnitKnowledge { known: true, dimension, kind, factor_ratio });
+        }
+        KnowledgeView { per_unit }
+    }
+
+    /// Knowledge about one unit.
+    pub fn unit(&self, id: UnitId) -> UnitKnowledge {
+        self.per_unit.get(&id).copied().unwrap_or(UNKNOWN)
+    }
+
+    /// The model's believed conversion factor from `from` to `to`, given
+    /// the true factor: true × ratio(from) / ratio(to).
+    pub fn believed_factor(&self, true_factor: f64, from: UnitId, to: UnitId) -> f64 {
+        true_factor * self.unit(from).factor_ratio / self.unit(to).factor_ratio
+    }
+
+    /// Fraction of units known (for diagnostics).
+    pub fn coverage(&self) -> f64 {
+        if self.per_unit.is_empty() {
+            return 0.0;
+        }
+        self.per_unit.values().filter(|k| k.known).count() as f64 / self.per_unit.len() as f64
+    }
+}
+
+fn fxhash(s: &str) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    s.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{CHATGLM2_6B, GPT4};
+
+    #[test]
+    fn stronger_models_know_more() {
+        let kb = DimUnitKb::shared();
+        let strong = KnowledgeView::sample(&kb, &GPT4, 1);
+        let weak = KnowledgeView::sample(&kb, &CHATGLM2_6B, 1);
+        assert!(strong.coverage() > weak.coverage() + 0.1);
+    }
+
+    #[test]
+    fn common_units_are_known_even_by_weak_models() {
+        let kb = DimUnitKb::shared();
+        let weak = KnowledgeView::sample(&kb, &CHATGLM2_6B, 2);
+        let metre = kb.unit_by_code("M").unwrap().id;
+        // Check over several seeds: metre should almost always be known.
+        let mut known = 0;
+        for seed in 0..20 {
+            if KnowledgeView::sample(&kb, &CHATGLM2_6B, seed).unit(metre).known {
+                known += 1;
+            }
+        }
+        assert!(known >= 10, "metre known in only {known}/20 samples");
+        drop(weak);
+    }
+
+    #[test]
+    fn rare_units_separate_strong_from_weak() {
+        let kb = DimUnitKb::shared();
+        let poundal = kb.unit_by_code("PDL").unwrap().id;
+        let mut strong_known = 0;
+        let mut weak_known = 0;
+        for seed in 0..40 {
+            if KnowledgeView::sample(&kb, &GPT4, seed).unit(poundal).known {
+                strong_known += 1;
+            }
+            if KnowledgeView::sample(&kb, &CHATGLM2_6B, seed).unit(poundal).known {
+                weak_known += 1;
+            }
+        }
+        assert!(strong_known > weak_known, "{strong_known} vs {weak_known}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let kb = DimUnitKb::shared();
+        let a = KnowledgeView::sample(&kb, &GPT4, 7);
+        let b = KnowledgeView::sample(&kb, &GPT4, 7);
+        let id = kb.unit_by_code("KiloM").unwrap().id;
+        assert_eq!(a.unit(id), b.unit(id));
+        assert_eq!(a.coverage(), b.coverage());
+    }
+
+    #[test]
+    fn believed_factor_composes_slips() {
+        let kb = DimUnitKb::shared();
+        let view = KnowledgeView::sample(&kb, &CHATGLM2_6B, 3);
+        let m = kb.unit_by_code("M").unwrap().id;
+        let km = kb.unit_by_code("KiloM").unwrap().id;
+        let believed = view.believed_factor(1000.0, km, m);
+        let expected = 1000.0 * view.unit(km).factor_ratio / view.unit(m).factor_ratio;
+        assert_eq!(believed, expected);
+    }
+}

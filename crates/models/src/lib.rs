@@ -1,0 +1,27 @@
+//! # dim-models — the model substrate
+//!
+//! The paper's evaluation spans closed LLM APIs, a WolframAlpha tool chain,
+//! and A800-scale fine-tuning — all gated. This crate provides the
+//! substitutes (see DESIGN.md):
+//!
+//! * [`profile`] / [`knowledge`] / [`simllm`] — knowledge-gap solvers for
+//!   the baseline LLMs: each attempts every task mechanically through a
+//!   frequency-weighted degraded view of DimUnitKB;
+//! * [`wolfram`] — a symbolic unit engine over a 540-unit subset plus the
+//!   LangChain-style tool-augmentation wrapper;
+//! * [`tinylm`] — a genuinely trainable model suite (choice scorer,
+//!   extraction classifier, equation generator) standing in for LLaMA-7B
+//!   fine-tuning; DimPerc is this suite after DimEval fine-tuning.
+
+#![warn(missing_docs)]
+
+pub mod knowledge;
+pub mod profile;
+pub mod simllm;
+pub mod tinylm;
+pub mod wolfram;
+
+pub use knowledge::{KnowledgeView, UnitKnowledge};
+pub use profile::CapabilityProfile;
+pub use simllm::{solve_mwp, SimulatedLlm, ToolEffect};
+pub use wolfram::{ToolAugmented, WolframEngine, WOLFRAM_UNIT_COUNT};

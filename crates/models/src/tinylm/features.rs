@@ -1,0 +1,122 @@
+//! Hashed sparse features for the TinyLM suite.
+
+use dim_embed::tokenize::tokenize;
+
+/// Size of the hashed weight space (2^20).
+pub const FEATURE_DIM: usize = 1 << 20;
+
+/// Hashes a feature string into the weight space.
+pub fn feat(s: &str) -> u32 {
+    // FNV-1a, stable across platforms and runs.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    (h % FEATURE_DIM as u64) as u32
+}
+
+/// Word-level tokens of a text (CJK chars count as words).
+pub fn words(text: &str) -> Vec<String> {
+    tokenize(text).into_iter().map(|t| t.text).collect()
+}
+
+/// Features of a (question, option) pair for choice scoring: option words,
+/// option word bigrams, and question×option crossed words (capped).
+pub fn choice_features(task: &str, question: &str, option: &str) -> Vec<u32> {
+    let q_words = words(question);
+    let o_words = words(option);
+    // Word suffixes generalize across metric families: kilometre /
+    // centimetre / metre all share the "etre" stem, which carries the
+    // same-dimension signal a transformer would pick up subword-wise.
+    let suffix = |w: &str| -> String {
+        let chars: Vec<char> = w.chars().collect();
+        let n = chars.len();
+        chars[n.saturating_sub(4)..].iter().collect()
+    };
+    let mut out =
+        Vec::with_capacity(o_words.len() * 4 + q_words.len().min(40) * (o_words.len().min(8) * 2 + 2));
+    for w in &o_words {
+        out.push(feat(&format!("{task}|o:{w}")));
+        out.push(feat(&format!("{task}|os:{}", suffix(w))));
+    }
+    for pair in o_words.windows(2) {
+        out.push(feat(&format!("{task}|o2:{} {}", pair[0], pair[1])));
+    }
+    // The whole option string as one memorization feature (crucial for
+    // conversion factors like "1000").
+    out.push(feat(&format!("{task}|O:{option}")));
+    for qw in q_words.iter().take(40) {
+        let qs = suffix(qw);
+        for ow in o_words.iter().take(8) {
+            out.push(feat(&format!("{task}|x:{qw}|{ow}")));
+            out.push(feat(&format!("{task}|xs:{qs}|{}", suffix(ow))));
+        }
+        out.push(feat(&format!("{task}|xO:{qw}|{option}")));
+    }
+    // Overlap indicators: does the option share words / word-families with
+    // the question? A linear proxy for the token-matching attention that
+    // lets a transformer spot "metre" echoing "kilometre".
+    let mut share_word = 0usize;
+    let mut share_suffix = 0usize;
+    for ow in &o_words {
+        if q_words.iter().any(|qw| qw == ow) {
+            share_word += 1;
+        }
+        let os = suffix(ow);
+        if os.chars().count() >= 3
+            && !o_words.is_empty()
+            && q_words.iter().any(|qw| suffix(qw) == os && qw != ow)
+        {
+            share_suffix += 1;
+        }
+    }
+    out.push(feat(&format!("{task}|shareW:{}", share_word.min(3))));
+    out.push(feat(&format!("{task}|shareS:{}", share_suffix.min(3))));
+    out
+}
+
+/// Features of an extraction candidate: the unit string, its characters,
+/// and the local context tokens.
+pub fn extraction_features(unit_surface: &str, prev: &str, next: &str) -> Vec<u32> {
+    let mut out = Vec::new();
+    out.push(feat(&format!("u:{unit_surface}")));
+    for c in unit_surface.chars() {
+        out.push(feat(&format!("uc:{c}")));
+    }
+    out.push(feat(&format!("len:{}", unit_surface.chars().count())));
+    out.push(feat(&format!("prev:{prev}")));
+    out.push(feat(&format!("next:{next}")));
+    out.push(feat(&format!("pu:{prev}|{unit_surface}")));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashing_is_stable_and_in_range() {
+        let a = feat("hello");
+        let b = feat("hello");
+        assert_eq!(a, b);
+        assert!((a as usize) < FEATURE_DIM);
+        assert_ne!(feat("hello"), feat("world"));
+    }
+
+    #[test]
+    fn choice_features_depend_on_both_sides() {
+        let a = choice_features("conv", "convert km to m", "1000");
+        let b = choice_features("conv", "convert km to m", "0.001");
+        assert_ne!(a, b);
+        let c = choice_features("conv", "convert kg to g", "1000");
+        assert_ne!(a, c, "crossed features must differ with the question");
+    }
+
+    #[test]
+    fn extraction_features_capture_context() {
+        let a = extraction_features("千克", "重", "，");
+        let b = extraction_features("千克", "号", "，");
+        assert_ne!(a, b);
+    }
+}

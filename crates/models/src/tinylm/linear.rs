@@ -1,0 +1,130 @@
+//! A sparse linear model trained by SGD — the learnable core of TinyLM.
+//!
+//! Minimizes the same objective as the paper's Eq. 3 (negative
+//! log-likelihood of the target given the input) in its linear special
+//! case: softmax cross-entropy over candidate scores.
+
+use crate::tinylm::features::FEATURE_DIM;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A hashed-feature linear scorer.
+#[derive(Debug, Clone)]
+pub struct LinearModel {
+    weights: Vec<f32>,
+    /// SGD learning rate.
+    pub lr: f32,
+}
+
+impl LinearModel {
+    /// Zero-initialized model.
+    pub fn zeros(lr: f32) -> Self {
+        LinearModel { weights: vec![0.0; FEATURE_DIM], lr }
+    }
+
+    /// Small random initialization — an instruction-tuned-but-task-naive
+    /// prior (the LLaMA_IFT starting point).
+    pub fn random(lr: f32, scale: f32, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let weights = (0..FEATURE_DIM).map(|_| rng.gen_range(-scale..scale)).collect();
+        LinearModel { weights, lr }
+    }
+
+    /// The score of a feature set.
+    pub fn score(&self, feats: &[u32]) -> f32 {
+        feats.iter().map(|&f| self.weights[f as usize]).sum()
+    }
+
+    /// Adds `delta` to every feature weight.
+    pub fn update(&mut self, feats: &[u32], delta: f32) {
+        for &f in feats {
+            self.weights[f as usize] += delta;
+        }
+    }
+
+    /// One softmax cross-entropy SGD step over candidate feature sets;
+    /// returns the loss. `gold` indexes the correct candidate.
+    pub fn sgd_softmax(&mut self, candidates: &[Vec<u32>], gold: usize) -> f32 {
+        let scores: Vec<f32> = candidates.iter().map(|c| self.score(c)).collect();
+        let max = scores.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = scores.iter().map(|s| (s - max).exp()).collect();
+        let z: f32 = exps.iter().sum();
+        let mut loss = 0.0;
+        for (i, c) in candidates.iter().enumerate() {
+            let p = exps[i] / z;
+            let y = f32::from(i == gold);
+            self.update(c, -self.lr * (p - y));
+            if i == gold {
+                loss = -p.max(1e-9).ln();
+            }
+        }
+        loss
+    }
+
+    /// One logistic-regression SGD step (binary label); returns the loss.
+    pub fn sgd_logistic(&mut self, feats: &[u32], label: bool) -> f32 {
+        let s = self.score(feats);
+        let p = 1.0 / (1.0 + (-s).exp());
+        let y = f32::from(label);
+        self.update(feats, -self.lr * (p - y));
+        if label {
+            -p.max(1e-9).ln()
+        } else {
+            -(1.0 - p).max(1e-9).ln()
+        }
+    }
+
+    /// The sigmoid probability of a feature set.
+    pub fn prob(&self, feats: &[u32]) -> f32 {
+        1.0 / (1.0 + (-self.score(feats)).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tinylm::features::feat;
+
+    #[test]
+    fn softmax_learns_a_separable_choice() {
+        let mut m = LinearModel::zeros(0.5);
+        let good = vec![feat("good"), feat("shared")];
+        let bad = vec![feat("bad"), feat("shared")];
+        for _ in 0..50 {
+            m.sgd_softmax(&[good.clone(), bad.clone()], 0);
+        }
+        assert!(m.score(&good) > m.score(&bad));
+    }
+
+    #[test]
+    fn logistic_learns_binary_separation() {
+        let mut m = LinearModel::zeros(0.5);
+        let pos = vec![feat("unit")];
+        let neg = vec![feat("devicecode")];
+        for _ in 0..50 {
+            m.sgd_logistic(&pos, true);
+            m.sgd_logistic(&neg, false);
+        }
+        assert!(m.prob(&pos) > 0.9);
+        assert!(m.prob(&neg) < 0.1);
+    }
+
+    #[test]
+    fn loss_decreases_with_training() {
+        let mut m = LinearModel::zeros(0.2);
+        let cands = vec![vec![feat("a")], vec![feat("b")], vec![feat("c")]];
+        let first = m.sgd_softmax(&cands, 1);
+        for _ in 0..30 {
+            m.sgd_softmax(&cands, 1);
+        }
+        let last = m.sgd_softmax(&cands, 1);
+        assert!(last < first);
+    }
+
+    #[test]
+    fn random_init_is_deterministic() {
+        let a = LinearModel::random(0.1, 0.01, 5);
+        let b = LinearModel::random(0.1, 0.01, 5);
+        assert_eq!(a.score(&[1, 2, 3]), b.score(&[1, 2, 3]));
+    }
+}

@@ -1,0 +1,113 @@
+//! Solver interface and the calculator-based accuracy scorer (§VI-D: "for
+//! equation-generating models, we use a calculator to assess the accuracy
+//! of their equations").
+
+use crate::equation::calculate;
+use crate::problem::MwpProblem;
+
+/// A model's prediction for one problem.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Prediction {
+    /// An equation string to be run through the calculator.
+    Equation(String),
+    /// A direct numeric answer.
+    Answer(f64),
+    /// No prediction (counts as wrong).
+    None,
+}
+
+/// Anything that can solve MWPs.
+pub trait MwpSolver {
+    /// Display name for result tables.
+    fn name(&self) -> String;
+
+    /// Solve one problem.
+    fn solve(&mut self, problem: &MwpProblem) -> Prediction;
+}
+
+/// Relative tolerance for answer matching.
+const REL_TOL: f64 = 1e-4;
+
+/// Does a prediction match the gold answer?
+pub fn prediction_correct(problem: &MwpProblem, prediction: &Prediction) -> bool {
+    let gold = problem.answer();
+    let value = match prediction {
+        Prediction::Equation(eq) => match calculate(eq) {
+            Ok(v) => v,
+            Err(_) => return false,
+        },
+        Prediction::Answer(v) => *v,
+        Prediction::None => return false,
+    };
+    (value - gold).abs() <= REL_TOL * gold.abs().max(1e-9)
+}
+
+/// Accuracy of a solver over a dataset.
+pub fn accuracy(solver: &mut dyn MwpSolver, problems: &[MwpProblem]) -> f64 {
+    if problems.is_empty() {
+        return 0.0;
+    }
+    let correct = problems
+        .iter()
+        .filter(|p| prediction_correct(p, &solver.solve(p)))
+        .count();
+    correct as f64 / problems.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig};
+    use crate::problem::Source;
+
+    struct GoldEq;
+
+    impl MwpSolver for GoldEq {
+        fn name(&self) -> String {
+            "gold-equation".into()
+        }
+
+        fn solve(&mut self, problem: &MwpProblem) -> Prediction {
+            Prediction::Equation(problem.equation_text())
+        }
+    }
+
+    struct Silent;
+
+    impl MwpSolver for Silent {
+        fn name(&self) -> String {
+            "silent".into()
+        }
+
+        fn solve(&mut self, _p: &MwpProblem) -> Prediction {
+            Prediction::None
+        }
+    }
+
+    #[test]
+    fn gold_equations_score_full_accuracy() {
+        let ps = generate(Source::Math23k, &GenConfig { count: 50, seed: 3 });
+        assert_eq!(accuracy(&mut GoldEq, &ps), 1.0);
+    }
+
+    #[test]
+    fn silence_scores_zero() {
+        let ps = generate(Source::Math23k, &GenConfig { count: 10, seed: 3 });
+        assert_eq!(accuracy(&mut Silent, &ps), 0.0);
+    }
+
+    #[test]
+    fn malformed_equation_is_wrong_not_fatal() {
+        let ps = generate(Source::Math23k, &GenConfig { count: 1, seed: 3 });
+        assert!(!prediction_correct(&ps[0], &Prediction::Equation("x=1+".into())));
+    }
+
+    #[test]
+    fn direct_answers_are_scored_with_tolerance() {
+        let ps = generate(Source::Math23k, &GenConfig { count: 5, seed: 4 });
+        for p in &ps {
+            assert!(prediction_correct(p, &Prediction::Answer(p.answer() * (1.0 + 1e-6))));
+            assert!(!prediction_correct(p, &Prediction::Answer(p.answer() * 1.5 + 1.0)));
+        }
+    }
+}

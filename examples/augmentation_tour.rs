@@ -1,0 +1,62 @@
+//! A tour of the four quantity-oriented augmentation methods (Table V of
+//! the paper), applied to the paper's own dilution example.
+//!
+//! ```sh
+//! cargo run --example augmentation_tour
+//! ```
+
+use dimension_perception::kb::DimUnitKb;
+use dimension_perception::mwp::{
+    generate, AugmentMethod, Augmenter, GenConfig, Source,
+};
+
+fn main() {
+    let kb = DimUnitKb::shared();
+    // Find a dilution-style problem (the Table V original).
+    let base = generate(Source::Math23k, &GenConfig { count: 200, seed: 1 })
+        .into_iter()
+        .find(|p| p.text().contains("稀释"))
+        .expect("dilution template exists");
+
+    println!("original:");
+    println!("  {}", base.text());
+    println!("  equation: {}   answer: {} {}\n", base.equation_text(), base.answer(), base.answer_unit_surface);
+
+    let methods = [
+        (AugmentMethod::ContextFormat, "context-based format substitution"),
+        (AugmentMethod::ContextDimension, "context-based dimension substitution"),
+        (AugmentMethod::QuestionFormat, "question-based format substitution"),
+        (AugmentMethod::QuestionDimension, "question-based dimension substitution"),
+    ];
+    for (method, label) in methods {
+        // Try a few seeds until the method applies (some substitutions have
+        // no eligible slot for a given draw).
+        let mut shown = false;
+        for seed in 0..50 {
+            let mut aug = Augmenter::new(&kb, seed);
+            if let Some(a) = aug.augment(&base, method) {
+                if a.text() == base.text() {
+                    continue;
+                }
+                println!("{label}:");
+                println!("  {}", a.text());
+                println!(
+                    "  equation: {}   answer: {} {}",
+                    a.equation_text(),
+                    a.answer(),
+                    a.answer_unit_surface
+                );
+                let invariant = (a.answer() - base.answer()).abs() < 1e-9 * base.answer();
+                println!(
+                    "  answer {}\n",
+                    if invariant { "unchanged (context-based invariance)" } else { "rescaled (question-based)" }
+                );
+                shown = true;
+                break;
+            }
+        }
+        if !shown {
+            println!("{label}: not applicable to this problem\n");
+        }
+    }
+}

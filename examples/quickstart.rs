@@ -1,0 +1,53 @@
+//! Quickstart: the dimensional knowledge system in five minutes.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use dimension_perception::core::DimKs;
+use dimension_perception::kb::{expr, DimUnitKb, DimVec};
+
+fn main() {
+    // 1. The knowledge base: ~1000 units with full Table II schema.
+    let kb = DimUnitKb::shared();
+    let stats = dimension_perception::kb::stats::statistics(&kb);
+    println!("DimUnitKB: {} units, {} quantity kinds, {} dimension vectors\n",
+        stats.units, stats.quantity_kinds, stats.dim_vectors);
+
+    // 2. Dimensions obey the dimension laws.
+    let force = DimVec::parse("L M T-2").unwrap();
+    let length = DimVec::parse("L").unwrap();
+    let surface_tension = force / length;
+    println!("dim(force)           = {force}");
+    println!("dim(surface tension) = {surface_tension}");
+    println!("comparable? {}\n", force.comparable(surface_tension));
+
+    // 3. Conversions, including affine temperature scales.
+    let km = kb.unit_by_code("KiloM").unwrap().id;
+    let mi = kb.unit_by_code("MI").unwrap().id;
+    println!("42.195 km = {:.3} miles", kb.convert(42.195, km, mi).unwrap());
+    let c = kb.unit_by_code("DEG-C").unwrap().id;
+    let f = kb.unit_by_code("DEG-F").unwrap().id;
+    println!("37 °C = {:.1} °F", kb.convert(37.0, c, f).unwrap());
+
+    // 4. Compound unit expressions.
+    let v = expr::eval(&kb, "J / (kg * K)").unwrap();
+    println!("dim(J/(kg·K)) = {} — specific heat capacity\n", v.dim);
+
+    // 5. The knowledge system: link unit mentions in context, annotate text.
+    let ks = DimKs::standard();
+    let text = "LeBron James's height is 2.06 meters and Stephen Curry's height is 188 cm.";
+    println!("annotating: {text}");
+    for m in ks.annotate(text) {
+        let unit = ks.kb().unit(m.best_unit());
+        println!(
+            "  {} {} -> {} [{}], dim {}",
+            m.value, m.unit_surface, unit.label_en, unit.code, unit.dim
+        );
+    }
+    // Unit conversion settles the comparison.
+    let m_unit = ks.kb().unit_by_code("M").unwrap().id;
+    let cm = ks.kb().unit_by_code("CentiM").unwrap().id;
+    let curry_m = ks.kb().convert(188.0, cm, m_unit).unwrap();
+    println!("\n188 cm = {curry_m} m, so LeBron (2.06 m) is taller: {}", 2.06 > curry_m);
+}

@@ -1,0 +1,52 @@
+//! The Fig. 1 unit trap: a physics question whose units are dimensionally
+//! inconsistent, which ChatGPT failed to notice. DimKS catches it by
+//! comparing dimension vectors.
+//!
+//! ```sh
+//! cargo run --example unit_trap
+//! ```
+
+use dimension_perception::core::DimKs;
+use dimension_perception::kb::expr;
+
+fn main() {
+    let ks = DimKs::standard();
+    let kb = ks.kb();
+
+    // Fig. 1's question: "A wooden block experiences a surface tension of
+    // 0.1 poundal per centimetre... convert to dyn/cm" — but the asker
+    // wrote the force unit where a force-per-length was required.
+    let question = "The surface tension of the liquid film is 0.1 poundal, \
+                    expressed in dyn/cm. Is that conversion even possible?";
+    println!("question: {question}\n");
+
+    let mentions = ks.annotate(question);
+    for m in &mentions {
+        let unit = kb.unit(m.best_unit());
+        println!(
+            "found quantity: {} {} -> {} with dimension {}",
+            m.value, m.unit_surface, unit.label_en, unit.dim
+        );
+    }
+
+    let poundal = kb.unit_by_code("PDL").unwrap();
+    let dyn_cm = kb.unit_by_code("DYN-PER-CentiM").unwrap();
+    println!("\ndim(poundal) = {}  (a force: LMT⁻²)", poundal.dim);
+    println!("dim(dyn/cm)  = {}  (a force per length: MT⁻²)", dyn_cm.dim);
+
+    if !poundal.dim.comparable(dyn_cm.dim) {
+        println!("\n=> UNIT TRAP DETECTED: the dimension law forbids this conversion.");
+        println!("   Only quantities with identical dimensions can be compared or");
+        println!("   converted; the question itself is ill-posed.");
+    }
+
+    // What the asker probably meant: poundal per centimetre.
+    let intended = expr::eval(kb, "poundal / centimetre").unwrap();
+    println!("\nthe intended unit was poundal/cm with dim {} — comparable with dyn/cm: {}",
+        intended.dim,
+        intended.dim.comparable(dyn_cm.dim));
+    // And the correct conversion factor:
+    let factor = intended.factor / dyn_cm.conversion.factor;
+    println!("1 poundal/cm = {factor:.4} dyn/cm");
+    println!("0.1 poundal/cm = {:.4} dyn/cm", 0.1 * factor);
+}

@@ -1,0 +1,257 @@
+//! `dimks` — a command-line interface to the dimensional knowledge system.
+//!
+//! ```text
+//! dimks convert <value> <from-unit> <to-unit>   unit conversion
+//! dimks link <mention> [context …]              rank candidate units
+//! dimks annotate <text>                         find quantities in text
+//! dimks dim <unit-expression>                   dimension + SI factor
+//! dimks check <text>                            pairwise comparability
+//! dimks info <unit>                             full Table II record
+//! dimks top [k]                                 most frequent units
+//! dimks search <query>                          free-text unit search
+//! ```
+
+use dimension_perception::core::DimKs;
+use dimension_perception::kb::{expr, stats, DimUnitKb};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().map(String::as_str) else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    match command {
+        "convert" => convert(&args[1..]),
+        "link" => link(&args[1..]),
+        "annotate" => annotate(&args[1..]),
+        "dim" => dim(&args[1..]),
+        "check" => check(&args[1..]),
+        "info" => info(&args[1..]),
+        "top" => top(&args[1..]),
+        "search" => search_cmd(&args[1..]),
+        _ => {
+            eprintln!("unknown command {command:?}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  dimks convert <value> <from-unit> <to-unit>
+  dimks link <mention> [context ...]
+  dimks annotate <text>
+  dimks dim <unit-expression>
+  dimks check <text>
+  dimks info <unit>
+  dimks top [k]
+  dimks search <query>";
+
+fn convert(args: &[String]) -> ExitCode {
+    let [value, from, to] = args else {
+        eprintln!("usage: dimks convert <value> <from-unit> <to-unit>");
+        return ExitCode::FAILURE;
+    };
+    let Ok(value) = value.parse::<f64>() else {
+        eprintln!("not a number: {value:?}");
+        return ExitCode::FAILURE;
+    };
+    let ks = DimKs::standard();
+    let kb = ks.kb();
+    let resolve = |surface: &str| ks.link(surface, "").first().map(|r| r.unit);
+    let (Some(f), Some(t)) = (resolve(from), resolve(to)) else {
+        eprintln!("cannot resolve one of the units");
+        return ExitCode::FAILURE;
+    };
+    match kb.convert(value, f, t) {
+        Ok(out) => {
+            println!(
+                "{value} {} = {out} {}",
+                kb.unit(f).label_en,
+                kb.unit(t).label_en
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("conversion refused: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn link(args: &[String]) -> ExitCode {
+    let Some((mention, context)) = args.split_first() else {
+        eprintln!("usage: dimks link <mention> [context ...]");
+        return ExitCode::FAILURE;
+    };
+    let context = context.join(" ");
+    let ks = DimKs::standard();
+    let results = ks.link(mention, &context);
+    if results.is_empty() {
+        eprintln!("no candidates for {mention:?}");
+        return ExitCode::FAILURE;
+    }
+    for (rank, r) in results.iter().enumerate() {
+        let u = ks.kb().unit(r.unit);
+        println!(
+            "{:>2}. {:<28} [{}]  dim {:<10} score {:.4} (prior {:.2}, mention {:.2}, context {:.2})",
+            rank + 1,
+            u.label_en,
+            u.code,
+            u.dim.formula(),
+            r.score,
+            r.prior,
+            r.mention_sim,
+            r.context_prob
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn annotate(args: &[String]) -> ExitCode {
+    let text = args.join(" ");
+    if text.is_empty() {
+        eprintln!("usage: dimks annotate <text>");
+        return ExitCode::FAILURE;
+    }
+    let ks = DimKs::standard();
+    let mentions = ks.annotate(&text);
+    if mentions.is_empty() {
+        println!("no quantities found");
+        return ExitCode::SUCCESS;
+    }
+    for m in mentions {
+        let u = ks.kb().unit(m.best_unit());
+        println!(
+            "[{}..{}] {} {} -> {} [{}], dim {}",
+            m.start,
+            m.end,
+            m.value,
+            m.unit_surface,
+            u.label_en,
+            u.code,
+            u.dim.formula()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn dim(args: &[String]) -> ExitCode {
+    let input = args.join(" ");
+    if input.is_empty() {
+        eprintln!("usage: dimks dim <unit-expression>");
+        return ExitCode::FAILURE;
+    }
+    let kb = DimUnitKb::shared();
+    match expr::eval(&kb, &input) {
+        Ok(v) => {
+            println!("dim({input}) = {}", v.dim.formula());
+            println!("vector form  = {}", v.dim.vector_form());
+            println!("SI factor    = {:e}", v.factor);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let text = args.join(" ");
+    if text.is_empty() {
+        eprintln!("usage: dimks check <text>");
+        return ExitCode::FAILURE;
+    }
+    let ks = DimKs::standard();
+    let (mentions, pairs) = ks.comparability(&text);
+    for (i, m) in mentions.iter().enumerate() {
+        let u = ks.kb().unit(m.best_unit());
+        println!("#{i}: {} {} ({}, dim {})", m.value, m.unit_surface, u.label_en, u.dim.formula());
+    }
+    let mut traps = 0;
+    for (a, b, ok) in pairs {
+        if !ok {
+            traps += 1;
+            println!("!! #{a} and #{b} are NOT comparable — the dimension law forbids mixing them");
+        }
+    }
+    if traps == 0 {
+        println!("all quantity pairs are dimensionally comparable");
+    }
+    ExitCode::SUCCESS
+}
+
+fn info(args: &[String]) -> ExitCode {
+    let surface = args.join(" ");
+    if surface.is_empty() {
+        eprintln!("usage: dimks info <unit>");
+        return ExitCode::FAILURE;
+    }
+    let ks = DimKs::standard();
+    let kb = ks.kb();
+    let Some(best) = ks.link(&surface, "").into_iter().next() else {
+        eprintln!("unknown unit {surface:?}");
+        return ExitCode::FAILURE;
+    };
+    let u = kb.unit(best.unit);
+    println!("UnitID        {}", u.id);
+    println!("Code          {}", u.code);
+    println!("Label_en      {}", u.label_en);
+    println!("Label_zh      {}", u.label_zh);
+    println!("Symbol        {}", u.symbol);
+    println!("Alias         {:?}", u.aliases);
+    println!("Description   {}", u.description);
+    println!("Keywords      {:?}", u.keywords);
+    println!("Frequency     {:.3}", u.frequency);
+    println!("QuantityKind  {}", kb.kind(u.kind).name_en);
+    println!("DimensionVec  {} ({})", u.dim.vector_form(), u.dim.formula());
+    println!("ConversionVal {}", u.conversion.factor);
+    if u.conversion.is_affine() {
+        println!("Offset        {}", u.conversion.offset);
+    }
+    ExitCode::SUCCESS
+}
+
+fn search_cmd(args: &[String]) -> ExitCode {
+    let query = args.join(" ");
+    if query.is_empty() {
+        eprintln!("usage: dimks search <query>");
+        return ExitCode::FAILURE;
+    }
+    let kb = DimUnitKb::shared();
+    let hits = stats_free_search(&kb, &query);
+    if hits.is_empty() {
+        println!("no units match {query:?}");
+        return ExitCode::SUCCESS;
+    }
+    for (i, hit) in hits.iter().enumerate() {
+        let u = kb.unit(hit.unit);
+        println!(
+            "{:>2}. {:<26} [{}]  {} — dim {}  (score {:.2})",
+            i + 1,
+            u.label_en,
+            u.code,
+            u.label_zh,
+            u.dim.formula(),
+            hit.score
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn stats_free_search(
+    kb: &DimUnitKb,
+    query: &str,
+) -> Vec<dimension_perception::kb::search::SearchHit> {
+    dimension_perception::kb::search::search(kb, query, 10)
+}
+
+fn top(args: &[String]) -> ExitCode {
+    let k: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(15);
+    let kb = DimUnitKb::shared();
+    for (i, (id, freq)) in stats::top_units(&kb, k).into_iter().enumerate() {
+        println!("{:>3}. {:<26} {:.3}", i + 1, kb.unit(id).label_en, freq);
+    }
+    ExitCode::SUCCESS
+}

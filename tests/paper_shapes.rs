@@ -1,0 +1,117 @@
+//! The paper's qualitative findings, asserted as integration tests at
+//! reduced scale. These are the claims EXPERIMENTS.md tracks:
+//!
+//! 1. DimUnitKB dominates WolframAlpha and UoM in coverage (Table IV);
+//! 2. Q-MWP has more units and operations than N-MWP (Table VI);
+//! 3. every untuned model drops from N-MWP to Q-MWP (Table IX);
+//! 4. the headline: DimPerc beats tool-augmented GPT-4 on Q-Ape210k
+//!    (the paper's 43.55% → 50.67%);
+//! 5. augmentation rate η ≥ 0.5 outperforms η = 0 (Fig. 6);
+//! 6. digit (equation) tokenization underperforms regular (Fig. 7).
+
+use dimension_perception::core::experiments::{
+    self, quick_config, table4, table6, table9,
+};
+
+#[test]
+fn table4_coverage_ordering() {
+    let rows = table4();
+    assert!(rows[0].units < rows[1].units);
+    assert!(rows[1].units < rows[2].units);
+    assert!(rows[2].freq, "only DimUnitKB has the frequency feature");
+    assert_eq!(rows[2].lang, "En&Zh", "only DimUnitKB is bilingual");
+}
+
+#[test]
+fn table6_q_dominates_n() {
+    let cfg = quick_config();
+    let rows = table6(&cfg);
+    let get = |name: &str| rows.iter().find(|(n, _)| *n == name).unwrap().1.clone();
+    for (n, q) in [("N-Math23k", "Q-Math23k"), ("N-Ape210k", "Q-Ape210k")] {
+        let (sn, sq) = (get(n), get(q));
+        assert!(sq.units > sn.units, "{q} units {} vs {n} {}", sq.units, sn.units);
+        let hi = |s: &dimension_perception::mwp::DatasetStats| s.op_buckets[2] + s.op_buckets[3];
+        assert!(hi(&sq) >= hi(&sn), "{q} must not have fewer high-op problems");
+    }
+}
+
+#[test]
+fn table9_shapes_hold_at_quick_scale() {
+    let cfg = quick_config();
+    let rows = table9(&cfg);
+    let get = |name: &str| {
+        rows.iter()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("row {name} missing: {:?}", rows.iter().map(|r| &r.name).collect::<Vec<_>>()))
+            .accuracy
+    };
+    let gpt4 = get("GPT-4");
+    let gpt4_tool = get("GPT-4 + WolframAlpha");
+    let bertgen = get("BertGen");
+    let dimperc = get("DimPerc");
+
+    // (3) every untuned model drops from N to Q on both dataset styles.
+    for acc in [gpt4, gpt4_tool, bertgen] {
+        assert!(acc[2] < acc[0], "Q-Math23k {} must trail N-Math23k {}", acc[2], acc[0]);
+        assert!(acc[3] < acc[1], "Q-Ape210k {} must trail N-Ape210k {}", acc[3], acc[1]);
+    }
+    // (4) the headline claim: DimPerc beats the best untuned model
+    // (tool-augmented GPT-4) on Q-Ape210k, and beats everything on Q-Math23k.
+    assert!(
+        dimperc[3] > gpt4_tool[3],
+        "headline: DimPerc {} must beat GPT-4+WolframAlpha {} on Q-Ape210k",
+        dimperc[3],
+        gpt4_tool[3]
+    );
+    assert!(dimperc[2] > gpt4[2], "DimPerc must lead Q-Math23k");
+    // DimPerc retains N-MWP competence (paper: 80.89 on N-Math23k).
+    assert!(dimperc[0] > 0.6, "DimPerc N-Math23k {}", dimperc[0]);
+}
+
+#[test]
+fn fig6_augmentation_helps() {
+    let cfg = quick_config();
+    let sweep = experiments::fig6(&cfg, &[0.0, 0.5, 1.0]);
+    let at = |eta: f64| sweep.iter().find(|(e, _)| *e == eta).unwrap().1;
+    assert!(
+        at(0.5) > at(0.0),
+        "η=0.5 ({}) must beat η=0 ({})",
+        at(0.5),
+        at(0.0)
+    );
+    assert!(at(1.0) >= at(0.5) - 0.08, "η=1.0 should not collapse");
+}
+
+#[test]
+fn fig7_digit_tokenization_hurts_and_dimperc_leads_early() {
+    let cfg = quick_config();
+    let curves = experiments::fig7(&cfg, 4);
+    let find = |label: &str| {
+        curves
+            .iter()
+            .find(|c| c.label == label)
+            .unwrap_or_else(|| panic!("curve {label} missing"))
+    };
+    let dp_reg = find("DimPerc w/o ET");
+    let dp_dig = find("DimPerc w/ ET");
+    let base_reg = find("LLaMa_IFT w/o ET");
+    // (6) final accuracy: regular tokenization ≥ digit tokenization.
+    let last = |c: &experiments::Curve| c.points.last().unwrap().1;
+    assert!(
+        last(dp_reg) >= last(dp_dig),
+        "regular {} must not trail digit {}",
+        last(dp_reg),
+        last(dp_dig)
+    );
+    // DimPerc starts above the base model (knowledge transfer, Fig. 7).
+    let first = |c: &experiments::Curve| c.points.first().unwrap().1;
+    assert!(
+        first(dp_reg) >= first(base_reg),
+        "DimPerc {} must start at or above base {}",
+        first(dp_reg),
+        first(base_reg)
+    );
+    // Both improve with training.
+    assert!(last(dp_reg) >= first(dp_reg));
+    assert!(last(base_reg) >= first(base_reg));
+}

@@ -1,0 +1,167 @@
+//! Property-based tests of the core invariants.
+
+use dimension_perception::kb::{Conversion, DimUnitKb, DimVec, UnitId};
+use dimension_perception::link::lev;
+use dimension_perception::mwp::{calculate, Node, Op};
+use proptest::prelude::*;
+
+fn arb_dim() -> impl Strategy<Value = DimVec> {
+    (
+        -4i8..=4,
+        -4i8..=4,
+        -4i8..=4,
+        -4i8..=4,
+        -4i8..=4,
+        -4i8..=4,
+        -4i8..=4,
+    )
+        .prop_map(|(a, e, l, i, m, h, t)| {
+            use dimension_perception::kb::Base;
+            DimVec::from_exponents(&[
+                (Base::Amount, a),
+                (Base::Current, e),
+                (Base::Length, l),
+                (Base::Luminous, i),
+                (Base::Mass, m),
+                (Base::Temperature, h),
+                (Base::Time, t),
+            ])
+        })
+}
+
+proptest! {
+    // ---- dimension algebra laws --------------------------------------
+
+    #[test]
+    fn dim_mul_is_commutative(a in arb_dim(), b in arb_dim()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn dim_mul_div_inverse(a in arb_dim(), b in arb_dim()) {
+        prop_assert_eq!(a * b / b, a);
+    }
+
+    #[test]
+    fn dim_dimensionless_is_identity(a in arb_dim()) {
+        prop_assert_eq!(a * DimVec::DIMENSIONLESS, a);
+        prop_assert_eq!(a / a, DimVec::DIMENSIONLESS);
+    }
+
+    #[test]
+    fn dim_vector_form_roundtrips(a in arb_dim()) {
+        let s = a.vector_form();
+        prop_assert_eq!(DimVec::parse(&s).unwrap(), a);
+    }
+
+    #[test]
+    fn dim_powi_matches_repeated_mul(a in arb_dim(), n in 0i8..=4) {
+        let mut acc = DimVec::DIMENSIONLESS;
+        for _ in 0..n {
+            acc = acc * a;
+        }
+        prop_assert_eq!(a.powi(n), acc);
+    }
+
+    // ---- conversions ----------------------------------------------------
+
+    #[test]
+    fn conversion_roundtrips(factor in 1e-9f64..1e9, offset in -500.0f64..500.0, v in -1e6f64..1e6) {
+        let c = Conversion::affine(factor, offset);
+        let rt = c.from_si(c.to_si(v));
+        prop_assert!((rt - v).abs() <= 1e-6 * v.abs().max(1.0));
+    }
+
+    // ---- Levenshtein ------------------------------------------------------
+
+    #[test]
+    fn levenshtein_identity_and_symmetry(a in "[a-z\u{4e00}-\u{4e2f}]{0,12}", b in "[a-z\u{4e00}-\u{4e2f}]{0,12}") {
+        prop_assert_eq!(lev::distance(&a, &a), 0);
+        prop_assert_eq!(lev::distance(&a, &b), lev::distance(&b, &a));
+        let sim = lev::similarity(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&sim));
+    }
+
+    #[test]
+    fn levenshtein_bounded_by_longer_string(a in "[a-z]{0,10}", b in "[a-z]{0,10}") {
+        let d = lev::distance(&a, &b);
+        prop_assert!(d <= a.chars().count().max(b.chars().count()));
+        prop_assert!(d >= a.chars().count().abs_diff(b.chars().count()));
+    }
+
+    // ---- equations -----------------------------------------------------------
+
+    #[test]
+    fn equation_render_parse_roundtrip(
+        vals in prop::collection::vec(1u32..5000, 2..5),
+        ops in prop::collection::vec(0u8..4, 1..4),
+    ) {
+        // Build a left-leaning tree of the values and ops.
+        let mut node = Node::Const(f64::from(vals[0]));
+        for (i, op) in ops.iter().enumerate() {
+            let v = f64::from(vals[(i + 1) % vals.len()]);
+            let op = match op {
+                0 => Op::Add,
+                1 => Op::Sub,
+                2 => Op::Mul,
+                _ => Op::Div,
+            };
+            node = Node::bin(op, node, Node::Const(v));
+        }
+        let direct = node.eval(&[]);
+        prop_assume!(direct.is_finite());
+        let text = node.render(&[]);
+        let parsed = calculate(&text).unwrap();
+        let scale = direct.abs().max(1.0);
+        prop_assert!((parsed - direct).abs() <= 1e-9 * scale, "{} -> {} vs {}", text, parsed, direct);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // ---- KB-wide invariants (heavier, fewer cases) -----------------------
+
+    #[test]
+    fn kb_conversion_roundtrip_between_random_same_dim_units(idx in 0usize..2000, v in 0.001f64..1e6) {
+        let kb = DimUnitKb::shared();
+        let units = kb.units();
+        let a = &units[idx % units.len()];
+        let same_dim = kb.units_with_dim(a.dim);
+        let b = kb.unit(same_dim[idx % same_dim.len()]);
+        let there = kb.convert(v, a.id, b.id).unwrap();
+        let back = kb.convert(there, b.id, a.id).unwrap();
+        prop_assert!((back - v).abs() <= 1e-6 * v.abs().max(1e-9), "{} -> {} -> {}", v, there, back);
+    }
+
+    #[test]
+    fn kb_lookup_returns_units_bearing_the_surface(idx in 0usize..2000) {
+        let kb = DimUnitKb::shared();
+        let units = kb.units();
+        let u = &units[idx % units.len()];
+        for form in u.surface_forms() {
+            let hits = kb.lookup(form);
+            prop_assert!(hits.contains(&u.id), "{} not found under {:?}", u.code, form);
+        }
+    }
+
+    #[test]
+    fn kb_conversion_factor_is_consistent_with_convert(idx in 0usize..2000) {
+        let kb = DimUnitKb::shared();
+        let units = kb.units();
+        let a = &units[idx % units.len()];
+        if a.conversion.is_affine() {
+            return Ok(());
+        }
+        let same_dim: Vec<UnitId> = kb
+            .units_with_dim(a.dim)
+            .iter()
+            .copied()
+            .filter(|&id| !kb.unit(id).conversion.is_affine())
+            .collect();
+        let b = same_dim[idx % same_dim.len()];
+        let beta = kb.conversion_factor(a.id, b).unwrap();
+        let via_convert = kb.convert(1.0, a.id, b).unwrap();
+        prop_assert!((beta - via_convert).abs() <= 1e-9 * beta.abs().max(1e-12));
+    }
+}
