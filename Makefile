@@ -1,0 +1,22 @@
+.PHONY: verify build test clippy smoke bench-baseline
+
+# Full offline verification: release build, workspace tests, lints, and a
+# quick end-to-end smoke of the experiment suite. No network required.
+verify: build test clippy smoke
+
+build:
+	cargo build --workspace --release
+
+test:
+	cargo test --workspace -q
+
+clippy:
+	cargo clippy --workspace --all-targets -- -D warnings
+
+smoke:
+	cargo run --release -p dim-bench --bin all_experiments -- --quick
+
+# Regenerates BENCH_baseline.json (criterion micro-benchmarks with JSON
+# aggregation; see EXPERIMENTS.md "Micro-benchmark methodology").
+bench-baseline:
+	BENCH_JSON=$(CURDIR)/BENCH_baseline.json cargo bench --workspace

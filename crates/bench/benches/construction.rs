@@ -15,13 +15,20 @@ fn bench_construction(c: &mut Criterion) {
     let mlm = algo1::train_filter(&corpus);
     let kg = synthesize(&kb, &SynthConfig { entities_per_type: 30, seed: 2 });
 
-    c.bench_function("algo1_per_100_sentences", |b| {
-        b.iter(|| {
-            algo1::semi_automated_annotate(&annotator, &mlm, &corpus, algo1::Algo1Config::default())
-                .dataset
-                .len()
-        })
-    });
+    // Algorithm 1 at 1 vs 4 threads (byte-identical output; on a
+    // single-core host the two read roughly equal, bounding fan-out
+    // overhead).
+    for threads in [1usize, 4] {
+        c.bench_function(&format!("algo1_per_100_sentences_threads{threads}"), |b| {
+            let cfg = algo1::Algo1Config {
+                parallelism: dim_par::Parallelism::new(threads),
+                ..Default::default()
+            };
+            b.iter(|| {
+                algo1::semi_automated_annotate(&annotator, &mlm, &corpus, cfg).dataset.len()
+            })
+        });
+    }
     c.bench_function("algo1_train_filter", |b| {
         b.iter(|| algo1::train_filter(&corpus).prior())
     });

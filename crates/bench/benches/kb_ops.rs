@@ -25,6 +25,20 @@ fn bench_kb(c: &mut Criterion) {
     c.bench_function("expr_eval_compound", |b| {
         b.iter(|| expr::eval(&kb, black_box("J / (kg * K)")).unwrap())
     });
+
+    // Indexed search vs the reference full scan (identical ranked output;
+    // the determinism tests in dimkb pin the equivalence).
+    let queries: [(&str, &str); 3] =
+        [("label", "newton"), ("zh", "千克"), ("keywords", "blood pressure medical")];
+    dimkb::search::search(&kb, queries[0].1, 1); // warm the lazy index outside the timing loop
+    for (tag, query) in queries {
+        c.bench_function(&format!("kb_search_indexed_{tag}"), |b| {
+            b.iter(|| dimkb::search::search(&kb, black_box(query), 10).len())
+        });
+        c.bench_function(&format!("kb_search_scan_{tag}"), |b| {
+            b.iter(|| dimkb::search::search_scan(&kb, black_box(query), 10).len())
+        });
+    }
 }
 
 criterion_group! {

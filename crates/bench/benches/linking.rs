@@ -1,7 +1,7 @@
 //! Microbenchmarks of the unit linking module: Levenshtein similarity,
 //! exact and fuzzy linking, and full-sentence annotation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use dimkb::DimUnitKb;
 use dimlink::{lev, Annotator, LinkerConfig, UnitLinker};
 use std::hint::black_box;
@@ -30,6 +30,32 @@ fn bench_linking(c: &mut Criterion) {
     c.bench_function("annotate_chinese_sentence", |b| {
         b.iter(|| annotator.annotate(black_box("小王要将150千克含药量20%的农药稀释成含药量5%的药水")))
     });
+
+    // Batch annotation at 1 vs 4 threads. A fresh annotator per iteration
+    // keeps the link memo cold, so this measures real linking work, not
+    // cache hits; on a single-core host both variants degenerate to the
+    // sequential path and should read roughly equal.
+    let texts: Vec<String> = (0..120)
+        .map(|i| {
+            format!(
+                "第{i}组样本：长度为{}米，质量是{}千克，速度达到{} km/h，含水量{}%。",
+                i + 2,
+                i * 3 + 1,
+                (i % 40) + 20,
+                (i % 50) + 10,
+            )
+        })
+        .collect();
+    let kb2 = DimUnitKb::shared();
+    for threads in [1usize, 4] {
+        c.bench_function(&format!("annotate_batch_threads{threads}"), |b| {
+            b.iter_batched(
+                || Annotator::new(UnitLinker::new(kb2.clone(), None, LinkerConfig::default())),
+                |a| a.annotate_batch(&texts, dim_par::Parallelism::new(threads)).len(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
 }
 
 criterion_group!(benches, bench_linking);

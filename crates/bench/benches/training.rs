@@ -32,7 +32,7 @@ fn bench_training(c: &mut Criterion) {
     });
     c.bench_function("eqgen_train_64_problems", |b| {
         b.iter_batched(
-            || EquationGenerator::new(),
+            EquationGenerator::new,
             |mut g| {
                 for p in &problems {
                     g.train_one(p);

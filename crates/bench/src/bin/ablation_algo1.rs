@@ -21,7 +21,7 @@ fn main() {
             &annotator,
             &mlm,
             &corpus,
-            Algo1Config { mlm_threshold: threshold },
+            Algo1Config { mlm_threshold: threshold, ..Default::default() },
         );
         println!(
             "{:<12} {:>15}% {:>15}% {:>10} {:>12}",

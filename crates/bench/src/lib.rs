@@ -11,14 +11,33 @@ pub fn quick_flag() -> bool {
     std::env::args().any(|a| a == "--quick")
 }
 
-/// Returns the experiment configuration selected by the CLI (`--quick`
-/// shrinks datasets and training for fast smoke runs).
+/// Parses a `--threads N` flag from the CLI arguments.
+pub fn threads_flag() -> Option<usize> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            return args.next().and_then(|n| n.parse().ok());
+        }
+    }
+    None
+}
+
+/// Returns the experiment configuration selected by the CLI. `--quick`
+/// shrinks datasets and training for fast smoke runs and pins the
+/// sequential reference paths; `--threads N` overrides the fan-out width
+/// in either mode (results are identical at every width).
 pub fn config_from_args() -> dim_core::experiments::ExperimentConfig {
-    if quick_flag() {
+    let mut config = if quick_flag() {
         dim_core::experiments::quick_config()
     } else {
         dim_core::experiments::ExperimentConfig::default()
+    };
+    if let Some(threads) = threads_flag() {
+        let par = dim_par::Parallelism::new(threads);
+        config.parallelism = par;
+        config.pipeline.parallelism = par;
     }
+    config
 }
 
 /// Prints a rule line.
@@ -58,9 +77,11 @@ pub const PAPER_TABLE9: [(&str, [f64; 4]); 7] = [
     ("DimPerc (Ours)", [80.89, 60.00, 82.67, 50.67]),
 ];
 
-/// Selected paper Table VII rows for the comparison footer:
-/// (name, QE/VE/UE f1, then six tasks' (prec, f1)).
-pub const PAPER_TABLE7_KEY_ROWS: [(&str, [f64; 3], [(f64, f64); 6]); 3] = [
+/// One Table VII row: (name, QE/VE/UE f1, then six tasks' (prec, f1)).
+pub type PaperTable7Row = (&'static str, [f64; 3], [(f64, f64); 6]);
+
+/// Selected paper Table VII rows for the comparison footer.
+pub const PAPER_TABLE7_KEY_ROWS: [PaperTable7Row; 3] = [
     (
         "GPT-4 (zero-shot)",
         [73.91, 80.59, 80.79],

@@ -26,6 +26,9 @@ pub struct ExperimentConfig {
     pub mwp_eval: usize,
     /// Evaluation seed (distinct from all training seeds).
     pub seed: u64,
+    /// Fan-out for evaluation-set construction. Results are identical for
+    /// every thread count; training fan-out is `pipeline.parallelism`.
+    pub parallelism: dim_par::Parallelism,
     /// Pipeline (training) configuration.
     pub pipeline: PipelineConfig,
 }
@@ -36,23 +39,28 @@ impl Default for ExperimentConfig {
             eval_per_task: 45,
             mwp_eval: 225,
             seed: 20_24,
+            parallelism: dim_par::Parallelism::SEQUENTIAL,
             pipeline: PipelineConfig::default(),
         }
     }
 }
 
 /// A quick configuration for tests (smaller datasets, fewer epochs).
+/// Pins one thread everywhere: CI smoke runs must exercise the reference
+/// sequential paths.
 pub fn quick_config() -> ExperimentConfig {
     ExperimentConfig {
         eval_per_task: 20,
         mwp_eval: 80,
         seed: 20_24,
+        parallelism: dim_par::Parallelism::SEQUENTIAL,
         pipeline: PipelineConfig {
             train_per_task: 200,
             epochs: 3,
             // 17 problem templates per style need coverage even in the
             // smoke configuration.
             mwp_train: 500,
+            parallelism: dim_par::Parallelism::SEQUENTIAL,
             ..Default::default()
         },
     }
@@ -216,16 +224,20 @@ impl MwpDatasets {
 /// Builds the four evaluation sets (seeds disjoint from training).
 pub fn build_mwp_eval(config: &ExperimentConfig) -> MwpDatasets {
     let kb = DimUnitKb::shared();
-    let n_math23k = dim_mwp::generate(
+    let n_math23k = dim_mwp::generate_with(
         Source::Math23k,
         &GenConfig { count: config.mwp_eval, seed: config.seed ^ 0xE23 },
+        config.parallelism,
     );
-    let n_ape210k = dim_mwp::generate(
+    let n_ape210k = dim_mwp::generate_with(
         Source::Ape210k,
         &GenConfig { count: config.mwp_eval, seed: config.seed ^ 0xEA2 },
+        config.parallelism,
     );
-    let q_math23k = Augmenter::new(&kb, config.seed ^ 0x923u64).to_qmwp(&n_math23k);
-    let q_ape210k = Augmenter::new(&kb, config.seed ^ 0x9A2u64).to_qmwp(&n_ape210k);
+    let q_math23k =
+        Augmenter::new(&kb, config.seed ^ 0x923u64).to_qmwp_with(&n_math23k, config.parallelism);
+    let q_ape210k =
+        Augmenter::new(&kb, config.seed ^ 0x9A2u64).to_qmwp_with(&n_ape210k, config.parallelism);
     MwpDatasets { n_math23k, n_ape210k, q_math23k, q_ape210k }
 }
 
@@ -277,6 +289,7 @@ pub fn build_eval_dimeval(config: &ExperimentConfig) -> DimEval {
             per_task: config.eval_per_task,
             extraction_items: config.eval_per_task,
             seed: config.seed,
+            parallelism: config.parallelism,
             ..Default::default()
         },
     )

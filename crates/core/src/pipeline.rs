@@ -23,6 +23,9 @@ pub struct PipelineConfig {
     pub tokenization: EqTokenization,
     /// Master seed.
     pub seed: u64,
+    /// Fan-out for benchmark construction, MWP generation and
+    /// augmentation. Any thread count yields identical datasets.
+    pub parallelism: dim_par::Parallelism,
 }
 
 impl Default for PipelineConfig {
@@ -34,6 +37,7 @@ impl Default for PipelineConfig {
             eta: 0.5,
             tokenization: EqTokenization::Regular,
             seed: 77,
+            parallelism: dim_par::Parallelism::SEQUENTIAL,
         }
     }
 }
@@ -47,6 +51,7 @@ pub fn build_train_dimeval(kb: &Arc<DimUnitKb>, config: &PipelineConfig) -> DimE
             per_task: config.train_per_task,
             extraction_items: (config.train_per_task / 2).max(100),
             seed: config.seed ^ 0x7EA1,
+            parallelism: config.parallelism,
             ..Default::default()
         },
     )
@@ -62,22 +67,31 @@ pub fn train_dimperc(kb: &Arc<DimUnitKb>, config: &PipelineConfig) -> TinyLm {
 
 /// The MWP training mixture: both dataset styles, augmented at rate η.
 pub fn build_mwp_training(kb: &DimUnitKb, config: &PipelineConfig) -> Vec<MwpProblem> {
-    let mut problems = dim_mwp::generate(
+    let mut problems = dim_mwp::generate_with(
         Source::Math23k,
         &GenConfig { count: config.mwp_train, seed: config.seed ^ 0x23 },
+        config.parallelism,
     );
-    problems.extend(dim_mwp::generate(
+    problems.extend(dim_mwp::generate_with(
         Source::Ape210k,
         &GenConfig { count: config.mwp_train, seed: config.seed ^ 0x210 },
+        config.parallelism,
     ));
     let mut aug = Augmenter::new(kb, config.seed ^ 0xA6);
-    let mut out = aug.augment_dataset(&problems, config.eta);
-    // Deterministic interleave so originals and augmented variants mix.
-    let mut rng_order: Vec<usize> = (0..out.len()).collect();
-    rng_order.sort_by_key(|&i| (i * 2654435761) % out.len().max(1));
-    let reordered: Vec<MwpProblem> = rng_order.into_iter().map(|i| out[i].clone()).collect();
-    out = reordered;
-    out
+    let out = aug.augment_dataset_with(&problems, config.eta, config.parallelism);
+    // Deterministic interleave so originals and augmented variants mix:
+    // Fibonacci hashing of the index gives a fixed pseudo-random total
+    // order (the old `(i * K) % len` key collapsed for many lengths —
+    // e.g. even lengths mapped every index pair {i, i + len/2} to the
+    // same key, leaving long runs in original order).
+    let mut order: Vec<usize> = (0..out.len()).collect();
+    order.sort_by_key(|&i| (i as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    // Apply the permutation by moving problems, not cloning them.
+    let mut slots: Vec<Option<MwpProblem>> = out.into_iter().map(Some).collect();
+    order
+        .into_iter()
+        .map(|i| slots[i].take().expect("permutation visits each index once"))
+        .collect()
 }
 
 /// Step 3 (Fig. 2c): quantitative-reasoning fine-tuning of a model on the

@@ -22,11 +22,13 @@ pub struct Algo1Config {
     /// Minimum masked-LM numeric probability for a candidate to survive
     /// stage 2.
     pub mlm_threshold: f64,
+    /// Fan-out for the per-sentence annotate + filter work.
+    pub parallelism: dim_par::Parallelism,
 }
 
 impl Default for Algo1Config {
     fn default() -> Self {
-        Algo1Config { mlm_threshold: 0.18 }
+        Algo1Config { mlm_threshold: 0.18, parallelism: dim_par::Parallelism::SEQUENTIAL }
     }
 }
 
@@ -55,31 +57,39 @@ fn mention_correct(m: &QuantityMention, sent: &Sentence) -> bool {
     })
 }
 
-/// Runs the three-stage pipeline over an annotated corpus.
+/// Per-sentence tallies produced by the (possibly parallel) stage 1+2 pass;
+/// folded in corpus order so every thread count yields identical output.
+#[derive(Default)]
+struct SentenceTally {
+    stage1_total: usize,
+    stage1_correct: usize,
+    stage2_total: usize,
+    stage2_correct: usize,
+    removed: usize,
+    corrected: usize,
+    item: Option<ExtractionItem>,
+}
+
+/// Runs the three-stage pipeline over an annotated corpus. Sentences are
+/// independent, so the annotate + filter work fans out across
+/// `config.parallelism`; tallies are reduced in corpus order.
 pub fn semi_automated_annotate(
     annotator: &Annotator,
     mlm: &NumericSlotModel,
     corpus: &[Sentence],
     config: Algo1Config,
 ) -> Algo1Output {
-    let mut stage1_total = 0usize;
-    let mut stage1_correct = 0usize;
-    let mut stage2_total = 0usize;
-    let mut stage2_correct = 0usize;
-    let mut removed = 0usize;
-    let mut corrected = 0usize;
-    let mut dataset = Vec::new();
-
-    for sent in corpus {
+    let tallies = dim_par::par_map(config.parallelism, corpus, |sent| {
+        let mut t = SentenceTally::default();
         // Stage 1: heuristic DimKS annotation; keep sentences with numerics.
         let mentions = annotator.annotate(&sent.text);
         if mentions.is_empty() {
-            continue;
+            return t;
         }
         for m in &mentions {
-            stage1_total += 1;
+            t.stage1_total += 1;
             if mention_correct(m, sent) {
-                stage1_correct += 1;
+                t.stage1_correct += 1;
             }
         }
 
@@ -90,15 +100,15 @@ pub fn semi_automated_annotate(
                 let p = mlm.mask_and_score(&sent.text, m.value_span.0).unwrap_or(0.0);
                 let keep = p >= config.mlm_threshold;
                 if !keep {
-                    removed += 1;
+                    t.removed += 1;
                 }
                 keep
             })
             .collect();
         for m in &surviving {
-            stage2_total += 1;
+            t.stage2_total += 1;
             if mention_correct(m, sent) {
-                stage2_correct += 1;
+                t.stage2_correct += 1;
             }
         }
 
@@ -106,8 +116,8 @@ pub fn semi_automated_annotate(
         let surviving_correct = surviving.iter().filter(|m| mention_correct(m, sent)).count();
         let false_positives = surviving.len() - surviving_correct;
         let missed = sent.quantities.len().saturating_sub(surviving_correct);
-        corrected += false_positives + missed;
-        dataset.push(ExtractionItem {
+        t.corrected = false_positives + missed;
+        t.item = Some(ExtractionItem {
             text: sent.text.clone(),
             gold: sent
                 .quantities
@@ -115,6 +125,24 @@ pub fn semi_automated_annotate(
                 .map(|q| GoldExtraction { value: q.value, unit_surface: q.unit_surface.clone() })
                 .collect(),
         });
+        t
+    });
+
+    let mut stage1_total = 0usize;
+    let mut stage1_correct = 0usize;
+    let mut stage2_total = 0usize;
+    let mut stage2_correct = 0usize;
+    let mut removed = 0usize;
+    let mut corrected = 0usize;
+    let mut dataset = Vec::new();
+    for t in tallies {
+        stage1_total += t.stage1_total;
+        stage1_correct += t.stage1_correct;
+        stage2_total += t.stage2_total;
+        stage2_correct += t.stage2_correct;
+        removed += t.removed;
+        corrected += t.corrected;
+        dataset.extend(t.item);
     }
 
     let ratio = |c: usize, t: usize| if t == 0 { 0.0 } else { c as f64 / t as f64 };
@@ -180,6 +208,26 @@ mod tests {
         let out = run();
         assert!(out.dataset.len() > 100);
         assert!(out.dataset.iter().all(|d| !d.gold.is_empty()));
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential() {
+        let kb = DimUnitKb::shared();
+        let corpus = dim_corpus::generate(&kb, &CorpusConfig { sentences: 250, seed: 3 });
+        let annotator = Annotator::new(UnitLinker::new(kb, None, LinkerConfig::default()));
+        let mlm = train_filter(&corpus);
+        let seq = semi_automated_annotate(&annotator, &mlm, &corpus, Algo1Config::default());
+        let par = semi_automated_annotate(
+            &annotator,
+            &mlm,
+            &corpus,
+            Algo1Config { parallelism: dim_par::Parallelism::new(4), ..Default::default() },
+        );
+        assert_eq!(seq.dataset, par.dataset);
+        assert_eq!(seq.stage1_precision, par.stage1_precision);
+        assert_eq!(seq.stage2_precision, par.stage2_precision);
+        assert_eq!(seq.removed_by_filter, par.removed_by_filter);
+        assert_eq!(seq.corrected_by_review, par.corrected_by_review);
     }
 
     #[test]

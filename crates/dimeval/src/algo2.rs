@@ -25,11 +25,18 @@ pub struct Algo2Config {
     pub iterations: usize,
     /// Number of high-frequency seed units for `M₀`.
     pub seed_mentions: usize,
+    /// Fan-out for the per-predicate ratio and mention-regrowth passes.
+    pub parallelism: dim_par::Parallelism,
 }
 
 impl Default for Algo2Config {
     fn default() -> Self {
-        Algo2Config { tau: 0.6, iterations: 5, seed_mentions: 40 }
+        Algo2Config {
+            tau: 0.6,
+            iterations: 5,
+            seed_mentions: 40,
+            parallelism: dim_par::Parallelism::SEQUENTIAL,
+        }
     }
 }
 
@@ -89,31 +96,40 @@ pub fn bootstrap_retrieve(
                 p.insert(kg.store.triple(tid).predicate);
             }
         }
-        // Step 2: filter by quantity ratio.
-        p.retain(|&pid| {
-            let ratio = *ratio_cache.entry(pid).or_insert_with(|| {
-                let triples = kg.store.find_by_predicate(pid);
-                if triples.is_empty() {
-                    return 0.0;
-                }
-                let q = triples
-                    .iter()
-                    .filter(|&&tid| object_is_quantity(annotator, &kg.store.triple(tid).object))
-                    .count();
-                q as f64 / triples.len() as f64
-            });
-            ratio >= config.tau
+        // Step 2: filter by quantity ratio. Ratios for not-yet-seen
+        // predicates are computed in parallel (each is an independent
+        // annotate pass over that predicate's objects), then cached in
+        // BTreeMap order — the filter itself stays sequential and
+        // deterministic.
+        let uncached: Vec<PredicateId> =
+            p.iter().copied().filter(|pid| !ratio_cache.contains_key(pid)).collect();
+        let ratios = dim_par::par_map_coarse(config.parallelism, &uncached, |_, &pid| {
+            let triples = kg.store.find_by_predicate(pid);
+            if triples.is_empty() {
+                return 0.0;
+            }
+            let q = triples
+                .iter()
+                .filter(|&&tid| object_is_quantity(annotator, &kg.store.triple(tid).object))
+                .count();
+            q as f64 / triples.len() as f64
         });
+        ratio_cache.extend(uncached.into_iter().zip(ratios));
+        p.retain(|pid| ratio_cache[pid] >= config.tau);
         kept = p.clone();
-        // Step 3: regrow the mention set from the kept predicates' objects.
-        let mut m: BTreeSet<String> = BTreeSet::new();
-        for &pid in &p {
+        // Step 3: regrow the mention set from the kept predicates' objects
+        // (parallel per predicate; the BTreeSet union is order-insensitive).
+        let kept_list: Vec<PredicateId> = p.iter().copied().collect();
+        let grown = dim_par::par_map_coarse(config.parallelism, &kept_list, |_, &pid| {
+            let mut surfaces = Vec::new();
             for &tid in kg.store.find_by_predicate(pid) {
                 for qm in annotator.annotate(&kg.store.triple(tid).object) {
-                    m.insert(qm.unit_surface);
+                    surfaces.push(qm.unit_surface);
                 }
             }
-        }
+            surfaces
+        });
+        let m: BTreeSet<String> = grown.into_iter().flatten().collect();
         if !m.is_empty() {
             mentions = m;
         }
@@ -212,6 +228,23 @@ mod tests {
         assert!(sentence.ends_with("。"));
         assert!(masked.contains("[MASK]"));
         assert!(!masked.contains(&kg.store.triple(out.triplets[0]).object));
+    }
+
+    #[test]
+    fn parallel_bootstrap_matches_sequential() {
+        let kb = DimUnitKb::shared();
+        let kg = synthesize(&kb, &SynthConfig { entities_per_type: 40, seed: 21 });
+        let annotator = Annotator::new(UnitLinker::new(kb, None, LinkerConfig::default()));
+        let seq = bootstrap_retrieve(&kg, &annotator, Algo2Config::default());
+        let par = bootstrap_retrieve(
+            &kg,
+            &annotator,
+            Algo2Config { parallelism: dim_par::Parallelism::new(4), ..Default::default() },
+        );
+        assert_eq!(seq.triplets, par.triplets);
+        assert_eq!(seq.predicates, par.predicates);
+        assert_eq!(seq.mentions, par.mentions);
+        assert_eq!(seq.growth, par.growth);
     }
 
     #[test]

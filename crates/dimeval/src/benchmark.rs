@@ -30,13 +30,23 @@ pub struct DimEvalConfig {
     pub bootstrap_fraction: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Fan-out for construction: Algorithm 1's per-sentence pass,
+    /// Algorithm 2's ratio/regrowth passes, and per-task item generation.
+    /// Every thread count yields a byte-identical benchmark.
+    pub parallelism: dim_par::Parallelism,
 }
 
 impl Default for DimEvalConfig {
     fn default() -> Self {
         // 45 items per task matches the paper's evaluation granularity
         // (scores are multiples of 1/45 in Table VII).
-        DimEvalConfig { per_task: 45, extraction_items: 45, bootstrap_fraction: 0.5, seed: 2024 }
+        DimEvalConfig {
+            per_task: 45,
+            extraction_items: 45,
+            bootstrap_fraction: 0.5,
+            seed: 2024,
+            parallelism: dim_par::Parallelism::SEQUENTIAL,
+        }
     }
 }
 
@@ -51,9 +61,11 @@ pub struct DimEval {
 
 impl DimEval {
     /// Builds the benchmark from scratch against a knowledge base.
+    ///
+    /// Construction fans out across `config.parallelism`; each choice task
+    /// derives its own RNG stream from `(seed, task index)`, so the result
+    /// is byte-identical for every thread count.
     pub fn build(kb: &Arc<DimUnitKb>, config: &DimEvalConfig) -> Self {
-        let mut rng = StdRng::seed_from_u64(config.seed);
-
         // --- extraction via Algorithm 1 --------------------------------
         let corpus = dim_corpus::generate(
             kb,
@@ -65,7 +77,12 @@ impl DimEval {
         let annotator =
             Annotator::new(UnitLinker::new(kb.clone(), None, LinkerConfig::default()));
         let mlm = algo1::train_filter(&corpus);
-        let out1 = algo1::semi_automated_annotate(&annotator, &mlm, &corpus, Algo1Config::default());
+        let out1 = algo1::semi_automated_annotate(
+            &annotator,
+            &mlm,
+            &corpus,
+            Algo1Config { parallelism: config.parallelism, ..Default::default() },
+        );
         let mut extraction = out1.dataset;
         extraction.truncate(config.extraction_items);
 
@@ -74,34 +91,51 @@ impl DimEval {
             kb,
             &SynthConfig { entities_per_type: 40, seed: config.seed ^ 0x22 },
         );
-        let out2 = algo2::bootstrap_retrieve(&kg, &annotator, Algo2Config::default());
+        let out2 = algo2::bootstrap_retrieve(
+            &kg,
+            &annotator,
+            Algo2Config { parallelism: config.parallelism, ..Default::default() },
+        );
 
-        let mut generator = Generator::new(kb, config.seed ^ 0x33);
-        let mut choice: HashMap<TaskKind, Vec<ChoiceItem>> = HashMap::new();
-        for task in TaskKind::CHOICE {
-            if task == TaskKind::DimensionPrediction {
-                let n_boot =
-                    (config.per_task as f64 * config.bootstrap_fraction).round() as usize;
-                let mut items = Vec::with_capacity(config.per_task);
-                let mut tries = 0;
-                while items.len() < n_boot && tries < out2.triplets.len() * 2 && !out2.triplets.is_empty()
-                {
-                    tries += 1;
-                    let tid = out2.triplets[rng.gen_range(0..out2.triplets.len())];
-                    let Some(gold) = kg.gold.get(&tid) else { continue };
-                    let Some(kind) = kb.kind_by_name(&gold.kind) else { continue };
-                    let (_, masked) = algo2::verbalize(&kg, tid);
-                    if let Some(item) = generator.dim_prediction_from_masked(&masked, kind.id) {
-                        items.push(item);
+        let task_items = dim_par::par_map_coarse(
+            config.parallelism,
+            &TaskKind::CHOICE,
+            |task_index, &task| {
+                let mut generator =
+                    Generator::new(kb, dim_par::seed_for(config.seed ^ 0x33, task_index as u64));
+                if task == TaskKind::DimensionPrediction {
+                    let mut rng = StdRng::seed_from_u64(dim_par::seed_for(
+                        config.seed,
+                        task_index as u64,
+                    ));
+                    let n_boot =
+                        (config.per_task as f64 * config.bootstrap_fraction).round() as usize;
+                    let mut items = Vec::with_capacity(config.per_task);
+                    let mut tries = 0;
+                    while items.len() < n_boot
+                        && tries < out2.triplets.len() * 2
+                        && !out2.triplets.is_empty()
+                    {
+                        tries += 1;
+                        let tid = out2.triplets[rng.gen_range(0..out2.triplets.len())];
+                        let Some(gold) = kg.gold.get(&tid) else { continue };
+                        let Some(kind) = kb.kind_by_name(&gold.kind) else { continue };
+                        let (_, masked) = algo2::verbalize(&kg, tid);
+                        if let Some(item) = generator.dim_prediction_from_masked(&masked, kind.id)
+                        {
+                            items.push(item);
+                        }
                     }
+                    let remaining = config.per_task - items.len();
+                    items.extend(generator.generate(task, remaining));
+                    items
+                } else {
+                    generator.generate(task, config.per_task)
                 }
-                let remaining = config.per_task - items.len();
-                items.extend(generator.generate(task, remaining));
-                choice.insert(task, items);
-            } else {
-                choice.insert(task, generator.generate(task, config.per_task));
-            }
-        }
+            },
+        );
+        let choice: HashMap<TaskKind, Vec<ChoiceItem>> =
+            TaskKind::CHOICE.into_iter().zip(task_items).collect();
         DimEval { choice, extraction }
     }
 
@@ -145,7 +179,10 @@ impl EvalReport {
     pub fn category(&self, cat: Category) -> (f64, f64) {
         let mut ps = Vec::new();
         let mut fs = Vec::new();
-        for (task, score) in &self.choice {
+        // Canonical task order: float accumulation must not depend on
+        // HashMap layout.
+        for task in TaskKind::CHOICE {
+            let Some(score) = self.choice.get(&task) else { continue };
             if task.category() == cat {
                 ps.push(score.precision());
                 fs.push(score.f1());
@@ -288,5 +325,17 @@ mod tests {
         let b = DimEval::build(&kb, &cfg);
         assert_eq!(a.choice[&TaskKind::UnitConversion], b.choice[&TaskKind::UnitConversion]);
         assert_eq!(a.extraction.len(), b.extraction.len());
+    }
+
+    #[test]
+    fn build_is_thread_count_invariant() {
+        let kb = DimUnitKb::shared();
+        let base = DimEvalConfig { per_task: 6, extraction_items: 6, ..Default::default() };
+        let seq = DimEval::build(&kb, &base);
+        let par = DimEval::build(
+            &kb,
+            &DimEvalConfig { parallelism: dim_par::Parallelism::new(4), ..base },
+        );
+        assert_eq!(seq.to_json(), par.to_json(), "parallel build must be byte-identical");
     }
 }

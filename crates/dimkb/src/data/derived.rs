@@ -202,6 +202,6 @@ mod tests {
     #[test]
     fn ksi_is_1000_psi() {
         let ksi = UNITS.iter().find(|s| s.code == "KSI").unwrap();
-        assert!((ksi.factor / 6894.757_293_168 - 1000.0).abs() < 1e-6);
+        assert!((ksi.factor / 6_894.757_293_168 - 1000.0).abs() < 1e-6);
     }
 }

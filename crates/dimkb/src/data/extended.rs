@@ -55,7 +55,7 @@ pub const UNITS: &[UnitSpec] = &[
     u("JIFFY", "jiffy", "一瞬", "jiffy", "Time", 1.0 / 60.0, 1.0)
         .aliases(&["jiffies"])
         .kw(&["frame", "tick", "informal"]),
-    u("SIDEREAL-DAY", "sidereal day", "恒星日", "d★", "Time", 86_164.0905, 1.0)
+    u("SIDEREAL-DAY", "sidereal day", "恒星日", "d★", "Time", 86_164.090_5, 1.0)
         .aliases(&["sidereal days"])
         .kw(&["astronomy", "rotation", "star"]),
     u("PLANCK-T", "planck time", "普朗克时间", "tP", "Time", 5.391_247e-44, 0.5)
@@ -70,7 +70,7 @@ pub const UNITS: &[UnitSpec] = &[
     u("BOARD-FT", "board foot", "板英尺", "FBM", "Volume", 2.359_737_216e-3, 1.5)
         .aliases(&["board feet"])
         .kw(&["lumber", "timber", "sawmill"]),
-    u("ACRE-FT", "acre-foot", "英亩英尺", "ac⋅ft", "Volume", 1233.481_837_547_52, 2.0)
+    u("ACRE-FT", "acre-foot", "英亩英尺", "ac⋅ft", "Volume", 1_233.481_837_547_52, 2.0)
         .aliases(&["acre-feet", "acre foot"])
         .kw(&["reservoir", "irrigation", "water"]),
     u("HOGSHEAD", "hogshead", "豪格海", "hhd", "Volume", 0.238_480_942_392, 0.5)
@@ -111,7 +111,7 @@ pub const UNITS: &[UnitSpec] = &[
     u("LANGLEY", "langley", "兰利", "Ly", "SurfaceEnergy", 41_840.0, 0.5)
         .aliases(&["langleys"])
         .kw(&["solar", "radiation", "meteorology"]),
-    u("TON-REFRIG", "ton of refrigeration", "冷吨", "TR", "Power", 3516.852_842_067, 2.0)
+    u("TON-REFRIG", "ton of refrigeration", "冷吨", "TR", "Power", 3_516.852_842_067, 2.0)
         .aliases(&["tons of refrigeration", "refrigeration ton"])
         .kw(&["cooling", "hvac", "chiller"]),
     u("BHP-BOILER", "boiler horsepower", "锅炉马力", "bhp", "Power", 9809.5, 0.5)
@@ -127,7 +127,7 @@ pub const UNITS: &[UnitSpec] = &[
     u("CLO", "clo", "克罗", "clo", "ThermalInsulance", 0.155, 0.5)
         .aliases(&["clos"])
         .kw(&["clothing", "insulation", "comfort"]),
-    u("REYN", "reyn", "雷恩", "reyn", "DynamicViscosity", 6894.757_293_168, 0.5)
+    u("REYN", "reyn", "雷恩", "reyn", "DynamicViscosity", 6_894.757_293_168, 0.5)
         .aliases(&["reyns"])
         .kw(&["lubrication", "imperial", "viscosity"]),
     // ---- photometry & magnetism long tail ---------------------------------------------------
@@ -137,7 +137,7 @@ pub const UNITS: &[UnitSpec] = &[
     u("STILB", "stilb", "熙提", "sb", "Luminance", 10_000.0, 0.5)
         .aliases(&["stilbs"])
         .kw(&["cgs", "luminance", "old"]),
-    u("LAMBERT", "lambert", "朗伯", "Lb", "Luminance", 3183.098_861_837_907, 0.5)
+    u("LAMBERT", "lambert", "朗伯", "Lb", "Luminance", 3_183.098_861_837_907, 0.5)
         .aliases(&["lamberts"])
         .kw(&["cgs", "diffuse", "luminance"]),
     u("FOOT-LAMBERT", "foot-lambert", "英尺朗伯", "fL", "Luminance", 3.426_259_099, 1.0)

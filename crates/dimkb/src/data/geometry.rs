@@ -74,7 +74,7 @@ pub const UNITS: &[UnitSpec] = &[
     u("ARE", "are", "公亩", "a", "Area", 100.0, 6.0)
         .aliases(&["ares"])
         .kw(&["land", "metric", "plot"]),
-    u("ACRE", "acre", "英亩", "ac", "Area", 4046.856_422_4, 55.0)
+    u("ACRE", "acre", "英亩", "ac", "Area", 4_046.856_422_4, 55.0)
         .aliases(&["acres"])
         .kw(&["land", "farm", "imperial"]),
     u("FT2", "square foot", "平方英尺", "ft²", "Area", 0.092_903_04, 58.0)

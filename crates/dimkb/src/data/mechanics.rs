@@ -18,7 +18,7 @@ pub const UNITS: &[UnitSpec] = &[
     u("TON-US", "short ton", "美吨", "tn", "Mass", 907.184_74, 30.0)
         .aliases(&["US ton", "short tons"])
         .kw(&["american", "freight", "heavy"]),
-    u("TON-UK", "long ton", "英吨", "LT", "Mass", 1016.046_908_8, 8.0)
+    u("TON-UK", "long ton", "英吨", "LT", "Mass", 1_016.046_908_8, 8.0)
         .aliases(&["imperial ton", "long tons"])
         .kw(&["british", "ship", "heavy"]),
     u("SLUG", "slug", "斯勒格", "slug", "Mass", 14.593_902_94, 3.0)
@@ -110,7 +110,7 @@ pub const UNITS: &[UnitSpec] = &[
     u("INHG", "inch of mercury", "英寸汞柱", "inHg", "Pressure", 3386.389, 6.0)
         .aliases(&["inches of mercury"])
         .kw(&["aviation", "barometer", "weather"]),
-    u("PSI", "pound per square inch", "磅每平方英寸", "psi", "Pressure", 6894.757_293_168, 50.0)
+    u("PSI", "pound per square inch", "磅每平方英寸", "psi", "Pressure", 6_894.757_293_168, 50.0)
         .aliases(&["pounds per square inch", "lbf/in2"])
         .kw(&["tire", "imperial", "gauge"]),
     u("MH2O", "metre of water", "米水柱", "mH₂O", "Pressure", 9806.65, 4.0)
@@ -138,7 +138,7 @@ pub const UNITS: &[UnitSpec] = &[
         .aliases(&["electron volt", "electronvolts"])
         .kw(&["particle", "atomic", "accelerator"])
         .prefixable(),
-    u("BTU", "British thermal unit", "英热单位", "BTU", "Energy", 1055.055_852_62, 25.0)
+    u("BTU", "British thermal unit", "英热单位", "BTU", "Energy", 1_055.055_852_62, 25.0)
         .aliases(&["Btu", "british thermal units"])
         .kw(&["heating", "air", "conditioner"]),
     u("ERG", "erg", "尔格", "erg", "Energy", 1e-7, 5.0)

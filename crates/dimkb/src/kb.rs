@@ -40,6 +40,9 @@ pub struct DimUnitKb {
     naming_cased: HashMap<String, Vec<UnitId>>,
     by_kind: HashMap<KindId, Vec<UnitId>>,
     by_dim: HashMap<DimVec, Vec<UnitId>>,
+    /// Inverted token→unit index for free-text search, built lazily on the
+    /// first [`crate::search::search`] call against this KB.
+    search_index: OnceLock<crate::search::SearchIndex>,
 }
 
 static STANDARD: OnceLock<Arc<DimUnitKb>> = OnceLock::new();
@@ -89,6 +92,7 @@ impl DimUnitKb {
             naming_cased: HashMap::new(),
             by_kind: HashMap::new(),
             by_dim: HashMap::new(),
+            search_index: OnceLock::new(),
         };
         for unit in &self.units {
             if keep(unit) {
@@ -214,6 +218,12 @@ impl DimUnitKb {
         Ok(f.conversion.factor / t.conversion.factor)
     }
 
+    /// The inverted search index for this KB, built on first use. Clones
+    /// carry the already-built index; `subset`/`from_json` start empty.
+    pub(crate) fn search_index(&self) -> &crate::search::SearchIndex {
+        self.search_index.get_or_init(|| crate::search::SearchIndex::build(self))
+    }
+
     /// Serializes the KB to a JSON snapshot.
     pub fn to_json(&self) -> String {
         let snap = KbSnapshot { kinds: &self.kinds, units: &self.units };
@@ -232,6 +242,7 @@ impl DimUnitKb {
             naming_cased: HashMap::new(),
             by_kind: HashMap::new(),
             by_dim: HashMap::new(),
+            search_index: OnceLock::new(),
         };
         for (i, kind) in kb.kinds.iter().enumerate() {
             kb.kind_by_name.insert(kind.name_en.clone(), KindId(i as u32));
@@ -604,6 +615,7 @@ impl Builder {
             naming_cased: HashMap::new(),
             by_kind: HashMap::new(),
             by_dim: HashMap::new(),
+            search_index: OnceLock::new(),
         };
         for (mut unit, _, _) in self.pending {
             unit.id = UnitId(kb.units.len() as u32);
@@ -633,7 +645,7 @@ fn default_description(en: &str, kind: &str, factor: f64, offset: f64) -> String
 }
 
 fn format_factor(f: f64) -> String {
-    if f >= 1e-3 && f < 1e7 {
+    if (1e-3..1e7).contains(&f) {
         let s = format!("{f}");
         if s.len() <= 12 {
             return s;

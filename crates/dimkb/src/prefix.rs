@@ -2,10 +2,11 @@
 //! prefixed family (`metre` → `kilometre`, `centimetre`, …), mirroring how
 //! QUDT reaches its unit count.
 
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
-/// An SI decimal prefix.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+/// An SI decimal prefix. Serialize-only: prefixes are const tables of
+/// `&'static str` data, never deserialized.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct SiPrefix {
     /// English prefix name, e.g. `kilo`.
     pub name_en: &'static str,

@@ -130,7 +130,7 @@ mod tests {
             .aliases(&["meter"])
             .kw(&["distance"])
             .prefixable();
-        assert!(METRE.prefixable);
+        const { assert!(METRE.prefixable) };
         assert_eq!(METRE.aliases, &["meter"]);
         assert_eq!(METRE.offset, 0.0);
     }

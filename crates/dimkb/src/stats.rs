@@ -67,9 +67,13 @@ pub fn kind_frequency(kb: &DimUnitKb, kind: KindId) -> Option<f64> {
     Some(freqs.iter().sum::<f64>() / freqs.len() as f64)
 }
 
+/// One row of the Fig. 4 payload: a kind, its aggregate frequency, and its
+/// top-five units with their frequencies.
+pub type KindFrequencyRow = (KindId, f64, Vec<(UnitId, f64)>);
+
 /// The `k` most frequent quantity kinds and, for each, its top-five units
 /// with their frequencies (the full Fig. 4 payload).
-pub fn top_kinds(kb: &DimUnitKb, k: usize) -> Vec<(KindId, f64, Vec<(UnitId, f64)>)> {
+pub fn top_kinds(kb: &DimUnitKb, k: usize) -> Vec<KindFrequencyRow> {
     let mut rows: Vec<(KindId, f64)> = kb
         .kinds()
         .iter()

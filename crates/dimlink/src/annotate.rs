@@ -70,6 +70,19 @@ impl Annotator {
         out
     }
 
+    /// Annotates a batch of texts, fanning the per-text work out across
+    /// `par` threads. Output order matches input order and each element is
+    /// exactly what [`Self::annotate`] would return — annotation reads only
+    /// shared immutable state (KB, linker config), so the fan-out cannot
+    /// change results.
+    pub fn annotate_batch<S: AsRef<str> + Sync>(
+        &self,
+        texts: &[S],
+        par: dim_par::Parallelism,
+    ) -> Vec<Vec<QuantityMention>> {
+        dim_par::par_map(par, texts, |text| self.annotate(text.as_ref()))
+    }
+
     /// Attempts to read a unit mention right after a number.
     fn try_unit_after(&self, text: &str, num: &NumberMatch) -> Option<QuantityMention> {
         let mut unit_start = num.end;
@@ -263,6 +276,19 @@ mod tests {
         assert_eq!(ms.len(), 1);
         assert_eq!(ms[0].value, 3500.0);
         assert_eq!(code_of(&a, &ms[0]), "M");
+    }
+
+    #[test]
+    fn batch_matches_sequential_annotation() {
+        let a = annotator();
+        let texts: Vec<String> = (0..40)
+            .map(|i| format!("第{i}段：全长{}米，重量是{} kg，速度为3 km/h。", i + 2, i * 3 + 1))
+            .collect();
+        let seq: Vec<Vec<QuantityMention>> = texts.iter().map(|t| a.annotate(t)).collect();
+        for threads in [1, 2, 4] {
+            let batch = a.annotate_batch(&texts, dim_par::Parallelism::new(threads));
+            assert_eq!(batch, seq, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -16,7 +16,12 @@ use dim_embed::tokenize::{tokenize, TokenKind};
 use dim_embed::EmbeddingModel;
 use dimkb::{DimUnitKb, UnitId};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+/// Upper bound on memoized `(mention, context)` link queries. When the memo
+/// fills up it is cleared wholesale — real corpora repeat a small set of
+/// surfaces, so evictions are rare and a simple clear beats LRU bookkeeping.
+const LINK_MEMO_CAP: usize = 8192;
 
 /// A scored candidate from the linker.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,22 +72,53 @@ pub struct UnitLinker {
     kb: Arc<DimUnitKb>,
     embeddings: Option<EmbeddingModel>,
     config: LinkerConfig,
-    /// Naming-dictionary keys bucketed by char length for cheap pre-filter.
-    keys_by_len: HashMap<usize, Vec<String>>,
+    /// Naming-dictionary keys bucketed by char length, each with a
+    /// [`char_signature`] for a Levenshtein lower-bound pre-filter.
+    keys_by_len: HashMap<usize, Vec<(String, u64)>>,
+    /// Memo of `(mention, context-hash)` → ranked results. Purely a cache:
+    /// link results depend only on the KB and config, both immutable here.
+    memo: Mutex<HashMap<(String, u64), Vec<LinkResult>>>,
+}
+
+/// 64-bit occupancy mask over hashed char values. For two strings with
+/// masks `m` and `k`, every bit set in `m & !k` marks a char value present
+/// only in the mention — each such distinct value needs at least one edit,
+/// so `max(popcount(m & !k), popcount(k & !m))` lower-bounds the
+/// Levenshtein distance. Hash collisions merge bits and can only weaken
+/// the bound, never overstate it.
+fn char_signature(s: &str) -> u64 {
+    let mut mask = 0u64;
+    for c in s.chars() {
+        mask |= 1u64 << (((c as u64).wrapping_mul(0x9E3779B97F4A7C15)) >> 58);
+    }
+    mask
+}
+
+/// FNV-1a over the context string, for the memo key.
+fn context_hash(s: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
 }
 
 impl UnitLinker {
     /// Builds a linker over a KB.
     pub fn new(kb: Arc<DimUnitKb>, embeddings: Option<EmbeddingModel>, config: LinkerConfig) -> Self {
-        let mut keys_by_len: HashMap<usize, Vec<String>> = HashMap::new();
+        let mut keys_by_len: HashMap<usize, Vec<(String, u64)>> = HashMap::new();
         for (key, _) in kb.naming_dictionary() {
-            keys_by_len.entry(key.chars().count()).or_default().push(key.to_string());
+            keys_by_len
+                .entry(key.chars().count())
+                .or_default()
+                .push((key.to_string(), char_signature(key)));
         }
         // Deterministic candidate order regardless of hash-map iteration.
         for bucket in keys_by_len.values_mut() {
             bucket.sort_unstable();
         }
-        UnitLinker { kb, embeddings, config, keys_by_len }
+        UnitLinker { kb, embeddings, config, keys_by_len, memo: Mutex::new(HashMap::new()) }
     }
 
     /// The knowledge base this linker resolves into.
@@ -91,8 +127,23 @@ impl UnitLinker {
     }
 
     /// Links a mention within a context, returning ranked candidates
-    /// (highest confidence first).
+    /// (highest confidence first). Results are memoized per
+    /// `(mention, context)` pair.
     pub fn link(&self, mention: &str, context: &str) -> Vec<LinkResult> {
+        let key = (mention.to_string(), context_hash(context));
+        if let Some(hit) = self.memo.lock().unwrap().get(&key) {
+            return hit.clone();
+        }
+        let results = self.link_uncached(mention, context);
+        let mut memo = self.memo.lock().unwrap();
+        if memo.len() >= LINK_MEMO_CAP {
+            memo.clear();
+        }
+        memo.insert(key, results.clone());
+        results
+    }
+
+    fn link_uncached(&self, mention: &str, context: &str) -> Vec<LinkResult> {
         let mention_norm = dimkb::normalize(mention);
         if mention_norm.is_empty() {
             return Vec::new();
@@ -107,12 +158,22 @@ impl UnitLinker {
         }
         if cand.is_empty() {
             let m_len = mention_norm.chars().count();
+            let m_sig = char_signature(&mention_norm);
             let radius = (m_len as f64 * (1.0 - self.config.mention_threshold)).ceil() as usize;
             let lo = m_len.saturating_sub(radius);
             let hi = m_len + radius;
             for len in lo..=hi {
                 let Some(keys) = self.keys_by_len.get(&len) else { continue };
-                for key in keys {
+                let max_len = m_len.max(len) as f64;
+                for (key, k_sig) in keys {
+                    // Signature lower bound: skip the O(m·n) DP when even
+                    // the optimistic distance cannot reach the threshold.
+                    let dist_lb = (m_sig & !k_sig)
+                        .count_ones()
+                        .max((k_sig & !m_sig).count_ones());
+                    if 1.0 - f64::from(dist_lb) / max_len < self.config.mention_threshold {
+                        continue;
+                    }
                     let sim = lev::similarity(&mention_norm, key);
                     if sim >= self.config.mention_threshold {
                         for &id in self.kb.lookup(key) {
@@ -238,6 +299,17 @@ mod tests {
         let l = linker();
         let best = l.best("千克", "这袋大米的重量").expect("resolves");
         assert_eq!(l.kb().unit(best.unit).code, "KiloGM");
+    }
+
+    #[test]
+    fn memoized_repeat_query_is_identical() {
+        let l = linker();
+        let fresh = l.link("kilometr", "distance travelled on the road");
+        let cached = l.link("kilometr", "distance travelled on the road");
+        assert_eq!(fresh, cached);
+        // A different context must not alias into the same memo entry.
+        let other = l.link("kilometr", "");
+        assert_eq!(other.len(), fresh.len());
     }
 
     #[test]

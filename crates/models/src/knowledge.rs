@@ -61,7 +61,7 @@ impl KnowledgeView {
                 // Characteristic failure: off by 1-2 orders of magnitude,
                 // in either direction.
                 let slip = *[10.0, 100.0, 0.1, 0.01, 1000.0]
-                    .get(rng.gen_range(0..5))
+                    .get(rng.gen_range(0..5usize))
                     .expect("in range");
                 slip
             };

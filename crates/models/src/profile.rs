@@ -257,20 +257,20 @@ mod tests {
 
     #[test]
     fn gpt4_dominates_gpt35() {
-        assert!(GPT4.unit_knowledge > GPT35_TURBO.unit_knowledge);
-        assert!(GPT4.arithmetic > GPT35_TURBO.arithmetic);
-        assert!(GPT4.comprehension > GPT35_TURBO.comprehension);
+        const { assert!(GPT4.unit_knowledge > GPT35_TURBO.unit_knowledge) };
+        const { assert!(GPT4.arithmetic > GPT35_TURBO.arithmetic) };
+        const { assert!(GPT4.comprehension > GPT35_TURBO.comprehension) };
     }
 
     #[test]
     fn model_scale_orders_unit_knowledge() {
-        assert!(LLAMA2_70B.unit_knowledge > LLAMA2_13B.unit_knowledge);
-        assert!(LLAMA2_13B.unit_knowledge > CHATGLM2_6B.unit_knowledge);
+        const { assert!(LLAMA2_70B.unit_knowledge > LLAMA2_13B.unit_knowledge) };
+        const { assert!(LLAMA2_13B.unit_knowledge > CHATGLM2_6B.unit_knowledge) };
     }
 
     #[test]
     fn supervised_models_trade_knowledge_for_comprehension() {
-        assert!(BERTGEN.comprehension > GPT35_TURBO.comprehension);
-        assert!(BERTGEN.unit_knowledge < GPT35_TURBO.unit_knowledge);
+        const { assert!(BERTGEN.comprehension > GPT35_TURBO.comprehension) };
+        const { assert!(BERTGEN.unit_knowledge < GPT35_TURBO.unit_knowledge) };
     }
 }

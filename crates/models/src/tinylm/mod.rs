@@ -26,7 +26,7 @@ pub mod linear;
 use crate::tinylm::choice::ChoiceScorer;
 use crate::tinylm::eqgen::EquationGenerator;
 use crate::tinylm::extract::ExtractionModel;
-use dimeval::{ChoiceItem, DimEval, DimEvalSolver, ExtractedQuantity, ItemMeta};
+use dimeval::{ChoiceItem, DimEval, DimEvalSolver, ExtractedQuantity, ItemMeta, TaskKind};
 use dimkb::DimUnitKb;
 use dim_mwp::{EqTokenization, MwpProblem, MwpSolver, Prediction};
 use dimkb::{DimVec, UnitId};
@@ -83,8 +83,13 @@ impl TinyLm {
     /// seeds the equation generator's unit knowledge from the conversion
     /// items — producing DimPerc.
     pub fn finetune_dimeval(&mut self, kb: &DimUnitKb, train: &DimEval, epochs: usize, seed: u64) {
+        // Iterate tasks in canonical order: the SGD stream must not depend
+        // on HashMap iteration order or training becomes run-to-run noise.
+        let choice_in_order = || {
+            TaskKind::CHOICE.iter().filter_map(|t| train.choice.get(t))
+        };
         let all_choice: Vec<ChoiceItem> =
-            train.choice.values().flat_map(|v| v.iter().cloned()).collect();
+            choice_in_order().flat_map(|v| v.iter().cloned()).collect();
         self.choice.train(&all_choice, epochs, seed);
         self.extractor.train(&train.extraction, epochs, seed ^ 1);
         // Knowledge infusion: the CoT rationales of the training items
@@ -92,7 +97,7 @@ impl TinyLm {
         // kind-dimension associations, SI magnitudes. A fine-tuned model
         // recalls trained facts; the memory tables below implement that
         // recall (the statistical scorer handles everything unseen).
-        for items in train.choice.values() {
+        for items in choice_in_order() {
             for item in items {
                 match &item.meta {
                     ItemMeta::Conversion { from, to, factors } => {

@@ -203,7 +203,7 @@ impl DimEvalSolver for ToolAugmented {
                 // arithmetic: the expression interface mangles compound
                 // unit syntax. With some probability the tool misleads.
                 if self.rng.gen_bool(0.35) {
-                    let wrong = (item.answer + 1 + self.rng.gen_range(0..3)) % item.options.len();
+                    let wrong = (item.answer + 1 + self.rng.gen_range(0..3usize)) % item.options.len();
                     return Some(wrong);
                 }
                 self.inner.answer(item)
@@ -211,7 +211,7 @@ impl DimEvalSolver for ToolAugmented {
             ItemMeta::KindMatch { .. } => {
                 // Interface overhead also degrades basic perception.
                 if self.rng.gen_bool(0.15) {
-                    let wrong = (item.answer + 1 + self.rng.gen_range(0..3)) % item.options.len();
+                    let wrong = (item.answer + 1 + self.rng.gen_range(0..3usize)) % item.options.len();
                     return Some(wrong);
                 }
                 self.inner.answer(item)

@@ -48,12 +48,16 @@ impl AugmentMethod {
 pub struct Augmenter<'a> {
     kb: &'a DimUnitKb,
     rng: StdRng,
+    /// The seed this augmenter was created with; the batch entry points
+    /// derive independent per-item streams from it (see [`dim_par::seed_for`])
+    /// so their output does not depend on thread count.
+    seed: u64,
 }
 
 impl<'a> Augmenter<'a> {
     /// Creates an augmenter.
     pub fn new(kb: &'a DimUnitKb, seed: u64) -> Self {
-        Augmenter { kb, rng: StdRng::seed_from_u64(seed) }
+        Augmenter { kb, rng: StdRng::seed_from_u64(seed), seed }
     }
 
     /// Applies one method to a problem; `None` when the method does not
@@ -209,60 +213,105 @@ impl<'a> Augmenter<'a> {
         Some(out)
     }
 
+    /// One problem's Q-MWP derivation: one or two dimension substitutions
+    /// (falling back to format substitution), drawing from `self.rng`.
+    fn qmwp_one(&mut self, p: &MwpProblem) -> MwpProblem {
+        let mut cur = p.clone();
+        let first = if self.rng.gen_bool(0.75) {
+            AugmentMethod::ContextDimension
+        } else {
+            AugmentMethod::QuestionDimension
+        };
+        if let Some(next) = self.augment(&cur, first) {
+            cur = next;
+        } else if let Some(next) = self.augment(&cur, AugmentMethod::ContextFormat) {
+            cur = next;
+        }
+        // A second pass diversifies further half the time.
+        if self.rng.gen_bool(0.5) {
+            let second = if self.rng.gen_bool(0.5) {
+                AugmentMethod::QuestionDimension
+            } else {
+                AugmentMethod::ContextDimension
+            };
+            if let Some(next) = self.augment(&cur, second) {
+                cur = next;
+            }
+        }
+        if let Some(next) = self.augment(&cur, AugmentMethod::QuestionFormat) {
+            if self.rng.gen_bool(0.3) {
+                cur = next;
+            }
+        }
+        cur
+    }
+
     /// Builds a Q-MWP dataset: each problem receives one or two dimension
     /// substitutions (falling back to format substitution), diversifying
     /// units and adding conversion steps — the Table VI profile.
     pub fn to_qmwp(&mut self, problems: &[MwpProblem]) -> Vec<MwpProblem> {
-        problems
-            .iter()
-            .map(|p| {
-                let mut cur = p.clone();
-                let first = if self.rng.gen_bool(0.75) {
-                    AugmentMethod::ContextDimension
-                } else {
-                    AugmentMethod::QuestionDimension
-                };
-                if let Some(next) = self.augment(&cur, first) {
-                    cur = next;
-                } else if let Some(next) = self.augment(&cur, AugmentMethod::ContextFormat) {
-                    cur = next;
-                }
-                // A second pass diversifies further half the time.
-                if self.rng.gen_bool(0.5) {
-                    let second = if self.rng.gen_bool(0.5) {
-                        AugmentMethod::QuestionDimension
-                    } else {
-                        AugmentMethod::ContextDimension
-                    };
-                    if let Some(next) = self.augment(&cur, second) {
-                        cur = next;
-                    }
-                }
-                if let Some(next) = self.augment(&cur, AugmentMethod::QuestionFormat) {
-                    if self.rng.gen_bool(0.3) {
-                        cur = next;
-                    }
-                }
-                cur
-            })
-            .collect()
+        self.to_qmwp_with(problems, dim_par::Parallelism::SEQUENTIAL)
+    }
+
+    /// Like [`Self::to_qmwp`], fanning the per-problem work out across
+    /// `par`. Each problem gets its own RNG stream from `(seed, index)`,
+    /// so output is byte-identical for every thread count.
+    pub fn to_qmwp_with(
+        &mut self,
+        problems: &[MwpProblem],
+        par: dim_par::Parallelism,
+    ) -> Vec<MwpProblem> {
+        let (kb, seed) = (self.kb, self.seed);
+        dim_par::par_map_indexed(par, problems, |i, p| {
+            Augmenter::new(kb, dim_par::seed_for(seed ^ 0x51, i as u64)).qmwp_one(p)
+        })
     }
 
     /// Training-set augmentation at rate η: appends ~η·N augmented variants
     /// (random method per pick) to the originals (§VI-G, Fig. 6).
     pub fn augment_dataset(&mut self, problems: &[MwpProblem], eta: f64) -> Vec<MwpProblem> {
+        self.augment_dataset_with(problems, eta, dim_par::Parallelism::SEQUENTIAL)
+    }
+
+    /// Like [`Self::augment_dataset`] with a parallel fan-out. Augmentation
+    /// attempts are numbered; attempt `k` derives its own RNG stream from
+    /// `(seed, k)` and picks its own problem and method, and the first
+    /// `extra` successes in attempt order are kept — waves of attempts run
+    /// in parallel but the kept set is thread-count invariant.
+    pub fn augment_dataset_with(
+        &mut self,
+        problems: &[MwpProblem],
+        eta: f64,
+        par: dim_par::Parallelism,
+    ) -> Vec<MwpProblem> {
         let mut out = problems.to_vec();
         let extra = (problems.len() as f64 * eta).round() as usize;
+        if extra == 0 || problems.is_empty() {
+            return out;
+        }
+        let (kb, seed) = (self.kb, self.seed);
+        let guard_limit = extra * 20 + 100;
         let mut produced = 0usize;
-        let mut guard = 0usize;
-        while produced < extra && guard < extra * 20 + 100 {
-            guard += 1;
-            let p = &problems[self.rng.gen_range(0..problems.len())];
-            let method = AugmentMethod::ALL[self.rng.gen_range(0..AugmentMethod::ALL.len())];
-            if let Some(aug) = self.augment(p, method) {
+        let mut attempt = 0usize;
+        while produced < extra && attempt < guard_limit {
+            // Most attempts succeed, so a wave sized to the deficit (with a
+            // floor to amortize fan-out) rarely needs a second round.
+            let wave = (extra - produced).max(32).min(guard_limit - attempt);
+            let ks: Vec<u64> = (attempt..attempt + wave).map(|k| k as u64).collect();
+            let results = dim_par::par_map(par, &ks, |&k| {
+                let mut a = Augmenter::new(kb, dim_par::seed_for(seed ^ 0x0A, k));
+                let p = &problems[a.rng.gen_range(0..problems.len())];
+                let method = AugmentMethod::ALL[a.rng.gen_range(0..AugmentMethod::ALL.len())];
+                a.augment(p, method)
+            });
+            for aug in results.into_iter().flatten() {
+                if produced >= extra {
+                    break;
+                }
                 out.push(aug);
                 produced += 1;
             }
+            attempt += wave;
         }
         out
     }
@@ -413,6 +462,19 @@ mod tests {
         assert_eq!(half.len(), ps.len() + ps.len() / 2);
         let zero = aug.augment_dataset(&ps, 0.0);
         assert_eq!(zero.len(), ps.len());
+    }
+
+    #[test]
+    fn batch_augmentation_is_thread_count_invariant() {
+        let kb = DimUnitKb::shared();
+        let ps = problems();
+        let seq_qmwp = Augmenter::new(&kb, 5).to_qmwp(&ps);
+        let seq_data = Augmenter::new(&kb, 6).augment_dataset(&ps, 0.5);
+        for threads in [2, 4] {
+            let par = dim_par::Parallelism::new(threads);
+            assert_eq!(Augmenter::new(&kb, 5).to_qmwp_with(&ps, par), seq_qmwp);
+            assert_eq!(Augmenter::new(&kb, 6).augment_dataset_with(&ps, 0.5, par), seq_data);
+        }
     }
 
     #[test]

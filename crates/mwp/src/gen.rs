@@ -717,30 +717,42 @@ const APE210K_TEMPLATES: &[(Template, u32)] = &[
 
 /// Generates an N-MWP dataset in the given style.
 pub fn generate(source: Source, config: &GenConfig) -> Vec<MwpProblem> {
+    generate_with(source, config, dim_par::Parallelism::SEQUENTIAL)
+}
+
+/// Like [`generate`], fanning problem construction out across `par`.
+///
+/// Each problem draws from its own RNG stream derived from
+/// `(config.seed, id)`, so the dataset is byte-identical for every thread
+/// count.
+pub fn generate_with(
+    source: Source,
+    config: &GenConfig,
+    par: dim_par::Parallelism,
+) -> Vec<MwpProblem> {
     let templates = match source {
         Source::Math23k => MATH23K_TEMPLATES,
         Source::Ape210k => APE210K_TEMPLATES,
     };
     let total_weight: u32 = templates.iter().map(|(_, w)| w).sum();
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    (0..config.count as u64)
-        .map(|id| {
-            let mut pick = rng.gen_range(0..total_weight);
-            let template = templates
-                .iter()
-                .find(|(_, w)| {
-                    if pick < *w {
-                        true
-                    } else {
-                        pick -= w;
-                        false
-                    }
-                })
-                .map(|(t, _)| t)
-                .expect("weights cover range");
-            template(&mut rng, id, source)
-        })
-        .collect()
+    let ids: Vec<u64> = (0..config.count as u64).collect();
+    dim_par::par_map(par, &ids, |&id| {
+        let mut rng = StdRng::seed_from_u64(dim_par::seed_for(config.seed, id));
+        let mut pick = rng.gen_range(0..total_weight);
+        let template = templates
+            .iter()
+            .find(|(_, w)| {
+                if pick < *w {
+                    true
+                } else {
+                    pick -= w;
+                    false
+                }
+            })
+            .map(|(t, _)| t)
+            .expect("weights cover range");
+        template(&mut rng, id, source)
+    })
 }
 
 #[cfg(test)]
@@ -794,6 +806,18 @@ mod tests {
     fn generation_is_deterministic() {
         let cfg = GenConfig { count: 20, seed: 77 };
         assert_eq!(generate(Source::Math23k, &cfg), generate(Source::Math23k, &cfg));
+    }
+
+    #[test]
+    fn parallel_generation_is_thread_count_invariant() {
+        let cfg = GenConfig { count: 300, seed: 77 };
+        for source in [Source::Math23k, Source::Ape210k] {
+            let seq = generate(source, &cfg);
+            for threads in [2, 4] {
+                let par = generate_with(source, &cfg, dim_par::Parallelism::new(threads));
+                assert_eq!(par, seq, "{source:?} threads = {threads}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,454 @@
+//! Offline drop-in subset of `proptest`.
+//!
+//! Provides the surface the workspace's property tests use: the
+//! [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`/`prop_assume!`,
+//! [`Strategy`] with `prop_map`, range strategies over the primitive types,
+//! simple regex string strategies (`[class]{m,n}` and `\PC{m,n}`),
+//! tuple strategies, and `prop::collection::vec`.
+//!
+//! Cases are seeded from a hash of the test path, so runs are fully
+//! deterministic — no persistence files, no shrinking (a failing case
+//! prints its inputs instead).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// Per-test RNG (re-exported for the macro).
+pub type TestRng = StdRng;
+
+/// Builds the deterministic RNG for a named test.
+pub fn test_rng(test_path: &str) -> TestRng {
+    // FNV-1a over the test path keeps seeds stable across runs and
+    // platforms while separating the streams of different tests.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_path.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Result of one generated case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case doesn't count.
+    Reject,
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through a function.
+    fn prop_map<T: Debug, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Debug, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+// ---- regex string strategies -----------------------------------------------
+
+/// `&str` patterns act as string strategies. Supported shapes (all the
+/// workspace uses): `[class]{m,n}` with ranges and `\`-escapes inside the
+/// class, and `\PC{m,n}` (arbitrary printable characters).
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pat = parse_pattern(self)
+            .unwrap_or_else(|e| panic!("unsupported proptest regex {self:?}: {e}"));
+        let len = rng.gen_range(pat.min_len..=pat.max_len);
+        let total: u32 = pat.ranges.iter().map(|(lo, hi)| hi - lo + 1).sum();
+        let mut out = String::new();
+        for _ in 0..len {
+            let mut pick = rng.gen_range(0..total);
+            for (lo, hi) in &pat.ranges {
+                let size = hi - lo + 1;
+                if pick < size {
+                    out.push(char::from_u32(lo + pick).unwrap_or('?'));
+                    break;
+                }
+                pick -= size;
+            }
+        }
+        out
+    }
+}
+
+struct CharPattern {
+    /// Inclusive codepoint ranges to draw from.
+    ranges: Vec<(u32, u32)>,
+    min_len: usize,
+    max_len: usize,
+}
+
+/// Printable sample space for `\PC`: ASCII printable plus Latin-1
+/// supplement, CJK, CJK punctuation, and a slice of emoji.
+const PRINTABLE: &[(u32, u32)] =
+    &[(0x20, 0x7E), (0xA1, 0xFF), (0x3000, 0x303F), (0x4E00, 0x4FFF), (0x1F600, 0x1F64F)];
+
+fn parse_pattern(pat: &str) -> Result<CharPattern, String> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut pos;
+    let ranges: Vec<(u32, u32)> = if chars.first() == Some(&'\\') {
+        // `\PC` — any printable char.
+        if chars.get(1) == Some(&'P') && chars.get(2) == Some(&'C') {
+            pos = 3;
+            PRINTABLE.to_vec()
+        } else {
+            return Err("only \\PC escape is supported".into());
+        }
+    } else if chars.first() == Some(&'[') {
+        pos = 1;
+        let mut ranges = Vec::new();
+        let mut pending: Option<char> = None;
+        loop {
+            let c = *chars.get(pos).ok_or("unterminated char class")?;
+            pos += 1;
+            match c {
+                ']' => {
+                    if let Some(p) = pending {
+                        ranges.push((p as u32, p as u32));
+                    }
+                    break;
+                }
+                '\\' => {
+                    let esc = *chars.get(pos).ok_or("dangling escape in class")?;
+                    pos += 1;
+                    if let Some(p) = pending.replace(esc) {
+                        ranges.push((p as u32, p as u32));
+                    }
+                }
+                '-' if pending.is_some() && chars.get(pos) != Some(&']') => {
+                    let lo = pending.take().unwrap();
+                    let mut hi = *chars.get(pos).ok_or("dangling range in class")?;
+                    pos += 1;
+                    if hi == '\\' {
+                        hi = *chars.get(pos).ok_or("dangling escape in class")?;
+                        pos += 1;
+                    }
+                    if (hi as u32) < (lo as u32) {
+                        return Err(format!("inverted range {lo}-{hi}"));
+                    }
+                    ranges.push((lo as u32, hi as u32));
+                }
+                c => {
+                    if let Some(p) = pending.replace(c) {
+                        ranges.push((p as u32, p as u32));
+                    }
+                }
+            }
+        }
+        if ranges.is_empty() {
+            return Err("empty char class".into());
+        }
+        ranges
+    } else {
+        return Err("pattern must start with [class] or \\PC".into());
+    };
+
+    // Optional `{m,n}` repetition; default exactly one.
+    let (min_len, max_len) = if chars.get(pos) == Some(&'{') {
+        let rest: String = chars[pos..].iter().collect();
+        let body = rest
+            .strip_prefix('{')
+            .and_then(|r| r.strip_suffix('}'))
+            .ok_or("malformed repetition")?;
+        let (m, n) = body.split_once(',').ok_or("repetition must be {m,n}")?;
+        (
+            m.trim().parse::<usize>().map_err(|_| "bad repetition min")?,
+            n.trim().parse::<usize>().map_err(|_| "bad repetition max")?,
+        )
+    } else if pos == chars.len() {
+        (1, 1)
+    } else {
+        return Err(format!("trailing pattern content at {pos}"));
+    };
+    if min_len > max_len {
+        return Err("inverted repetition".into());
+    }
+    Ok(CharPattern { ranges, min_len, max_len })
+}
+
+// ---- collections -----------------------------------------------------------
+
+/// `prop::collection` etc. — the module-path aliases the real crate exposes.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use rand::Rng;
+        use std::ops::Range;
+
+        /// Strategy for `Vec`s with a size drawn from `sizes`.
+        pub struct VecStrategy<S> {
+            element: S,
+            sizes: Range<usize>,
+        }
+
+        /// Generates vectors of `element` values with length in `sizes`.
+        pub fn vec<S: Strategy>(element: S, sizes: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, sizes }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let len = rng.gen_range(self.sizes.clone());
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy,
+    };
+}
+
+// ---- macros ----------------------------------------------------------------
+
+/// Asserts a condition inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!("assertion failed: {}: {}", stringify!($cond), ::std::format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = ($left, $right);
+        if __l != __r {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case when the assumption doesn't hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// The test-defining macro. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        ($cfg:expr);
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng =
+                    $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+                let mut __done = 0u32;
+                let mut __attempts = 0u32;
+                while __done < __config.cases && __attempts < __config.cases * 10 + 100 {
+                    __attempts += 1;
+                    let __vals = ($( $crate::Strategy::generate(&($strat), &mut __rng), )*);
+                    let __repr = ::std::format!("{:?}", __vals);
+                    let ($($arg,)*) = __vals;
+                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => __done += 1,
+                        ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
+                            ::std::panic!(
+                                "proptest case failed: {}\n  inputs: {}",
+                                __msg,
+                                __repr
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn char_class_pattern_stays_in_class() {
+        let mut rng = test_rng("charclass");
+        for _ in 0..200 {
+            let s = "[a-z]{0,10}".generate(&mut rng);
+            assert!(s.len() <= 10);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn escaped_dash_is_literal() {
+        let mut rng = test_rng("escdash");
+        for _ in 0..200 {
+            let s = "[0-9+\\-*/()%. x=]{0,30}".generate(&mut rng);
+            for c in s.chars() {
+                assert!(
+                    c.is_ascii_digit() || "+-*/()%. x=".contains(c),
+                    "unexpected char {c:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unicode_ranges_supported() {
+        let mut rng = test_rng("unicode");
+        for _ in 0..200 {
+            let s = "[a-z\u{4e00}-\u{4e2f}]{0,12}".generate(&mut rng);
+            for c in s.chars() {
+                assert!(c.is_ascii_lowercase() || ('\u{4e00}'..='\u{4e2f}').contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn printable_pattern_generates() {
+        let mut rng = test_rng("printable");
+        let s = "\\PC{0,80}".generate(&mut rng);
+        assert!(s.chars().count() <= 80);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_smoke(a in 0u32..10, b in 0u32..10) {
+            prop_assert!(a < 10);
+            prop_assert_eq!(a + b, b + a);
+            prop_assume!(a != 11);
+        }
+    }
+}

@@ -1,0 +1,446 @@
+//! Offline drop-in subset of `serde`.
+//!
+//! The real serde is a zero-cost visitor framework; this compat crate is a
+//! small tree-based one: [`Serialize`] lowers values into a [`Value`] tree
+//! and [`Deserialize`] rebuilds them from it. That is all the workspace
+//! needs (everything goes through `serde_json::to_string` / `from_str`),
+//! and it keeps the derive macro — `serde_derive`, re-exported behind the
+//! usual `derive` feature — small enough to write without `syn`.
+//!
+//! Determinism note: map serialization sorts keys, so serialized output is
+//! canonical — equal values always produce byte-identical JSON, which the
+//! workspace's parallel-determinism tests rely on.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing data tree, the interchange format between
+/// [`Serialize`], [`Deserialize`] and `serde_json`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// Any number (integers round-trip exactly up to 2^53).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object; insertion order is preserved by the writer.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrows the object fields, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Borrows the array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Borrows the string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the number, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// True for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Short label for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+}
+
+/// Looks up a field in an object's field list.
+pub fn get_field<'a>(fields: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
+    fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// "expected X, found Y" constructor.
+    pub fn expected(what: &str, context: &str, found: &Value) -> DeError {
+        DeError(format!("{context}: expected {what}, found {}", found.kind()))
+    }
+
+    /// Missing-field constructor.
+    pub fn missing(field: &str, context: &str) -> DeError {
+        DeError(format!("{context}: missing field `{field}`"))
+    }
+
+    /// Unknown-variant constructor.
+    pub fn unknown_variant(context: &str) -> DeError {
+        DeError(format!("{context}: unknown or malformed enum variant"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can lower themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Produces the value tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self`, or explains why the tree doesn't fit.
+    fn deserialize(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---- primitive impls -------------------------------------------------------
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                let n = v.as_f64().ok_or_else(|| DeError::expected("number", stringify!($t), v))?;
+                if n.fract() != 0.0 {
+                    return Err(DeError(format!("expected integer, found {n}")));
+                }
+                if n < <$t>::MIN as f64 || n > <$t>::MAX as f64 {
+                    return Err(DeError(format!("{n} out of range for {}", stringify!($t))));
+                }
+                Ok(n as $t)
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Num(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::expected("number", "f64", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Num(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        Ok(v.as_f64().ok_or_else(|| DeError::expected("number", "f32", v))? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::expected("bool", "bool", v))
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        Ok(v.as_str().ok_or_else(|| DeError::expected("string", "String", v))?.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let s = v.as_str().ok_or_else(|| DeError::expected("string", "char", v))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError(format!("expected single char, found {s:?}"))),
+        }
+    }
+}
+
+// ---- containers ------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let items = v.as_arr().ok_or_else(|| DeError::expected("array", "[T; N]", v))?;
+        if items.len() != N {
+            return Err(DeError(format!("expected {N} elements, found {}", items.len())));
+        }
+        let parsed: Vec<T> = items.iter().map(T::deserialize).collect::<Result<_, _>>()?;
+        parsed.try_into().map_err(|_| DeError("array length mismatch".into()))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let items = v.as_arr().ok_or_else(|| DeError::expected("array", "Vec", v))?;
+        items.iter().map(T::deserialize).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(inner) => inner.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            Ok(Some(T::deserialize(v)?))
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        Ok(Box::new(T::deserialize(v)?))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Arr(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                let items = v.as_arr().ok_or_else(|| DeError::expected("array", "tuple", v))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(DeError(format!(
+                        "expected {expected}-tuple, found array of {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::deserialize(&items[$idx])?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple!(A: 0);
+impl_tuple!(A: 0, B: 1);
+impl_tuple!(A: 0, B: 1, C: 2);
+impl_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+/// Renders a map key as a JSON object key via its serialized form.
+/// Strings pass through; numbers stringify; unit enum variants (which
+/// serialize as `Value::Str`) work out of the box.
+fn key_to_string(key: Value) -> Result<String, DeError> {
+    match key {
+        Value::Str(s) => Ok(s),
+        Value::Num(n) if n.fract() == 0.0 && n.abs() < 9.0e15 => Ok(format!("{}", n as i64)),
+        Value::Num(n) => Ok(format!("{n}")),
+        other => Err(DeError(format!("unsupported map key type: {}", other.kind()))),
+    }
+}
+
+/// Parses a map key back: first as a string (covers `String` and unit
+/// enum variants), then as a number.
+fn key_from_string<K: Deserialize>(s: &str) -> Result<K, DeError> {
+    if let Ok(k) = K::deserialize(&Value::Str(s.to_string())) {
+        return Ok(k);
+    }
+    let n: f64 = s.parse().map_err(|_| DeError(format!("bad map key {s:?}")))?;
+    K::deserialize(&Value::Num(n))
+}
+
+impl<K: Serialize + Eq + Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize(&self) -> Value {
+        // Sorted keys keep the output canonical regardless of hasher state.
+        let mut fields: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| {
+                let key = key_to_string(k.serialize())
+                    .unwrap_or_else(|e| panic!("cannot serialize map key: {e}"));
+                (key, v.serialize())
+            })
+            .collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Obj(fields)
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let fields = v.as_obj().ok_or_else(|| DeError::expected("object", "HashMap", v))?;
+        fields.iter().map(|(k, val)| Ok((key_from_string(k)?, V::deserialize(val)?))).collect()
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| {
+                let key = key_to_string(k.serialize())
+                    .unwrap_or_else(|e| panic!("cannot serialize map key: {e}"));
+                (key, v.serialize())
+            })
+            .collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Obj(fields)
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let fields = v.as_obj().ok_or_else(|| DeError::expected("object", "BTreeMap", v))?;
+        fields.iter().map(|(k, val)| Ok((key_from_string(k)?, V::deserialize(val)?))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_primitives() {
+        assert_eq!(u32::deserialize(&42u32.serialize()).unwrap(), 42);
+        assert_eq!(f64::deserialize(&1.5f64.serialize()).unwrap(), 1.5);
+        assert_eq!(String::deserialize(&"hi".serialize()).unwrap(), "hi");
+        assert_eq!(Option::<u8>::deserialize(&Value::Null).unwrap(), None);
+        assert_eq!(Vec::<u8>::deserialize(&vec![1u8, 2].serialize()).unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn hashmap_serializes_sorted() {
+        let mut m = HashMap::new();
+        m.insert("b".to_string(), 2u32);
+        m.insert("a".to_string(), 1u32);
+        let Value::Obj(fields) = m.serialize() else { panic!("expected object") };
+        assert_eq!(fields[0].0, "a");
+        assert_eq!(fields[1].0, "b");
+    }
+
+    #[test]
+    fn integer_bounds_checked() {
+        assert!(u8::deserialize(&Value::Num(300.0)).is_err());
+        assert!(u8::deserialize(&Value::Num(1.5)).is_err());
+        assert!(i8::deserialize(&Value::Num(-100.0)).is_ok());
+    }
+
+    #[test]
+    fn tuple_roundtrip() {
+        let t = (1usize, 2.5f64);
+        assert_eq!(<(usize, f64)>::deserialize(&t.serialize()).unwrap(), t);
+    }
+}

@@ -1,0 +1,415 @@
+//! Offline drop-in subset of `serde_json`: [`to_string`], [`to_string_pretty`]
+//! and [`from_str`] over the compat `serde::Value` tree.
+//!
+//! The writer emits canonical output: object fields in the order the
+//! serializer produced them (compat serde sorts map keys), floats in Rust's
+//! shortest-roundtrip `{}` formatting, integers without a trailing `.0`.
+//! Equal values therefore always serialize to byte-identical JSON — the
+//! property the workspace's determinism tests check end to end.
+
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Error {
+        Error(e.0)
+    }
+}
+
+/// Serializes a value to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.serialize(), &mut out);
+    Ok(out)
+}
+
+/// Serializes a value to 2-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&value.serialize(), &mut out, 0);
+    Ok(out)
+}
+
+/// Parses JSON text into any [`Deserialize`] type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value(s)?;
+    Ok(T::deserialize(&value)?)
+}
+
+// ---- writer ----------------------------------------------------------------
+
+fn write_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(n) => write_number(*n, out),
+        Value::Str(s) => write_string(s, out),
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Obj(fields) => {
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                write_value(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(v: &Value, out: &mut String, indent: usize) {
+    match v {
+        Value::Arr(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_pretty(item, out, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push(']');
+        }
+        Value::Obj(fields) if !fields.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_string(k, out);
+                out.push_str(": ");
+                write_pretty(val, out, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push('}');
+        }
+        other => write_value(other, out),
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_number(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        // JSON has no NaN/Inf; null matches serde_json's lossy behaviour.
+        out.push_str("null");
+        return;
+    }
+    if n == n.trunc() && n.abs() < 9.007_199_254_740_992e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---- parser ----------------------------------------------------------------
+
+/// Parses JSON text into a [`Value`] tree.
+pub fn parse_value(s: &str) -> Result<Value, Error> {
+    let chars: Vec<char> = s.chars().collect();
+    let mut p = Parser { chars, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return Err(Error(format!("trailing input at char {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn skip_ws(&mut self) {
+        while matches!(self.chars.get(self.pos), Some(c) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), Error> {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!("expected {c:?} at char {}, found {:?}", self.pos, self.peek())))
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> bool {
+        let end = self.pos + word.chars().count();
+        if end <= self.chars.len()
+            && self.chars[self.pos..end].iter().collect::<String>() == word
+        {
+            self.pos = end;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some('n') if self.literal("null") => Ok(Value::Null),
+            Some('t') if self.literal("true") => Ok(Value::Bool(true)),
+            Some('f') if self.literal("false") => Ok(Value::Bool(false)),
+            Some('"') => Ok(Value::Str(self.string()?)),
+            Some('[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(']') {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(',') => self.pos += 1,
+                        Some(']') => {
+                            self.pos += 1;
+                            return Ok(Value::Arr(items));
+                        }
+                        other => {
+                            return Err(Error(format!("expected , or ] found {other:?}")));
+                        }
+                    }
+                }
+            }
+            Some('{') => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some('}') {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.expect(':')?;
+                    let val = self.value()?;
+                    fields.push((key, val));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(',') => self.pos += 1,
+                        Some('}') => {
+                            self.pos += 1;
+                            return Ok(Value::Obj(fields));
+                        }
+                        other => {
+                            return Err(Error(format!("expected , or }} found {other:?}")));
+                        }
+                    }
+                }
+            }
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            other => Err(Error(format!("unexpected {other:?} at char {}", self.pos))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        if self.peek() != Some('"') {
+            return Err(Error(format!("expected string at char {}", self.pos)));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            let c = self.peek().ok_or_else(|| Error("unterminated string".into()))?;
+            self.pos += 1;
+            match c {
+                '"' => return Ok(out),
+                '\\' => {
+                    let esc = self.peek().ok_or_else(|| Error("bad escape".into()))?;
+                    self.pos += 1;
+                    match esc {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'n' => out.push('\n'),
+                        'r' => out.push('\r'),
+                        't' => out.push('\t'),
+                        'b' => out.push('\u{0008}'),
+                        'f' => out.push('\u{000C}'),
+                        'u' => {
+                            let hi = self.hex4()?;
+                            // Surrogate pairs.
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                if !(self.literal("\\u")) {
+                                    return Err(Error("lone high surrogate".into()));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(Error("bad low surrogate".into()));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error(format!("bad codepoint {code:#x}")))?,
+                            );
+                        }
+                        other => return Err(Error(format!("bad escape \\{other}"))),
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let c = self.peek().ok_or_else(|| Error("bad \\u escape".into()))?;
+            self.pos += 1;
+            code = code * 16
+                + c.to_digit(16).ok_or_else(|| Error(format!("bad hex digit {c:?}")))?;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some('-') {
+            self.pos += 1;
+        }
+        while matches!(self.chars.get(self.pos), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some('.') {
+            self.pos += 1;
+            while matches!(self.chars.get(self.pos), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some('e') | Some('E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some('+') | Some('-')) {
+                self.pos += 1;
+            }
+            while matches!(self.chars.get(self.pos), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse::<f64>().map(Value::Num).map_err(|_| Error(format!("bad number {text:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_roundtrip() {
+        let v = Value::Obj(vec![
+            ("a".into(), Value::Num(1.5)),
+            ("b".into(), Value::Arr(vec![Value::Null, Value::Bool(true)])),
+            ("zh".into(), Value::Str("千克 \"quoted\"\n".into())),
+        ]);
+        let mut s = String::new();
+        write_value(&v, &mut s);
+        let back = parse_value(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn integers_have_no_decimal_point() {
+        let mut s = String::new();
+        write_value(&Value::Num(42.0), &mut s);
+        assert_eq!(s, "42");
+    }
+
+    #[test]
+    fn floats_roundtrip_shortest() {
+        for x in [0.1, 1.0 / 3.0, 1e-12, 123456.789] {
+            let mut s = String::new();
+            write_value(&Value::Num(x), &mut s);
+            let Value::Num(back) = parse_value(&s).unwrap() else { panic!() };
+            assert_eq!(back, x);
+        }
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let v = parse_value(r#""千克 😀""#).unwrap();
+        assert_eq!(v, Value::Str("千克 😀".into()));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_value("{").is_err());
+        assert!(parse_value("[1,]").is_err());
+        assert!(parse_value("hello").is_err());
+        assert!(parse_value("1 2").is_err());
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = Value::Obj(vec![("k".into(), Value::Arr(vec![Value::Num(1.0)]))]);
+        let mut s = String::new();
+        write_pretty(&v, &mut s, 0);
+        assert_eq!(parse_value(&s).unwrap(), v);
+    }
+}
