@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_algo1-0ca6d0ec61a556f2.d: crates/bench/src/bin/ablation_algo1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_algo1-0ca6d0ec61a556f2.rmeta: crates/bench/src/bin/ablation_algo1.rs Cargo.toml
+
+crates/bench/src/bin/ablation_algo1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_algo1-1ba29394440caba4.d: crates/bench/src/bin/ablation_algo1.rs
+
+/root/repo/target/debug/deps/ablation_algo1-1ba29394440caba4: crates/bench/src/bin/ablation_algo1.rs
+
+crates/bench/src/bin/ablation_algo1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_algo1-74d7a47316ae65dc.d: crates/bench/src/bin/ablation_algo1.rs
+
+/root/repo/target/debug/deps/ablation_algo1-74d7a47316ae65dc: crates/bench/src/bin/ablation_algo1.rs
+
+crates/bench/src/bin/ablation_algo1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_algo1-d84fc8c4702f988e.d: crates/bench/src/bin/ablation_algo1.rs
+
+/root/repo/target/debug/deps/ablation_algo1-d84fc8c4702f988e: crates/bench/src/bin/ablation_algo1.rs
+
+crates/bench/src/bin/ablation_algo1.rs:

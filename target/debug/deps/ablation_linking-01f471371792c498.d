@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_linking-01f471371792c498.d: crates/bench/src/bin/ablation_linking.rs
+
+/root/repo/target/debug/deps/ablation_linking-01f471371792c498: crates/bench/src/bin/ablation_linking.rs
+
+crates/bench/src/bin/ablation_linking.rs:

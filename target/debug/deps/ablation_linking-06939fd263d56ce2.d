@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_linking-06939fd263d56ce2.d: crates/bench/src/bin/ablation_linking.rs
+
+/root/repo/target/debug/deps/ablation_linking-06939fd263d56ce2: crates/bench/src/bin/ablation_linking.rs
+
+crates/bench/src/bin/ablation_linking.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_linking-0987a8e92b42c20e.d: crates/bench/src/bin/ablation_linking.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_linking-0987a8e92b42c20e.rmeta: crates/bench/src/bin/ablation_linking.rs Cargo.toml
+
+crates/bench/src/bin/ablation_linking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

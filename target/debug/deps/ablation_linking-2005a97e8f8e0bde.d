@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_linking-2005a97e8f8e0bde.d: crates/bench/src/bin/ablation_linking.rs
+
+/root/repo/target/debug/deps/ablation_linking-2005a97e8f8e0bde: crates/bench/src/bin/ablation_linking.rs
+
+crates/bench/src/bin/ablation_linking.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_linking-c5a6871b9d8c2b0b.d: crates/bench/src/bin/ablation_linking.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_linking-c5a6871b9d8c2b0b.rmeta: crates/bench/src/bin/ablation_linking.rs Cargo.toml
+
+crates/bench/src/bin/ablation_linking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

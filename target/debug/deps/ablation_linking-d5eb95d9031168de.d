@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_linking-d5eb95d9031168de.d: crates/bench/src/bin/ablation_linking.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_linking-d5eb95d9031168de.rmeta: crates/bench/src/bin/ablation_linking.rs Cargo.toml
+
+crates/bench/src/bin/ablation_linking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-248172e168747dd9.d: crates/bench/src/bin/all_experiments.rs
+
+/root/repo/target/debug/deps/all_experiments-248172e168747dd9: crates/bench/src/bin/all_experiments.rs
+
+crates/bench/src/bin/all_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-9a2af4d4628c87b2.d: crates/bench/src/bin/all_experiments.rs
+
+/root/repo/target/debug/deps/all_experiments-9a2af4d4628c87b2: crates/bench/src/bin/all_experiments.rs
+
+crates/bench/src/bin/all_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-e939c6c5509b7035.d: crates/bench/src/bin/all_experiments.rs
+
+/root/repo/target/debug/deps/all_experiments-e939c6c5509b7035: crates/bench/src/bin/all_experiments.rs
+
+crates/bench/src/bin/all_experiments.rs:

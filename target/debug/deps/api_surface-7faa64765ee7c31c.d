@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/api_surface-7faa64765ee7c31c.d: tests/api_surface.rs
+
+/root/repo/target/debug/deps/api_surface-7faa64765ee7c31c: tests/api_surface.rs
+
+tests/api_surface.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/api_surface-b3cc37e38d915a87.d: tests/api_surface.rs
+
+/root/repo/target/debug/deps/api_surface-b3cc37e38d915a87: tests/api_surface.rs
+
+tests/api_surface.rs:

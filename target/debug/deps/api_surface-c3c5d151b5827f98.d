@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/api_surface-c3c5d151b5827f98.d: tests/api_surface.rs Cargo.toml
+
+/root/repo/target/debug/deps/libapi_surface-c3c5d151b5827f98.rmeta: tests/api_surface.rs Cargo.toml
+
+tests/api_surface.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

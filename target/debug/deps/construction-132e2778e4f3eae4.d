@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/construction-132e2778e4f3eae4.d: crates/bench/benches/construction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconstruction-132e2778e4f3eae4.rmeta: crates/bench/benches/construction.rs Cargo.toml
+
+crates/bench/benches/construction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

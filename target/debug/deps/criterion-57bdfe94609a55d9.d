@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-57bdfe94609a55d9.d: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-57bdfe94609a55d9: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-649bd01f296e7dcd.d: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-649bd01f296e7dcd.rlib: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-649bd01f296e7dcd.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

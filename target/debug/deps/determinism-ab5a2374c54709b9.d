@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-ab5a2374c54709b9.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-ab5a2374c54709b9: tests/determinism.rs
+
+tests/determinism.rs:

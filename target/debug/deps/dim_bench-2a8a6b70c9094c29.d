@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dim_bench-2a8a6b70c9094c29.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdim_bench-2a8a6b70c9094c29.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdim_bench-2a8a6b70c9094c29.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dim_bench-7da7d5a0b9143f52.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdim_bench-7da7d5a0b9143f52.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

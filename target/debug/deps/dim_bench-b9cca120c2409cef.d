@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dim_bench-b9cca120c2409cef.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/dim_bench-b9cca120c2409cef: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

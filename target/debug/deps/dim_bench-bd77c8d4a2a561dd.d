@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dim_bench-bd77c8d4a2a561dd.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdim_bench-bd77c8d4a2a561dd.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdim_bench-bd77c8d4a2a561dd.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

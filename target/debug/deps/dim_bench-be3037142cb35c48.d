@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dim_bench-be3037142cb35c48.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdim_bench-be3037142cb35c48.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdim_bench-be3037142cb35c48.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

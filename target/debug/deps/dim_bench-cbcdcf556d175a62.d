@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dim_bench-cbcdcf556d175a62.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/dim_bench-cbcdcf556d175a62: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dim_core-2178f5c5268b6901.d: crates/core/src/lib.rs crates/core/src/dimks.rs crates/core/src/experiments.rs crates/core/src/pipeline.rs
+
+/root/repo/target/debug/deps/libdim_core-2178f5c5268b6901.rlib: crates/core/src/lib.rs crates/core/src/dimks.rs crates/core/src/experiments.rs crates/core/src/pipeline.rs
+
+/root/repo/target/debug/deps/libdim_core-2178f5c5268b6901.rmeta: crates/core/src/lib.rs crates/core/src/dimks.rs crates/core/src/experiments.rs crates/core/src/pipeline.rs
+
+crates/core/src/lib.rs:
+crates/core/src/dimks.rs:
+crates/core/src/experiments.rs:
+crates/core/src/pipeline.rs:

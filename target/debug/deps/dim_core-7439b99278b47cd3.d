@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dim_core-7439b99278b47cd3.d: crates/core/src/lib.rs crates/core/src/dimks.rs crates/core/src/experiments.rs crates/core/src/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdim_core-7439b99278b47cd3.rmeta: crates/core/src/lib.rs crates/core/src/dimks.rs crates/core/src/experiments.rs crates/core/src/pipeline.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/dimks.rs:
+crates/core/src/experiments.rs:
+crates/core/src/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dim_core-fb258506b4ef8852.d: crates/core/src/lib.rs crates/core/src/dimks.rs crates/core/src/experiments.rs crates/core/src/pipeline.rs
+
+/root/repo/target/debug/deps/dim_core-fb258506b4ef8852: crates/core/src/lib.rs crates/core/src/dimks.rs crates/core/src/experiments.rs crates/core/src/pipeline.rs
+
+crates/core/src/lib.rs:
+crates/core/src/dimks.rs:
+crates/core/src/experiments.rs:
+crates/core/src/pipeline.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dim_corpus-0da3b832b43954a2.d: crates/corpus/src/lib.rs crates/corpus/src/generate.rs crates/corpus/src/mlm.rs crates/corpus/src/noise.rs crates/corpus/src/sentence.rs
+
+/root/repo/target/debug/deps/libdim_corpus-0da3b832b43954a2.rlib: crates/corpus/src/lib.rs crates/corpus/src/generate.rs crates/corpus/src/mlm.rs crates/corpus/src/noise.rs crates/corpus/src/sentence.rs
+
+/root/repo/target/debug/deps/libdim_corpus-0da3b832b43954a2.rmeta: crates/corpus/src/lib.rs crates/corpus/src/generate.rs crates/corpus/src/mlm.rs crates/corpus/src/noise.rs crates/corpus/src/sentence.rs
+
+crates/corpus/src/lib.rs:
+crates/corpus/src/generate.rs:
+crates/corpus/src/mlm.rs:
+crates/corpus/src/noise.rs:
+crates/corpus/src/sentence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dim_corpus-82722b3e41e15d63.d: crates/corpus/src/lib.rs crates/corpus/src/generate.rs crates/corpus/src/mlm.rs crates/corpus/src/noise.rs crates/corpus/src/sentence.rs
+
+/root/repo/target/debug/deps/dim_corpus-82722b3e41e15d63: crates/corpus/src/lib.rs crates/corpus/src/generate.rs crates/corpus/src/mlm.rs crates/corpus/src/noise.rs crates/corpus/src/sentence.rs
+
+crates/corpus/src/lib.rs:
+crates/corpus/src/generate.rs:
+crates/corpus/src/mlm.rs:
+crates/corpus/src/noise.rs:
+crates/corpus/src/sentence.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dim_corpus-ecb5402902aaeec8.d: crates/corpus/src/lib.rs crates/corpus/src/generate.rs crates/corpus/src/mlm.rs crates/corpus/src/noise.rs crates/corpus/src/sentence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdim_corpus-ecb5402902aaeec8.rmeta: crates/corpus/src/lib.rs crates/corpus/src/generate.rs crates/corpus/src/mlm.rs crates/corpus/src/noise.rs crates/corpus/src/sentence.rs Cargo.toml
+
+crates/corpus/src/lib.rs:
+crates/corpus/src/generate.rs:
+crates/corpus/src/mlm.rs:
+crates/corpus/src/noise.rs:
+crates/corpus/src/sentence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

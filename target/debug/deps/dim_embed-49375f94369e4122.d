@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dim_embed-49375f94369e4122.d: crates/embed/src/lib.rs crates/embed/src/model.rs crates/embed/src/tokenize.rs
+
+/root/repo/target/debug/deps/libdim_embed-49375f94369e4122.rlib: crates/embed/src/lib.rs crates/embed/src/model.rs crates/embed/src/tokenize.rs
+
+/root/repo/target/debug/deps/libdim_embed-49375f94369e4122.rmeta: crates/embed/src/lib.rs crates/embed/src/model.rs crates/embed/src/tokenize.rs
+
+crates/embed/src/lib.rs:
+crates/embed/src/model.rs:
+crates/embed/src/tokenize.rs:

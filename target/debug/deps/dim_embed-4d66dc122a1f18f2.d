@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dim_embed-4d66dc122a1f18f2.d: crates/embed/src/lib.rs crates/embed/src/model.rs crates/embed/src/tokenize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdim_embed-4d66dc122a1f18f2.rmeta: crates/embed/src/lib.rs crates/embed/src/model.rs crates/embed/src/tokenize.rs Cargo.toml
+
+crates/embed/src/lib.rs:
+crates/embed/src/model.rs:
+crates/embed/src/tokenize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dim_embed-540cbc73bc8116a9.d: crates/embed/src/lib.rs crates/embed/src/model.rs crates/embed/src/tokenize.rs
+
+/root/repo/target/debug/deps/dim_embed-540cbc73bc8116a9: crates/embed/src/lib.rs crates/embed/src/model.rs crates/embed/src/tokenize.rs
+
+crates/embed/src/lib.rs:
+crates/embed/src/model.rs:
+crates/embed/src/tokenize.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dim_kgraph-54e5cbb41dca1ed3.d: crates/kgraph/src/lib.rs crates/kgraph/src/store.rs crates/kgraph/src/synthesize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdim_kgraph-54e5cbb41dca1ed3.rmeta: crates/kgraph/src/lib.rs crates/kgraph/src/store.rs crates/kgraph/src/synthesize.rs Cargo.toml
+
+crates/kgraph/src/lib.rs:
+crates/kgraph/src/store.rs:
+crates/kgraph/src/synthesize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

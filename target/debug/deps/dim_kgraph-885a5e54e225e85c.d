@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dim_kgraph-885a5e54e225e85c.d: crates/kgraph/src/lib.rs crates/kgraph/src/store.rs crates/kgraph/src/synthesize.rs
+
+/root/repo/target/debug/deps/dim_kgraph-885a5e54e225e85c: crates/kgraph/src/lib.rs crates/kgraph/src/store.rs crates/kgraph/src/synthesize.rs
+
+crates/kgraph/src/lib.rs:
+crates/kgraph/src/store.rs:
+crates/kgraph/src/synthesize.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dim_kgraph-f5be32aab1e6a8d9.d: crates/kgraph/src/lib.rs crates/kgraph/src/store.rs crates/kgraph/src/synthesize.rs
+
+/root/repo/target/debug/deps/libdim_kgraph-f5be32aab1e6a8d9.rlib: crates/kgraph/src/lib.rs crates/kgraph/src/store.rs crates/kgraph/src/synthesize.rs
+
+/root/repo/target/debug/deps/libdim_kgraph-f5be32aab1e6a8d9.rmeta: crates/kgraph/src/lib.rs crates/kgraph/src/store.rs crates/kgraph/src/synthesize.rs
+
+crates/kgraph/src/lib.rs:
+crates/kgraph/src/store.rs:
+crates/kgraph/src/synthesize.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/dim_models-270226e81c1e1a3e.d: crates/models/src/lib.rs crates/models/src/knowledge.rs crates/models/src/profile.rs crates/models/src/simllm.rs crates/models/src/tinylm/mod.rs crates/models/src/tinylm/choice.rs crates/models/src/tinylm/eqgen.rs crates/models/src/tinylm/extract.rs crates/models/src/tinylm/features.rs crates/models/src/tinylm/linear.rs crates/models/src/wolfram.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdim_models-270226e81c1e1a3e.rmeta: crates/models/src/lib.rs crates/models/src/knowledge.rs crates/models/src/profile.rs crates/models/src/simllm.rs crates/models/src/tinylm/mod.rs crates/models/src/tinylm/choice.rs crates/models/src/tinylm/eqgen.rs crates/models/src/tinylm/extract.rs crates/models/src/tinylm/features.rs crates/models/src/tinylm/linear.rs crates/models/src/wolfram.rs Cargo.toml
+
+crates/models/src/lib.rs:
+crates/models/src/knowledge.rs:
+crates/models/src/profile.rs:
+crates/models/src/simllm.rs:
+crates/models/src/tinylm/mod.rs:
+crates/models/src/tinylm/choice.rs:
+crates/models/src/tinylm/eqgen.rs:
+crates/models/src/tinylm/extract.rs:
+crates/models/src/tinylm/features.rs:
+crates/models/src/tinylm/linear.rs:
+crates/models/src/wolfram.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/dim_models-d1ca716fe32c5cba.d: crates/models/src/lib.rs crates/models/src/knowledge.rs crates/models/src/profile.rs crates/models/src/simllm.rs crates/models/src/tinylm/mod.rs crates/models/src/tinylm/choice.rs crates/models/src/tinylm/eqgen.rs crates/models/src/tinylm/extract.rs crates/models/src/tinylm/features.rs crates/models/src/tinylm/linear.rs crates/models/src/wolfram.rs
+
+/root/repo/target/debug/deps/libdim_models-d1ca716fe32c5cba.rlib: crates/models/src/lib.rs crates/models/src/knowledge.rs crates/models/src/profile.rs crates/models/src/simllm.rs crates/models/src/tinylm/mod.rs crates/models/src/tinylm/choice.rs crates/models/src/tinylm/eqgen.rs crates/models/src/tinylm/extract.rs crates/models/src/tinylm/features.rs crates/models/src/tinylm/linear.rs crates/models/src/wolfram.rs
+
+/root/repo/target/debug/deps/libdim_models-d1ca716fe32c5cba.rmeta: crates/models/src/lib.rs crates/models/src/knowledge.rs crates/models/src/profile.rs crates/models/src/simllm.rs crates/models/src/tinylm/mod.rs crates/models/src/tinylm/choice.rs crates/models/src/tinylm/eqgen.rs crates/models/src/tinylm/extract.rs crates/models/src/tinylm/features.rs crates/models/src/tinylm/linear.rs crates/models/src/wolfram.rs
+
+crates/models/src/lib.rs:
+crates/models/src/knowledge.rs:
+crates/models/src/profile.rs:
+crates/models/src/simllm.rs:
+crates/models/src/tinylm/mod.rs:
+crates/models/src/tinylm/choice.rs:
+crates/models/src/tinylm/eqgen.rs:
+crates/models/src/tinylm/extract.rs:
+crates/models/src/tinylm/features.rs:
+crates/models/src/tinylm/linear.rs:
+crates/models/src/wolfram.rs:

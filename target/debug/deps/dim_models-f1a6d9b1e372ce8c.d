@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/dim_models-f1a6d9b1e372ce8c.d: crates/models/src/lib.rs crates/models/src/knowledge.rs crates/models/src/profile.rs crates/models/src/simllm.rs crates/models/src/tinylm/mod.rs crates/models/src/tinylm/choice.rs crates/models/src/tinylm/eqgen.rs crates/models/src/tinylm/extract.rs crates/models/src/tinylm/features.rs crates/models/src/tinylm/linear.rs crates/models/src/wolfram.rs
+
+/root/repo/target/debug/deps/libdim_models-f1a6d9b1e372ce8c.rlib: crates/models/src/lib.rs crates/models/src/knowledge.rs crates/models/src/profile.rs crates/models/src/simllm.rs crates/models/src/tinylm/mod.rs crates/models/src/tinylm/choice.rs crates/models/src/tinylm/eqgen.rs crates/models/src/tinylm/extract.rs crates/models/src/tinylm/features.rs crates/models/src/tinylm/linear.rs crates/models/src/wolfram.rs
+
+/root/repo/target/debug/deps/libdim_models-f1a6d9b1e372ce8c.rmeta: crates/models/src/lib.rs crates/models/src/knowledge.rs crates/models/src/profile.rs crates/models/src/simllm.rs crates/models/src/tinylm/mod.rs crates/models/src/tinylm/choice.rs crates/models/src/tinylm/eqgen.rs crates/models/src/tinylm/extract.rs crates/models/src/tinylm/features.rs crates/models/src/tinylm/linear.rs crates/models/src/wolfram.rs
+
+crates/models/src/lib.rs:
+crates/models/src/knowledge.rs:
+crates/models/src/profile.rs:
+crates/models/src/simllm.rs:
+crates/models/src/tinylm/mod.rs:
+crates/models/src/tinylm/choice.rs:
+crates/models/src/tinylm/eqgen.rs:
+crates/models/src/tinylm/extract.rs:
+crates/models/src/tinylm/features.rs:
+crates/models/src/tinylm/linear.rs:
+crates/models/src/wolfram.rs:

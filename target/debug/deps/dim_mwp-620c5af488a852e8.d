@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dim_mwp-620c5af488a852e8.d: crates/mwp/src/lib.rs crates/mwp/src/augment.rs crates/mwp/src/equation.rs crates/mwp/src/gen.rs crates/mwp/src/problem.rs crates/mwp/src/solve.rs crates/mwp/src/stats.rs crates/mwp/src/tokenize.rs
+
+/root/repo/target/debug/deps/libdim_mwp-620c5af488a852e8.rlib: crates/mwp/src/lib.rs crates/mwp/src/augment.rs crates/mwp/src/equation.rs crates/mwp/src/gen.rs crates/mwp/src/problem.rs crates/mwp/src/solve.rs crates/mwp/src/stats.rs crates/mwp/src/tokenize.rs
+
+/root/repo/target/debug/deps/libdim_mwp-620c5af488a852e8.rmeta: crates/mwp/src/lib.rs crates/mwp/src/augment.rs crates/mwp/src/equation.rs crates/mwp/src/gen.rs crates/mwp/src/problem.rs crates/mwp/src/solve.rs crates/mwp/src/stats.rs crates/mwp/src/tokenize.rs
+
+crates/mwp/src/lib.rs:
+crates/mwp/src/augment.rs:
+crates/mwp/src/equation.rs:
+crates/mwp/src/gen.rs:
+crates/mwp/src/problem.rs:
+crates/mwp/src/solve.rs:
+crates/mwp/src/stats.rs:
+crates/mwp/src/tokenize.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dim_mwp-9a83de43839029c9.d: crates/mwp/src/lib.rs crates/mwp/src/augment.rs crates/mwp/src/equation.rs crates/mwp/src/gen.rs crates/mwp/src/problem.rs crates/mwp/src/solve.rs crates/mwp/src/stats.rs crates/mwp/src/tokenize.rs
+
+/root/repo/target/debug/deps/dim_mwp-9a83de43839029c9: crates/mwp/src/lib.rs crates/mwp/src/augment.rs crates/mwp/src/equation.rs crates/mwp/src/gen.rs crates/mwp/src/problem.rs crates/mwp/src/solve.rs crates/mwp/src/stats.rs crates/mwp/src/tokenize.rs
+
+crates/mwp/src/lib.rs:
+crates/mwp/src/augment.rs:
+crates/mwp/src/equation.rs:
+crates/mwp/src/gen.rs:
+crates/mwp/src/problem.rs:
+crates/mwp/src/solve.rs:
+crates/mwp/src/stats.rs:
+crates/mwp/src/tokenize.rs:

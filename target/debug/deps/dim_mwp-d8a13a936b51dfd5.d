@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dim_mwp-d8a13a936b51dfd5.d: crates/mwp/src/lib.rs crates/mwp/src/augment.rs crates/mwp/src/equation.rs crates/mwp/src/gen.rs crates/mwp/src/problem.rs crates/mwp/src/solve.rs crates/mwp/src/stats.rs crates/mwp/src/tokenize.rs
+
+/root/repo/target/debug/deps/libdim_mwp-d8a13a936b51dfd5.rlib: crates/mwp/src/lib.rs crates/mwp/src/augment.rs crates/mwp/src/equation.rs crates/mwp/src/gen.rs crates/mwp/src/problem.rs crates/mwp/src/solve.rs crates/mwp/src/stats.rs crates/mwp/src/tokenize.rs
+
+/root/repo/target/debug/deps/libdim_mwp-d8a13a936b51dfd5.rmeta: crates/mwp/src/lib.rs crates/mwp/src/augment.rs crates/mwp/src/equation.rs crates/mwp/src/gen.rs crates/mwp/src/problem.rs crates/mwp/src/solve.rs crates/mwp/src/stats.rs crates/mwp/src/tokenize.rs
+
+crates/mwp/src/lib.rs:
+crates/mwp/src/augment.rs:
+crates/mwp/src/equation.rs:
+crates/mwp/src/gen.rs:
+crates/mwp/src/problem.rs:
+crates/mwp/src/solve.rs:
+crates/mwp/src/stats.rs:
+crates/mwp/src/tokenize.rs:

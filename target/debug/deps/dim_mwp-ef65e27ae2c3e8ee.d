@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dim_mwp-ef65e27ae2c3e8ee.d: crates/mwp/src/lib.rs crates/mwp/src/augment.rs crates/mwp/src/equation.rs crates/mwp/src/gen.rs crates/mwp/src/problem.rs crates/mwp/src/solve.rs crates/mwp/src/stats.rs crates/mwp/src/tokenize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdim_mwp-ef65e27ae2c3e8ee.rmeta: crates/mwp/src/lib.rs crates/mwp/src/augment.rs crates/mwp/src/equation.rs crates/mwp/src/gen.rs crates/mwp/src/problem.rs crates/mwp/src/solve.rs crates/mwp/src/stats.rs crates/mwp/src/tokenize.rs Cargo.toml
+
+crates/mwp/src/lib.rs:
+crates/mwp/src/augment.rs:
+crates/mwp/src/equation.rs:
+crates/mwp/src/gen.rs:
+crates/mwp/src/problem.rs:
+crates/mwp/src/solve.rs:
+crates/mwp/src/stats.rs:
+crates/mwp/src/tokenize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

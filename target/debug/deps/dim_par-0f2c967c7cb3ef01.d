@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dim_par-0f2c967c7cb3ef01.d: crates/par/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdim_par-0f2c967c7cb3ef01.rmeta: crates/par/src/lib.rs Cargo.toml
+
+crates/par/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

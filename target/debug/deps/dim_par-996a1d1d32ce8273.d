@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dim_par-996a1d1d32ce8273.d: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/dim_par-996a1d1d32ce8273: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

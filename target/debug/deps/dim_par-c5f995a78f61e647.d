@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dim_par-c5f995a78f61e647.d: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/libdim_par-c5f995a78f61e647.rlib: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/libdim_par-c5f995a78f61e647.rmeta: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dimension_perception-28e97ea550c74ee6.d: src/lib.rs
+
+/root/repo/target/debug/deps/dimension_perception-28e97ea550c74ee6: src/lib.rs
+
+src/lib.rs:

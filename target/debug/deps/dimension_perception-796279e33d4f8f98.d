@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dimension_perception-796279e33d4f8f98.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdimension_perception-796279e33d4f8f98.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdimension_perception-796279e33d4f8f98.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dimension_perception-b4f8013874903674.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdimension_perception-b4f8013874903674.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdimension_perception-b4f8013874903674.rmeta: src/lib.rs
+
+src/lib.rs:

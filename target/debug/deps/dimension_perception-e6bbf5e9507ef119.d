@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dimension_perception-e6bbf5e9507ef119.d: src/lib.rs
+
+/root/repo/target/debug/deps/dimension_perception-e6bbf5e9507ef119: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dimeval-3338738e182687f7.d: crates/dimeval/src/lib.rs crates/dimeval/src/algo1.rs crates/dimeval/src/algo2.rs crates/dimeval/src/benchmark.rs crates/dimeval/src/cot.rs crates/dimeval/src/gen.rs crates/dimeval/src/metrics.rs crates/dimeval/src/task.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdimeval-3338738e182687f7.rmeta: crates/dimeval/src/lib.rs crates/dimeval/src/algo1.rs crates/dimeval/src/algo2.rs crates/dimeval/src/benchmark.rs crates/dimeval/src/cot.rs crates/dimeval/src/gen.rs crates/dimeval/src/metrics.rs crates/dimeval/src/task.rs Cargo.toml
+
+crates/dimeval/src/lib.rs:
+crates/dimeval/src/algo1.rs:
+crates/dimeval/src/algo2.rs:
+crates/dimeval/src/benchmark.rs:
+crates/dimeval/src/cot.rs:
+crates/dimeval/src/gen.rs:
+crates/dimeval/src/metrics.rs:
+crates/dimeval/src/task.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dimeval-45057fbb3f678fb9.d: crates/dimeval/src/lib.rs crates/dimeval/src/algo1.rs crates/dimeval/src/algo2.rs crates/dimeval/src/benchmark.rs crates/dimeval/src/cot.rs crates/dimeval/src/gen.rs crates/dimeval/src/metrics.rs crates/dimeval/src/task.rs
+
+/root/repo/target/debug/deps/libdimeval-45057fbb3f678fb9.rlib: crates/dimeval/src/lib.rs crates/dimeval/src/algo1.rs crates/dimeval/src/algo2.rs crates/dimeval/src/benchmark.rs crates/dimeval/src/cot.rs crates/dimeval/src/gen.rs crates/dimeval/src/metrics.rs crates/dimeval/src/task.rs
+
+/root/repo/target/debug/deps/libdimeval-45057fbb3f678fb9.rmeta: crates/dimeval/src/lib.rs crates/dimeval/src/algo1.rs crates/dimeval/src/algo2.rs crates/dimeval/src/benchmark.rs crates/dimeval/src/cot.rs crates/dimeval/src/gen.rs crates/dimeval/src/metrics.rs crates/dimeval/src/task.rs
+
+crates/dimeval/src/lib.rs:
+crates/dimeval/src/algo1.rs:
+crates/dimeval/src/algo2.rs:
+crates/dimeval/src/benchmark.rs:
+crates/dimeval/src/cot.rs:
+crates/dimeval/src/gen.rs:
+crates/dimeval/src/metrics.rs:
+crates/dimeval/src/task.rs:

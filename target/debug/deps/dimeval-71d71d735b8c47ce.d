@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dimeval-71d71d735b8c47ce.d: crates/dimeval/src/lib.rs crates/dimeval/src/algo1.rs crates/dimeval/src/algo2.rs crates/dimeval/src/benchmark.rs crates/dimeval/src/cot.rs crates/dimeval/src/gen.rs crates/dimeval/src/metrics.rs crates/dimeval/src/task.rs
+
+/root/repo/target/debug/deps/dimeval-71d71d735b8c47ce: crates/dimeval/src/lib.rs crates/dimeval/src/algo1.rs crates/dimeval/src/algo2.rs crates/dimeval/src/benchmark.rs crates/dimeval/src/cot.rs crates/dimeval/src/gen.rs crates/dimeval/src/metrics.rs crates/dimeval/src/task.rs
+
+crates/dimeval/src/lib.rs:
+crates/dimeval/src/algo1.rs:
+crates/dimeval/src/algo2.rs:
+crates/dimeval/src/benchmark.rs:
+crates/dimeval/src/cot.rs:
+crates/dimeval/src/gen.rs:
+crates/dimeval/src/metrics.rs:
+crates/dimeval/src/task.rs:

@@ -1,0 +1,31 @@
+/root/repo/target/debug/deps/dimkb-5ad6555f8f5ab9cc.d: crates/dimkb/src/lib.rs crates/dimkb/src/data/mod.rs crates/dimkb/src/data/base_si.rs crates/dimkb/src/data/chinese.rs crates/dimkb/src/data/derived.rs crates/dimkb/src/data/electromagnetic.rs crates/dimkb/src/data/extended.rs crates/dimkb/src/data/geometry.rs crates/dimkb/src/data/information.rs crates/dimkb/src/data/kinds.rs crates/dimkb/src/data/mechanics.rs crates/dimkb/src/data/thermal_chem.rs crates/dimkb/src/dim.rs crates/dimkb/src/error.rs crates/dimkb/src/expr.rs crates/dimkb/src/freq.rs crates/dimkb/src/kb.rs crates/dimkb/src/kind.rs crates/dimkb/src/prefix.rs crates/dimkb/src/search.rs crates/dimkb/src/spec.rs crates/dimkb/src/stats.rs crates/dimkb/src/unit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdimkb-5ad6555f8f5ab9cc.rmeta: crates/dimkb/src/lib.rs crates/dimkb/src/data/mod.rs crates/dimkb/src/data/base_si.rs crates/dimkb/src/data/chinese.rs crates/dimkb/src/data/derived.rs crates/dimkb/src/data/electromagnetic.rs crates/dimkb/src/data/extended.rs crates/dimkb/src/data/geometry.rs crates/dimkb/src/data/information.rs crates/dimkb/src/data/kinds.rs crates/dimkb/src/data/mechanics.rs crates/dimkb/src/data/thermal_chem.rs crates/dimkb/src/dim.rs crates/dimkb/src/error.rs crates/dimkb/src/expr.rs crates/dimkb/src/freq.rs crates/dimkb/src/kb.rs crates/dimkb/src/kind.rs crates/dimkb/src/prefix.rs crates/dimkb/src/search.rs crates/dimkb/src/spec.rs crates/dimkb/src/stats.rs crates/dimkb/src/unit.rs Cargo.toml
+
+crates/dimkb/src/lib.rs:
+crates/dimkb/src/data/mod.rs:
+crates/dimkb/src/data/base_si.rs:
+crates/dimkb/src/data/chinese.rs:
+crates/dimkb/src/data/derived.rs:
+crates/dimkb/src/data/electromagnetic.rs:
+crates/dimkb/src/data/extended.rs:
+crates/dimkb/src/data/geometry.rs:
+crates/dimkb/src/data/information.rs:
+crates/dimkb/src/data/kinds.rs:
+crates/dimkb/src/data/mechanics.rs:
+crates/dimkb/src/data/thermal_chem.rs:
+crates/dimkb/src/dim.rs:
+crates/dimkb/src/error.rs:
+crates/dimkb/src/expr.rs:
+crates/dimkb/src/freq.rs:
+crates/dimkb/src/kb.rs:
+crates/dimkb/src/kind.rs:
+crates/dimkb/src/prefix.rs:
+crates/dimkb/src/search.rs:
+crates/dimkb/src/spec.rs:
+crates/dimkb/src/stats.rs:
+crates/dimkb/src/unit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dimks-2b7e1ee67f3fa429.d: src/bin/dimks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdimks-2b7e1ee67f3fa429.rmeta: src/bin/dimks.rs Cargo.toml
+
+src/bin/dimks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dimks-38b3c0dad27ccd5a.d: src/bin/dimks.rs
+
+/root/repo/target/debug/deps/dimks-38b3c0dad27ccd5a: src/bin/dimks.rs
+
+src/bin/dimks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dimks-642d62898fead23e.d: src/bin/dimks.rs
+
+/root/repo/target/debug/deps/dimks-642d62898fead23e: src/bin/dimks.rs
+
+src/bin/dimks.rs:

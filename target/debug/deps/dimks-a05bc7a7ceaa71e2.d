@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dimks-a05bc7a7ceaa71e2.d: src/bin/dimks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdimks-a05bc7a7ceaa71e2.rmeta: src/bin/dimks.rs Cargo.toml
+
+src/bin/dimks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

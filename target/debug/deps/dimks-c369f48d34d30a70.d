@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dimks-c369f48d34d30a70.d: src/bin/dimks.rs
+
+/root/repo/target/debug/deps/dimks-c369f48d34d30a70: src/bin/dimks.rs
+
+src/bin/dimks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dimks-e24fc3e7e8d0ade2.d: src/bin/dimks.rs
+
+/root/repo/target/debug/deps/dimks-e24fc3e7e8d0ade2: src/bin/dimks.rs
+
+src/bin/dimks.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dimlink-57103a5dade54282.d: crates/dimlink/src/lib.rs crates/dimlink/src/annotate.rs crates/dimlink/src/lev.rs crates/dimlink/src/linker.rs crates/dimlink/src/numparse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdimlink-57103a5dade54282.rmeta: crates/dimlink/src/lib.rs crates/dimlink/src/annotate.rs crates/dimlink/src/lev.rs crates/dimlink/src/linker.rs crates/dimlink/src/numparse.rs Cargo.toml
+
+crates/dimlink/src/lib.rs:
+crates/dimlink/src/annotate.rs:
+crates/dimlink/src/lev.rs:
+crates/dimlink/src/linker.rs:
+crates/dimlink/src/numparse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

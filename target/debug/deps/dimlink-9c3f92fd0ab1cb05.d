@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dimlink-9c3f92fd0ab1cb05.d: crates/dimlink/src/lib.rs crates/dimlink/src/annotate.rs crates/dimlink/src/lev.rs crates/dimlink/src/linker.rs crates/dimlink/src/numparse.rs
+
+/root/repo/target/debug/deps/dimlink-9c3f92fd0ab1cb05: crates/dimlink/src/lib.rs crates/dimlink/src/annotate.rs crates/dimlink/src/lev.rs crates/dimlink/src/linker.rs crates/dimlink/src/numparse.rs
+
+crates/dimlink/src/lib.rs:
+crates/dimlink/src/annotate.rs:
+crates/dimlink/src/lev.rs:
+crates/dimlink/src/linker.rs:
+crates/dimlink/src/numparse.rs:

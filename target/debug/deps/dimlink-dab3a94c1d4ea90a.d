@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dimlink-dab3a94c1d4ea90a.d: crates/dimlink/src/lib.rs crates/dimlink/src/annotate.rs crates/dimlink/src/lev.rs crates/dimlink/src/linker.rs crates/dimlink/src/numparse.rs
+
+/root/repo/target/debug/deps/libdimlink-dab3a94c1d4ea90a.rlib: crates/dimlink/src/lib.rs crates/dimlink/src/annotate.rs crates/dimlink/src/lev.rs crates/dimlink/src/linker.rs crates/dimlink/src/numparse.rs
+
+/root/repo/target/debug/deps/libdimlink-dab3a94c1d4ea90a.rmeta: crates/dimlink/src/lib.rs crates/dimlink/src/annotate.rs crates/dimlink/src/lev.rs crates/dimlink/src/linker.rs crates/dimlink/src/numparse.rs
+
+crates/dimlink/src/lib.rs:
+crates/dimlink/src/annotate.rs:
+crates/dimlink/src/lev.rs:
+crates/dimlink/src/linker.rs:
+crates/dimlink/src/numparse.rs:

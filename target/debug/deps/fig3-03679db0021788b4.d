@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-03679db0021788b4.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-03679db0021788b4: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-7416f778c6603ecf.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-7416f778c6603ecf: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-a4dc7ccac11b24cc.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-a4dc7ccac11b24cc: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-0eb744fa62080da1.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-0eb744fa62080da1: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

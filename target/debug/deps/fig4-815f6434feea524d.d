@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-815f6434feea524d.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-815f6434feea524d: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-c4b361e4abf63668.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-c4b361e4abf63668: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-21722211c36a7a0f.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-21722211c36a7a0f: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

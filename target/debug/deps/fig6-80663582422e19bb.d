@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-80663582422e19bb.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-80663582422e19bb: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6-ff58eb382ede0e17.d: crates/bench/src/bin/fig6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6-ff58eb382ede0e17.rmeta: crates/bench/src/bin/fig6.rs Cargo.toml
+
+crates/bench/src/bin/fig6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

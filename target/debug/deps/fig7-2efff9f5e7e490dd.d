@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-2efff9f5e7e490dd.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-2efff9f5e7e490dd: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

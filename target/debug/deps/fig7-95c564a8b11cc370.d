@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-95c564a8b11cc370.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-95c564a8b11cc370: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

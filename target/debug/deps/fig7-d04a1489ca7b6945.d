@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-d04a1489ca7b6945.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-d04a1489ca7b6945: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/framework-80d68b102cd1c208.d: tests/framework.rs Cargo.toml
+
+/root/repo/target/debug/deps/libframework-80d68b102cd1c208.rmeta: tests/framework.rs Cargo.toml
+
+tests/framework.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

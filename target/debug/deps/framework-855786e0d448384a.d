@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/framework-855786e0d448384a.d: tests/framework.rs
+
+/root/repo/target/debug/deps/framework-855786e0d448384a: tests/framework.rs
+
+tests/framework.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/framework-b17a6438def0b45e.d: tests/framework.rs
+
+/root/repo/target/debug/deps/framework-b17a6438def0b45e: tests/framework.rs
+
+tests/framework.rs:

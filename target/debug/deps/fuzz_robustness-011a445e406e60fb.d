@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz_robustness-011a445e406e60fb.d: tests/fuzz_robustness.rs
+
+/root/repo/target/debug/deps/fuzz_robustness-011a445e406e60fb: tests/fuzz_robustness.rs
+
+tests/fuzz_robustness.rs:

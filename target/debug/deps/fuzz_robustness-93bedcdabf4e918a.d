@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz_robustness-93bedcdabf4e918a.d: tests/fuzz_robustness.rs
+
+/root/repo/target/debug/deps/fuzz_robustness-93bedcdabf4e918a: tests/fuzz_robustness.rs
+
+tests/fuzz_robustness.rs:

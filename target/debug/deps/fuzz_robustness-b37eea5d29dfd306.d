@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fuzz_robustness-b37eea5d29dfd306.d: tests/fuzz_robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuzz_robustness-b37eea5d29dfd306.rmeta: tests/fuzz_robustness.rs Cargo.toml
+
+tests/fuzz_robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

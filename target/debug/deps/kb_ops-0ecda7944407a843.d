@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kb_ops-0ecda7944407a843.d: crates/bench/benches/kb_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkb_ops-0ecda7944407a843.rmeta: crates/bench/benches/kb_ops.rs Cargo.toml
+
+crates/bench/benches/kb_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/linking-b83e9cd3f630d8c7.d: crates/bench/benches/linking.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblinking-b83e9cd3f630d8c7.rmeta: crates/bench/benches/linking.rs Cargo.toml
+
+crates/bench/benches/linking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

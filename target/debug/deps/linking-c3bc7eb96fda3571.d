@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/linking-c3bc7eb96fda3571.d: crates/bench/benches/linking.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblinking-c3bc7eb96fda3571.rmeta: crates/bench/benches/linking.rs Cargo.toml
+
+crates/bench/benches/linking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

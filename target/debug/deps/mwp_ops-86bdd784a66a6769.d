@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mwp_ops-86bdd784a66a6769.d: crates/bench/benches/mwp_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmwp_ops-86bdd784a66a6769.rmeta: crates/bench/benches/mwp_ops.rs Cargo.toml
+
+crates/bench/benches/mwp_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

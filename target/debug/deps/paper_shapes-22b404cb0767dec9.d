@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-22b404cb0767dec9.d: tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-22b404cb0767dec9: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

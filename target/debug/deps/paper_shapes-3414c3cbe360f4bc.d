@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-3414c3cbe360f4bc.d: tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-3414c3cbe360f4bc: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

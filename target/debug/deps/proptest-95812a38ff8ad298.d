@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-95812a38ff8ad298.d: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-95812a38ff8ad298.rlib: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-95812a38ff8ad298.rmeta: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

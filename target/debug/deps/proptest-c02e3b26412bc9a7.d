@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-c02e3b26412bc9a7.d: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-c02e3b26412bc9a7: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

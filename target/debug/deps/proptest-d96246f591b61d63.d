@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-d96246f591b61d63.d: crates/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-d96246f591b61d63.rmeta: crates/proptest/src/lib.rs Cargo.toml
+
+crates/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-432a904af3c1f6f7.d: tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-432a904af3c1f6f7.rmeta: tests/proptests.rs Cargo.toml
+
+tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

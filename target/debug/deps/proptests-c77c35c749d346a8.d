@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-c77c35c749d346a8.d: tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-c77c35c749d346a8: tests/proptests.rs
+
+tests/proptests.rs:

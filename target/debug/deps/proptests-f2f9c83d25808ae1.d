@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-f2f9c83d25808ae1.d: tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-f2f9c83d25808ae1: tests/proptests.rs
+
+tests/proptests.rs:

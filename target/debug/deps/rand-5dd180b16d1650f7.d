@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-5dd180b16d1650f7.d: crates/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-5dd180b16d1650f7.rmeta: crates/rand/src/lib.rs Cargo.toml
+
+crates/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

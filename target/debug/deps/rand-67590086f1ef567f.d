@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-67590086f1ef567f.d: crates/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-67590086f1ef567f.rlib: crates/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-67590086f1ef567f.rmeta: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-7148018cc74ebbf4.d: crates/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-7148018cc74ebbf4: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

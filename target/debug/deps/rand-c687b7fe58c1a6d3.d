@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-c687b7fe58c1a6d3.d: crates/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-c687b7fe58c1a6d3.rmeta: crates/rand/src/lib.rs Cargo.toml
+
+crates/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-982763f1b5f55e9a.d: crates/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-982763f1b5f55e9a.rlib: crates/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-982763f1b5f55e9a.rmeta: crates/serde/src/lib.rs
+
+crates/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-e9d987b4788e46f2.d: crates/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-e9d987b4788e46f2: crates/serde/src/lib.rs
+
+crates/serde/src/lib.rs:

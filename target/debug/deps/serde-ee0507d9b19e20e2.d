@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-ee0507d9b19e20e2.d: crates/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-ee0507d9b19e20e2.rmeta: crates/serde/src/lib.rs Cargo.toml
+
+crates/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

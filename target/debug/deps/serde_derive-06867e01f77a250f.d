@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-06867e01f77a250f.d: crates/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-06867e01f77a250f.so: crates/serde_derive/src/lib.rs
+
+crates/serde_derive/src/lib.rs:

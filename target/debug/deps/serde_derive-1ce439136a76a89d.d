@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_derive-1ce439136a76a89d.d: crates/serde_derive/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_derive-1ce439136a76a89d.rmeta: crates/serde_derive/src/lib.rs Cargo.toml
+
+crates/serde_derive/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-28c4b3700f5da677.d: crates/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/serde_derive-28c4b3700f5da677: crates/serde_derive/src/lib.rs
+
+crates/serde_derive/src/lib.rs:

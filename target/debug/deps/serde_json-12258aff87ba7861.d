@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-12258aff87ba7861.d: crates/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-12258aff87ba7861: crates/serde_json/src/lib.rs
+
+crates/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_json-92bbb74cf98c3f1d.d: crates/serde_json/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_json-92bbb74cf98c3f1d.rmeta: crates/serde_json/src/lib.rs Cargo.toml
+
+crates/serde_json/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-c68908cf0d943958.d: crates/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-c68908cf0d943958.rlib: crates/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-c68908cf0d943958.rmeta: crates/serde_json/src/lib.rs
+
+crates/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_json-d57560ba179760fc.d: crates/serde_json/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_json-d57560ba179760fc.rmeta: crates/serde_json/src/lib.rs Cargo.toml
+
+crates/serde_json/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

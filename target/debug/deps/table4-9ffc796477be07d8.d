@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-9ffc796477be07d8.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-9ffc796477be07d8: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-b03aaefdbbca6183.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-b03aaefdbbca6183: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

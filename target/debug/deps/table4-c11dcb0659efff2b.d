@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4-c11dcb0659efff2b.d: crates/bench/src/bin/table4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4-c11dcb0659efff2b.rmeta: crates/bench/src/bin/table4.rs Cargo.toml
+
+crates/bench/src/bin/table4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-f655ca7c67ac3f4e.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-f655ca7c67ac3f4e: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-27628f478895c17a.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-27628f478895c17a: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

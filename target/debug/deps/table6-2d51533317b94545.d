@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table6-2d51533317b94545.d: crates/bench/src/bin/table6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable6-2d51533317b94545.rmeta: crates/bench/src/bin/table6.rs Cargo.toml
+
+crates/bench/src/bin/table6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

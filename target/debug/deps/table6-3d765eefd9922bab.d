@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-3d765eefd9922bab.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-3d765eefd9922bab: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

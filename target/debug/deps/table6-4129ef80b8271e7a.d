@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-4129ef80b8271e7a.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-4129ef80b8271e7a: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7-6dcd1b8f0f3c5ae2.d: crates/bench/src/bin/table7.rs
+
+/root/repo/target/debug/deps/table7-6dcd1b8f0f3c5ae2: crates/bench/src/bin/table7.rs
+
+crates/bench/src/bin/table7.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table7-73083773dc94a43d.d: crates/bench/src/bin/table7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable7-73083773dc94a43d.rmeta: crates/bench/src/bin/table7.rs Cargo.toml
+
+crates/bench/src/bin/table7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

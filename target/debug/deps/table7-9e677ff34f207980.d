@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table7-9e677ff34f207980.d: crates/bench/src/bin/table7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable7-9e677ff34f207980.rmeta: crates/bench/src/bin/table7.rs Cargo.toml
+
+crates/bench/src/bin/table7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

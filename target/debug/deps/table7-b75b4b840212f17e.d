@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7-b75b4b840212f17e.d: crates/bench/src/bin/table7.rs
+
+/root/repo/target/debug/deps/table7-b75b4b840212f17e: crates/bench/src/bin/table7.rs
+
+crates/bench/src/bin/table7.rs:

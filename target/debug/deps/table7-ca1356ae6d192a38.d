@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7-ca1356ae6d192a38.d: crates/bench/src/bin/table7.rs
+
+/root/repo/target/debug/deps/table7-ca1356ae6d192a38: crates/bench/src/bin/table7.rs
+
+crates/bench/src/bin/table7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8-09d8b483a0589095.d: crates/bench/src/bin/table8.rs
+
+/root/repo/target/debug/deps/table8-09d8b483a0589095: crates/bench/src/bin/table8.rs
+
+crates/bench/src/bin/table8.rs:

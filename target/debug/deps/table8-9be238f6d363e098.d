@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table8-9be238f6d363e098.d: crates/bench/src/bin/table8.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable8-9be238f6d363e098.rmeta: crates/bench/src/bin/table8.rs Cargo.toml
+
+crates/bench/src/bin/table8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8-bbfc2cd3427f94ab.d: crates/bench/src/bin/table8.rs
+
+/root/repo/target/debug/deps/table8-bbfc2cd3427f94ab: crates/bench/src/bin/table8.rs
+
+crates/bench/src/bin/table8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8-c16fde54e6332a74.d: crates/bench/src/bin/table8.rs
+
+/root/repo/target/debug/deps/table8-c16fde54e6332a74: crates/bench/src/bin/table8.rs
+
+crates/bench/src/bin/table8.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table9-04bf9fe502ebe0f0.d: crates/bench/src/bin/table9.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable9-04bf9fe502ebe0f0.rmeta: crates/bench/src/bin/table9.rs Cargo.toml
+
+crates/bench/src/bin/table9.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

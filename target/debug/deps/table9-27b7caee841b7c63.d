@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table9-27b7caee841b7c63.d: crates/bench/src/bin/table9.rs
+
+/root/repo/target/debug/deps/table9-27b7caee841b7c63: crates/bench/src/bin/table9.rs
+
+crates/bench/src/bin/table9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table9-a07d1ed952549dd1.d: crates/bench/src/bin/table9.rs
+
+/root/repo/target/debug/deps/table9-a07d1ed952549dd1: crates/bench/src/bin/table9.rs
+
+crates/bench/src/bin/table9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table9-f7f818120f77854d.d: crates/bench/src/bin/table9.rs
+
+/root/repo/target/debug/deps/table9-f7f818120f77854d: crates/bench/src/bin/table9.rs
+
+crates/bench/src/bin/table9.rs:

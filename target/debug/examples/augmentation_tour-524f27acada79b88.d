@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/augmentation_tour-524f27acada79b88.d: examples/augmentation_tour.rs
+
+/root/repo/target/debug/examples/augmentation_tour-524f27acada79b88: examples/augmentation_tour.rs
+
+examples/augmentation_tour.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/augmentation_tour-6d6aa70a3a43806e.d: examples/augmentation_tour.rs Cargo.toml
+
+/root/repo/target/debug/examples/libaugmentation_tour-6d6aa70a3a43806e.rmeta: examples/augmentation_tour.rs Cargo.toml
+
+examples/augmentation_tour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

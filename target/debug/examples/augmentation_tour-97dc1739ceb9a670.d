@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/augmentation_tour-97dc1739ceb9a670.d: examples/augmentation_tour.rs
+
+/root/repo/target/debug/examples/augmentation_tour-97dc1739ceb9a670: examples/augmentation_tour.rs
+
+examples/augmentation_tour.rs:

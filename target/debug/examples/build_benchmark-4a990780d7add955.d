@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/build_benchmark-4a990780d7add955.d: examples/build_benchmark.rs
+
+/root/repo/target/debug/examples/build_benchmark-4a990780d7add955: examples/build_benchmark.rs
+
+examples/build_benchmark.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/build_benchmark-55023e45939fe79a.d: examples/build_benchmark.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbuild_benchmark-55023e45939fe79a.rmeta: examples/build_benchmark.rs Cargo.toml
+
+examples/build_benchmark.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

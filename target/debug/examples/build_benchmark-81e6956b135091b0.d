@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/build_benchmark-81e6956b135091b0.d: examples/build_benchmark.rs
+
+/root/repo/target/debug/examples/build_benchmark-81e6956b135091b0: examples/build_benchmark.rs
+
+examples/build_benchmark.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/kb_explore-4fb8233ba6dfe7e3.d: examples/kb_explore.rs
+
+/root/repo/target/debug/examples/kb_explore-4fb8233ba6dfe7e3: examples/kb_explore.rs
+
+examples/kb_explore.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/kb_explore-a98c9672868eeef5.d: examples/kb_explore.rs
+
+/root/repo/target/debug/examples/kb_explore-a98c9672868eeef5: examples/kb_explore.rs
+
+examples/kb_explore.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/kb_explore-c6ca892bc0a80958.d: examples/kb_explore.rs Cargo.toml
+
+/root/repo/target/debug/examples/libkb_explore-c6ca892bc0a80958.rmeta: examples/kb_explore.rs Cargo.toml
+
+examples/kb_explore.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

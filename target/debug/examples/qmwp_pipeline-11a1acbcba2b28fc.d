@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/qmwp_pipeline-11a1acbcba2b28fc.d: examples/qmwp_pipeline.rs
+
+/root/repo/target/debug/examples/qmwp_pipeline-11a1acbcba2b28fc: examples/qmwp_pipeline.rs
+
+examples/qmwp_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/qmwp_pipeline-6a3024117b27c035.d: examples/qmwp_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libqmwp_pipeline-6a3024117b27c035.rmeta: examples/qmwp_pipeline.rs Cargo.toml
+
+examples/qmwp_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

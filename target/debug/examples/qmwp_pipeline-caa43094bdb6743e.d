@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/qmwp_pipeline-caa43094bdb6743e.d: examples/qmwp_pipeline.rs
+
+/root/repo/target/debug/examples/qmwp_pipeline-caa43094bdb6743e: examples/qmwp_pipeline.rs
+
+examples/qmwp_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-39f1f6df4034f863.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-39f1f6df4034f863: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-3a78e5231631b9b7.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-3a78e5231631b9b7: examples/quickstart.rs
+
+examples/quickstart.rs:

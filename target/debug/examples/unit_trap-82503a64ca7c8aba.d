@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/unit_trap-82503a64ca7c8aba.d: examples/unit_trap.rs
+
+/root/repo/target/debug/examples/unit_trap-82503a64ca7c8aba: examples/unit_trap.rs
+
+examples/unit_trap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/unit_trap-8d037447cd62ca58.d: examples/unit_trap.rs
+
+/root/repo/target/debug/examples/unit_trap-8d037447cd62ca58: examples/unit_trap.rs
+
+examples/unit_trap.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/unit_trap-942d3bcbb0e285e8.d: examples/unit_trap.rs Cargo.toml
+
+/root/repo/target/debug/examples/libunit_trap-942d3bcbb0e285e8.rmeta: examples/unit_trap.rs Cargo.toml
+
+examples/unit_trap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

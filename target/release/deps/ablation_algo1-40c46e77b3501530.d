@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_algo1-40c46e77b3501530.d: crates/bench/src/bin/ablation_algo1.rs
+
+/root/repo/target/release/deps/ablation_algo1-40c46e77b3501530: crates/bench/src/bin/ablation_algo1.rs
+
+crates/bench/src/bin/ablation_algo1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_algo1-791f0bef06a378ae.d: crates/bench/src/bin/ablation_algo1.rs
+
+/root/repo/target/release/deps/ablation_algo1-791f0bef06a378ae: crates/bench/src/bin/ablation_algo1.rs
+
+crates/bench/src/bin/ablation_algo1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_algo1-81fe3bef9df7a2c7.d: crates/bench/src/bin/ablation_algo1.rs
+
+/root/repo/target/release/deps/ablation_algo1-81fe3bef9df7a2c7: crates/bench/src/bin/ablation_algo1.rs
+
+crates/bench/src/bin/ablation_algo1.rs:

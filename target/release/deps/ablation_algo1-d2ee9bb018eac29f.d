@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_algo1-d2ee9bb018eac29f.d: crates/bench/src/bin/ablation_algo1.rs
+
+/root/repo/target/release/deps/ablation_algo1-d2ee9bb018eac29f: crates/bench/src/bin/ablation_algo1.rs
+
+crates/bench/src/bin/ablation_algo1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_linking-00723569f10b4e91.d: crates/bench/src/bin/ablation_linking.rs
+
+/root/repo/target/release/deps/ablation_linking-00723569f10b4e91: crates/bench/src/bin/ablation_linking.rs
+
+crates/bench/src/bin/ablation_linking.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_linking-2daea6e83c3b4979.d: crates/bench/src/bin/ablation_linking.rs
+
+/root/repo/target/release/deps/ablation_linking-2daea6e83c3b4979: crates/bench/src/bin/ablation_linking.rs
+
+crates/bench/src/bin/ablation_linking.rs:

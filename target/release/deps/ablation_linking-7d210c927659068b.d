@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_linking-7d210c927659068b.d: crates/bench/src/bin/ablation_linking.rs
+
+/root/repo/target/release/deps/ablation_linking-7d210c927659068b: crates/bench/src/bin/ablation_linking.rs
+
+crates/bench/src/bin/ablation_linking.rs:

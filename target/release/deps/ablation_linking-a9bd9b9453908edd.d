@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_linking-a9bd9b9453908edd.d: crates/bench/src/bin/ablation_linking.rs
+
+/root/repo/target/release/deps/ablation_linking-a9bd9b9453908edd: crates/bench/src/bin/ablation_linking.rs
+
+crates/bench/src/bin/ablation_linking.rs:

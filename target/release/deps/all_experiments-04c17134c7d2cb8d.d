@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_experiments-04c17134c7d2cb8d.d: crates/bench/src/bin/all_experiments.rs
+
+/root/repo/target/release/deps/all_experiments-04c17134c7d2cb8d: crates/bench/src/bin/all_experiments.rs
+
+crates/bench/src/bin/all_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_experiments-7a6943cffb182f82.d: crates/bench/src/bin/all_experiments.rs
+
+/root/repo/target/release/deps/all_experiments-7a6943cffb182f82: crates/bench/src/bin/all_experiments.rs
+
+crates/bench/src/bin/all_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_experiments-a726465f194cf94d.d: crates/bench/src/bin/all_experiments.rs
+
+/root/repo/target/release/deps/all_experiments-a726465f194cf94d: crates/bench/src/bin/all_experiments.rs
+
+crates/bench/src/bin/all_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_experiments-e3b6a0260cefaa3e.d: crates/bench/src/bin/all_experiments.rs
+
+/root/repo/target/release/deps/all_experiments-e3b6a0260cefaa3e: crates/bench/src/bin/all_experiments.rs
+
+crates/bench/src/bin/all_experiments.rs:

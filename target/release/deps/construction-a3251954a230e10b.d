@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/construction-a3251954a230e10b.d: crates/bench/benches/construction.rs
+
+/root/repo/target/release/deps/construction-a3251954a230e10b: crates/bench/benches/construction.rs
+
+crates/bench/benches/construction.rs:

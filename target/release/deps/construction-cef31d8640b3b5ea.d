@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/construction-cef31d8640b3b5ea.d: crates/bench/benches/construction.rs
+
+/root/repo/target/release/deps/construction-cef31d8640b3b5ea: crates/bench/benches/construction.rs
+
+crates/bench/benches/construction.rs:

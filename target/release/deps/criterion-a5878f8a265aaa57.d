@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-a5878f8a265aaa57.d: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-a5878f8a265aaa57: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

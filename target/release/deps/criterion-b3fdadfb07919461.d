@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-b3fdadfb07919461.d: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-b3fdadfb07919461.rlib: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-b3fdadfb07919461.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dim_bench-3ae86561b93f29f7.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/dim_bench-3ae86561b93f29f7: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

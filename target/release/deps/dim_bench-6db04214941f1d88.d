@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dim_bench-6db04214941f1d88.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdim_bench-6db04214941f1d88.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdim_bench-6db04214941f1d88.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dim_bench-fb1646e94bd403d6.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdim_bench-fb1646e94bd403d6.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdim_bench-fb1646e94bd403d6.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

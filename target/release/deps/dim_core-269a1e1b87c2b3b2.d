@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dim_core-269a1e1b87c2b3b2.d: crates/core/src/lib.rs crates/core/src/dimks.rs crates/core/src/experiments.rs crates/core/src/pipeline.rs
+
+/root/repo/target/release/deps/libdim_core-269a1e1b87c2b3b2.rlib: crates/core/src/lib.rs crates/core/src/dimks.rs crates/core/src/experiments.rs crates/core/src/pipeline.rs
+
+/root/repo/target/release/deps/libdim_core-269a1e1b87c2b3b2.rmeta: crates/core/src/lib.rs crates/core/src/dimks.rs crates/core/src/experiments.rs crates/core/src/pipeline.rs
+
+crates/core/src/lib.rs:
+crates/core/src/dimks.rs:
+crates/core/src/experiments.rs:
+crates/core/src/pipeline.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dim_core-3ad27b4394b6a35c.d: crates/core/src/lib.rs crates/core/src/dimks.rs crates/core/src/experiments.rs crates/core/src/pipeline.rs
+
+/root/repo/target/release/deps/libdim_core-3ad27b4394b6a35c.rlib: crates/core/src/lib.rs crates/core/src/dimks.rs crates/core/src/experiments.rs crates/core/src/pipeline.rs
+
+/root/repo/target/release/deps/libdim_core-3ad27b4394b6a35c.rmeta: crates/core/src/lib.rs crates/core/src/dimks.rs crates/core/src/experiments.rs crates/core/src/pipeline.rs
+
+crates/core/src/lib.rs:
+crates/core/src/dimks.rs:
+crates/core/src/experiments.rs:
+crates/core/src/pipeline.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/dim_core-849decf255169659.d: crates/core/src/lib.rs crates/core/src/dimks.rs crates/core/src/experiments.rs crates/core/src/pipeline.rs
+
+/root/repo/target/release/deps/dim_core-849decf255169659: crates/core/src/lib.rs crates/core/src/dimks.rs crates/core/src/experiments.rs crates/core/src/pipeline.rs
+
+crates/core/src/lib.rs:
+crates/core/src/dimks.rs:
+crates/core/src/experiments.rs:
+crates/core/src/pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dim_corpus-4ba6a0138f3b912e.d: crates/corpus/src/lib.rs crates/corpus/src/generate.rs crates/corpus/src/mlm.rs crates/corpus/src/noise.rs crates/corpus/src/sentence.rs
+
+/root/repo/target/release/deps/dim_corpus-4ba6a0138f3b912e: crates/corpus/src/lib.rs crates/corpus/src/generate.rs crates/corpus/src/mlm.rs crates/corpus/src/noise.rs crates/corpus/src/sentence.rs
+
+crates/corpus/src/lib.rs:
+crates/corpus/src/generate.rs:
+crates/corpus/src/mlm.rs:
+crates/corpus/src/noise.rs:
+crates/corpus/src/sentence.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dim_corpus-d753e0e0f78e9f57.d: crates/corpus/src/lib.rs crates/corpus/src/generate.rs crates/corpus/src/mlm.rs crates/corpus/src/noise.rs crates/corpus/src/sentence.rs
+
+/root/repo/target/release/deps/libdim_corpus-d753e0e0f78e9f57.rlib: crates/corpus/src/lib.rs crates/corpus/src/generate.rs crates/corpus/src/mlm.rs crates/corpus/src/noise.rs crates/corpus/src/sentence.rs
+
+/root/repo/target/release/deps/libdim_corpus-d753e0e0f78e9f57.rmeta: crates/corpus/src/lib.rs crates/corpus/src/generate.rs crates/corpus/src/mlm.rs crates/corpus/src/noise.rs crates/corpus/src/sentence.rs
+
+crates/corpus/src/lib.rs:
+crates/corpus/src/generate.rs:
+crates/corpus/src/mlm.rs:
+crates/corpus/src/noise.rs:
+crates/corpus/src/sentence.rs:

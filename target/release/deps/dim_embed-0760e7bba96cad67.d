@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dim_embed-0760e7bba96cad67.d: crates/embed/src/lib.rs crates/embed/src/model.rs crates/embed/src/tokenize.rs
+
+/root/repo/target/release/deps/libdim_embed-0760e7bba96cad67.rlib: crates/embed/src/lib.rs crates/embed/src/model.rs crates/embed/src/tokenize.rs
+
+/root/repo/target/release/deps/libdim_embed-0760e7bba96cad67.rmeta: crates/embed/src/lib.rs crates/embed/src/model.rs crates/embed/src/tokenize.rs
+
+crates/embed/src/lib.rs:
+crates/embed/src/model.rs:
+crates/embed/src/tokenize.rs:

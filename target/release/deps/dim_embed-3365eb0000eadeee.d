@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dim_embed-3365eb0000eadeee.d: crates/embed/src/lib.rs crates/embed/src/model.rs crates/embed/src/tokenize.rs
+
+/root/repo/target/release/deps/dim_embed-3365eb0000eadeee: crates/embed/src/lib.rs crates/embed/src/model.rs crates/embed/src/tokenize.rs
+
+crates/embed/src/lib.rs:
+crates/embed/src/model.rs:
+crates/embed/src/tokenize.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dim_kgraph-175b53353772ca0f.d: crates/kgraph/src/lib.rs crates/kgraph/src/store.rs crates/kgraph/src/synthesize.rs
+
+/root/repo/target/release/deps/libdim_kgraph-175b53353772ca0f.rlib: crates/kgraph/src/lib.rs crates/kgraph/src/store.rs crates/kgraph/src/synthesize.rs
+
+/root/repo/target/release/deps/libdim_kgraph-175b53353772ca0f.rmeta: crates/kgraph/src/lib.rs crates/kgraph/src/store.rs crates/kgraph/src/synthesize.rs
+
+crates/kgraph/src/lib.rs:
+crates/kgraph/src/store.rs:
+crates/kgraph/src/synthesize.rs:

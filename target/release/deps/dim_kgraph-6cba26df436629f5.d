@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dim_kgraph-6cba26df436629f5.d: crates/kgraph/src/lib.rs crates/kgraph/src/store.rs crates/kgraph/src/synthesize.rs
+
+/root/repo/target/release/deps/dim_kgraph-6cba26df436629f5: crates/kgraph/src/lib.rs crates/kgraph/src/store.rs crates/kgraph/src/synthesize.rs
+
+crates/kgraph/src/lib.rs:
+crates/kgraph/src/store.rs:
+crates/kgraph/src/synthesize.rs:

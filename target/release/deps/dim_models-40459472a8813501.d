@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/dim_models-40459472a8813501.d: crates/models/src/lib.rs crates/models/src/knowledge.rs crates/models/src/profile.rs crates/models/src/simllm.rs crates/models/src/tinylm/mod.rs crates/models/src/tinylm/choice.rs crates/models/src/tinylm/eqgen.rs crates/models/src/tinylm/extract.rs crates/models/src/tinylm/features.rs crates/models/src/tinylm/linear.rs crates/models/src/wolfram.rs
+
+/root/repo/target/release/deps/libdim_models-40459472a8813501.rlib: crates/models/src/lib.rs crates/models/src/knowledge.rs crates/models/src/profile.rs crates/models/src/simllm.rs crates/models/src/tinylm/mod.rs crates/models/src/tinylm/choice.rs crates/models/src/tinylm/eqgen.rs crates/models/src/tinylm/extract.rs crates/models/src/tinylm/features.rs crates/models/src/tinylm/linear.rs crates/models/src/wolfram.rs
+
+/root/repo/target/release/deps/libdim_models-40459472a8813501.rmeta: crates/models/src/lib.rs crates/models/src/knowledge.rs crates/models/src/profile.rs crates/models/src/simllm.rs crates/models/src/tinylm/mod.rs crates/models/src/tinylm/choice.rs crates/models/src/tinylm/eqgen.rs crates/models/src/tinylm/extract.rs crates/models/src/tinylm/features.rs crates/models/src/tinylm/linear.rs crates/models/src/wolfram.rs
+
+crates/models/src/lib.rs:
+crates/models/src/knowledge.rs:
+crates/models/src/profile.rs:
+crates/models/src/simllm.rs:
+crates/models/src/tinylm/mod.rs:
+crates/models/src/tinylm/choice.rs:
+crates/models/src/tinylm/eqgen.rs:
+crates/models/src/tinylm/extract.rs:
+crates/models/src/tinylm/features.rs:
+crates/models/src/tinylm/linear.rs:
+crates/models/src/wolfram.rs:

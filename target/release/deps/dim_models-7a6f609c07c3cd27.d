@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/dim_models-7a6f609c07c3cd27.d: crates/models/src/lib.rs crates/models/src/knowledge.rs crates/models/src/profile.rs crates/models/src/simllm.rs crates/models/src/tinylm/mod.rs crates/models/src/tinylm/choice.rs crates/models/src/tinylm/eqgen.rs crates/models/src/tinylm/extract.rs crates/models/src/tinylm/features.rs crates/models/src/tinylm/linear.rs crates/models/src/wolfram.rs
+
+/root/repo/target/release/deps/dim_models-7a6f609c07c3cd27: crates/models/src/lib.rs crates/models/src/knowledge.rs crates/models/src/profile.rs crates/models/src/simllm.rs crates/models/src/tinylm/mod.rs crates/models/src/tinylm/choice.rs crates/models/src/tinylm/eqgen.rs crates/models/src/tinylm/extract.rs crates/models/src/tinylm/features.rs crates/models/src/tinylm/linear.rs crates/models/src/wolfram.rs
+
+crates/models/src/lib.rs:
+crates/models/src/knowledge.rs:
+crates/models/src/profile.rs:
+crates/models/src/simllm.rs:
+crates/models/src/tinylm/mod.rs:
+crates/models/src/tinylm/choice.rs:
+crates/models/src/tinylm/eqgen.rs:
+crates/models/src/tinylm/extract.rs:
+crates/models/src/tinylm/features.rs:
+crates/models/src/tinylm/linear.rs:
+crates/models/src/wolfram.rs:

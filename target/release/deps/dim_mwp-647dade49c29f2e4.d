@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dim_mwp-647dade49c29f2e4.d: crates/mwp/src/lib.rs crates/mwp/src/augment.rs crates/mwp/src/equation.rs crates/mwp/src/gen.rs crates/mwp/src/problem.rs crates/mwp/src/solve.rs crates/mwp/src/stats.rs crates/mwp/src/tokenize.rs
+
+/root/repo/target/release/deps/libdim_mwp-647dade49c29f2e4.rlib: crates/mwp/src/lib.rs crates/mwp/src/augment.rs crates/mwp/src/equation.rs crates/mwp/src/gen.rs crates/mwp/src/problem.rs crates/mwp/src/solve.rs crates/mwp/src/stats.rs crates/mwp/src/tokenize.rs
+
+/root/repo/target/release/deps/libdim_mwp-647dade49c29f2e4.rmeta: crates/mwp/src/lib.rs crates/mwp/src/augment.rs crates/mwp/src/equation.rs crates/mwp/src/gen.rs crates/mwp/src/problem.rs crates/mwp/src/solve.rs crates/mwp/src/stats.rs crates/mwp/src/tokenize.rs
+
+crates/mwp/src/lib.rs:
+crates/mwp/src/augment.rs:
+crates/mwp/src/equation.rs:
+crates/mwp/src/gen.rs:
+crates/mwp/src/problem.rs:
+crates/mwp/src/solve.rs:
+crates/mwp/src/stats.rs:
+crates/mwp/src/tokenize.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dim_par-32ce83baddb66085.d: crates/par/src/lib.rs
+
+/root/repo/target/release/deps/libdim_par-32ce83baddb66085.rlib: crates/par/src/lib.rs
+
+/root/repo/target/release/deps/libdim_par-32ce83baddb66085.rmeta: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

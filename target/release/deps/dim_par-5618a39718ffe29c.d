@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dim_par-5618a39718ffe29c.d: crates/par/src/lib.rs
+
+/root/repo/target/release/deps/dim_par-5618a39718ffe29c: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dimension_perception-4b205f0f5df558b7.d: src/lib.rs
+
+/root/repo/target/release/deps/dimension_perception-4b205f0f5df558b7: src/lib.rs
+
+src/lib.rs:

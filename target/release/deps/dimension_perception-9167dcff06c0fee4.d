@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dimension_perception-9167dcff06c0fee4.d: src/lib.rs
+
+/root/repo/target/release/deps/libdimension_perception-9167dcff06c0fee4.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdimension_perception-9167dcff06c0fee4.rmeta: src/lib.rs
+
+src/lib.rs:

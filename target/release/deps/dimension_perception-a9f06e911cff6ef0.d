@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dimension_perception-a9f06e911cff6ef0.d: src/lib.rs
+
+/root/repo/target/release/deps/libdimension_perception-a9f06e911cff6ef0.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdimension_perception-a9f06e911cff6ef0.rmeta: src/lib.rs
+
+src/lib.rs:

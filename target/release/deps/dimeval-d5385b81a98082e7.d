@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dimeval-d5385b81a98082e7.d: crates/dimeval/src/lib.rs crates/dimeval/src/algo1.rs crates/dimeval/src/algo2.rs crates/dimeval/src/benchmark.rs crates/dimeval/src/cot.rs crates/dimeval/src/gen.rs crates/dimeval/src/metrics.rs crates/dimeval/src/task.rs
+
+/root/repo/target/release/deps/dimeval-d5385b81a98082e7: crates/dimeval/src/lib.rs crates/dimeval/src/algo1.rs crates/dimeval/src/algo2.rs crates/dimeval/src/benchmark.rs crates/dimeval/src/cot.rs crates/dimeval/src/gen.rs crates/dimeval/src/metrics.rs crates/dimeval/src/task.rs
+
+crates/dimeval/src/lib.rs:
+crates/dimeval/src/algo1.rs:
+crates/dimeval/src/algo2.rs:
+crates/dimeval/src/benchmark.rs:
+crates/dimeval/src/cot.rs:
+crates/dimeval/src/gen.rs:
+crates/dimeval/src/metrics.rs:
+crates/dimeval/src/task.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dimks-5792befc793fe4e0.d: src/bin/dimks.rs
+
+/root/repo/target/release/deps/dimks-5792befc793fe4e0: src/bin/dimks.rs
+
+src/bin/dimks.rs:

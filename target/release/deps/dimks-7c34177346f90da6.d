@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dimks-7c34177346f90da6.d: src/bin/dimks.rs
+
+/root/repo/target/release/deps/dimks-7c34177346f90da6: src/bin/dimks.rs
+
+src/bin/dimks.rs:

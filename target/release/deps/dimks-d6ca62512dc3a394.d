@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dimks-d6ca62512dc3a394.d: src/bin/dimks.rs
+
+/root/repo/target/release/deps/dimks-d6ca62512dc3a394: src/bin/dimks.rs
+
+src/bin/dimks.rs:

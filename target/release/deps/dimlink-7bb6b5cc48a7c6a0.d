@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dimlink-7bb6b5cc48a7c6a0.d: crates/dimlink/src/lib.rs crates/dimlink/src/annotate.rs crates/dimlink/src/lev.rs crates/dimlink/src/linker.rs crates/dimlink/src/numparse.rs
+
+/root/repo/target/release/deps/dimlink-7bb6b5cc48a7c6a0: crates/dimlink/src/lib.rs crates/dimlink/src/annotate.rs crates/dimlink/src/lev.rs crates/dimlink/src/linker.rs crates/dimlink/src/numparse.rs
+
+crates/dimlink/src/lib.rs:
+crates/dimlink/src/annotate.rs:
+crates/dimlink/src/lev.rs:
+crates/dimlink/src/linker.rs:
+crates/dimlink/src/numparse.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dimlink-d5e768d7d5ff6fd2.d: crates/dimlink/src/lib.rs crates/dimlink/src/annotate.rs crates/dimlink/src/lev.rs crates/dimlink/src/linker.rs crates/dimlink/src/numparse.rs
+
+/root/repo/target/release/deps/libdimlink-d5e768d7d5ff6fd2.rlib: crates/dimlink/src/lib.rs crates/dimlink/src/annotate.rs crates/dimlink/src/lev.rs crates/dimlink/src/linker.rs crates/dimlink/src/numparse.rs
+
+/root/repo/target/release/deps/libdimlink-d5e768d7d5ff6fd2.rmeta: crates/dimlink/src/lib.rs crates/dimlink/src/annotate.rs crates/dimlink/src/lev.rs crates/dimlink/src/linker.rs crates/dimlink/src/numparse.rs
+
+crates/dimlink/src/lib.rs:
+crates/dimlink/src/annotate.rs:
+crates/dimlink/src/lev.rs:
+crates/dimlink/src/linker.rs:
+crates/dimlink/src/numparse.rs:

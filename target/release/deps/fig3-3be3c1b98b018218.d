@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-3be3c1b98b018218.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-3be3c1b98b018218: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-4860885272beef15.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-4860885272beef15: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

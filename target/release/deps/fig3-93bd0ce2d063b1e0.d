@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-93bd0ce2d063b1e0.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-93bd0ce2d063b1e0: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-b8758d736fc94eb8.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-b8758d736fc94eb8: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

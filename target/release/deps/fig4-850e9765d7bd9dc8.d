@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-850e9765d7bd9dc8.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-850e9765d7bd9dc8: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

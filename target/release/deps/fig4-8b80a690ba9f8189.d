@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-8b80a690ba9f8189.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-8b80a690ba9f8189: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

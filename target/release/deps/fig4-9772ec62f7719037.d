@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-9772ec62f7719037.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-9772ec62f7719037: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

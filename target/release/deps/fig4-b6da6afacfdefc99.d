@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-b6da6afacfdefc99.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-b6da6afacfdefc99: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-14081d3119ed7162.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-14081d3119ed7162: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

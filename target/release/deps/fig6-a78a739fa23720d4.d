@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-a78a739fa23720d4.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-a78a739fa23720d4: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

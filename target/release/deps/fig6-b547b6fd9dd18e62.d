@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-b547b6fd9dd18e62.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-b547b6fd9dd18e62: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

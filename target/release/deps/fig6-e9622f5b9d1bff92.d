@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-e9622f5b9d1bff92.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-e9622f5b9d1bff92: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

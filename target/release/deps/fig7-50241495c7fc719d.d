@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-50241495c7fc719d.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-50241495c7fc719d: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-5358bcb310974ebe.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-5358bcb310974ebe: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

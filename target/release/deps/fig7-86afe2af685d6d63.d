@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-86afe2af685d6d63.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-86afe2af685d6d63: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-934afd08c1529cb9.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-934afd08c1529cb9: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kb_ops-9f56fc821307c50a.d: crates/bench/benches/kb_ops.rs
+
+/root/repo/target/release/deps/kb_ops-9f56fc821307c50a: crates/bench/benches/kb_ops.rs
+
+crates/bench/benches/kb_ops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kb_ops-cb4160e4f4ce34dd.d: crates/bench/benches/kb_ops.rs
+
+/root/repo/target/release/deps/kb_ops-cb4160e4f4ce34dd: crates/bench/benches/kb_ops.rs
+
+crates/bench/benches/kb_ops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/linking-2242ba0fa3435ee1.d: crates/bench/benches/linking.rs
+
+/root/repo/target/release/deps/linking-2242ba0fa3435ee1: crates/bench/benches/linking.rs
+
+crates/bench/benches/linking.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/linking-a2eccc14c3305026.d: crates/bench/benches/linking.rs
+
+/root/repo/target/release/deps/linking-a2eccc14c3305026: crates/bench/benches/linking.rs
+
+crates/bench/benches/linking.rs:

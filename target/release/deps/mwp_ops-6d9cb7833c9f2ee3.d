@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mwp_ops-6d9cb7833c9f2ee3.d: crates/bench/benches/mwp_ops.rs
+
+/root/repo/target/release/deps/mwp_ops-6d9cb7833c9f2ee3: crates/bench/benches/mwp_ops.rs
+
+crates/bench/benches/mwp_ops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mwp_ops-998aefe139dde46f.d: crates/bench/benches/mwp_ops.rs
+
+/root/repo/target/release/deps/mwp_ops-998aefe139dde46f: crates/bench/benches/mwp_ops.rs
+
+crates/bench/benches/mwp_ops.rs:

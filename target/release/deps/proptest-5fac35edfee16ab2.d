@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-5fac35edfee16ab2.d: crates/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-5fac35edfee16ab2: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-684fc9661a9a408a.d: crates/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-684fc9661a9a408a.rlib: crates/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-684fc9661a9a408a.rmeta: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-c2ddebd91760a162.d: crates/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-c2ddebd91760a162.rlib: crates/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-c2ddebd91760a162.rmeta: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-cb5daf453a722abe.d: crates/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-cb5daf453a722abe: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

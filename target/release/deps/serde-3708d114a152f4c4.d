@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-3708d114a152f4c4.d: crates/serde/src/lib.rs
+
+/root/repo/target/release/deps/serde-3708d114a152f4c4: crates/serde/src/lib.rs
+
+crates/serde/src/lib.rs:

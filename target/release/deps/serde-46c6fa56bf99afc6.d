@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-46c6fa56bf99afc6.d: crates/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-46c6fa56bf99afc6.rlib: crates/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-46c6fa56bf99afc6.rmeta: crates/serde/src/lib.rs
+
+crates/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-410d0034b14c77ef.d: crates/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/serde_derive-410d0034b14c77ef: crates/serde_derive/src/lib.rs
+
+crates/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-96caeda49ab8ab9a.d: crates/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-96caeda49ab8ab9a.so: crates/serde_derive/src/lib.rs
+
+crates/serde_derive/src/lib.rs:

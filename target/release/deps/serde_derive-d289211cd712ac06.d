@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-d289211cd712ac06.d: crates/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-d289211cd712ac06.so: crates/serde_derive/src/lib.rs
+
+crates/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-16aeb762df3011da.d: crates/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-16aeb762df3011da.rlib: crates/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-16aeb762df3011da.rmeta: crates/serde_json/src/lib.rs
+
+crates/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_json-4a6e5cb9c721bb62.d: crates/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/serde_json-4a6e5cb9c721bb62: crates/serde_json/src/lib.rs
+
+crates/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-1edd2a6778933470.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-1edd2a6778933470: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-7af4117aeb4fc99b.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-7af4117aeb4fc99b: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

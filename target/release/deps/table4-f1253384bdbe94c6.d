@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-f1253384bdbe94c6.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-f1253384bdbe94c6: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

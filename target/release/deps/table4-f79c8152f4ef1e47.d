@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-f79c8152f4ef1e47.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-f79c8152f4ef1e47: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6-081379cd4e53481a.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/release/deps/table6-081379cd4e53481a: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

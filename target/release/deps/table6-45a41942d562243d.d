@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6-45a41942d562243d.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/release/deps/table6-45a41942d562243d: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

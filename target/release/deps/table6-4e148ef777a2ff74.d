@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6-4e148ef777a2ff74.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/release/deps/table6-4e148ef777a2ff74: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6-c7f1bfb6660ef447.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/release/deps/table6-c7f1bfb6660ef447: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

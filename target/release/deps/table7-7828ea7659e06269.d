@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table7-7828ea7659e06269.d: crates/bench/src/bin/table7.rs
+
+/root/repo/target/release/deps/table7-7828ea7659e06269: crates/bench/src/bin/table7.rs
+
+crates/bench/src/bin/table7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table7-f1e809edf1678952.d: crates/bench/src/bin/table7.rs
+
+/root/repo/target/release/deps/table7-f1e809edf1678952: crates/bench/src/bin/table7.rs
+
+crates/bench/src/bin/table7.rs:

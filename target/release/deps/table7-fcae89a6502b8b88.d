@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table7-fcae89a6502b8b88.d: crates/bench/src/bin/table7.rs
+
+/root/repo/target/release/deps/table7-fcae89a6502b8b88: crates/bench/src/bin/table7.rs
+
+crates/bench/src/bin/table7.rs:

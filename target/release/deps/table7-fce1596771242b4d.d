@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table7-fce1596771242b4d.d: crates/bench/src/bin/table7.rs
+
+/root/repo/target/release/deps/table7-fce1596771242b4d: crates/bench/src/bin/table7.rs
+
+crates/bench/src/bin/table7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table8-0ea30feb018ec750.d: crates/bench/src/bin/table8.rs
+
+/root/repo/target/release/deps/table8-0ea30feb018ec750: crates/bench/src/bin/table8.rs
+
+crates/bench/src/bin/table8.rs:

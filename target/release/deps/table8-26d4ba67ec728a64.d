@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table8-26d4ba67ec728a64.d: crates/bench/src/bin/table8.rs
+
+/root/repo/target/release/deps/table8-26d4ba67ec728a64: crates/bench/src/bin/table8.rs
+
+crates/bench/src/bin/table8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table8-85cab9d7c42b65d4.d: crates/bench/src/bin/table8.rs
+
+/root/repo/target/release/deps/table8-85cab9d7c42b65d4: crates/bench/src/bin/table8.rs
+
+crates/bench/src/bin/table8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table8-f421856e1ba38bf1.d: crates/bench/src/bin/table8.rs
+
+/root/repo/target/release/deps/table8-f421856e1ba38bf1: crates/bench/src/bin/table8.rs
+
+crates/bench/src/bin/table8.rs:

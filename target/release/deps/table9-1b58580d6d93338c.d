@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table9-1b58580d6d93338c.d: crates/bench/src/bin/table9.rs
+
+/root/repo/target/release/deps/table9-1b58580d6d93338c: crates/bench/src/bin/table9.rs
+
+crates/bench/src/bin/table9.rs:

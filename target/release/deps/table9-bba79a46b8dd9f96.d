@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table9-bba79a46b8dd9f96.d: crates/bench/src/bin/table9.rs
+
+/root/repo/target/release/deps/table9-bba79a46b8dd9f96: crates/bench/src/bin/table9.rs
+
+crates/bench/src/bin/table9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table9-de2a0fa5a6a1d9ff.d: crates/bench/src/bin/table9.rs
+
+/root/repo/target/release/deps/table9-de2a0fa5a6a1d9ff: crates/bench/src/bin/table9.rs
+
+crates/bench/src/bin/table9.rs:

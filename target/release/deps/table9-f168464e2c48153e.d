@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table9-f168464e2c48153e.d: crates/bench/src/bin/table9.rs
+
+/root/repo/target/release/deps/table9-f168464e2c48153e: crates/bench/src/bin/table9.rs
+
+crates/bench/src/bin/table9.rs:

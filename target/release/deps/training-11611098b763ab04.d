@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/training-11611098b763ab04.d: crates/bench/benches/training.rs
+
+/root/repo/target/release/deps/training-11611098b763ab04: crates/bench/benches/training.rs
+
+crates/bench/benches/training.rs:

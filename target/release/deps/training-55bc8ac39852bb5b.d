@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/training-55bc8ac39852bb5b.d: crates/bench/benches/training.rs
+
+/root/repo/target/release/deps/training-55bc8ac39852bb5b: crates/bench/benches/training.rs
+
+crates/bench/benches/training.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libdim_embed.rlib: /root/repo/crates/embed/src/lib.rs /root/repo/crates/embed/src/model.rs /root/repo/crates/embed/src/tokenize.rs /root/repo/crates/rand/src/lib.rs

@@ -1,0 +1,1 @@
+/root/repo/target/release/libproptest.rlib: /root/repo/crates/proptest/src/lib.rs /root/repo/crates/rand/src/lib.rs

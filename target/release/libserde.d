@@ -1,0 +1,1 @@
+/root/repo/target/release/libserde.rlib: /root/repo/crates/serde/src/lib.rs /root/repo/crates/serde_derive/src/lib.rs

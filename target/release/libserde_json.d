@@ -1,0 +1,1 @@
+/root/repo/target/release/libserde_json.rlib: /root/repo/crates/serde/src/lib.rs /root/repo/crates/serde_derive/src/lib.rs /root/repo/crates/serde_json/src/lib.rs
