@@ -1,8 +1,10 @@
-.PHONY: verify build test clippy smoke bench-baseline
+.PHONY: verify build test clippy smoke golden no-artifacts bench-baseline
 
-# Full offline verification: release build, workspace tests, lints, and a
-# quick end-to-end smoke of the experiment suite. No network required.
-verify: build test clippy smoke
+# Full offline verification: release build, workspace tests, lints, the
+# golden-results harness, a quick end-to-end smoke of the experiment suite
+# (with the metrics layer live), and a check that no build artifacts are
+# tracked. No network required.
+verify: build test clippy golden smoke no-artifacts
 
 build:
 	cargo build --workspace --release
@@ -13,8 +15,20 @@ test:
 clippy:
 	cargo clippy --workspace --all-targets -- -D warnings
 
+# Byte-compares regenerated paper outputs against the committed transcripts
+# in results/. After an intentional output change, refresh with
+#   UPDATE_GOLDEN=1 cargo test --test golden_results
+# and review the results/ diff.
+golden:
+	cargo test --release --test golden_results -q
+
 smoke:
-	cargo run --release -p dim-bench --bin all_experiments -- --quick
+	cargo run --release -p dim-bench --bin all_experiments -- --quick --obs
+
+# target/ must never be committed (it is in .gitignore; this catches
+# force-adds and historical regressions).
+no-artifacts:
+	test -z "$$(git ls-files target/)"
 
 # Regenerates BENCH_baseline.json (criterion micro-benchmarks with JSON
 # aggregation; see EXPERIMENTS.md "Micro-benchmark methodology").

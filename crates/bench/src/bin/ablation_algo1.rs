@@ -1,39 +1,8 @@
 //! Ablation of Algorithm 1's masked-LM filtering stage: annotation
 //! precision with and without the filter, and the review workload.
 
-use dim_bench::{pct, rule};
-use dimension_perception::corpus::{generate, CorpusConfig};
-use dimension_perception::eval::algo1::{self, Algo1Config};
-use dimension_perception::kb::DimUnitKb;
-use dimension_perception::link::{Annotator, LinkerConfig, UnitLinker};
-
 fn main() {
-    let kb = DimUnitKb::shared();
-    let corpus = generate(&kb, &CorpusConfig { sentences: 600, seed: 505 });
-    let annotator = Annotator::new(UnitLinker::new(kb, None, LinkerConfig::default()));
-    let mlm = algo1::train_filter(&corpus);
-    println!("Algorithm 1 ablation — masked-LM filter thresholds");
-    rule(78);
-    println!("{:<12} {:>16} {:>16} {:>10} {:>12}", "threshold", "stage-1 prec", "stage-2 prec", "removed", "review work");
-    rule(78);
-    for threshold in [0.0, 0.05, 0.18, 0.4, 0.7] {
-        let out = algo1::semi_automated_annotate(
-            &annotator,
-            &mlm,
-            &corpus,
-            Algo1Config { mlm_threshold: threshold, ..Default::default() },
-        );
-        println!(
-            "{:<12} {:>15}% {:>15}% {:>10} {:>12}",
-            threshold,
-            pct(out.stage1_precision),
-            pct(out.stage2_precision),
-            out.removed_by_filter,
-            out.corrected_by_review
-        );
-    }
-    rule(78);
-    println!("threshold 0 disables the filter (stage-2 = stage-1); the paper's");
-    println!("automated accuracy is 82% — moderate thresholds recover precision");
-    println!("by dropping device-code decoys at small recall cost.");
+    dim_bench::obs_init();
+    print!("{}", dim_bench::render::ablation_algo1());
+    dim_bench::obs_finish();
 }

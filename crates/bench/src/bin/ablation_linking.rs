@@ -6,69 +6,8 @@
 //! dropped characters (`kilometr`), ambiguous short forms — and measures
 //! how each scoring factor recovers the right unit.
 
-use dim_bench::{pct, rule};
-use dimension_perception::corpus::{generate, CorpusConfig};
-use dimension_perception::kb::DimUnitKb;
-use dimension_perception::link::{LinkerConfig, UnitLinker};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-fn perturb(rng: &mut StdRng, mention: &str) -> String {
-    match rng.gen_range(0..10) {
-        // Lowercase (symbol case is lost in casual text).
-        0..=3 => mention.to_lowercase(),
-        // Drop one character (typo), only for longer mentions.
-        4..=6 if mention.chars().count() > 3 => {
-            let chars: Vec<char> = mention.chars().collect();
-            let drop = rng.gen_range(1..chars.len());
-            chars
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| *i != drop)
-                .map(|(_, c)| c)
-                .collect()
-        }
-        // Keep exact.
-        _ => mention.to_string(),
-    }
-}
-
 fn main() {
-    let kb = DimUnitKb::shared();
-    let corpus = generate(&kb, &CorpusConfig { sentences: 500, seed: 404 });
-    let variants: [(&str, LinkerConfig); 4] = [
-        ("mention only (Pr(u|m))", LinkerConfig { use_prior: false, use_context: false, ..Default::default() }),
-        ("+ prior (Pr(u))", LinkerConfig { use_context: false, ..Default::default() }),
-        ("+ context (Pr(u|c))", LinkerConfig { use_prior: false, ..Default::default() }),
-        ("full model", LinkerConfig::default()),
-    ];
-    println!("Linking ablation — argmax accuracy on perturbed corpus mentions");
-    println!("(40% lowercased, 30% one-character typos, 30% exact)");
-    rule(64);
-    for (label, config) in variants {
-        let linker = UnitLinker::new(kb.clone(), None, config);
-        let mut rng = StdRng::seed_from_u64(7);
-        let mut total = 0usize;
-        let mut correct = 0usize;
-        for sent in &corpus {
-            for q in &sent.quantities {
-                total += 1;
-                let noisy = perturb(&mut rng, &q.unit_surface);
-                if let Some(best) = linker.best(&noisy, &sent.text) {
-                    if kb.unit(best.unit).code == q.unit_code {
-                        correct += 1;
-                    }
-                }
-            }
-        }
-        let acc = correct as f64 / total as f64;
-        println!("{label:<26} {:>7}%   ({correct}/{total})", pct(acc));
-    }
-    rule(64);
-    println!("Finding: with a complete naming dictionary the mention term");
-    println!("Pr(u|m) already resolves ~99% of mentions; the prior and context");
-    println!("terms only matter for genuinely ambiguous surfaces (degree, 度,");
-    println!("lost-case mw) and can even mislead when the local corpus skews");
-    println!("away from global unit frequency — the classic prior/likelihood");
-    println!("trade-off the paper's product formulation embodies.");
+    dim_bench::obs_init();
+    print!("{}", dim_bench::render::ablation_linking());
+    dim_bench::obs_finish();
 }

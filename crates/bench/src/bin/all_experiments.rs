@@ -1,16 +1,36 @@
-//! Runs every table/figure harness in sequence (pass --quick for a fast pass).
+//! Runs every table/figure harness in sequence, in one process (pass
+//! `--quick` for a fast pass). Running in-process — rather than spawning
+//! the per-table binaries — lets one obs registry observe the whole suite:
+//! with `--obs`, a machine-readable metrics report is written to
+//! `obs_report.json` (or `--obs-out PATH`) and the human table goes to
+//! stderr. stdout is byte-identical to the old spawn-per-binary harness.
 
-use std::process::Command;
+use dim_bench::render;
+
+type Stage<'a> = (&'a str, Box<dyn Fn() -> String>);
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    for bin in ["table4", "fig3", "fig4", "table6", "table7", "table8", "table9", "fig6", "fig7"] {
-        println!("\n================= {bin} =================\n");
-        let mut cmd = Command::new(std::env::current_exe().unwrap().parent().unwrap().join(bin));
-        if quick {
-            cmd.arg("--quick");
-        }
-        let status = cmd.status().expect("run harness binary");
-        assert!(status.success(), "{bin} failed");
+    dim_bench::obs_init();
+    let cfg = dim_bench::config_from_args();
+    let stages: [Stage; 9] = [
+        ("table4", Box::new(render::table4)),
+        ("fig3", Box::new(render::fig3)),
+        ("fig4", Box::new(render::fig4)),
+        ("table6", Box::new(move || render::table6(&cfg))),
+        ("table7", Box::new(move || render::table7(&cfg))),
+        ("table8", Box::new(move || render::table8(&cfg))),
+        ("table9", Box::new(move || render::table9(&cfg))),
+        ("fig6", Box::new(move || render::fig6(&cfg))),
+        ("fig7", Box::new(move || render::fig7(&cfg))),
+    ];
+    for (name, run) in stages {
+        println!("\n================= {name} =================\n");
+        print!("{}", run());
     }
+    if dim_obs::enabled() {
+        let path = dim_bench::obs_out_flag().unwrap_or_else(|| "obs_report.json".to_string());
+        std::fs::write(&path, dim_obs::snapshot().to_json()).expect("write obs report");
+        eprintln!("obs: report written to {path}");
+    }
+    dim_bench::obs_finish();
 }

@@ -1,18 +1,7 @@
 //! Regenerates Fig. 3: popular units sorted by the frequency feature.
 
-use dim_bench::rule;
-use dim_core::experiments::fig3;
-
 fn main() {
-    let k = 20;
-    println!("Fig. 3 — top {k} units by Freq(u) (Eq. 1-2 over synthetic popularity sources)");
-    rule(56);
-    for (i, (label, freq)) in fig3(k).into_iter().enumerate() {
-        let bar = "#".repeat((freq * 40.0).round() as usize);
-        println!("{:>2}. {:<22} {:>6.3}  {}", i + 1, label, freq, bar);
-    }
-    rule(56);
-    println!("Paper shape: everyday units (metre, percent, hour, kilogram)");
-    println!("dominate; rare scientific units trail (the centimetre > decimetre");
-    println!("property is asserted by dimkb's test suite).");
+    dim_bench::obs_init();
+    print!("{}", dim_bench::render::fig3());
+    dim_bench::obs_finish();
 }

@@ -1,18 +1,7 @@
 //! Regenerates Fig. 4: top quantity kinds and their top-five units.
 
-use dim_bench::rule;
-use dim_core::experiments::fig4;
-
 fn main() {
-    let k = 14;
-    println!("Fig. 4 — top {k} quantity kinds (freq = mean of top-5 unit freqs)");
-    rule(86);
-    for row in fig4(k) {
-        let units: Vec<String> =
-            row.units.iter().map(|(u, f)| format!("{u} ({f:.2})")).collect();
-        println!("{:<22} {:>5.3}  {}", row.kind, row.freq, units.join(", "));
-    }
-    rule(86);
-    println!("Paper shape: everyday kinds (Length, Time, Mass, Ratio) lead with");
-    println!("their common units; each kind lists its five most frequent units.");
+    dim_bench::obs_init();
+    print!("{}", dim_bench::render::fig4());
+    dim_bench::obs_finish();
 }

@@ -1,18 +1,8 @@
 //! Regenerates Fig. 6: DimPerc accuracy on Q-Ape210k vs augmentation rate η.
 
-use dim_bench::{config_from_args, pct, rule};
-use dim_core::experiments::fig6;
-
 fn main() {
-    let cfg = config_from_args();
-    let etas = [0.0, 0.25, 0.5, 0.75, 1.0];
-    println!("Fig. 6 — accuracy of DimPerc on Q-Ape210k vs data augmentation rate η");
-    rule(54);
-    for (eta, acc) in fig6(&cfg, &etas) {
-        let bar = "#".repeat((acc * 50.0).round() as usize);
-        println!("η = {eta:<5} accuracy = {:>6}%  {bar}", pct(acc));
-    }
-    rule(54);
-    println!("Paper shape: accuracy rises with η and saturates at η ≥ 0.5;");
-    println!("the paper recommends η = 0.5 as the cost/benefit sweet spot.");
+    dim_bench::obs_init();
+    let cfg = dim_bench::config_from_args();
+    print!("{}", dim_bench::render::fig6(&cfg));
+    dim_bench::obs_finish();
 }

@@ -1,24 +1,9 @@
 //! Regenerates Fig. 7: training curves with different base models and
 //! tokenization strategies on Q-Ape210k.
 
-use dim_bench::{config_from_args, pct, rule};
-use dim_core::experiments::fig7;
-
 fn main() {
-    let cfg = config_from_args();
-    println!("Fig. 7 — Q-Ape210k accuracy vs training steps (base model × equation tokenization)");
-    rule(76);
-    for curve in fig7(&cfg, 8) {
-        println!("{}:", curve.label);
-        for (step, acc) in &curve.points {
-            let bar = "#".repeat((acc * 48.0).round() as usize);
-            println!("  step {:>6}: {:>6}%  {bar}", step, pct(*acc));
-        }
-        println!();
-    }
-    rule(76);
-    println!("Paper shapes: DimPerc starts above the base model (dimension knowledge");
-    println!("transfers) and both improve with steps; equation (digit) tokenization");
-    println!("consistently *underperforms* regular tokenization — the paper's negative");
-    println!("result, reproduced here through longer decoded sequences.");
+    dim_bench::obs_init();
+    let cfg = dim_bench::config_from_args();
+    print!("{}", dim_bench::render::fig7(&cfg));
+    dim_bench::obs_finish();
 }

@@ -1,30 +1,7 @@
 //! Regenerates Table IV: knowledge-base statistics comparison.
 
-use dim_bench::{rule, PAPER_TABLE4};
-use dim_core::experiments::table4;
-
 fn main() {
-    println!("Table IV — statistics of DimUnitKB vs UoM and WolframAlpha");
-    rule(78);
-    println!(
-        "{:<14} {:>8} {:>14} {:>12} {:>8} {:>6}",
-        "Resource", "#Units", "#QuantityKind", "#DimVector", "Lang", "Freq"
-    );
-    rule(78);
-    for row in table4() {
-        println!(
-            "{:<14} {:>8} {:>14} {:>12} {:>8} {:>6}",
-            row.name,
-            row.units,
-            row.kinds,
-            if row.dims == 0 { "-".to_string() } else { row.dims.to_string() },
-            row.lang,
-            if row.freq { "yes" } else { "no" }
-        );
-    }
-    rule(78);
-    println!("Paper reported:");
-    for (name, units, kinds, dims, lang, freq) in PAPER_TABLE4 {
-        println!("{name:<14} {units:>8} {kinds:>14} {dims:>12} {lang:>8} {freq:>6}");
-    }
+    dim_bench::obs_init();
+    print!("{}", dim_bench::render::table4());
+    dim_bench::obs_finish();
 }

@@ -1,35 +1,8 @@
 //! Regenerates Table VI: statistics of the MWP evaluation datasets.
 
-use dim_bench::{config_from_args, rule, PAPER_TABLE6};
-use dim_core::experiments::table6;
-use dim_mwp::OP_BUCKET_LABELS;
-
 fn main() {
-    let cfg = config_from_args();
-    println!("Table VI — statistics of evaluation datasets on quantitative reasoning");
-    rule(70);
-    println!(
-        "{:<12} {:>6} {:>7} {:>9} {:>9} {:>9} {:>9}",
-        "Dataset", "#Num", "#Units",
-        OP_BUCKET_LABELS[0], OP_BUCKET_LABELS[1], OP_BUCKET_LABELS[2], OP_BUCKET_LABELS[3]
-    );
-    rule(70);
-    for (name, s) in table6(&cfg) {
-        println!(
-            "{:<12} {:>6} {:>7} {:>9} {:>9} {:>9} {:>9}",
-            name, s.problems, s.units,
-            s.op_buckets[0], s.op_buckets[1], s.op_buckets[2], s.op_buckets[3]
-        );
-    }
-    rule(70);
-    println!("Paper reported:");
-    for (name, num, units, b) in PAPER_TABLE6 {
-        println!(
-            "{:<12} {:>6} {:>7} {:>9} {:>9} {:>9} {:>9}",
-            name, num, units, b[0], b[1], b[2], b[3]
-        );
-    }
-    println!();
-    println!("Shape to hold: Q-sets have more distinct units and shift mass into");
-    println!("the higher operation buckets (unit conversions add steps).");
+    dim_bench::obs_init();
+    let cfg = dim_bench::config_from_args();
+    print!("{}", dim_bench::render::table6(&cfg));
+    dim_bench::obs_finish();
 }

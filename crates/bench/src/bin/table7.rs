@@ -1,47 +1,8 @@
 //! Regenerates Table VII: DimEval results across models and settings.
 
-use dim_bench::{config_from_args, pct, rule, PAPER_TABLE7_KEY_ROWS};
-use dim_core::experiments::table7;
-
 fn main() {
-    let cfg = config_from_args();
-    println!("Table VII — results (%) of different models and settings on DimEval");
-    println!(
-        "(eval: {} items/task; DimPerc trained on {} items/task × {} epochs)",
-        cfg.eval_per_task, cfg.pipeline.train_per_task, cfg.pipeline.epochs
-    );
-    rule(132);
-    println!(
-        "{:<28} {:>6} | {:>6} {:>6} {:>6} | {:>11} | {:>11} | {:>11} | {:>11} | {:>11} | {:>11}",
-        "Model", "#par", "QE", "VE", "UE",
-        "KindMatch", "Comparable", "DimPred", "DimArith", "Magnitude", "Conversion"
-    );
-    println!(
-        "{:<28} {:>6} | {:>6} {:>6} {:>6} | {:>5} {:>5} | {:>5} {:>5} | {:>5} {:>5} | {:>5} {:>5} | {:>5} {:>5} | {:>5} {:>5}",
-        "", "", "(F1)", "(F1)", "(F1)", "Prec", "F1", "Prec", "F1", "Prec", "F1", "Prec", "F1", "Prec", "F1", "Prec", "F1"
-    );
-    rule(132);
-    for row in table7(&cfg) {
-        let ext = match row.extraction {
-            Some([qe, ve, ue]) => format!("{:>6} {:>6} {:>6}", pct(qe), pct(ve), pct(ue)),
-            None => format!("{:>6} {:>6} {:>6}", "-", "-", "-"),
-        };
-        let tasks: Vec<String> =
-            row.tasks.iter().map(|(_, p, f)| format!("{:>5} {:>5}", pct(*p), pct(*f))).collect();
-        println!("{:<28} {:>6} | {} | {}", row.name, row.params, ext, tasks.join(" | "));
-    }
-    rule(132);
-    println!("Paper reported (key rows, QE/VE/UE then Prec/F1 per task):");
-    for (name, ext, tasks) in PAPER_TABLE7_KEY_ROWS {
-        let t: Vec<String> =
-            tasks.iter().map(|(p, f)| format!("{p:>5.2} {f:>5.2}")).collect();
-        println!(
-            "{:<28} {:>6} | {:>6.2} {:>6.2} {:>6.2} | {}",
-            name, "", ext[0], ext[1], ext[2], t.join(" | ")
-        );
-    }
-    println!();
-    println!("Shapes to hold: GPT-4 best zero-shot; dimension arithmetic hardest for");
-    println!("LLMs; F1 < precision for abstaining GPT-series; DimPerc dominates the");
-    println!("dimension- and scale-perception tasks after fine-tuning.");
+    dim_bench::obs_init();
+    let cfg = dim_bench::config_from_args();
+    print!("{}", dim_bench::render::table7(&cfg));
+    dim_bench::obs_finish();
 }

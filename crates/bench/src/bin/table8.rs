@@ -1,34 +1,8 @@
 //! Regenerates Table VIII: DimPerc vs the base model on DimEval categories.
 
-use dim_bench::{config_from_args, pct, rule, PAPER_TABLE8};
-use dim_core::experiments::table8;
-
 fn main() {
-    let cfg = config_from_args();
-    println!("Table VIII — comparison between DimPerc and the base model on DimEval");
-    rule(88);
-    println!(
-        "{:<12} | {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9}",
-        "Model", "Basic P.", "F1", "Dim P.", "F1", "Scale P.", "F1"
-    );
-    rule(88);
-    for row in table8(&cfg) {
-        let c = row.categories;
-        println!(
-            "{:<12} | {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9}",
-            row.name,
-            pct(c[0].0), pct(c[0].1), pct(c[1].0), pct(c[1].1), pct(c[2].0), pct(c[2].1)
-        );
-    }
-    rule(88);
-    println!("Paper reported:");
-    for (name, cats) in PAPER_TABLE8 {
-        println!(
-            "{:<12} | {:>9.2} {:>9.2} | {:>9.2} {:>9.2} | {:>9.2} {:>9.2}",
-            name, cats[0].0, cats[0].1, cats[1].0, cats[1].1, cats[2].0, cats[2].1
-        );
-    }
-    println!();
-    println!("Shape to hold: fine-tuning on DimEval lifts every category by a");
-    println!("large margin over the instruction-tuned base model.");
+    dim_bench::obs_init();
+    let cfg = dim_bench::config_from_args();
+    print!("{}", dim_bench::render::table8(&cfg));
+    dim_bench::obs_finish();
 }

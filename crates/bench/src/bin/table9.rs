@@ -1,34 +1,8 @@
 //! Regenerates Table IX: accuracy on N-MWP and Q-MWP.
 
-use dim_bench::{config_from_args, pct, rule, PAPER_TABLE9};
-use dim_core::experiments::table9;
-
 fn main() {
-    let cfg = config_from_args();
-    println!("Table IX — accuracy (%) of different models on N-MWP and Q-MWP");
-    println!(
-        "(eval: {} problems/set; DimPerc pipeline: η = {}, {} MWP training problems/style)",
-        cfg.mwp_eval, cfg.pipeline.eta, cfg.pipeline.mwp_train
-    );
-    rule(86);
-    println!(
-        "{:<32} {:>11} {:>11} {:>11} {:>11}",
-        "Model", "N-Math23k", "N-Ape210k", "Q-Math23k", "Q-Ape210k"
-    );
-    rule(86);
-    for row in table9(&cfg) {
-        println!(
-            "{:<32} {:>11} {:>11} {:>11} {:>11}",
-            row.name,
-            pct(row.accuracy[0]), pct(row.accuracy[1]), pct(row.accuracy[2]), pct(row.accuracy[3])
-        );
-    }
-    rule(86);
-    println!("Paper reported:");
-    for (name, a) in PAPER_TABLE9 {
-        println!("{:<32} {:>11.2} {:>11.2} {:>11.2} {:>11.2}", name, a[0], a[1], a[2], a[3]);
-    }
-    println!();
-    println!("Shapes to hold: every baseline drops sharply from N to Q; the tool helps");
-    println!("hard Q-sets; supervised N-MWP models collapse hardest; DimPerc leads Q-MWP.");
+    dim_bench::obs_init();
+    let cfg = dim_bench::config_from_args();
+    print!("{}", dim_bench::render::table9(&cfg));
+    dim_bench::obs_finish();
 }

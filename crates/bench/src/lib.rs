@@ -1,6 +1,8 @@
 //! Shared formatting helpers and the paper's reported numbers, used by the
 //! per-table/figure harness binaries.
 
+pub mod render;
+
 /// Formats a proportion as a percentage with two decimals.
 pub fn pct(v: f64) -> String {
     format!("{:.2}", v * 100.0)
@@ -9,6 +11,40 @@ pub fn pct(v: f64) -> String {
 /// Parses a `--quick` flag from the CLI arguments.
 pub fn quick_flag() -> bool {
     std::env::args().any(|a| a == "--quick")
+}
+
+/// Parses the `--obs` flag from the CLI arguments.
+pub fn obs_flag() -> bool {
+    std::env::args().any(|a| a == "--obs")
+}
+
+/// Parses a `--obs-out PATH` flag (where `all_experiments` writes the
+/// machine-readable metrics report; default `obs_report.json`).
+pub fn obs_out_flag() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--obs-out" {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// Enables metrics collection when `--obs` was passed. Call at the top of
+/// a harness `main`.
+pub fn obs_init() {
+    if obs_flag() {
+        dim_obs::enable();
+    }
+}
+
+/// When observability is on, prints the human-readable metrics table to
+/// **stderr** — stdout must stay byte-identical to the non-`--obs` run so
+/// determinism diffs over harness output keep working.
+pub fn obs_finish() {
+    if dim_obs::enabled() {
+        eprint!("{}", dim_obs::snapshot().render_table());
+    }
 }
 
 /// Parses a `--threads N` flag from the CLI arguments.

@@ -17,6 +17,17 @@ use dimkb::{DimUnitKb, UnitId};
 use std::collections::HashSet;
 use std::sync::Arc;
 
+// Observability (no-ops unless `dim_obs::enable()` was called): one span
+// per experiment runner, so `obs_report.json` breaks a full suite run down
+// by table/figure.
+static EXP_TABLE4: dim_obs::Histogram = dim_obs::Histogram::new("exp.table4");
+static EXP_TABLE6: dim_obs::Histogram = dim_obs::Histogram::new("exp.table6");
+static EXP_TABLE7: dim_obs::Histogram = dim_obs::Histogram::new("exp.table7");
+static EXP_TABLE8: dim_obs::Histogram = dim_obs::Histogram::new("exp.table8");
+static EXP_TABLE9: dim_obs::Histogram = dim_obs::Histogram::new("exp.table9");
+static EXP_FIG6: dim_obs::Histogram = dim_obs::Histogram::new("exp.fig6");
+static EXP_FIG7: dim_obs::Histogram = dim_obs::Histogram::new("exp.fig7");
+
 /// Shared experiment configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct ExperimentConfig {
@@ -122,6 +133,7 @@ pub fn uom_subset(kb: &DimUnitKb) -> DimUnitKb {
 
 /// Runs the Table IV comparison.
 pub fn table4() -> Vec<KbRow> {
+    let _span = EXP_TABLE4.span();
     let kb = DimUnitKb::shared();
     let uom = uom_subset(&kb);
     let uom_stats = statistics(&uom);
@@ -243,6 +255,7 @@ pub fn build_mwp_eval(config: &ExperimentConfig) -> MwpDatasets {
 
 /// Runs the Table VI statistics.
 pub fn table6(config: &ExperimentConfig) -> Vec<(&'static str, DatasetStats)> {
+    let _span = EXP_TABLE6.span();
     let sets = build_mwp_eval(config);
     sets.iter().map(|(name, ps)| (name, dataset_stats(ps))).collect()
 }
@@ -297,6 +310,7 @@ pub fn build_eval_dimeval(config: &ExperimentConfig) -> DimEval {
 
 /// Runs Table VII: tool-augmented GPTs, zero-shot baselines, and DimPerc.
 pub fn table7(config: &ExperimentConfig) -> Vec<Table7Row> {
+    let _span = EXP_TABLE7.span();
     let kb = DimUnitKb::shared();
     let eval = build_eval_dimeval(config);
     let engine = Arc::new(WolframEngine::new(kb.clone()));
@@ -345,6 +359,7 @@ pub struct Table8Row {
 
 /// Runs Table VIII: LLaMA_IFT vs DimPerc.
 pub fn table8(config: &ExperimentConfig) -> Vec<Table8Row> {
+    let _span = EXP_TABLE8.span();
     let kb = DimUnitKb::shared();
     let eval = build_eval_dimeval(config);
     let mut base = TinyLm::llama_ift(config.pipeline.seed);
@@ -391,6 +406,7 @@ fn mwp_row(model: &mut dyn MwpSolver, sets: &MwpDatasets) -> Table9Row {
 /// Runs Table IX: powerful LLMs (± WolframAlpha), supervised models, and
 /// DimPerc after the full pipeline.
 pub fn table9(config: &ExperimentConfig) -> Vec<Table9Row> {
+    let _span = EXP_TABLE9.span();
     let kb = DimUnitKb::shared();
     let sets = build_mwp_eval(config);
     let engine = Arc::new(WolframEngine::new(kb.clone()));
@@ -417,6 +433,7 @@ pub fn table9(config: &ExperimentConfig) -> Vec<Table9Row> {
 
 /// Runs the augmentation-rate sweep: `(η, accuracy on Q-Ape210k)`.
 pub fn fig6(config: &ExperimentConfig, etas: &[f64]) -> Vec<(f64, f64)> {
+    let _span = EXP_FIG6.span();
     let kb = DimUnitKb::shared();
     let sets = build_mwp_eval(config);
     let dimperc = pipeline::train_dimperc(&kb, &config.pipeline);
@@ -444,6 +461,7 @@ pub struct Curve {
 /// Runs the training-dynamics ablation: base model vs DimPerc, with and
 /// without equation tokenization (`w/o ET` = regular tokenization).
 pub fn fig7(config: &ExperimentConfig, checkpoints: usize) -> Vec<Curve> {
+    let _span = EXP_FIG7.span();
     let kb = DimUnitKb::shared();
     let sets = build_mwp_eval(config);
     let dimperc_base = pipeline::train_dimperc(&kb, &config.pipeline);

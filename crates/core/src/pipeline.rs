@@ -8,6 +8,14 @@ use dimeval::{DimEval, DimEvalConfig};
 use dimkb::DimUnitKb;
 use std::sync::Arc;
 
+// Observability (no-ops unless `dim_obs::enable()` was called): one span
+// per Fig. 2 pipeline step.
+static TRAIN_DIMPERC_SPAN: dim_obs::Histogram = dim_obs::Histogram::new("pipeline.train_dimperc");
+static BUILD_MWP_SPAN: dim_obs::Histogram = dim_obs::Histogram::new("pipeline.build_mwp_training");
+static TRAIN_QUANT_SPAN: dim_obs::Histogram =
+    dim_obs::Histogram::new("pipeline.train_quantitative");
+static MWP_TRAINING_ITEMS: dim_obs::Counter = dim_obs::Counter::new("pipeline.mwp_training_items");
+
 /// Pipeline configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct PipelineConfig {
@@ -59,6 +67,7 @@ pub fn build_train_dimeval(kb: &Arc<DimUnitKb>, config: &PipelineConfig) -> DimE
 
 /// Step 2 (Fig. 2b): continual fine-tuning on DimEval → DimPerc.
 pub fn train_dimperc(kb: &Arc<DimUnitKb>, config: &PipelineConfig) -> TinyLm {
+    let _span = TRAIN_DIMPERC_SPAN.span();
     let train = build_train_dimeval(kb, config);
     let mut model = TinyLm::llama_ift(config.seed);
     model.finetune_dimeval(kb, &train, config.epochs, config.seed ^ 0xF1);
@@ -67,6 +76,7 @@ pub fn train_dimperc(kb: &Arc<DimUnitKb>, config: &PipelineConfig) -> TinyLm {
 
 /// The MWP training mixture: both dataset styles, augmented at rate η.
 pub fn build_mwp_training(kb: &DimUnitKb, config: &PipelineConfig) -> Vec<MwpProblem> {
+    let _span = BUILD_MWP_SPAN.span();
     let mut problems = dim_mwp::generate_with(
         Source::Math23k,
         &GenConfig { count: config.mwp_train, seed: config.seed ^ 0x23 },
@@ -88,10 +98,12 @@ pub fn build_mwp_training(kb: &DimUnitKb, config: &PipelineConfig) -> Vec<MwpPro
     order.sort_by_key(|&i| (i as u64).wrapping_mul(0x9E3779B97F4A7C15));
     // Apply the permutation by moving problems, not cloning them.
     let mut slots: Vec<Option<MwpProblem>> = out.into_iter().map(Some).collect();
-    order
+    let mixed: Vec<MwpProblem> = order
         .into_iter()
         .map(|i| slots[i].take().expect("permutation visits each index once"))
-        .collect()
+        .collect();
+    MWP_TRAINING_ITEMS.add(mixed.len() as u64);
+    mixed
 }
 
 /// Step 3 (Fig. 2c): quantitative-reasoning fine-tuning of a model on the
@@ -103,6 +115,7 @@ pub fn train_quantitative(
     checkpoint_every: usize,
     callback: impl FnMut(usize, &TinyLm),
 ) {
+    let _span = TRAIN_QUANT_SPAN.span();
     let training = build_mwp_training(kb, config);
     model.tokenization = config.tokenization;
     model.finetune_mwp(&training, checkpoint_every, callback);

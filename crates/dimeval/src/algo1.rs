@@ -16,6 +16,12 @@ use crate::task::{ExtractionItem, GoldExtraction};
 use dim_corpus::{NumericSlotModel, Sentence};
 use dimlink::{Annotator, QuantityMention};
 
+// Observability (no-ops unless `dim_obs::enable()` was called).
+static ALGO1_SPAN: dim_obs::Histogram = dim_obs::Histogram::new("algo1.run");
+static ALGO1_SENTENCES: dim_obs::Counter = dim_obs::Counter::new("algo1.sentences");
+static ALGO1_MLM_REMOVED: dim_obs::Counter = dim_obs::Counter::new("algo1.mlm_removed");
+static ALGO1_CORRECTED: dim_obs::Counter = dim_obs::Counter::new("algo1.corrected");
+
 /// Configuration for Algorithm 1.
 #[derive(Debug, Clone, Copy)]
 pub struct Algo1Config {
@@ -79,6 +85,8 @@ pub fn semi_automated_annotate(
     corpus: &[Sentence],
     config: Algo1Config,
 ) -> Algo1Output {
+    let _span = ALGO1_SPAN.span();
+    ALGO1_SENTENCES.add(corpus.len() as u64);
     let tallies = dim_par::par_map(config.parallelism, corpus, |sent| {
         let mut t = SentenceTally::default();
         // Stage 1: heuristic DimKS annotation; keep sentences with numerics.
@@ -145,6 +153,8 @@ pub fn semi_automated_annotate(
         dataset.extend(t.item);
     }
 
+    ALGO1_MLM_REMOVED.add(removed as u64);
+    ALGO1_CORRECTED.add(corrected as u64);
     let ratio = |c: usize, t: usize| if t == 0 { 0.0 } else { c as f64 / t as f64 };
     Algo1Output {
         dataset,

@@ -16,6 +16,12 @@ use dim_kgraph::{PredicateId, SynthKg, TripleId};
 use dimlink::Annotator;
 use std::collections::{BTreeMap, BTreeSet};
 
+// Observability (no-ops unless `dim_obs::enable()` was called).
+static ALGO2_SPAN: dim_obs::Histogram = dim_obs::Histogram::new("algo2.run");
+static ALGO2_PREDICATES: dim_obs::Counter = dim_obs::Counter::new("algo2.predicates");
+static ALGO2_TRIPLES: dim_obs::Counter = dim_obs::Counter::new("algo2.triples");
+static ALGO2_MENTIONS: dim_obs::Counter = dim_obs::Counter::new("algo2.mentions");
+
 /// Configuration for the bootstrapping retrieval.
 #[derive(Debug, Clone, Copy)]
 pub struct Algo2Config {
@@ -72,6 +78,7 @@ pub fn bootstrap_retrieve(
     annotator: &Annotator,
     config: Algo2Config,
 ) -> Algo2Output {
+    let _span = ALGO2_SPAN.span();
     let kb = annotator.linker().kb();
     // M₀: surface forms of the highest-frequency units.
     let mut mentions: BTreeSet<String> = dimkb::stats::top_units(kb, config.seed_mentions)
@@ -156,6 +163,9 @@ pub fn bootstrap_retrieve(
         retrieved_quant as f64 / kg.quantitative_count() as f64
     };
 
+    ALGO2_PREDICATES.add(kept.len() as u64);
+    ALGO2_TRIPLES.add(triplets.len() as u64);
+    ALGO2_MENTIONS.add(mentions.len() as u64);
     Algo2Output {
         triplets,
         predicates: kept.into_iter().collect(),

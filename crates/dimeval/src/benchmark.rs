@@ -18,6 +18,12 @@ use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::sync::Arc;
 
+// Observability (no-ops unless `dim_obs::enable()` was called).
+static BUILD_SPAN: dim_obs::Histogram = dim_obs::Histogram::new("dimeval.build");
+static BUILD_ITEMS: dim_obs::Counter = dim_obs::Counter::new("dimeval.items");
+static EVAL_SPAN: dim_obs::Histogram = dim_obs::Histogram::new("eval.evaluate");
+static EVAL_ITEMS: dim_obs::Counter = dim_obs::Counter::new("eval.items");
+
 /// Configuration for benchmark construction.
 #[derive(Debug, Clone, Copy)]
 pub struct DimEvalConfig {
@@ -66,6 +72,7 @@ impl DimEval {
     /// derives its own RNG stream from `(seed, task index)`, so the result
     /// is byte-identical for every thread count.
     pub fn build(kb: &Arc<DimUnitKb>, config: &DimEvalConfig) -> Self {
+        let _span = BUILD_SPAN.span();
         // --- extraction via Algorithm 1 --------------------------------
         let corpus = dim_corpus::generate(
             kb,
@@ -136,7 +143,9 @@ impl DimEval {
         );
         let choice: HashMap<TaskKind, Vec<ChoiceItem>> =
             TaskKind::CHOICE.into_iter().zip(task_items).collect();
-        DimEval { choice, extraction }
+        let eval = DimEval { choice, extraction };
+        BUILD_ITEMS.add(eval.len() as u64);
+        eval
     }
 
     /// Total number of items.
@@ -200,6 +209,8 @@ impl EvalReport {
 
 /// Evaluates a solver over the benchmark.
 pub fn evaluate(solver: &mut dyn DimEvalSolver, eval: &DimEval) -> EvalReport {
+    let _span = EVAL_SPAN.span();
+    EVAL_ITEMS.add(eval.len() as u64);
     let mut extraction = ExtractionScore::default();
     for item in &eval.extraction {
         let pred = solver.extract(&item.text);

@@ -14,6 +14,14 @@ use crate::unit::{Unit, UnitId};
 use dim_embed::tokenize::words;
 use std::collections::HashMap;
 
+// Observability (no-ops unless `dim_obs::enable()` was called). The
+// candidate counters quantify exactly what the inverted index buys: scored
+// candidates per query vs the full-scan unit count.
+static SEARCH_SPAN: dim_obs::Histogram = dim_obs::Histogram::new("kb.search");
+static SEARCH_QUERIES: dim_obs::Counter = dim_obs::Counter::new("kb.search.queries");
+static SEARCH_CANDIDATES: dim_obs::Counter = dim_obs::Counter::new("kb.search.candidates");
+static SEARCH_HITS: dim_obs::Counter = dim_obs::Counter::new("kb.search.hits");
+
 /// A scored search hit.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SearchHit {
@@ -153,18 +161,21 @@ fn rank(mut hits: Vec<SearchHit>, limit: usize) -> Vec<SearchHit> {
 /// "flow" surfaces litre-per-minute before gill-per-hour. Candidates come
 /// from the KB's inverted [`SearchIndex`]; only they are scored.
 pub fn search(kb: &DimUnitKb, query: &str, limit: usize) -> Vec<SearchHit> {
+    let _span = SEARCH_SPAN.span();
+    SEARCH_QUERIES.inc();
     let terms = words(query);
     if terms.is_empty() {
         return Vec::new();
     }
-    let hits = kb
-        .search_index()
-        .candidates(&terms)
+    let candidates = kb.search_index().candidates(&terms);
+    SEARCH_CANDIDATES.add(candidates.len() as u64);
+    let hits: Vec<SearchHit> = candidates
         .into_iter()
         .filter_map(|id| {
             score_unit(kb.unit(id), &terms, query).map(|score| SearchHit { unit: id, score })
         })
         .collect();
+    SEARCH_HITS.add(hits.len() as u64);
     rank(hits, limit)
 }
 

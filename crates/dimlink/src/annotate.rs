@@ -13,6 +13,11 @@ use crate::linker::{LinkResult, UnitLinker};
 use crate::numparse::{scan_numbers, NumberMatch};
 use dim_embed::tokenize::is_cjk;
 
+// Observability (no-ops unless `dim_obs::enable()` was called).
+static ANNOTATE_SPAN: dim_obs::Histogram = dim_obs::Histogram::new("link.annotate");
+static ANNOTATE_TEXTS: dim_obs::Counter = dim_obs::Counter::new("link.annotate.texts");
+static ANNOTATE_MENTIONS: dim_obs::Counter = dim_obs::Counter::new("link.mentions");
+
 /// A quantity mention found and linked in text.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QuantityMention {
@@ -61,12 +66,15 @@ impl Annotator {
 
     /// Annotates text, returning all linked quantity mentions.
     pub fn annotate(&self, text: &str) -> Vec<QuantityMention> {
+        let _span = ANNOTATE_SPAN.span();
+        ANNOTATE_TEXTS.inc();
         let mut out = Vec::new();
         for num in scan_numbers(text) {
             if let Some(m) = self.try_unit_after(text, &num) {
                 out.push(m);
             }
         }
+        ANNOTATE_MENTIONS.add(out.len() as u64);
         out
     }
 

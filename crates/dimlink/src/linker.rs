@@ -18,6 +18,17 @@ use dimkb::{DimUnitKb, UnitId};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
+// Observability (all no-ops unless `dim_obs::enable()` was called). The
+// hit/miss pair measures the memo; the lev pair measures how many DP runs
+// the char-signature prefilter saves.
+static LINK_SPAN: dim_obs::Histogram = dim_obs::Histogram::new("link.link");
+static LINK_QUERIES: dim_obs::Counter = dim_obs::Counter::new("link.queries");
+static LINK_RESULTS: dim_obs::Counter = dim_obs::Counter::new("link.results");
+static MEMO_HIT: dim_obs::Counter = dim_obs::Counter::new("link.memo_hit");
+static MEMO_MISS: dim_obs::Counter = dim_obs::Counter::new("link.memo_miss");
+static LEV_COMPUTED: dim_obs::Counter = dim_obs::Counter::new("link.lev_computed");
+static LEV_PRUNED: dim_obs::Counter = dim_obs::Counter::new("link.lev_pruned");
+
 /// Upper bound on memoized `(mention, context)` link queries. When the memo
 /// fills up it is cleared wholesale — real corpora repeat a small set of
 /// surfaces, so evictions are rare and a simple clear beats LRU bookkeeping.
@@ -130,11 +141,16 @@ impl UnitLinker {
     /// (highest confidence first). Results are memoized per
     /// `(mention, context)` pair.
     pub fn link(&self, mention: &str, context: &str) -> Vec<LinkResult> {
+        LINK_QUERIES.inc();
         let key = (mention.to_string(), context_hash(context));
         if let Some(hit) = self.memo.lock().unwrap().get(&key) {
+            MEMO_HIT.inc();
             return hit.clone();
         }
+        MEMO_MISS.inc();
+        let _span = LINK_SPAN.span();
         let results = self.link_uncached(mention, context);
+        LINK_RESULTS.add(results.len() as u64);
         let mut memo = self.memo.lock().unwrap();
         if memo.len() >= LINK_MEMO_CAP {
             memo.clear();
@@ -172,8 +188,10 @@ impl UnitLinker {
                         .count_ones()
                         .max((k_sig & !m_sig).count_ones());
                     if 1.0 - f64::from(dist_lb) / max_len < self.config.mention_threshold {
+                        LEV_PRUNED.inc();
                         continue;
                     }
+                    LEV_COMPUTED.inc();
                     let sim = lev::similarity(&mention_norm, key);
                     if sim >= self.config.mention_threshold {
                         for &id in self.kb.lookup(key) {

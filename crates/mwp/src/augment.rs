@@ -21,6 +21,13 @@ use dimkb::{DimUnitKb, Unit};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+// Observability (no-ops unless `dim_obs::enable()` was called). Attempts
+// vs augmented measures the augmentation success rate at each η.
+static QMWP_SPAN: dim_obs::Histogram = dim_obs::Histogram::new("mwp.qmwp");
+static AUGMENT_SPAN: dim_obs::Histogram = dim_obs::Histogram::new("mwp.augment");
+static AUGMENT_ATTEMPTS: dim_obs::Counter = dim_obs::Counter::new("mwp.augment_attempts");
+static AUGMENTED: dim_obs::Counter = dim_obs::Counter::new("mwp.augmented");
+
 /// The four augmentation methods of Table V.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AugmentMethod {
@@ -261,6 +268,7 @@ impl<'a> Augmenter<'a> {
         problems: &[MwpProblem],
         par: dim_par::Parallelism,
     ) -> Vec<MwpProblem> {
+        let _span = QMWP_SPAN.span();
         let (kb, seed) = (self.kb, self.seed);
         dim_par::par_map_indexed(par, problems, |i, p| {
             Augmenter::new(kb, dim_par::seed_for(seed ^ 0x51, i as u64)).qmwp_one(p)
@@ -284,6 +292,7 @@ impl<'a> Augmenter<'a> {
         eta: f64,
         par: dim_par::Parallelism,
     ) -> Vec<MwpProblem> {
+        let _span = AUGMENT_SPAN.span();
         let mut out = problems.to_vec();
         let extra = (problems.len() as f64 * eta).round() as usize;
         if extra == 0 || problems.is_empty() {
@@ -313,6 +322,8 @@ impl<'a> Augmenter<'a> {
             }
             attempt += wave;
         }
+        AUGMENT_ATTEMPTS.add(attempt as u64);
+        AUGMENTED.add(produced as u64);
         out
     }
 }

@@ -11,6 +11,10 @@ use crate::problem::{MwpProblem, ProblemQuantity, Seg, Source};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+// Observability (no-ops unless `dim_obs::enable()` was called).
+static GEN_SPAN: dim_obs::Histogram = dim_obs::Histogram::new("mwp.gen");
+static GEN_PROBLEMS: dim_obs::Counter = dim_obs::Counter::new("mwp.problems");
+
 /// Configuration for problem generation.
 #[derive(Debug, Clone, Copy)]
 pub struct GenConfig {
@@ -730,6 +734,8 @@ pub fn generate_with(
     config: &GenConfig,
     par: dim_par::Parallelism,
 ) -> Vec<MwpProblem> {
+    let _span = GEN_SPAN.span();
+    GEN_PROBLEMS.add(config.count as u64);
     let templates = match source {
         Source::Math23k => MATH23K_TEMPLATES,
         Source::Ape210k => APE210K_TEMPLATES,

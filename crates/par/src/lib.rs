@@ -27,6 +27,24 @@
 //! parallelism they can't use.
 
 use std::num::NonZeroUsize;
+use std::time::Instant;
+
+// Observability (all no-ops unless `dim_obs::enable()` was called).
+// `PAR_WORKER_BUSY` is the per-worker wall time of every spawned chunk
+// worker: a wide p50→max spread there is thread imbalance, the first thing
+// to check when a parallel path fails to scale. `PAR_IMBALANCE_PCT` makes
+// the same signal directly legible per call: `(slowest − fastest) / slowest`
+// across one fan-out's workers.
+static PAR_CALLS: dim_obs::Counter = dim_obs::Counter::new("par.calls");
+static PAR_SEQ_CALLS: dim_obs::Counter = dim_obs::Counter::new("par.seq_calls");
+static PAR_ITEMS: dim_obs::Counter = dim_obs::Counter::new("par.items");
+static PAR_SEQ_ITEMS: dim_obs::Counter = dim_obs::Counter::new("par.seq_items");
+static PAR_WORKERS_SPAWNED: dim_obs::Counter = dim_obs::Counter::new("par.workers_spawned");
+static PAR_WORKER_BUSY: dim_obs::Histogram = dim_obs::Histogram::new("par.worker_busy");
+static PAR_CHUNK_ITEMS: dim_obs::Histogram =
+    dim_obs::Histogram::with_unit("par.chunk_items", "items");
+static PAR_IMBALANCE_PCT: dim_obs::Histogram =
+    dim_obs::Histogram::with_unit("par.imbalance_pct", "pct");
 
 /// How many worker threads fan-out operations may use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,14 +133,21 @@ where
     let n = items.len();
     let workers = par.threads.min(n / min_chunk.max(1)).max(1);
     if workers <= 1 {
+        PAR_SEQ_CALLS.inc();
+        PAR_SEQ_ITEMS.add(n as u64);
         return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
     }
+    PAR_CALLS.inc();
+    PAR_ITEMS.add(n as u64);
 
     // Contiguous chunks of near-equal size; worker w takes [starts[w], starts[w+1]).
     let chunk = n.div_ceil(workers);
     let mut out: Vec<Option<U>> = Vec::with_capacity(n);
     out.resize_with(n, || None);
 
+    // Per-worker busy nanoseconds, returned through the join handles so the
+    // imbalance of *this* call can be computed (empty unless obs is on).
+    let mut busy_ns: Vec<u64> = Vec::new();
     std::thread::scope(|scope| {
         let f = &f;
         let mut rest = out.as_mut_slice();
@@ -135,18 +160,32 @@ where
             let base = offset;
             let chunk_items = &items[base..base + take];
             handles.push(scope.spawn(move || {
+                let started = dim_obs::enabled().then(Instant::now);
                 for (k, item) in chunk_items.iter().enumerate() {
                     slot[k] = Some(f(base + k, item));
                 }
+                started.map(|t| (t.elapsed().as_nanos() as u64, chunk_items.len() as u64))
             }));
             offset += take;
         }
         for h in handles {
-            if let Err(panic) = h.join() {
-                std::panic::resume_unwind(panic);
+            match h.join() {
+                Ok(Some((ns, chunk_len))) => {
+                    busy_ns.push(ns);
+                    PAR_WORKER_BUSY.record(ns);
+                    PAR_CHUNK_ITEMS.record(chunk_len);
+                }
+                Ok(None) => {}
+                Err(panic) => std::panic::resume_unwind(panic),
             }
         }
     });
+    PAR_WORKERS_SPAWNED.add(busy_ns.len() as u64);
+    if let (Some(&max), Some(&min)) = (busy_ns.iter().max(), busy_ns.iter().min()) {
+        if let Some(pct) = ((max - min) * 100).checked_div(max) {
+            PAR_IMBALANCE_PCT.record(pct);
+        }
+    }
 
     out.into_iter().map(|slot| slot.expect("worker filled every slot")).collect()
 }
@@ -232,4 +271,59 @@ mod tests {
         assert_eq!(Parallelism::new(0).threads, 1);
         assert!(Parallelism::available().threads >= 1);
     }
+
+    #[test]
+    fn threads_exceeding_items_still_cover_every_item() {
+        // More workers than items: the worker count must clamp and the
+        // output must stay position-for-position identical.
+        for n in [1usize, 2, 3, 7] {
+            let items: Vec<u64> = (0..n as u64).collect();
+            let seq: Vec<u64> = items.iter().map(|x| x + 100).collect();
+            for threads in [n + 1, 2 * n + 3, 64] {
+                assert_eq!(
+                    par_map(Parallelism::new(threads), &items, |x| x + 100),
+                    seq,
+                    "n = {n}, threads = {threads}"
+                );
+                assert_eq!(
+                    par_map_coarse(Parallelism::new(threads), &items, |_, x| x + 100),
+                    seq,
+                    "coarse n = {n}, threads = {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn min_chunk_boundaries_match_sequential() {
+        // Around the 2 * MIN_CHUNK spawn threshold the implementation flips
+        // between the inline and the fan-out path; both must agree.
+        for n in [
+            MIN_CHUNK - 1,
+            MIN_CHUNK,
+            2 * MIN_CHUNK - 1,
+            2 * MIN_CHUNK,
+            2 * MIN_CHUNK + 1,
+            3 * MIN_CHUNK,
+        ] {
+            let items: Vec<u64> = (0..n as u64).collect();
+            let seq: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+            for threads in 1..=8 {
+                assert_eq!(
+                    par_map(Parallelism::new(threads), &items, |x| x * 3 + 1),
+                    seq,
+                    "n = {n}, threads = {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_never_spawns() {
+        let empty: Vec<u8> = Vec::new();
+        for threads in [1, 4, 8] {
+            assert!(par_map_coarse(Parallelism::new(threads), &empty, |_, x| *x).is_empty());
+        }
+    }
+
 }

@@ -1,0 +1,43 @@
+//! Per-worker observability of the fan-out layer. Lives in its own test
+//! binary because the obs registry and enable flag are process-global — the
+//! unit tests in `lib.rs` must keep running with observability disabled.
+//! One test function: phases share the global registry and must not race.
+
+use dim_par::{par_map, Parallelism};
+
+#[test]
+fn worker_timing_and_sequential_counters() {
+    // --- parallel path: per-worker timings, chunk sizes, imbalance -----
+    dim_obs::enable();
+    let items: Vec<u64> = (0..64).collect();
+    let out = par_map(Parallelism::new(4), &items, |x| x + 1);
+    assert_eq!(out, (1..=64).collect::<Vec<u64>>());
+
+    let snap = dim_obs::snapshot();
+    let busy = snap.histogram("par.worker_busy").expect("worker timings recorded");
+    assert_eq!(busy.count, 4, "one sample per spawned worker");
+    assert_eq!(snap.counter("par.items"), Some(64));
+    assert_eq!(snap.counter("par.workers_spawned"), Some(4));
+    assert_eq!(snap.counter("par.calls"), Some(1));
+    let chunk = snap.histogram("par.chunk_items").unwrap();
+    assert_eq!(chunk.count, 4);
+    assert_eq!(chunk.sum, 64, "chunk sizes sum to the item count");
+    // One imbalance sample per parallel call, expressed in percent.
+    let imb = snap.histogram("par.imbalance_pct").unwrap();
+    assert_eq!(imb.count, 1);
+    assert!(imb.max <= 100);
+
+    // --- sequential path: inline calls tallied separately --------------
+    dim_obs::reset();
+    // threads = 1 and tiny inputs both take the inline path.
+    let tiny: Vec<u64> = (0..3).collect();
+    par_map(Parallelism::new(4), &tiny, |x| *x);
+    let items: Vec<u64> = (0..100).collect();
+    par_map(Parallelism::SEQUENTIAL, &items, |x| *x);
+    dim_obs::disable();
+
+    let snap = dim_obs::snapshot();
+    assert_eq!(snap.counter("par.seq_calls"), Some(2));
+    assert_eq!(snap.counter("par.seq_items"), Some(103));
+    assert_eq!(snap.counter("par.calls"), None, "no parallel call happened");
+}

@@ -35,6 +35,9 @@ pub use dim_embed as embed;
 /// The triple-store substrate (re-export of `dim-kgraph`).
 pub use dim_kgraph as kgraph;
 
+/// Zero-dependency tracing/metrics layer (re-export of `dim-obs`).
+pub use dim_obs as obs;
+
 /// Corpus generation and the masked-LM filter (re-export of `dim-corpus`).
 pub use dim_corpus as corpus;
 

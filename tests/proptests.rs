@@ -165,3 +165,24 @@ proptest! {
         prop_assert!((beta - via_convert).abs() <= 1e-9 * beta.abs().max(1e-12));
     }
 }
+
+proptest! {
+    // ---- dim-par determinism contract ------------------------------------
+
+    /// `par_map` must equal the sequential map for every item count and
+    /// thread width — the invariant every parallelized pipeline stage
+    /// leans on for byte-identical paper outputs.
+    #[test]
+    fn par_map_matches_sequential_at_every_thread_width(
+        items in prop::collection::vec(0u64..1_000_000, 0..200),
+        threads in 1usize..=8,
+    ) {
+        let expected: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(2654435761) ^ (x >> 7)).collect();
+        let got = dim_par::par_map(
+            dim_par::Parallelism::new(threads),
+            &items,
+            |&x| x.wrapping_mul(2654435761) ^ (x >> 7),
+        );
+        prop_assert_eq!(got, expected);
+    }
+}
