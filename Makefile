@@ -1,10 +1,11 @@
-.PHONY: verify build test clippy smoke golden no-artifacts bench-baseline
+.PHONY: verify build test clippy smoke golden chaos no-panic-hotpath no-artifacts bench-baseline
 
 # Full offline verification: release build, workspace tests, lints, the
-# golden-results harness, a quick end-to-end smoke of the experiment suite
-# (with the metrics layer live), and a check that no build artifacts are
+# golden-results harness, the chaos (fault-injection) harness, a quick
+# end-to-end smoke of the experiment suite (with the metrics layer live),
+# the no-panic hot-path lint, and a check that no build artifacts are
 # tracked. No network required.
-verify: build test clippy golden smoke no-artifacts
+verify: build test clippy golden chaos smoke no-panic-hotpath no-artifacts
 
 build:
 	cargo build --workspace --release
@@ -24,6 +25,24 @@ golden:
 
 smoke:
 	cargo run --release -p dim-bench --bin all_experiments -- --quick --obs
+
+# Deterministic fault-injection harness: rate 0 must be byte-identical to
+# the clean run, rate > 0 must complete panic-free with a reproducible
+# quarantine manifest (see tests/chaos.rs and DESIGN.md §9).
+chaos:
+	cargo test --release --test chaos -q
+
+# Degraded-mode hot paths must stay panic-free: no new `.unwrap()` or
+# `.expect(` may appear in dimlink, core::pipeline, or par outside test
+# code. Scans each file only up to its first `#[cfg(test)]` marker.
+no-panic-hotpath:
+	@bad=0; \
+	for f in crates/dimlink/src/*.rs crates/core/src/pipeline.rs crates/par/src/*.rs; do \
+		hits=$$(awk '/#\[cfg\(test\)\]/ { exit } /\.unwrap\(\)|\.expect\(/ { print FILENAME ":" FNR ": " $$0 }' $$f); \
+		if [ -n "$$hits" ]; then echo "$$hits"; bad=1; fi; \
+	done; \
+	if [ $$bad -ne 0 ]; then echo "no-panic-hotpath: unwrap()/expect( found in hot-path code (quarantine or propagate a typed error instead)"; exit 1; fi
+	@echo "no-panic-hotpath: clean"
 
 # target/ must never be committed (it is in .gitignore; this catches
 # force-adds and historical regressions).

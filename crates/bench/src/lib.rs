@@ -58,6 +58,30 @@ pub fn threads_flag() -> Option<usize> {
     None
 }
 
+/// Parses a `--chaos-seed N` flag (fault-plan seed; default 7).
+pub fn chaos_seed_flag() -> u64 {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--chaos-seed" {
+            return args.next().and_then(|n| n.parse().ok()).unwrap_or(7);
+        }
+    }
+    7
+}
+
+/// Parses a `--chaos-rate R` flag (fault probability per record; default
+/// 0.0, i.e. chaos off). Rate 0 leaves the injector disabled entirely, so
+/// `--chaos-rate 0` output is byte-identical to a run with no flag.
+pub fn chaos_rate_flag() -> f64 {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--chaos-rate" {
+            return args.next().and_then(|n| n.parse().ok()).unwrap_or(0.0);
+        }
+    }
+    0.0
+}
+
 /// Returns the experiment configuration selected by the CLI. `--quick`
 /// shrinks datasets and training for fast smoke runs and pins the
 /// sequential reference paths; `--threads N` overrides the fan-out width

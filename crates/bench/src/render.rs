@@ -421,3 +421,86 @@ pub fn ablation_linking() -> String {
     let _ = writeln!(out, "trade-off the paper's product formulation embodies.");
     out
 }
+
+/// Chaos stage — the degraded-mode pipeline under a deterministic fault
+/// plan. Installs `FaultPlan { seed, rate }` for the duration of the call
+/// (and clears it before returning, so classic stages never see it), runs
+/// a decoy-laced annotation sweep plus the full degraded pipeline, and
+/// renders the plan banner, per-stage outcomes and the sorted quarantine
+/// manifest. Output is a pure function of `(cfg, seed, rate)`: the
+/// manifest is identical across runs and thread widths.
+pub fn chaos_report(cfg: &ExperimentConfig, seed: u64, rate: f64) -> String {
+    use dimkb::degrade::ErrorBudget;
+    use dimlink::{Annotator, LinkerConfig, UnitLinker};
+
+    let plan = dim_chaos::FaultPlan::new(seed, rate);
+    dim_chaos::silence_injected_panic_reports();
+    dim_chaos::install(plan);
+    let budget = ErrorBudget::new(0.5);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "Chaos — degraded-mode pipeline under deterministic fault injection");
+    rule_to(&mut out, 78);
+    let _ = writeln!(
+        out,
+        "plan: seed={} rate={:.4} kinds={}",
+        plan.seed,
+        plan.rate,
+        plan.kinds.render()
+    );
+    let _ = writeln!(out, "budget: max_error_rate={:.2}", budget.max_error_rate);
+    rule_to(&mut out, 78);
+
+    // Decoy-laced annotation sweep: exercises the `link.annotate` site and
+    // the decoy guard (device codes must be quarantined, not unwrapped).
+    let texts: Vec<String> = (0..12)
+        .map(|i| match i % 4 {
+            0 => format!("这段管道全长{}米。", i + 2),
+            1 => format!("货物重量是{} kg左右。", i * 3 + 1),
+            2 => format!("设备型号为LPUI-{}T,已经上线。", i),
+            _ => format!("列车速度为{} km/h。", i + 5),
+        })
+        .collect();
+    let annotator =
+        Annotator::new(UnitLinker::new(dimkb::DimUnitKb::shared(), None, LinkerConfig::default()));
+    let mut quarantine = Vec::new();
+    match annotator.try_annotate_batch(&texts, cfg.parallelism, budget) {
+        Ok(d) => {
+            let _ = writeln!(
+                out,
+                "annotate: {} texts, {} annotated, {} quarantined",
+                d.items.len(),
+                d.ok_count(),
+                d.failed_count()
+            );
+            quarantine.extend(d.quarantine);
+        }
+        Err(e) => {
+            let _ = writeln!(out, "annotate: aborted — {e}");
+        }
+    }
+
+    // The full degraded pipeline: DimEval construction, MWP generation and
+    // augmentation all skip-and-record faulted work under the budget.
+    match dim_core::try_run_full_pipeline(&cfg.pipeline, budget) {
+        Ok((model, report)) => {
+            let _ = writeln!(
+                out,
+                "pipeline: completed {} — model {}, {} records quarantined",
+                if report.is_degraded() { "degraded" } else { "clean" },
+                model.display_name,
+                report.quarantine.len()
+            );
+            quarantine.extend(report.quarantine);
+        }
+        Err(e) => {
+            let _ = writeln!(out, "pipeline: aborted — {e}");
+        }
+    }
+
+    rule_to(&mut out, 78);
+    let _ = writeln!(out, "quarantine manifest:");
+    out.push_str(&dimkb::degrade::manifest(&quarantine));
+    dim_chaos::clear();
+    out
+}

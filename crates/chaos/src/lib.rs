@@ -1,0 +1,396 @@
+//! # dim-chaos
+//!
+//! Deterministic, seed-driven fault injection for the dimension-perception
+//! pipeline. A [`FaultPlan`] decides, purely from `(seed, site, index)`,
+//! whether a given record at a given *site* (a named injection point such as
+//! `"link.annotate"` or `"mwp.gen.math23k"`) is faulted and with which
+//! [`FaultKind`]. The decision function is a SplitMix64-style finalizer — the
+//! same discipline as `dim_par::seed_for` — so a plan produces the *same*
+//! faults at every thread width and on every run.
+//!
+//! The injector follows the `dim-obs` global-toggle contract:
+//!
+//! * **off by default** — nothing is injected unless [`install`] is called
+//!   with a positive rate and a non-empty kind set;
+//! * **one relaxed atomic load per site when disabled** — [`fault_at`]
+//!   returns immediately after a single `AtomicBool` load;
+//! * zero dependencies, `std` only.
+//!
+//! Faults are consulted **only** by the degraded-mode (`try_*`) entry points;
+//! the classic batch paths never call [`fault_at`], so installing a plan
+//! cannot perturb golden outputs of the classic pipeline.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// The kinds of fault the injector can produce at a site.
+///
+/// The data-corruption kinds are *honest*: the degraded-mode sites realize
+/// them by feeding [`MALFORMED_EXPR`] / [`CORRUPT_UNIT`] through the real
+/// `dimkb` parser and lookup paths, so the resulting errors travel the same
+/// code as genuine bad records would.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Panic inside the work item (caught by the panic-isolated `par_map`).
+    Panic,
+    /// A unit expression that fails `dimkb::expr` parsing.
+    MalformedExpr,
+    /// A KB lookup against a unit code that does not exist.
+    CorruptKb,
+    /// An input record larger than the degraded-mode size cap.
+    Oversize,
+}
+
+impl FaultKind {
+    /// All kinds, in the fixed order used for deterministic kind selection.
+    pub const ALL: [FaultKind; 4] = [
+        FaultKind::Panic,
+        FaultKind::MalformedExpr,
+        FaultKind::CorruptKb,
+        FaultKind::Oversize,
+    ];
+
+    /// Stable lowercase name, used in plan banners and manifests.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::MalformedExpr => "malformed-expr",
+            FaultKind::CorruptKb => "corrupt-kb",
+            FaultKind::Oversize => "oversize",
+        }
+    }
+
+    fn bit(self) -> u64 {
+        match self {
+            FaultKind::Panic => 1,
+            FaultKind::MalformedExpr => 2,
+            FaultKind::CorruptKb => 4,
+            FaultKind::Oversize => 8,
+        }
+    }
+}
+
+/// A set of [`FaultKind`]s, stored as a bitmask.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultKinds(u64);
+
+impl FaultKinds {
+    /// The empty set (a plan with no kinds never fires).
+    pub const NONE: FaultKinds = FaultKinds(0);
+    /// Every fault kind.
+    pub const ALL: FaultKinds = FaultKinds(0b1111);
+
+    /// A set containing exactly `kind`.
+    pub fn only(kind: FaultKind) -> FaultKinds {
+        FaultKinds(kind.bit())
+    }
+
+    /// This set plus `kind`.
+    pub fn with(self, kind: FaultKind) -> FaultKinds {
+        FaultKinds(self.0 | kind.bit())
+    }
+
+    /// Whether `kind` is in the set.
+    pub fn contains(self, kind: FaultKind) -> bool {
+        self.0 & kind.bit() != 0
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Members in the fixed [`FaultKind::ALL`] order.
+    pub fn members(self) -> Vec<FaultKind> {
+        FaultKind::ALL
+            .into_iter()
+            .filter(|k| self.contains(*k))
+            .collect()
+    }
+
+    /// `panic|malformed-expr|...` rendering for plan banners.
+    pub fn render(self) -> String {
+        let names: Vec<&str> = self.members().iter().map(|k| k.name()).collect();
+        if names.is_empty() {
+            "none".to_string()
+        } else {
+            names.join("|")
+        }
+    }
+}
+
+/// A fault-injection plan: which fraction of records fault, which kinds are
+/// allowed, and the seed that makes every decision reproducible.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Master seed; decisions are a pure function of `(seed, site, index)`.
+    pub seed: u64,
+    /// Fault probability per record in `[0, 1]`. Rate `0.0` never fires.
+    pub rate: f64,
+    /// Which fault kinds may be injected.
+    pub kinds: FaultKinds,
+}
+
+impl FaultPlan {
+    /// A plan injecting every kind at `rate` under `seed`.
+    pub fn new(seed: u64, rate: f64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rate,
+            kinds: FaultKinds::ALL,
+        }
+    }
+
+    /// Whether this plan can ever fire.
+    pub fn is_active(&self) -> bool {
+        self.rate > 0.0 && !self.kinds.is_empty()
+    }
+
+    /// The pure decision function: does `site[index]` fault, and how?
+    ///
+    /// `h = mix(seed, fnv1a(site), index)` is a SplitMix64 finalizer over the
+    /// three inputs; its top 53 bits form a uniform draw in `[0, 1)` that is
+    /// compared against `rate`, and a second finalizer round picks the kind.
+    /// Two calls with the same inputs always agree — across runs, thread
+    /// widths, and machines.
+    pub fn decide(&self, site: &str, index: u64) -> Option<FaultKind> {
+        if !self.is_active() {
+            return None;
+        }
+        let h = mix(self.seed, fnv1a(site.as_bytes()), index);
+        let draw = (h >> 11) as f64 / (1u64 << 53) as f64;
+        if draw >= self.rate {
+            return None;
+        }
+        let members = self.kinds.members();
+        let pick = mix(h, 0x9E37_79B9_7F4A_7C15, index) as usize % members.len();
+        Some(members[pick])
+    }
+}
+
+/// Canned unit expression that fails `dimkb::expr` tokenization/parsing.
+/// Degraded-mode sites feed this through the *real* parser so the injected
+/// error is a genuine `KbError::ExprParse`.
+pub const MALFORMED_EXPR: &str = "((km^^⁻/ · )) %%";
+
+/// Canned unit code that exists in no knowledge base; looking it up drives
+/// the real `KbError::UnknownUnit` path.
+pub const CORRUPT_UNIT: &str = "__CHAOS_CORRUPT_UNIT__";
+
+/// Prefix of every injected panic message; the quiet panic hook installed by
+/// [`silence_injected_panic_reports`] matches on this.
+pub const INJECTED_PANIC_PREFIX: &str = "chaos: injected panic";
+
+// Global plan storage. `ENABLED` is the single relaxed load on the disabled
+// fast path; the plan fields are only read after it observes `true`.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SEED: AtomicU64 = AtomicU64::new(0);
+static RATE_BITS: AtomicU64 = AtomicU64::new(0);
+static KINDS: AtomicU64 = AtomicU64::new(0);
+
+/// Installs `plan` globally. A plan that can never fire (rate 0 or empty
+/// kinds) leaves the injector disabled, so `--chaos-rate 0` is
+/// indistinguishable from no plan at all.
+pub fn install(plan: FaultPlan) {
+    SEED.store(plan.seed, Ordering::Relaxed);
+    RATE_BITS.store(plan.rate.to_bits(), Ordering::Relaxed);
+    KINDS.store(plan.kinds.0, Ordering::Relaxed);
+    ENABLED.store(plan.is_active(), Ordering::Release);
+}
+
+/// Disables injection (the default state).
+pub fn clear() {
+    ENABLED.store(false, Ordering::Release);
+}
+
+/// Whether a fault plan is installed and active.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The installed plan, if the injector is enabled.
+pub fn current_plan() -> Option<FaultPlan> {
+    if !enabled() {
+        return None;
+    }
+    Some(FaultPlan {
+        seed: SEED.load(Ordering::Relaxed),
+        rate: f64::from_bits(RATE_BITS.load(Ordering::Relaxed)),
+        kinds: FaultKinds(KINDS.load(Ordering::Relaxed)),
+    })
+}
+
+/// The per-site injection check. Disabled: exactly one relaxed atomic load.
+/// Enabled: delegates to [`FaultPlan::decide`].
+#[inline]
+pub fn fault_at(site: &str, index: u64) -> Option<FaultKind> {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return None;
+    }
+    current_plan().and_then(|plan| plan.decide(site, index))
+}
+
+/// Installs a panic hook that suppresses the default stderr report for
+/// panics whose payload starts with [`INJECTED_PANIC_PREFIX`], delegating
+/// everything else to the previous hook. Injected panics are *expected* and
+/// caught by the panic-isolated `par_map`; without this, a chaos sweep fills
+/// stderr with noise from worker threads. Idempotent per process.
+pub fn silence_injected_panic_reports() {
+    use std::sync::Once;
+    static QUIET: Once = Once::new();
+    QUIET.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| info.payload().downcast_ref::<String>().map(|s| s.as_str()));
+            if msg.is_some_and(|m| m.starts_with(INJECTED_PANIC_PREFIX)) {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// FNV-1a over the site name: cheap, stable, and good enough to separate the
+/// handful of site streams (the SplitMix64 finalizer does the real mixing).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// SplitMix64-style finalizer over the three decision inputs — the same
+/// discipline `dim_par::seed_for` uses for per-item RNG streams.
+fn mix(seed: u64, site_hash: u64, index: u64) -> u64 {
+    let mut z = seed
+        ^ site_hash.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ index.wrapping_mul(0xD1B5_4A32_D192_ED03);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    // Tests mutate the global plan; serialize them.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        match LOCK.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    #[test]
+    fn disabled_by_default_and_after_clear() {
+        let _g = locked();
+        clear();
+        assert!(!enabled());
+        assert_eq!(fault_at("link.annotate", 0), None);
+        install(FaultPlan::new(7, 0.5));
+        assert!(enabled());
+        clear();
+        assert!(!enabled());
+        assert_eq!(fault_at("link.annotate", 0), None);
+    }
+
+    #[test]
+    fn rate_zero_plan_never_fires() {
+        let _g = locked();
+        install(FaultPlan::new(7, 0.0));
+        assert!(!enabled());
+        for i in 0..1000 {
+            assert_eq!(fault_at("mwp.gen", i), None);
+        }
+        clear();
+    }
+
+    #[test]
+    fn empty_kind_set_never_fires() {
+        let _g = locked();
+        install(FaultPlan {
+            seed: 7,
+            rate: 1.0,
+            kinds: FaultKinds::NONE,
+        });
+        assert!(!enabled());
+        assert_eq!(fault_at("mwp.gen", 3), None);
+        clear();
+    }
+
+    #[test]
+    fn rate_one_always_fires() {
+        let plan = FaultPlan::new(42, 1.0);
+        for i in 0..200 {
+            assert!(plan.decide("dimeval.task", i).is_some());
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_site_separated() {
+        let plan = FaultPlan::new(0xC4A05, 0.25);
+        let a: Vec<_> = (0..500).map(|i| plan.decide("link.annotate", i)).collect();
+        let b: Vec<_> = (0..500).map(|i| plan.decide("link.annotate", i)).collect();
+        assert_eq!(a, b, "same inputs must give same decisions");
+        let c: Vec<_> = (0..500).map(|i| plan.decide("mwp.gen", i)).collect();
+        assert_ne!(a, c, "different sites must get different fault streams");
+    }
+
+    #[test]
+    fn observed_rate_tracks_requested_rate() {
+        let plan = FaultPlan::new(9, 0.2);
+        let n = 10_000u64;
+        let hits = (0..n).filter(|&i| plan.decide("s", i).is_some()).count();
+        let observed = hits as f64 / n as f64;
+        assert!(
+            (observed - 0.2).abs() < 0.02,
+            "observed rate {observed} too far from 0.2"
+        );
+    }
+
+    #[test]
+    fn kind_filtering_respects_the_set() {
+        let plan = FaultPlan {
+            seed: 11,
+            rate: 1.0,
+            kinds: FaultKinds::only(FaultKind::Panic).with(FaultKind::Oversize),
+        };
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..500 {
+            let k = plan.decide("s", i).expect("rate 1.0 always fires");
+            assert!(matches!(k, FaultKind::Panic | FaultKind::Oversize));
+            seen.insert(k);
+        }
+        assert_eq!(seen.len(), 2, "both allowed kinds should appear");
+    }
+
+    #[test]
+    fn kinds_render_in_fixed_order() {
+        assert_eq!(FaultKinds::ALL.render(), "panic|malformed-expr|corrupt-kb|oversize");
+        assert_eq!(FaultKinds::NONE.render(), "none");
+        assert_eq!(FaultKinds::only(FaultKind::CorruptKb).render(), "corrupt-kb");
+    }
+
+    #[test]
+    fn current_plan_round_trips() {
+        let _g = locked();
+        let plan = FaultPlan {
+            seed: 123,
+            rate: 0.125,
+            kinds: FaultKinds::only(FaultKind::MalformedExpr),
+        };
+        install(plan);
+        assert_eq!(current_plan(), Some(plan));
+        clear();
+        assert_eq!(current_plan(), None);
+    }
+}

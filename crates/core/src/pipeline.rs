@@ -5,6 +5,7 @@
 use dim_models::tinylm::TinyLm;
 use dim_mwp::{Augmenter, EqTokenization, GenConfig, MwpProblem, Source};
 use dimeval::{DimEval, DimEvalConfig};
+use dimkb::degrade::{BudgetExceeded, ErrorBudget, QuarantineEntry};
 use dimkb::DimUnitKb;
 use std::sync::Arc;
 
@@ -15,6 +16,9 @@ static BUILD_MWP_SPAN: dim_obs::Histogram = dim_obs::Histogram::new("pipeline.bu
 static TRAIN_QUANT_SPAN: dim_obs::Histogram =
     dim_obs::Histogram::new("pipeline.train_quantitative");
 static MWP_TRAINING_ITEMS: dim_obs::Counter = dim_obs::Counter::new("pipeline.mwp_training_items");
+static RECORDS_QUARANTINED: dim_obs::Counter =
+    dim_obs::Counter::new("pipeline.records_quarantined");
+static DEGRADED_RUNS: dim_obs::Counter = dim_obs::Counter::new("pipeline.degraded_runs");
 
 /// Pipeline configuration.
 #[derive(Debug, Clone, Copy)]
@@ -89,21 +93,65 @@ pub fn build_mwp_training(kb: &DimUnitKb, config: &PipelineConfig) -> Vec<MwpPro
     ));
     let mut aug = Augmenter::new(kb, config.seed ^ 0xA6);
     let out = aug.augment_dataset_with(&problems, config.eta, config.parallelism);
-    // Deterministic interleave so originals and augmented variants mix:
-    // Fibonacci hashing of the index gives a fixed pseudo-random total
-    // order (the old `(i * K) % len` key collapsed for many lengths —
-    // e.g. even lengths mapped every index pair {i, i + len/2} to the
-    // same key, leaving long runs in original order).
-    let mut order: Vec<usize> = (0..out.len()).collect();
-    order.sort_by_key(|&i| (i as u64).wrapping_mul(0x9E3779B97F4A7C15));
-    // Apply the permutation by moving problems, not cloning them.
-    let mut slots: Vec<Option<MwpProblem>> = out.into_iter().map(Some).collect();
-    let mixed: Vec<MwpProblem> = order
-        .into_iter()
-        .map(|i| slots[i].take().expect("permutation visits each index once"))
-        .collect();
+    let mixed = interleave(out);
     MWP_TRAINING_ITEMS.add(mixed.len() as u64);
     mixed
+}
+
+/// Deterministic interleave so originals and augmented variants mix:
+/// Fibonacci hashing of the index gives a fixed pseudo-random total
+/// order (the old `(i * K) % len` key collapsed for many lengths —
+/// e.g. even lengths mapped every index pair {i, i + len/2} to the
+/// same key, leaving long runs in original order).
+fn interleave(out: Vec<MwpProblem>) -> Vec<MwpProblem> {
+    let n = out.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (i as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    // Apply the permutation by moving problems, not cloning them. `order`
+    // is a permutation of 0..n, so every slot is taken exactly once.
+    let mut slots: Vec<Option<MwpProblem>> = out.into_iter().map(Some).collect();
+    let mixed: Vec<MwpProblem> =
+        order.into_iter().filter_map(|i| slots[i].take()).collect();
+    debug_assert_eq!(mixed.len(), n);
+    mixed
+}
+
+/// Degraded-mode [`build_mwp_training`]: generation runs through
+/// [`dim_mwp::try_generate_with`] per source and augmentation through
+/// [`Augmenter::try_augment_dataset_with`], each quarantining faulted
+/// records under `budget`. Surviving problems go through the same
+/// deterministic interleave as the classic path, so with no faults the
+/// mixture is identical.
+pub fn try_build_mwp_training(
+    kb: &DimUnitKb,
+    config: &PipelineConfig,
+    budget: ErrorBudget,
+) -> Result<(Vec<MwpProblem>, Vec<QuarantineEntry>), BudgetExceeded> {
+    let _span = BUILD_MWP_SPAN.span();
+    let d1 = dim_mwp::try_generate_with(
+        Source::Math23k,
+        &GenConfig { count: config.mwp_train, seed: config.seed ^ 0x23 },
+        config.parallelism,
+        budget,
+    )?;
+    let d2 = dim_mwp::try_generate_with(
+        Source::Ape210k,
+        &GenConfig { count: config.mwp_train, seed: config.seed ^ 0x210 },
+        config.parallelism,
+        budget,
+    )?;
+    let mut quarantine = d1.quarantine.clone();
+    quarantine.extend(d2.quarantine.clone());
+    let mut problems = d1.ok_items();
+    problems.extend(d2.ok_items());
+    let mut aug = Augmenter::new(kb, config.seed ^ 0xA6);
+    let (out, aug_quarantine) =
+        aug.try_augment_dataset_with(&problems, config.eta, config.parallelism, budget)?;
+    quarantine.extend(aug_quarantine);
+    let mixed = interleave(out);
+    MWP_TRAINING_ITEMS.add(mixed.len() as u64);
+    RECORDS_QUARANTINED.add(quarantine.len() as u64);
+    Ok((mixed, quarantine))
 }
 
 /// Step 3 (Fig. 2c): quantitative-reasoning fine-tuning of a model on the
@@ -127,6 +175,73 @@ pub fn run_full_pipeline(config: &PipelineConfig) -> TinyLm {
     let mut model = train_dimperc(&kb, config); // step 2
     train_quantitative(&mut model, &kb, config, 0, |_, _| {}); // step 3
     model
+}
+
+/// What a degraded pipeline run skipped, and where.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradeReport {
+    /// Every quarantined record across all pipeline stages.
+    pub quarantine: Vec<QuarantineEntry>,
+}
+
+impl DegradeReport {
+    /// Whether any record was quarantined.
+    pub fn is_degraded(&self) -> bool {
+        !self.quarantine.is_empty()
+    }
+
+    /// The deterministic quarantine manifest (sorted `site[index]: error`
+    /// lines; identical across runs and thread widths for a fixed
+    /// `FaultPlan`).
+    pub fn manifest(&self) -> String {
+        dimkb::degrade::manifest(&self.quarantine)
+    }
+}
+
+/// Degraded-mode [`train_dimperc`]: benchmark construction may quarantine
+/// whole tasks (see [`DimEval::try_build`]) under `budget`.
+pub fn try_train_dimperc(
+    kb: &Arc<DimUnitKb>,
+    config: &PipelineConfig,
+    budget: ErrorBudget,
+) -> Result<(TinyLm, Vec<QuarantineEntry>), BudgetExceeded> {
+    let _span = TRAIN_DIMPERC_SPAN.span();
+    let (train, quarantine) = DimEval::try_build(
+        kb,
+        &DimEvalConfig {
+            per_task: config.train_per_task,
+            extraction_items: (config.train_per_task / 2).max(100),
+            seed: config.seed ^ 0x7EA1,
+            parallelism: config.parallelism,
+            ..Default::default()
+        },
+        budget,
+    )?;
+    RECORDS_QUARANTINED.add(quarantine.len() as u64);
+    let mut model = TinyLm::llama_ift(config.seed);
+    model.finetune_dimeval(kb, &train, config.epochs, config.seed ^ 0xF1);
+    Ok((model, quarantine))
+}
+
+/// Degraded-mode [`run_full_pipeline`]: every batch stage skips-and-records
+/// faulted work under `budget` instead of panicking; a blown budget is a
+/// typed [`BudgetExceeded`] abort. With no faults the returned model is
+/// identical to the classic pipeline's and the report is empty.
+pub fn try_run_full_pipeline(
+    config: &PipelineConfig,
+    budget: ErrorBudget,
+) -> Result<(TinyLm, DegradeReport), BudgetExceeded> {
+    let kb = DimUnitKb::shared(); // step 1: the knowledge system
+    let (mut model, mut quarantine) = try_train_dimperc(&kb, config, budget)?; // step 2
+    let _span = TRAIN_QUANT_SPAN.span(); // step 3
+    let (training, q) = try_build_mwp_training(&kb, config, budget)?;
+    quarantine.extend(q);
+    model.tokenization = config.tokenization;
+    model.finetune_mwp(&training, 0, |_, _| {});
+    if !quarantine.is_empty() {
+        DEGRADED_RUNS.inc();
+    }
+    Ok((model, DegradeReport { quarantine }))
 }
 
 #[cfg(test)]

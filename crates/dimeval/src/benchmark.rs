@@ -10,7 +10,8 @@ use crate::algo2::{self, Algo2Config};
 use crate::gen::Generator;
 use crate::metrics::{ChoiceScore, ExtractionScore};
 use crate::task::{Category, ChoiceItem, DimEvalSolver, ExtractionItem, TaskKind};
-use dim_kgraph::SynthConfig;
+use dim_kgraph::{SynthConfig, SynthKg};
+use dimkb::degrade::{self, BudgetExceeded, ErrorBudget, QuarantineEntry, RecordError};
 use dimkb::DimUnitKb;
 use dimlink::{Annotator, LinkerConfig, UnitLinker};
 use rand::rngs::StdRng;
@@ -65,6 +66,13 @@ pub struct DimEval {
     pub extraction: Vec<ExtractionItem>,
 }
 
+/// Fault-free construction inputs shared by the classic and degraded builds.
+struct BuildSubstrate {
+    extraction: Vec<ExtractionItem>,
+    kg: SynthKg,
+    out2: algo2::Algo2Output,
+}
+
 impl DimEval {
     /// Builds the benchmark from scratch against a knowledge base.
     ///
@@ -73,6 +81,59 @@ impl DimEval {
     /// is byte-identical for every thread count.
     pub fn build(kb: &Arc<DimUnitKb>, config: &DimEvalConfig) -> Self {
         let _span = BUILD_SPAN.span();
+        let sub = Self::substrate(kb, config);
+        let task_items =
+            dim_par::par_map_coarse(config.parallelism, &TaskKind::CHOICE, |task_index, &task| {
+                Self::build_task_items(kb, config, &sub.kg, &sub.out2, task_index, task)
+            });
+        let choice: HashMap<TaskKind, Vec<ChoiceItem>> =
+            TaskKind::CHOICE.into_iter().zip(task_items).collect();
+        let eval = DimEval { choice, extraction: sub.extraction };
+        BUILD_ITEMS.add(eval.len() as u64);
+        eval
+    }
+
+    /// Degraded-mode [`Self::build`]: each choice task runs in panic
+    /// isolation with fault injection at site `"dimeval.task"`. A
+    /// quarantined task yields an *empty* item list — a degraded but usable
+    /// benchmark — plus a manifest entry; the failure fraction over the six
+    /// tasks is checked against `budget`. With no faults the benchmark is
+    /// identical to the classic build.
+    pub fn try_build(
+        kb: &Arc<DimUnitKb>,
+        config: &DimEvalConfig,
+        budget: ErrorBudget,
+    ) -> Result<(Self, Vec<QuarantineEntry>), BudgetExceeded> {
+        const SITE_TASK: &str = "dimeval.task";
+        let _span = BUILD_SPAN.span();
+        let sub = Self::substrate(kb, config);
+        let slots = dim_par::try_par_map_coarse(
+            config.parallelism,
+            &TaskKind::CHOICE,
+            |task_index, &task| {
+                degrade::inject(SITE_TASK, task_index)?;
+                Ok(Self::build_task_items(kb, config, &sub.kg, &sub.out2, task_index, task))
+            },
+        );
+        let slots = slots.into_iter().map(|slot| match slot {
+            Ok(inner) => inner,
+            Err(p) => Err(RecordError::Panicked(p.message)),
+        });
+        let d = degrade::collect_degraded(SITE_TASK, slots, budget)?;
+        let quarantine = d.quarantine.clone();
+        let choice: HashMap<TaskKind, Vec<ChoiceItem>> = TaskKind::CHOICE
+            .into_iter()
+            .zip(d.items.into_iter().map(Option::unwrap_or_default))
+            .collect();
+        let eval = DimEval { choice, extraction: sub.extraction };
+        BUILD_ITEMS.add(eval.len() as u64);
+        Ok((eval, quarantine))
+    }
+
+    /// The shared, fault-free construction substrate: extraction items via
+    /// Algorithm 1 and the knowledge graph + Algorithm 2 output the
+    /// dimension-prediction task bootstraps from.
+    fn substrate(kb: &Arc<DimUnitKb>, config: &DimEvalConfig) -> BuildSubstrate {
         // --- extraction via Algorithm 1 --------------------------------
         let corpus = dim_corpus::generate(
             kb,
@@ -103,49 +164,47 @@ impl DimEval {
             &annotator,
             Algo2Config { parallelism: config.parallelism, ..Default::default() },
         );
+        BuildSubstrate { extraction, kg, out2 }
+    }
 
-        let task_items = dim_par::par_map_coarse(
-            config.parallelism,
-            &TaskKind::CHOICE,
-            |task_index, &task| {
-                let mut generator =
-                    Generator::new(kb, dim_par::seed_for(config.seed ^ 0x33, task_index as u64));
-                if task == TaskKind::DimensionPrediction {
-                    let mut rng = StdRng::seed_from_u64(dim_par::seed_for(
-                        config.seed,
-                        task_index as u64,
-                    ));
-                    let n_boot =
-                        (config.per_task as f64 * config.bootstrap_fraction).round() as usize;
-                    let mut items = Vec::with_capacity(config.per_task);
-                    let mut tries = 0;
-                    while items.len() < n_boot
-                        && tries < out2.triplets.len() * 2
-                        && !out2.triplets.is_empty()
-                    {
-                        tries += 1;
-                        let tid = out2.triplets[rng.gen_range(0..out2.triplets.len())];
-                        let Some(gold) = kg.gold.get(&tid) else { continue };
-                        let Some(kind) = kb.kind_by_name(&gold.kind) else { continue };
-                        let (_, masked) = algo2::verbalize(&kg, tid);
-                        if let Some(item) = generator.dim_prediction_from_masked(&masked, kind.id)
-                        {
-                            items.push(item);
-                        }
-                    }
-                    let remaining = config.per_task - items.len();
-                    items.extend(generator.generate(task, remaining));
-                    items
-                } else {
-                    generator.generate(task, config.per_task)
+    /// Builds one choice task's items from its own `(seed, task index)` RNG
+    /// streams — the shared per-task body of [`Self::build`] and
+    /// [`Self::try_build`].
+    fn build_task_items(
+        kb: &Arc<DimUnitKb>,
+        config: &DimEvalConfig,
+        kg: &SynthKg,
+        out2: &algo2::Algo2Output,
+        task_index: usize,
+        task: TaskKind,
+    ) -> Vec<ChoiceItem> {
+        let mut generator =
+            Generator::new(kb, dim_par::seed_for(config.seed ^ 0x33, task_index as u64));
+        if task == TaskKind::DimensionPrediction {
+            let mut rng =
+                StdRng::seed_from_u64(dim_par::seed_for(config.seed, task_index as u64));
+            let n_boot = (config.per_task as f64 * config.bootstrap_fraction).round() as usize;
+            let mut items = Vec::with_capacity(config.per_task);
+            let mut tries = 0;
+            while items.len() < n_boot
+                && tries < out2.triplets.len() * 2
+                && !out2.triplets.is_empty()
+            {
+                tries += 1;
+                let tid = out2.triplets[rng.gen_range(0..out2.triplets.len())];
+                let Some(gold) = kg.gold.get(&tid) else { continue };
+                let Some(kind) = kb.kind_by_name(&gold.kind) else { continue };
+                let (_, masked) = algo2::verbalize(kg, tid);
+                if let Some(item) = generator.dim_prediction_from_masked(&masked, kind.id) {
+                    items.push(item);
                 }
-            },
-        );
-        let choice: HashMap<TaskKind, Vec<ChoiceItem>> =
-            TaskKind::CHOICE.into_iter().zip(task_items).collect();
-        let eval = DimEval { choice, extraction };
-        BUILD_ITEMS.add(eval.len() as u64);
-        eval
+            }
+            let remaining = config.per_task - items.len();
+            items.extend(generator.generate(task, remaining));
+            items
+        } else {
+            generator.generate(task, config.per_task)
+        }
     }
 
     /// Total number of items.

@@ -129,14 +129,20 @@ fn tokenize(input: &str) -> Result<Vec<Token>, KbError> {
                 flush(&mut word, &mut tokens);
                 let mut num = String::new();
                 if matches!(chars.peek(), Some('-') | Some('+')) {
-                    num.push(chars.next().expect("peeked"));
+                    num.extend(chars.next());
                 }
                 while matches!(chars.peek(), Some(d) if d.is_ascii_digit()) {
-                    num.push(chars.next().expect("peeked"));
+                    num.extend(chars.next());
                 }
                 let exp: i8 = num
                     .parse()
                     .map_err(|_| KbError::ExprParse(format!("bad exponent {num:?}")))?;
+                // No physical unit expression needs |exp| > 12; larger values
+                // are adversarial input (DimVec arithmetic saturates, but the
+                // SI factor would silently overflow to ±inf).
+                if exp.unsigned_abs() > 12 {
+                    return Err(KbError::ExprParse(format!("exponent out of range: {exp}")));
+                }
                 tokens.push(Token::Pow(exp));
             }
             '⁻' => {
@@ -245,7 +251,8 @@ impl Parser<'_> {
             let fallback = self.kb.lookup(last);
             *best_by_frequency(self.kb, fallback).ok_or_else(|| KbError::UnknownUnit(name.to_string()))?
         } else {
-            *best_by_frequency(self.kb, candidates).expect("nonempty")
+            *best_by_frequency(self.kb, candidates)
+                .ok_or_else(|| KbError::UnknownUnit(name.to_string()))?
         };
         self.unit_count += 1;
         let unit = self.kb.unit(id);

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod data;
+pub mod degrade;
 mod dim;
 mod error;
 pub mod expr;
@@ -36,6 +37,7 @@ pub mod spec;
 pub mod stats;
 mod unit;
 
+pub use degrade::{BudgetExceeded, Degraded, ErrorBudget, QuarantineEntry, RecordError};
 pub use dim::{Base, DimParseError, DimVec};
 pub use error::KbError;
 pub use kb::{normalize, DimUnitKb};

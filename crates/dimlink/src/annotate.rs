@@ -12,6 +12,7 @@
 use crate::linker::{LinkResult, UnitLinker};
 use crate::numparse::{scan_numbers, NumberMatch};
 use dim_embed::tokenize::is_cjk;
+use dimkb::degrade::{self, BudgetExceeded, Degraded, ErrorBudget, RecordError};
 
 // Observability (no-ops unless `dim_obs::enable()` was called).
 static ANNOTATE_SPAN: dim_obs::Histogram = dim_obs::Histogram::new("link.annotate");
@@ -42,6 +43,58 @@ impl QuantityMention {
     pub fn best_unit(&self) -> dimkb::UnitId {
         self.links[0].unit
     }
+
+    /// Error-shaped [`Self::best_unit`]: the annotator never emits a mention
+    /// with empty links, but hand-built or deserialized mentions may violate
+    /// that — degraded-mode consumers use this instead of indexing.
+    pub fn try_best_unit(&self) -> Result<dimkb::UnitId, RecordError> {
+        self.links
+            .first()
+            .map(|l| l.unit)
+            .ok_or_else(|| RecordError::Link("mention has no candidate links".to_string()))
+    }
+}
+
+/// Chaos/quarantine site name for batch annotation.
+pub const SITE_ANNOTATE: &str = "link.annotate";
+
+/// Returns the code-like token a mention's value is embedded in, if any.
+///
+/// This is the decoy guard for `corpus::noise`-style tokens (`LPUI-1T`,
+/// `v2.5`, `Covid-19`): a quantity whose value is immediately preceded by an
+/// ASCII letter, or by a `-` that itself follows an alphanumeric, is part of
+/// an identifier — linking its trailing letters to a unit (the paper's
+/// `1T` → tesla failure, §IV-C1) and then converting would be garbage. The
+/// classic [`Annotator::annotate`] deliberately keeps such mentions (the
+/// paper's Algorithm 1 removes them with the MLM filter);
+/// [`Annotator::try_annotate_batch`] quarantines the record instead so the
+/// mention can never reach a unit conversion.
+pub fn decoy_token_at(text: &str, m: &QuantityMention) -> Option<String> {
+    let value_start = m.value_span.0;
+    let before = text[..value_start].chars().next_back()?;
+    let embedded = before.is_ascii_alphabetic()
+        || (before == '-'
+            && text[..value_start - 1]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_ascii_alphanumeric()));
+    if !embedded {
+        return None;
+    }
+    // Expand to the whole surrounding token for the quarantine report.
+    let is_tok = |c: char| c.is_ascii_alphanumeric() || c == '-' || c == '.';
+    let start = text[..value_start]
+        .char_indices()
+        .rev()
+        .take_while(|&(_, c)| is_tok(c))
+        .last()
+        .map(|(i, _)| i)
+        .unwrap_or(value_start);
+    let end = text[value_start..]
+        .find(|c| !is_tok(c))
+        .map(|i| value_start + i)
+        .unwrap_or(text.len());
+    Some(text[start..end].trim_end_matches(['.', '-']).to_string())
 }
 
 /// The annotator: a [`UnitLinker`] plus mention-extraction heuristics.
@@ -89,6 +142,34 @@ impl Annotator {
         par: dim_par::Parallelism,
     ) -> Vec<Vec<QuantityMention>> {
         dim_par::par_map(par, texts, |text| self.annotate(text.as_ref()))
+    }
+
+    /// Degraded-mode [`Self::annotate_batch`]: each text is annotated in
+    /// panic isolation, oversized records and records containing decoy
+    /// tokens (see [`decoy_token_at`]) are quarantined instead of linked,
+    /// and the failure fraction is checked against `budget`. With no faults
+    /// every slot equals the classic `annotate` output for that text.
+    pub fn try_annotate_batch<S: AsRef<str> + Sync>(
+        &self,
+        texts: &[S],
+        par: dim_par::Parallelism,
+        budget: ErrorBudget,
+    ) -> Result<Degraded<Vec<QuantityMention>>, BudgetExceeded> {
+        let slots = dim_par::try_par_map_indexed(par, texts, |i, text| {
+            let text = text.as_ref();
+            degrade::inject(SITE_ANNOTATE, i)?;
+            degrade::guard_len(text.len())?;
+            let mentions = self.annotate(text);
+            if let Some(token) = mentions.iter().find_map(|m| decoy_token_at(text, m)) {
+                return Err(RecordError::Decoy(token));
+            }
+            Ok(mentions)
+        });
+        let slots = slots.into_iter().map(|slot| match slot {
+            Ok(inner) => inner,
+            Err(p) => Err(RecordError::Panicked(p.message)),
+        });
+        degrade::collect_degraded(SITE_ANNOTATE, slots, budget)
     }
 
     /// Attempts to read a unit mention right after a number.
@@ -297,6 +378,78 @@ mod tests {
             let batch = a.annotate_batch(&texts, dim_par::Parallelism::new(threads));
             assert_eq!(batch, seq, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn decoy_guard_flags_device_codes_not_real_quantities() {
+        let a = annotator();
+        // The paper's decoy: the heuristic stage links `1T`, the guard sees
+        // the value is embedded in `LPUI-1T`.
+        let text = "设备型号为LPUI-1T";
+        let ms = a.annotate(text);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(decoy_token_at(text, &ms[0]), Some("LPUI-1T".to_string()));
+        // Version-string decoy: `v2.5` ends up as a mention only if a unit
+        // follows, but the guard classifies the embedded value regardless.
+        let text = "固件为v2.5米"; // adversarial: version number before a unit word
+        let ms = a.annotate(text);
+        if let Some(m) = ms.first() {
+            assert!(decoy_token_at(text, m).is_some(), "{ms:?}");
+        }
+        // Real quantities are untouched.
+        let text = "LeBron James's height is 2.06 meters and Stephen Curry's height is 188 cm.";
+        for m in a.annotate(text) {
+            assert_eq!(decoy_token_at(text, &m), None);
+        }
+        let text = "重量是150 kg左右";
+        for m in a.annotate(text) {
+            assert_eq!(decoy_token_at(text, &m), None);
+        }
+    }
+
+    #[test]
+    fn try_batch_quarantines_decoys_and_matches_classic_elsewhere() {
+        let a = annotator();
+        let texts = vec![
+            "全长3000米的大桥".to_string(),
+            "设备型号为LPUI-1T".to_string(),
+            "表面张力为30 dyn/cm左右".to_string(),
+        ];
+        let classic = a.annotate_batch(&texts, dim_par::Parallelism::new(1));
+        for threads in [1, 4] {
+            let d = a
+                .try_annotate_batch(
+                    &texts,
+                    dim_par::Parallelism::new(threads),
+                    ErrorBudget::new(0.5),
+                )
+                .expect("one decoy in three records is within budget");
+            assert_eq!(d.items.len(), 3);
+            assert_eq!(d.items[0].as_ref(), Some(&classic[0]), "threads = {threads}");
+            assert_eq!(d.items[1], None, "decoy record must be quarantined");
+            assert_eq!(d.items[2].as_ref(), Some(&classic[2]));
+            assert_eq!(d.quarantine.len(), 1);
+            assert_eq!(d.quarantine[0].index, 1);
+            assert!(d.quarantine[0].error.contains("LPUI-1T"), "{:?}", d.quarantine[0]);
+        }
+        // A strict budget turns the same batch into a typed abort.
+        let err = a
+            .try_annotate_batch(&texts, dim_par::Parallelism::new(1), ErrorBudget::strict())
+            .expect_err("strict budget");
+        assert_eq!((err.failed, err.total), (1, 3));
+    }
+
+    #[test]
+    fn try_batch_quarantines_oversized_records() {
+        let a = annotator();
+        let big = "长度为3米。".repeat(6000); // ~78 KB, over the 64 KB cap
+        let texts = vec!["全长3000米".to_string(), big];
+        let d = a
+            .try_annotate_batch(&texts, dim_par::Parallelism::new(1), ErrorBudget::new(0.5))
+            .expect("within budget");
+        assert!(d.items[0].is_some());
+        assert_eq!(d.items[1], None);
+        assert!(d.quarantine[0].error.contains("oversized"));
     }
 
     #[test]

@@ -17,6 +17,6 @@ pub mod lev;
 pub mod linker;
 pub mod numparse;
 
-pub use annotate::{Annotator, QuantityMention};
+pub use annotate::{decoy_token_at, Annotator, QuantityMention};
 pub use linker::{LinkResult, LinkerConfig, UnitLinker};
 pub use numparse::{parse_chinese_numeral, scan_numbers, NumberMatch};

@@ -34,6 +34,9 @@ static LEV_PRUNED: dim_obs::Counter = dim_obs::Counter::new("link.lev_pruned");
 /// surfaces, so evictions are rare and a simple clear beats LRU bookkeeping.
 const LINK_MEMO_CAP: usize = 8192;
 
+/// Memo of `(mention, context-hash)` → ranked results.
+type MemoMap = HashMap<(String, u64), Vec<LinkResult>>;
+
 /// A scored candidate from the linker.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LinkResult {
@@ -88,7 +91,7 @@ pub struct UnitLinker {
     keys_by_len: HashMap<usize, Vec<(String, u64)>>,
     /// Memo of `(mention, context-hash)` → ranked results. Purely a cache:
     /// link results depend only on the KB and config, both immutable here.
-    memo: Mutex<HashMap<(String, u64), Vec<LinkResult>>>,
+    memo: Mutex<MemoMap>,
 }
 
 /// 64-bit occupancy mask over hashed char values. For two strings with
@@ -143,7 +146,7 @@ impl UnitLinker {
     pub fn link(&self, mention: &str, context: &str) -> Vec<LinkResult> {
         LINK_QUERIES.inc();
         let key = (mention.to_string(), context_hash(context));
-        if let Some(hit) = self.memo.lock().unwrap().get(&key) {
+        if let Some(hit) = self.lock_memo().get(&key) {
             MEMO_HIT.inc();
             return hit.clone();
         }
@@ -151,12 +154,24 @@ impl UnitLinker {
         let _span = LINK_SPAN.span();
         let results = self.link_uncached(mention, context);
         LINK_RESULTS.add(results.len() as u64);
-        let mut memo = self.memo.lock().unwrap();
+        let mut memo = self.lock_memo();
         if memo.len() >= LINK_MEMO_CAP {
             memo.clear();
         }
         memo.insert(key, results.clone());
         results
+    }
+
+    /// Locks the memo, recovering from poisoning: the memo is a pure cache
+    /// of deterministic link results, so a panic caught mid-insert (the
+    /// panic-isolated `par_map` unwinds through here) leaves it valid —
+    /// unwrapping the poison would turn one quarantined record into a
+    /// process-wide failure.
+    fn lock_memo(&self) -> std::sync::MutexGuard<'_, MemoMap> {
+        match self.memo.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
     }
 
     fn link_uncached(&self, mention: &str, context: &str) -> Vec<LinkResult> {

@@ -17,6 +17,7 @@
 
 use crate::equation::{Node, Op};
 use crate::problem::MwpProblem;
+use dimkb::degrade::{self, BudgetExceeded, Degraded, ErrorBudget, QuarantineEntry, RecordError};
 use dimkb::{DimUnitKb, Unit};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -27,6 +28,11 @@ static QMWP_SPAN: dim_obs::Histogram = dim_obs::Histogram::new("mwp.qmwp");
 static AUGMENT_SPAN: dim_obs::Histogram = dim_obs::Histogram::new("mwp.augment");
 static AUGMENT_ATTEMPTS: dim_obs::Counter = dim_obs::Counter::new("mwp.augment_attempts");
 static AUGMENTED: dim_obs::Counter = dim_obs::Counter::new("mwp.augmented");
+
+/// Chaos/quarantine site for Q-MWP conversion (indexed by problem).
+const SITE_QMWP: &str = "mwp.qmwp";
+/// Chaos/quarantine site for dataset augmentation (indexed by attempt).
+const SITE_AUGMENT: &str = "mwp.augment";
 
 /// The four augmentation methods of Table V.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -275,6 +281,29 @@ impl<'a> Augmenter<'a> {
         })
     }
 
+    /// Degraded-mode [`Self::to_qmwp_with`]: per-problem panic isolation and
+    /// fault injection; a faulted problem is quarantined (its slot is
+    /// `None`) under `budget`. With no faults, slot `i` equals the classic
+    /// output's element `i` exactly.
+    pub fn try_to_qmwp_with(
+        &mut self,
+        problems: &[MwpProblem],
+        par: dim_par::Parallelism,
+        budget: ErrorBudget,
+    ) -> Result<Degraded<MwpProblem>, BudgetExceeded> {
+        let _span = QMWP_SPAN.span();
+        let (kb, seed) = (self.kb, self.seed);
+        let slots = dim_par::try_par_map_indexed(par, problems, |i, p| {
+            degrade::inject(SITE_QMWP, i)?;
+            Ok(Augmenter::new(kb, dim_par::seed_for(seed ^ 0x51, i as u64)).qmwp_one(p))
+        });
+        let slots = slots.into_iter().map(|slot| match slot {
+            Ok(inner) => inner,
+            Err(p) => Err(RecordError::Panicked(p.message)),
+        });
+        degrade::collect_degraded(SITE_QMWP, slots, budget)
+    }
+
     /// Training-set augmentation at rate η: appends ~η·N augmented variants
     /// (random method per pick) to the originals (§VI-G, Fig. 6).
     pub fn augment_dataset(&mut self, problems: &[MwpProblem], eta: f64) -> Vec<MwpProblem> {
@@ -307,12 +336,8 @@ impl<'a> Augmenter<'a> {
             // floor to amortize fan-out) rarely needs a second round.
             let wave = (extra - produced).max(32).min(guard_limit - attempt);
             let ks: Vec<u64> = (attempt..attempt + wave).map(|k| k as u64).collect();
-            let results = dim_par::par_map(par, &ks, |&k| {
-                let mut a = Augmenter::new(kb, dim_par::seed_for(seed ^ 0x0A, k));
-                let p = &problems[a.rng.gen_range(0..problems.len())];
-                let method = AugmentMethod::ALL[a.rng.gen_range(0..AugmentMethod::ALL.len())];
-                a.augment(p, method)
-            });
+            let results =
+                dim_par::par_map(par, &ks, |&k| attempt_one(kb, seed, problems, k));
             for aug in results.into_iter().flatten() {
                 if produced >= extra {
                     break;
@@ -326,6 +351,88 @@ impl<'a> Augmenter<'a> {
         AUGMENTED.add(produced as u64);
         out
     }
+
+    /// Degraded-mode [`Self::augment_dataset_with`]: each attempt runs in
+    /// panic isolation, faulted attempts are recorded (by attempt number)
+    /// and skipped, and later attempts backfill toward the η target — so
+    /// unlike the positional `try_*` batches, the *set* of appended variants
+    /// can differ from the classic output when faults fire (with no faults
+    /// it is identical). The budget is checked over attempts at the end.
+    pub fn try_augment_dataset_with(
+        &mut self,
+        problems: &[MwpProblem],
+        eta: f64,
+        par: dim_par::Parallelism,
+        budget: ErrorBudget,
+    ) -> Result<(Vec<MwpProblem>, Vec<QuarantineEntry>), BudgetExceeded> {
+        let _span = AUGMENT_SPAN.span();
+        let mut out = problems.to_vec();
+        let extra = (problems.len() as f64 * eta).round() as usize;
+        if extra == 0 || problems.is_empty() {
+            return Ok((out, Vec::new()));
+        }
+        let (kb, seed) = (self.kb, self.seed);
+        let guard_limit = extra * 20 + 100;
+        let mut produced = 0usize;
+        let mut attempt = 0usize;
+        let mut quarantine = Vec::new();
+        while produced < extra && attempt < guard_limit {
+            let wave = (extra - produced).max(32).min(guard_limit - attempt);
+            let ks: Vec<u64> = (attempt..attempt + wave).map(|k| k as u64).collect();
+            let results = dim_par::try_par_map_indexed(par, &ks, |_, &k| {
+                degrade::inject(SITE_AUGMENT, k as usize)?;
+                Ok(attempt_one(kb, seed, problems, k))
+            });
+            for (j, slot) in results.into_iter().enumerate() {
+                let flat = match slot {
+                    Ok(inner) => inner,
+                    Err(p) => Err(RecordError::Panicked(p.message)),
+                };
+                match flat {
+                    Ok(Some(aug)) => {
+                        if produced < extra {
+                            out.push(aug);
+                            produced += 1;
+                        }
+                    }
+                    Ok(None) => {}
+                    Err(e) => quarantine.push(QuarantineEntry {
+                        site: SITE_AUGMENT.to_string(),
+                        index: attempt + j,
+                        error: e.to_string(),
+                    }),
+                }
+            }
+            attempt += wave;
+        }
+        AUGMENT_ATTEMPTS.add(attempt as u64);
+        AUGMENTED.add(produced as u64);
+        let failed = quarantine.len();
+        if attempt > 0 && failed as f64 > budget.max_error_rate * attempt as f64 {
+            return Err(BudgetExceeded {
+                site: SITE_AUGMENT.to_string(),
+                failed,
+                total: attempt,
+                max_error_rate: budget.max_error_rate,
+            });
+        }
+        Ok((out, quarantine))
+    }
+}
+
+/// One numbered augmentation attempt: attempt `k` derives its own RNG
+/// stream from `(seed, k)`, picks its own problem and method, and succeeds
+/// or not — the shared body of the classic and degraded dataset augmenters.
+fn attempt_one(
+    kb: &DimUnitKb,
+    seed: u64,
+    problems: &[MwpProblem],
+    k: u64,
+) -> Option<MwpProblem> {
+    let mut a = Augmenter::new(kb, dim_par::seed_for(seed ^ 0x0A, k));
+    let p = &problems[a.rng.gen_range(0..problems.len())];
+    let method = AugmentMethod::ALL[a.rng.gen_range(0..AugmentMethod::ALL.len())];
+    a.augment(p, method)
 }
 
 /// Wraps `node` so it evaluates to `node × ratio`, rendered as `/k` when

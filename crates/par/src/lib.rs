@@ -18,6 +18,18 @@
 //! byte-identical for every thread count, which the workspace's
 //! determinism tests enforce at `threads = 1` vs `threads = 4`.
 //!
+//! # Panic isolation
+//!
+//! Every item runs inside `catch_unwind`. The classic entry points
+//! ([`par_map`], [`par_map_indexed`], [`par_map_coarse`]) re-raise the panic
+//! of the **lowest** faulting index with its original payload, so a failure
+//! is deterministic across thread widths. The `try_*` entry points
+//! ([`try_par_map_indexed`], [`try_par_map_coarse`]) instead quarantine the
+//! faulting item — its slot becomes `Err(`[`ItemPanic`]`)` while every other
+//! item's output is untouched — which is what the degraded-mode pipeline
+//! builds on. Caught panics are counted by the `par.panics_caught` obs
+//! counter.
+//!
 //! # Sizing
 //!
 //! [`Parallelism`] is an explicit knob (CI and `--quick` runs pin 1 thread;
@@ -26,7 +38,9 @@
 //! sequential map for 1 thread or tiny inputs — callers never pay for
 //! parallelism they can't use.
 
+use std::any::Any;
 use std::num::NonZeroUsize;
+use std::panic::AssertUnwindSafe;
 use std::time::Instant;
 
 // Observability (all no-ops unless `dim_obs::enable()` was called).
@@ -45,6 +59,7 @@ static PAR_CHUNK_ITEMS: dim_obs::Histogram =
     dim_obs::Histogram::with_unit("par.chunk_items", "items");
 static PAR_IMBALANCE_PCT: dim_obs::Histogram =
     dim_obs::Histogram::with_unit("par.imbalance_pct", "pct");
+static PAR_PANICS_CAUGHT: dim_obs::Counter = dim_obs::Counter::new("par.panics_caught");
 
 /// How many worker threads fan-out operations may use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +101,41 @@ impl Default for Parallelism {
 /// sequential path is used outright (spawn overhead would dominate).
 const MIN_CHUNK: usize = 8;
 
+/// A panic caught from a single work item by the panic-isolated fan-out.
+///
+/// `index` is the item's input position — deterministic across thread widths
+/// because chunking only changes *where* an item runs, never which index it
+/// has. The payload is rendered to a string eagerly (panic payloads are
+/// `Box<dyn Any>`, neither `Clone` nor `Display`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ItemPanic {
+    /// Input index of the item whose closure panicked.
+    pub index: usize,
+    /// The panic message, when the payload was a `&str` or `String`
+    /// (`"opaque panic payload"` otherwise).
+    pub message: String,
+}
+
+impl std::fmt::Display for ItemPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "item {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for ItemPanic {}
+
+/// A caught panic still carrying its original payload (so the classic
+/// `par_map` path can re-raise it unmodified via `resume_unwind`).
+type Caught = (usize, Box<dyn Any + Send>);
+
+fn payload_message(payload: &(dyn Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".to_string())
+}
+
 /// Maps `f` over `items`, preserving input order in the output.
 ///
 /// With `par.threads > 1` the slice is split into contiguous chunks, one
@@ -109,7 +159,7 @@ where
     U: Send,
     F: Fn(usize, &T) -> U + Sync,
 {
-    par_map_impl(par, items, MIN_CHUNK, f)
+    unwrap_or_propagate(par_map_slots(par, items, MIN_CHUNK, f))
 }
 
 /// Like [`par_map_indexed`] but for coarse-grained items where each call to
@@ -121,35 +171,116 @@ where
     U: Send,
     F: Fn(usize, &T) -> U + Sync,
 {
-    par_map_impl(par, items, 1, f)
+    unwrap_or_propagate(par_map_slots(par, items, 1, f))
 }
 
-fn par_map_impl<T, U, F>(par: Parallelism, items: &[T], min_chunk: usize, f: F) -> Vec<U>
+/// Panic-isolated fan-out: like [`par_map_indexed`], but a panicking item is
+/// *quarantined* — its slot becomes `Err(ItemPanic)` — instead of unwinding
+/// the scope and killing the sibling items. Output stays position-for-
+/// position: slot `i` is item `i`'s result, so the set of quarantined
+/// indices is deterministic across thread widths.
+pub fn try_par_map_indexed<T, U, F>(
+    par: Parallelism,
+    items: &[T],
+    f: F,
+) -> Vec<Result<U, ItemPanic>>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    to_item_panics(par_map_slots(par, items, MIN_CHUNK, f))
+}
+
+/// Coarse-grained variant of [`try_par_map_indexed`] (no minimum chunk size).
+pub fn try_par_map_coarse<T, U, F>(
+    par: Parallelism,
+    items: &[T],
+    f: F,
+) -> Vec<Result<U, ItemPanic>>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    to_item_panics(par_map_slots(par, items, 1, f))
+}
+
+fn to_item_panics<U>(slots: Vec<Result<U, Caught>>) -> Vec<Result<U, ItemPanic>> {
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.map_err(|(index, payload)| ItemPanic {
+                index,
+                message: payload_message(payload.as_ref()),
+            })
+        })
+        .collect()
+}
+
+/// Classic (non-`try`) semantics on top of the isolated slots: if any item
+/// panicked, re-raise the panic of the **lowest** faulting index with its
+/// original payload — deterministic regardless of which worker hit it first.
+fn unwrap_or_propagate<U>(slots: Vec<Result<U, Caught>>) -> Vec<U> {
+    let mut out = Vec::with_capacity(slots.len());
+    for slot in slots {
+        match slot {
+            Ok(u) => out.push(u),
+            // Slots are in input order, so the first Err has the lowest index.
+            Err((_, payload)) => std::panic::resume_unwind(payload),
+        }
+    }
+    out
+}
+
+/// Shared fan-out core. Every item runs inside `catch_unwind`, so one
+/// poisoned item can neither tear down its chunk's siblings nor poison the
+/// scope join; callers choose between re-raising (classic) and quarantining
+/// (`try_*`). `AssertUnwindSafe` is sound here because a caught panic either
+/// aborts the whole call (classic path) or quarantines exactly the state the
+/// faulting item would have produced; shared state reached through `f` must
+/// tolerate unwinding (the linker's memo lock, for instance, recovers from
+/// poisoning instead of unwrapping).
+fn par_map_slots<T, U, F>(
+    par: Parallelism,
+    items: &[T],
+    min_chunk: usize,
+    f: F,
+) -> Vec<Result<U, Caught>>
 where
     T: Sync,
     U: Send,
     F: Fn(usize, &T) -> U + Sync,
 {
     let n = items.len();
+    let run_one = |i: usize, item: &T| -> Result<U, Caught> {
+        match std::panic::catch_unwind(AssertUnwindSafe(|| f(i, item))) {
+            Ok(u) => Ok(u),
+            Err(payload) => {
+                PAR_PANICS_CAUGHT.inc();
+                Err((i, payload))
+            }
+        }
+    };
     let workers = par.threads.min(n / min_chunk.max(1)).max(1);
     if workers <= 1 {
         PAR_SEQ_CALLS.inc();
         PAR_SEQ_ITEMS.add(n as u64);
-        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        return items.iter().enumerate().map(|(i, item)| run_one(i, item)).collect();
     }
     PAR_CALLS.inc();
     PAR_ITEMS.add(n as u64);
 
     // Contiguous chunks of near-equal size; worker w takes [starts[w], starts[w+1]).
     let chunk = n.div_ceil(workers);
-    let mut out: Vec<Option<U>> = Vec::with_capacity(n);
+    let mut out: Vec<Option<Result<U, Caught>>> = Vec::with_capacity(n);
     out.resize_with(n, || None);
 
     // Per-worker busy nanoseconds, returned through the join handles so the
     // imbalance of *this* call can be computed (empty unless obs is on).
     let mut busy_ns: Vec<u64> = Vec::new();
     std::thread::scope(|scope| {
-        let f = &f;
+        let run_one = &run_one;
         let mut rest = out.as_mut_slice();
         let mut offset = 0usize;
         let mut handles = Vec::new();
@@ -162,7 +293,7 @@ where
             handles.push(scope.spawn(move || {
                 let started = dim_obs::enabled().then(Instant::now);
                 for (k, item) in chunk_items.iter().enumerate() {
-                    slot[k] = Some(f(base + k, item));
+                    slot[k] = Some(run_one(base + k, item));
                 }
                 started.map(|t| (t.elapsed().as_nanos() as u64, chunk_items.len() as u64))
             }));
@@ -176,6 +307,8 @@ where
                     PAR_CHUNK_ITEMS.record(chunk_len);
                 }
                 Ok(None) => {}
+                // Item panics are caught per item above; a panic escaping a
+                // worker thread is a fan-out bug, not a data fault.
                 Err(panic) => std::panic::resume_unwind(panic),
             }
         }
@@ -187,7 +320,14 @@ where
         }
     }
 
-    out.into_iter().map(|slot| slot.expect("worker filled every slot")).collect()
+    out.into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.unwrap_or_else(|| {
+                Err((i, Box::new("worker failed to fill slot".to_string()) as Box<dyn Any + Send>))
+            })
+        })
+        .collect()
 }
 
 /// Derives an independent RNG seed for item `index` of a run seeded with
@@ -264,6 +404,100 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn classic_path_propagates_lowest_index_panic() {
+        // Items 30 and 70 both panic; regardless of which worker finishes
+        // first, the re-raised payload must be item 30's.
+        let items: Vec<u32> = (0..100).collect();
+        for threads in [1, 2, 4] {
+            let result = std::panic::catch_unwind(|| {
+                par_map_indexed(Parallelism::new(threads), &items, |i, _| {
+                    if i == 30 || i == 70 {
+                        panic!("boom at {i}");
+                    }
+                    i
+                })
+            });
+            let payload = result.expect_err("must propagate");
+            let msg = payload.downcast_ref::<String>().expect("formatted payload");
+            assert_eq!(msg, "boom at 30", "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn try_variant_quarantines_instead_of_unwinding() {
+        let items: Vec<u32> = (0..100).collect();
+        let expected_bad = [13usize, 57, 58, 91];
+        let mut reference: Option<Vec<Result<u32, ItemPanic>>> = None;
+        for threads in [1, 2, 4, 7] {
+            let out = try_par_map_indexed(Parallelism::new(threads), &items, |i, x| {
+                if expected_bad.contains(&i) {
+                    panic!("chaos: injected panic at test[{i}]");
+                }
+                x * 2
+            });
+            assert_eq!(out.len(), items.len());
+            let bad: Vec<usize> =
+                out.iter().enumerate().filter(|(_, r)| r.is_err()).map(|(i, _)| i).collect();
+            assert_eq!(bad, expected_bad, "threads = {threads}");
+            for (i, r) in out.iter().enumerate() {
+                match r {
+                    Ok(v) => assert_eq!(*v, items[i] * 2),
+                    Err(p) => {
+                        assert_eq!(p.index, i);
+                        assert!(p.message.contains("injected panic"), "message = {}", p.message);
+                    }
+                }
+            }
+            // Quarantine set and messages are identical at every width.
+            if let Some(first) = &reference {
+                assert_eq!(&out, first, "threads = {threads}");
+            } else {
+                reference = Some(out);
+            }
+        }
+    }
+
+    #[test]
+    fn try_coarse_variant_isolates_small_inputs() {
+        let items: Vec<u32> = (0..5).collect();
+        let out = try_par_map_coarse(Parallelism::new(4), &items, |i, x| {
+            if i == 2 {
+                panic!("boom");
+            }
+            x + 1
+        });
+        assert_eq!(out[0], Ok(1));
+        assert_eq!(out[1], Ok(2));
+        assert!(out[2].is_err());
+        assert_eq!(out[3], Ok(4));
+        assert_eq!(out[4], Ok(5));
+    }
+
+    #[test]
+    fn panics_caught_counter_increments() {
+        dim_obs::enable();
+        let before = counter_value("par.panics_caught");
+        let items: Vec<u32> = (0..40).collect();
+        let _ = try_par_map_indexed(Parallelism::new(2), &items, |i, x| {
+            if i % 10 == 3 {
+                panic!("boom");
+            }
+            *x
+        });
+        let after = counter_value("par.panics_caught");
+        assert!(after >= before + 4, "before = {before}, after = {after}");
+    }
+
+    fn counter_value(name: &str) -> u64 {
+        dim_obs::snapshot()
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
     }
 
     #[test]

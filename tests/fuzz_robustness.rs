@@ -54,6 +54,29 @@ proptest! {
     }
 
     #[test]
+    fn unit_expression_parser_survives_arbitrary_unicode(text in "\\PC{0,60}") {
+        // Arbitrary multi-script UTF-8 (CJK, emoji, Latin-1 punctuation):
+        // parsing must return `Err(KbError)` rather than panic.
+        let kb = DimUnitKb::shared();
+        let _ = expr::eval(&kb, &text);
+    }
+
+    #[test]
+    fn unit_expression_parser_survives_operator_soup(
+        text in "[×·/()^\\-0-9a-zµ°%⁻¹²³ ]{0,40}"
+    ) {
+        // Dense operator/exponent soup — adversarial for the exponent
+        // tokenizer (`^-`, `^^`, bare `^`, huge exponents, superscripts).
+        let kb = DimUnitKb::shared();
+        if let Ok(v) = expr::eval(&kb, &text) {
+            // Accepted expressions must have sane, clamped exponents.
+            for e in v.dim.exponents() {
+                prop_assert!(e.unsigned_abs() <= 144, "runaway exponent {e}");
+            }
+        }
+    }
+
+    #[test]
     fn equation_calculator_never_panics(text in "[0-9+\\-*/()%. x=]{0,30}") {
         if let Ok(v) = calculate(&text) {
             prop_assert!(v.is_finite());

@@ -114,6 +114,23 @@ fn quick_table7_matches_golden_at_every_thread_width() {
     }
 }
 
+/// The chaos stage under a fixed `FaultPlan` (seed 7, rate 0.05) renders a
+/// byte-identical report — plan banner, stage outcomes, and the full
+/// quarantine manifest — at both fan-out widths. This pins the
+/// fault-injection decision function and the quarantine contract the same
+/// way the other goldens pin paper-facing numbers. Safe alongside the
+/// other golden tests: classic paths never consult the injector, so the
+/// plan window only affects this report's `try_*` stages.
+#[test]
+fn chaos_quick_matches_golden() {
+    for threads in [1, 4] {
+        assert_matches_golden(
+            "quick/chaos.txt",
+            &render::chaos_report(&quick_at(threads), 7, 0.05),
+        );
+    }
+}
+
 /// Drives every instrumented hot path with a small workload under
 /// `dim_obs::enable()` and asserts each acceptance-criteria stage (link,
 /// algo1, algo2, mwp-gen, eval) reports a non-zero span timing plus
