@@ -1,11 +1,12 @@
-.PHONY: verify build test clippy smoke golden chaos no-panic-hotpath no-artifacts bench-baseline
+.PHONY: verify build test clippy smoke golden chaos serve-smoke no-panic-hotpath no-artifacts bench-baseline bench-serve
 
 # Full offline verification: release build, workspace tests, lints, the
 # golden-results harness, the chaos (fault-injection) harness, a quick
 # end-to-end smoke of the experiment suite (with the metrics layer live),
+# the serving-layer smoke (golden HTTP transcript over an ephemeral port),
 # the no-panic hot-path lint, and a check that no build artifacts are
 # tracked. No network required.
-verify: build test clippy golden chaos smoke no-panic-hotpath no-artifacts
+verify: build test clippy golden chaos smoke serve-smoke no-panic-hotpath no-artifacts
 
 build:
 	cargo build --workspace --release
@@ -32,12 +33,20 @@ smoke:
 chaos:
 	cargo test --release --test chaos -q
 
+# Serving-layer smoke: runs the fixed request script against an in-process
+# dim-serve on an ephemeral port and byte-compares the transcript with
+# results/quick/serve.txt. Refresh after an intentional change with
+#   UPDATE_GOLDEN=1 cargo test --test serve
+serve-smoke:
+	cargo test --release --test serve -q
+
 # Degraded-mode hot paths must stay panic-free: no new `.unwrap()` or
-# `.expect(` may appear in dimlink, core::pipeline, or par outside test
+# `.expect(` may appear in dimlink, core::pipeline, par, or the serving
+# layer (every serve request path must degrade, never die) outside test
 # code. Scans each file only up to its first `#[cfg(test)]` marker.
 no-panic-hotpath:
 	@bad=0; \
-	for f in crates/dimlink/src/*.rs crates/core/src/pipeline.rs crates/par/src/*.rs; do \
+	for f in crates/dimlink/src/*.rs crates/core/src/pipeline.rs crates/par/src/*.rs crates/serve/src/*.rs crates/serve/src/bin/*.rs; do \
 		hits=$$(awk '/#\[cfg\(test\)\]/ { exit } /\.unwrap\(\)|\.expect\(/ { print FILENAME ":" FNR ": " $$0 }' $$f); \
 		if [ -n "$$hits" ]; then echo "$$hits"; bad=1; fi; \
 	done; \
@@ -53,3 +62,10 @@ no-artifacts:
 # aggregation; see EXPERIMENTS.md "Micro-benchmark methodology").
 bench-baseline:
 	BENCH_JSON=$(CURDIR)/BENCH_baseline.json cargo bench --workspace
+
+# Regenerates BENCH_serve.json: the seeded closed-loop load generator over
+# an in-process dim-serve (see EXPERIMENTS.md "Serving-layer load
+# methodology"). The "deterministic" block must be byte-identical
+# run-to-run; the "timing" block varies with the machine.
+bench-serve:
+	cargo run --release -p dim-serve --bin loadgen -- --out $(CURDIR)/BENCH_serve.json

@@ -1,0 +1,481 @@
+//! The service application: routing, request handlers, the response cache,
+//! micro-batching, and the chaos hook on the request path.
+//!
+//! Endpoints (all bodies JSON):
+//!
+//! | route            | request                                   | response                      |
+//! |------------------|-------------------------------------------|-------------------------------|
+//! | `POST /link`     | `{"mention", "context"?}`                 | ranked candidate units        |
+//! | `POST /annotate` | `{"text"}`                                | linked quantity mentions      |
+//! | `POST /convert`  | `{"value", "from", "to"}`                 | converted value (dimension law)|
+//! | `POST /solve`    | `{"equation"}`                            | calculator answer (§VI-D)     |
+//! | `GET /healthz`   | —                                         | liveness                      |
+//! | `GET /metrics`   | —                                         | `dim-obs` snapshot JSON       |
+//!
+//! Every `POST` consults [`dimkb::degrade::inject`] once under the
+//! [`SITE_REQUEST`] site before doing work: with no fault plan (or rate 0)
+//! that is one relaxed atomic load and responses are byte-identical to a
+//! chaos-free build; with an active plan a faulted request is answered with
+//! a structured degraded `503` (and quarantined) instead of crashing a
+//! worker — injected panics are caught by the worker's per-request
+//! isolation and land in the same degraded path.
+
+use crate::cache::ShardedLru;
+use crate::http::{Method, Request, Response};
+use crate::{batcher::MicroBatcher, json};
+use dim_core::DimKs;
+use dimkb::degrade::{QuarantineEntry, RecordError};
+use dimlink::{LinkResult, QuantityMention};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+static REQUESTS: dim_obs::Counter = dim_obs::Counter::new("srv.requests");
+static REQUEST_SPAN: dim_obs::Histogram = dim_obs::Histogram::new("srv.request");
+static RESP_2XX: dim_obs::Counter = dim_obs::Counter::new("srv.responses.2xx");
+static RESP_4XX: dim_obs::Counter = dim_obs::Counter::new("srv.responses.4xx");
+static RESP_5XX: dim_obs::Counter = dim_obs::Counter::new("srv.responses.5xx");
+static DEGRADED: dim_obs::Counter = dim_obs::Counter::new("srv.degraded");
+static QUARANTINED: dim_obs::Counter = dim_obs::Counter::new("srv.quarantined");
+
+/// Chaos/quarantine site for the request path (every `POST` consults it).
+pub const SITE_REQUEST: &str = "srv.request";
+
+/// Upper bound on retained quarantine entries; beyond it only the counter
+/// moves (a chaos soak must not grow memory without bound).
+const MAX_QUARANTINE_ENTRIES: usize = 1024;
+
+/// Application configuration.
+#[derive(Debug, Clone)]
+pub struct AppConfig {
+    /// Cache shards.
+    pub cache_shards: usize,
+    /// LRU entries per shard.
+    pub cache_per_shard: usize,
+    /// Micro-batch flush size.
+    pub batch_max: usize,
+    /// Micro-batch collection window.
+    pub batch_window: Duration,
+    /// Fan-out width for batched engine calls.
+    pub parallelism: dim_par::Parallelism,
+}
+
+impl Default for AppConfig {
+    fn default() -> AppConfig {
+        AppConfig {
+            cache_shards: 8,
+            cache_per_shard: 128,
+            batch_max: 8,
+            batch_window: Duration::from_micros(500),
+            parallelism: dim_par::Parallelism::SEQUENTIAL,
+        }
+    }
+}
+
+/// The assembled application: DimKS plus serving infrastructure.
+pub struct App {
+    ks: DimKs,
+    cache: ShardedLru,
+    link_batcher: MicroBatcher<(String, String), Vec<LinkResult>>,
+    annotate_batcher: MicroBatcher<String, Vec<QuantityMention>>,
+    parallelism: dim_par::Parallelism,
+    seq: AtomicU64,
+    handled: AtomicU64,
+    quarantine: Mutex<Vec<QuarantineEntry>>,
+}
+
+impl App {
+    /// Builds the app over the standard (lexical) DimKS.
+    pub fn new(config: AppConfig) -> App {
+        App {
+            ks: DimKs::standard(),
+            cache: ShardedLru::new(config.cache_shards, config.cache_per_shard),
+            link_batcher: MicroBatcher::new(config.batch_max, config.batch_window),
+            annotate_batcher: MicroBatcher::new(config.batch_max, config.batch_window),
+            parallelism: config.parallelism,
+            seq: AtomicU64::new(0),
+            handled: AtomicU64::new(0),
+            quarantine: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The response cache (test/report hook).
+    pub fn cache(&self) -> &ShardedLru {
+        &self.cache
+    }
+
+    /// Requests handled so far (monotonic, includes degraded ones).
+    pub fn requests_handled(&self) -> u64 {
+        self.handled.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of retained quarantine entries.
+    pub fn quarantine_entries(&self) -> Vec<QuarantineEntry> {
+        self.lock_quarantine().clone()
+    }
+
+    /// Routes and executes one request. Infallible by construction: every
+    /// failure mode is a structured response. (Panics are possible only
+    /// through the engine or an injected fault, and the server worker wraps
+    /// this call in per-request isolation — see [`App::degraded_response`].)
+    pub fn handle(&self, req: &Request) -> Response {
+        let _span = REQUEST_SPAN.span();
+        REQUESTS.inc();
+        self.handled.fetch_add(1, Ordering::Relaxed);
+        let response = self.route(req);
+        match response.status {
+            200..=299 => RESP_2XX.inc(),
+            400..=499 => RESP_4XX.inc(),
+            _ => RESP_5XX.inc(),
+        }
+        response
+    }
+
+    /// The sequence number the next request will be stamped with — the
+    /// index the chaos decision function sees.
+    pub fn next_sequence(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    fn route(&self, req: &Request) -> Response {
+        match (req.method, req.target.as_str()) {
+            (Method::Get, "/healthz") => Response::json(200, "{\"status\":\"ok\"}".to_string()),
+            (Method::Get, "/metrics") => {
+                let mut body = dim_obs::snapshot().to_json();
+                // The obs writer pretty-prints with a trailing newline;
+                // serve bodies are exact-length, so keep it as-is.
+                if body.ends_with('\n') {
+                    body.pop();
+                }
+                Response::json(200, body)
+            }
+            (Method::Post, "/link" | "/annotate" | "/convert" | "/solve") => {
+                let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+                // The chaos hook: rate 0 ⇒ one relaxed load, no effect.
+                if let Err(e) = dimkb::degrade::inject(SITE_REQUEST, seq as usize) {
+                    return self.quarantined_response(seq, e);
+                }
+                self.dispatch_post(req)
+            }
+            (Method::Post, _) => error_response(404, "no such endpoint"),
+            (Method::Get, _) => error_response(404, "no such endpoint"),
+        }
+    }
+
+    fn dispatch_post(&self, req: &Request) -> Response {
+        let body = match req.body_utf8() {
+            Ok(b) => b,
+            Err(e) => return error_response(400, &e.to_string()),
+        };
+        let key = cache_key(&req.target, body);
+        if let Some(hit) = self.cache.get(&key) {
+            return Response::json(200, hit);
+        }
+        let parsed = match json::parse(body) {
+            Ok(v) => v,
+            Err(e) => return error_response(400, &format!("invalid JSON body: {e}")),
+        };
+        let result = match req.target.as_str() {
+            "/link" => self.link(&parsed),
+            "/annotate" => self.annotate(&parsed),
+            "/convert" => self.convert(&parsed),
+            "/solve" => self.solve(&parsed),
+            _ => Err((404, "no such endpoint".to_string())),
+        };
+        match result {
+            Ok(body) => {
+                self.cache.insert(&key, body.clone());
+                Response::json(200, body)
+            }
+            Err((status, msg)) => error_response(status, &msg),
+        }
+    }
+
+    /// `POST /link` — unit linking (Definition 1), micro-batched so
+    /// concurrent queries share one `par_map` fan-out.
+    fn link(&self, v: &serde::Value) -> Result<String, (u16, String)> {
+        let mention = json::str_field(v, "mention").map_err(|e| (400, e))?.to_string();
+        let context =
+            json::opt_str_field(v, "context").map_err(|e| (400, e))?.unwrap_or("").to_string();
+        let par = self.parallelism;
+        let links = self
+            .link_batcher
+            .submit((mention.clone(), context), |batch| {
+                dim_par::par_map(par, &batch, |(m, c)| self.ks.link(m, c))
+            })
+            .ok_or_else(|| (500, "batch processing failed".to_string()))?;
+        let mut out = String::from("{\"mention\":");
+        json::string(&mut out, &mention);
+        out.push_str(",\"links\":[");
+        for (i, l) in links.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            self.render_link(&mut out, l);
+        }
+        out.push_str("]}");
+        Ok(out)
+    }
+
+    fn render_link(&self, out: &mut String, l: &LinkResult) {
+        out.push_str("{\"code\":");
+        json::string(out, &self.ks.kb().unit(l.unit).code);
+        out.push_str(",\"score\":");
+        json::number(out, l.score);
+        out.push_str(",\"prior\":");
+        json::number(out, l.prior);
+        out.push_str(",\"mention_sim\":");
+        json::number(out, l.mention_sim);
+        out.push_str(",\"context_prob\":");
+        json::number(out, l.context_prob);
+        out.push('}');
+    }
+
+    /// `POST /annotate` — sentence annotation via the DimKS annotator,
+    /// micro-batched into `annotate_batch`.
+    fn annotate(&self, v: &serde::Value) -> Result<String, (u16, String)> {
+        let text = json::str_field(v, "text").map_err(|e| (400, e))?.to_string();
+        let par = self.parallelism;
+        let mentions = self
+            .annotate_batcher
+            .submit(text.clone(), |batch| {
+                self.ks.annotator().annotate_batch(&batch, par)
+            })
+            .ok_or_else(|| (500, "batch processing failed".to_string()))?;
+        let mut out = String::from("{\"mentions\":[");
+        for (i, m) in mentions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"value\":");
+            json::number(&mut out, m.value);
+            out.push_str(",\"unit\":");
+            json::string(&mut out, &self.ks.kb().unit(m.best_unit()).code);
+            out.push_str(",\"surface\":");
+            json::string(&mut out, &m.unit_surface);
+            out.push_str(&format!(",\"start\":{},\"end\":{}", m.start, m.end));
+            out.push_str(&format!(",\"candidates\":{}", m.links.len()));
+            out.push('}');
+        }
+        out.push_str("]}");
+        Ok(out)
+    }
+
+    /// `POST /convert` — dimensional conversion through the KB, applying
+    /// the dimension law (incomparable units are a structured `422`).
+    fn convert(&self, v: &serde::Value) -> Result<String, (u16, String)> {
+        let value = json::num_field(v, "value").map_err(|e| (400, e))?;
+        let from = json::str_field(v, "from").map_err(|e| (400, e))?;
+        let to = json::str_field(v, "to").map_err(|e| (400, e))?;
+        let from_id = self.resolve_unit(from).ok_or_else(|| {
+            (422, format!("unknown unit {from:?}"))
+        })?;
+        let to_id = self
+            .resolve_unit(to)
+            .ok_or_else(|| (422, format!("unknown unit {to:?}")))?;
+        let kb = self.ks.kb();
+        match kb.convert(value, from_id, to_id) {
+            Ok(converted) => {
+                let mut out = String::from("{\"value\":");
+                json::number(&mut out, converted);
+                out.push_str(",\"from\":");
+                json::string(&mut out, &kb.unit(from_id).code);
+                out.push_str(",\"to\":");
+                json::string(&mut out, &kb.unit(to_id).code);
+                out.push('}');
+                Ok(out)
+            }
+            Err(e) => Err((422, e.to_string())),
+        }
+    }
+
+    /// `POST /solve` — the §VI-D calculator over an MWP equation string.
+    fn solve(&self, v: &serde::Value) -> Result<String, (u16, String)> {
+        let equation = json::str_field(v, "equation").map_err(|e| (400, e))?;
+        match dim_mwp::calculate(equation) {
+            Ok(answer) => {
+                let mut out = String::from("{\"answer\":");
+                json::number(&mut out, answer);
+                out.push('}');
+                Ok(out)
+            }
+            Err(e) => Err((422, e.to_string())),
+        }
+    }
+
+    /// Resolves a unit surface form: exact naming-dictionary hit first,
+    /// then the linker's fuzzy ranking.
+    fn resolve_unit(&self, surface: &str) -> Option<dimkb::UnitId> {
+        if let Some(&id) = self.ks.kb().lookup(surface).first() {
+            return Some(id);
+        }
+        self.ks.annotator().linker().link(surface, "").first().map(|l| l.unit)
+    }
+
+    /// The structured degraded `503` for a chaos-faulted request, recording
+    /// the quarantine entry (bounded) and the `srv.degraded` counter.
+    fn quarantined_response(&self, seq: u64, error: RecordError) -> Response {
+        DEGRADED.inc();
+        QUARANTINED.inc();
+        {
+            let mut q = self.lock_quarantine();
+            if q.len() < MAX_QUARANTINE_ENTRIES {
+                q.push(QuarantineEntry {
+                    site: SITE_REQUEST.to_string(),
+                    index: seq as usize,
+                    error: error.to_string(),
+                });
+            }
+        }
+        let mut body = String::from("{\"degraded\":true,\"kind\":");
+        json::string(&mut body, error.kind());
+        body.push_str(",\"error\":");
+        json::string(&mut body, &error.to_string());
+        body.push('}');
+        Response::json(503, body)
+    }
+
+    /// The degraded response for a request whose handler panicked (the
+    /// worker's per-request `catch_unwind` calls this instead of dying;
+    /// injected chaos panics land here).
+    pub fn degraded_response(&self, message: String) -> Response {
+        let seq = self.seq.load(Ordering::Relaxed).saturating_sub(1);
+        RESP_5XX.inc();
+        self.quarantined_response(seq, RecordError::Panicked(message))
+    }
+
+    fn lock_quarantine(&self) -> std::sync::MutexGuard<'_, Vec<QuarantineEntry>> {
+        match self.quarantine.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// The cache key for a `POST` request: route + raw body.
+fn cache_key(target: &str, body: &str) -> String {
+    format!("{target}\u{0}{body}")
+}
+
+/// A structured error response (`{"error": ...}`).
+fn error_response(status: u16, message: &str) -> Response {
+    let mut body = String::from("{\"error\":");
+    json::string(&mut body, message);
+    body.push('}');
+    Response::json(status, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn post(target: &str, body: &str) -> Request {
+        Request {
+            method: Method::Post,
+            target: target.to_string(),
+            headers: vec![("content-length".to_string(), body.len().to_string())],
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn get(target: &str) -> Request {
+        Request { method: Method::Get, target: target.to_string(), headers: vec![], body: vec![] }
+    }
+
+    fn app() -> App {
+        App::new(AppConfig { batch_window: Duration::ZERO, ..AppConfig::default() })
+    }
+
+    #[test]
+    fn healthz_is_static() {
+        let app = app();
+        let r = app.handle(&get("/healthz"));
+        assert_eq!((r.status, r.body.as_str()), (200, "{\"status\":\"ok\"}"));
+    }
+
+    #[test]
+    fn link_returns_ranked_candidates() {
+        let app = app();
+        let r = app.handle(&post("/link", "{\"mention\":\"km\",\"context\":\"driving\"}"));
+        assert_eq!(r.status, 200, "{}", r.body);
+        assert!(r.body.contains("\"code\":\"KiloM\""), "{}", r.body);
+    }
+
+    #[test]
+    fn annotate_finds_fig1_quantities() {
+        let app = app();
+        let r = app.handle(&post(
+            "/annotate",
+            "{\"text\":\"LeBron James's height is 2.06 meters and Stephen Curry's height is 188 cm.\"}",
+        ));
+        assert_eq!(r.status, 200, "{}", r.body);
+        assert!(r.body.contains("\"value\":2.06") && r.body.contains("\"unit\":\"M\""), "{}", r.body);
+        assert!(r.body.contains("\"value\":188") && r.body.contains("\"unit\":\"CentiM\""));
+    }
+
+    #[test]
+    fn convert_applies_dimension_law() {
+        let app = app();
+        let ok = app.handle(&post("/convert", "{\"value\":2.5,\"from\":\"m\",\"to\":\"cm\"}"));
+        assert_eq!(ok.status, 200);
+        assert!(ok.body.contains("\"value\":250"), "{}", ok.body);
+        let bad = app.handle(&post("/convert", "{\"value\":1,\"from\":\"m\",\"to\":\"s\"}"));
+        assert_eq!(bad.status, 422, "incomparable dimensions refuse: {}", bad.body);
+        let unknown =
+            app.handle(&post("/convert", "{\"value\":1,\"from\":\"zorblax\",\"to\":\"m\"}"));
+        assert_eq!(unknown.status, 422);
+    }
+
+    #[test]
+    fn solve_runs_the_calculator() {
+        let app = app();
+        let r = app.handle(&post("/solve", "{\"equation\":\"x=150*20%/5%-150\"}"));
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, "{\"answer\":450}");
+        let bad = app.handle(&post("/solve", "{\"equation\":\"x=1+\"}"));
+        assert_eq!(bad.status, 422);
+    }
+
+    #[test]
+    fn malformed_bodies_are_400() {
+        let app = app();
+        for (target, body) in [
+            ("/link", "{not json"),
+            ("/link", "{\"context\":\"no mention\"}"),
+            ("/link", "{\"mention\":42}"),
+            ("/convert", "{\"value\":\"NaN-ish\",\"from\":\"m\",\"to\":\"cm\"}"),
+            ("/solve", "{}"),
+        ] {
+            let r = app.handle(&post(target, body));
+            assert_eq!(r.status, 400, "{target} {body} -> {}", r.body);
+        }
+        let mut req = post("/annotate", "{\"text\":\"x\"}");
+        req.body = vec![0xFF, 0xFE];
+        assert_eq!(app.handle(&req).status, 400);
+    }
+
+    #[test]
+    fn unknown_routes_are_404() {
+        let app = app();
+        assert_eq!(app.handle(&get("/nope")).status, 404);
+        assert_eq!(app.handle(&post("/nope", "{}")).status, 404);
+    }
+
+    #[test]
+    fn repeated_request_is_served_from_cache() {
+        let app = app();
+        let req = post("/link", "{\"mention\":\"km\",\"context\":\"road\"}");
+        let first = app.handle(&req);
+        let cached = app.handle(&req);
+        assert_eq!(first.body, cached.body, "cache must not change bytes");
+        assert_eq!(app.cache().len(), 1);
+    }
+
+    #[test]
+    fn metrics_endpoint_returns_snapshot_json() {
+        let app = app();
+        let r = app.handle(&get("/metrics"));
+        assert_eq!(r.status, 200);
+        assert!(r.body.starts_with('{') && r.body.contains("\"counters\""), "{}", r.body);
+    }
+}

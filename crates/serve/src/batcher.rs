@@ -1,0 +1,190 @@
+//! The micro-batcher: coalesces concurrent requests for the same engine
+//! call into one batch, so the serving layer reaches the same
+//! `annotate_batch` / `par_map` fan-out paths the offline pipeline uses.
+//!
+//! Shape: the first worker to submit while no batch is forming becomes the
+//! *leader*. It waits up to the configured window (or until the batch cap
+//! is reached) for followers, then takes the whole pending set, runs the
+//! processing function once over the slice, and hands each submitter its
+//! result through a channel. Followers just block on their channel. Because
+//! the processing functions are item-independent (`annotate_batch` output
+//! per text equals `annotate`; `par_map` over link queries equals one
+//! `link` each), *which* requests share a batch can never change any
+//! response byte — batching only changes throughput.
+
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+static BATCH_FLUSHES: dim_obs::Counter = dim_obs::Counter::new("srv.batch.flushes");
+static BATCH_ITEMS: dim_obs::Counter = dim_obs::Counter::new("srv.batch.items");
+static BATCH_SIZE: dim_obs::Histogram = dim_obs::Histogram::with_unit("srv.batch.size", "items");
+
+struct Pending<T, R> {
+    items: Vec<(T, mpsc::Sender<R>)>,
+    leader_active: bool,
+}
+
+/// A micro-batcher over items `T` producing one `R` per item.
+pub struct MicroBatcher<T, R> {
+    state: Mutex<Pending<T, R>>,
+    arrived: Condvar,
+    /// Flush as soon as this many items are pending.
+    max_batch: usize,
+    /// How long a leader waits for followers before flushing.
+    window: Duration,
+}
+
+impl<T: Send, R: Send> MicroBatcher<T, R> {
+    /// A batcher flushing at `max_batch` items or after `window`, whichever
+    /// comes first (`max_batch` clamped to at least 1).
+    pub fn new(max_batch: usize, window: Duration) -> MicroBatcher<T, R> {
+        MicroBatcher {
+            state: Mutex::new(Pending { items: Vec::new(), leader_active: false }),
+            arrived: Condvar::new(),
+            max_batch: max_batch.max(1),
+            window,
+        }
+    }
+
+    /// Submits one item and blocks until its result is ready. `process`
+    /// must return exactly one result per input, in input order (a
+    /// violation degrades to `None` for the affected submitters — it never
+    /// panics a worker).
+    pub fn submit<F>(&self, item: T, process: F) -> Option<R>
+    where
+        F: Fn(Vec<T>) -> Vec<R>,
+    {
+        let (tx, rx) = mpsc::channel();
+        let lead = {
+            let mut state = self.lock();
+            state.items.push((item, tx));
+            if state.leader_active {
+                // A leader is already collecting; it will flush this item.
+                self.arrived.notify_all();
+                false
+            } else {
+                state.leader_active = true;
+                true
+            }
+        };
+        if lead {
+            self.lead(process);
+        }
+        rx.recv().ok()
+    }
+
+    /// Leader duty: wait out the window (or the batch cap), then flush.
+    fn lead<F>(&self, process: F)
+    where
+        F: Fn(Vec<T>) -> Vec<R>,
+    {
+        let deadline = Instant::now() + self.window;
+        let mut state = self.lock();
+        while state.items.len() < self.max_batch {
+            let now = Instant::now();
+            let Some(left) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+            else {
+                break;
+            };
+            let (guard, timeout) = match self.arrived.wait_timeout(state, left) {
+                Ok(pair) => pair,
+                Err(poisoned) => {
+                    let pair = poisoned.into_inner();
+                    (pair.0, pair.1)
+                }
+            };
+            state = guard;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+        let batch: Vec<(T, mpsc::Sender<R>)> = std::mem::take(&mut state.items);
+        state.leader_active = false;
+        drop(state);
+
+        BATCH_FLUSHES.inc();
+        BATCH_ITEMS.add(batch.len() as u64);
+        BATCH_SIZE.record(batch.len() as u64);
+
+        let (items, senders): (Vec<T>, Vec<mpsc::Sender<R>>) = batch.into_iter().unzip();
+        let results = process(items);
+        // One result per sender, in order. A length mismatch (a broken
+        // process fn) drops the extra senders, whose submitters observe a
+        // disconnected channel and answer 500 — not a panic.
+        for (result, sender) in results.into_iter().zip(senders) {
+            let _ = sender.send(result); // receiver gone ⇒ submitter bailed; fine
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Pending<T, R>> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn single_submit_flushes_after_window() {
+        let b = MicroBatcher::new(8, Duration::from_millis(1));
+        let out = b.submit(21u64, |items| items.into_iter().map(|x| x * 2).collect());
+        assert_eq!(out, Some(42));
+    }
+
+    #[test]
+    fn concurrent_submits_coalesce() {
+        let b = Arc::new(MicroBatcher::new(64, Duration::from_millis(40)));
+        let flushes = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8u64)
+            .map(|i| {
+                let b = b.clone();
+                let flushes = flushes.clone();
+                std::thread::spawn(move || {
+                    b.submit(i, move |items| {
+                        flushes.fetch_add(1, Ordering::SeqCst);
+                        items.into_iter().map(|x| x + 100).collect()
+                    })
+                })
+            })
+            .collect();
+        let mut results: Vec<u64> =
+            handles.into_iter().map(|h| h.join().expect("thread").expect("result")).collect();
+        results.sort_unstable();
+        assert_eq!(results, (100..108).collect::<Vec<_>>());
+        // All 8 submitters raced into far fewer flushes than submissions
+        // (exactly 1 when they all make the leader's window, which a loaded
+        // CI box can miss — so assert coalescing, not perfection).
+        assert!(flushes.load(Ordering::SeqCst) < 8, "no coalescing happened");
+    }
+
+    #[test]
+    fn batch_cap_short_circuits_the_window() {
+        let b = Arc::new(MicroBatcher::new(2, Duration::from_secs(30)));
+        let started = Instant::now();
+        let other = {
+            let b = b.clone();
+            std::thread::spawn(move || b.submit(1u32, |items| items))
+        };
+        let here = b.submit(2u32, |items| items);
+        let joined = other.join().expect("thread");
+        // A 30s window that flushed promptly proves the cap fired.
+        assert!(started.elapsed() < Duration::from_secs(10));
+        let mut got = vec![here.expect("result"), joined.expect("result")];
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn broken_process_fn_degrades_to_none() {
+        let b: MicroBatcher<u8, u8> = MicroBatcher::new(1, Duration::ZERO);
+        let out = b.submit(7u8, |_| Vec::new());
+        assert_eq!(out, None);
+    }
+}

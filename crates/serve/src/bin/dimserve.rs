@@ -1,0 +1,82 @@
+//! `dimserve` — the DimKS HTTP server.
+//!
+//! ```text
+//! cargo run --release --bin dimserve -- [--port N] [--workers N]
+//!     [--queue N] [--threads N] [--chaos-seed S] [--chaos-rate R]
+//!     [--obs-out PATH]
+//! ```
+//!
+//! Serves `POST /link|/annotate|/convert|/solve` and `GET
+//! /healthz|/metrics` until stdin reaches EOF (`Ctrl-D`, or the parent
+//! closing the pipe — `std` has no portable signal handling), then drains
+//! gracefully and writes the final obs report.
+
+use dim_serve::{AppConfig, ServerConfig};
+use std::io::Read;
+use std::time::Duration;
+
+fn flag(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn parse_flag<T: std::str::FromStr>(name: &str, default: T) -> T {
+    flag(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let port: u16 = parse_flag("--port", 8080);
+    let workers: usize = parse_flag("--workers", 2);
+    let queue: usize = parse_flag("--queue", 64);
+    let threads: usize = parse_flag("--threads", 1);
+    let chaos_seed: u64 = parse_flag("--chaos-seed", 7);
+    let chaos_rate: f64 = parse_flag("--chaos-rate", 0.0);
+    let obs_out = flag("--obs-out").unwrap_or_else(|| "obs_report.json".to_string());
+
+    if chaos_rate > 0.0 {
+        // Injected panics are expected and caught per-request; keep stderr
+        // readable during a chaos soak.
+        dim_chaos::silence_injected_panic_reports();
+        dim_chaos::install(dim_chaos::FaultPlan::new(chaos_seed, chaos_rate));
+        eprintln!("chaos: seed={chaos_seed} rate={chaos_rate}");
+    }
+
+    let config = ServerConfig {
+        addr: format!("127.0.0.1:{port}"),
+        workers,
+        queue_capacity: queue,
+        read_timeout: Duration::from_millis(25),
+        idle_timeout_ticks: 2400, // ~60 s of idle keep-alive
+        app: AppConfig {
+            parallelism: dim_par::Parallelism::new(threads),
+            ..AppConfig::default()
+        },
+    };
+    let server = match dim_serve::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("dimserve: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("dimserve listening on {}", server.addr());
+    println!("(EOF on stdin triggers graceful drain)");
+
+    // Block until the controlling terminal/pipe hangs up.
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+
+    let report = server.shutdown();
+    if let Err(e) = std::fs::write(&obs_out, &report.obs_json) {
+        eprintln!("dimserve: writing {obs_out} failed: {e}");
+    }
+    println!(
+        "drained: requests={} connections={} rejected={} degraded={} (obs -> {obs_out})",
+        report.requests, report.connections, report.rejected, report.degraded
+    );
+}

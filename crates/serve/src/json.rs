@@ -1,0 +1,120 @@
+//! Minimal deterministic JSON building and field extraction.
+//!
+//! Response bodies are assembled by hand (same discipline as
+//! `dim_obs::Snapshot::to_json`): fields appear in the order the handler
+//! writes them, floats use Rust's shortest-roundtrip `{}` formatting, and
+//! equal inputs therefore always produce byte-identical bodies. Request
+//! bodies are parsed through the vendored `serde_json` into the compat
+//! [`serde::Value`] tree and fields are extracted by name.
+
+use serde::Value;
+
+/// Appends a JSON string literal (with escaping) to `out`.
+pub fn string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str("\\u");
+                let code = c as u32;
+                for shift in [12u32, 8, 4, 0] {
+                    let digit = (code >> shift) & 0xF;
+                    out.push(char::from_digit(digit, 16).unwrap_or('0'));
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a finite `f64` (integers without a trailing `.0` would change
+/// meaning here, so plain `{}` — shortest roundtrip — is used; non-finite
+/// values have no JSON form and render as `null`).
+pub fn number(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// An object field lookup over a parsed [`Value`].
+pub fn field<'v>(v: &'v Value, name: &str) -> Option<&'v Value> {
+    match v {
+        Value::Obj(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+/// A required string field.
+pub fn str_field<'v>(v: &'v Value, name: &str) -> Result<&'v str, String> {
+    match field(v, name) {
+        Some(Value::Str(s)) => Ok(s),
+        Some(_) => Err(format!("field {name:?} must be a string")),
+        None => Err(format!("missing field {name:?}")),
+    }
+}
+
+/// An optional string field (absent ⇒ `None`, wrong type ⇒ error).
+pub fn opt_str_field<'v>(v: &'v Value, name: &str) -> Result<Option<&'v str>, String> {
+    match field(v, name) {
+        None => Ok(None),
+        Some(Value::Str(s)) => Ok(Some(s)),
+        Some(_) => Err(format!("field {name:?} must be a string")),
+    }
+}
+
+/// A required numeric field.
+pub fn num_field(v: &Value, name: &str) -> Result<f64, String> {
+    match field(v, name) {
+        Some(Value::Num(n)) => Ok(*n),
+        Some(_) => Err(format!("field {name:?} must be a number")),
+        None => Err(format!("missing field {name:?}")),
+    }
+}
+
+/// Parses a request body into the compat [`Value`] tree.
+pub fn parse(body: &str) -> Result<Value, String> {
+    serde_json::parse_value(body).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_escaping_covers_controls() {
+        let mut out = String::new();
+        string(&mut out, "a\"b\\c\nd\u{1}米");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001米\"");
+    }
+
+    #[test]
+    fn numbers_render_shortest_roundtrip() {
+        let mut out = String::new();
+        number(&mut out, 2.06);
+        out.push(',');
+        number(&mut out, 188.0);
+        out.push(',');
+        number(&mut out, f64::NAN);
+        assert_eq!(out, "2.06,188,null");
+    }
+
+    #[test]
+    fn field_extraction() {
+        let v = parse("{\"mention\": \"km\", \"value\": 2.5}").expect("valid json");
+        assert_eq!(str_field(&v, "mention"), Ok("km"));
+        assert_eq!(num_field(&v, "value"), Ok(2.5));
+        assert!(str_field(&v, "missing").is_err());
+        assert!(num_field(&v, "mention").is_err());
+        assert_eq!(opt_str_field(&v, "context"), Ok(None));
+        assert!(opt_str_field(&v, "value").is_err());
+        assert!(parse("{not json").is_err());
+    }
+}

@@ -1,0 +1,45 @@
+//! **dim-serve** — a from-scratch, zero-external-dependency HTTP/1.1
+//! serving layer over DimKS, the dimension knowledge system of
+//! *"Enhancing Quantitative Reasoning Skills of Large Language Models
+//! through Dimension Perception"*.
+//!
+//! The offline pipeline answers "is the method right"; this crate answers
+//! "can the method be *served*" — unit linking, sentence annotation,
+//! dimensional conversion, and the §VI-D calculator behind a socket, with
+//! the same determinism contract the rest of the workspace enforces:
+//!
+//! - **No external dependencies.** The HTTP/1.1 parser and response writer
+//!   are hand-rolled over `std::net` ([`http`]).
+//! - **Fixed resources.** A bounded MPMC queue ([`queue`]) feeds a fixed
+//!   worker pool; a full queue is a deterministic `503`, never an unbounded
+//!   backlog ([`server`]).
+//! - **Batching without byte drift.** Concurrent `/link` and `/annotate`
+//!   requests coalesce into the same `par_map`/`annotate_batch` calls the
+//!   offline pipeline uses ([`batcher`]); item-independence makes the
+//!   coalescing invisible in response bytes.
+//! - **Deterministic caching.** A sharded LRU keyed on route + body, with
+//!   FNV-1a shard routing that is a pure function of the key ([`cache`]).
+//! - **Chaos on the request path.** Every `POST` consults the workspace
+//!   fault-injection machinery; a faulted request degrades to a structured
+//!   `503` and a quarantine entry — the process never dies ([`app`]).
+//! - **Graceful drain.** Shutdown stops accepting, drains queued and
+//!   in-flight requests, and emits a final obs report
+//!   ([`server::ServerHandle::shutdown`]).
+
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod batcher;
+pub mod cache;
+pub mod http;
+pub mod json;
+pub mod queue;
+pub mod server;
+pub mod smoke;
+
+pub use app::{App, AppConfig};
+pub use batcher::MicroBatcher;
+pub use cache::ShardedLru;
+pub use http::{Method, Parsed, Request, Response};
+pub use queue::{Bounded, PushError};
+pub use server::{client, start, DrainReport, ServerConfig, ServerHandle};

@@ -1,0 +1,469 @@
+//! The server runtime: TCP acceptor, bounded connection queue, fixed worker
+//! pool, per-request panic isolation, and graceful drain.
+//!
+//! Threading shape (fixed at startup, no growth under load):
+//!
+//! ```text
+//! acceptor ──▶ Bounded<TcpStream> ──▶ worker 0..N  ──▶ App::handle
+//!    │              (capacity Q)          │
+//!    └── queue full ⇒ deterministic 503   └── catch_unwind ⇒ degraded 503
+//! ```
+//!
+//! Backpressure is explicit: a full queue never blocks the acceptor — the
+//! connection is answered with a fixed `503` body and the `srv.rejected`
+//! counter moves. Graceful shutdown follows the queue's own drain order:
+//! stop accepting, close the queue (workers finish the backlog), join
+//! everything, then emit the final [`DrainReport`] with the obs snapshot.
+
+use crate::app::{App, AppConfig};
+use crate::http::{self, Parsed, Response};
+use crate::queue::{Bounded, PushError};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+static CONNECTIONS: dim_obs::Counter = dim_obs::Counter::new("srv.connections");
+static REJECTED: dim_obs::Counter = dim_obs::Counter::new("srv.rejected");
+static PANICS_CAUGHT: dim_obs::Counter = dim_obs::Counter::new("srv.panics_caught");
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// Connection queue capacity (the backpressure bound).
+    pub queue_capacity: usize,
+    /// Socket read timeout — also the shutdown-check cadence.
+    pub read_timeout: Duration,
+    /// Consecutive idle read timeouts before an open connection is closed.
+    pub idle_timeout_ticks: u32,
+    /// Application configuration.
+    pub app: AppConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 32,
+            read_timeout: Duration::from_millis(25),
+            idle_timeout_ticks: 400,
+            app: AppConfig::default(),
+        }
+    }
+}
+
+/// What the server did over its lifetime, emitted by a graceful shutdown.
+#[derive(Debug)]
+pub struct DrainReport {
+    /// Requests routed through the app (including degraded ones).
+    pub requests: u64,
+    /// Connections accepted and queued.
+    pub connections: u64,
+    /// Connections refused with the backpressure `503`.
+    pub rejected: u64,
+    /// Quarantined (chaos-degraded) requests.
+    pub degraded: usize,
+    /// The final `dim-obs` snapshot, rendered as JSON.
+    pub obs_json: String,
+}
+
+/// A running server; dropping it without [`ServerHandle::shutdown`] aborts
+/// the threads with the process.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    app: Arc<App>,
+    queue: Arc<Bounded<TcpStream>>,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<u64>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Binds, spawns the acceptor and worker pool, and returns the handle.
+pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    // The serving layer *is* an obs consumer: cache hit-rates, queue depth,
+    // and the drain report all read the registry, so recording is on for
+    // the life of the process.
+    dim_obs::enable();
+    let listener = TcpListener::bind(&config.addr)?;
+    let local_addr = listener.local_addr()?;
+    let app = Arc::new(App::new(config.app.clone()));
+    let queue = Arc::new(Bounded::new(config.queue_capacity));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let acceptor = {
+        let queue = queue.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || accept_loop(&listener, &queue, &stop))
+    };
+
+    let workers = (0..config.workers.max(1))
+        .map(|_| {
+            let app = app.clone();
+            let queue = queue.clone();
+            let stop = stop.clone();
+            let read_timeout = config.read_timeout;
+            let idle_ticks = config.idle_timeout_ticks;
+            std::thread::spawn(move || {
+                while let Some(stream) = queue.pop() {
+                    serve_connection(&app, stream, &stop, read_timeout, idle_ticks);
+                }
+            })
+        })
+        .collect();
+
+    Ok(ServerHandle {
+        local_addr,
+        app,
+        queue,
+        stop,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The application (test/report hook).
+    pub fn app(&self) -> &Arc<App> {
+        &self.app
+    }
+
+    /// Graceful shutdown: stop accepting, drain queued connections and
+    /// in-flight requests, join all threads, emit the final report.
+    pub fn shutdown(mut self) -> DrainReport {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the acceptor's blocking `accept` with a wake-up dial.
+        let _ = TcpStream::connect(self.local_addr);
+        let rejected = match self.acceptor.take() {
+            Some(h) => h.join().unwrap_or_default(),
+            None => 0,
+        };
+        // New pushes now fail; workers drain the backlog, then see `None`.
+        self.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        DrainReport {
+            requests: self.app.requests_handled(),
+            connections: CONNECTIONS.get(),
+            rejected,
+            degraded: self.app.quarantine_entries().len(),
+            obs_json: dim_obs::snapshot().to_json(),
+        }
+    }
+}
+
+/// Accepts until the stop flag is raised. Returns the number of refused
+/// (backpressured) connections.
+fn accept_loop(listener: &TcpListener, queue: &Bounded<TcpStream>, stop: &AtomicBool) -> u64 {
+    let mut rejected = 0u64;
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            // The wake-up dial (or a late client); refuse politely.
+            reject(stream, "shutting down");
+            break;
+        }
+        match queue.push(stream) {
+            Ok(()) => CONNECTIONS.inc(),
+            Err(PushError::Full(stream)) | Err(PushError::Closed(stream)) => {
+                rejected += 1;
+                REJECTED.inc();
+                reject(stream, "queue full");
+            }
+        }
+    }
+    rejected
+}
+
+/// The deterministic backpressure refusal: fixed bytes, connection closed.
+fn reject(mut stream: TcpStream, why: &str) {
+    let mut body = String::from("{\"error\":");
+    crate::json::string(&mut body, why);
+    body.push('}');
+    let mut resp = Response::json(503, body);
+    resp.close = true;
+    let _ = resp.write_to(&mut stream);
+}
+
+/// Serves one connection's keep-alive request loop until the peer closes,
+/// an error forces a close, the idle budget runs out, or shutdown.
+fn serve_connection(
+    app: &App,
+    mut stream: TcpStream,
+    stop: &AtomicBool,
+    read_timeout: Duration,
+    idle_timeout_ticks: u32,
+) {
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut idle_ticks = 0u32;
+    loop {
+        // Parse-first so pipelined requests drain without extra reads.
+        match http::parse(&buf) {
+            Ok(Parsed::Complete { request, consumed }) => {
+                buf.drain(..consumed);
+                idle_ticks = 0;
+                let mut response =
+                    match catch_unwind(AssertUnwindSafe(|| app.handle(&request))) {
+                        Ok(response) => response,
+                        Err(payload) => {
+                            PANICS_CAUGHT.inc();
+                            app.degraded_response(panic_message(payload))
+                        }
+                    };
+                let draining = stop.load(Ordering::SeqCst);
+                if request.wants_close() || draining {
+                    response.close = true;
+                }
+                if response.write_to(&mut stream).is_err() || response.close {
+                    return;
+                }
+                continue;
+            }
+            Ok(Parsed::Partial) => {}
+            Err(e) => {
+                let _ = Response::from_error(&e).write_to(&mut stream);
+                return;
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // peer closed
+            Ok(n) => {
+                idle_ticks = 0;
+                buf.extend_from_slice(&chunk[..n]);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                // In-flight requests (partial bytes buffered) get drained
+                // even during shutdown; idle connections close.
+                if stop.load(Ordering::SeqCst) && buf.is_empty() {
+                    return;
+                }
+                idle_ticks += 1;
+                if idle_ticks >= idle_timeout_ticks {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Renders a caught panic payload (string payloads pass through, anything
+/// else gets a fixed tag — the bytes stay deterministic for seeded chaos).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// A minimal blocking HTTP/1.1 client for tests, the smoke transcript, and
+/// the load generator — keep-alive capable, `Content-Length` bodies only
+/// (which is all the server emits).
+pub mod client {
+    use super::*;
+
+    /// One client connection.
+    pub struct Conn {
+        stream: TcpStream,
+        buf: Vec<u8>,
+    }
+
+    /// A parsed response: status and body.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct ClientResponse {
+        /// HTTP status code.
+        pub status: u16,
+        /// Response body bytes as UTF-8.
+        pub body: String,
+        /// Whether the server asked to close the connection.
+        pub close: bool,
+    }
+
+    impl Conn {
+        /// Connects to `addr`.
+        pub fn connect(addr: SocketAddr) -> std::io::Result<Conn> {
+            let stream = TcpStream::connect(addr)?;
+            stream.set_nodelay(true)?;
+            Ok(Conn { stream, buf: Vec::new() })
+        }
+
+        /// Sends one request and reads the full response.
+        pub fn request(
+            &mut self,
+            method: &str,
+            target: &str,
+            body: &str,
+        ) -> std::io::Result<ClientResponse> {
+            let head = format!(
+                "{method} {target} HTTP/1.1\r\nHost: dimserve\r\nContent-Length: {}\r\n\r\n",
+                body.len()
+            );
+            self.stream.write_all(head.as_bytes())?;
+            self.stream.write_all(body.as_bytes())?;
+            self.read_response()
+        }
+
+        fn read_response(&mut self) -> std::io::Result<ClientResponse> {
+            let mut chunk = [0u8; 4096];
+            loop {
+                if let Some(resp) = parse_response(&mut self.buf)? {
+                    return Ok(resp);
+                }
+                let n = self.stream.read(&mut chunk)?;
+                if n == 0 {
+                    return Err(std::io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "connection closed mid-response",
+                    ));
+                }
+                self.buf.extend_from_slice(&chunk[..n]);
+            }
+        }
+    }
+
+    /// One-shot request on a fresh connection.
+    pub fn request(
+        addr: SocketAddr,
+        method: &str,
+        target: &str,
+        body: &str,
+    ) -> std::io::Result<ClientResponse> {
+        Conn::connect(addr)?.request(method, target, body)
+    }
+
+    /// Parses a buffered response if complete, consuming its bytes.
+    fn parse_response(buf: &mut Vec<u8>) -> std::io::Result<Option<ClientResponse>> {
+        let Some(head_end) = find_head_end(buf) else {
+            return Ok(None);
+        };
+        let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or_default();
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad_response("missing status code"))?;
+        let mut content_length = 0usize;
+        let mut close = false;
+        for line in lines {
+            let Some((name, value)) = line.split_once(':') else { continue };
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim();
+            if name == "content-length" {
+                content_length =
+                    value.parse().map_err(|_| bad_response("bad content-length"))?;
+            } else if name == "connection" {
+                close = value.eq_ignore_ascii_case("close");
+            }
+        }
+        let total = head_end + 4 + content_length;
+        if buf.len() < total {
+            return Ok(None);
+        }
+        let body = String::from_utf8_lossy(&buf[head_end + 4..total]).into_owned();
+        buf.drain(..total);
+        Ok(Some(ClientResponse { status, body, close }))
+    }
+
+    fn find_head_end(buf: &[u8]) -> Option<usize> {
+        buf.windows(4).position(|w| w == b"\r\n\r\n")
+    }
+
+    fn bad_response(why: &str) -> std::io::Error {
+        std::io::Error::new(ErrorKind::InvalidData, why)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_server(workers: usize, queue: usize) -> ServerHandle {
+        start(ServerConfig {
+            workers,
+            queue_capacity: queue,
+            app: AppConfig { batch_window: Duration::ZERO, ..AppConfig::default() },
+            ..ServerConfig::default()
+        })
+        .expect("bind ephemeral")
+    }
+
+    #[test]
+    fn end_to_end_roundtrip_over_tcp() {
+        let server = tiny_server(2, 8);
+        let addr = server.addr();
+        let ok = client::request(addr, "GET", "/healthz", "").expect("healthz");
+        assert_eq!((ok.status, ok.body.as_str()), (200, "{\"status\":\"ok\"}"));
+        let link = client::request(addr, "POST", "/link", "{\"mention\":\"km\"}").expect("link");
+        assert_eq!(link.status, 200);
+        assert!(link.body.contains("KiloM"), "{}", link.body);
+        let report = server.shutdown();
+        assert!(report.requests >= 1);
+        assert_eq!(report.rejected, 0);
+    }
+
+    #[test]
+    fn keep_alive_serves_many_requests_per_connection() {
+        let server = tiny_server(1, 8);
+        let mut conn = client::Conn::connect(server.addr()).expect("connect");
+        for i in 0..5 {
+            let body = format!("{{\"equation\":\"x=2*{i}\"}}");
+            let resp = conn.request("POST", "/solve", &body).expect("solve");
+            assert_eq!(resp.status, 200);
+            assert_eq!(resp.body, format!("{{\"answer\":{}}}", 2 * i));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_request_line_gets_400_and_close() {
+        let server = tiny_server(1, 4);
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        stream.write_all(b"NONSENSE\r\n\r\n").expect("write");
+        let mut out = String::new();
+        let _ = stream.read_to_string(&mut out);
+        assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_reports_and_refuses_late_clients() {
+        let server = tiny_server(1, 4);
+        let addr = server.addr();
+        client::request(addr, "GET", "/healthz", "").expect("warm");
+        let report = server.shutdown();
+        assert!(report.requests >= 1);
+        assert!(report.obs_json.contains("\"counters\""));
+        // The listener is gone (or refuses) after shutdown.
+        assert!(client::request(addr, "GET", "/healthz", "").is_err());
+    }
+}

@@ -1,0 +1,370 @@
+//! Integration suite for `dim-serve`, the HTTP serving layer over DimKS.
+//!
+//! What is pinned here, per DESIGN §10:
+//!
+//! - the smoke transcript is byte-identical to the committed golden
+//!   (`results/quick/serve.txt`) — same regeneration protocol as every
+//!   other golden: `UPDATE_GOLDEN=1 cargo test --test serve`;
+//! - graceful shutdown drains in-flight and queued requests before the
+//!   final report is emitted;
+//! - a full connection queue is a deterministic `503` (backpressure),
+//!   counted in the drain report;
+//! - chaos rate 0 is byte-identical to a chaos-free server; rate > 0
+//!   degrades faulted requests to structured `503`s — reproducibly across
+//!   runs — and never kills the process;
+//! - the sharded LRU reaches identical contents at dim-par widths 1 and 4;
+//! - the hand-rolled HTTP parser survives header soup, multi-script UTF-8,
+//!   truncation at every byte, and oversize declarations (proptests).
+
+use dim_serve::http::{self, Parsed};
+use dim_serve::server::client;
+use dim_serve::{AppConfig, ServerConfig, ShardedLru};
+use proptest::prelude::*;
+use std::io::Write as _;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The chaos plan is process-global; every test touching it serializes
+/// here (same pattern as `tests/chaos.rs`).
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+fn chaos_lock() -> std::sync::MutexGuard<'static, ()> {
+    dim_chaos::silence_injected_panic_reports();
+    dim_chaos::clear();
+    match CHAOS_LOCK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn test_server(workers: usize, queue: usize) -> dim_serve::ServerHandle {
+    dim_serve::start(ServerConfig {
+        workers,
+        queue_capacity: queue,
+        app: AppConfig { batch_window: Duration::ZERO, ..AppConfig::default() },
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port")
+}
+
+// ===================== golden transcript =====================
+
+fn golden_path(rel: &str) -> std::path::PathBuf {
+    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("results").join(rel)
+}
+
+/// Byte-compares against the committed golden, or rewrites it when
+/// `UPDATE_GOLDEN` is set (same protocol as `tests/golden_results.rs`).
+fn assert_matches_golden(rel: &str, actual: &str) {
+    let path = golden_path(rel);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir");
+        std::fs::write(&path, actual).expect("write golden");
+        eprintln!("golden: rewrote {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); generate it with `UPDATE_GOLDEN=1 cargo test --test serve`",
+            path.display()
+        )
+    });
+    assert!(
+        expected == actual,
+        "serve transcript drifted from {} (expected {} bytes, got {}).\n\
+         If intentional, refresh with `UPDATE_GOLDEN=1 cargo test --test serve`.",
+        path.display(),
+        expected.len(),
+        actual.len()
+    );
+}
+
+#[test]
+fn smoke_transcript_matches_golden() {
+    let _guard = chaos_lock(); // transcript bytes assume no fault plan
+    let transcript = dim_serve::smoke::transcript(2).expect("run smoke script");
+    assert_matches_golden("quick/serve.txt", &transcript);
+}
+
+// ===================== graceful drain =====================
+
+/// An in-flight request — half its bytes on the wire when shutdown begins
+/// — is drained, answered, and counted before the report is emitted.
+#[test]
+fn graceful_shutdown_drains_in_flight_request() {
+    let server = test_server(2, 8);
+    let addr = server.addr();
+    // Park a raw connection mid-request: head sent, body missing.
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    let body = "{\"equation\":\"x=6*7\"}";
+    stream
+        .write_all(
+            format!("POST /solve HTTP/1.1\r\nContent-Length: {}\r\n\r\n", body.len()).as_bytes(),
+        )
+        .expect("send head");
+    // Let a worker adopt the connection and buffer the partial request.
+    std::thread::sleep(Duration::from_millis(80));
+
+    let shutdown = std::thread::spawn(move || server.shutdown());
+    std::thread::sleep(Duration::from_millis(80));
+    // The server is draining; finish the request now.
+    stream.write_all(body.as_bytes()).expect("send body");
+    let resp = read_raw_response(&mut stream);
+    assert!(resp.contains("HTTP/1.1 200"), "in-flight request must complete: {resp}");
+    assert!(resp.contains("{\"answer\":42}"), "{resp}");
+    assert!(resp.contains("Connection: close"), "drain closes after answering: {resp}");
+
+    let report = shutdown.join().expect("shutdown thread");
+    assert!(report.requests >= 1, "drained request must be counted");
+    assert!(report.obs_json.contains("\"counters\""));
+}
+
+fn read_raw_response(stream: &mut std::net::TcpStream) -> String {
+    use std::io::Read;
+    let mut out = String::new();
+    let _ = stream.read_to_string(&mut out);
+    out
+}
+
+// ===================== backpressure =====================
+
+/// With one worker parked on a live connection and a single-slot queue
+/// occupied, the next connection gets the deterministic `503` and the
+/// queued one is still served once the worker frees up.
+#[test]
+fn queue_full_is_deterministic_503_and_backlog_still_drains() {
+    let server = test_server(1, 1);
+    let addr = server.addr();
+
+    // conn1 parks the only worker (keep-alive: worker stays on it).
+    let mut conn1 = client::Conn::connect(addr).expect("conn1");
+    let warm = conn1.request("GET", "/healthz", "").expect("warm");
+    assert_eq!(warm.status, 200);
+
+    // conn2 occupies the single queue slot (no worker free to pop it).
+    let mut conn2 = client::Conn::connect(addr).expect("conn2");
+
+    // Give the acceptor time to enqueue conn2 before conn3 arrives.
+    std::thread::sleep(Duration::from_millis(50));
+
+    // conn3 must be refused with the fixed backpressure response.
+    let rejected = client::request(addr, "GET", "/healthz", "").expect("conn3 read");
+    assert_eq!(rejected.status, 503, "{}", rejected.body);
+    assert_eq!(rejected.body, "{\"error\":\"queue full\"}");
+    assert!(rejected.close);
+
+    // Freeing the worker lets the queued conn2 get served.
+    drop(conn1);
+    let late = conn2.request("POST", "/solve", "{\"equation\":\"x=1+1\"}").expect("conn2 served");
+    assert_eq!(late.status, 200);
+    assert_eq!(late.body, "{\"answer\":2}");
+
+    let report = server.shutdown();
+    assert_eq!(report.rejected, 1, "exactly one backpressure rejection");
+}
+
+// ===================== chaos =====================
+
+fn chaos_script() -> Vec<(String, String)> {
+    (0..40)
+        .map(|i| match i % 4 {
+            0 => ("/link".to_string(), format!("{{\"mention\":\"km\",\"context\":\"probe {i}\"}}")),
+            1 => ("/solve".to_string(), format!("{{\"equation\":\"x={i}+1\"}}")),
+            2 => ("/convert".to_string(), format!("{{\"value\":{i},\"from\":\"m\",\"to\":\"cm\"}}")),
+            _ => ("/annotate".to_string(), format!("{{\"text\":\"box {i} weighs {i} kg\"}}")),
+        })
+        .collect()
+}
+
+/// Runs the chaos script over a fresh server, returning per-request
+/// `(status, body)` plus the sorted quarantine manifest.
+fn run_chaos_script(workers: usize) -> (Vec<(u16, String)>, Vec<String>) {
+    let server = test_server(workers, 16);
+    let mut conn = client::Conn::connect(server.addr()).expect("connect");
+    let mut out = Vec::new();
+    for (target, body) in chaos_script() {
+        let resp = conn.request("POST", &target, &body).expect("response even under chaos");
+        out.push((resp.status, resp.body));
+    }
+    let mut manifest: Vec<String> =
+        server.app().quarantine_entries().iter().map(|q| q.to_string()).collect();
+    manifest.sort();
+    server.shutdown();
+    (out, manifest)
+}
+
+#[test]
+fn chaos_rate_zero_is_byte_identical_to_no_plan() {
+    let _guard = chaos_lock();
+    let (clean, clean_q) = run_chaos_script(1);
+    dim_chaos::install(dim_chaos::FaultPlan::new(9, 0.0));
+    let (zero_rate, zero_q) = run_chaos_script(1);
+    dim_chaos::clear();
+    assert_eq!(clean, zero_rate, "rate 0 must not change a single byte");
+    assert!(clean_q.is_empty() && zero_q.is_empty());
+    assert!(clean.iter().all(|(s, _)| *s == 200), "clean script is all 200s");
+}
+
+#[test]
+fn chaos_rate_positive_degrades_structurally_and_reproducibly() {
+    let _guard = chaos_lock();
+    let (clean, _) = run_chaos_script(1);
+
+    dim_chaos::install(dim_chaos::FaultPlan::new(11, 0.35));
+    let (run_a, manifest_a) = run_chaos_script(1);
+    let (run_b, manifest_b) = run_chaos_script(1);
+    dim_chaos::clear();
+
+    // The process surviving to this line is the "never exits" half of the
+    // contract — injected panics were caught per-request.
+    assert_eq!(run_a, run_b, "fixed plan + fixed script must reproduce exactly");
+    assert_eq!(manifest_a, manifest_b, "quarantine manifest must reproduce");
+    assert!(!manifest_a.is_empty(), "rate 0.35 over 40 requests must quarantine some");
+
+    let degraded: Vec<&(u16, String)> = run_a.iter().filter(|(s, _)| *s == 503).collect();
+    assert!(!degraded.is_empty(), "some requests must degrade");
+    assert!(degraded.len() < run_a.len(), "some requests must survive");
+    for (_, body) in &degraded {
+        assert!(body.contains("\"degraded\":true"), "structured degraded body: {body}");
+    }
+    // Un-faulted slots answer exactly like the clean run.
+    for ((sa, ba), (sc, bc)) in run_a.iter().zip(clean.iter()) {
+        if *sa == 200 {
+            assert_eq!((sa, ba), (sc, bc), "surviving responses must match clean bytes");
+        }
+    }
+}
+
+// ===================== sharded LRU under dim-par =====================
+
+/// Applies each shard's operation subsequence as one dim-par task: the
+/// per-shard order is fixed, so the final contents must be identical at
+/// any width.
+fn fill_cache(par: dim_par::Parallelism) -> ShardedLru {
+    let cache = ShardedLru::new(4, 8);
+    let keys: Vec<String> = (0..200).map(|i| format!("key-{i}")).collect();
+    let mut by_shard: Vec<Vec<&String>> = vec![Vec::new(); cache.shard_count()];
+    for key in &keys {
+        by_shard[cache.shard_of(key)].push(key);
+    }
+    dim_par::par_map(par, &by_shard, |group| {
+        for (i, key) in group.iter().enumerate() {
+            cache.insert(key, format!("value-of-{key}"));
+            if i % 3 == 0 {
+                // Promotions shuffle the LRU order deterministically.
+                let _ = cache.get(key);
+            }
+        }
+    });
+    cache
+}
+
+#[test]
+fn lru_contents_identical_across_par_widths() {
+    let sequential = fill_cache(dim_par::Parallelism::new(1));
+    let wide = fill_cache(dim_par::Parallelism::new(4));
+    assert_eq!(sequential.len(), wide.len());
+    for shard in 0..sequential.shard_count() {
+        assert_eq!(
+            sequential.shard_keys(shard),
+            wide.shard_keys(shard),
+            "shard {shard} diverged between widths 1 and 4"
+        );
+    }
+    // Capacity is enforced per shard.
+    for shard in 0..sequential.shard_count() {
+        assert!(sequential.shard_keys(shard).len() <= sequential.per_shard_capacity());
+    }
+}
+
+// ===================== HTTP parser proptests =====================
+
+fn render_request(target: &str, headers: &[(String, String)], body: &str) -> Vec<u8> {
+    let mut raw = format!("POST {target} HTTP/1.1\r\n").into_bytes();
+    for (name, value) in headers {
+        raw.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+    }
+    raw.extend_from_slice(format!("Content-Length: {}\r\n\r\n", body.len()).as_bytes());
+    raw.extend_from_slice(body.as_bytes());
+    raw
+}
+
+proptest! {
+    /// Header soup + multi-script UTF-8 bodies: any well-formed frame
+    /// parses back to its exact body bytes; header names survive as
+    /// lowercase.
+    #[test]
+    fn parser_roundtrips_header_soup_and_utf8_bodies(
+        headers in prop::collection::vec(("[a-z]{1,10}", "\\PC{0,24}"), 0..6),
+        body in "\\PC{0,200}",
+    ) {
+        let raw = render_request("/link", &headers, &body);
+        match http::parse(&raw) {
+            Ok(Parsed::Complete { request, consumed }) => {
+                prop_assert_eq!(consumed, raw.len());
+                prop_assert_eq!(request.body.as_slice(), body.as_bytes());
+                for (name, _) in &request.headers {
+                    let lowered = name.to_ascii_lowercase();
+                    prop_assert_eq!(&lowered, name);
+                }
+            }
+            other => prop_assert!(false, "well-formed request failed: {:?}", other),
+        }
+    }
+
+    /// Truncation at every byte is either `Partial` (a valid prefix) —
+    /// never an error, never a panic — and feeding the remainder completes.
+    #[test]
+    fn parser_handles_truncation_at_any_byte(
+        body in "\\PC{0,80}",
+        cut_permille in 0usize..1000,
+    ) {
+        let raw = render_request("/annotate", &[], &body);
+        let cut = cut_permille * raw.len() / 1000;
+        match http::parse(&raw[..cut]) {
+            Ok(Parsed::Partial) => {
+                // Completing the frame must now parse cleanly.
+                match http::parse(&raw) {
+                    Ok(Parsed::Complete { consumed, .. }) => prop_assert_eq!(consumed, raw.len()),
+                    other => prop_assert!(false, "full frame failed: {:?}", other),
+                }
+            }
+            Ok(Parsed::Complete { .. }) => prop_assert!(cut == raw.len() || body.is_empty()),
+            Err(e) => prop_assert!(false, "prefix of a valid request errored: {:?}", e),
+        }
+    }
+
+    /// Oversize declarations — bodies past the 64 KiB `dimkb::degrade`
+    /// record guard — are a clean `413` before any body byte is buffered,
+    /// and garbage declarations are a clean `400`.
+    #[test]
+    fn parser_rejects_oversize_and_garbage_lengths_cleanly(
+        over in 1usize..1_000_000,
+        garbage in "[a-z]{1,8}",
+    ) {
+        let declared = http::MAX_BODY_BYTES + over;
+        let raw = format!("POST /solve HTTP/1.1\r\nContent-Length: {declared}\r\n\r\n");
+        match http::parse(raw.as_bytes()) {
+            Err(e) => prop_assert_eq!(e.status(), 413),
+            other => prop_assert!(false, "oversize accepted: {:?}", other),
+        }
+        let raw = format!("POST /solve HTTP/1.1\r\nContent-Length: {garbage}\r\n\r\n");
+        match http::parse(raw.as_bytes()) {
+            Err(e) => prop_assert!(e.status() == 400),
+            other => prop_assert!(false, "garbage length accepted: {:?}", other),
+        }
+    }
+
+    /// Arbitrary byte soup (not even HTTP) never panics the parser: every
+    /// outcome is `Partial`, `Complete`, or a typed `4xx`/`5xx`.
+    #[test]
+    fn parser_never_panics_on_byte_soup(bytes in prop::collection::vec(0u8..=255u8, 0..300)) {
+        match http::parse(&bytes) {
+            Ok(_) => {}
+            Err(e) => {
+                let s = e.status();
+                prop_assert!((400..=599).contains(&s), "status {s} out of range");
+            }
+        }
+    }
+}
