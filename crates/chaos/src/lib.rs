@@ -12,7 +12,7 @@
 //!
 //! * **off by default** — nothing is injected unless [`install`] is called
 //!   with a positive rate and a non-empty kind set;
-//! * **one relaxed atomic load per site when disabled** — [`fault_at`]
+//! * **one acquire atomic load per site when disabled** — [`fault_at`]
 //!   returns immediately after a single `AtomicBool` load;
 //! * zero dependencies, `std` only.
 //!
@@ -163,6 +163,7 @@ impl FaultPlan {
         }
         let members = self.kinds.members();
         let pick = mix(h, 0x9E37_79B9_7F4A_7C15, index) as usize % members.len();
+        // lint:allow(no_panic, pick < members.len() by the modulo above; members is non-empty because is_active() checked kinds)
         Some(members[pick])
     }
 }
@@ -180,8 +181,13 @@ pub const CORRUPT_UNIT: &str = "__CHAOS_CORRUPT_UNIT__";
 /// [`silence_injected_panic_reports`] matches on this.
 pub const INJECTED_PANIC_PREFIX: &str = "chaos: injected panic";
 
-// Global plan storage. `ENABLED` is the single relaxed load on the disabled
+// Global plan storage. `ENABLED` is the single atomic load on the disabled
 // fast path; the plan fields are only read after it observes `true`.
+// `install` publishes the fields with a release store of `ENABLED`, and
+// every `ENABLED` load is acquire, so a reader that sees `true` also sees
+// the plan fields that were stored before it (found by dim-lint's
+// relaxed-ordering audit: the loads used to be relaxed, which let a racing
+// reader observe `enabled` with a stale seed/rate).
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static SEED: AtomicU64 = AtomicU64::new(0);
 static RATE_BITS: AtomicU64 = AtomicU64::new(0);
@@ -191,9 +197,11 @@ static KINDS: AtomicU64 = AtomicU64::new(0);
 /// kinds) leaves the injector disabled, so `--chaos-rate 0` is
 /// indistinguishable from no plan at all.
 pub fn install(plan: FaultPlan) {
-    SEED.store(plan.seed, Ordering::Relaxed);
-    RATE_BITS.store(plan.rate.to_bits(), Ordering::Relaxed);
-    KINDS.store(plan.kinds.0, Ordering::Relaxed);
+    // The release store of ENABLED below orders these field stores for
+    // every acquire reader; the stores themselves need no ordering.
+    SEED.store(plan.seed, Ordering::Relaxed); // lint:allow(relaxed_ordering, published by the release store of ENABLED below)
+    RATE_BITS.store(plan.rate.to_bits(), Ordering::Relaxed); // lint:allow(relaxed_ordering, published by the release store of ENABLED below)
+    KINDS.store(plan.kinds.0, Ordering::Relaxed); // lint:allow(relaxed_ordering, published by the release store of ENABLED below)
     ENABLED.store(plan.is_active(), Ordering::Release);
 }
 
@@ -202,9 +210,11 @@ pub fn clear() {
     ENABLED.store(false, Ordering::Release);
 }
 
-/// Whether a fault plan is installed and active.
+/// Whether a fault plan is installed and active. Acquire pairs with the
+/// release store in [`install`]: a `true` here guarantees the plan fields
+/// are visible.
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    ENABLED.load(Ordering::Acquire)
 }
 
 /// The installed plan, if the injector is enabled.
@@ -212,18 +222,21 @@ pub fn current_plan() -> Option<FaultPlan> {
     if !enabled() {
         return None;
     }
+    // The acquire load in `enabled()` ordered these; plain relaxed reads
+    // of independently-atomic fields are all that's left.
     Some(FaultPlan {
-        seed: SEED.load(Ordering::Relaxed),
-        rate: f64::from_bits(RATE_BITS.load(Ordering::Relaxed)),
-        kinds: FaultKinds(KINDS.load(Ordering::Relaxed)),
+        seed: SEED.load(Ordering::Relaxed), // lint:allow(relaxed_ordering, ordered by the acquire load of ENABLED in enabled())
+        rate: f64::from_bits(RATE_BITS.load(Ordering::Relaxed)), // lint:allow(relaxed_ordering, ordered by the acquire load of ENABLED in enabled())
+        kinds: FaultKinds(KINDS.load(Ordering::Relaxed)), // lint:allow(relaxed_ordering, ordered by the acquire load of ENABLED in enabled())
     })
 }
 
-/// The per-site injection check. Disabled: exactly one relaxed atomic load.
-/// Enabled: delegates to [`FaultPlan::decide`].
+/// The per-site injection check. Disabled: exactly one acquire atomic load
+/// (free on x86, one fence-free ldar on aarch64). Enabled: delegates to
+/// [`FaultPlan::decide`].
 #[inline]
 pub fn fault_at(site: &str, index: u64) -> Option<FaultKind> {
-    if !ENABLED.load(Ordering::Relaxed) {
+    if !ENABLED.load(Ordering::Acquire) {
         return None;
     }
     current_plan().and_then(|plan| plan.decide(site, index))

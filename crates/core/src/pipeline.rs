@@ -111,6 +111,7 @@ fn interleave(out: Vec<MwpProblem>) -> Vec<MwpProblem> {
     // is a permutation of 0..n, so every slot is taken exactly once.
     let mut slots: Vec<Option<MwpProblem>> = out.into_iter().map(Some).collect();
     let mixed: Vec<MwpProblem> =
+        // lint:allow(no_panic, order is a permutation of 0..n == slots.len() by construction two lines up)
         order.into_iter().filter_map(|i| slots[i].take()).collect();
     debug_assert_eq!(mixed.len(), n);
     mixed

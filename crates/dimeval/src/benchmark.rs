@@ -207,9 +207,16 @@ impl DimEval {
         }
     }
 
-    /// Total number of items.
+    /// Total number of items. Canonical task order, not map layout order —
+    /// the sum is order-insensitive today, but the iteration discipline is
+    /// lint-enforced so a future fold can't silently become layout-ordered.
     pub fn len(&self) -> usize {
-        self.extraction.len() + self.choice.values().map(Vec::len).sum::<usize>()
+        self.extraction.len()
+            + TaskKind::CHOICE
+                .iter()
+                .filter_map(|t| self.choice.get(t))
+                .map(Vec::len)
+                .sum::<usize>()
     }
 
     /// True when the benchmark is empty.

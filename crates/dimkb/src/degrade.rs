@@ -253,7 +253,7 @@ pub fn guard_len(bytes: usize) -> Result<(), RecordError> {
 }
 
 /// The per-record chaos hook every `try_*` site calls once. With no active
-/// [`dim_chaos::FaultPlan`] this is a single relaxed atomic load. When a
+/// [`dim_chaos::FaultPlan`] this is a single acquire atomic load. When a
 /// fault fires it is realized *honestly*:
 ///
 /// * `Panic` — panics (caught by `dim_par`'s per-item isolation);
@@ -268,6 +268,7 @@ pub fn inject(site: &'static str, index: usize) -> Result<(), RecordError> {
     };
     match kind {
         dim_chaos::FaultKind::Panic => {
+            // lint:allow(no_panic, deliberate chaos fault realization; every caller sits behind dim-par per-item isolation or the serve worker catch_unwind)
             panic!("{} at {site}[{index}]", dim_chaos::INJECTED_PANIC_PREFIX)
         }
         dim_chaos::FaultKind::MalformedExpr => {

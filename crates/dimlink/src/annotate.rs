@@ -41,6 +41,7 @@ pub struct QuantityMention {
 impl QuantityMention {
     /// The best-linked unit.
     pub fn best_unit(&self) -> dimkb::UnitId {
+        // lint:allow(no_panic, links is documented never-empty for annotator output; try_best_unit is the fallible variant)
         self.links[0].unit
     }
 
@@ -71,9 +72,12 @@ pub const SITE_ANNOTATE: &str = "link.annotate";
 /// mention can never reach a unit conversion.
 pub fn decoy_token_at(text: &str, m: &QuantityMention) -> Option<String> {
     let value_start = m.value_span.0;
-    let before = text[..value_start].chars().next_back()?;
+    // Spans come from the annotator's own extraction over this same text,
+    // so every slice boundary below is a valid char boundary.
+    let before = text[..value_start].chars().next_back()?; // lint:allow(no_panic, value_span is a char-boundary byte offset into this text)
     let embedded = before.is_ascii_alphabetic()
         || (before == '-'
+            // lint:allow(no_panic, before is the ASCII char '-' so value_start >= 1 and value_start - 1 is a boundary)
             && text[..value_start - 1]
                 .chars()
                 .next_back()
@@ -83,17 +87,18 @@ pub fn decoy_token_at(text: &str, m: &QuantityMention) -> Option<String> {
     }
     // Expand to the whole surrounding token for the quarantine report.
     let is_tok = |c: char| c.is_ascii_alphanumeric() || c == '-' || c == '.';
-    let start = text[..value_start]
+    let start = text[..value_start] // lint:allow(no_panic, value_start is a char-boundary offset, checked above)
         .char_indices()
         .rev()
         .take_while(|&(_, c)| is_tok(c))
         .last()
         .map(|(i, _)| i)
         .unwrap_or(value_start);
-    let end = text[value_start..]
+    let end = text[value_start..] // lint:allow(no_panic, value_start is a char-boundary offset, checked above)
         .find(|c| !is_tok(c))
         .map(|i| value_start + i)
         .unwrap_or(text.len());
+    // lint:allow(no_panic, start/end come from char_indices/find over this text, so both are char boundaries with start <= end)
     Some(text[start..end].trim_end_matches(['.', '-']).to_string())
 }
 
@@ -176,18 +181,19 @@ impl Annotator {
     fn try_unit_after(&self, text: &str, num: &NumberMatch) -> Option<QuantityMention> {
         let mut unit_start = num.end;
         // Allow a single space (ASCII or ideographic) between value and unit.
-        let rest = &text[unit_start..];
+        let rest = &text[unit_start..]; // lint:allow(no_panic, num.end is a char-boundary offset produced by numparse over this text)
         if let Some(c) = rest.chars().next() {
             if c == ' ' || c == '\u{3000}' {
                 unit_start += c.len_utf8();
             }
         }
-        let rest = &text[unit_start..];
+        let rest = &text[unit_start..]; // lint:allow(no_panic, unit_start advanced by a whole char's len_utf8, still a boundary)
         let first = rest.chars().next()?;
 
         let candidates: Vec<String> = if is_cjk(first) {
             // Longest CJK prefix first: 平方厘米 before 厘米 before 米.
             let chars: Vec<char> = rest.chars().take(self.max_cjk_chars).collect();
+            // lint:allow(no_panic, n ranges over 1..=chars.len(), so the prefix slice is in bounds)
             (1..=chars.len()).rev().map(|n| chars[..n].iter().collect()).collect()
         } else if first.is_ascii_alphabetic() || "°µΩ%‰′″".contains(first) {
             // A symbol run like `km/h`, `m²`, `°C`, `dyn/cm`, then
@@ -200,17 +206,17 @@ impl Annotator {
                 })
                 .map(|(i, _)| i)
                 .unwrap_or(rest.len());
-            let run = rest[..run_end].trim_end_matches(['.', '-']);
+            let run = rest[..run_end].trim_end_matches(['.', '-']); // lint:allow(no_panic, run_end is a char_indices index or rest.len(), both boundaries)
             if run.is_empty() {
                 return None;
             }
             let mut cands = Vec::new();
             // Multiword extensions, longest first.
-            let tail = &rest[run.len()..];
+            let tail = &rest[run.len()..]; // lint:allow(no_panic, run is a trimmed prefix of rest, so run.len() is a boundary within rest)
             let words: Vec<&str> = tail.split_whitespace().take(self.max_extra_words).collect();
             for n in (1..=words.len()).rev() {
                 let mut phrase = run.to_string();
-                for w in &words[..n] {
+                for w in &words[..n] { // lint:allow(no_panic, n ranges over 1..=words.len())
                     phrase.push(' ');
                     phrase.push_str(w.trim_end_matches(['.', ',', ';', '!', '?']));
                 }
@@ -273,6 +279,7 @@ fn context_window(text: &str, pos: usize, radius: usize) -> String {
     while hi < text.len() && !text.is_char_boundary(hi) {
         hi += 1;
     }
+    // lint:allow(no_panic, lo and hi are walked to char boundaries by the loops above, lo <= pos <= hi <= len)
     text[lo..hi].to_string()
 }
 

@@ -61,8 +61,8 @@ pub fn parse_chinese_numeral(s: &str) -> Option<f64> {
     }
     // Split at 点 for decimals.
     if let Some(dot) = chars.iter().position(|&c| c == '点') {
-        let int_part: String = chars[..dot].iter().collect();
-        let frac_part = &chars[dot + 1..];
+        let int_part: String = chars[..dot].iter().collect(); // lint:allow(no_panic, dot is a position() index into chars)
+        let frac_part = &chars[dot + 1..]; // lint:allow(no_panic, dot < chars.len() so dot + 1 <= chars.len(), a valid range start)
         if frac_part.is_empty() {
             return None;
         }
@@ -124,7 +124,9 @@ pub fn scan_numbers(text: &str) -> Vec<NumberMatch> {
     let mut out = Vec::new();
     let bytes = text.as_bytes();
     let mut idx = 0;
-    let char_at = |i: usize| text[i..].chars().next();
+    // Every index handed to this closure is a char boundary: indices only
+    // advance by whole-char len_utf8 steps from other boundaries.
+    let char_at = |i: usize| text[i..].chars().next(); // lint:allow(no_panic, callers only pass char-boundary offsets <= len, see comment above)
     while idx < bytes.len() {
         let Some(c) = char_at(idx) else { break };
         if c.is_ascii_digit() {
@@ -151,7 +153,7 @@ pub fn scan_numbers(text: &str) -> Vec<NumberMatch> {
             // Reject digits embedded in identifiers like "LPUI-1T"?
             // No: Algorithm 1's heuristic annotator deliberately picks
             // those up; the MLM filter removes them later.
-            let mut value: f64 = text[start..end].parse().unwrap_or(f64::NAN);
+            let mut value: f64 = text[start..end].parse().unwrap_or(f64::NAN); // lint:allow(no_panic, start/end bracket a run of ASCII digits and dots, both boundaries)
             let mut full_end = end;
             // Trailing 万/亿 multipliers (only when NOT followed by another
             // CJK numeral continuing a unit like 万米 — we conservatively
@@ -179,6 +181,7 @@ pub fn scan_numbers(text: &str) -> Vec<NumberMatch> {
                     break;
                 }
             }
+            // lint:allow(no_panic, start/end advance by whole-char len_utf8 steps, both boundaries)
             match parse_chinese_numeral(&text[start..end]) {
                 Some(v) => {
                     out.push(NumberMatch { start, end, value: v });

@@ -1,0 +1,33 @@
+//! Fixture: every determinism violation class — hash iteration (binding,
+//! field, and `for … in` forms), clock reads, and env reads.
+
+use std::collections::{HashMap, HashSet};
+
+struct Results {
+    by_task: HashMap<String, u32>,
+}
+
+fn render(r: &Results) -> String {
+    let mut out = String::new();
+    for (k, v) in r.by_task.iter() {
+        out.push_str(&format!("{k}={v}\n"));
+    }
+    out
+}
+
+fn summarize() -> usize {
+    let seen: HashSet<u64> = HashSet::new();
+    let mut n = 0;
+    for x in &seen {
+        n += *x as usize;
+    }
+    let stamp = Instant::now();
+    let wall = SystemTime::now();
+    let home = std::env::var("HOME");
+    let _ = (stamp, wall, home);
+    n
+}
+
+fn keyed_access_is_fine(r: &Results, order: &[String]) -> u32 {
+    order.iter().filter_map(|k| r.by_task.get(k)).sum()
+}

@@ -1,0 +1,31 @@
+//! Fixture: every no-panic-hotpath violation class. Fed through
+//! `check_rust_source` with scope ignored; never compiled or scanned by a
+//! real lint run (`walk` only visits `src/` trees).
+
+fn hot_path(v: &[u8], r: Result<u8, ()>) -> u8 {
+    let first = v.first().unwrap();
+    let second = r.expect("always ok");
+    if *first == 0 {
+        panic!("zero");
+    }
+    if second == 1 {
+        unreachable!();
+    }
+    v[2]
+}
+
+fn decoys_that_must_not_fire() {
+    let s = ".unwrap() inside a string";
+    let raw = r"panic!(in a raw string)";
+    // .expect( in a line comment
+    /* v[0] in a /* nested */ block comment */
+    let [a, b] = [1, 2]; // slice pattern + array literal, not indexing
+    let _ = (s, raw, a, b);
+}
+
+#[cfg(test)]
+mod tests {
+    fn test_code_is_exempt(v: &[u8]) -> u8 {
+        v[0] // indexing in test code never fires
+    }
+}

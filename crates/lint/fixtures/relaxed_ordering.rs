@@ -1,0 +1,16 @@
+//! Fixture: `Ordering::Relaxed` with and without justification.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn unjustified(a: &AtomicU64) -> u64 {
+    a.load(Ordering::Relaxed)
+}
+
+fn justified(a: &AtomicU64) -> u64 {
+    a.load(Ordering::Relaxed) // lint:allow(relaxed_ordering, value-only stat counter)
+}
+
+fn stronger_orderings_never_fire(a: &AtomicU64) -> u64 {
+    a.store(1, Ordering::Release);
+    a.load(Ordering::Acquire)
+}

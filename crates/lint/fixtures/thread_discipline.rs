@@ -1,0 +1,12 @@
+//! Fixture: raw `thread::spawn` outside the sanctioned crates.
+
+fn fan_out() {
+    let h = std::thread::spawn(|| 42);
+    let _ = h.join();
+}
+
+fn scoped_is_fine() {
+    std::thread::scope(|s| {
+        let _ = s;
+    });
+}

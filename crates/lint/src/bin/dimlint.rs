@@ -1,0 +1,79 @@
+//! `dimlint` — the workspace invariant linter (see DESIGN.md §11).
+//!
+//! ```text
+//! dimlint [--root DIR] [--rule NAME]... [--json FILE] [--list-rules]
+//! ```
+//!
+//! Human diagnostics (`file:line: [rule] message`) go to stdout; `--json`
+//! additionally writes the machine-readable report. Exit codes: 0 clean,
+//! 1 violations found, 2 usage or I/O error.
+
+use dim_lint::{run, LintOptions, RuleId};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = String::from(".");
+    let mut rules: Vec<RuleId> = Vec::new();
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = v,
+                None => return usage("--root needs a directory"),
+            },
+            "--rule" => match args.next().as_deref().map(RuleId::parse) {
+                Some(Some(r)) => rules.push(r),
+                Some(None) => return usage("unknown rule (try --list-rules)"),
+                None => return usage("--rule needs a rule name"),
+            },
+            "--json" => match args.next() {
+                Some(v) => json_path = Some(v),
+                None => return usage("--json needs an output file"),
+            },
+            "--list-rules" => {
+                for r in RuleId::ALL {
+                    println!(
+                        "{:<18} suppression: {}",
+                        r.name(),
+                        r.allow_key()
+                            .map(|k| format!("lint:allow({k}, reason)"))
+                            .unwrap_or_else(|| "none (never justifiable)".to_string())
+                    );
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("usage: dimlint [--root DIR] [--rule NAME]... [--json FILE] [--list-rules]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let opts = LintOptions { root: root.into(), rules };
+    let report = match run(&opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("dimlint: error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, report.render_json()) {
+            eprintln!("dimlint: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    print!("{}", report.render_human());
+    if report.diagnostics.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("dimlint: {msg}\nusage: dimlint [--root DIR] [--rule NAME]... [--json FILE] [--list-rules]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,431 @@
+//! A hand-rolled Rust lexer, just deep enough for linting.
+//!
+//! The goal is *not* to parse Rust — it is to turn a source file into a
+//! token stream in which string/char literals and comments can never be
+//! confused with code, so that a rule looking for `.unwrap()` does not fire
+//! on `"call .unwrap() here"` the way the old awk scan did. That requires
+//! getting exactly four hard cases right:
+//!
+//! * comments — line (`//`), block (`/* */`), and **nested** block
+//!   (`/* /* */ */`), all of which Rust allows;
+//! * strings — normal (`"…"` with `\"` escapes), raw (`r"…"`,
+//!   `r#"…"#` with any number of `#`s), and their byte variants;
+//! * `'` disambiguation — `'a'` is a char literal, `'a` is a lifetime,
+//!   `'\n'` is a char with an escape, `'静'` is a multi-byte char literal;
+//! * UTF-8 — the lexer walks char boundaries, never raw bytes, so a
+//!   multi-byte scalar at a token edge cannot split the scan.
+//!
+//! The lexer is total: any byte sequence that is valid UTF-8 produces a
+//! token stream (unterminated literals/comments simply run to end of file).
+//! A property test pins that it never panics on arbitrary input.
+
+/// What a token is. Identifiers carry their text (rules match on names);
+/// literal kinds carry none (rules only need to know code *isn't* there).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `for`, `HashMap`, …).
+    Ident(String),
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    CharLit,
+    /// String or byte-string literal (`"…"`, `b"…"`).
+    StrLit,
+    /// Raw string literal (`r"…"`, `r#"…"#`, `br#"…"#`).
+    RawStrLit,
+    /// Numeric literal (`42`, `0x1F`, `1.5e3`).
+    NumLit,
+    /// A single punctuation character (`::` is two `:` tokens).
+    Punct(char),
+}
+
+/// One token with the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind (and ident text).
+    pub kind: TokKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A comment's text and starting line, kept for suppression parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment body (without the `//` / `/*` markers).
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (differs for block comments).
+    pub end_line: u32,
+}
+
+/// Lexer output: the code tokens and the comments, separately.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src` completely. Total: never fails, never panics.
+pub fn lex(src: &str) -> Lexed {
+    Lexer { chars: src.chars().collect(), pos: 0, line: 1 }.run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Lexed {
+        let mut out = Lexed::default();
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                '/' if self.peek(1) == Some('/') => {
+                    let text = self.line_comment();
+                    out.comments.push(Comment { text, line, end_line: line });
+                }
+                '/' if self.peek(1) == Some('*') => {
+                    let text = self.block_comment();
+                    out.comments.push(Comment { text, line, end_line: self.line });
+                }
+                '"' => {
+                    self.string_body();
+                    out.tokens.push(Token { kind: TokKind::StrLit, line });
+                }
+                '\'' => {
+                    let kind = self.quote();
+                    out.tokens.push(Token { kind, line });
+                }
+                c if is_ident_start(c) => {
+                    let kind = self.ident_or_prefixed_literal();
+                    out.tokens.push(Token { kind, line });
+                }
+                c if c.is_ascii_digit() => {
+                    self.number();
+                    out.tokens.push(Token { kind: TokKind::NumLit, line });
+                }
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                c => {
+                    self.bump();
+                    out.tokens.push(Token { kind: TokKind::Punct(c), line });
+                }
+            }
+        }
+        out
+    }
+
+    /// `// …` to end of line. Returns the body (markers stripped).
+    fn line_comment(&mut self) -> String {
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        text
+    }
+
+    /// `/* … */` with nesting. Unterminated comments run to EOF.
+    fn block_comment(&mut self) -> String {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    text.push_str("/*");
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    if depth > 0 {
+                        text.push_str("*/");
+                    }
+                    self.bump();
+                    self.bump();
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        text
+    }
+
+    /// The body of a normal string, starting at the opening `"`.
+    /// Unterminated strings run to EOF.
+    fn string_body(&mut self) {
+        self.bump();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => return,
+                _ => {}
+            }
+        }
+    }
+
+    /// A raw string starting at `r`; `hashes` is the number of `#`s after it.
+    /// The caller has already verified the `r #* "` shape.
+    fn raw_string_body(&mut self, hashes: usize) {
+        self.bump(); // r
+        for _ in 0..hashes {
+            self.bump();
+        }
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut matched = 0;
+                while matched < hashes && self.peek(0) == Some('#') {
+                    self.bump();
+                    matched += 1;
+                }
+                if matched == hashes {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// `'` start: char literal or lifetime.
+    ///
+    /// Decision: `'\…` is always a char literal; `'X'` (any single scalar
+    /// followed by a closing quote) is a char literal; anything else is a
+    /// lifetime (`'a`, `'static`, and the label form `'outer:`).
+    fn quote(&mut self) -> TokKind {
+        match (self.peek(1), self.peek(2)) {
+            (Some('\\'), _) => {
+                self.bump(); // '
+                self.bump(); // backslash
+                self.bump(); // escaped char
+                // Multi-char escapes (`'\u{1F600}'`, `'\x7F'`) run to the
+                // closing quote.
+                while let Some(c) = self.peek(0) {
+                    if c == '\'' {
+                        self.bump();
+                        break;
+                    }
+                    if c == '\n' {
+                        break; // malformed; don't eat the rest of the file
+                    }
+                    self.bump();
+                }
+                TokKind::CharLit
+            }
+            (Some(_), Some('\'')) => {
+                self.bump();
+                self.bump();
+                self.bump();
+                TokKind::CharLit
+            }
+            _ => {
+                self.bump(); // '
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.bump();
+                }
+                TokKind::Lifetime
+            }
+        }
+    }
+
+    /// An identifier — or the `r"…"` / `br"…"` / `b"…"` / `b'…'` literal
+    /// prefixes, which start with ident characters.
+    fn ident_or_prefixed_literal(&mut self) -> TokKind {
+        let c = self.peek(0).unwrap_or(' ');
+        // r"…" / r#"…"#
+        if c == 'r' {
+            if let Some(h) = self.raw_quote_hashes(1) {
+                self.raw_string_body(h);
+                return TokKind::RawStrLit;
+            }
+        }
+        // b"…" / b'…' / br"…"
+        if c == 'b' {
+            match self.peek(1) {
+                Some('"') => {
+                    self.bump(); // b
+                    self.string_body();
+                    return TokKind::StrLit;
+                }
+                Some('\'') => {
+                    self.bump(); // b
+                    self.quote();
+                    return TokKind::CharLit;
+                }
+                Some('r') => {
+                    if let Some(h) = self.raw_quote_hashes(2) {
+                        self.bump(); // b
+                        self.raw_string_body(h);
+                        return TokKind::RawStrLit;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut name = String::new();
+        while let Some(c) = self.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            name.push(c);
+            self.bump();
+        }
+        TokKind::Ident(name)
+    }
+
+    /// If the chars at `offset` look like `#*"` (a raw-string opener after
+    /// an `r`), returns the hash count.
+    fn raw_quote_hashes(&self, offset: usize) -> Option<usize> {
+        let mut h = 0usize;
+        loop {
+            match self.peek(offset + h) {
+                Some('#') => h += 1,
+                Some('"') => return Some(h),
+                _ => return None,
+            }
+        }
+    }
+
+    /// A numeric literal. `.` is consumed only when followed by a digit, so
+    /// `x.0.iter()` lexes the dots as punctuation for the method-call rules.
+    fn number(&mut self) {
+        while let Some(c) = self.peek(0) {
+            let continues = c.is_ascii_alphanumeric()
+                || c == '_'
+                || (c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()));
+            if continues {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let l = lex(r#"let s = "call .unwrap() here"; s.len()"#);
+        let ids = idents(r#"let s = "call .unwrap() here"; s.len()"#);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(ids.contains(&"len".to_string()));
+        assert_eq!(l.tokens.iter().filter(|t| t.kind == TokKind::StrLit).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_hide_contents() {
+        let src = "let s = r##\"x.unwrap() \"# still\"##; y.expect(\"\")";
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(ids.contains(&"expect".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments_hide_contents() {
+        let ids = idents("/* outer /* .unwrap() */ still comment */ real()");
+        assert_eq!(ids, vec!["real"]);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let l = lex("let c: char = 'a'; fn f<'a>(x: &'a str) {} let nl = '\\n'; let u = '\u{1F600}';");
+        let chars = l.tokens.iter().filter(|t| t.kind == TokKind::CharLit).count();
+        let lifes = l.tokens.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        assert_eq!(chars, 3, "'a', '\\n', emoji char");
+        assert_eq!(lifes, 2, "<'a> and &'a");
+    }
+
+    #[test]
+    fn byte_literals() {
+        let l = lex(r##"let a = b"bytes .unwrap()"; let c = b'x'; let r = br#"raw"#;"##);
+        assert!(!idents(r#"b"bytes .unwrap()""#).contains(&"unwrap".to_string()));
+        assert!(l.tokens.iter().any(|t| t.kind == TokKind::CharLit));
+        assert!(l.tokens.iter().any(|t| t.kind == TokKind::RawStrLit));
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let l = lex("a\nb\n\nc");
+        let lines: Vec<u32> = l.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn comments_are_collected_with_lines() {
+        let l = lex("// one\ncode();\n/* two\nlines */ more();");
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!((l.comments[0].line, l.comments[0].end_line), (1, 1));
+        assert_eq!(l.comments[0].text, " one");
+        assert_eq!((l.comments[1].line, l.comments[1].end_line), (3, 4));
+    }
+
+    #[test]
+    fn tuple_field_access_keeps_the_dot() {
+        let l = lex("x.0.iter()");
+        let kinds: Vec<&TokKind> = l.tokens.iter().map(|t| &t.kind).collect();
+        assert!(kinds.windows(2).any(|w| matches!(
+            (w[0], w[1]),
+            (TokKind::Punct('.'), TokKind::Ident(name)) if name == "iter"
+        )));
+    }
+
+    #[test]
+    fn unterminated_everything_reaches_eof() {
+        for src in ["\"open", "r#\"open", "/* open /* deeper", "'", "b\"", "'\\"] {
+            let _ = lex(src); // must terminate without panicking
+        }
+    }
+}

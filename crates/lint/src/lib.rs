@@ -1,0 +1,227 @@
+//! `dim-lint`: a zero-dependency workspace lint engine enforcing the
+//! repository's determinism, no-panic, and zero-dep invariants.
+//!
+//! The reproduction's core claim — DimEval/DimPerc outputs are
+//! byte-identical across runs and thread widths — has been broken twice by
+//! the same bug class (unordered hash-collection iteration feeding output).
+//! This crate mechanizes the invariants instead of re-fixing violations:
+//!
+//! | rule | what it enforces |
+//! |------|------------------|
+//! | `no-panic-hotpath`  | no `unwrap`/`expect`/panicking macros/direct indexing in degraded-mode hot paths |
+//! | `determinism`       | no hash-collection iteration, clocks, or env reads in output-producing paths |
+//! | `thread-discipline` | raw `thread::spawn` only inside `crates/par` and `crates/serve` |
+//! | `relaxed-ordering`  | every `Ordering::Relaxed` carries a written justification |
+//! | `zero-dep`          | every `Cargo.toml` dependency resolves to a vendored in-repo path |
+//!
+//! Matching is string- and comment-aware: a hand-rolled lexer
+//! ([`lexer`]) tokenizes each file, so `".unwrap()"` inside a string
+//! literal, a raw string, or a nested block comment never fires a rule —
+//! the failure mode of the awk scan this engine replaces. `#[cfg(test)]`
+//! regions are exempt, and individual sites can be justified with
+//! `// lint:allow(<key>, <reason>)` ([`source`]); the reason is mandatory.
+//!
+//! See DESIGN.md §11 for the rule catalog and how to add a rule.
+
+pub mod lexer;
+pub mod manifest;
+pub mod report;
+pub mod rules;
+pub mod source;
+pub mod walk;
+
+pub use report::{Diagnostic, LintReport};
+
+use source::SourceFile;
+use std::path::Path;
+
+/// The rule catalog, in reporting order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleId {
+    /// No panicking constructs in degraded-mode hot paths.
+    NoPanicHotpath,
+    /// No nondeterminism in output/golden-producing paths.
+    Determinism,
+    /// Raw `thread::spawn` confined to `crates/par` and `crates/serve`.
+    ThreadDiscipline,
+    /// `Ordering::Relaxed` requires a justification.
+    RelaxedOrdering,
+    /// All dependencies are vendored path dependencies.
+    ZeroDep,
+}
+
+impl RuleId {
+    /// Every rule, in catalog order.
+    pub const ALL: [RuleId; 5] = [
+        RuleId::NoPanicHotpath,
+        RuleId::Determinism,
+        RuleId::ThreadDiscipline,
+        RuleId::RelaxedOrdering,
+        RuleId::ZeroDep,
+    ];
+
+    /// CLI/report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::NoPanicHotpath => "no-panic-hotpath",
+            RuleId::Determinism => "determinism",
+            RuleId::ThreadDiscipline => "thread-discipline",
+            RuleId::RelaxedOrdering => "relaxed-ordering",
+            RuleId::ZeroDep => "zero-dep",
+        }
+    }
+
+    /// The `lint:allow(<key>, …)` suppression key (`zero-dep` has none:
+    /// a registry dependency is never justifiable offline).
+    pub fn allow_key(self) -> Option<&'static str> {
+        match self {
+            RuleId::NoPanicHotpath => Some("no_panic"),
+            RuleId::Determinism => Some("nondeterministic"),
+            RuleId::ThreadDiscipline => Some("thread_spawn"),
+            RuleId::RelaxedOrdering => Some("relaxed_ordering"),
+            RuleId::ZeroDep => None,
+        }
+    }
+
+    /// Parses a CLI rule name (hyphen/underscore agnostic).
+    pub fn parse(name: &str) -> Option<RuleId> {
+        let n = source::normalize_key(name);
+        RuleId::ALL.into_iter().find(|r| source::normalize_key(r.name()) == n)
+    }
+
+    /// Does this rule cover the file at workspace-relative `rel_path`?
+    ///
+    /// Scope is path-based because the invariants are architectural:
+    /// hot paths are the crates the serving/degraded pipeline runs through;
+    /// output paths are the crates whose bytes reach goldens.
+    pub fn applies_to(self, rel_path: &str) -> bool {
+        match self {
+            RuleId::NoPanicHotpath => {
+                rel_path.starts_with("crates/dimlink/src/")
+                    || rel_path.starts_with("crates/par/src/")
+                    || rel_path.starts_with("crates/serve/src/")
+                    || rel_path.starts_with("crates/chaos/src/")
+                    || rel_path == "crates/core/src/pipeline.rs"
+                    || rel_path == "crates/dimkb/src/degrade.rs"
+            }
+            RuleId::Determinism => {
+                rel_path.starts_with("crates/dimeval/src/")
+                    || rel_path.starts_with("crates/mwp/src/")
+                    || rel_path == "crates/bench/src/render.rs"
+                    || rel_path == "crates/obs/src/lib.rs"
+            }
+            RuleId::ThreadDiscipline => {
+                rel_path.ends_with(".rs")
+                    && !rel_path.starts_with("crates/par/")
+                    && !rel_path.starts_with("crates/serve/")
+            }
+            RuleId::RelaxedOrdering => rel_path.ends_with(".rs"),
+            RuleId::ZeroDep => rel_path.ends_with("Cargo.toml"),
+        }
+    }
+}
+
+/// Options for one lint run.
+#[derive(Debug, Clone)]
+pub struct LintOptions {
+    /// Workspace root to scan.
+    pub root: std::path::PathBuf,
+    /// Rules to run; empty means all.
+    pub rules: Vec<RuleId>,
+}
+
+/// Runs the selected rules over the workspace at `opts.root`.
+pub fn run(opts: &LintOptions) -> Result<LintReport, String> {
+    let rules: Vec<RuleId> =
+        if opts.rules.is_empty() { RuleId::ALL.to_vec() } else { opts.rules.clone() };
+    let files = walk::discover(&opts.root)
+        .map_err(|e| format!("cannot scan {}: {e}", opts.root.display()))?;
+    let mut report = LintReport {
+        rules: rules.iter().map(|r| r.name()).collect(),
+        ..LintReport::default()
+    };
+    let run_rust = rules.iter().any(|r| *r != RuleId::ZeroDep);
+    if run_rust {
+        for rel in &files.rust {
+            let text = read(&opts.root, rel)?;
+            report.files_scanned += 1;
+            report.diagnostics.extend(check_rust_source(rel, &text, &rules, false));
+        }
+    }
+    if rules.contains(&RuleId::ZeroDep) {
+        for rel in &files.manifests {
+            let text = read(&opts.root, rel)?;
+            report.files_scanned += 1;
+            report.diagnostics.extend(manifest::check_manifest(rel, &text, Some(&opts.root)));
+        }
+    }
+    report.sort();
+    Ok(report)
+}
+
+/// Runs the token-level rules on one Rust source. With `ignore_scope` the
+/// path-based scoping is bypassed — the fixture tests use this to exercise
+/// rules on files that live outside their production scope.
+pub fn check_rust_source(
+    rel_path: &str,
+    text: &str,
+    rules: &[RuleId],
+    ignore_scope: bool,
+) -> Vec<Diagnostic> {
+    let file = SourceFile::parse(rel_path, text);
+    let mut out = Vec::new();
+    for rule in rules {
+        if !ignore_scope && !rule.applies_to(rel_path) {
+            continue;
+        }
+        match rule {
+            RuleId::NoPanicHotpath => rules::no_panic_hotpath(&file, &mut out),
+            RuleId::Determinism => rules::determinism(&file, &mut out),
+            RuleId::ThreadDiscipline => rules::thread_discipline(&file, &mut out),
+            RuleId::RelaxedOrdering => rules::relaxed_ordering(&file, &mut out),
+            RuleId::ZeroDep => {}
+        }
+    }
+    out
+}
+
+fn read(root: &Path, rel: &str) -> Result<String, String> {
+    std::fs::read_to_string(root.join(rel)).map_err(|e| format!("cannot read {rel}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_names_round_trip_through_parse() {
+        for r in RuleId::ALL {
+            assert_eq!(RuleId::parse(r.name()), Some(r));
+        }
+        assert_eq!(RuleId::parse("no_panic_hotpath"), Some(RuleId::NoPanicHotpath));
+        assert_eq!(RuleId::parse("nope"), None);
+    }
+
+    #[test]
+    fn scopes_cover_the_intended_paths() {
+        let np = RuleId::NoPanicHotpath;
+        assert!(np.applies_to("crates/dimlink/src/linker.rs"));
+        assert!(np.applies_to("crates/serve/src/bin/dimserve.rs"));
+        assert!(np.applies_to("crates/core/src/pipeline.rs"));
+        assert!(!np.applies_to("crates/core/src/experiments.rs"));
+        assert!(!np.applies_to("crates/obs/src/lib.rs"));
+
+        let det = RuleId::Determinism;
+        assert!(det.applies_to("crates/dimeval/src/benchmark.rs"));
+        assert!(det.applies_to("crates/bench/src/render.rs"));
+        assert!(!det.applies_to("crates/bench/src/lib.rs"), "CLI arg parsing may read env");
+
+        let th = RuleId::ThreadDiscipline;
+        assert!(!th.applies_to("crates/par/src/lib.rs"));
+        assert!(!th.applies_to("crates/serve/src/server.rs"));
+        assert!(th.applies_to("crates/corpus/src/generate.rs"));
+
+        assert!(RuleId::ZeroDep.applies_to("crates/obs/Cargo.toml"));
+        assert!(!RuleId::ZeroDep.applies_to("crates/obs/src/lib.rs"));
+    }
+}

@@ -1,0 +1,237 @@
+//! The `zero-dep` rule: every dependency in every `Cargo.toml` must resolve
+//! to a vendored in-repo path. The build environment has no registry, so a
+//! `foo = "1.0"` entry would not even resolve — but it would only fail at
+//! the *next* `cargo build`, possibly on another machine. This rule fails it
+//! at lint time, with a line number.
+//!
+//! The parser is deliberately a line-oriented TOML subset: section headers,
+//! `key = value` entries, and single-line inline tables — exactly the shapes
+//! this workspace's manifests use. Anything fancier (multi-line inline
+//! tables) is flagged as unparseable rather than silently accepted.
+
+use crate::report::Diagnostic;
+use std::path::{Component, Path, PathBuf};
+
+const RULE: &str = "zero-dep";
+
+/// Checks one manifest. `root` enables path-existence validation (the
+/// fixture tests pass `None` to check shape only).
+pub fn check_manifest(rel_path: &str, text: &str, root: Option<&Path>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut in_dep_section = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let line = strip_toml_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            in_dep_section = line.trim_start_matches('[').trim_end_matches(']').ends_with("dependencies");
+            continue;
+        }
+        if !in_dep_section {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            out.push(diag(rel_path, line_no, format!("unparseable dependency entry `{line}`")));
+            continue;
+        };
+        let (key, value) = (key.trim(), value.trim());
+        // `name.workspace = true` — resolved by the root manifest, which is
+        // itself checked; nothing to validate here.
+        if key.ends_with(".workspace") && value == "true" {
+            continue;
+        }
+        // Dotted fragments of an inline definition (`name.path = "…"`).
+        if let Some((_, attr)) = key.split_once('.') {
+            if attr == "path" {
+                check_path_value(rel_path, line_no, value, root, &mut out);
+            } else if attr == "version" || attr == "git" || attr == "registry" {
+                out.push(diag(rel_path, line_no, format!(
+                    "dependency `{key}` pulls from a registry/remote — vendor it under crates/ \
+                     and use a path dependency"
+                )));
+            }
+            continue;
+        }
+        if value.starts_with('"') {
+            // `name = "1.0"` — the classic registry dep.
+            out.push(diag(rel_path, line_no, format!(
+                "registry dependency `{key} = {value}` — the workspace is offline; vendor it \
+                 under crates/ and use `path = …`"
+            )));
+            continue;
+        }
+        if value.starts_with('{') {
+            if !value.ends_with('}') {
+                out.push(diag(rel_path, line_no, format!(
+                    "multi-line inline table for `{key}` — keep dependency entries on one line \
+                     so they stay lintable"
+                )));
+                continue;
+            }
+            let body = &value[1..value.len() - 1];
+            let has_workspace = inline_value(body, "workspace") == Some("true".to_string());
+            let path_val = inline_value(body, "path");
+            let has_remote = ["version", "git", "registry"]
+                .iter()
+                .any(|k| inline_value(body, k).is_some());
+            if has_remote && path_val.is_none() {
+                out.push(diag(rel_path, line_no, format!(
+                    "dependency `{key}` pulls from a registry/remote — vendor it under crates/ \
+                     and use a path dependency"
+                )));
+            } else if let Some(p) = path_val {
+                check_path_value(rel_path, line_no, &format!("\"{p}\""), root, &mut out);
+            } else if !has_workspace {
+                out.push(diag(rel_path, line_no, format!(
+                    "dependency `{key}` has neither `path` nor `workspace = true`"
+                )));
+            }
+            continue;
+        }
+        out.push(diag(rel_path, line_no, format!("unparseable dependency value for `{key}`: `{value}`")));
+    }
+    out
+}
+
+/// Validates a `path = "…"` value: must be a quoted string pointing inside
+/// the workspace, and (when `root` is known) must exist.
+fn check_path_value(
+    rel_path: &str,
+    line_no: u32,
+    value: &str,
+    root: Option<&Path>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let Some(p) = value.strip_prefix('"').and_then(|v| v.strip_suffix('"')) else {
+        out.push(diag(rel_path, line_no, format!("unparseable path value `{value}`")));
+        return;
+    };
+    let Some(root) = root else { return };
+    let manifest_dir = root.join(rel_path);
+    let manifest_dir = manifest_dir.parent().unwrap_or(root);
+    let joined = normalize(&manifest_dir.join(p));
+    let root_n = normalize(root);
+    if !joined.starts_with(&root_n) {
+        out.push(diag(rel_path, line_no, format!(
+            "path dependency `{p}` escapes the workspace root"
+        )));
+    } else if !joined.join("Cargo.toml").is_file() {
+        out.push(diag(rel_path, line_no, format!(
+            "path dependency `{p}` does not resolve to a crate (no Cargo.toml at {})",
+            joined.display()
+        )));
+    }
+}
+
+/// Lexically resolves `.` / `..` components (the paths involved exist, but
+/// `canonicalize` would also resolve symlinks, which we don't want).
+fn normalize(p: &Path) -> PathBuf {
+    let mut out = PathBuf::new();
+    for c in p.components() {
+        match c {
+            Component::CurDir => {}
+            Component::ParentDir => {
+                out.pop();
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Extracts `key = <value>` from an inline-table body, returning the value
+/// with surrounding quotes stripped.
+fn inline_value(body: &str, key: &str) -> Option<String> {
+    for part in split_inline(body) {
+        let (k, v) = part.split_once('=')?;
+        if k.trim() == key {
+            let v = v.trim();
+            return Some(v.trim_matches('"').to_string());
+        }
+    }
+    None
+}
+
+/// Splits an inline-table body on top-level commas (commas inside `[…]`
+/// feature lists don't count).
+fn split_inline(body: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in body.char_indices() {
+        match c {
+            '[' | '{' => depth += 1,
+            ']' | '}' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                parts.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&body[start..]);
+    parts
+}
+
+/// Drops a `# comment` tail (quote-aware: `#` inside a string stays).
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn diag(path: &str, line: u32, message: String) -> Diagnostic {
+    Diagnostic { path: path.to_string(), line, rule: RULE, message }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_deps_are_flagged() {
+        let t = "[package]\nname = \"x\"\n[dependencies]\nserde = \"1.0\"\nrayon = { version = \"1.8\" }\n";
+        let d = check_manifest("Cargo.toml", t, None);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d[0].message.contains("registry"));
+    }
+
+    #[test]
+    fn path_and_workspace_deps_pass() {
+        let t = "[dependencies]\ndim-obs = { path = \"crates/obs\" }\nserde.workspace = true\nrand = { path = \"crates/rand\", features = [\"small_rng\", \"std\"] }\n";
+        assert!(check_manifest("Cargo.toml", t, None).is_empty());
+    }
+
+    #[test]
+    fn non_dep_sections_are_ignored() {
+        let t = "[package]\nversion = \"0.1.0\"\n[profile.release]\nlto = \"thin\"\n";
+        assert!(check_manifest("Cargo.toml", t, None).is_empty());
+    }
+
+    #[test]
+    fn git_deps_are_flagged() {
+        let t = "[dev-dependencies]\nfoo = { git = \"https://example.com/foo\" }\n";
+        let d = check_manifest("Cargo.toml", t, None);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let t = "[dependencies]\n# a comment about serde = \"1.0\"\n\ndim-obs.workspace = true\n";
+        assert!(check_manifest("Cargo.toml", t, None).is_empty());
+    }
+
+    #[test]
+    fn workspace_dep_sections_are_checked() {
+        let t = "[workspace.dependencies]\nserde = \"1.0\"\n";
+        assert_eq!(check_manifest("Cargo.toml", t, None).len(), 1);
+    }
+}

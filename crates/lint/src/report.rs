@@ -1,0 +1,149 @@
+//! Diagnostics and their two renderings: human `file:line` lines and the
+//! `lint_report.json` schema (hand-rolled JSON — this crate depends on
+//! nothing, including the vendored serde).
+
+/// One rule violation at one source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule name (`no-panic-hotpath`, …).
+    pub rule: &'static str,
+    /// Human explanation, including the fix direction.
+    pub message: String,
+}
+
+/// The result of one lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Rule names that ran, in catalog order.
+    pub rules: Vec<&'static str>,
+    /// Files scanned (Rust sources + manifests).
+    pub files_scanned: usize,
+    /// Violations sorted by (path, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Canonical ordering so output is byte-stable run-to-run.
+    pub fn sort(&mut self) {
+        self.diagnostics
+            .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    }
+
+    /// `file:line: [rule] message` per violation plus a summary line.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&format!("{}:{}: [{}] {}\n", d.path, d.line, d.rule, d.message));
+        }
+        if self.diagnostics.is_empty() {
+            out.push_str(&format!(
+                "dimlint: clean — {} files, rules: {}\n",
+                self.files_scanned,
+                self.rules.join(", ")
+            ));
+        } else {
+            out.push_str(&format!(
+                "dimlint: {} violation(s) in {} files scanned\n",
+                self.diagnostics.len(),
+                self.files_scanned
+            ));
+        }
+        out
+    }
+
+    /// The `lint_report.json` schema: run metadata plus a violations array.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"rules\": [");
+        for (i, r) in self.rules.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            json_str(&mut out, r);
+        }
+        out.push_str("],\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"violation_count\": {},\n", self.diagnostics.len()));
+        out.push_str("  \"violations\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"path\": ");
+            json_str(&mut out, &d.path);
+            out.push_str(&format!(", \"line\": {}, \"rule\": ", d.line));
+            json_str(&mut out, d.rule);
+            out.push_str(", \"message\": ");
+            json_str(&mut out, &d.message);
+            out.push('}');
+        }
+        out.push_str(if self.diagnostics.is_empty() { "]\n" } else { "\n  ]\n" });
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaping.
+fn json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> LintReport {
+        LintReport {
+            rules: vec!["no-panic-hotpath"],
+            files_scanned: 2,
+            diagnostics: vec![Diagnostic {
+                path: "crates/x/src/lib.rs".into(),
+                line: 7,
+                rule: "no-panic-hotpath",
+                message: "`.unwrap()` with \"quotes\"".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn human_rendering_has_location_prefix() {
+        let r = report().render_human();
+        assert!(r.starts_with("crates/x/src/lib.rs:7: [no-panic-hotpath]"));
+        assert!(r.contains("1 violation(s)"));
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let j = report().render_json();
+        assert!(j.contains("\\\"quotes\\\""));
+        assert!(j.contains("\"violation_count\": 1"));
+    }
+
+    #[test]
+    fn sort_orders_by_path_line_rule() {
+        let mut r = LintReport::default();
+        r.diagnostics.push(Diagnostic { path: "b.rs".into(), line: 1, rule: "x", message: String::new() });
+        r.diagnostics.push(Diagnostic { path: "a.rs".into(), line: 9, rule: "x", message: String::new() });
+        r.diagnostics.push(Diagnostic { path: "a.rs".into(), line: 2, rule: "x", message: String::new() });
+        r.sort();
+        assert_eq!(r.diagnostics[0].path, "a.rs");
+        assert_eq!(r.diagnostics[0].line, 2);
+        assert_eq!(r.diagnostics[2].path, "b.rs");
+    }
+}

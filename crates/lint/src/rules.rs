@@ -1,0 +1,381 @@
+//! The rule catalog over lexed Rust source.
+//!
+//! Every rule walks the token stream of one [`SourceFile`] — comments and
+//! string contents are already gone, `#[cfg(test)]` regions and
+//! `lint:allow` suppressions are already mapped — and pushes
+//! [`Diagnostic`]s. Scope (which files a rule covers) is decided by the
+//! caller in `lib.rs`; rules themselves only look at tokens.
+
+use crate::lexer::{TokKind, Token};
+use crate::report::Diagnostic;
+use crate::source::SourceFile;
+use std::collections::BTreeSet;
+
+/// Methods whose call on a hash collection iterates it in layout order.
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter", "iter_mut", "into_iter", "keys", "values", "values_mut", "into_keys", "into_values",
+    "drain", "retain",
+];
+
+/// Keywords that can legitimately precede `[` (slice patterns, `let [a,b]`)
+/// and therefore must not count as the receiver of an index expression.
+const NON_RECEIVER_KEYWORDS: &[&str] = &[
+    "as", "box", "break", "const", "continue", "crate", "dyn", "else", "enum", "fn", "for", "if",
+    "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref", "return", "static",
+    "struct", "trait", "type", "union", "unsafe", "use", "where", "while", "yield",
+];
+
+fn ident(tokens: &[Token], i: usize) -> Option<&str> {
+    match tokens.get(i).map(|t| &t.kind) {
+        Some(TokKind::Ident(name)) => Some(name.as_str()),
+        _ => None,
+    }
+}
+
+fn punct(tokens: &[Token], i: usize, c: char) -> bool {
+    matches!(tokens.get(i), Some(t) if t.kind == TokKind::Punct(c))
+}
+
+/// `::` — two consecutive `:` punct tokens.
+fn path_sep(tokens: &[Token], i: usize) -> bool {
+    punct(tokens, i, ':') && punct(tokens, i + 1, ':')
+}
+
+/// Emits `diag` unless the site is test code or carries a suppression.
+fn emit(
+    file: &SourceFile,
+    out: &mut Vec<Diagnostic>,
+    rule: &'static str,
+    allow_key: &str,
+    line: u32,
+    message: String,
+) {
+    if file.in_test_code(line) || file.suppressed(allow_key, line) {
+        return;
+    }
+    out.push(Diagnostic { path: file.rel_path.clone(), line, rule, message });
+}
+
+// ===================== no-panic-hotpath =====================
+
+/// Degraded-mode hot paths must never die: no `.unwrap()` / `.expect(…)`,
+/// no panicking macros, no direct slice/array indexing (each index is an
+/// implicit `panic!` on out-of-bounds). Sites that are provably safe carry
+/// `// lint:allow(no_panic, reason)`.
+pub fn no_panic_hotpath(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    const RULE: &str = "no-panic-hotpath";
+    const KEY: &str = "no_panic";
+    let t = &file.tokens;
+    for i in 0..t.len() {
+        let line = t[i].line;
+        // `.unwrap()` / `.expect(`
+        if punct(t, i, '.') {
+            if let Some(name @ ("unwrap" | "expect")) = ident(t, i + 1) {
+                if punct(t, i + 2, '(') {
+                    emit(file, out, RULE, KEY, line, format!(
+                        "`.{name}(…)` in a hot path — quarantine or propagate a typed error \
+                         (lint:allow(no_panic, reason) if provably safe)"
+                    ));
+                }
+            }
+        }
+        // panicking macros
+        if let Some(name @ ("panic" | "unreachable" | "todo" | "unimplemented")) = ident(t, i) {
+            // Not a macro if preceded by `.`/`::` (method or path position).
+            let prefixed = i >= 1 && (punct(t, i - 1, '.') || punct(t, i - 1, ':'));
+            if punct(t, i + 1, '!') && !prefixed {
+                emit(file, out, RULE, KEY, line, format!(
+                    "`{name}!` in a hot path — degraded-mode code must return an error, not die"
+                ));
+            }
+        }
+        // postfix indexing: `expr[…]` where expr ends in an ident, `)` or `]`
+        if punct(t, i, '[') && i >= 1 {
+            let is_index = match &t[i - 1].kind {
+                TokKind::Ident(name) => !NON_RECEIVER_KEYWORDS.contains(&name.as_str()),
+                TokKind::Punct(')') | TokKind::Punct(']') => true,
+                _ => false,
+            };
+            if is_index {
+                emit(file, out, RULE, KEY, line, String::from(
+                    "slice/array indexing in a hot path can panic on out-of-bounds — use \
+                     `.get(…)` (lint:allow(no_panic, reason) when the bound is locally proven)",
+                ));
+            }
+        }
+    }
+}
+
+// ===================== determinism =====================
+
+/// Output/golden-producing paths must be pure functions of the
+/// configuration: no `HashMap`/`HashSet` iteration (layout order), no
+/// clocks, no environment reads. Sites that are genuinely measurement-only
+/// carry `// lint:allow(nondeterministic, reason)`.
+pub fn determinism(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    const RULE: &str = "determinism";
+    const KEY: &str = "nondeterministic";
+    let t = &file.tokens;
+    let tracked = hash_bound_names(t);
+    for i in 0..t.len() {
+        let line = t[i].line;
+        // Clock reads.
+        if ident(t, i) == Some("Instant") && path_sep(t, i + 1) && ident(t, i + 3) == Some("now") {
+            emit(file, out, RULE, KEY, line, String::from(
+                "`Instant::now()` in an output-producing path — wall-clock values must never \
+                 reach golden bytes",
+            ));
+        }
+        if ident(t, i) == Some("SystemTime") {
+            emit(file, out, RULE, KEY, line, String::from(
+                "`SystemTime` in an output-producing path — wall-clock values must never reach \
+                 golden bytes",
+            ));
+        }
+        // Environment reads.
+        if ident(t, i) == Some("env")
+            && path_sep(t, i + 1)
+            && matches!(ident(t, i + 3), Some("var" | "vars" | "var_os" | "vars_os" | "args" | "args_os"))
+        {
+            emit(file, out, RULE, KEY, line, format!(
+                "`env::{}` in an output-producing path — outputs must depend only on the \
+                 experiment configuration",
+                ident(t, i + 3).unwrap_or("var")
+            ));
+        }
+        // Iteration over a hash-typed binding: `name.iter()` / `for _ in &name`.
+        if let Some(name) = ident(t, i) {
+            if tracked.contains(name)
+                && punct(t, i + 1, '.')
+                && matches!(ident(t, i + 2), Some(m) if HASH_ITER_METHODS.contains(&m))
+                && punct(t, i + 3, '(')
+            {
+                emit(file, out, RULE, KEY, line, format!(
+                    "iterating hash collection `{name}` ({}) — layout order is nondeterministic; \
+                     sort first or use a BTree collection",
+                    ident(t, i + 2).unwrap_or("iter")
+                ));
+            }
+        }
+        if ident(t, i) == Some("for") {
+            if let Some((name, at)) = for_loop_hash_receiver(t, i, &tracked) {
+                emit(file, out, RULE, KEY, t[at].line, format!(
+                    "`for … in {name}` iterates a hash collection — layout order is \
+                     nondeterministic; sort first or use a BTree collection"
+                ));
+            }
+        }
+    }
+}
+
+/// Identifiers bound to `HashMap`/`HashSet` in this file, found lexically:
+/// type ascriptions (`name: HashMap<…>`, including struct fields and full
+/// `std::collections::` paths) and constructor bindings
+/// (`name = HashMap::new()` / `with_capacity` / `from`).
+fn hash_bound_names(t: &[Token]) -> BTreeSet<String> {
+    let mut tracked = BTreeSet::new();
+    for i in 0..t.len() {
+        let Some(name) = ident(t, i) else { continue };
+        if name == "HashMap" || name == "HashSet" {
+            continue;
+        }
+        // `name : [&|path …] Hash{Map,Set}` — scan a short window past the
+        // colon, skipping references and path segments.
+        if punct(t, i + 1, ':') && !punct(t, i + 2, ':') {
+            let mut j = i + 2;
+            let limit = j + 8;
+            while j < limit {
+                match t.get(j).map(|x| &x.kind) {
+                    Some(TokKind::Ident(n)) if n == "HashMap" || n == "HashSet" => {
+                        tracked.insert(name.to_string());
+                        break;
+                    }
+                    Some(TokKind::Ident(_)) | Some(TokKind::Punct(':')) | Some(TokKind::Punct('&'))
+                    | Some(TokKind::Lifetime) | Some(TokKind::Punct('\'')) => j += 1,
+                    _ => break,
+                }
+            }
+        }
+        // `name = Hash{Map,Set}::…`
+        if punct(t, i + 1, '=')
+            && matches!(ident(t, i + 2), Some("HashMap" | "HashSet"))
+            && path_sep(t, i + 3)
+        {
+            tracked.insert(name.to_string());
+        }
+    }
+    tracked
+}
+
+/// For a `for` at index `i`, if the loop iterates directly over a tracked
+/// name (`for x in name`, `for x in &name`, `for x in &mut name`), returns
+/// the name and its token index. Method-call receivers (`name.iter()`) are
+/// handled by the caller's method pattern.
+fn for_loop_hash_receiver<'a>(
+    t: &'a [Token],
+    i: usize,
+    tracked: &BTreeSet<String>,
+) -> Option<(&'a str, usize)> {
+    // Find the `in` within a short window (patterns are rarely longer).
+    let mut j = i + 1;
+    let limit = (i + 24).min(t.len());
+    while j < limit && ident(t, j) != Some("in") {
+        j += 1;
+    }
+    if j >= limit {
+        return None;
+    }
+    let mut k = j + 1;
+    while punct(t, k, '&') || ident(t, k) == Some("mut") {
+        k += 1;
+    }
+    // `for x in name {` / `for x in &name {` only; `name.iter()` is caught
+    // by the method pattern.
+    let name = ident(t, k)?;
+    if tracked.contains(name) && punct(t, k + 1, '{') {
+        return Some((name, k));
+    }
+    None
+}
+
+// ===================== thread-discipline =====================
+
+/// Raw `thread::spawn` belongs only in `crates/par` (the deterministic
+/// fan-out) and `crates/serve` (the worker pool); everywhere else must go
+/// through `dim_par` so thread width stays a config, not an accident.
+pub fn thread_discipline(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    const RULE: &str = "thread-discipline";
+    const KEY: &str = "thread_spawn";
+    let t = &file.tokens;
+    for i in 0..t.len() {
+        if ident(t, i) == Some("thread") && path_sep(t, i + 1) && ident(t, i + 3) == Some("spawn")
+        {
+            emit(file, out, RULE, KEY, t[i].line, String::from(
+                "raw `thread::spawn` outside crates/par and crates/serve — use `dim_par` so \
+                 thread width stays configuration-driven and deterministic",
+            ));
+        }
+    }
+}
+
+// ===================== relaxed-ordering =====================
+
+/// Every `Ordering::Relaxed` must carry a
+/// `// lint:allow(relaxed_ordering, reason)` justification: Relaxed is
+/// correct for value-only counters but silently wrong for cross-thread
+/// handoff, and the difference is invisible without the annotation.
+pub fn relaxed_ordering(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    const RULE: &str = "relaxed-ordering";
+    const KEY: &str = "relaxed_ordering";
+    let t = &file.tokens;
+    for i in 0..t.len() {
+        if ident(t, i) == Some("Ordering")
+            && path_sep(t, i + 1)
+            && ident(t, i + 3) == Some("Relaxed")
+        {
+            emit(file, out, RULE, KEY, t[i].line, String::from(
+                "`Ordering::Relaxed` without justification — annotate with \
+                 lint:allow(relaxed_ordering, reason), or upgrade to Acquire/Release if this \
+                 atomic guards a cross-thread handoff",
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(rule: fn(&SourceFile, &mut Vec<Diagnostic>), src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse("test.rs", src);
+        let mut out = Vec::new();
+        rule(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn no_panic_catches_unwrap_expect_macros_indexing() {
+        let src = "fn f(v: &[u8]) { v.first().unwrap(); r.expect(\"x\"); panic!(\"y\"); let a = v[0]; }";
+        let d = check(no_panic_hotpath, src);
+        assert_eq!(d.len(), 4, "{d:?}");
+    }
+
+    #[test]
+    fn no_panic_ignores_strings_comments_tests_and_slice_patterns() {
+        let src = r#"
+fn f() { let s = ".unwrap()"; let r = r"panic!(x)"; // .expect( in comment
+    let [a, b] = [1, 2];
+}
+#[cfg(test)]
+mod tests { fn t() { x.unwrap(); } }
+"#;
+        let d = check(no_panic_hotpath, src);
+        // `[1, 2]` literal isn't indexing (preceded by `=`); `let [a, b]`
+        // is a pattern (preceded by keyword).
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn no_panic_respects_suppressions() {
+        let src = "fn f(v: &[u8; 4]) { let a = v[0]; // lint:allow(no_panic, fixed-size array)\n}";
+        assert!(check(no_panic_hotpath, src).is_empty());
+    }
+
+    #[test]
+    fn determinism_tracks_hash_bindings() {
+        let src = r#"
+fn f() {
+    let mut m: HashMap<String, u32> = HashMap::new();
+    for (k, v) in m.iter() { body(k, v); }
+    let s = HashSet::new();
+    let s2 = s; // rebinding without type is not tracked — fine
+    for x in &m { body2(x); }
+}
+"#;
+        let d = check(determinism, src);
+        assert_eq!(d.len(), 2, "{d:?}");
+    }
+
+    #[test]
+    fn determinism_allows_keyed_access_and_vec_iter() {
+        let src = r#"
+struct R { choice: HashMap<K, V> }
+fn f(r: &R, order: &[K]) {
+    for k in order.iter() { let v = r.choice.get(k); use_it(v); }
+}
+"#;
+        assert!(check(determinism, src).is_empty());
+    }
+
+    #[test]
+    fn determinism_flags_field_iteration() {
+        let src = "struct R { choice: HashMap<K, V> }\nfn f(r: &R) { for (k, v) in r.choice.iter() { b(k, v); } }";
+        assert_eq!(check(determinism, src).len(), 1);
+    }
+
+    #[test]
+    fn determinism_flags_clocks_and_env() {
+        let src = "fn f() { let t = Instant::now(); let s = SystemTime::now(); let v = std::env::var(\"X\"); }";
+        assert_eq!(check(determinism, src).len(), 3);
+    }
+
+    #[test]
+    fn determinism_suppression() {
+        let src = "fn f() { let t = Instant::now(); // lint:allow(nondeterministic, measurement only)\n}";
+        assert!(check(determinism, src).is_empty());
+    }
+
+    #[test]
+    fn thread_rule_flags_spawn() {
+        assert_eq!(check(thread_discipline, "fn f() { std::thread::spawn(|| {}); }").len(), 1);
+        assert!(check(thread_discipline, "fn f() { std::thread::scope(|s| {}); }").is_empty());
+    }
+
+    #[test]
+    fn relaxed_rule_requires_annotation() {
+        assert_eq!(check(relaxed_ordering, "fn f(a: &AtomicU64) { a.load(Ordering::Relaxed); }").len(), 1);
+        let ok = "fn f(a: &AtomicU64) { a.load(Ordering::Relaxed); // lint:allow(relaxed_ordering, stat counter)\n}";
+        assert!(check(relaxed_ordering, ok).is_empty());
+        assert!(check(relaxed_ordering, "fn f(a: &AtomicU64) { a.load(Ordering::SeqCst); }").is_empty());
+    }
+}

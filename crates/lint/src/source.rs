@@ -1,0 +1,275 @@
+//! Per-file analysis state shared by every rule: the token stream,
+//! `#[cfg(test)]` region map, and `lint:allow` suppressions.
+
+use crate::lexer::{lex, Comment, TokKind, Token};
+
+/// A `// lint:allow(key, reason)` suppression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// Normalized key (`-` folded to `_`), e.g. `no_panic`.
+    pub key: String,
+    /// Justification text after the comma (may be empty — see
+    /// [`SourceFile::suppressed`], which refuses reasonless suppressions).
+    pub reason: String,
+    /// Line the suppression comment starts on.
+    pub line: u32,
+    /// Line the suppression comment ends on (block comments span lines).
+    pub end_line: u32,
+    /// Whether code tokens share the starting line (a trailing comment).
+    /// Trailing suppressions cover only their own line; own-line
+    /// suppressions cover the next line instead.
+    pub trailing: bool,
+}
+
+/// One lexed source file plus the derived region/suppression maps.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (diagnostic identity).
+    pub rel_path: String,
+    /// Code tokens (no comments).
+    pub tokens: Vec<Token>,
+    /// Sorted, disjoint 1-based line ranges covered by `#[cfg(test)]`.
+    test_regions: Vec<(u32, u32)>,
+    /// Parsed suppressions.
+    pub suppressions: Vec<Suppression>,
+}
+
+impl SourceFile {
+    /// Lexes and analyzes one file.
+    pub fn parse(rel_path: &str, src: &str) -> SourceFile {
+        let lexed = lex(src);
+        let test_regions = find_test_regions(&lexed.tokens);
+        let mut suppressions: Vec<Suppression> =
+            lexed.comments.iter().filter_map(parse_suppression).collect();
+        for s in &mut suppressions {
+            s.trailing = lexed.tokens.iter().any(|t| t.line == s.line);
+        }
+        SourceFile { rel_path: rel_path.to_string(), tokens: lexed.tokens, test_regions, suppressions }
+    }
+
+    /// Is `line` inside a `#[cfg(test)]` item?
+    pub fn in_test_code(&self, line: u32) -> bool {
+        self.test_regions.iter().any(|&(lo, hi)| (lo..=hi).contains(&line))
+    }
+
+    /// Is a violation of `key` on `line` suppressed? A trailing suppression
+    /// (comment sharing a line with code) covers exactly its own line; an
+    /// own-line suppression covers the line immediately after it ends. A
+    /// suppression without a reason suppresses nothing — the justification
+    /// *is* the point.
+    pub fn suppressed(&self, key: &str, line: u32) -> bool {
+        let key = normalize_key(key);
+        self.suppressions.iter().any(|s| {
+            s.key == key
+                && !s.reason.is_empty()
+                && if s.trailing { s.line == line } else { s.end_line + 1 == line }
+        })
+    }
+}
+
+/// Folds `-` to `_` so `no-panic` and `no_panic` name the same key.
+pub fn normalize_key(key: &str) -> String {
+    key.trim().replace('-', "_")
+}
+
+/// Extracts `lint:allow(key, reason)` from a comment, if present.
+fn parse_suppression(c: &Comment) -> Option<Suppression> {
+    let start = c.text.find("lint:allow(")?;
+    let body = &c.text[start + "lint:allow(".len()..];
+    let body = body.split(')').next().unwrap_or(body);
+    let (key, reason) = match body.split_once(',') {
+        Some((k, r)) => (k, r.trim().to_string()),
+        None => (body, String::new()),
+    };
+    Some(Suppression {
+        key: normalize_key(key),
+        reason,
+        line: c.line,
+        end_line: c.end_line,
+        trailing: false, // filled in by SourceFile::parse, which sees the tokens
+    })
+}
+
+/// Finds every `#[cfg(test)]`-gated item and returns its line range.
+///
+/// Matching: an attribute `#[cfg(…)]` whose parenthesized body contains the
+/// ident `test` but not `not` (so `cfg(all(test, foo))` counts and
+/// `cfg(not(test))` does not). The gated region runs from the attribute to
+/// the end of the next brace-balanced block — or to the first top-level `;`
+/// for braceless items (`#[cfg(test)] use …;`). An attribute with nothing
+/// after it (EOF) gates through end of file.
+fn find_test_regions(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if let Some(after_attr) = match_cfg_test(tokens, i) {
+            let start_line = tokens[i].line;
+            let end = region_end(tokens, after_attr);
+            let end_line = match end {
+                Some(j) => tokens[j].line,
+                None => tokens.last().map(|t| t.line).unwrap_or(start_line).max(start_line),
+            };
+            regions.push((start_line, end_line));
+            i = end.map(|j| j + 1).unwrap_or(tokens.len());
+        } else {
+            i += 1;
+        }
+    }
+    regions
+}
+
+/// If tokens at `i` start `#[cfg(… test …)]`, returns the index just past
+/// the closing `]`.
+fn match_cfg_test(tokens: &[Token], i: usize) -> Option<usize> {
+    let punct = |j: usize, c: char| matches!(tokens.get(j), Some(t) if t.kind == TokKind::Punct(c));
+    let ident = |j: usize, s: &str| {
+        matches!(&tokens.get(j), Some(t) if matches!(&t.kind, TokKind::Ident(n) if n == s))
+    };
+    if !(punct(i, '#') && punct(i + 1, '[') && ident(i + 2, "cfg") && punct(i + 3, '(')) {
+        return None;
+    }
+    // Scan the cfg(...) body to its matching paren.
+    let mut depth = 1usize;
+    let mut j = i + 4;
+    let mut saw_test = false;
+    let mut saw_not = false;
+    while j < tokens.len() && depth > 0 {
+        match &tokens[j].kind {
+            TokKind::Punct('(') => depth += 1,
+            TokKind::Punct(')') => depth -= 1,
+            TokKind::Ident(n) if n == "test" => saw_test = true,
+            TokKind::Ident(n) if n == "not" => saw_not = true,
+            _ => {}
+        }
+        j += 1;
+    }
+    if !saw_test || saw_not {
+        return None;
+    }
+    // Expect the closing `]` (tolerate trailing tokens inside the attr).
+    while j < tokens.len() {
+        if tokens[j].kind == TokKind::Punct(']') {
+            return Some(j + 1);
+        }
+        if tokens[j].kind == TokKind::Punct('[') {
+            break; // malformed; bail rather than scan the world
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Index of the token that ends the item starting at `i`: the `}` matching
+/// the first `{`, or a `;` seen before any brace. `None` means EOF.
+fn region_end(tokens: &[Token], i: usize) -> Option<usize> {
+    let mut j = i;
+    // Skip further attributes (`#[test] #[ignore] fn …`).
+    while j < tokens.len() {
+        if tokens[j].kind == TokKind::Punct('#')
+            && matches!(tokens.get(j + 1), Some(t) if t.kind == TokKind::Punct('['))
+        {
+            let mut depth = 0usize;
+            while j < tokens.len() {
+                match tokens[j].kind {
+                    TokKind::Punct('[') => depth += 1,
+                    TokKind::Punct(']') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        } else {
+            break;
+        }
+    }
+    let mut depth = 0usize;
+    while j < tokens.len() {
+        match tokens[j].kind {
+            TokKind::Punct('{') => depth += 1,
+            TokKind::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            TokKind::Punct(';') if depth == 0 => return Some(j),
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_mod_is_a_region() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() {}\n}\nfn after() {}\n",
+        );
+        assert!(!f.in_test_code(1));
+        assert!(f.in_test_code(2));
+        assert!(f.in_test_code(4));
+        assert!(!f.in_test_code(6));
+    }
+
+    #[test]
+    fn cfg_test_at_eof_extends_to_eof() {
+        let f = SourceFile::parse("x.rs", "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() {\n");
+        assert!(f.in_test_code(4));
+        assert!(!f.in_test_code(1));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_region() {
+        let f = SourceFile::parse("x.rs", "#[cfg(not(test))]\nfn live() {}\n");
+        assert!(!f.in_test_code(2));
+    }
+
+    #[test]
+    fn cfg_all_test_counts() {
+        let f = SourceFile::parse("x.rs", "#[cfg(all(test, unix))]\nmod t { fn x() {} }\n");
+        assert!(f.in_test_code(2));
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_ends_at_semicolon() {
+        let f = SourceFile::parse("x.rs", "#[cfg(test)]\nuse foo::bar;\nfn live() {}\n");
+        assert!(f.in_test_code(2));
+        assert!(!f.in_test_code(3));
+    }
+
+    #[test]
+    fn attributes_between_cfg_and_item_are_skipped() {
+        let f =
+            SourceFile::parse("x.rs", "#[cfg(test)]\n#[allow(dead_code)]\nmod t {\n fn x() {}\n}\nfn live() {}\n");
+        assert!(f.in_test_code(4));
+        assert!(!f.in_test_code(6));
+    }
+
+    #[test]
+    fn suppressions_parse_and_apply() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "// lint:allow(no_panic, bounds checked above)\nlet x = v[0];\nlet y = v[1]; // lint:allow(no-panic, fixed-size array)\nlet z = v[2];\n",
+        );
+        assert!(f.suppressed("no_panic", 2));
+        assert!(f.suppressed("no_panic", 3), "hyphen form normalizes");
+        assert!(!f.suppressed("no_panic", 4));
+        assert!(!f.suppressed("nondeterministic", 2), "key must match");
+    }
+
+    #[test]
+    fn reasonless_suppression_does_not_suppress() {
+        let f = SourceFile::parse("x.rs", "// lint:allow(no_panic)\nlet x = v[0];\n// lint:allow(no_panic, )\nlet y = v[1];\n");
+        assert!(!f.suppressed("no_panic", 2));
+        assert!(!f.suppressed("no_panic", 4), "empty reason is no reason");
+    }
+}

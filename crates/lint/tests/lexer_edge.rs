@@ -1,0 +1,127 @@
+//! Lexer edge cases the awk scan this engine replaced could never handle,
+//! plus property tests that the lexer is total (never panics, never loses
+//! line-number monotonicity) on arbitrary input.
+
+use dim_lint::lexer::lex;
+use dim_lint::{check_rust_source, RuleId};
+use proptest::prelude::*;
+
+fn no_panic(src: &str) -> Vec<dim_lint::Diagnostic> {
+    check_rust_source("edge.rs", src, &[RuleId::NoPanicHotpath], true)
+}
+
+#[test]
+fn raw_string_containing_unwrap_is_not_a_violation() {
+    let src = r####"
+fn f() {
+    let doc = r#"call .unwrap() and v[0] and panic!("x") here"#;
+    let deeper = r##"a raw string with "# inside"##;
+    let _ = (doc, deeper);
+}
+"####;
+    assert!(no_panic(src).is_empty());
+}
+
+#[test]
+fn violation_after_a_raw_string_is_still_caught() {
+    let src = r###"
+fn f(v: &[u8]) -> u8 {
+    let doc = r#".unwrap() decoy"#;
+    let _ = doc;
+    v[0]
+}
+"###;
+    let d = no_panic(src);
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert_eq!(d[0].line, 5, "line numbers must survive raw strings");
+}
+
+#[test]
+fn nested_block_comments_hide_their_contents() {
+    let src = "fn f() { /* outer /* inner v[0].unwrap() */ still comment panic!() */ }";
+    assert!(no_panic(src).is_empty());
+}
+
+#[test]
+fn unterminated_nested_comment_swallows_the_rest() {
+    let src = "fn f() { /* open /* deeper */ never closed\nv.unwrap();\n";
+    assert!(no_panic(src).is_empty());
+}
+
+#[test]
+fn cfg_test_mid_file_exempts_only_its_item() {
+    let src = r#"
+fn live_before(v: &[u8]) -> u8 { v[0] }
+#[cfg(test)]
+mod tests {
+    fn exempt(v: &[u8]) -> u8 { v[1] }
+}
+fn live_after(v: &[u8]) -> u8 { v[2] }
+"#;
+    let d = no_panic(src);
+    let lines: Vec<u32> = d.iter().map(|x| x.line).collect();
+    assert_eq!(lines, vec![2, 7], "{d:?}");
+}
+
+#[test]
+fn cfg_test_at_eof_exempts_to_eof() {
+    let src = "fn live(v: &[u8]) -> u8 { v[0] }\n#[cfg(test)]\nmod tests {\n  fn t(v: &[u8]) -> u8 { v[1] }\n";
+    let d = no_panic(src);
+    assert_eq!(d.len(), 1);
+    assert_eq!(d[0].line, 1);
+}
+
+#[test]
+fn multibyte_utf8_keeps_line_numbers_and_suppressions_aligned() {
+    let src = "fn f(v: &[u8]) -> u8 {\n    // 多字节注释 🚀 with v[0] inside\n    let 千米 = \"单位 .unwrap()\";\n    let _ = 千米;\n    v[0] // lint:allow(no_panic, 上面已检查边界 — multi-byte reason text)\n}\n";
+    assert!(no_panic(src).is_empty());
+    let d = no_panic(&src.replace(" // lint:allow(no_panic, 上面已检查边界 — multi-byte reason text)", ""));
+    assert_eq!(d.len(), 1);
+    assert_eq!(d[0].line, 5, "CJK/emoji bytes must not skew line accounting");
+}
+
+#[test]
+fn char_literal_vs_lifetime_does_not_derail_string_tracking() {
+    // If `'a` were mislexed as an unterminated char literal, the `"` after
+    // it would open a string and hide the real violation.
+    let src = "fn f<'a>(v: &'a [u8]) -> u8 { let c = 'x'; let s = \"ok\"; let _ = (c, s); v[0] }";
+    let d = no_panic(src);
+    assert_eq!(d.len(), 1, "{d:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The lexer is a total function: any printable garbage — unbalanced
+    /// quotes, stray hashes, half-open comments — lexes without panicking.
+    #[test]
+    fn lexer_never_panics_on_arbitrary_input(s in "\\PC{0,120}") {
+        let lexed = lex(&s);
+        // Line numbers are 1-based and nondecreasing in token order.
+        let mut last = 1u32;
+        for t in &lexed.tokens {
+            prop_assert!(t.line >= last);
+            last = t.line;
+        }
+        for c in &lexed.comments {
+            prop_assert!(c.end_line >= c.line && c.line >= 1);
+        }
+    }
+
+    /// Rule checking is total too: the full pipeline (lex → regions →
+    /// suppressions → every rule) digests arbitrary input.
+    #[test]
+    fn check_never_panics_on_arbitrary_input(s in "\\PC{0,120}") {
+        let all: Vec<RuleId> = RuleId::ALL.to_vec();
+        let _ = check_rust_source("garbage.rs", &s, &all, true);
+    }
+
+    /// Quote/comment soup built from lexer-relevant atoms: the worst-case
+    /// inputs for string/comment tracking, denser than uniform printables.
+    #[test]
+    fn lexer_never_panics_on_quote_comment_soup(s in "[\"'#/*r\\\\ba\n\\]\\[{}]{0,160}") {
+        let _ = lex(&s);
+        let all: Vec<RuleId> = RuleId::ALL.to_vec();
+        let _ = check_rust_source("soup.rs", &s, &all, true);
+    }
+}

@@ -1,0 +1,22 @@
+//! The self-test that gives `make lint` its teeth: the workspace itself
+//! must be clean under every rule. A violation introduced anywhere in the
+//! scanned tree fails this test (and the `dimlint` binary run in `verify`)
+//! with a file:line diagnostic.
+
+use dim_lint::{run, LintOptions};
+
+#[test]
+fn the_workspace_is_lint_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = run(&LintOptions { root, rules: Vec::new() }).expect("lint run");
+    assert!(
+        report.files_scanned > 100,
+        "scan set collapsed to {} files — walk is broken",
+        report.files_scanned
+    );
+    assert!(
+        report.diagnostics.is_empty(),
+        "workspace has lint violations:\n{}",
+        report.render_human()
+    );
+}

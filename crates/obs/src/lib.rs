@@ -38,7 +38,10 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 /// instrumented call site pays when observability is off.
 #[inline]
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    // No data is published under this flag: record paths synchronize via
+    // the registry mutex and per-metric atomics, so the gate itself needs
+    // no ordering.
+    ENABLED.load(Ordering::Relaxed) // lint:allow(relaxed_ordering, pure on/off gate; registry handoff synchronizes via the REGISTRY mutex)
 }
 
 /// Turns recording on (idempotent). Metrics register lazily afterwards.
@@ -110,10 +113,10 @@ impl Counter {
             return;
         }
         self.register();
-        let mut cur = self.value.load(Ordering::Relaxed);
+        let mut cur = self.value.load(Ordering::Relaxed); // lint:allow(relaxed_ordering, single-cell CAS loop; only the value matters)
         loop {
             let next = cur.saturating_add(n);
-            match self.value.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            match self.value.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) // lint:allow(relaxed_ordering, single-cell CAS loop; only the value matters)
             {
                 Ok(_) => return,
                 Err(seen) => cur = seen,
@@ -129,11 +132,11 @@ impl Counter {
 
     /// Current value.
     pub fn get(&self) -> u64 {
-        self.value.load(Ordering::Relaxed)
+        self.value.load(Ordering::Relaxed) // lint:allow(relaxed_ordering, monotonic value read; no ordering dependency)
     }
 
     fn register(&'static self) {
-        if !self.registered.load(Ordering::Relaxed)
+        if !self.registered.load(Ordering::Relaxed) // lint:allow(relaxed_ordering, fast-path pre-check; the SeqCst swap below is authoritative)
             && !self.registered.swap(true, Ordering::SeqCst)
         {
             REGISTRY.lock().unwrap().counters.push(self);
@@ -162,17 +165,17 @@ impl Gauge {
         if !enabled() {
             return;
         }
-        if !self.registered.load(Ordering::Relaxed)
+        if !self.registered.load(Ordering::Relaxed) // lint:allow(relaxed_ordering, fast-path pre-check; the SeqCst swap below is authoritative)
             && !self.registered.swap(true, Ordering::SeqCst)
         {
             REGISTRY.lock().unwrap().gauges.push(self);
         }
-        self.value.store(v, Ordering::Relaxed);
+        self.value.store(v, Ordering::Relaxed); // lint:allow(relaxed_ordering, last-value-wins cell; only the value matters)
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
-        self.value.load(Ordering::Relaxed)
+        self.value.load(Ordering::Relaxed) // lint:allow(relaxed_ordering, last-value-wins cell; only the value matters)
     }
 }
 
@@ -253,16 +256,19 @@ impl Histogram {
         if !enabled() {
             return;
         }
-        if !self.registered.load(Ordering::Relaxed)
+        if !self.registered.load(Ordering::Relaxed) // lint:allow(relaxed_ordering, fast-path pre-check; the SeqCst swap below is authoritative)
             && !self.registered.swap(true, Ordering::SeqCst)
         {
             REGISTRY.lock().unwrap().histograms.push(self);
         }
-        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(v, Ordering::Relaxed);
-        self.min.fetch_min(v, Ordering::Relaxed);
-        self.max.fetch_max(v, Ordering::Relaxed);
+        // Independent stat cells; a snapshot may observe a torn cross-cell
+        // view (count updated, sum not yet), which the quantile clamp and
+        // the "stats are approximate while recording" contract absorb.
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed); // lint:allow(relaxed_ordering, independent stat cell; torn cross-cell views are in-contract)
+        self.count.fetch_add(1, Ordering::Relaxed); // lint:allow(relaxed_ordering, independent stat cell; torn cross-cell views are in-contract)
+        self.sum.fetch_add(v, Ordering::Relaxed); // lint:allow(relaxed_ordering, independent stat cell; torn cross-cell views are in-contract)
+        self.min.fetch_min(v, Ordering::Relaxed); // lint:allow(relaxed_ordering, independent stat cell; torn cross-cell views are in-contract)
+        self.max.fetch_max(v, Ordering::Relaxed); // lint:allow(relaxed_ordering, independent stat cell; torn cross-cell views are in-contract)
     }
 
     /// Starts a scoped timing span: elapsed nanoseconds are recorded into
@@ -270,12 +276,12 @@ impl Histogram {
     /// disabled the guard is inert and no clock is read.
     #[must_use = "a span records on drop; binding it to _ drops immediately"]
     pub fn span(&'static self) -> Span {
-        Span { hist: self, start: if enabled() { Some(Instant::now()) } else { None } }
+        Span { hist: self, start: if enabled() { Some(Instant::now()) } else { None } } // lint:allow(nondeterministic, span timing is measurement-only; reports render to stderr/obs_report.json, never stdout goldens)
     }
 
     /// Number of recorded values.
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.count.load(Ordering::Relaxed) // lint:allow(relaxed_ordering, stat value read; no ordering dependency)
     }
 
     /// The `q`-quantile (`0.0..=1.0`) from bucket midpoints; 0 when empty.
@@ -288,10 +294,10 @@ impl Histogram {
         let mut seen = 0u64;
         // Bucket midpoints approximate, so clamp to the exact extremes —
         // a quantile outside [min, max] is never the right answer.
-        let lo = self.min.load(Ordering::Relaxed);
-        let hi = self.max.load(Ordering::Relaxed);
+        let lo = self.min.load(Ordering::Relaxed); // lint:allow(relaxed_ordering, stat value read; no ordering dependency)
+        let hi = self.max.load(Ordering::Relaxed); // lint:allow(relaxed_ordering, stat value read; no ordering dependency)
         for (idx, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
+            seen += b.load(Ordering::Relaxed); // lint:allow(relaxed_ordering, stat value read; no ordering dependency)
             if seen >= rank {
                 return bucket_mid(idx).clamp(lo, hi);
             }
@@ -305,9 +311,9 @@ impl Histogram {
             name: self.name.to_string(),
             unit: self.unit,
             count,
-            sum: self.sum.load(Ordering::Relaxed),
-            min: if count == 0 { 0 } else { self.min.load(Ordering::Relaxed) },
-            max: self.max.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed), // lint:allow(relaxed_ordering, stat value read; no ordering dependency)
+            min: if count == 0 { 0 } else { self.min.load(Ordering::Relaxed) }, // lint:allow(relaxed_ordering, stat value read; no ordering dependency)
+            max: self.max.load(Ordering::Relaxed), // lint:allow(relaxed_ordering, stat value read; no ordering dependency)
             p50: self.quantile(0.50),
             p90: self.quantile(0.90),
             p99: self.quantile(0.99),

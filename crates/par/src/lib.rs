@@ -289,11 +289,11 @@ where
             let (slot, tail) = rest.split_at_mut(take);
             rest = tail;
             let base = offset;
-            let chunk_items = &items[base..base + take];
+            let chunk_items = &items[base..base + take]; // lint:allow(no_panic, base + take <= n == items.len() by the loop invariant offset < n and take = min(chunk, n - offset))
             handles.push(scope.spawn(move || {
                 let started = dim_obs::enabled().then(Instant::now);
                 for (k, item) in chunk_items.iter().enumerate() {
-                    slot[k] = Some(run_one(base + k, item));
+                    slot[k] = Some(run_one(base + k, item)); // lint:allow(no_panic, slot is split_at_mut(take) and k < take from enumerate over chunk_items of len take)
                 }
                 started.map(|t| (t.elapsed().as_nanos() as u64, chunk_items.len() as u64))
             }));

@@ -14,7 +14,7 @@
 //!
 //! Every `POST` consults [`dimkb::degrade::inject`] once under the
 //! [`SITE_REQUEST`] site before doing work: with no fault plan (or rate 0)
-//! that is one relaxed atomic load and responses are byte-identical to a
+//! that is one acquire atomic load and responses are byte-identical to a
 //! chaos-free build; with an active plan a faulted request is answered with
 //! a structured degraded `503` (and quarantined) instead of crashing a
 //! worker — injected panics are caught by the worker's per-request
@@ -106,7 +106,7 @@ impl App {
 
     /// Requests handled so far (monotonic, includes degraded ones).
     pub fn requests_handled(&self) -> u64 {
-        self.handled.load(Ordering::Relaxed)
+        self.handled.load(Ordering::Relaxed) // lint:allow(relaxed_ordering, monotonic stat read; no data guarded by it)
     }
 
     /// Snapshot of retained quarantine entries.
@@ -121,7 +121,7 @@ impl App {
     pub fn handle(&self, req: &Request) -> Response {
         let _span = REQUEST_SPAN.span();
         REQUESTS.inc();
-        self.handled.fetch_add(1, Ordering::Relaxed);
+        self.handled.fetch_add(1, Ordering::Relaxed); // lint:allow(relaxed_ordering, pure counter; atomicity alone gives a lossless total)
         let response = self.route(req);
         match response.status {
             200..=299 => RESP_2XX.inc(),
@@ -134,7 +134,7 @@ impl App {
     /// The sequence number the next request will be stamped with — the
     /// index the chaos decision function sees.
     pub fn next_sequence(&self) -> u64 {
-        self.seq.load(Ordering::Relaxed)
+        self.seq.load(Ordering::Relaxed) // lint:allow(relaxed_ordering, advisory read of the stamp counter; no data guarded by it)
     }
 
     fn route(&self, req: &Request) -> Response {
@@ -150,8 +150,8 @@ impl App {
                 Response::json(200, body)
             }
             (Method::Post, "/link" | "/annotate" | "/convert" | "/solve") => {
-                let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-                // The chaos hook: rate 0 ⇒ one relaxed load, no effect.
+                let seq = self.seq.fetch_add(1, Ordering::Relaxed); // lint:allow(relaxed_ordering, uniqueness comes from fetch_add atomicity; no ordering needed)
+                // The chaos hook: rate 0 ⇒ one acquire load, no effect.
                 if let Err(e) = dimkb::degrade::inject(SITE_REQUEST, seq as usize) {
                     return self.quarantined_response(seq, e);
                 }
@@ -339,7 +339,7 @@ impl App {
     /// worker's per-request `catch_unwind` calls this instead of dying;
     /// injected chaos panics land here).
     pub fn degraded_response(&self, message: String) -> Response {
-        let seq = self.seq.load(Ordering::Relaxed).saturating_sub(1);
+        let seq = self.seq.load(Ordering::Relaxed).saturating_sub(1); // lint:allow(relaxed_ordering, best-effort attribution of a panicked request; exactness is not required)
         RESP_5XX.inc();
         self.quarantined_response(seq, RecordError::Panicked(message))
     }

@@ -58,7 +58,7 @@ fn build_pool(c: usize, rng: &mut rand::rngs::StdRng) -> Vec<Payload> {
         &[("km", "m"), ("m", "cm"), ("cm", "mm"), ("kg", "g"), ("g", "mg"), ("h", "min")];
     let mut pool = Vec::with_capacity(40);
     for _ in 0..20 {
-        let mention = MENTIONS[rng.gen_range(0..MENTIONS.len())];
+        let mention = MENTIONS[rng.gen_range(0..MENTIONS.len())]; // lint:allow(no_panic, gen_range(0..len) is in bounds for the non-empty const array)
         pool.push(Payload {
             method: "POST",
             target: "/link",
@@ -80,7 +80,7 @@ fn build_pool(c: usize, rng: &mut rand::rngs::StdRng) -> Vec<Payload> {
         });
     }
     for _ in 0..6 {
-        let (from, to) = CONVERSIONS[rng.gen_range(0..CONVERSIONS.len())];
+        let (from, to) = CONVERSIONS[rng.gen_range(0..CONVERSIONS.len())]; // lint:allow(no_panic, gen_range(0..len) is in bounds for the non-empty const array)
         let v = rng.gen_range(1..1000) as f64 / 4.0 + c as f64 * 1000.0;
         pool.push(Payload {
             method: "POST",
@@ -132,7 +132,7 @@ fn run_client(
         return stats;
     };
     for _ in 0..requests {
-        let p = &pool[rng.gen_range(0..pool.len())];
+        let p = &pool[rng.gen_range(0..pool.len())]; // lint:allow(no_panic, build_pool always returns 40 entries; gen_range(0..len) is in bounds)
         let t0 = Instant::now();
         match conn.request(p.method, p.target, &p.body) {
             Ok(resp) => {
@@ -142,7 +142,7 @@ fn run_client(
                     400..=499 => 1,
                     _ => 2,
                 };
-                stats.by_class[class] += 1;
+                stats.by_class[class] += 1; // lint:allow(no_panic, class is 0, 1, or 2 from the match above; the array has 3 slots)
                 stats.checksum ^= fnv1a(resp.body.as_bytes());
                 if resp.close {
                     match Conn::connect(addr) {
@@ -172,7 +172,7 @@ fn percentile(sorted: &[u64], q: f64) -> u64 {
         return 0;
     }
     let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
+    sorted[rank - 1] // lint:allow(no_panic, rank is clamped to 1..=len and the slice is non-empty, so rank - 1 < len)
 }
 
 fn main() {
@@ -216,7 +216,7 @@ fn main() {
         };
         all.latencies_ns.extend(stats.latencies_ns);
         for i in 0..3 {
-            all.by_class[i] += stats.by_class[i];
+            all.by_class[i] += stats.by_class[i]; // lint:allow(no_panic, i < 3 and both arrays are [u64; 3])
         }
         all.checksum ^= stats.checksum;
         all.errors += stats.errors;
@@ -241,7 +241,7 @@ fn main() {
     let _ = writeln!(
         json,
         "    \"responses\": {{\"2xx\": {}, \"4xx\": {}, \"5xx\": {}, \"transport_errors\": {}}},",
-        all.by_class[0], all.by_class[1], all.by_class[2], all.errors
+        all.by_class[0], all.by_class[1], all.by_class[2], all.errors // lint:allow(no_panic, constant indices into the [u64; 3] class array)
     );
     let _ = writeln!(json, "    \"response_checksum\": \"{:#018x}\",", all.checksum);
     let _ = writeln!(

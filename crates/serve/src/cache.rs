@@ -73,7 +73,7 @@ impl ShardedLru {
 
     /// Looks `key` up, promoting it to most-recently-used on a hit.
     pub fn get(&self, key: &str) -> Option<String> {
-        let mut shard = lock(&self.shards[self.shard_of(key)]);
+        let mut shard = lock(&self.shards[self.shard_of(key)]); // lint:allow(no_panic, shard_of is hash % shards.len(), always in bounds; shards is non-empty by construction)
         let pos = shard.entries.iter().position(|(k, _)| k == key);
         match pos {
             Some(i) => {
@@ -93,7 +93,7 @@ impl ShardedLru {
     /// Inserts (or refreshes) `key`, evicting the shard's least-recently-
     /// used entry when it is at capacity. Returns the evicted key, if any.
     pub fn insert(&self, key: &str, value: String) -> Option<String> {
-        let mut shard = lock(&self.shards[self.shard_of(key)]);
+        let mut shard = lock(&self.shards[self.shard_of(key)]); // lint:allow(no_panic, shard_of is hash % shards.len(), always in bounds; shards is non-empty by construction)
         if let Some(i) = shard.entries.iter().position(|(k, _)| k == key) {
             shard.entries.remove(i);
         }
@@ -112,6 +112,7 @@ impl ShardedLru {
     /// The keys of one shard, least- to most-recently-used (test hook for
     /// the eviction-order contract).
     pub fn shard_keys(&self, shard: usize) -> Vec<String> {
+        // lint:allow(no_panic, test hook; callers pass an index below shard_count, and a wrong index should fail loudly in tests)
         lock(&self.shards[shard]).entries.iter().map(|(k, _)| k.clone()).collect()
     }
 }

@@ -159,7 +159,7 @@ pub fn parse(buf: &[u8]) -> Result<Parsed, HttpError> {
     if head_len > MAX_HEAD_BYTES {
         return Err(HttpError::HeadTooLarge);
     }
-    let head = std::str::from_utf8(&buf[..head_len - 4])
+    let head = std::str::from_utf8(&buf[..head_len - 4]) // lint:allow(no_panic, head_len is a find_head_end offset: position + 4, so head_len - 4 <= buf.len())
         .map_err(|_| HttpError::BadRequest("head is not valid UTF-8".to_string()))?;
     let mut lines = head.split("\r\n");
     let request_line = lines
@@ -196,7 +196,7 @@ pub fn parse(buf: &[u8]) -> Result<Parsed, HttpError> {
         return Ok(Parsed::Partial);
     }
     let mut req = req;
-    req.body = buf[head_len..head_len + content_length].to_vec();
+    req.body = buf[head_len..head_len + content_length].to_vec(); // lint:allow(no_panic, the Partial check above guarantees buf.len() >= head_len + content_length)
     Ok(Parsed::Complete { request: req, consumed: head_len + content_length })
 }
 
@@ -204,7 +204,7 @@ pub fn parse(buf: &[u8]) -> Result<Parsed, HttpError> {
 /// the head cap (searching further would let a hostile peer grow the buffer
 /// unboundedly before rejection).
 fn find_head_end(buf: &[u8]) -> Option<usize> {
-    let window = &buf[..buf.len().min(MAX_HEAD_BYTES)];
+    let window = &buf[..buf.len().min(MAX_HEAD_BYTES)]; // lint:allow(no_panic, upper bound is min-clamped to buf.len())
     window.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
 }
 

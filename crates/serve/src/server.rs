@@ -253,7 +253,7 @@ fn serve_connection(
             Ok(0) => return, // peer closed
             Ok(n) => {
                 idle_ticks = 0;
-                buf.extend_from_slice(&chunk[..n]);
+                buf.extend_from_slice(&chunk[..n]); // lint:allow(no_panic, read() returns n <= chunk.len())
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                 // In-flight requests (partial bytes buffered) get drained
@@ -344,7 +344,7 @@ pub mod client {
                         "connection closed mid-response",
                     ));
                 }
-                self.buf.extend_from_slice(&chunk[..n]);
+                self.buf.extend_from_slice(&chunk[..n]); // lint:allow(no_panic, read() returns n <= chunk.len())
             }
         }
     }
@@ -364,7 +364,7 @@ pub mod client {
         let Some(head_end) = find_head_end(buf) else {
             return Ok(None);
         };
-        let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+        let head = String::from_utf8_lossy(&buf[..head_end]).into_owned(); // lint:allow(no_panic, head_end is a windows(4) position, so head_end + 4 <= buf.len())
         let mut lines = head.split("\r\n");
         let status_line = lines.next().unwrap_or_default();
         let status: u16 = status_line
@@ -389,7 +389,7 @@ pub mod client {
         if buf.len() < total {
             return Ok(None);
         }
-        let body = String::from_utf8_lossy(&buf[head_end + 4..total]).into_owned();
+        let body = String::from_utf8_lossy(&buf[head_end + 4..total]).into_owned(); // lint:allow(no_panic, the length check above guarantees buf.len() >= total >= head_end + 4)
         buf.drain(..total);
         Ok(Some(ClientResponse { status, body, close }))
     }
