@@ -1,4 +1,4 @@
-.PHONY: verify build test clippy lint smoke golden chaos serve-smoke no-panic-hotpath no-artifacts bench-baseline bench-serve
+.PHONY: verify build test clippy lint smoke golden chaos serve-smoke no-panic-hotpath no-artifacts bench-baseline bench-serve bench-gate
 
 # Full offline verification: release build, workspace tests, lints (clippy
 # plus the dim-lint invariant engine), the golden-results harness, the
@@ -6,7 +6,7 @@
 # experiment suite (with the metrics layer live), the serving-layer smoke
 # (golden HTTP transcript over an ephemeral port), and a check that no
 # build artifacts are tracked. No network required.
-verify: build test clippy lint golden chaos smoke serve-smoke no-artifacts
+verify: build test clippy lint golden chaos smoke serve-smoke bench-gate no-artifacts
 
 build:
 	cargo build --workspace --release
@@ -58,6 +58,14 @@ no-panic-hotpath:
 # force-adds and historical regressions).
 no-artifacts:
 	test -z "$$(git ls-files target/)"
+
+# Thread-width regression gate: re-times the two batch benchmarks at
+# widths 1 and 4 in-process and fails if the width-4 median is slower than
+# width-1 beyond a 10% noise tolerance (see EXPERIMENTS.md "Thread-width
+# regression gate"). Pins the ROADMAP item 1 invariant that parallelism
+# must never hurt.
+bench-gate:
+	cargo run --release -p dim-bench --bin bench_gate
 
 # Regenerates BENCH_baseline.json (criterion micro-benchmarks with JSON
 # aggregation; see EXPERIMENTS.md "Micro-benchmark methodology").

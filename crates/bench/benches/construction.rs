@@ -19,15 +19,19 @@ fn bench_construction(c: &mut Criterion) {
     // single-core host the two read roughly equal, bounding fan-out
     // overhead).
     for threads in [1usize, 4] {
-        c.bench_function(&format!("algo1_per_100_sentences_threads{threads}"), |b| {
-            let cfg = algo1::Algo1Config {
-                parallelism: dim_par::Parallelism::new(threads),
-                ..Default::default()
-            };
-            b.iter(|| {
-                algo1::semi_automated_annotate(&annotator, &mlm, &corpus, cfg).dataset.len()
-            })
-        });
+        c.bench_function_meta(
+            &format!("algo1_per_100_sentences_threads{threads}"),
+            &[("threads", threads as f64), ("morsel", dim_par::MORSEL_SIZE as f64)],
+            |b| {
+                let cfg = algo1::Algo1Config {
+                    parallelism: dim_par::Parallelism::new(threads),
+                    ..Default::default()
+                };
+                b.iter(|| {
+                    algo1::semi_automated_annotate(&annotator, &mlm, &corpus, cfg).dataset.len()
+                })
+            },
+        );
     }
     c.bench_function("algo1_train_filter", |b| {
         b.iter(|| algo1::train_filter(&corpus).prior())

@@ -48,13 +48,17 @@ fn bench_linking(c: &mut Criterion) {
         .collect();
     let kb2 = DimUnitKb::shared();
     for threads in [1usize, 4] {
-        c.bench_function(&format!("annotate_batch_threads{threads}"), |b| {
-            b.iter_batched(
-                || Annotator::new(UnitLinker::new(kb2.clone(), None, LinkerConfig::default())),
-                |a| a.annotate_batch(&texts, dim_par::Parallelism::new(threads)).len(),
-                BatchSize::SmallInput,
-            )
-        });
+        c.bench_function_meta(
+            &format!("annotate_batch_threads{threads}"),
+            &[("threads", threads as f64), ("morsel", dim_par::MORSEL_SIZE as f64)],
+            |b| {
+                b.iter_batched(
+                    || Annotator::new(UnitLinker::new(kb2.clone(), None, LinkerConfig::default())),
+                    |a| a.annotate_batch(&texts, dim_par::Parallelism::new(threads)).len(),
+                    BatchSize::SmallInput,
+                )
+            },
+        );
     }
 }
 

@@ -36,7 +36,10 @@ pub struct PipelineConfig {
     /// Master seed.
     pub seed: u64,
     /// Fan-out for benchmark construction, MWP generation and
-    /// augmentation. Any thread count yields identical datasets.
+    /// augmentation. Any thread count yields identical datasets: the
+    /// `dim_par` morsel scheduler clamps the requested width to the host's
+    /// usable cores and merges results in index order, so this knob trades
+    /// wall-clock time only, never output bytes.
     pub parallelism: dim_par::Parallelism,
 }
 

@@ -41,6 +41,9 @@ pub struct BenchResult {
     pub samples: usize,
     /// Iterations per sample.
     pub iters: u64,
+    /// Extra metadata recorded verbatim as JSON fields (e.g. thread width,
+    /// morsel size) via [`Criterion::bench_function_meta`].
+    pub extra: Vec<(&'static str, f64)>,
 }
 
 /// The benchmark driver.
@@ -63,7 +66,23 @@ impl Criterion {
     }
 
     /// Runs one benchmark.
-    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.bench_function_meta(name, &[], f)
+    }
+
+    /// [`Self::bench_function`] with extra metadata fields (e.g.
+    /// `("threads", 4.0)`, `("morsel", 8.0)`) recorded alongside the
+    /// timings in the `BENCH_JSON` output, so baseline files are
+    /// self-describing about the configuration they measured.
+    pub fn bench_function_meta<F>(
+        &mut self,
+        name: &str,
+        extra: &[(&'static str, f64)],
+        mut f: F,
+    ) -> &mut Criterion
     where
         F: FnMut(&mut Bencher),
     {
@@ -92,6 +111,7 @@ impl Criterion {
             median_ns: median,
             samples: sorted.len(),
             iters,
+            extra: extra.to_vec(),
         });
         self
     }
@@ -109,12 +129,18 @@ impl Criterion {
             .and_then(|v| v.as_obj().map(<[(String, Value)]>::to_vec))
             .unwrap_or_default();
         for r in &self.results {
-            let entry = Value::Obj(vec![
-                ("mean_ns".to_string(), Value::Num(r.mean_ns)),
-                ("median_ns".to_string(), Value::Num(r.median_ns)),
+            // Round the timing stats to 2 decimals at serialization so the
+            // committed baseline diffs cleanly (no 16-digit float artifacts).
+            let mut fields = vec![
+                ("mean_ns".to_string(), Value::Num(round2(r.mean_ns))),
+                ("median_ns".to_string(), Value::Num(round2(r.median_ns))),
                 ("samples".to_string(), Value::Num(r.samples as f64)),
                 ("iters".to_string(), Value::Num(r.iters as f64)),
-            ]);
+            ];
+            for &(k, v) in &r.extra {
+                fields.push((k.to_string(), Value::Num(v)));
+            }
+            let entry = Value::Obj(fields);
             match entries.iter_mut().find(|(k, _)| *k == r.name) {
                 Some(slot) => slot.1 = entry,
                 None => entries.push((r.name.clone(), entry)),
@@ -140,6 +166,11 @@ impl serde::Serialize for SerValue<'_> {
     fn serialize(&self) -> Value {
         self.0.clone()
     }
+}
+
+/// Rounds to 2 decimal places for JSON output.
+fn round2(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
 }
 
 fn fmt_ns(ns: f64) -> String {

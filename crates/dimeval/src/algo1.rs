@@ -87,10 +87,15 @@ pub fn semi_automated_annotate(
 ) -> Algo1Output {
     let _span = ALGO1_SPAN.span();
     ALGO1_SENTENCES.add(corpus.len() as u64);
-    let tallies = dim_par::par_map(config.parallelism, corpus, |sent| {
+    let tallies = dim_par::par_map_scratch(
+        config.parallelism,
+        corpus,
+        dimlink::ScratchSpace::new,
+        |_, sent, scratch| {
         let mut t = SentenceTally::default();
-        // Stage 1: heuristic DimKS annotation; keep sentences with numerics.
-        let mentions = annotator.annotate(&sent.text);
+        // Stage 1: heuristic DimKS annotation with per-worker scratch; keep
+        // sentences with numerics.
+        let mentions = annotator.annotate_with(&sent.text, scratch);
         if mentions.is_empty() {
             return t;
         }

@@ -36,13 +36,16 @@ pub struct DimUnitKb {
     kinds: Vec<QuantityKind>,
     by_code: HashMap<String, UnitId>,
     kind_by_name: HashMap<String, KindId>,
-    naming: HashMap<String, Vec<UnitId>>,
-    naming_cased: HashMap<String, Vec<UnitId>>,
+    pub(crate) naming: HashMap<String, Vec<UnitId>>,
+    pub(crate) naming_cased: HashMap<String, Vec<UnitId>>,
     by_kind: HashMap<KindId, Vec<UnitId>>,
     by_dim: HashMap<DimVec, Vec<UnitId>>,
     /// Inverted token→unit index for free-text search, built lazily on the
     /// first [`crate::search::search`] call against this KB.
     search_index: OnceLock<crate::search::SearchIndex>,
+    /// Interned link index (symbol tables + fuzzy prefilter buckets), built
+    /// lazily on the first [`DimUnitKb::link_index`] call against this KB.
+    link_index: OnceLock<crate::intern::LinkIndex>,
 }
 
 static STANDARD: OnceLock<Arc<DimUnitKb>> = OnceLock::new();
@@ -93,6 +96,7 @@ impl DimUnitKb {
             by_kind: HashMap::new(),
             by_dim: HashMap::new(),
             search_index: OnceLock::new(),
+            link_index: OnceLock::new(),
         };
         for unit in &self.units {
             if keep(unit) {
@@ -224,6 +228,14 @@ impl DimUnitKb {
         self.search_index.get_or_init(|| crate::search::SearchIndex::build(self))
     }
 
+    /// The interned link index for this KB (symbol tables over both naming
+    /// dictionaries plus the length-bucketed fuzzy prefilter), built on
+    /// first use and shared by every linker over this KB. Like
+    /// `search_index`, clones carry the already-built index.
+    pub fn link_index(&self) -> &crate::intern::LinkIndex {
+        self.link_index.get_or_init(|| crate::intern::LinkIndex::build(self))
+    }
+
     /// Serializes the KB to a JSON snapshot.
     pub fn to_json(&self) -> String {
         let snap = KbSnapshot { kinds: &self.kinds, units: &self.units };
@@ -243,6 +255,7 @@ impl DimUnitKb {
             by_kind: HashMap::new(),
             by_dim: HashMap::new(),
             search_index: OnceLock::new(),
+            link_index: OnceLock::new(),
         };
         for (i, kind) in kb.kinds.iter().enumerate() {
             kb.kind_by_name.insert(kind.name_en.clone(), KindId(i as u32));
@@ -271,6 +284,14 @@ struct KbSnapshotOwned {
 /// naming-dictionary key).
 pub fn normalize_cased(surface: &str) -> String {
     let mut out = String::with_capacity(surface.len());
+    normalize_cased_into(surface, &mut out);
+    out
+}
+
+/// [`normalize_cased`] into a caller-provided buffer (cleared first), so hot
+/// paths can normalize without allocating. Returns the buffer's contents.
+pub fn normalize_cased_into<'a>(surface: &str, out: &'a mut String) -> &'a str {
+    out.clear();
     let mut last_space = true;
     for c in surface.trim().chars() {
         if c.is_whitespace() {
@@ -292,6 +313,14 @@ pub fn normalize_cased(surface: &str) -> String {
 /// Normalizes a surface form for case-insensitive naming-dictionary lookup.
 pub fn normalize(surface: &str) -> String {
     let mut out = String::with_capacity(surface.len());
+    normalize_into(surface, &mut out);
+    out
+}
+
+/// [`normalize`] into a caller-provided buffer (cleared first). Returns the
+/// buffer's contents.
+pub fn normalize_into<'a>(surface: &str, out: &'a mut String) -> &'a str {
+    out.clear();
     let mut last_space = true;
     for c in surface.trim().chars() {
         if c.is_whitespace() {
@@ -616,6 +645,7 @@ impl Builder {
             by_kind: HashMap::new(),
             by_dim: HashMap::new(),
             search_index: OnceLock::new(),
+            link_index: OnceLock::new(),
         };
         for (mut unit, _, _) in self.pending {
             unit.id = UnitId(kb.units.len() as u32);
@@ -660,7 +690,7 @@ mod tests {
 
     #[test]
     fn standard_kb_is_large() {
-        let kb = DimUnitKb::standard();
+        let kb = DimUnitKb::shared();
         assert!(kb.units().len() >= 900, "got {} units", kb.units().len());
         assert!(kb.kinds().len() >= 120, "got {} kinds", kb.kinds().len());
     }
@@ -776,7 +806,7 @@ mod tests {
 
     #[test]
     fn json_roundtrip_preserves_behaviour() {
-        let kb = DimUnitKb::standard();
+        let kb = DimUnitKb::shared();
         let json = kb.to_json();
         let kb2 = DimUnitKb::from_json(&json).expect("roundtrip");
         assert_eq!(kb.units().len(), kb2.units().len());

@@ -29,6 +29,7 @@ mod dim;
 mod error;
 pub mod expr;
 pub mod freq;
+pub mod intern;
 mod kb;
 mod kind;
 pub mod prefix;
@@ -40,6 +41,7 @@ mod unit;
 pub use degrade::{BudgetExceeded, Degraded, ErrorBudget, QuarantineEntry, RecordError};
 pub use dim::{Base, DimParseError, DimVec};
 pub use error::KbError;
-pub use kb::{normalize, DimUnitKb};
+pub use intern::{LinkIndex, Symbol, SymbolTable};
+pub use kb::{normalize, normalize_cased, normalize_cased_into, normalize_into, DimUnitKb};
 pub use kind::{KindId, QuantityKind};
 pub use unit::{Conversion, Unit, UnitId};

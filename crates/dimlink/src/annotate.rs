@@ -8,9 +8,16 @@
 //! links become quantity mentions. Precision is then recovered by the
 //! masked-LM filter and manual review stages of Algorithm 1 (see
 //! `dimeval::algo1`).
+//!
+//! The hot path streams: candidate surfaces are slices of the input (CJK
+//! prefixes) or built in a reused scratch buffer (multiword Latin phrases),
+//! the context window is a borrowed slice, and all per-sentence buffers
+//! live in a per-worker [`ScratchSpace`] (see
+//! [`Annotator::annotate_with`] / [`Annotator::annotate_batch`]).
 
 use crate::linker::{LinkResult, UnitLinker};
-use crate::numparse::{scan_numbers, NumberMatch};
+use crate::numparse::{scan_numbers_into, NumberMatch};
+use crate::scratch::ScratchSpace;
 use dim_embed::tokenize::is_cjk;
 use dimkb::degrade::{self, BudgetExceeded, Degraded, ErrorBudget, RecordError};
 
@@ -52,7 +59,10 @@ impl QuantityMention {
         self.links
             .first()
             .map(|l| l.unit)
-            .ok_or_else(|| RecordError::Link("mention has no candidate links".to_string()))
+            .ok_or_else(|| {
+                // lint:allow(hot_alloc, error construction on the empty-links path, not the per-sentence loop)
+                RecordError::Link("mention has no candidate links".to_string())
+            })
     }
 }
 
@@ -99,7 +109,7 @@ pub fn decoy_token_at(text: &str, m: &QuantityMention) -> Option<String> {
         .map(|i| value_start + i)
         .unwrap_or(text.len());
     // lint:allow(no_panic, start/end come from char_indices/find over this text, so both are char boundaries with start <= end)
-    Some(text[start..end].trim_end_matches(['.', '-']).to_string())
+    Some(text[start..end].trim_end_matches(['.', '-']).to_string()) // lint:allow(hot_alloc, quarantine report construction, not the per-sentence hot loop)
 }
 
 /// The annotator: a [`UnitLinker`] plus mention-extraction heuristics.
@@ -123,30 +133,51 @@ impl Annotator {
     }
 
     /// Annotates text, returning all linked quantity mentions.
+    ///
+    /// Convenience wrapper over [`Self::annotate_with`] with a throwaway
+    /// scratch space; batch callers should hold a [`ScratchSpace`] per
+    /// worker instead so buffers and the link memo persist across texts.
     pub fn annotate(&self, text: &str) -> Vec<QuantityMention> {
+        let mut scratch = ScratchSpace::new();
+        self.annotate_with(text, &mut scratch)
+    }
+
+    /// [`Self::annotate`] against a caller-owned [`ScratchSpace`]: the
+    /// number-scanner buffer, candidate builders, Levenshtein rows, and link
+    /// memo are all reused across calls. Output is identical to `annotate`
+    /// for the same text — the scratch is working memory, never state.
+    pub fn annotate_with(&self, text: &str, scratch: &mut ScratchSpace) -> Vec<QuantityMention> {
         let _span = ANNOTATE_SPAN.span();
         ANNOTATE_TEXTS.inc();
         let mut out = Vec::new();
-        for num in scan_numbers(text) {
-            if let Some(m) = self.try_unit_after(text, &num) {
+        // Take the match buffer out so `scratch` stays free for the trial
+        // loop below (NumberMatch is Copy; the buffer goes back after).
+        let mut nums = std::mem::take(&mut scratch.nums);
+        scan_numbers_into(text, &mut nums);
+        for &num in &nums {
+            if let Some(m) = self.try_unit_after(text, num, scratch) {
                 out.push(m);
             }
         }
+        scratch.nums = nums;
         ANNOTATE_MENTIONS.add(out.len() as u64);
         out
     }
 
     /// Annotates a batch of texts, fanning the per-text work out across
-    /// `par` threads. Output order matches input order and each element is
-    /// exactly what [`Self::annotate`] would return — annotation reads only
-    /// shared immutable state (KB, linker config), so the fan-out cannot
-    /// change results.
+    /// `par` threads with one [`ScratchSpace`] per worker. Output order
+    /// matches input order and each element is exactly what
+    /// [`Self::annotate`] would return — annotation reads only shared
+    /// immutable state (KB, linker config) and scratch buffers are cleared
+    /// per use, so neither the fan-out nor buffer reuse can change results.
     pub fn annotate_batch<S: AsRef<str> + Sync>(
         &self,
         texts: &[S],
         par: dim_par::Parallelism,
     ) -> Vec<Vec<QuantityMention>> {
-        dim_par::par_map(par, texts, |text| self.annotate(text.as_ref()))
+        dim_par::par_map_scratch(par, texts, ScratchSpace::new, |_, text, scratch| {
+            self.annotate_with(text.as_ref(), scratch)
+        })
     }
 
     /// Degraded-mode [`Self::annotate_batch`]: each text is annotated in
@@ -160,16 +191,17 @@ impl Annotator {
         par: dim_par::Parallelism,
         budget: ErrorBudget,
     ) -> Result<Degraded<Vec<QuantityMention>>, BudgetExceeded> {
-        let slots = dim_par::try_par_map_indexed(par, texts, |i, text| {
-            let text = text.as_ref();
-            degrade::inject(SITE_ANNOTATE, i)?;
-            degrade::guard_len(text.len())?;
-            let mentions = self.annotate(text);
-            if let Some(token) = mentions.iter().find_map(|m| decoy_token_at(text, m)) {
-                return Err(RecordError::Decoy(token));
-            }
-            Ok(mentions)
-        });
+        let slots =
+            dim_par::try_par_map_scratch(par, texts, ScratchSpace::new, |i, text, scratch| {
+                let text = text.as_ref();
+                degrade::inject(SITE_ANNOTATE, i)?;
+                degrade::guard_len(text.len())?;
+                let mentions = self.annotate_with(text, scratch);
+                if let Some(token) = mentions.iter().find_map(|m| decoy_token_at(text, m)) {
+                    return Err(RecordError::Decoy(token));
+                }
+                Ok(mentions)
+            });
         let slots = slots.into_iter().map(|slot| match slot {
             Ok(inner) => inner,
             Err(p) => Err(RecordError::Panicked(p.message)),
@@ -178,7 +210,18 @@ impl Annotator {
     }
 
     /// Attempts to read a unit mention right after a number.
-    fn try_unit_after(&self, text: &str, num: &NumberMatch) -> Option<QuantityMention> {
+    ///
+    /// Candidate surfaces are tried longest-first against the naming
+    /// dictionary (via the KB's interned [`dimkb::intern::LinkIndex`]), with
+    /// a final fuzzy-link fallback on the shortest candidate — the same
+    /// trial order as the original allocating implementation, but every
+    /// candidate is a slice of `text` or a reused scratch buffer.
+    fn try_unit_after(
+        &self,
+        text: &str,
+        num: NumberMatch,
+        scratch: &mut ScratchSpace,
+    ) -> Option<QuantityMention> {
         let mut unit_start = num.end;
         // Allow a single space (ASCII or ideographic) between value and unit.
         let rest = &text[unit_start..]; // lint:allow(no_panic, num.end is a char-boundary offset produced by numparse over this text)
@@ -190,11 +233,34 @@ impl Annotator {
         let rest = &text[unit_start..]; // lint:allow(no_panic, unit_start advanced by a whole char's len_utf8, still a boundary)
         let first = rest.chars().next()?;
 
-        let candidates: Vec<String> = if is_cjk(first) {
+        let idx = self.linker.kb().link_index();
+        let context = context_window(text, num.start, 60);
+
+        if is_cjk(first) {
             // Longest CJK prefix first: 平方厘米 before 厘米 before 米.
-            let chars: Vec<char> = rest.chars().take(self.max_cjk_chars).collect();
-            // lint:allow(no_panic, n ranges over 1..=chars.len(), so the prefix slice is in bounds)
-            (1..=chars.len()).rev().map(|n| chars[..n].iter().collect()).collect()
+            // `cjk_ends[k]` is the byte length of the (k+1)-char prefix.
+            scratch.cjk_ends.clear();
+            let mut end = 0;
+            for c in rest.chars().take(self.max_cjk_chars) {
+                end += c.len_utf8();
+                scratch.cjk_ends.push(end);
+            }
+            for i in (0..scratch.cjk_ends.len()).rev() {
+                let cand = &rest[..scratch.cjk_ends[i]]; // lint:allow(no_panic, cjk_ends holds char-boundary prefix lengths of rest, i < len)
+                if !idx.lookup(cand, &mut scratch.link.bufs.key).is_empty() {
+                    let links = self.linker.link_in(cand, context, &mut scratch.link);
+                    if !links.is_empty() {
+                        return Some(mention(num, unit_start, cand, links, text));
+                    }
+                }
+            }
+            // Fall back to fuzzy linking of the single-char prefix.
+            let cand = &rest[..scratch.cjk_ends[0]]; // lint:allow(no_panic, first is CJK so cjk_ends has at least one entry)
+            let links = self.linker.link_in(cand, context, &mut scratch.link);
+            if links.is_empty() {
+                return None;
+            }
+            Some(mention(num, unit_start, cand, links, text))
         } else if first.is_ascii_alphabetic() || "°µΩ%‰′″".contains(first) {
             // A symbol run like `km/h`, `m²`, `°C`, `dyn/cm`, then
             // optionally extended by following words ("square metres").
@@ -210,67 +276,73 @@ impl Annotator {
             if run.is_empty() {
                 return None;
             }
-            let mut cands = Vec::new();
-            // Multiword extensions, longest first.
+            // Multiword extensions, longest first, built in the reused
+            // phrase buffer. `max_extra_words` is 2; the fixed-size word
+            // window keeps this loop allocation-free.
             let tail = &rest[run.len()..]; // lint:allow(no_panic, run is a trimmed prefix of rest, so run.len() is a boundary within rest)
-            let words: Vec<&str> = tail.split_whitespace().take(self.max_extra_words).collect();
-            for n in (1..=words.len()).rev() {
-                let mut phrase = run.to_string();
-                for w in &words[..n] { // lint:allow(no_panic, n ranges over 1..=words.len())
-                    phrase.push(' ');
-                    phrase.push_str(w.trim_end_matches(['.', ',', ';', '!', '?']));
-                }
-                cands.push(phrase);
+            let mut words = [""; 4];
+            let mut n_words = 0;
+            for w in tail.split_whitespace().take(self.max_extra_words.min(4)) {
+                words[n_words] = w; // lint:allow(no_panic, n_words < 4 by the take() bound above)
+                n_words += 1;
             }
-            cands.push(run.to_string());
-            cands
-        } else {
-            return Vec::new().into_iter().next(); // no unit-shaped text follows
-        };
-
-        let context = context_window(text, num.start, 60);
-        // Exact naming-dictionary hit wins (longest first); otherwise fall
-        // back to fuzzy linking of the shortest candidate (the symbol run).
-        for cand in &candidates {
-            if !self.linker.kb().lookup(cand).is_empty() {
-                let links = self.linker.link(cand, &context);
+            for n in (1..=n_words).rev() {
+                scratch.phrase.clear();
+                scratch.phrase.push_str(run);
+                for w in &words[..n] { // lint:allow(no_panic, n <= n_words <= 4)
+                    scratch.phrase.push(' ');
+                    scratch.phrase.push_str(w.trim_end_matches(['.', ',', ';', '!', '?']));
+                }
+                if !idx.lookup(&scratch.phrase, &mut scratch.link.bufs.key).is_empty() {
+                    let links = self.linker.link_in(&scratch.phrase, context, &mut scratch.link);
+                    if !links.is_empty() {
+                        return Some(mention(num, unit_start, &scratch.phrase, links, text));
+                    }
+                }
+            }
+            // The bare run: exact trial first, then the fuzzy fallback.
+            if !idx.lookup(run, &mut scratch.link.bufs.key).is_empty() {
+                let links = self.linker.link_in(run, context, &mut scratch.link);
                 if !links.is_empty() {
-                    return Some(self.mention(num, unit_start, cand, links, text));
+                    return Some(mention(num, unit_start, run, links, text));
                 }
             }
-        }
-        let fallback = candidates.last()?;
-        let links = self.linker.link(fallback, &context);
-        if links.is_empty() {
-            return None;
-        }
-        Some(self.mention(num, unit_start, fallback, links, text))
-    }
-
-    fn mention(
-        &self,
-        num: &NumberMatch,
-        unit_start: usize,
-        surface: &str,
-        links: Vec<LinkResult>,
-        text: &str,
-    ) -> QuantityMention {
-        let unit_end = unit_start + surface.len();
-        debug_assert!(text.is_char_boundary(unit_end));
-        QuantityMention {
-            start: num.start,
-            end: unit_end,
-            value: num.value,
-            value_span: (num.start, num.end),
-            unit_surface: surface.to_string(),
-            unit_span: (unit_start, unit_end),
-            links,
+            let links = self.linker.link_in(run, context, &mut scratch.link);
+            if links.is_empty() {
+                return None;
+            }
+            Some(mention(num, unit_start, run, links, text))
+        } else {
+            None // no unit-shaped text follows
         }
     }
 }
 
+/// Builds the output mention (the one place the unit surface is copied out
+/// of the input text).
+fn mention(
+    num: NumberMatch,
+    unit_start: usize,
+    surface: &str,
+    links: Vec<LinkResult>,
+    text: &str,
+) -> QuantityMention {
+    let unit_end = unit_start + surface.len();
+    debug_assert!(text.is_char_boundary(unit_end));
+    QuantityMention {
+        start: num.start,
+        end: unit_end,
+        value: num.value,
+        value_span: (num.start, num.end),
+        unit_surface: surface.to_string(), // lint:allow(hot_alloc, output construction: the mention owns its surface)
+        unit_span: (unit_start, unit_end),
+        links,
+    }
+}
+
 /// A byte-window of context around a position, clipped to char boundaries.
-fn context_window(text: &str, pos: usize, radius: usize) -> String {
+/// Borrows from `text` — the annotate hot path never copies the context.
+fn context_window(text: &str, pos: usize, radius: usize) -> &str {
     let mut lo = pos.saturating_sub(radius);
     while lo > 0 && !text.is_char_boundary(lo) {
         lo -= 1;
@@ -280,7 +352,7 @@ fn context_window(text: &str, pos: usize, radius: usize) -> String {
         hi += 1;
     }
     // lint:allow(no_panic, lo and hi are walked to char boundaries by the loops above, lo <= pos <= hi <= len)
-    text[lo..hi].to_string()
+    &text[lo..hi]
 }
 
 #[cfg(test)]
@@ -372,6 +444,28 @@ mod tests {
         assert_eq!(ms.len(), 1);
         assert_eq!(ms[0].value, 3500.0);
         assert_eq!(code_of(&a, &ms[0]), "M");
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_scratch() {
+        // One scratch space across many texts must give the same output as
+        // a fresh scratch per text — buffer reuse is invisible.
+        let a = annotator();
+        let texts = [
+            "面积为25平方厘米的纸片",
+            "LeBron James's height is 2.06 meters and 188 cm.",
+            "表面张力为30 dyn/cm左右",
+            "a pressure of 3 standard atmosphere inside",
+            "这座桥全长三千五百米。",
+            "no numbers here at all",
+            "共有25个苹果分给5个人",
+        ];
+        let mut reused = ScratchSpace::new();
+        for text in texts {
+            let fresh = a.annotate(text);
+            let warm = a.annotate_with(text, &mut reused);
+            assert_eq!(fresh, warm, "text = {text:?}");
+        }
     }
 
     #[test]

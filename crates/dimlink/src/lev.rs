@@ -4,37 +4,71 @@
 /// Levenshtein edit distance between two strings (by `char`).
 pub fn distance(a: &str, b: &str) -> usize {
     let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
+    let b_len = b.chars().count();
+    let mut prev = Vec::new();
+    let mut cur = Vec::new();
+    distance_with(&a, b, b_len, &mut prev, &mut cur)
+}
+
+/// [`distance`] over pre-split `a` chars and caller-owned DP rows, so hot
+/// loops (the linker's fuzzy candidate scan) run the O(|a|·|b|) DP with
+/// zero allocation per call. `b_len` must be `b.chars().count()` — callers
+/// in the linker already know it from the length-bucketed index.
+pub fn distance_with(
+    a: &[char],
+    b: &str,
+    b_len: usize,
+    prev: &mut Vec<usize>,
+    cur: &mut Vec<usize>,
+) -> usize {
+    debug_assert_eq!(b_len, b.chars().count());
     if a.is_empty() {
-        return b.len();
+        return b_len;
     }
-    if b.is_empty() {
+    if b_len == 0 {
         return a.len();
     }
-    // DP rows have fixed length b.len() + 1; every index below is j or
-    // j + 1 with j < b.len(), or the constant 0 / b.len() endpoints.
-    let mut prev: Vec<usize> = (0..=b.len()).collect();
-    let mut cur = vec![0usize; b.len() + 1];
+    // DP rows have fixed length b_len + 1; every index below is j or
+    // j + 1 with j < b_len, or the constant 0 / b_len endpoints.
+    prev.clear();
+    prev.extend(0..=b_len);
+    cur.clear();
+    cur.resize(b_len + 1, 0);
     for (i, &ca) in a.iter().enumerate() {
-        cur[0] = i + 1; // lint:allow(no_panic, rows are b.len() + 1 long, never empty)
-        for (j, &cb) in b.iter().enumerate() {
+        cur[0] = i + 1; // lint:allow(no_panic, rows are b_len + 1 long, never empty)
+        for (j, cb) in b.chars().enumerate() {
             let cost = usize::from(ca != cb);
-            // lint:allow(no_panic, j < b.len() from enumerate, so j + 1 <= b.len() < row length)
+            // lint:allow(no_panic, j < b_len from enumerate over b's chars, so j + 1 <= b_len < row length)
             cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
         }
-        std::mem::swap(&mut prev, &mut cur);
+        std::mem::swap(prev, cur);
     }
-    prev[b.len()] // lint:allow(no_panic, rows are b.len() + 1 long)
+    prev[b_len] // lint:allow(no_panic, rows are b_len + 1 long)
 }
 
 /// Normalized similarity in `[0, 1]`: `1 − dist / max(|a|, |b|)`.
 /// Equal strings score 1; completely different strings score 0.
 pub fn similarity(a: &str, b: &str) -> f64 {
-    let max_len = a.chars().count().max(b.chars().count());
+    let a: Vec<char> = a.chars().collect();
+    let b_len = b.chars().count();
+    let mut prev = Vec::new();
+    let mut cur = Vec::new();
+    similarity_with(&a, b, b_len, &mut prev, &mut cur)
+}
+
+/// [`similarity`] with caller-owned scratch (see [`distance_with`]).
+pub fn similarity_with(
+    a: &[char],
+    b: &str,
+    b_len: usize,
+    prev: &mut Vec<usize>,
+    cur: &mut Vec<usize>,
+) -> f64 {
+    let max_len = a.len().max(b_len);
     if max_len == 0 {
         return 1.0;
     }
-    1.0 - distance(a, b) as f64 / max_len as f64
+    1.0 - distance_with(a, b, b_len, prev, cur) as f64 / max_len as f64
 }
 
 #[cfg(test)]

@@ -10,12 +10,20 @@
 //! normalized Levenshtein similarity between mention and the unit's surface
 //! forms, and `Pr(u|c)` aggregates cosine similarities between context
 //! words and the unit's stored keywords (§III-B2).
+//!
+//! The hot implementation ([`UnitLinker::link_with`] / `link_core`) is
+//! allocation-free per query: candidate keys are interned `Symbol(u32)`s
+//! resolved through the KB's shared [`dimkb::intern::LinkIndex`], candidates
+//! accumulate in a struct-of-arrays arena, and normalization, Levenshtein
+//! DP rows, and context words all live in a caller-provided
+//! [`crate::scratch::ScratchSpace`] reused across queries. The String-based
+//! original survives as [`crate::reference`] for differential testing.
 
 use crate::lev;
-use dim_embed::tokenize::{tokenize, TokenKind};
+use crate::scratch::{str_hash, LinkBufs, Memo, ScratchSpace};
 use dim_embed::EmbeddingModel;
+use dimkb::intern::char_signature;
 use dimkb::{DimUnitKb, UnitId};
-use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 // Observability (all no-ops unless `dim_obs::enable()` was called). The
@@ -28,14 +36,6 @@ static MEMO_HIT: dim_obs::Counter = dim_obs::Counter::new("link.memo_hit");
 static MEMO_MISS: dim_obs::Counter = dim_obs::Counter::new("link.memo_miss");
 static LEV_COMPUTED: dim_obs::Counter = dim_obs::Counter::new("link.lev_computed");
 static LEV_PRUNED: dim_obs::Counter = dim_obs::Counter::new("link.lev_pruned");
-
-/// Upper bound on memoized `(mention, context)` link queries. When the memo
-/// fills up it is cleared wholesale — real corpora repeat a small set of
-/// surfaces, so evictions are rare and a simple clear beats LRU bookkeeping.
-const LINK_MEMO_CAP: usize = 8192;
-
-/// Memo of `(mention, context-hash)` → ranked results.
-type MemoMap = HashMap<(String, u64), Vec<LinkResult>>;
 
 /// A scored candidate from the linker.
 #[derive(Debug, Clone, PartialEq)]
@@ -81,58 +81,26 @@ impl Default for LinkerConfig {
 
 /// The unit linker. Owns a reference to the KB and optional embeddings for
 /// context disambiguation (without embeddings, `Pr(u|c)` falls back to
-/// lexical keyword overlap).
+/// lexical keyword overlap). Candidate tables live in the KB's shared
+/// [`dimkb::intern::LinkIndex`] — constructing a linker is cheap.
 pub struct UnitLinker {
     kb: Arc<DimUnitKb>,
     embeddings: Option<EmbeddingModel>,
     config: LinkerConfig,
-    /// Naming-dictionary keys bucketed by char length, each with a
-    /// [`char_signature`] for a Levenshtein lower-bound pre-filter.
-    keys_by_len: HashMap<usize, Vec<(String, u64)>>,
-    /// Memo of `(mention, context-hash)` → ranked results. Purely a cache:
-    /// link results depend only on the KB and config, both immutable here.
-    memo: Mutex<MemoMap>,
-}
-
-/// 64-bit occupancy mask over hashed char values. For two strings with
-/// masks `m` and `k`, every bit set in `m & !k` marks a char value present
-/// only in the mention — each such distinct value needs at least one edit,
-/// so `max(popcount(m & !k), popcount(k & !m))` lower-bounds the
-/// Levenshtein distance. Hash collisions merge bits and can only weaken
-/// the bound, never overstate it.
-fn char_signature(s: &str) -> u64 {
-    let mut mask = 0u64;
-    for c in s.chars() {
-        mask |= 1u64 << (((c as u64).wrapping_mul(0x9E3779B97F4A7C15)) >> 58);
-    }
-    mask
-}
-
-/// FNV-1a over the context string, for the memo key.
-fn context_hash(s: &str) -> u64 {
-    let mut h = 0xcbf29ce484222325u64;
-    for b in s.as_bytes() {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
+    /// Shared memo for the lock-taking [`Self::link`] entry point. The
+    /// scratch-based [`Self::link_with`] uses its worker's private memo
+    /// instead. Purely a cache: link results depend only on the KB and
+    /// config, both immutable here.
+    memo: Mutex<Memo>,
 }
 
 impl UnitLinker {
     /// Builds a linker over a KB.
     pub fn new(kb: Arc<DimUnitKb>, embeddings: Option<EmbeddingModel>, config: LinkerConfig) -> Self {
-        let mut keys_by_len: HashMap<usize, Vec<(String, u64)>> = HashMap::new();
-        for (key, _) in kb.naming_dictionary() {
-            keys_by_len
-                .entry(key.chars().count())
-                .or_default()
-                .push((key.to_string(), char_signature(key)));
-        }
-        // Deterministic candidate order regardless of hash-map iteration.
-        for bucket in keys_by_len.values_mut() {
-            bucket.sort_unstable();
-        }
-        UnitLinker { kb, embeddings, config, keys_by_len, memo: Mutex::new(HashMap::new()) }
+        // Force the shared index now so the first link query (possibly on a
+        // worker thread mid-batch) doesn't pay the build.
+        let _ = kb.link_index();
+        UnitLinker { kb, embeddings, config, memo: Mutex::new(Memo::default()) }
     }
 
     /// The knowledge base this linker resolves into.
@@ -140,65 +108,120 @@ impl UnitLinker {
         &self.kb
     }
 
+    /// This linker's configuration.
+    pub fn config(&self) -> &LinkerConfig {
+        &self.config
+    }
+
+    /// The embedding model used for context disambiguation, if any.
+    pub fn embeddings(&self) -> Option<&EmbeddingModel> {
+        self.embeddings.as_ref()
+    }
+
     /// Links a mention within a context, returning ranked candidates
     /// (highest confidence first). Results are memoized per
-    /// `(mention, context)` pair.
+    /// `(mention, context)` pair in a process-shared memo; batch hot paths
+    /// use [`Self::link_with`] with per-worker scratch instead.
     pub fn link(&self, mention: &str, context: &str) -> Vec<LinkResult> {
         LINK_QUERIES.inc();
-        let key = (mention.to_string(), context_hash(context));
-        if let Some(hit) = self.lock_memo().get(&key) {
+        let (mhash, chash) = (str_hash(mention), str_hash(context));
+        if let Some(hit) = self.lock_memo().get(mention, mhash, chash) {
             MEMO_HIT.inc();
-            return hit.clone();
+            return hit.clone(); // lint:allow(hot_alloc, memo hits must hand out an owned copy; the shared entry point is not the batch hot path)
         }
         MEMO_MISS.inc();
         let _span = LINK_SPAN.span();
-        let results = self.link_uncached(mention, context);
-        LINK_RESULTS.add(results.len() as u64);
-        let mut memo = self.lock_memo();
-        if memo.len() >= LINK_MEMO_CAP {
-            memo.clear();
-        }
-        memo.insert(key, results.clone());
+        let mut bufs = LinkBufs::default();
+        self.link_core(mention, context, &mut bufs);
+        LINK_RESULTS.add(bufs.results.len() as u64);
+        let results = std::mem::take(&mut bufs.results);
+        self.lock_memo().insert(mention, mhash, chash, results.clone()); // lint:allow(hot_alloc, one owned copy per distinct query enters the memo)
         results
     }
 
-    /// Locks the memo, recovering from poisoning: the memo is a pure cache
-    /// of deterministic link results, so a panic caught mid-insert (the
-    /// panic-isolated `par_map` unwinds through here) leaves it valid —
+    /// [`Self::link`] against a per-worker [`ScratchSpace`]: no lock, no
+    /// allocation on a memo hit beyond the returned `Vec`, and all working
+    /// buffers reused across queries. Returns exactly what `link` returns
+    /// for the same inputs (the memo is private to the scratch, but link
+    /// results are a pure function of `(mention, context)`).
+    pub fn link_with(&self, mention: &str, context: &str, scratch: &mut ScratchSpace) -> Vec<LinkResult> {
+        self.link_in(mention, context, &mut scratch.link)
+    }
+
+    /// Crate-internal core of [`Self::link_with`], taking just the linker's
+    /// slice of the scratch so the annotator can hold disjoint borrows of
+    /// its own scratch fields (candidate buffers) across the call.
+    pub(crate) fn link_in(
+        &self,
+        mention: &str,
+        context: &str,
+        ls: &mut crate::scratch::LinkScratch,
+    ) -> Vec<LinkResult> {
+        LINK_QUERIES.inc();
+        let (mhash, chash) = (str_hash(mention), str_hash(context));
+        if let Some(hit) = ls.memo.get(mention, mhash, chash) {
+            MEMO_HIT.inc();
+            return hit.clone(); // lint:allow(hot_alloc, the ranked result Vec is the query's output and must be owned)
+        }
+        MEMO_MISS.inc();
+        let _span = LINK_SPAN.span();
+        self.link_core(mention, context, &mut ls.bufs);
+        LINK_RESULTS.add(ls.bufs.results.len() as u64);
+        let results = ls.bufs.results.clone(); // lint:allow(hot_alloc, output construction: one owned Vec per memo miss)
+        ls.memo.insert(mention, mhash, chash, results.clone()); // lint:allow(hot_alloc, one owned copy per distinct query enters the memo)
+        results
+    }
+
+    /// Locks the shared memo, recovering from poisoning: the memo is a pure
+    /// cache of deterministic link results, so a panic caught mid-insert
+    /// (the panic-isolated `par_map` unwinds through here) leaves it valid —
     /// unwrapping the poison would turn one quarantined record into a
     /// process-wide failure.
-    fn lock_memo(&self) -> std::sync::MutexGuard<'_, MemoMap> {
+    fn lock_memo(&self) -> std::sync::MutexGuard<'_, Memo> {
         match self.memo.lock() {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
         }
     }
 
-    fn link_uncached(&self, mention: &str, context: &str) -> Vec<LinkResult> {
-        let mention_norm = dimkb::normalize(mention);
-        if mention_norm.is_empty() {
-            return Vec::new();
+    /// The interned link query: leaves the ranked results in
+    /// `bufs.results`. Result-equivalent to [`crate::reference::link_reference`]
+    /// (the retired String-based implementation), which the differential
+    /// proptests pin down.
+    fn link_core(&self, mention: &str, context: &str, bufs: &mut LinkBufs) {
+        bufs.results.clear();
+        let idx = self.kb.link_index();
+        dimkb::normalize_into(mention, &mut bufs.key);
+        if bufs.key.is_empty() {
+            return;
         }
+        bufs.mention_chars.clear();
+        bufs.mention_chars.extend(bufs.key.chars());
+        let m_sig = char_signature(&bufs.key);
+
         // Candidate generation: exact hit short-circuits the fuzzy scan.
-        // The raw mention goes through the KB's case-aware lookup so `MW`
+        // The raw mention goes through the index's case-aware lookup so `MW`
         // and `mW` resolve differently; the lowercased form only drives the
-        // fuzzy Levenshtein pass.
-        let mut cand: HashMap<UnitId, f64> = HashMap::new();
-        for &id in self.kb.lookup(mention) {
-            cand.insert(id, 1.0);
+        // fuzzy Levenshtein pass. (`key` is free again: `lookup` reuses it
+        // as its normalization buffer.)
+        bufs.cand_ids.clear();
+        bufs.cand_sims.clear();
+        for &id in idx.lookup(mention, &mut bufs.key) {
+            bufs.cand_ids.push(id);
+            bufs.cand_sims.push(1.0);
         }
-        if cand.is_empty() {
-            let m_len = mention_norm.chars().count();
-            let m_sig = char_signature(&mention_norm);
+        if bufs.cand_ids.is_empty() {
+            let m_len = bufs.mention_chars.len();
             let radius = (m_len as f64 * (1.0 - self.config.mention_threshold)).ceil() as usize;
             let lo = m_len.saturating_sub(radius);
             let hi = m_len + radius;
             for len in lo..=hi {
-                let Some(keys) = self.keys_by_len.get(&len) else { continue };
+                let Some(bucket) = idx.bucket(len) else { continue };
                 let max_len = m_len.max(len) as f64;
-                for (key, k_sig) in keys {
+                for (slot, &sym) in bucket.syms.iter().enumerate() {
                     // Signature lower bound: skip the O(m·n) DP when even
                     // the optimistic distance cannot reach the threshold.
+                    let k_sig = bucket.sigs[slot]; // lint:allow(no_panic, sigs is parallel to syms by LenBucket construction)
                     let dist_lb = (m_sig & !k_sig)
                         .count_ones()
                         .max((k_sig & !m_sig).count_ones());
@@ -207,50 +230,62 @@ impl UnitLinker {
                         continue;
                     }
                     LEV_COMPUTED.inc();
-                    let sim = lev::similarity(&mention_norm, key);
+                    let sim = lev::similarity_with(
+                        &bufs.mention_chars,
+                        idx.key(sym),
+                        len,
+                        &mut bufs.lev_prev,
+                        &mut bufs.lev_cur,
+                    );
                     if sim >= self.config.mention_threshold {
-                        for &id in self.kb.lookup(key) {
-                            let e = cand.entry(id).or_insert(0.0);
-                            if sim > *e {
-                                *e = sim;
+                        for &id in idx.fuzzy_units(sym) {
+                            // Dedup-max over the SoA arena: candidate sets
+                            // are small (a handful of near keys), so a
+                            // linear scan beats hashing.
+                            match bufs.cand_ids.iter().position(|&x| x == id) {
+                                Some(p) => {
+                                    if sim > bufs.cand_sims[p] { // lint:allow(no_panic, cand_sims is parallel to cand_ids, p from position())
+                                        bufs.cand_sims[p] = sim; // lint:allow(no_panic, same parallel-arena bound as above)
+                                    }
+                                }
+                                None => {
+                                    bufs.cand_ids.push(id);
+                                    bufs.cand_sims.push(sim);
+                                }
                             }
                         }
                     }
                 }
             }
         }
-        if cand.is_empty() {
-            return Vec::new();
+        if bufs.cand_ids.is_empty() {
+            return;
         }
 
-        let context_words: Vec<String> = tokenize(context)
-            .into_iter()
-            .filter(|t| matches!(t.kind, TokenKind::Word | TokenKind::Cjk))
-            .map(|t| t.text)
-            .collect();
+        dim_embed::tokenize::context_words_into(context, &mut bufs.ctx_arena, &mut bufs.ctx_spans);
 
-        let mut results: Vec<LinkResult> = cand
-            .into_iter()
-            .map(|(id, mention_sim)| {
-                let unit = self.kb.unit(id);
-                let prior = unit.frequency;
-                let context_prob = self
-                    .context_probability(&context_words, &unit.keywords)
-                    .max(self.config.context_floor);
-                let score = mention_sim
-                    * if self.config.use_prior { prior } else { 1.0 }
-                    * if self.config.use_context { context_prob } else { 1.0 };
-                LinkResult { unit: id, score, prior, mention_sim, context_prob }
-            })
-            .collect();
-        results.sort_by(|a, b| {
+        for (i, &id) in bufs.cand_ids.iter().enumerate() {
+            let mention_sim = bufs.cand_sims[i]; // lint:allow(no_panic, cand_sims is parallel to cand_ids by arena construction)
+            let unit = self.kb.unit(id);
+            let prior = unit.frequency;
+            let context_prob = self
+                .context_probability(&bufs.ctx_arena, &bufs.ctx_spans, &unit.keywords)
+                .max(self.config.context_floor);
+            let score = mention_sim
+                * if self.config.use_prior { prior } else { 1.0 }
+                * if self.config.use_context { context_prob } else { 1.0 };
+            bufs.results.push(LinkResult { unit: id, score, prior, mention_sim, context_prob });
+        }
+        // (score desc, unit asc) is a total order, so the ranking is
+        // independent of arena insertion order — the determinism argument
+        // for matching the reference implementation's HashMap iteration.
+        bufs.results.sort_by(|a, b| {
             b.score
                 .partial_cmp(&a.score)
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then_with(|| a.unit.cmp(&b.unit))
         });
-        results.truncate(self.config.top_k);
-        results
+        bufs.results.truncate(self.config.top_k);
     }
 
     /// Convenience: the single best link, if any.
@@ -260,15 +295,23 @@ impl UnitLinker {
 
     /// `Pr(u|c) = (1/n) Σ_i max_j sim(c_i, k_j)` (the paper's formula), with
     /// embedding cosine when available and exact-match overlap as fallback.
-    fn context_probability(&self, context_words: &[String], keywords: &[String]) -> f64 {
-        if context_words.is_empty() || keywords.is_empty() {
+    /// Context words arrive as spans into an arena (see
+    /// `dim_embed::tokenize::context_words_into`) instead of owned strings.
+    fn context_probability(
+        &self,
+        ctx_arena: &str,
+        ctx_spans: &[(usize, usize)],
+        keywords: &[String],
+    ) -> f64 {
+        if ctx_spans.is_empty() || keywords.is_empty() {
             return 0.0;
         }
         let mut total = 0.0;
-        for cw in context_words {
+        for &(s, e) in ctx_spans {
+            let cw = &ctx_arena[s..e]; // lint:allow(no_panic, spans index the arena they were written into by context_words_into)
             let mut best: f64 = 0.0;
             for kw in keywords {
-                let sim = if cw == kw {
+                let sim = if cw == kw.as_str() {
                     1.0
                 } else if let Some(model) = &self.embeddings {
                     f64::from(model.similarity(cw, kw)).max(0.0)
@@ -281,7 +324,7 @@ impl UnitLinker {
             }
             total += best;
         }
-        total / context_words.len() as f64
+        total / ctx_spans.len() as f64
     }
 }
 
@@ -343,6 +386,29 @@ mod tests {
         // A different context must not alias into the same memo entry.
         let other = l.link("kilometr", "");
         assert_eq!(other.len(), fresh.len());
+    }
+
+    #[test]
+    fn scratch_link_matches_shared_link() {
+        let l = linker();
+        let mut scratch = ScratchSpace::new();
+        for (mention, context) in [
+            ("km", "the road is long"),
+            ("kilometr", "distance travelled on the road"),
+            ("千克", "这袋大米的重量"),
+            ("dyn/cm", "surface tension of the liquid"),
+            ("m", ""),
+            ("qqqqzzzzqqqqzzzz", "context"),
+            ("", "empty mention"),
+            ("degree", "the angle of rotation"),
+        ] {
+            let shared = l.link(mention, context);
+            let scratched = l.link_with(mention, context, &mut scratch);
+            assert_eq!(shared, scratched, "mention = {mention:?}");
+            // And again through the warm memo.
+            let memo_hit = l.link_with(mention, context, &mut scratch);
+            assert_eq!(shared, memo_hit, "memo hit for {mention:?}");
+        }
     }
 
     #[test]

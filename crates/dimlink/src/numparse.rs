@@ -2,7 +2,7 @@
 //! (三千五百, 一点五), and mixed forms (3万, 1.5亿).
 
 /// A number found in text.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NumberMatch {
     /// Byte span of the number.
     pub start: usize,
@@ -56,17 +56,25 @@ fn is_cn_numeral(c: char) -> bool {
 /// sequences.
 pub fn parse_chinese_numeral(s: &str) -> Option<f64> {
     let chars: Vec<char> = s.chars().collect();
+    parse_cn(&chars)
+}
+
+/// Slice-based core of [`parse_chinese_numeral`]: the decimal split
+/// recurses on the integer-part *slice* instead of re-collecting it into a
+/// fresh `String`, so the hot number scanner allocates one char buffer per
+/// numeral run, not two.
+fn parse_cn(chars: &[char]) -> Option<f64> {
     if chars.is_empty() {
         return None;
     }
     // Split at 点 for decimals.
     if let Some(dot) = chars.iter().position(|&c| c == '点') {
-        let int_part: String = chars[..dot].iter().collect(); // lint:allow(no_panic, dot is a position() index into chars)
+        let int_part = &chars[..dot]; // lint:allow(no_panic, dot is a position() index into chars)
         let frac_part = &chars[dot + 1..]; // lint:allow(no_panic, dot < chars.len() so dot + 1 <= chars.len(), a valid range start)
         if frac_part.is_empty() {
             return None;
         }
-        let int_val = if int_part.is_empty() { 0.0 } else { parse_chinese_numeral(&int_part)? };
+        let int_val = if int_part.is_empty() { 0.0 } else { parse_cn(int_part)? };
         let mut frac = 0.0;
         let mut scale = 0.1;
         for &c in frac_part {
@@ -122,6 +130,14 @@ pub fn parse_chinese_numeral(s: &str) -> Option<f64> {
 /// trailing 万/亿 multipliers applied to ASCII numbers (`3万` = 30 000).
 pub fn scan_numbers(text: &str) -> Vec<NumberMatch> {
     let mut out = Vec::new();
+    scan_numbers_into(text, &mut out);
+    out
+}
+
+/// [`scan_numbers`] into a caller-provided buffer (cleared first), so the
+/// per-sentence annotate hot path reuses one allocation across a batch.
+pub fn scan_numbers_into(text: &str, out: &mut Vec<NumberMatch>) {
+    out.clear();
     let bytes = text.as_bytes();
     let mut idx = 0;
     // Every index handed to this closure is a char boundary: indices only
@@ -195,7 +211,6 @@ pub fn scan_numbers(text: &str) -> Vec<NumberMatch> {
             idx += c.len_utf8();
         }
     }
-    out
 }
 
 #[cfg(test)]

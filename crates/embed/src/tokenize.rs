@@ -117,6 +117,66 @@ pub fn words(text: &str) -> Vec<String> {
     tokenize(text).into_iter().map(|t| t.text).collect()
 }
 
+/// Writes the *context words* of `text` — the [`TokenKind::Word`] and
+/// [`TokenKind::Cjk`] token texts, in order, exactly as [`tokenize`] would
+/// produce them — into a caller-provided arena instead of one `String` per
+/// token. `arena` holds the lowercased word texts concatenated; `spans`
+/// holds each word's byte range *within the arena*. Both buffers are
+/// cleared first, so a hot loop reuses their allocations across calls.
+///
+/// This is the allocation-free view the unit linker's `Pr(u|c)` term runs
+/// on; the equivalence with `tokenize` filtering is pinned by a test below
+/// and by the linker's differential proptests.
+pub fn context_words_into(text: &str, arena: &mut String, spans: &mut Vec<(usize, usize)>) {
+    arena.clear();
+    spans.clear();
+    let mut chars = text.char_indices().peekable();
+    while let Some((_, c)) = chars.next() {
+        if c.is_whitespace() {
+            continue;
+        }
+        if is_cjk(c) {
+            let start = arena.len();
+            arena.push(c);
+            spans.push((start, arena.len()));
+        } else if c.is_ascii_digit() {
+            // Consume the number run (with one decimal point) exactly like
+            // `tokenize`, but emit nothing: numbers are not context words.
+            let mut seen_dot = false;
+            while let Some(&(_, nc)) = chars.peek() {
+                if nc.is_ascii_digit() {
+                    chars.next();
+                } else if nc == '.' && !seen_dot {
+                    let mut ahead = chars.clone();
+                    ahead.next();
+                    match ahead.peek() {
+                        Some(&(_, d)) if d.is_ascii_digit() => {
+                            seen_dot = true;
+                            chars.next();
+                        }
+                        _ => break,
+                    }
+                } else {
+                    break;
+                }
+            }
+        } else if c.is_alphabetic() {
+            let start = arena.len();
+            arena.extend(c.to_lowercase());
+            while let Some(&(_, nc)) = chars.peek() {
+                if nc.is_alphabetic() && !is_cjk(nc) {
+                    arena.extend(nc.to_lowercase());
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            spans.push((start, arena.len()));
+        }
+        // Symbols: single tokens in `tokenize`, never context words — skip.
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,5 +226,29 @@ mod tests {
     fn empty_input() {
         assert!(tokenize("").is_empty());
         assert!(tokenize("   ").is_empty());
+    }
+
+    #[test]
+    fn context_words_match_tokenize_filtering() {
+        let mut arena = String::new();
+        let mut spans = Vec::new();
+        for text in [
+            "LeBron身高2.06米",
+            "小王有150千克农药 weighing 150 kg",
+            "it weighs 5. Then more.",
+            "m/s and KM² plus 3.14159 radians",
+            "",
+            "   ",
+            "١٢٣ Straße weiß 3万米", // non-ASCII digits/letters, CJK multiplier
+        ] {
+            let expected: Vec<String> = tokenize(text)
+                .into_iter()
+                .filter(|t| matches!(t.kind, TokenKind::Word | TokenKind::Cjk))
+                .map(|t| t.text)
+                .collect();
+            context_words_into(text, &mut arena, &mut spans);
+            let got: Vec<&str> = spans.iter().map(|&(s, e)| &arena[s..e]).collect();
+            assert_eq!(got, expected, "text = {text:?}");
+        }
     }
 }

@@ -1,0 +1,31 @@
+//! Fixture: every hot-alloc violation class. Fed through
+//! `check_rust_source` with scope ignored; never compiled or scanned by a
+//! real lint run (`walk` only visits `src/` trees).
+
+fn hot_path(s: &str, owned: String) -> String {
+    let a = owned.clone();
+    let b = s.to_string();
+    let c = String::from(s);
+    format!("{a}{b}{c}")
+}
+
+fn justified_output_construction(s: &str, out: &mut Vec<String>) {
+    out.push(s.to_string()); // lint:allow(hot_alloc, report construction, outside the per-sentence loop)
+}
+
+fn decoys_that_must_not_fire(s: &str) {
+    let lit = ".clone() inside a string";
+    let raw = r"String::from(in a raw string)";
+    // .to_string( and format!( in a line comment
+    /* s.clone() in a /* nested */ block comment */
+    let method_ref = s.clone; // no call parens — not the allocation pattern
+    let other_macro = value::format!(s); // another crate's path-prefixed macro
+    let _ = (lit, raw, method_ref, other_macro);
+}
+
+#[cfg(test)]
+mod tests {
+    fn test_code_is_exempt(s: &str) -> String {
+        s.to_string() // allocation in test code never fires
+    }
+}

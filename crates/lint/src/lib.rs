@@ -13,6 +13,7 @@
 //! | `thread-discipline` | raw `thread::spawn` only inside `crates/par` and `crates/serve` |
 //! | `relaxed-ordering`  | every `Ordering::Relaxed` carries a written justification |
 //! | `zero-dep`          | every `Cargo.toml` dependency resolves to a vendored in-repo path |
+//! | `hot-alloc`         | no `.clone()`/`.to_string()`/`String::from`/`format!` in the annotate/link hot paths |
 //!
 //! Matching is string- and comment-aware: a hand-rolled lexer
 //! ([`lexer`]) tokenizes each file, so `".unwrap()"` inside a string
@@ -48,16 +49,19 @@ pub enum RuleId {
     RelaxedOrdering,
     /// All dependencies are vendored path dependencies.
     ZeroDep,
+    /// No per-item allocation in the annotate/link hot paths.
+    HotAlloc,
 }
 
 impl RuleId {
     /// Every rule, in catalog order.
-    pub const ALL: [RuleId; 5] = [
+    pub const ALL: [RuleId; 6] = [
         RuleId::NoPanicHotpath,
         RuleId::Determinism,
         RuleId::ThreadDiscipline,
         RuleId::RelaxedOrdering,
         RuleId::ZeroDep,
+        RuleId::HotAlloc,
     ];
 
     /// CLI/report name.
@@ -68,6 +72,7 @@ impl RuleId {
             RuleId::ThreadDiscipline => "thread-discipline",
             RuleId::RelaxedOrdering => "relaxed-ordering",
             RuleId::ZeroDep => "zero-dep",
+            RuleId::HotAlloc => "hot-alloc",
         }
     }
 
@@ -80,6 +85,7 @@ impl RuleId {
             RuleId::ThreadDiscipline => Some("thread_spawn"),
             RuleId::RelaxedOrdering => Some("relaxed_ordering"),
             RuleId::ZeroDep => None,
+            RuleId::HotAlloc => Some("hot_alloc"),
         }
     }
 
@@ -117,6 +123,14 @@ impl RuleId {
             }
             RuleId::RelaxedOrdering => rel_path.ends_with(".rs"),
             RuleId::ZeroDep => rel_path.ends_with("Cargo.toml"),
+            RuleId::HotAlloc => {
+                // The annotate/link hot paths. `reference.rs` is the retired
+                // String-based linker kept as a differential-testing oracle —
+                // allocating is its documented job.
+                (rel_path.starts_with("crates/dimlink/src/")
+                    || rel_path.starts_with("crates/par/src/"))
+                    && rel_path != "crates/dimlink/src/reference.rs"
+            }
         }
     }
 }
@@ -180,6 +194,7 @@ pub fn check_rust_source(
             RuleId::ThreadDiscipline => rules::thread_discipline(&file, &mut out),
             RuleId::RelaxedOrdering => rules::relaxed_ordering(&file, &mut out),
             RuleId::ZeroDep => {}
+            RuleId::HotAlloc => rules::hot_alloc(&file, &mut out),
         }
     }
     out
@@ -223,5 +238,13 @@ mod tests {
 
         assert!(RuleId::ZeroDep.applies_to("crates/obs/Cargo.toml"));
         assert!(!RuleId::ZeroDep.applies_to("crates/obs/src/lib.rs"));
+
+        let ha = RuleId::HotAlloc;
+        assert!(ha.applies_to("crates/dimlink/src/linker.rs"));
+        assert!(ha.applies_to("crates/dimlink/src/annotate.rs"));
+        assert!(ha.applies_to("crates/par/src/lib.rs"));
+        assert!(!ha.applies_to("crates/dimlink/src/reference.rs"), "the oracle may allocate");
+        assert!(!ha.applies_to("crates/dimkb/src/kb.rs"), "KB construction is cold");
+        assert!(!ha.applies_to("crates/dimlink/tests/proptests.rs"), "tests are out of scope");
     }
 }

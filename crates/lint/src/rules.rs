@@ -282,6 +282,55 @@ pub fn relaxed_ordering(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     }
 }
 
+// ===================== hot-alloc =====================
+
+/// The annotate/link hot paths must not allocate per item: no `.clone()`,
+/// `.to_string()`, `String::from(…)`, or `format!` — those are exactly the
+/// patterns the interner/ScratchSpace refactor removed, and each one that
+/// creeps back is a per-sentence heap round-trip multiplied by corpus size.
+/// Legitimate sites (output construction, memo key insertion, error
+/// reporting) carry `// lint:allow(hot_alloc, reason)`.
+pub fn hot_alloc(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    const RULE: &str = "hot-alloc";
+    const KEY: &str = "hot_alloc";
+    let t = &file.tokens;
+    for i in 0..t.len() {
+        let line = t[i].line;
+        // `.clone()` / `.to_string()`
+        if punct(t, i, '.') {
+            if let Some(name @ ("clone" | "to_string")) = ident(t, i + 1) {
+                if punct(t, i + 2, '(') {
+                    emit(file, out, RULE, KEY, line, format!(
+                        "`.{name}()` in a hot path — intern, borrow, or reuse a scratch buffer \
+                         (lint:allow(hot_alloc, reason) for output/memo construction)"
+                    ));
+                }
+            }
+        }
+        // `String::from(…)`
+        if ident(t, i) == Some("String")
+            && path_sep(t, i + 1)
+            && ident(t, i + 3) == Some("from")
+            && punct(t, i + 4, '(')
+        {
+            emit(file, out, RULE, KEY, line, String::from(
+                "`String::from(…)` in a hot path — intern, borrow, or reuse a scratch buffer \
+                 (lint:allow(hot_alloc, reason) for output/memo construction)",
+            ));
+        }
+        // `format!` — not a macro call when preceded by `.`/`::`.
+        if ident(t, i) == Some("format") && punct(t, i + 1, '!') {
+            let prefixed = i >= 1 && (punct(t, i - 1, '.') || punct(t, i - 1, ':'));
+            if !prefixed {
+                emit(file, out, RULE, KEY, line, String::from(
+                    "`format!` in a hot path allocates a fresh String — write into a reused \
+                     buffer (lint:allow(hot_alloc, reason) for error/report construction)",
+                ));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -377,5 +426,39 @@ fn f(r: &R, order: &[K]) {
         let ok = "fn f(a: &AtomicU64) { a.load(Ordering::Relaxed); // lint:allow(relaxed_ordering, stat counter)\n}";
         assert!(check(relaxed_ordering, ok).is_empty());
         assert!(check(relaxed_ordering, "fn f(a: &AtomicU64) { a.load(Ordering::SeqCst); }").is_empty());
+    }
+
+    #[test]
+    fn hot_alloc_catches_the_four_patterns() {
+        let src = r#"fn f(s: &str) -> String {
+    let a = s.clone();
+    let b = s.to_string();
+    let c = String::from(s);
+    format!("{a}{b}{c}")
+}"#;
+        let d = check(hot_alloc, src);
+        assert_eq!(d.len(), 4, "{d:?}");
+    }
+
+    #[test]
+    fn hot_alloc_ignores_strings_comments_tests_and_prefixed_paths() {
+        let src = r#"
+fn f() {
+    let s = ".clone()"; let r = r"String::from(x)"; // .to_string( and format! in comment
+    let d = fmt.format!; // path-prefixed `format` followed by `!` never parses as the macro
+    let e = value::format!(x); // `::format!` is some other crate's macro, not std's
+    let g = s.clone; // method reference without call parens is a lexer-level near-miss
+}
+#[cfg(test)]
+mod tests { fn t() { x.clone(); y.to_string(); } }
+"#;
+        let d = check(hot_alloc, src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn hot_alloc_respects_suppressions() {
+        let src = "fn f(s: &str) { out.push(s.to_string()); // lint:allow(hot_alloc, output construction)\n}";
+        assert!(check(hot_alloc, src).is_empty());
     }
 }

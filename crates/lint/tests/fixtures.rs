@@ -58,6 +58,29 @@ fn zero_dep_fixture_flags_registry_git_and_version_deps() {
 }
 
 #[test]
+fn hot_alloc_fixture_finds_every_violation_class() {
+    let d = check("hot_alloc.rs", RuleId::HotAlloc);
+    assert_eq!(d.len(), 4, ".clone(), .to_string(), String::from, format!: {d:?}");
+    assert!(d.iter().all(|x| x.rule == "hot-alloc"));
+    // Decoys (strings, comments, method references, path-prefixed macros,
+    // the suppressed site, test code) contribute nothing: all four hits are
+    // in `hot_path`.
+    assert!(d.iter().all(|x| (6..=9).contains(&x.line)), "{d:?}");
+}
+
+#[test]
+fn seeded_clone_in_a_link_path_fails_scoped_lint() {
+    // The acceptance scenario: if a per-item `.clone()` creeps back into the
+    // linker, the scoped check (no ignore_scope) must fire.
+    let src = "fn link(m: &str) -> String { m.clone() }";
+    let scoped = check_rust_source("crates/dimlink/src/linker.rs", src, &[RuleId::HotAlloc], false);
+    assert_eq!(scoped.len(), 1, "{scoped:?}");
+    // The same source in the reference oracle (or outside dimlink/par) is not checked.
+    let oracle = check_rust_source("crates/dimlink/src/reference.rs", src, &[RuleId::HotAlloc], false);
+    assert!(oracle.is_empty());
+}
+
+#[test]
 fn seeded_hash_iteration_in_a_render_path_fails_scoped_lint() {
     // The acceptance scenario: if someone adds a HashMap iteration to a
     // golden-producing file, the scoped check (no ignore_scope) must fire.

@@ -268,7 +268,10 @@ impl<'a> Augmenter<'a> {
 
     /// Like [`Self::to_qmwp`], fanning the per-problem work out across
     /// `par`. Each problem gets its own RNG stream from `(seed, index)`,
-    /// so output is byte-identical for every thread count.
+    /// so output is byte-identical for every thread count — the morsel
+    /// scheduler in `dim_par` only decides *where* an index runs (and
+    /// clamps the worker count to the host's usable cores), never which
+    /// seed it gets.
     pub fn to_qmwp_with(
         &mut self,
         problems: &[MwpProblem],

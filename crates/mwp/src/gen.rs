@@ -729,7 +729,9 @@ pub fn generate(source: Source, config: &GenConfig) -> Vec<MwpProblem> {
 ///
 /// Each problem draws from its own RNG stream derived from
 /// `(config.seed, id)`, so the dataset is byte-identical for every thread
-/// count.
+/// count: `dim_par`'s morsel scheduler decides only which worker builds
+/// problem `id` (clamping the width to the host's usable cores), while the
+/// index-ordered merge fixes the output position.
 pub fn generate_with(
     source: Source,
     config: &GenConfig,

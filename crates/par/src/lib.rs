@@ -4,10 +4,37 @@
 //! corpus processing, batch unit linking, MWP generation and augmentation —
 //! are all embarrassingly parallel over independent items. This crate gives
 //! them one shared fan-out primitive built on [`std::thread::scope`]:
-//! [`par_map`] / [`par_map_indexed`] split the input into contiguous chunks,
-//! run one worker thread per chunk, and reassemble results **in input
-//! order**, so output is position-for-position identical to a sequential
-//! map.
+//! [`par_map`] / [`par_map_indexed`] / [`par_map_scratch`] run **morsel**
+//! scheduling — workers pull small cache-sized index ranges from a shared
+//! atomic cursor until the input is drained — and reassemble results **in
+//! input order**, so output is position-for-position identical to a
+//! sequential map.
+//!
+//! # Morsel scheduling and scratch
+//!
+//! Static contiguous chunking (the previous design) assigns each worker
+//! `n / workers` items up front; one slow region of the input then idles
+//! every other worker (visible as `par.imbalance_pct`). Morsel scheduling
+//! self-balances: a worker that drew cheap items simply pulls the next
+//! morsel. Which worker runs which morsel is racy, but each item's result
+//! is a pure function of `(index, item)` and results are merged by index,
+//! so output bytes never depend on the race.
+//!
+//! [`par_map_scratch`] additionally threads a per-worker scratch value
+//! (allocated once per worker via `make_scratch`, reused across every item
+//! that worker pulls) through the work function — the hook the dimlink
+//! annotate/link hot path uses to reuse candidate arenas, Levenshtein DP
+//! rows, and number-scan buffers across sentences instead of reallocating
+//! per item. Scratch must act as a pure cache: results must not depend on
+//! what previous items left in it.
+//!
+//! The *effective* worker count is capped at the host's logical CPU count
+//! ([`Parallelism::effective_workers`]): for a CPU-bound map, threads
+//! beyond the core count cannot add throughput — they only add spawn and
+//! context-switch overhead (the "width 4 slower than width 1" regression
+//! the bench gate forbids). Requested width above the core count is
+//! therefore satisfied with the cores available; outputs are identical at
+//! every requested width by construction.
 //!
 //! # Determinism contract
 //!
@@ -41,6 +68,8 @@
 use std::any::Any;
 use std::num::NonZeroUsize;
 use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 use std::time::Instant;
 
 // Observability (all no-ops unless `dim_obs::enable()` was called).
@@ -89,6 +118,22 @@ impl Parallelism {
     pub fn is_sequential(self) -> bool {
         self.threads <= 1
     }
+
+    /// The worker count a fan-out over `n` items actually spawns: the
+    /// requested width, capped at the host's logical CPU count (extra
+    /// threads on a CPU-bound map are pure overhead) and at one worker per
+    /// `min_chunk` items (so tiny inputs never pay spawn cost).
+    pub fn effective_workers(self, n: usize, min_chunk: usize) -> usize {
+        self.threads.min(host_cpus()).min(n / min_chunk.max(1)).max(1)
+    }
+}
+
+/// The host's logical CPU count, resolved once per process.
+fn host_cpus() -> usize {
+    static CPUS: OnceLock<usize> = OnceLock::new();
+    *CPUS.get_or_init(|| {
+        std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+    })
 }
 
 impl Default for Parallelism {
@@ -97,9 +142,17 @@ impl Default for Parallelism {
     }
 }
 
-/// Minimum items per spawned worker; below `2 * MIN_CHUNK` items the
-/// sequential path is used outright (spawn overhead would dominate).
+/// Morsel size and minimum items per spawned worker: workers pull
+/// `MIN_CHUNK`-sized index ranges from the shared cursor (small enough to
+/// self-balance, large enough to amortize the atomic), and below
+/// `2 * MIN_CHUNK` items the sequential path is used outright (spawn
+/// overhead would dominate).
 const MIN_CHUNK: usize = 8;
+
+/// The morsel size used by the batch entry points (`par_map`,
+/// `par_map_scratch`, and friends) — exported so benchmarks and baselines
+/// can record the chunking configuration they measured.
+pub const MORSEL_SIZE: usize = MIN_CHUNK;
 
 /// A panic caught from a single work item by the panic-isolated fan-out.
 ///
@@ -131,9 +184,9 @@ type Caught = (usize, Box<dyn Any + Send>);
 fn payload_message(payload: &(dyn Any + Send)) -> String {
     payload
         .downcast_ref::<&str>()
-        .map(|s| s.to_string())
+        .map(|s| s.to_string()) // lint:allow(hot_alloc, panic-payload extraction runs once per caught panic)
         .or_else(|| payload.downcast_ref::<String>().cloned())
-        .unwrap_or_else(|| "opaque panic payload".to_string())
+        .unwrap_or_else(|| "opaque panic payload".to_string()) // lint:allow(hot_alloc, panic-payload extraction runs once per caught panic)
 }
 
 /// Maps `f` over `items`, preserving input order in the output.
@@ -233,14 +286,7 @@ fn unwrap_or_propagate<U>(slots: Vec<Result<U, Caught>>) -> Vec<U> {
     out
 }
 
-/// Shared fan-out core. Every item runs inside `catch_unwind`, so one
-/// poisoned item can neither tear down its chunk's siblings nor poison the
-/// scope join; callers choose between re-raising (classic) and quarantining
-/// (`try_*`). `AssertUnwindSafe` is sound here because a caught panic either
-/// aborts the whole call (classic path) or quarantines exactly the state the
-/// faulting item would have produced; shared state reached through `f` must
-/// tolerate unwinding (the linker's memo lock, for instance, recovers from
-/// poisoning instead of unwrapping).
+/// Scratch-less adapter over the morsel core (the classic entry points).
 fn par_map_slots<T, U, F>(
     par: Parallelism,
     items: &[T],
@@ -252,9 +298,85 @@ where
     U: Send,
     F: Fn(usize, &T) -> U + Sync,
 {
+    morsel_map_slots(par, items, min_chunk, || (), |i, item, (): &mut ()| f(i, item))
+}
+
+/// Like [`par_map`] but with a **per-worker scratch value**: each worker
+/// calls `make_scratch` once, then passes `&mut` of that value to `f` for
+/// every item it pulls, so buffers allocated for item 0 are reused for
+/// item 1000. The scratch type needs no `Send`/`Sync` — it never crosses a
+/// thread boundary.
+///
+/// Determinism: `f` must treat scratch as a pure cache — the result for
+/// `(i, item)` must be independent of what earlier items left in it (clear
+/// buffers before use; memo entries must be value-equal however they were
+/// computed). Item panics re-raise at the lowest faulting index, exactly
+/// like [`par_map`].
+pub fn par_map_scratch<T, U, S, M, F>(
+    par: Parallelism,
+    items: &[T],
+    make_scratch: M,
+    f: F,
+) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    M: Fn() -> S + Sync,
+    F: Fn(usize, &T, &mut S) -> U + Sync,
+{
+    unwrap_or_propagate(morsel_map_slots(par, items, MIN_CHUNK, make_scratch, f))
+}
+
+/// Panic-isolated variant of [`par_map_scratch`]: a panicking item is
+/// quarantined as `Err(ItemPanic)` while its worker's scratch and every
+/// other item survive. A worker whose scratch was mid-update when an item
+/// panicked continues with whatever state the unwind left behind — safe for
+/// pure-cache scratch (cleared before each use), which is the contract.
+pub fn try_par_map_scratch<T, U, S, M, F>(
+    par: Parallelism,
+    items: &[T],
+    make_scratch: M,
+    f: F,
+) -> Vec<Result<U, ItemPanic>>
+where
+    T: Sync,
+    U: Send,
+    M: Fn() -> S + Sync,
+    F: Fn(usize, &T, &mut S) -> U + Sync,
+{
+    to_item_panics(morsel_map_slots(par, items, MIN_CHUNK, make_scratch, f))
+}
+
+/// Shared morsel-scheduled fan-out core. Workers pull `min_chunk`-sized
+/// index ranges ("morsels") from a shared atomic cursor until the input is
+/// drained, each carrying a private scratch value; completed runs are merged
+/// back **by index**, so output order is independent of the pull race.
+///
+/// Every item runs inside `catch_unwind`, so one poisoned item can neither
+/// tear down its worker's siblings nor poison the scope join; callers choose
+/// between re-raising (classic) and quarantining (`try_*`).
+/// `AssertUnwindSafe` is sound here because a caught panic either aborts the
+/// whole call (classic path) or quarantines exactly the state the faulting
+/// item would have produced; state reached through `f` must tolerate
+/// unwinding (per-worker scratch is a pure cache cleared before each use;
+/// the linker's shared memo lock recovers from poisoning instead of
+/// unwrapping).
+fn morsel_map_slots<T, U, S, M, F>(
+    par: Parallelism,
+    items: &[T],
+    min_chunk: usize,
+    make_scratch: M,
+    f: F,
+) -> Vec<Result<U, Caught>>
+where
+    T: Sync,
+    U: Send,
+    M: Fn() -> S + Sync,
+    F: Fn(usize, &T, &mut S) -> U + Sync,
+{
     let n = items.len();
-    let run_one = |i: usize, item: &T| -> Result<U, Caught> {
-        match std::panic::catch_unwind(AssertUnwindSafe(|| f(i, item))) {
+    let run_one = |i: usize, item: &T, scratch: &mut S| -> Result<U, Caught> {
+        match std::panic::catch_unwind(AssertUnwindSafe(|| f(i, item, scratch))) {
             Ok(u) => Ok(u),
             Err(payload) => {
                 PAR_PANICS_CAUGHT.inc();
@@ -262,58 +384,93 @@ where
             }
         }
     };
-    let workers = par.threads.min(n / min_chunk.max(1)).max(1);
+    let workers = par.effective_workers(n, min_chunk);
     if workers <= 1 {
         PAR_SEQ_CALLS.inc();
         PAR_SEQ_ITEMS.add(n as u64);
-        return items.iter().enumerate().map(|(i, item)| run_one(i, item)).collect();
+        let mut scratch = make_scratch();
+        return items.iter().enumerate().map(|(i, item)| run_one(i, item, &mut scratch)).collect();
     }
+    morsel_run_parallel(workers, items, min_chunk.max(1), &make_scratch, &run_one)
+}
+
+/// The spawned half of [`morsel_map_slots`], parameterized on the final
+/// worker count so unit tests can exercise the pull-merge machinery even on
+/// hosts whose CPU count would clamp every public call to the inline path.
+fn morsel_run_parallel<T, U, S>(
+    workers: usize,
+    items: &[T],
+    morsel: usize,
+    make_scratch: &(dyn Fn() -> S + Sync),
+    run_one: &(dyn Fn(usize, &T, &mut S) -> Result<U, Caught> + Sync),
+) -> Vec<Result<U, Caught>>
+where
+    T: Sync,
+    U: Send,
+{
+    let n = items.len();
     PAR_CALLS.inc();
     PAR_ITEMS.add(n as u64);
-
-    // Contiguous chunks of near-equal size; worker w takes [starts[w], starts[w+1]).
-    let chunk = n.div_ceil(workers);
+    // Next unclaimed input index. Relaxed suffices: the cursor only
+    // allocates disjoint index ranges (fetch_add is atomic at every
+    // ordering); all result data flows through the scope join, which
+    // provides the happens-before edge.
+    let cursor = AtomicUsize::new(0); // lint:allow(relaxed_ordering, cursor only partitions indices; scope join publishes results)
     let mut out: Vec<Option<Result<U, Caught>>> = Vec::with_capacity(n);
     out.resize_with(n, || None);
 
     // Per-worker busy nanoseconds, returned through the join handles so the
-    // imbalance of *this* call can be computed (empty unless obs is on).
+    // imbalance of *this* call can be computed (None unless obs is on).
     let mut busy_ns: Vec<u64> = Vec::new();
     std::thread::scope(|scope| {
         let run_one = &run_one;
-        let mut rest = out.as_mut_slice();
-        let mut offset = 0usize;
+        let make_scratch = &make_scratch;
+        let cursor = &cursor;
         let mut handles = Vec::new();
-        while offset < n {
-            let take = chunk.min(n - offset);
-            let (slot, tail) = rest.split_at_mut(take);
-            rest = tail;
-            let base = offset;
-            let chunk_items = &items[base..base + take]; // lint:allow(no_panic, base + take <= n == items.len() by the loop invariant offset < n and take = min(chunk, n - offset))
+        for _ in 0..workers {
             handles.push(scope.spawn(move || {
                 let started = dim_obs::enabled().then(Instant::now);
-                for (k, item) in chunk_items.iter().enumerate() {
-                    slot[k] = Some(run_one(base + k, item)); // lint:allow(no_panic, slot is split_at_mut(take) and k < take from enumerate over chunk_items of len take)
+                let mut scratch = make_scratch();
+                // Runs of consecutive results, tagged with their start index.
+                let mut runs: Vec<(usize, Vec<Result<U, Caught>>)> = Vec::new();
+                let mut pulled = 0u64;
+                loop {
+                    let start = cursor.fetch_add(morsel, Ordering::Relaxed); // lint:allow(relaxed_ordering, disjoint index allocation; results published by the scope join)
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + morsel).min(n);
+                    let mut results = Vec::with_capacity(end - start);
+                    for (k, item) in items[start..end].iter().enumerate() { // lint:allow(no_panic, start < n checked above and end = min(start + morsel, n) <= n)
+                        results.push(run_one(start + k, item, &mut scratch));
+                    }
+                    pulled += (end - start) as u64;
+                    runs.push((start, results));
                 }
-                started.map(|t| (t.elapsed().as_nanos() as u64, chunk_items.len() as u64))
+                (runs, started.map(|t| t.elapsed().as_nanos() as u64), pulled)
             }));
-            offset += take;
         }
         for h in handles {
             match h.join() {
-                Ok(Some((ns, chunk_len))) => {
-                    busy_ns.push(ns);
-                    PAR_WORKER_BUSY.record(ns);
-                    PAR_CHUNK_ITEMS.record(chunk_len);
+                Ok((runs, busy, pulled)) => {
+                    for (start, results) in runs {
+                        for (k, r) in results.into_iter().enumerate() {
+                            out[start + k] = Some(r); // lint:allow(no_panic, start + k < end <= n by the worker loop bounds and out.len() == n)
+                        }
+                    }
+                    if let Some(ns) = busy {
+                        busy_ns.push(ns);
+                        PAR_WORKER_BUSY.record(ns);
+                        PAR_CHUNK_ITEMS.record(pulled);
+                    }
                 }
-                Ok(None) => {}
                 // Item panics are caught per item above; a panic escaping a
                 // worker thread is a fan-out bug, not a data fault.
                 Err(panic) => std::panic::resume_unwind(panic),
             }
         }
     });
-    PAR_WORKERS_SPAWNED.add(busy_ns.len() as u64);
+    PAR_WORKERS_SPAWNED.add(workers as u64);
     if let (Some(&max), Some(&min)) = (busy_ns.iter().max(), busy_ns.iter().min()) {
         if let Some(pct) = ((max - min) * 100).checked_div(max) {
             PAR_IMBALANCE_PCT.record(pct);
@@ -324,6 +481,7 @@ where
         .enumerate()
         .map(|(i, slot)| {
             slot.unwrap_or_else(|| {
+                // lint:allow(hot_alloc, error construction when a worker dies, not the steady-state path)
                 Err((i, Box::new("worker failed to fill slot".to_string()) as Box<dyn Any + Send>))
             })
         })
@@ -560,4 +718,138 @@ mod tests {
         }
     }
 
+    #[test]
+    fn effective_workers_clamps_to_host_and_input() {
+        let host = super::host_cpus();
+        assert!(host >= 1);
+        // Requested width beyond the host CPU count is capped.
+        assert!(Parallelism::new(64).effective_workers(1024, 1) <= host);
+        // Tiny inputs never spawn more than n / min_chunk workers.
+        assert_eq!(Parallelism::new(8).effective_workers(7, 8), 1);
+        assert_eq!(Parallelism::new(8).effective_workers(0, 8), 1);
+        // Width 1 is always inline.
+        assert_eq!(Parallelism::SEQUENTIAL.effective_workers(1_000_000, 1), 1);
+    }
+
+    #[test]
+    fn scratch_map_matches_sequential_and_reuses_buffers() {
+        let items: Vec<u64> = (0..500).collect();
+        let seq: Vec<u64> = items.iter().map(|x| x * 7).collect();
+        for threads in [1, 2, 4, 7] {
+            let out = par_map_scratch(
+                Parallelism::new(threads),
+                &items,
+                Vec::<u64>::new,
+                |_, x, buf| {
+                    // Pure-cache contract: clear before use, then reuse the
+                    // allocation across every item this worker pulls.
+                    buf.clear();
+                    buf.push(*x);
+                    buf[0] * 7
+                },
+            );
+            assert_eq!(out, seq, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn scratch_is_per_worker_not_per_item() {
+        // Counting make_scratch calls: at most one per effective worker.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let made = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..256).collect();
+        let par = Parallelism::new(4);
+        let out = par_map_scratch(
+            par,
+            &items,
+            || {
+                made.fetch_add(1, Ordering::SeqCst);
+                0u32
+            },
+            |_, x, _s| x + 1,
+        );
+        assert_eq!(out.len(), 256);
+        let calls = made.load(Ordering::SeqCst);
+        assert!(calls <= par.effective_workers(256, MIN_CHUNK), "made {calls} scratches");
+        assert!(calls >= 1);
+    }
+
+    #[test]
+    fn morsel_parallel_path_merges_by_index() {
+        // Drive the spawned path directly: on a single-CPU host every public
+        // entry point clamps to inline, which would leave the pull-merge
+        // machinery untested.
+        let items: Vec<u64> = (0..1000).collect();
+        let seq: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for workers in [2, 4, 7] {
+            for morsel in [1, 3, 8, 64] {
+                let slots = morsel_run_parallel(
+                    workers,
+                    &items,
+                    morsel,
+                    &Vec::<u64>::new,
+                    &|i, x: &u64, buf: &mut Vec<u64>| {
+                        buf.clear();
+                        buf.push(x * 3 + 1);
+                        assert_eq!(items[i], *x, "index/item pairing preserved");
+                        Ok(buf[0])
+                    },
+                );
+                let out: Vec<u64> = slots.into_iter().map(|r| r.unwrap()).collect();
+                assert_eq!(out, seq, "workers = {workers}, morsel = {morsel}");
+            }
+        }
+    }
+
+    #[test]
+    fn morsel_parallel_path_preserves_quarantine_slots() {
+        let items: Vec<u32> = (0..64).collect();
+        let slots = morsel_run_parallel(
+            4,
+            &items,
+            8,
+            &|| (),
+            &|i, x: &u32, _: &mut ()| {
+                if i == 17 {
+                    return Err((i, Box::new("boom".to_string()) as Box<dyn Any + Send>));
+                }
+                Ok(*x)
+            },
+        );
+        for (i, slot) in slots.iter().enumerate() {
+            match slot {
+                Ok(v) => assert_eq!(*v, i as u32),
+                Err((idx, _)) => assert_eq!(*idx, 17),
+            }
+        }
+        assert_eq!(slots.iter().filter(|s| s.is_err()).count(), 1);
+    }
+
+    #[test]
+    fn try_scratch_quarantines_deterministically() {
+        let items: Vec<u32> = (0..100).collect();
+        let mut reference: Option<Vec<Result<u32, ItemPanic>>> = None;
+        for threads in [1, 2, 4] {
+            let out = try_par_map_scratch(
+                Parallelism::new(threads),
+                &items,
+                String::new,
+                |i, x, s| {
+                    s.clear();
+                    if i == 41 {
+                        panic!("chaos: injected panic at scratch[{i}]");
+                    }
+                    x * 2
+                },
+            );
+            assert_eq!(out.len(), 100);
+            assert!(out[41].is_err());
+            assert_eq!(out.iter().filter(|r| r.is_err()).count(), 1);
+            if let Some(first) = &reference {
+                assert_eq!(&out, first, "threads = {threads}");
+            } else {
+                reference = Some(out);
+            }
+        }
+    }
 }

@@ -7,25 +7,36 @@ use dim_par::{par_map, Parallelism};
 
 #[test]
 fn worker_timing_and_sequential_counters() {
-    // --- parallel path: per-worker timings, chunk sizes, imbalance -----
+    // --- parallel path: per-worker timings, morsel totals, imbalance ----
+    // The effective worker count is the requested width clamped to the
+    // host's CPU count, so the expectations are computed, not hard-coded.
+    let par = Parallelism::new(4);
+    let expected_workers = par.effective_workers(64, 8);
     dim_obs::enable();
     let items: Vec<u64> = (0..64).collect();
-    let out = par_map(Parallelism::new(4), &items, |x| x + 1);
+    let out = par_map(par, &items, |x| x + 1);
     assert_eq!(out, (1..=64).collect::<Vec<u64>>());
 
     let snap = dim_obs::snapshot();
-    let busy = snap.histogram("par.worker_busy").expect("worker timings recorded");
-    assert_eq!(busy.count, 4, "one sample per spawned worker");
-    assert_eq!(snap.counter("par.items"), Some(64));
-    assert_eq!(snap.counter("par.workers_spawned"), Some(4));
-    assert_eq!(snap.counter("par.calls"), Some(1));
-    let chunk = snap.histogram("par.chunk_items").unwrap();
-    assert_eq!(chunk.count, 4);
-    assert_eq!(chunk.sum, 64, "chunk sizes sum to the item count");
-    // One imbalance sample per parallel call, expressed in percent.
-    let imb = snap.histogram("par.imbalance_pct").unwrap();
-    assert_eq!(imb.count, 1);
-    assert!(imb.max <= 100);
+    if expected_workers > 1 {
+        let busy = snap.histogram("par.worker_busy").expect("worker timings recorded");
+        assert_eq!(busy.count, expected_workers as u64, "one sample per spawned worker");
+        assert_eq!(snap.counter("par.items"), Some(64));
+        assert_eq!(snap.counter("par.workers_spawned"), Some(expected_workers as u64));
+        assert_eq!(snap.counter("par.calls"), Some(1));
+        let chunk = snap.histogram("par.chunk_items").unwrap();
+        assert_eq!(chunk.count, expected_workers as u64);
+        assert_eq!(chunk.sum, 64, "morsels pulled per worker sum to the item count");
+        // One imbalance sample per parallel call, expressed in percent.
+        let imb = snap.histogram("par.imbalance_pct").unwrap();
+        assert_eq!(imb.count, 1);
+        assert!(imb.max <= 100);
+    } else {
+        // Single-CPU host: width 4 clamps to the inline path.
+        assert_eq!(snap.counter("par.seq_calls"), Some(1));
+        assert_eq!(snap.counter("par.seq_items"), Some(64));
+        assert_eq!(snap.counter("par.calls"), None);
+    }
 
     // --- sequential path: inline calls tallied separately --------------
     dim_obs::reset();
