@@ -1,4 +1,4 @@
-.PHONY: verify build test clippy lint smoke golden chaos serve-smoke no-panic-hotpath no-artifacts bench-baseline bench-serve bench-gate
+.PHONY: verify build test clippy lint smoke golden chaos serve-smoke no-panic-hotpath no-artifacts bench-baseline bench-serve bench-gate snap-gate
 
 # Full offline verification: release build, workspace tests, lints (clippy
 # plus the dim-lint invariant engine), the golden-results harness, the
@@ -6,7 +6,7 @@
 # experiment suite (with the metrics layer live), the serving-layer smoke
 # (golden HTTP transcript over an ephemeral port), and a check that no
 # build artifacts are tracked. No network required.
-verify: build test clippy lint golden chaos smoke serve-smoke bench-gate no-artifacts
+verify: build test clippy lint golden chaos smoke serve-smoke bench-gate snap-gate no-artifacts
 
 build:
 	cargo build --workspace --release
@@ -66,6 +66,12 @@ no-artifacts:
 # must never hurt.
 bench-gate:
 	cargo run --release -p dim-bench --bin bench_gate
+
+# Snapshot cold-start gate: emit determinism, decode/re-emit identity,
+# record fidelity, and a <100 us median validation time for SnapKb::load
+# (see EXPERIMENTS.md "Snapshot cold-start gate").
+snap-gate:
+	cargo run --release -p dim-bench --bin snap_gate
 
 # Regenerates BENCH_baseline.json (criterion micro-benchmarks with JSON
 # aggregation; see EXPERIMENTS.md "Micro-benchmark methodology").

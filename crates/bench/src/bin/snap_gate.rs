@@ -1,0 +1,104 @@
+//! snap-gate: the snapshot cold-start regression gate (`make snap-gate`).
+//!
+//! Pins three invariants of `dimkb::snap` (see EXPERIMENTS.md "Snapshot
+//! cold-start gate"):
+//!
+//! 1. **Determinism** — emitting the standard KB twice produces
+//!    byte-identical buffers, and decode → re-emit is the identity, so the
+//!    stored checksum is stable run-to-run and machine-to-machine.
+//! 2. **Validation speed** — the median `SnapKb::load` (header, section
+//!    table, and checksum validation over the ~1 MB buffer) must stay
+//!    under `BUDGET_NS` (100 µs). This is the whole point of the snapshot:
+//!    a serving process swaps ~10 ms of KB construction for microseconds
+//!    of validation plus lazy decode.
+//! 3. **Fidelity** — the decoded KB's records equal the built KB's.
+//!
+//! Methodology matches bench_gate: `WARMUP` untimed runs, `SAMPLES` timed
+//! runs, median-of-samples (robust to co-tenant noise); the buffer clone
+//! is taken outside the timed region so the gate times validation, not
+//! allocation.
+
+use dimkb::{DimUnitKb, SnapKb};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Cold-load (validate) budget in nanoseconds.
+const BUDGET_NS: f64 = 100_000.0;
+/// Timed samples.
+const SAMPLES: usize = 20;
+/// Untimed warmup runs.
+const WARMUP: usize = 3;
+
+fn median_ns(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let built = DimUnitKb::shared();
+    let mut failed = false;
+
+    // Gate 1: deterministic emission.
+    let bytes = built.to_snapshot();
+    let again = built.to_snapshot();
+    let emit_ok = bytes == again;
+    println!(
+        "snap-gate: emit determinism          {} ({} bytes)",
+        if emit_ok { "PASS" } else { "FAIL" },
+        bytes.len()
+    );
+    failed |= !emit_ok;
+
+    // Gate 2: decode → re-emit is the identity (covers index fidelity: the
+    // re-emit walks every decoded table).
+    let loaded = SnapKb::load(bytes.clone())
+        .expect("fresh snapshot must validate")
+        .into_kb()
+        .expect("fresh snapshot must decode");
+    let reemit_ok = loaded.to_snapshot() == bytes;
+    println!(
+        "snap-gate: decode/re-emit identity   {}",
+        if reemit_ok { "PASS" } else { "FAIL" }
+    );
+    failed |= !reemit_ok;
+
+    // Gate 3: record fidelity against the built KB.
+    let records_ok = loaded.units() == built.units() && loaded.kinds() == built.kinds();
+    println!(
+        "snap-gate: record fidelity           {} ({} units, {} kinds)",
+        if records_ok { "PASS" } else { "FAIL" },
+        loaded.units().len(),
+        loaded.kinds().len()
+    );
+    failed |= !records_ok;
+
+    // Gate 4: cold-load median under budget. The clone happens outside the
+    // timer; each sample validates a fresh buffer end to end.
+    for _ in 0..WARMUP {
+        let b = bytes.clone();
+        black_box(SnapKb::load(b).expect("snapshot must validate"));
+    }
+    let mut samples = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let b = bytes.clone();
+        let start = Instant::now();
+        let snap = SnapKb::load(b).expect("snapshot must validate");
+        samples.push(start.elapsed().as_nanos() as f64);
+        black_box(snap);
+    }
+    let median = median_ns(samples);
+    let load_ok = median < BUDGET_NS;
+    println!(
+        "snap-gate: cold-load median          {} ({:.1} us, budget {:.0} us, {SAMPLES} samples)",
+        if load_ok { "PASS" } else { "FAIL" },
+        median / 1_000.0,
+        BUDGET_NS / 1_000.0
+    );
+    failed |= !load_ok;
+
+    if failed {
+        println!("snap-gate: FAILED");
+        std::process::exit(1);
+    }
+    println!("snap-gate: all gates passed");
+}

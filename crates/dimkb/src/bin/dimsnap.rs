@@ -1,0 +1,169 @@
+//! `dimsnap` — emit, inspect, and verify DimUnitKB binary snapshots.
+//!
+//! ```text
+//! cargo run --release --bin dimsnap -- emit <path>
+//! cargo run --release --bin dimsnap -- inspect <path> [--code CODE]
+//! cargo run --release --bin dimsnap -- verify <path>
+//! ```
+//!
+//! `emit` serializes the standard KB (deterministic: the same KB always
+//! produces byte-identical output). `inspect` prints the header, META
+//! counts, and section table without decoding any record — O(1) reads off
+//! the buffer — plus one unit record when `--code` is given. `verify`
+//! validates the buffer, fully decodes it, and differentially checks the
+//! result against a freshly built standard KB; exit status 0 means the
+//! snapshot is byte-fresh and behaviorally identical.
+
+use dimkb::snap::{Section, HEADER_LEN, SECTION_ENTRY_LEN, VERSION};
+use dimkb::{DimUnitKb, SnapKb, Snapshot};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: dimsnap emit <path> | inspect <path> [--code CODE] | verify <path>");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("emit") => match args.get(1) {
+            Some(path) => emit(Path::new(path)),
+            None => usage(),
+        },
+        Some("inspect") => match args.get(1) {
+            Some(path) => {
+                let code = args
+                    .iter()
+                    .position(|a| a == "--code")
+                    .and_then(|i| args.get(i + 1))
+                    .map(String::as_str);
+                inspect(Path::new(path), code)
+            }
+            None => usage(),
+        },
+        Some("verify") => match args.get(1) {
+            Some(path) => verify(Path::new(path)),
+            None => usage(),
+        },
+        _ => usage(),
+    }
+}
+
+fn emit(path: &Path) -> ExitCode {
+    let bytes = DimUnitKb::shared().to_snapshot();
+    match std::fs::write(path, &bytes) {
+        Ok(()) => {
+            println!("wrote {} bytes to {}", bytes.len(), path.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("dimsnap: cannot write {}: {e}", path.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn inspect(path: &Path, code: Option<&str>) -> ExitCode {
+    let snap = match Snapshot::load_file(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("dimsnap: {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let bytes = snap.bytes();
+    println!("snapshot  {}", path.display());
+    println!("size      {} bytes", bytes.len());
+    println!("version   {VERSION}");
+    println!("checksum  {:#018x}", snap.stored_checksum());
+    match snap.meta() {
+        Ok(meta) => {
+            println!(
+                "meta      {} units, {} kinds, {} dims, {} norm keys, {} cased keys, {} buckets",
+                meta.units, meta.kinds, meta.dims, meta.norm_keys, meta.cased_keys, meta.buckets
+            );
+        }
+        Err(e) => {
+            eprintln!("dimsnap: META unreadable: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("sections  ({} table bytes)", Section::ALL.len() * SECTION_ENTRY_LEN + HEADER_LEN);
+    for section in Section::ALL {
+        let len = snap.section(section).map(<[u8]>::len).unwrap_or(0);
+        let tag = section.tag();
+        println!("  {}  {len:>9} bytes", String::from_utf8_lossy(&tag));
+    }
+    if let Some(code) = code {
+        match snap.unit_by_code(code) {
+            Ok(Some(view)) => {
+                println!("unit      {code}");
+                println!("  label_en  {}", view.label_en);
+                println!("  label_zh  {}", view.label_zh);
+                println!("  symbol    {}", view.symbol);
+                println!("  kind      #{}", view.kind);
+                println!("  dim       {:?}", view.dim);
+                println!("  factor    {}", view.factor);
+                println!("  offset    {}", view.offset);
+                println!("  frequency {:.4}", view.frequency);
+                println!("  prefixed  {}", view.prefixed);
+            }
+            Ok(None) => {
+                eprintln!("dimsnap: no unit with code {code:?}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("dimsnap: code lookup failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn verify(path: &Path) -> ExitCode {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("dimsnap: cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let snap = match SnapKb::load(bytes.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("dimsnap: validation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let loaded = match snap.kb() {
+        Ok(kb) => kb,
+        Err(e) => {
+            eprintln!("dimsnap: decode failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let built = DimUnitKb::shared();
+    if loaded.units() != built.units() || loaded.kinds() != built.kinds() {
+        eprintln!("dimsnap: snapshot records differ from the standard KB (stale snapshot?)");
+        return ExitCode::FAILURE;
+    }
+    let fresh = built.to_snapshot();
+    if fresh != bytes {
+        eprintln!(
+            "dimsnap: snapshot bytes differ from a fresh emit ({} vs {} bytes)",
+            bytes.len(),
+            fresh.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "ok: {} units, {} kinds, {} bytes, checksum {:#018x}",
+        loaded.units().len(),
+        loaded.kinds().len(),
+        bytes.len(),
+        snap.snapshot().stored_checksum()
+    );
+    ExitCode::SUCCESS
+}

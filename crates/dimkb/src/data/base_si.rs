@@ -68,7 +68,7 @@ pub const UNITS: &[UnitSpec] = &[
     u("CENTURY", "century", "世纪", "c.", "Time", 3_155_760_000.0, 42.0)
         .aliases(&["centuries"])
         .kw(&["duration", "calendar", "history"]),
-    u("FORTNIGHT", "fortnight", "两周", "fn", "Time", 1_209_600.0, 8.0)
+    u("FORTNIGHT", "fortnight", "两周", "fn", "Duration", 1_209_600.0, 8.0)
         .aliases(&["fortnights"])
         .kw(&["duration", "calendar", "british"]),
     // ---- mass beyond the gram ------------------------------------------
@@ -98,7 +98,7 @@ pub const UNITS: &[UnitSpec] = &[
     u("DEG-R", "degree Rankine", "兰氏度", "°R", "Temperature", 5.0 / 9.0, 5.0)
         .aliases(&["degrees Rankine", "rankine"])
         .kw(&["temperature", "thermodynamic", "absolute"]),
-    u("DEG-RE", "degree Réaumur", "列氏度", "°Ré", "Temperature", 1.25, 2.0)
+    u("DEG-RE", "degree Réaumur", "列氏度", "°Ré", "AmbientTemperature", 1.25, 2.0)
         .offset(273.15)
         .aliases(&["degrees Reaumur", "reaumur"])
         .kw(&["temperature", "historical"]),

@@ -23,7 +23,7 @@ pub const UNITS: &[UnitSpec] = &[
         .aliases(&["市分"])
         .kw(&["chinese", "traditional", "tiny"]),
     // ---- mass (市制) ---------------------------------------------------------
-    u("DAN-ZH", "dan", "担", "担", "Mass", 50.0, 10.0)
+    u("DAN-ZH", "dan", "担", "担", "Weight", 50.0, 10.0)
         .aliases(&["市担", "picul", "石"])
         .kw(&["chinese", "grain", "load"]),
     u("JIN-ZH", "jin", "斤", "斤", "Mass", 0.5, 80.0)
@@ -40,10 +40,10 @@ pub const UNITS: &[UnitSpec] = &[
         .kw(&["chinese", "market", "weigh"])
         .desc("the Chinese name for the kilogram"),
     // ---- area (市制) -----------------------------------------------------------
-    u("MU-ZH", "mu", "亩", "亩", "Area", 2000.0 / 3.0, 52.0)
+    u("MU-ZH", "mu", "亩", "亩", "LandArea", 2000.0 / 3.0, 52.0)
         .aliases(&["市亩", "chinese acre"])
         .kw(&["chinese", "farm", "land", "field"]),
-    u("QING-ZH", "qing", "顷", "顷", "Area", 200_000.0 / 3.0, 5.0)
+    u("QING-ZH", "qing", "顷", "顷", "LandArea", 200_000.0 / 3.0, 5.0)
         .aliases(&["市顷", "公顷(市)"])
         .kw(&["chinese", "land", "estate"]),
     u("FEN-AREA-ZH", "fen (area)", "分(地)", "分地", "Area", 200.0 / 3.0, 8.0)
@@ -58,6 +58,36 @@ pub const UNITS: &[UnitSpec] = &[
     u("DAN-VOL-ZH", "dan (volume)", "石(容量)", "石", "Volume", 1e-1, 3.0)
         .aliases(&["市石"])
         .kw(&["chinese", "grain", "historical"]),
+    u("XUN-ZH", "xun", "寻", "寻", "Depth", 1.6, 1.0)
+        .aliases(&["chinese fathom"])
+        .kw(&["chinese", "water", "depth"]),
+    u("TUO-ZH", "tuo", "庹", "庹", "Span", 1.67, 0.8)
+        .aliases(&["arm span"])
+        .kw(&["chinese", "arms", "body"]),
+    u("ZHA-ZH", "zha", "拃", "拃", "Span", 0.166_7, 0.8)
+        .aliases(&["hand stretch"])
+        .kw(&["chinese", "hand", "body"]),
+    u("LIAN-ZH", "lian", "链(海)", "链", "Distance", 185.2, 0.5)
+        .aliases(&["chinese cable"])
+        .kw(&["nautical", "chinese", "chart"]),
+    u("SIMI", "simi", "丝米", "丝米", "Thickness", 1e-5, 1.5)
+        .aliases(&["si metre"])
+        .kw(&["chinese", "decimal", "fine"]),
+    u("HAOMI", "haomi", "毫米丝", "毫丝", "Thickness", 1e-4, 0.8)
+        .aliases(&["hao metre"])
+        .kw(&["chinese", "decimal", "fine"]),
+    u("PING-ZH", "ping", "坪", "坪", "FloorArea", 3.305_785, 3.0)
+        .aliases(&["pyeong"])
+        .kw(&["housing", "taiwan", "floor"]),
+    u("WAN", "wan (myriad)", "万", "万", "Count", 1e4, 20.0)
+        .aliases(&["ten thousand"])
+        .kw(&["chinese", "numeral", "myriad"]),
+    u("WAN-REN", "ten-thousand persons", "万人", "万人", "Population", 1e4, 8.0)
+        .aliases(&["wan ren"])
+        .kw(&["population", "statistics", "city"]),
+    u("WAN-HU", "ten-thousand households", "万户", "万户", "Households", 1e4, 5.0)
+        .aliases(&["wan hu"])
+        .kw(&["households", "statistics", "census"]),
 ];
 
 #[cfg(test)]

@@ -1,0 +1,65 @@
+//! Currency-like quantity units (monetary amounts and rate prices).
+//!
+//! Money is not an SI quantity — its dimension vector is empty — but the
+//! paper's KB models currency-like rate units (price per mass, per area,
+//! per energy, fares, wages) because MWP corpora lean on them heavily.
+//! Factors are relative to the yuan as the in-KB reference amount; rate
+//! units carry the denominator's SI scaling so conversions inside one
+//! kind (e.g. 元/度 vs 元/焦) stay coherent.
+
+use crate::spec::{u, UnitSpec};
+
+/// Currency and price-rate curated units.
+pub const UNITS: &[UnitSpec] = &[
+    u("YUAN", "yuan", "元", "¥", "Currency", 1.0, 30.0)
+        .aliases(&["renminbi", "RMB", "CNY", "块"])
+        .kw(&["money", "price", "china"]),
+    u("JIAO-MONEY", "jiao", "角", "jiao", "Currency", 0.1, 10.0)
+        .aliases(&["mao", "毛"])
+        .kw(&["money", "dime", "change"]),
+    u("FEN-MONEY", "fen", "分钱", "fen", "Currency", 0.01, 6.0)
+        .aliases(&["cent of yuan"])
+        .kw(&["money", "cent", "change"]),
+    u("WAN-YUAN", "ten-thousand yuan", "万元", "万¥", "Currency", 1e4, 15.0)
+        .aliases(&["wan yuan"])
+        .kw(&["money", "salary", "statistics"]),
+    u("YI-YUAN", "hundred-million yuan", "亿元", "亿¥", "Currency", 1e8, 10.0)
+        .aliases(&["yi yuan"])
+        .kw(&["money", "gdp", "statistics"]),
+    u("YUAN-PER-KG", "yuan per kilogram", "元每千克", "¥/kg", "UnitPrice", 1.0, 8.0)
+        .aliases(&["元每公斤"])
+        .kw(&["price", "market", "produce"]),
+    u("YUAN-PER-M2", "yuan per square metre", "元每平方米", "¥/m²", "PricePerArea", 1.0, 8.0)
+        .aliases(&["yuan per square meter"])
+        .kw(&["price", "housing", "real estate"]),
+    u("YUAN-PER-L", "yuan per litre", "元每升", "¥/L", "PricePerVolume", 1000.0, 6.0)
+        .aliases(&["yuan per liter"])
+        .kw(&["price", "fuel", "gasoline"]),
+    u("YUAN-PER-KWH", "yuan per kilowatt hour", "元每千瓦时", "¥/kWh", "EnergyPrice", 1.0 / 3.6e6, 8.0)
+        .aliases(&["元每度"])
+        .kw(&["price", "electricity", "tariff"]),
+    u("YUAN-PER-HR", "yuan per hour", "元每小时", "¥/h", "Wage", 1.0 / 3600.0, 6.0)
+        .aliases(&["hourly yuan"])
+        .kw(&["wage", "hourly", "pay"]),
+    u("YUAN-PER-KM", "yuan per kilometre", "元每千米", "¥/km", "FareRate", 0.001, 5.0)
+        .aliases(&["yuan per kilometer", "元每公里"])
+        .kw(&["fare", "taxi", "mileage"]),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yuan_denominations_scale_by_ten() {
+        let by = |c: &str| UNITS.iter().find(|s| s.code == c).unwrap().factor;
+        assert!((by("YUAN") / by("JIAO-MONEY") - 10.0).abs() < 1e-12);
+        assert!((by("JIAO-MONEY") / by("FEN-MONEY") - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn electricity_price_uses_kwh_denominator() {
+        let p = UNITS.iter().find(|s| s.code == "YUAN-PER-KWH").unwrap();
+        assert!((p.factor * 3.6e6 - 1.0).abs() < 1e-9);
+    }
+}

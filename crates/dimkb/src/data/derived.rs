@@ -10,10 +10,10 @@ pub const UNITS: &[UnitSpec] = &[
     u("M-PER-SEC3", "metre per second cubed", "米每三次方秒", "m/s³", "Jerk", 1.0, 1.0)
         .aliases(&["meter per second cubed", "m/s^3", "m/s3"])
         .kw(&["jerk", "ride", "comfort"]),
-    u("KM-PER-SEC", "kilometre per second", "千米每秒", "km/s", "Velocity", 1000.0, 8.0)
+    u("KM-PER-SEC", "kilometre per second", "千米每秒", "km/s", "OrbitalVelocity", 1000.0, 8.0)
         .aliases(&["kilometer per second"])
         .kw(&["orbital", "rocket", "escape"]),
-    u("MM-PER-HR", "millimetre per hour", "毫米每小时", "mm/h", "Velocity", 1e-3 / 3600.0, 10.0)
+    u("MM-PER-HR", "millimetre per hour", "毫米每小时", "mm/h", "RainfallRate", 1e-3 / 3600.0, 10.0)
         .aliases(&["millimeter per hour", "mm/hr"])
         .kw(&["rainfall", "precipitation", "weather"]),
     u("M-PER-MIN", "metre per minute", "米每分钟", "m/min", "Velocity", 1.0 / 60.0, 5.0)
@@ -32,7 +32,7 @@ pub const UNITS: &[UnitSpec] = &[
     u("J-SEC", "joule second", "焦秒", "J·s", "Action", 1.0, 2.0)
         .aliases(&["joule-second", "J s"])
         .kw(&["planck", "action", "quantum"]),
-    u("KSI", "kip per square inch", "千磅每平方英寸", "ksi", "Pressure", 6.894_757_293_168e6, 5.0)
+    u("KSI", "kip per square inch", "千磅每平方英寸", "ksi", "Stress", 6.894_757_293_168e6, 5.0)
         .aliases(&["kilopound per square inch"])
         .kw(&["steel", "strength", "imperial"]),
     u("G-PER-M2", "gram per square metre", "克每平方米", "g/m²", "SurfaceDensity", 1e-3, 12.0)
@@ -43,7 +43,8 @@ pub const UNITS: &[UnitSpec] = &[
         .kw(&["yield", "fertilizer", "farm"]),
     u("TEX", "tex", "特克斯", "tex", "LinearDensity", 1e-6, 2.0)
         .aliases(&["texes"])
-        .kw(&["yarn", "fibre", "textile"]),
+        .kw(&["yarn", "fibre", "textile"])
+        .prefixable(),
     u("DENIER", "denier", "旦尼尔", "den", "LinearDensity", 1e-6 / 9.0, 3.0)
         .aliases(&["deniers"])
         .kw(&["stocking", "fibre", "textile"]),
@@ -151,7 +152,7 @@ pub const UNITS: &[UnitSpec] = &[
     u("LPM-PRINT", "line per minute", "行每分钟", "lpm", "Frequency", 1.0 / 60.0, 1.0)
         .aliases(&["lines per minute"])
         .kw(&["printer", "throughput", "output"]),
-    u("FPS-FRAME", "frame per second", "帧每秒", "fps", "Frequency", 1.0, 25.0)
+    u("FPS-FRAME", "frame per second", "帧每秒", "fps", "FrameRate", 1.0, 25.0)
         .aliases(&["frames per second"])
         .kw(&["video", "game", "camera"]),
     u("KM-PER-L-GAS", "kilometre per litre (gas)", "公里每升", "km/L", "FuelEconomy", 1e6, 1.0)

@@ -9,7 +9,7 @@ pub const UNITS: &[UnitSpec] = &[
         .aliases(&["coulombs", "库"])
         .kw(&["charge", "electric", "si"])
         .prefixable(),
-    u("AH", "ampere hour", "安时", "Ah", "ElectricCharge", 3600.0, 45.0)
+    u("AH", "ampere hour", "安时", "Ah", "BatteryCapacity", 3600.0, 45.0)
         .aliases(&["ampere-hour", "amp hour", "amp-hour"])
         .kw(&["battery", "capacity", "charge"])
         .prefixable(),
@@ -23,7 +23,7 @@ pub const UNITS: &[UnitSpec] = &[
         .aliases(&["volts", "伏"])
         .kw(&["voltage", "battery", "circuit", "si"])
         .prefixable(),
-    u("STATV", "statvolt", "静伏", "statV", "Voltage", 299.792_458, 1.0)
+    u("STATV", "statvolt", "静伏", "statV", "BreakdownVoltage", 299.792_458, 1.0)
         .kw(&["cgs", "electrostatic"]),
     // ---- resistance / conductance -------------------------------------------
     u("OHM", "ohm", "欧姆", "Ω", "Resistance", 1.0, 55.0)

@@ -10,7 +10,7 @@ pub const UNITS: &[UnitSpec] = &[
     u("FERMI", "fermi", "费米", "fm.", "Length", 1e-15, 2.0)
         .aliases(&["fermis"])
         .kw(&["nuclear", "femtometre", "particle"]),
-    u("BOHR", "bohr radius", "玻尔半径", "a₀", "Length", 5.291_772_109e-11, 1.5)
+    u("BOHR", "bohr radius", "玻尔半径", "a₀", "Radius", 5.291_772_109e-11, 1.5)
         .aliases(&["bohr"])
         .kw(&["atomic", "hydrogen", "quantum"]),
     u("PLANCK-L", "planck length", "普朗克长度", "ℓP", "Length", 1.616_255e-35, 1.0)
@@ -18,10 +18,10 @@ pub const UNITS: &[UnitSpec] = &[
     u("ROD", "rod", "杆", "rd.", "Length", 5.0292, 1.5)
         .aliases(&["perch", "pole"])
         .kw(&["survey", "old", "imperial"]),
-    u("CHAIN", "chain", "测链", "ch", "Length", 20.1168, 2.0)
+    u("CHAIN", "chain", "测链", "ch", "Perimeter", 20.1168, 2.0)
         .aliases(&["chains", "gunter's chain"])
         .kw(&["survey", "cricket", "imperial"]),
-    u("LEAGUE", "league", "里格", "lea", "Length", 4828.032, 2.0)
+    u("LEAGUE", "league", "里格", "lea", "Distance", 4828.032, 2.0)
         .aliases(&["leagues"])
         .kw(&["historical", "travel", "sea"]),
     u("SMOOT", "smoot", "斯穆特", "smoot", "Length", 1.702, 0.5)
@@ -30,7 +30,7 @@ pub const UNITS: &[UnitSpec] = &[
     u("RACK-U", "rack unit", "机架单位", "U", "Length", 0.04445, 4.0)
         .aliases(&["rack units"])
         .kw(&["server", "datacenter", "rack"]),
-    u("EARTH-RADIUS", "earth radius", "地球半径", "R⊕", "Length", 6.371e6, 2.0)
+    u("EARTH-RADIUS", "earth radius", "地球半径", "R⊕", "Radius", 6.371e6, 2.0)
         .aliases(&["earth radii"])
         .kw(&["planet", "astronomy", "geodesy"]),
     // ---- mass: troy & apothecary -------------------------------------------
@@ -43,19 +43,19 @@ pub const UNITS: &[UnitSpec] = &[
     u("SCRUPLE", "scruple", "英分", "℈", "Mass", 1.295_978_2e-3, 0.5)
         .aliases(&["scruples"])
         .kw(&["apothecary", "pharmacy", "old"]),
-    u("QUINTAL", "quintal", "公担", "q", "Mass", 100.0, 4.0)
+    u("QUINTAL", "quintal", "公担", "q", "DryMass", 100.0, 4.0)
         .aliases(&["quintals", "centner"])
         .kw(&["grain", "agriculture", "market"]),
     u("PLANCK-M", "planck mass", "普朗克质量", "mP", "Mass", 2.176_434e-8, 0.5)
         .kw(&["planck", "quantum", "gravity"]),
     // ---- time: physics & whimsy ----------------------------------------------
-    u("SHAKE", "shake", "息", "shake", "Time", 1e-8, 0.5)
+    u("SHAKE", "shake", "息", "shake", "Delay", 1e-8, 0.5)
         .aliases(&["shakes"])
         .kw(&["nuclear", "fast", "physics"]),
-    u("JIFFY", "jiffy", "一瞬", "jiffy", "Time", 1.0 / 60.0, 1.0)
+    u("JIFFY", "jiffy", "一瞬", "jiffy", "ResponseTime", 1.0 / 60.0, 1.0)
         .aliases(&["jiffies"])
         .kw(&["frame", "tick", "informal"]),
-    u("SIDEREAL-DAY", "sidereal day", "恒星日", "d★", "Time", 86_164.090_5, 1.0)
+    u("SIDEREAL-DAY", "sidereal day", "恒星日", "d★", "Period", 86_164.090_5, 1.0)
         .aliases(&["sidereal days"])
         .kw(&["astronomy", "rotation", "star"]),
     u("PLANCK-T", "planck time", "普朗克时间", "tP", "Time", 5.391_247e-44, 0.5)
@@ -121,7 +121,7 @@ pub const UNITS: &[UnitSpec] = &[
     u("SVERDRUP", "sverdrup", "斯韦德鲁普", "Sv.", "VolumeFlowRate", 1e6, 0.5)
         .aliases(&["sverdrups"])
         .kw(&["ocean", "current", "transport"]),
-    u("DARCY", "darcy", "达西", "D.", "Area", 9.869_233e-13, 0.5)
+    u("DARCY", "darcy", "达西", "D.", "IntrinsicPermeability", 9.869_233e-13, 0.5)
         .aliases(&["darcys", "darcies"])
         .kw(&["permeability", "rock", "petroleum"]),
     u("CLO", "clo", "克罗", "clo", "ThermalInsulance", 0.155, 0.5)

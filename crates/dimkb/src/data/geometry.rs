@@ -17,30 +17,31 @@ pub const UNITS: &[UnitSpec] = &[
     u("MI", "mile", "英里", "mi", "Length", 1609.344, 75.0)
         .aliases(&["miles", "statute mile", "哩"])
         .kw(&["imperial", "road", "far"]),
-    u("NMI", "nautical mile", "海里", "nmi", "Length", 1852.0, 30.0)
+    u("NMI", "nautical mile", "海里", "nmi", "Distance", 1852.0, 30.0)
         .aliases(&["nautical miles", "浬"])
         .kw(&["sea", "navigation", "ship"]),
     u("MIL", "mil", "密尔", "mil", "Length", 2.54e-5, 8.0)
         .aliases(&["thou"])
         .kw(&["machining", "thin", "wire"]),
-    u("FUR", "furlong", "弗隆", "fur", "Length", 201.168, 3.0)
+    u("FUR", "furlong", "弗隆", "fur", "Distance", 201.168, 3.0)
         .aliases(&["furlongs"])
         .kw(&["horse", "racing", "old"]),
-    u("FATHOM", "fathom", "英寻", "ftm", "Length", 1.8288, 4.0)
+    u("FATHOM", "fathom", "英寻", "ftm", "Depth", 1.8288, 4.0)
         .aliases(&["fathoms"])
         .kw(&["sea", "depth", "sounding"]),
-    u("ANGSTROM", "angstrom", "埃", "Å", "Length", 1e-10, 15.0)
+    u("ANGSTROM", "angstrom", "埃", "Å", "Wavelength", 1e-10, 15.0)
         .aliases(&["ångström", "angstroms"])
         .kw(&["atomic", "crystal", "x-ray"]),
-    u("AU", "astronomical unit", "天文单位", "au", "Length", 1.495_978_707e11, 18.0)
+    u("AU", "astronomical unit", "天文单位", "au", "Distance", 1.495_978_707e11, 18.0)
         .aliases(&["astronomical units", "AU"])
         .kw(&["astronomy", "orbit", "sun"]),
-    u("LY", "light year", "光年", "ly", "Length", 9.460_730_472_580_8e15, 28.0)
+    u("LY", "light year", "光年", "ly", "Distance", 9.460_730_472_580_8e15, 28.0)
         .aliases(&["light-year", "light years", "lightyear"])
         .kw(&["astronomy", "star", "galaxy"]),
-    u("PARSEC", "parsec", "秒差距", "pc", "Length", 3.085_677_581_49e16, 10.0)
+    u("PARSEC", "parsec", "秒差距", "pc", "Distance", 3.085_677_581_49e16, 10.0)
         .aliases(&["parsecs"])
-        .kw(&["astronomy", "galaxy", "parallax"]),
+        .kw(&["astronomy", "galaxy", "parallax"])
+        .prefixable(),
     u("POINT", "point", "磅因", "pt.", "Length", 3.527_777_78e-4, 12.0)
         .aliases(&["typographic point"])
         .kw(&["font", "typography", "print"]),
@@ -49,7 +50,7 @@ pub const UNITS: &[UnitSpec] = &[
     u("CUBIT", "cubit", "腕尺", "cbt", "Length", 0.4572, 1.0)
         .aliases(&["cubits"])
         .kw(&["ancient", "bible", "historical"]),
-    u("HAND", "hand", "一手之宽", "hh", "Length", 0.1016, 2.0)
+    u("HAND", "hand", "一手之宽", "hh", "Height", 0.1016, 2.0)
         .aliases(&["hands"])
         .kw(&["horse", "height", "equine"]),
     // ---- area -----------------------------------------------------------
@@ -74,7 +75,7 @@ pub const UNITS: &[UnitSpec] = &[
     u("ARE", "are", "公亩", "a", "Area", 100.0, 6.0)
         .aliases(&["ares"])
         .kw(&["land", "metric", "plot"]),
-    u("ACRE", "acre", "英亩", "ac", "Area", 4_046.856_422_4, 55.0)
+    u("ACRE", "acre", "英亩", "ac", "LandArea", 4_046.856_422_4, 55.0)
         .aliases(&["acres"])
         .kw(&["land", "farm", "imperial"]),
     u("FT2", "square foot", "平方英尺", "ft²", "Area", 0.092_903_04, 58.0)
@@ -89,7 +90,7 @@ pub const UNITS: &[UnitSpec] = &[
     u("YD2", "square yard", "平方码", "yd²", "Area", 0.836_127_36, 12.0)
         .aliases(&["square yards", "sq yd", "yd^2", "yd2"])
         .kw(&["imperial", "fabric", "carpet"]),
-    u("BARN", "barn", "靶恩", "b", "Area", 1e-28, 2.0)
+    u("BARN", "barn", "靶恩", "b", "CrossSection", 1e-28, 2.0)
         .aliases(&["barns"])
         .kw(&["nuclear", "cross", "section"]),
     // ---- volume ----------------------------------------------------------
@@ -127,7 +128,7 @@ pub const UNITS: &[UnitSpec] = &[
     u("CUP", "US cup", "量杯", "cup", "Volume", 2.365_882_365e-4, 30.0)
         .aliases(&["cups"])
         .kw(&["cooking", "recipe", "baking"]),
-    u("FLOZ-US", "US fluid ounce", "液量盎司", "fl oz", "Volume", 2.957_352_956e-5, 25.0)
+    u("FLOZ-US", "US fluid ounce", "液量盎司", "fl oz", "LiquidVolume", 2.957_352_956e-5, 25.0)
         .aliases(&["fluid ounce", "fluid ounces"])
         .kw(&["drink", "cosmetics", "bottle"]),
     u("TBSP", "tablespoon", "汤匙", "tbsp", "Volume", 1.478_676_478e-5, 28.0)
@@ -136,7 +137,7 @@ pub const UNITS: &[UnitSpec] = &[
     u("TSP", "teaspoon", "茶匙", "tsp", "Volume", 4.928_921_59e-6, 28.0)
         .aliases(&["teaspoons", "小勺"])
         .kw(&["cooking", "recipe", "kitchen"]),
-    u("BBL", "oil barrel", "桶", "bbl", "Volume", 0.158_987_294_928, 40.0)
+    u("BBL", "oil barrel", "桶", "bbl", "Capacity", 0.158_987_294_928, 40.0)
         .aliases(&["barrel", "barrels"])
         .kw(&["oil", "petroleum", "crude"]),
     u("BU-US", "US bushel", "蒲式耳", "bu", "Volume", 3.523_907_016_688e-2, 8.0)

@@ -1,0 +1,177 @@
+//! Imperial and US-customary long-tail units.
+//!
+//! The seed KB already carries the everyday imperial core (inch/foot/mile,
+//! pound/ounce, US gallon, acre). This module adds the long tail the paper's
+//! 1778-unit KB covers: UK/US split volumes, survey measures, apothecary and
+//! wool weights, and legacy engineering units. All factors are exact where
+//! the defining statute is exact (1959 international yard and pound).
+
+use crate::spec::{u, UnitSpec};
+
+/// Imperial/US-customary curated units.
+pub const UNITS: &[UnitSpec] = &[
+    // ---- UK (imperial) volumes -----------------------------------------
+    u("PT-UK", "imperial pint", "英制品脱", "pt(imp)", "Volume", 5.682_612_5e-4, 6.0)
+        .aliases(&["imperial pints", "UK pint"])
+        .kw(&["beer", "milk", "britain"]),
+    u("QT-UK", "imperial quart", "英制夸脱", "qt(imp)", "Volume", 1.136_522_5e-3, 2.0)
+        .aliases(&["UK quart"])
+        .kw(&["imperial", "volume", "britain"]),
+    u("FLOZ-UK", "imperial fluid ounce", "英制液盎司", "fl oz(imp)", "Volume", 2.841_306_25e-5, 3.0)
+        .aliases(&["UK fluid ounce"])
+        .kw(&["imperial", "fluid", "recipe"]),
+    u("GILL-UK", "imperial gill", "英制及耳", "gi(imp)", "Volume", 1.420_653_125e-4, 0.8)
+        .aliases(&["UK gill"])
+        .kw(&["spirits", "pub", "measure"]),
+    u("BUSHEL-UK", "imperial bushel", "英制蒲式耳", "bu(imp)", "Volume", 0.036_368_72, 1.0)
+        .aliases(&["UK bushel"])
+        .kw(&["grain", "imperial", "harvest"]),
+    u("POTTLE", "pottle", "半加仑壶", "pottle", "Volume", 2.273_045e-3, 0.3)
+        .aliases(&["pottles"])
+        .kw(&["half", "gallon", "archaic"]),
+    u("PIN-CASK", "pin cask", "小桶品", "pin", "Volume", 0.020_456_603_4, 0.3)
+        .aliases(&["pin of ale"])
+        .kw(&["cask", "ale", "brewing"]),
+    u("KILDERKIN", "kilderkin", "半桶", "kil", "Volume", 0.081_826_413_6, 0.3)
+        .aliases(&["kilderkins"])
+        .kw(&["cask", "ale", "brewing"]),
+    u("TUN-VOL", "tun", "大桶", "tun", "Volume", 0.953_923_769_568, 0.4)
+        .aliases(&["tuns"])
+        .kw(&["wine", "cask", "cellar"]),
+    u("CRAN", "cran", "鲱鱼桶", "cran", "Volume", 0.170_478_675, 0.2)
+        .aliases(&["crans"])
+        .kw(&["herring", "fishing", "scotland"]),
+    u("MINIM-UK", "imperial minim", "英制量滴", "min(imp)", "Volume", 5.919_388_020_833e-8, 0.2)
+        .aliases(&["minims"])
+        .kw(&["apothecary", "drop", "pharmacy"]),
+    // ---- US dry & apothecary volumes -----------------------------------
+    u("PT-US-DRY", "US dry pint", "美制干品脱", "pt(dry)", "Volume", 5.506_104_713_575e-4, 1.0)
+        .aliases(&["dry pints"])
+        .kw(&["berries", "produce", "dry"]),
+    u("QT-US-DRY", "US dry quart", "美制干夸脱", "qt(dry)", "Volume", 1.101_220_942_715e-3, 0.8)
+        .aliases(&["dry quarts"])
+        .kw(&["produce", "dry", "market"]),
+    u("DRY-BBL-US", "US dry barrel", "美制干桶", "bbl(dry)", "Volume", 0.115_628_198_985_075, 0.5)
+        .aliases(&["dry barrels"])
+        .kw(&["cranberry", "dry", "commodity"]),
+    u("FLDR-US", "US fluid dram", "美制液打兰", "fl dr", "Volume", 3.696_691_195_312_5e-6, 0.3)
+        .aliases(&["fluid drams"])
+        .kw(&["apothecary", "medicine", "dose"]),
+    // ---- hundredweights, troy & wool weights ---------------------------
+    u("CWT-UK", "long hundredweight", "英担", "cwt(UK)", "Mass", 50.802_345_44, 1.0)
+        .aliases(&["imperial hundredweight"])
+        .kw(&["hundredweight", "imperial", "freight"]),
+    u("CWT-US", "short hundredweight", "美担", "cwt(US)", "Mass", 45.359_237, 1.0)
+        .aliases(&["cental"])
+        .kw(&["hundredweight", "commodity", "livestock"]),
+    u("TROY-LB", "troy pound", "金衡磅", "lb t", "Mass", 0.373_241_721_6, 0.8)
+        .aliases(&["troy pounds"])
+        .kw(&["troy", "bullion", "precious"]),
+    u("TROY-OZ", "troy ounce", "金衡盎司", "oz t", "Mass", 0.031_103_476_8, 5.0)
+        .aliases(&["troy ounces"])
+        .kw(&["gold", "silver", "bullion"]),
+    u("CLOVE", "clove", "羊毛克洛夫", "clove", "Mass", 3.628_738_96, 0.2)
+        .aliases(&["cloves of wool"])
+        .kw(&["wool", "archaic", "trade"]),
+    u("TOD", "tod", "羊毛托德", "tod", "Mass", 12.700_586_36, 0.2)
+        .aliases(&["tods"])
+        .kw(&["wool", "archaic", "trade"]),
+    u("SACK-WOOL", "woolsack", "羊毛袋", "sack", "Mass", 165.107_626_68, 0.2)
+        .aliases(&["sacks of wool"])
+        .kw(&["wool", "sack", "trade"]),
+    // ---- survey measures ------------------------------------------------
+    u("LINK-SURVEY", "surveyor's link", "测链节", "li", "Length", 0.201_168_4, 0.5)
+        .aliases(&["links"])
+        .kw(&["survey", "gunter", "chain"]),
+    u("FT-SURVEY", "US survey foot", "美国测量英尺", "ft(US)", "Length", 0.304_800_609_601, 0.8)
+        .aliases(&["survey feet"])
+        .kw(&["survey", "geodesy", "legacy"]),
+    u("MI-SURVEY", "US survey mile", "美国测量英里", "mi(US)", "Length", 1_609.347_218_694_4, 0.5)
+        .aliases(&["survey miles"])
+        .kw(&["survey", "township", "legacy"]),
+    u("SQ-ROD", "square rod", "平方杆", "rd²", "Area", 25.292_852_64, 0.4)
+        .aliases(&["square rods", "square perch"])
+        .kw(&["survey", "plot", "land"]),
+    u("SQ-CHAIN", "square chain", "平方测链", "ch²", "Area", 404.685_642_24, 0.4)
+        .aliases(&["square chains"])
+        .kw(&["survey", "gunter", "land"]),
+    u("ROOD", "rood", "路得", "rood", "Area", 1_011.714_105_6, 0.3)
+        .aliases(&["roods"])
+        .kw(&["quarter", "acre", "land"]),
+    u("SECTION", "section of land", "土地段", "sec(land)", "Area", 2.589_988_110_336e6, 0.5)
+        .aliases(&["sections"])
+        .kw(&["township", "survey", "square mile"]),
+    u("TOWNSHIP", "survey township", "镇区", "twp", "Area", 9.323_957_197_209_6e7, 0.3)
+        .aliases(&["townships"])
+        .kw(&["survey", "public land", "grid"]),
+    // ---- legacy lengths -------------------------------------------------
+    u("CABLE", "cable length", "链长", "cb", "Length", 185.2, 0.5)
+        .aliases(&["cable lengths"])
+        .kw(&["nautical", "anchor", "tenth mile"]),
+    u("BARLEYCORN", "barleycorn", "大麦粒", "Bc", "Length", 8.466_666_666_667e-3, 0.3)
+        .aliases(&["barleycorns"])
+        .kw(&["shoe", "size", "third inch"]),
+    u("ELL", "ell", "厄尔", "ell", "Length", 1.143, 0.3)
+        .aliases(&["ells"])
+        .kw(&["cloth", "textile", "archaic"]),
+    u("NAIL-CLOTH", "cloth nail", "布纳尔", "nail", "Length", 0.057_15, 0.2)
+        .aliases(&["nails of cloth"])
+        .kw(&["cloth", "sixteenth", "yard"]),
+    u("SPAN-IMP", "hand span", "一拃", "span", "Span", 0.228_6, 0.4)
+        .aliases(&["spans"])
+        .kw(&["hand", "nine inches", "body"]),
+    u("SHAFTMENT", "shaftment", "拳幅", "sft", "Length", 0.152_4, 0.2)
+        .aliases(&["shaftments"])
+        .kw(&["fist", "thumb", "archaic"]),
+    u("MIL-THOU", "thou", "密尔", "mil", "Thickness", 2.54e-5, 2.0)
+        .aliases(&["mils", "thousandth of an inch"])
+        .kw(&["machining", "pcb", "tolerance"]),
+    u("CIRCULAR-MIL", "circular mil", "圆密尔", "cmil", "CrossSection", 5.067_074_790_975e-10, 0.5)
+        .aliases(&["circular mils"])
+        .kw(&["wire", "gauge", "conductor"]),
+    // ---- legacy engineering ---------------------------------------------
+    u("HP-BOILER", "boiler horsepower", "锅炉马力", "hp(S)", "Power", 9809.5, 0.5)
+        .aliases(&["boiler horsepowers"])
+        .kw(&["boiler", "steam", "rating"]),
+    u("HP-ELECTRIC", "electrical horsepower", "电工马力", "hp(E)", "Power", 746.0, 0.8)
+        .aliases(&["electric horsepower"])
+        .kw(&["motor", "nameplate", "rating"]),
+    u("IN-H2O", "inch of water column", "英寸水柱", "inH₂O", "Pressure", 249.088_9, 1.0)
+        .aliases(&["inches of water"])
+        .kw(&["duct", "hvac", "draft"]),
+    u("FT-H2O", "foot of water column", "英尺水柱", "ftH₂O", "Pressure", 2_989.066_9, 0.5)
+        .aliases(&["feet of water"])
+        .kw(&["head", "hydraulic", "column"]),
+    u("POUNDAL", "poundal", "磅达", "pdl", "Force", 0.138_254_954_376, 0.5)
+        .aliases(&["poundals"])
+        .kw(&["fps", "absolute", "force"]),
+    u("FUR-PER-FTN", "furlong per fortnight", "弗隆每两周", "fur/ftn", "Velocity", 201.168 / 1_209_600.0, 0.2)
+        .aliases(&["furlongs per fortnight"])
+        .kw(&["whimsical", "slow", "physics joke"]),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imperial_pint_is_an_eighth_of_the_imperial_gallon() {
+        let pt = UNITS.iter().find(|s| s.code == "PT-UK").unwrap();
+        assert!((pt.factor * 8.0 - 4.546_09e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hundredweights_differ_uk_vs_us() {
+        let uk = UNITS.iter().find(|s| s.code == "CWT-UK").unwrap();
+        let us = UNITS.iter().find(|s| s.code == "CWT-US").unwrap();
+        assert!((uk.factor / 50.802_345_44 - 1.0).abs() < 1e-12);
+        assert!((us.factor / 45.359_237 - 1.0).abs() < 1e-12);
+        assert!(uk.factor > us.factor, "long cwt is 112 lb, short is 100 lb");
+    }
+
+    #[test]
+    fn survey_foot_exceeds_international_foot() {
+        let sf = UNITS.iter().find(|s| s.code == "FT-SURVEY").unwrap();
+        assert!(sf.factor > 0.3048 && sf.factor < 0.304_801);
+    }
+}

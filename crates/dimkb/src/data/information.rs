@@ -13,13 +13,13 @@ pub const UNITS: &[UnitSpec] = &[
         .aliases(&["bytes"])
         .kw(&["data", "file", "memory", "storage"])
         .prefixable(),
-    u("KIB", "kibibyte", "二进制千字节", "KiB", "Information", 8192.0, 12.0)
+    u("KIB", "kibibyte", "二进制千字节", "KiB", "MemorySize", 8192.0, 12.0)
         .aliases(&["kibibytes"])
         .kw(&["data", "binary", "memory"]),
-    u("MIB", "mebibyte", "二进制兆字节", "MiB", "Information", 8.0 * 1_048_576.0, 14.0)
+    u("MIB", "mebibyte", "二进制兆字节", "MiB", "MemorySize", 8.0 * 1_048_576.0, 14.0)
         .aliases(&["mebibytes"])
         .kw(&["data", "binary", "memory"]),
-    u("GIB", "gibibyte", "二进制吉字节", "GiB", "Information", 8.0 * 1_073_741_824.0, 14.0)
+    u("GIB", "gibibyte", "二进制吉字节", "GiB", "StorageCapacity", 8.0 * 1_073_741_824.0, 14.0)
         .aliases(&["gibibytes"])
         .kw(&["data", "binary", "memory"]),
     u("NAT", "nat", "奈特", "nat", "Information", std::f64::consts::LOG2_E, 1.0)
@@ -38,10 +38,10 @@ pub const UNITS: &[UnitSpec] = &[
     u("PERCENT", "percent", "百分比", "%", "Ratio", 0.01, 98.0)
         .aliases(&["per cent", "percentage", "百分之"])
         .kw(&["fraction", "rate", "share"]),
-    u("PERMILLE", "per mille", "千分比", "‰", "Ratio", 0.001, 20.0)
+    u("PERMILLE", "per mille", "千分比", "‰", "Slope", 0.001, 20.0)
         .aliases(&["permil", "per mil", "千分之"])
         .kw(&["fraction", "alcohol", "salinity"]),
-    u("PPM", "part per million", "百万分比", "ppm", "Ratio", 1e-6, 25.0)
+    u("PPM", "part per million", "百万分比", "ppm", "MassFraction", 1e-6, 25.0)
         .aliases(&["parts per million"])
         .kw(&["pollution", "trace", "concentration"]),
     u("PPB", "part per billion", "十亿分比", "ppb", "Ratio", 1e-9, 10.0)
@@ -50,7 +50,7 @@ pub const UNITS: &[UnitSpec] = &[
     u("BASIS-POINT", "basis point", "基点", "bp", "Ratio", 1e-4, 15.0)
         .aliases(&["basis points", "bps (finance)"])
         .kw(&["finance", "interest", "rate"]),
-    u("UNITY", "unity ratio", "单位一", "1", "Ratio", 1.0, 5.0)
+    u("UNITY", "unity ratio", "单位一", "1", "Dimensionless", 1.0, 5.0)
         .aliases(&["unit ratio"])
         .kw(&["pure", "number", "fraction"]),
     // ---- count -------------------------------------------------------------------

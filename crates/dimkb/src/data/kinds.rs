@@ -26,6 +26,8 @@ pub const KINDS: &[KindSpec] = &[
         ("Elevation", "标高"),
         ("Breadth", "幅宽"),
         ("Span", "跨度"),
+        ("ScreenSize", "屏幕尺寸"),
+        ("Mileage", "里程"),
     ]),
     kind("Mass", "质量", "M").narrow(&[
         ("Weight", "重量"),
@@ -260,6 +262,142 @@ pub const KINDS: &[KindSpec] = &[
     kind("GravityGradient", "重力梯度", "T-2"),
     kind("AcousticImpedance", "声阻抗", "L-2 M T-1"),
     kind("Loudness", "响度", ""),
+    // ---- paper-scale growth: time-derivative kinds ---------------------
+    kind("PressureRate", "压强变化率", "L-1 M T-3"),
+    kind("TemperatureRate", "温度变化率", "H T-1"),
+    kind("CurrentRate", "电流变化率", "E T-1"),
+    kind("VoltageSlewRate", "电压摆率", "L2 M T-4 E-1"),
+    kind("FrequencyDrift", "频率漂移", "T-2"),
+    kind("AngularJerk", "角加加速度", "T-3"),
+    // ---- per-mass (specific) kinds -------------------------------------
+    kind("SpecificEnthalpy", "比焓", "L2 T-2"),
+    kind("SpecificEntropy", "比熵", "L2 T-2 H-1"),
+    kind("SpecificPower", "比功率", "L2 T-3"),
+    kind("SpecificImpulse", "比冲", "T"),
+    kind("CalorificValue", "热值", "L2 T-2"),
+    kind("SpecificActivity", "比活度", "M-1 T-1"),
+    // ---- per-area flux kinds -------------------------------------------
+    kind("RadiantExposure", "辐射曝量", "M T-2"),
+    kind("MassFlux", "质量通量", "L-2 M T-1"),
+    kind("PhotonFlux", "光子通量", "L-2 T-1"),
+    kind("LuminousExitance", "光出射度", "L-2 I"),
+    // ---- electromagnetic long tail -------------------------------------
+    kind("MagnetomotiveForce", "磁动势", "E"),
+    kind("MagneticReluctance", "磁阻", "L-2 M-1 T2 E2"),
+    kind("ElectricFlux", "电通量", "L3 M T-3 E-1"),
+    kind("ElectricElastance", "电弹性", "L2 M T-4 E-2"),
+    kind("Magnetization", "磁化强度", "L-1 E"),
+    kind("HallCoefficient", "霍尔系数", "L3 T-1 E-1"),
+    kind("ChargeToMassRatio", "荷质比", "M-1 T E"),
+    kind("LinearChargeDensity", "线电荷密度", "L-1 T E"),
+    kind("SheetResistance", "方块电阻", "L2 M T-3 E-2"),
+    kind("ApparentPower", "视在功率", "L2 M T-3"),
+    kind("ReactivePower", "无功功率", "L2 M T-3"),
+    // ---- mechanics long tail -------------------------------------------
+    kind("Compressibility", "压缩系数", "L M-1 T2"),
+    kind("TorsionalStiffness", "扭转刚度", "L2 M T-2"),
+    kind("DampingCoefficient", "阻尼系数", "M T-1"),
+    kind("AreaMomentOfInertia", "截面惯性矩", "L4"),
+    kind("Hardness", "硬度", "L-1 M T-2"),
+    kind("ImpactStrength", "冲击强度", "M T-2"),
+    // ---- fluid & thermal long tail -------------------------------------
+    kind("ThermalDiffusivity", "热扩散率", "L2 T-1"),
+    kind("VolumetricFlux", "体积通量", "L T-1"),
+    kind("CoolingCapacity", "制冷量", "L2 M T-3"),
+    kind("ThermalTransmittance", "传热系数U值", "M T-3 H-1"),
+    kind("LatentHeat", "潜热", "L2 T-2"),
+    kind("WaterHardness", "水硬度", "L-3 M"),
+    kind("Turbidity", "浊度", ""),
+    kind("SoundAbsorption", "吸声量", "L2"),
+    kind("SoundIntensity", "声强", "M T-3"),
+    kind("IntrinsicPermeability", "渗透率", "L2"),
+    // ---- optics & photometry -------------------------------------------
+    kind("OpticalPower", "光焦度", "L-1"),
+    kind("LuminousExposure", "曝光量", "L-2 T I"),
+    // ---- chemistry & biochemistry --------------------------------------
+    kind("ReactionRate", "反应速率", "L-3 T-1 A"),
+    kind("Osmolarity", "渗透浓度", "L-3 A"),
+    kind("Osmolality", "渗透质量摩尔浓度", "M-1 A"),
+    kind("EnzymeActivity", "酶活性", "T-1 A"),
+    kind("MolarEntropy", "摩尔熵", "L2 M T-2 H-1 A-1"),
+    kind("DiffusionCoefficient", "扩散系数", "L2 T-1"),
+    kind("SedimentationCoefficient", "沉降系数", "T"),
+    kind("Solubility", "溶解度", "L-3 M"),
+    // ---- radiation protection ------------------------------------------
+    kind("ExposureRate", "照射率", "M-1 E"),
+    kind("ActivityConcentration", "活度浓度", "L-3 T-1"),
+    kind("SurfaceActivity", "表面活度", "L-2 T-1"),
+    kind("EquivalentDoseRate", "当量剂量率", "L2 T-3"),
+    // ---- agriculture & environment -------------------------------------
+    kind("CropYield", "单位面积产量", "L-2 M"),
+    kind("StockingDensity", "载畜密度", "L-2"),
+    kind("ApplicationRate", "施用量", "L"),
+    kind("Rainfall", "降水量", "L"),
+    kind("RainfallRate", "降水强度", "L T-1"),
+    kind("EmissionIntensity", "排放强度", "L-1 M"),
+    kind("CarbonIntensity", "碳强度", "L-2 T2"),
+    kind("ParticulateConcentration", "颗粒物浓度", "L-3 M"),
+    kind("Salinity", "盐度", ""),
+    kind("SugarContent", "糖度", ""),
+    // ---- medicine & physiology -----------------------------------------
+    kind("DrugDose", "给药剂量", ""),
+    kind("InfusionRate", "输液速率", "L3 T-1"),
+    kind("RespiratoryRate", "呼吸频率", "T-1"),
+    kind("BoneDensity", "骨密度", "L-2 M"),
+    kind("BodyMassIndex", "体质指数", "L-2 M"),
+    kind("BloodAlcohol", "血液酒精浓度", "L-3 M"),
+    kind("HemoglobinLevel", "血红蛋白浓度", "L-3 M"),
+    kind("Prevalence", "患病率", ""),
+    // ---- computing & information ---------------------------------------
+    kind("InstructionRate", "指令速率", "T-1"),
+    kind("FrameRate", "帧率", "T-1"),
+    kind("SymbolRate", "符号速率", "T-1"),
+    kind("ArealDataDensity", "数据面密度", "L-2"),
+    kind("InformationEntropy", "信息熵", ""),
+    // ---- currency-like rate kinds --------------------------------------
+    kind("Currency", "货币", ""),
+    kind("UnitPrice", "单价", "M-1"),
+    kind("PricePerArea", "面积单价", "L-2"),
+    kind("PricePerVolume", "体积单价", "L-3"),
+    kind("EnergyPrice", "能源价格", "L-2 M-1 T2"),
+    kind("Wage", "工资率", "T-1"),
+    kind("FareRate", "运价率", "L-1"),
+    // ---- astronomy & geoscience ----------------------------------------
+    kind("ProperMotion", "自行", "T-1"),
+    kind("ColumnDensity", "柱密度", "L-2"),
+    kind("GeothermalGradient", "地温梯度", "L-1 H"),
+    kind("NeutronFlux", "中子注量率", "L-2 T-1"),
+    // ---- built environment & society ------------------------------------
+    kind("PumpHead", "扬程", "L"),
+    kind("Visibility", "能见度", "L"),
+    kind("CloudCover", "云量", ""),
+    kind("AirChangeRate", "换气率", "T-1"),
+    kind("CrowdDensity", "人群密度", "L-2"),
+    kind("TrafficFlow", "交通流量", "T-1"),
+    kind("TrafficDensity", "交通密度", "L-1"),
+    kind("PopulationDensity", "人口密度", "L-2"),
+    kind("BirthRate", "出生率", "T-1"),
+    kind("ChargeRate", "充放电倍率", "T-1"),
+    kind("Curvature", "曲率", "L-1"),
+    kind("StrainRate", "应变速率", "T-1"),
+    kind("ShearRate", "剪切速率", "T-1"),
+    kind("AbsorptionCoefficient", "吸收系数", "L-1"),
+    kind("Fineness", "成色", ""),
+    kind("TypographicSize", "字号", "L"),
+    // ---- everyday & applied kinds ---------------------------------------
+    kind("Pace", "配速", "L-1 T"),
+    kind("SpecificFuelConsumption", "燃油消耗率", "L-2 T2"),
+    kind("PhotonFluxDensity", "光量子通量密度", "L-2 T-1 A"),
+    kind("VapourTransmissionRate", "透湿率", "L-2 M T-1"),
+    kind("SpecificSurfaceArea", "比表面积", "L2 M-1"),
+    kind("CationExchange", "阳离子交换量", "M-1 A"),
+    kind("PowerToWeight", "功率重量比", "L2 T-3"),
+    kind("PerCapitaArea", "人均面积", "L2"),
+    kind("DailyDose", "日剂量", "M T-1"),
+    kind("CorrosionRate", "腐蚀速率", "L T-1"),
+    kind("SedimentTransport", "输沙率", "M T-1"),
+    kind("Evapotranspiration", "蒸散量", "L T-1"),
+    kind("OxygenUptake", "摄氧量", "L3 M-1 T-1"),
 ];
 
 #[cfg(test)]

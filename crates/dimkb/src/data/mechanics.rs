@@ -12,13 +12,13 @@ pub const UNITS: &[UnitSpec] = &[
     u("OZ", "ounce", "盎司", "oz", "Mass", 0.028_349_523_125, 60.0)
         .aliases(&["ounces", "安士"])
         .kw(&["imperial", "light", "food"]),
-    u("STONE", "stone", "英石", "st", "Mass", 6.350_293_18, 25.0)
+    u("STONE", "stone", "英石", "st", "BodyMass", 6.350_293_18, 25.0)
         .aliases(&["stones"])
         .kw(&["british", "body", "weigh"]),
-    u("TON-US", "short ton", "美吨", "tn", "Mass", 907.184_74, 30.0)
+    u("TON-US", "short ton", "美吨", "tn", "NetMass", 907.184_74, 30.0)
         .aliases(&["US ton", "short tons"])
         .kw(&["american", "freight", "heavy"]),
-    u("TON-UK", "long ton", "英吨", "LT", "Mass", 1_016.046_908_8, 8.0)
+    u("TON-UK", "long ton", "英吨", "LT", "GrossMass", 1_016.046_908_8, 8.0)
         .aliases(&["imperial ton", "long tons"])
         .kw(&["british", "ship", "heavy"]),
     u("SLUG", "slug", "斯勒格", "slug", "Mass", 14.593_902_94, 3.0)
@@ -40,7 +40,7 @@ pub const UNITS: &[UnitSpec] = &[
     u("MI-PER-HR", "mile per hour", "英里每小时", "mph", "Velocity", 0.447_04, 65.0)
         .aliases(&["miles per hour", "mi/h"])
         .kw(&["speed", "car", "american", "road"]),
-    u("KNOT", "knot", "节", "kn", "Velocity", 1852.0 / 3600.0, 28.0)
+    u("KNOT", "knot", "节", "kn", "WindSpeed", 1852.0 / 3600.0, 28.0)
         .aliases(&["knots", "kt"])
         .kw(&["ship", "sea", "wind", "aviation"]),
     u("FT-PER-SEC", "foot per second", "英尺每秒", "ft/s", "Velocity", 0.3048, 15.0)
@@ -76,17 +76,17 @@ pub const UNITS: &[UnitSpec] = &[
     u("DYN", "dyne", "达因", "dyn", "Force", 1e-5, 8.0)
         .aliases(&["dynes"])
         .kw(&["cgs", "small", "laboratory"]),
-    u("KGF", "kilogram-force", "千克力", "kgf", "Force", 9.806_65, 30.0)
+    u("KGF", "kilogram-force", "千克力", "kgf", "Thrust", 9.806_65, 30.0)
         .aliases(&["kilopond", "kp", "公斤力"])
         .kw(&["engineering", "weight", "gravitational"]),
-    u("LBF", "pound-force", "磅力", "lbf", "Force", 4.448_221_615_260_5, 25.0)
+    u("LBF", "pound-force", "磅力", "lbf", "Tension", 4.448_221_615_260_5, 25.0)
         .aliases(&["pounds-force"])
         .kw(&["imperial", "thrust", "engineering"]),
     u("PDL", "poundal", "磅达", "pdl", "Force", 0.138_254_954_376, 2.0)
         .aliases(&["poundals"])
         .kw(&["imperial", "absolute", "dynamics"])
         .desc("the force accelerating one pound at one foot per second squared"),
-    u("TONF", "ton-force", "吨力", "tnf", "Force", 9806.65, 5.0)
+    u("TONF", "ton-force", "吨力", "tnf", "Thrust", 9806.65, 5.0)
         .aliases(&["tonne-force"])
         .kw(&["heavy", "engineering", "crane"]),
     // ---- pressure ------------------------------------------------------------
@@ -98,19 +98,20 @@ pub const UNITS: &[UnitSpec] = &[
         .aliases(&["bars"])
         .kw(&["weather", "tank", "diving"])
         .prefixable(),
-    u("ATM", "standard atmosphere", "标准大气压", "atm", "Pressure", 101_325.0, 40.0)
+    u("ATM", "standard atmosphere", "标准大气压", "atm", "AtmosphericPressure", 101_325.0, 40.0)
         .aliases(&["atmosphere", "atmospheres"])
         .kw(&["air", "weather", "chemistry"]),
-    u("TORR", "torr", "托", "Torr", "Pressure", 101_325.0 / 760.0, 8.0)
+    u("TORR", "torr", "托", "Torr", "VaporPressure", 101_325.0 / 760.0, 8.0)
         .aliases(&["torrs"])
-        .kw(&["vacuum", "laboratory", "gauge"]),
-    u("MMHG", "millimetre of mercury", "毫米汞柱", "mmHg", "Pressure", 133.322_387_415, 35.0)
+        .kw(&["vacuum", "laboratory", "gauge"])
+        .prefixable(),
+    u("MMHG", "millimetre of mercury", "毫米汞柱", "mmHg", "BloodPressure", 133.322_387_415, 35.0)
         .aliases(&["millimeter of mercury", "mm Hg"])
         .kw(&["blood", "medical", "barometer"]),
     u("INHG", "inch of mercury", "英寸汞柱", "inHg", "Pressure", 3386.389, 6.0)
         .aliases(&["inches of mercury"])
         .kw(&["aviation", "barometer", "weather"]),
-    u("PSI", "pound per square inch", "磅每平方英寸", "psi", "Pressure", 6_894.757_293_168, 50.0)
+    u("PSI", "pound per square inch", "磅每平方英寸", "psi", "TirePressure", 6_894.757_293_168, 50.0)
         .aliases(&["pounds per square inch", "lbf/in2"])
         .kw(&["tire", "imperial", "gauge"]),
     u("MH2O", "metre of water", "米水柱", "mH₂O", "Pressure", 9806.65, 4.0)
@@ -127,24 +128,24 @@ pub const UNITS: &[UnitSpec] = &[
         .aliases(&["calories", "small calorie", "卡"])
         .kw(&["food", "diet", "heat"])
         .prefixable(),
-    u("KCAL", "kilocalorie", "千卡", "kcal", "Energy", 4184.0, 60.0)
+    u("KCAL", "kilocalorie", "千卡", "kcal", "FoodEnergy", 4184.0, 60.0)
         .aliases(&["Calorie", "large calorie", "food calorie", "大卡"])
         .kw(&["food", "diet", "nutrition"]),
-    u("WH", "watt hour", "瓦时", "Wh", "Energy", 3600.0, 55.0)
+    u("WH", "watt hour", "瓦时", "Wh", "ElectricityConsumption", 3600.0, 55.0)
         .aliases(&["watt-hour", "watt hours"])
         .kw(&["electricity", "battery", "meter"])
         .prefixable(),
-    u("EV", "electronvolt", "电子伏特", "eV", "Energy", 1.602_176_634e-19, 20.0)
+    u("EV", "electronvolt", "电子伏特", "eV", "KineticEnergy", 1.602_176_634e-19, 20.0)
         .aliases(&["electron volt", "electronvolts"])
         .kw(&["particle", "atomic", "accelerator"])
         .prefixable(),
-    u("BTU", "British thermal unit", "英热单位", "BTU", "Energy", 1_055.055_852_62, 25.0)
+    u("BTU", "British thermal unit", "英热单位", "BTU", "Heat", 1_055.055_852_62, 25.0)
         .aliases(&["Btu", "british thermal units"])
         .kw(&["heating", "air", "conditioner"]),
-    u("ERG", "erg", "尔格", "erg", "Energy", 1e-7, 5.0)
+    u("ERG", "erg", "尔格", "erg", "Work", 1e-7, 5.0)
         .aliases(&["ergs"])
         .kw(&["cgs", "small", "laboratory"]),
-    u("FT-LBF", "foot-pound", "英尺磅", "ft⋅lbf", "Energy", 1.355_817_948_331_400_4, 10.0)
+    u("FT-LBF", "foot-pound", "英尺磅", "ft⋅lbf", "PotentialEnergy", 1.355_817_948_331_400_4, 10.0)
         .aliases(&["foot-pounds", "ft-lb", "foot pound"])
         .kw(&["imperial", "torque", "work"]),
     u("THERM", "therm", "撒姆", "thm", "Energy", 1.055_055_852_62e8, 4.0)
@@ -158,13 +159,13 @@ pub const UNITS: &[UnitSpec] = &[
         .aliases(&["watts", "瓦"])
         .kw(&["power", "electric", "bulb", "si"])
         .prefixable(),
-    u("HP", "horsepower", "马力", "hp", "Power", 745.699_871_582_270_2, 48.0)
+    u("HP", "horsepower", "马力", "hp", "EnginePower", 745.699_871_582_270_2, 48.0)
         .aliases(&["mechanical horsepower", "bhp", "匹"])
         .kw(&["engine", "car", "motor"]),
-    u("PS", "metric horsepower", "公制马力", "PS", "Power", 735.498_75, 12.0)
+    u("PS", "metric horsepower", "公制马力", "PS", "RatedPower", 735.498_75, 12.0)
         .aliases(&["cheval-vapeur", "cv"])
         .kw(&["engine", "european", "car"]),
-    u("BTU-PER-HR", "BTU per hour", "英热单位每小时", "BTU/h", "Power", 0.293_071_070_172_222, 8.0)
+    u("BTU-PER-HR", "BTU per hour", "英热单位每小时", "BTU/h", "CoolingCapacity", 0.293_071_070_172_222, 8.0)
         .aliases(&["BTU/hr", "BTUH"])
         .kw(&["heating", "cooling", "hvac"]),
     u("ERG-PER-SEC", "erg per second", "尔格每秒", "erg/s", "Power", 1e-7, 1.0)
@@ -173,10 +174,10 @@ pub const UNITS: &[UnitSpec] = &[
     u("N-M", "newton metre", "牛米", "N·m", "Torque", 1.0, 40.0)
         .aliases(&["newton meter", "newton-metre", "Nm", "N*m", "N m"])
         .kw(&["torque", "wrench", "engine"]),
-    u("N-PER-M", "newton per metre", "牛每米", "N/m", "ForcePerLength", 1.0, 18.0)
+    u("N-PER-M", "newton per metre", "牛每米", "N/m", "SpringConstant", 1.0, 18.0)
         .aliases(&["newton per meter", "N/m"])
         .kw(&["surface", "tension", "stiffness"]),
-    u("DYN-PER-CentiM", "dyne per centimetre", "达因每厘米", "dyn/cm", "ForcePerLength", 1e-3, 3.0)
+    u("DYN-PER-CentiM", "dyne per centimetre", "达因每厘米", "dyn/cm", "SurfaceTension", 1e-3, 3.0)
         .aliases(&["dyne per centimeter", "dyne/cm"])
         .kw(&["surface", "tension", "cgs", "liquid"]),
     // ---- density -------------------------------------------------------------------
@@ -198,7 +199,8 @@ pub const UNITS: &[UnitSpec] = &[
     // ---- viscosity --------------------------------------------------------------------
     u("PA-SEC", "pascal second", "帕秒", "Pa·s", "DynamicViscosity", 1.0, 12.0)
         .aliases(&["pascal-second", "Pa s", "Pa.s"])
-        .kw(&["viscosity", "fluid", "si"]),
+        .kw(&["viscosity", "fluid", "si"])
+        .prefixable(),
     u("POISE", "poise", "泊", "P", "DynamicViscosity", 0.1, 6.0)
         .aliases(&["poises"])
         .kw(&["viscosity", "cgs", "fluid"])

@@ -8,13 +8,17 @@
 
 pub mod base_si;
 pub mod chinese;
+pub mod currency;
 pub mod derived;
 pub mod electromagnetic;
 pub mod extended;
 pub mod geometry;
+pub mod imperial;
 pub mod information;
 pub mod kinds;
 pub mod mechanics;
+pub mod narrow;
+pub mod specialist;
 pub mod thermal_chem;
 
 use crate::spec::{KindSpec, UnitSpec};
@@ -26,7 +30,7 @@ pub fn all_kinds() -> &'static [KindSpec] {
 
 /// All curated unit specifications across every domain table.
 pub fn all_units() -> Vec<&'static UnitSpec> {
-    let tables: [&[UnitSpec]; 9] = [
+    let tables: [&[UnitSpec]; 13] = [
         base_si::UNITS,
         geometry::UNITS,
         mechanics::UNITS,
@@ -36,6 +40,10 @@ pub fn all_units() -> Vec<&'static UnitSpec> {
         information::UNITS,
         derived::UNITS,
         extended::UNITS,
+        narrow::UNITS,
+        specialist::UNITS,
+        imperial::UNITS,
+        currency::UNITS,
     ];
     tables.into_iter().flatten().collect()
 }

@@ -1,0 +1,199 @@
+//! Units whose primary sense is a *narrow* quantity kind.
+//!
+//! QUDT distinguishes e.g. `Altitude` from `Length`; natural text does the
+//! same ("cruising at flight level 350", "a 42-inch screen"). These curated
+//! records give every narrow kind in the taxonomy at least one unit whose
+//! everyday usage names that kind specifically, so dimension prediction can
+//! rank the narrow sense above the broad one.
+
+use crate::spec::{u, UnitSpec};
+
+/// Narrow-kind curated units.
+pub const UNITS: &[UnitSpec] = &[
+    // ---- length narrows ------------------------------------------------
+    u("FL", "flight level", "飞行高度层", "FL", "Altitude", 30.48, 6.0)
+        .aliases(&["flight levels"])
+        .kw(&["aviation", "altitude", "airspace"]),
+    u("MASL", "metre above sea level", "海拔米", "m a.s.l.", "Elevation", 1.0, 10.0)
+        .aliases(&["meter above sea level", "masl"])
+        .kw(&["elevation", "terrain", "map"]),
+    u("LIGNE", "ligne", "巴黎分", "ligne", "Diameter", 2.255_8e-3, 1.0)
+        .aliases(&["lignes", "paris line"])
+        .kw(&["watch", "movement", "horology"]),
+    u("FRENCH-GAUGE", "french gauge", "法制规格", "Fr", "Diameter", 1.0 / 3000.0, 2.0)
+        .aliases(&["french scale", "charriere"])
+        .kw(&["catheter", "medical", "tube"]),
+    u("DIGIT", "digit", "指宽", "digit", "Width", 0.019, 0.5)
+        .aliases(&["fingerbreadth"])
+        .kw(&["ancient", "anthropic", "hand"]),
+    u("PALM", "palm", "掌宽", "plm", "Breadth", 0.0762, 0.5)
+        .aliases(&["palms", "handbreadth"])
+        .kw(&["ancient", "anthropic", "hand"]),
+    u("IN-SCREEN", "screen inch", "屏幕英寸", "吋", "ScreenSize", 0.0254, 15.0)
+        .aliases(&["inch diagonal", "英吋"])
+        .kw(&["display", "television", "diagonal"]),
+    u("WAN-KM", "ten thousand kilometres", "万公里", "万km", "Mileage", 1e7, 6.0)
+        .aliases(&["ten thousand kilometers"])
+        .kw(&["odometer", "vehicle", "service"]),
+    u("POINT-TYPE", "typographic point", "磅值", "pt", "TypographicSize", 0.352_777_8e-3, 8.0)
+        .aliases(&["points", "desktop publishing point"])
+        .kw(&["font", "print", "typesetting"]),
+    // ---- time narrows ---------------------------------------------------
+    u("SUI-ZH", "sui", "岁", "岁", "Age", 3.155_76e7, 30.0)
+        .aliases(&["years of age"])
+        .kw(&["age", "person", "birthday"]),
+    u("MYR", "megayear", "百万年", "Myr", "Lifetime", 3.155_76e13, 3.0)
+        .aliases(&["million years", "megaannum"])
+        .kw(&["geology", "stratum", "era"]),
+    u("GYR", "gigayear", "十亿年", "Gyr", "HalfLife", 3.155_76e16, 2.0)
+        .aliases(&["billion years", "gigaannum"])
+        .kw(&["isotope", "decay", "cosmology"]),
+    // ---- mass narrows ---------------------------------------------------
+    u("DWTON", "deadweight tonne", "载重吨", "DWT", "Payload", 1000.0, 5.0)
+        .aliases(&["deadweight ton", "deadweight tonnage"])
+        .kw(&["ship", "cargo", "shipping"]),
+    // ---- temperature narrows -------------------------------------------
+    u("DEG-N", "degree Newton", "牛顿度", "°N", "BoilingPoint", 100.0 / 33.0, 0.3)
+        .offset(273.15)
+        .aliases(&["degrees Newton", "Newton scale"])
+        .kw(&["historic", "scale", "boiling"]),
+    // ---- current & voltage narrows -------------------------------------
+    u("ABAMP", "abampere", "绝对安培", "abA", "RatedCurrent", 10.0, 0.5)
+        .aliases(&["abamperes", "biot"])
+        .kw(&["cgs", "electromagnetic", "rating"]),
+    u("STATAMP", "statampere", "静电安培", "statA", "LeakageCurrent", 3.335_641e-10, 0.3)
+        .aliases(&["statamperes"])
+        .kw(&["cgs", "electrostatic", "leakage"]),
+    u("ABVOLT", "abvolt", "绝对伏特", "abV", "RatedVoltage", 1e-8, 0.3)
+        .aliases(&["abvolts"])
+        .kw(&["cgs", "electromagnetic", "rating"]),
+    // ---- dimensionless narrows -----------------------------------------
+    u("RIU", "refractive index unit", "折射率单位", "RIU", "RefractiveIndex", 1.0, 1.0)
+        .aliases(&["refractive index units"])
+        .kw(&["optics", "sensor", "refraction"]),
+    u("MICROSTRAIN", "microstrain", "微应变", "µε", "StrainValue", 1e-6, 4.0)
+        .aliases(&["microstrains", "ue"])
+        .kw(&["gauge", "deformation", "structural"]),
+    // ---- area & volume narrows -----------------------------------------
+    u("SQUARE-ROOF", "roofing square", "屋面平方", "sq.", "SurfaceArea", 9.290_304, 1.0)
+        .aliases(&["squares"])
+        .kw(&["roof", "construction", "shingle"]),
+    u("CC", "cubic capacity", "排量毫升", "cc", "EngineDisplacement", 1e-6, 30.0)
+        .aliases(&["ccs"])
+        .kw(&["engine", "motorcycle", "displacement"]),
+    u("REG-TON", "register ton", "登记吨", "RT", "StorageVolume", 2.831_684_659_2, 2.0)
+        .aliases(&["register tons", "registered tonnage"])
+        .kw(&["ship", "hold", "tonnage"]),
+    // ---- angle narrows --------------------------------------------------
+    u("DEG-LAT", "degree of latitude", "纬度度", "°lat", "Latitude", 0.017_453_292_519_943_295, 12.0)
+        .aliases(&["degrees of latitude", "degrees north"])
+        .kw(&["geography", "map", "coordinate"]),
+    u("DEG-LON", "degree of longitude", "经度度", "°lon", "Longitude", 0.017_453_292_519_943_295, 12.0)
+        .aliases(&["degrees of longitude", "degrees east"])
+        .kw(&["geography", "map", "coordinate"]),
+    u("GON", "gradian", "百分度", "gon", "Inclination", 0.015_707_963_267_948_967, 1.0)
+        .aliases(&["gradians", "grade", "grads"])
+        .kw(&["surveying", "slope", "theodolite"]),
+    // ---- speed narrows --------------------------------------------------
+    u("MPH", "mile per hour", "英里每小时", "mph", "Speed", 0.447_04, 40.0)
+        .aliases(&["miles per hour", "mi/h"])
+        .kw(&["car", "road", "speedometer"]),
+    u("KMH", "kilometre per hour", "公里每小时", "kph", "TopSpeed", 1000.0 / 3600.0, 42.0)
+        .aliases(&["kilometers per hour colloquial"])
+        .kw(&["car", "top", "speed"]),
+    u("FT-PER-MIN", "foot per minute", "英尺每分钟", "ft/min", "FlowVelocity", 0.3048 / 60.0, 3.0)
+        .aliases(&["feet per minute", "fpm"])
+        .kw(&["duct", "flow", "hvac"]),
+    u("GEE", "standard gravity", "标准重力加速度", "g₀", "GravitationalAcceleration", 9.806_65, 8.0)
+        .aliases(&["gee", "g-force", "gn"])
+        .kw(&["gravity", "acceleration", "rocket"]),
+    // ---- frequency narrows ----------------------------------------------
+    u("CPS-CLOCK", "cycle per second", "周每秒", "cps", "ClockRate", 1.0, 3.0)
+        .aliases(&["cycles per second"])
+        .kw(&["clock", "processor", "oscillator"]),
+    u("SPS", "sample per second", "采样每秒", "S/s", "SamplingRate", 1.0, 3.0)
+        .aliases(&["samples per second"])
+        .kw(&["adc", "audio", "sampling"]),
+    // ---- flow narrows ---------------------------------------------------
+    u("CUSEC", "cusec", "秒立方英尺", "cusec", "WaterDischarge", 0.028_316_846_592, 2.0)
+        .aliases(&["cusecs", "cubic foot per second"])
+        .kw(&["river", "discharge", "irrigation"]),
+    u("ML-PER-DAY-FLOW", "megalitre per day", "兆升每天", "ML/d", "WaterDischarge", 1000.0 / 86_400.0, 1.5)
+        .aliases(&["megaliters per day", "MLD"])
+        .kw(&["reservoir", "treatment", "hydrology"]),
+    // ---- force narrows --------------------------------------------------
+    u("KIP", "kip", "千磅力", "kip", "Load", 4_448.221_615_260_5, 3.0)
+        .aliases(&["kips", "kilopound"])
+        .kw(&["structural", "engineering", "beam"]),
+    // ---- density & material narrows ------------------------------------
+    u("T-PER-M3", "tonne per cubic metre", "吨每立方米", "t/m³", "BulkDensity", 1000.0, 5.0)
+        .aliases(&["tonne per cubic meter", "t/m3"])
+        .kw(&["soil", "bulk", "aggregate"]),
+    u("CLAUSIUS", "clausius", "克劳修斯", "Cl", "Entropy", 4.184, 0.3)
+        .aliases(&["clausius unit"])
+        .kw(&["thermodynamics", "historic", "entropy"]),
+    // ---- irradiance narrows --------------------------------------------
+    u("SOLAR-CONST", "solar constant", "太阳常数", "S₀", "SolarIrradiance", 1361.0, 2.0)
+        .aliases(&["solar constants"])
+        .kw(&["sun", "irradiance", "satellite"]),
+    // ---- power narrows --------------------------------------------------
+    u("MWE", "megawatt electrical", "兆瓦电功率", "MWe", "ElectricPower", 1e6, 4.0)
+        .aliases(&["megawatts electric", "MW(e)"])
+        .kw(&["plant", "grid", "generation"]),
+    u("MWT", "megawatt thermal", "兆瓦热功率", "MWt", "RatedPower", 1e6, 3.0)
+        .aliases(&["megawatts thermal", "MW(th)"])
+        .kw(&["reactor", "thermal", "rating"]),
+    u("L-SOL", "solar luminosity", "太阳光度", "L☉", "RadiantPower", 3.828e26, 2.0)
+        .aliases(&["solar luminosities"])
+        .kw(&["star", "astronomy", "luminosity"]),
+    // ---- information narrows -------------------------------------------
+    u("TIB", "tebibyte", "二进制太字节", "TiB", "StorageCapacity", 8.0 * 1_099_511_627_776.0, 8.0)
+        .aliases(&["tebibytes"])
+        .kw(&["storage", "disk", "binary"]),
+    u("SECTOR", "disk sector", "扇区", "sect", "StorageCapacity", 4096.0, 2.0)
+        .aliases(&["sectors"])
+        .kw(&["disk", "block", "filesystem"]),
+    u("MBPS", "megabit per second", "兆比特每秒", "Mbps", "Bandwidth", 1e6, 25.0)
+        .aliases(&["megabits per second", "Mbit/s"])
+        .kw(&["broadband", "network", "bandwidth"]),
+    u("MB-PER-SEC", "megabyte per second", "兆字节每秒", "MB/s", "DownloadSpeed", 8e6, 20.0)
+        .aliases(&["megabytes per second"])
+        .kw(&["download", "transfer", "disk"]),
+    // ---- ratio narrows --------------------------------------------------
+    u("PCT-POINT", "percentage point", "百分点", "pp", "Efficiency", 0.01, 12.0)
+        .aliases(&["percentage points"])
+        .kw(&["efficiency", "statistics", "change"]),
+    u("PCT-RH", "percent relative humidity", "相对湿度百分比", "%RH", "Humidity", 0.01, 15.0)
+        .aliases(&["percent RH"])
+        .kw(&["humidity", "weather", "hygrometer"]),
+    u("ABV", "percent alcohol by volume", "酒精体积分数", "% abv", "AlcoholContent", 0.01, 10.0)
+        .aliases(&["ABV", "alcohol by volume"])
+        .kw(&["beer", "wine", "spirits"]),
+    u("PROOF-US", "US proof", "酒度", "proof", "AlcoholContent", 0.005, 3.0)
+        .aliases(&["proof"])
+        .kw(&["spirits", "liquor", "distilled"]),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flight_level_is_hundreds_of_feet() {
+        let fl = UNITS.iter().find(|s| s.code == "FL").unwrap();
+        assert!((fl.factor / 0.3048 - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn us_proof_is_half_abv() {
+        let proof = UNITS.iter().find(|s| s.code == "PROOF-US").unwrap();
+        let abv = UNITS.iter().find(|s| s.code == "ABV").unwrap();
+        assert!((abv.factor / proof.factor - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kmh_matches_si_speed() {
+        let kmh = UNITS.iter().find(|s| s.code == "KMH").unwrap();
+        assert!((kmh.factor * 3.6 - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,350 @@
+//! Canonical units for the specialist (QUDT long-tail) quantity kinds.
+//!
+//! Each new kind introduced by the paper-scale growth carries at least one
+//! real compound-SI or domain unit here, so `stats::statistics` counts the
+//! kind as used and the linker has a concrete surface form to anchor on.
+
+use crate::spec::{u, UnitSpec};
+
+/// Specialist-kind curated units.
+pub const UNITS: &[UnitSpec] = &[
+    // ---- time-derivative kinds -----------------------------------------
+    u("PA-PER-SEC", "pascal per second", "帕每秒", "Pa/s", "PressureRate", 1.0, 1.0)
+        .kw(&["pressurization", "ramp", "control"]),
+    u("K-PER-SEC", "kelvin per second", "开每秒", "K/s", "TemperatureRate", 1.0, 1.5)
+        .kw(&["heating", "ramp", "thermal"]),
+    u("K-PER-MIN", "kelvin per minute", "开每分", "K/min", "TemperatureRate", 1.0 / 60.0, 2.0)
+        .aliases(&["degrees per minute"])
+        .kw(&["furnace", "ramp", "laboratory"]),
+    u("A-PER-SEC", "ampere per second", "安每秒", "A/s", "CurrentRate", 1.0, 0.8)
+        .kw(&["inrush", "ramp", "inverter"]),
+    u("V-PER-USEC", "volt per microsecond", "伏每微秒", "V/µs", "VoltageSlewRate", 1e6, 1.0)
+        .aliases(&["volts per microsecond"])
+        .kw(&["slew", "amplifier", "opamp"]),
+    u("HZ-PER-SEC", "hertz per second", "赫兹每秒", "Hz/s", "FrequencyDrift", 1.0, 0.8)
+        .kw(&["drift", "oscillator", "grid"]),
+    u("RAD-PER-SEC3", "radian per second cubed", "弧度每三次方秒", "rad/s³", "AngularJerk", 1.0, 0.3)
+        .kw(&["robotics", "trajectory", "motion"]),
+    // ---- per-mass (specific) kinds -------------------------------------
+    u("KJ-PER-KG", "kilojoule per kilogram", "千焦每千克", "kJ/kg", "SpecificEnthalpy", 1000.0, 3.0)
+        .kw(&["enthalpy", "steam", "refrigerant"]),
+    u("KJ-PER-KG-K", "kilojoule per kilogram kelvin", "千焦每千克开", "kJ/(kg·K)", "SpecificEntropy", 1000.0, 1.5)
+        .kw(&["entropy", "steam", "table"]),
+    u("W-PER-KG", "watt per kilogram", "瓦每千克", "W/kg", "SpecificPower", 1.0, 2.0)
+        .kw(&["battery", "specific", "power"]),
+    u("ISP-SEC", "second of specific impulse", "比冲秒", "s(sp)", "SpecificImpulse", 1.0, 1.0)
+        .aliases(&["seconds of specific impulse"])
+        .kw(&["rocket", "propellant", "thruster"]),
+    u("MJ-PER-KG", "megajoule per kilogram", "兆焦每千克", "MJ/kg", "CalorificValue", 1e6, 2.5)
+        .aliases(&["megajoules per kilogram"])
+        .kw(&["fuel", "heating", "value"]),
+    u("BQ-PER-KG", "becquerel per kilogram", "贝克每千克", "Bq/kg", "SpecificActivity", 1.0, 1.5)
+        .kw(&["contamination", "food", "radioactivity"]),
+    // ---- per-area flux kinds -------------------------------------------
+    u("J-PER-CM2", "joule per square centimetre", "焦每平方厘米", "J/cm²", "RadiantExposure", 1e4, 1.5)
+        .aliases(&["joule per square centimeter"])
+        .kw(&["fluence", "laser", "exposure"]),
+    u("KG-PER-M2-SEC", "kilogram per square metre second", "千克每平方米秒", "kg/(m²·s)", "MassFlux", 1.0, 0.8)
+        .kw(&["flux", "evaporation", "transport"]),
+    u("PER-M2-SEC", "per square metre second", "每平方米秒", "m⁻²·s⁻¹", "PhotonFlux", 1.0, 0.5)
+        .kw(&["photon", "detector", "astronomy"]),
+    u("LM-PER-M2", "lumen per square metre", "流明每平方米", "lm/m²", "LuminousExitance", 1.0, 1.0)
+        .aliases(&["lumen per square meter"])
+        .kw(&["exitance", "surface", "lighting"]),
+    // ---- electromagnetic long tail -------------------------------------
+    u("AMPERE-TURN", "ampere-turn", "安匝", "At", "MagnetomotiveForce", 1.0, 1.0)
+        .aliases(&["ampere turns"])
+        .kw(&["coil", "winding", "magnetic"]),
+    u("AT-PER-WB", "ampere-turn per weber", "安匝每韦伯", "At/Wb", "MagneticReluctance", 1.0, 0.4)
+        .kw(&["reluctance", "magnetic", "circuit"]),
+    u("V-M", "volt metre", "伏特米", "V·m", "ElectricFlux", 1.0, 0.4)
+        .aliases(&["volt meter"])
+        .kw(&["flux", "field", "gauss law"]),
+    u("DARAF", "daraf", "达拉夫", "F⁻¹", "ElectricElastance", 1.0, 0.3)
+        .aliases(&["darafs"])
+        .kw(&["elastance", "reciprocal", "farad"]),
+    u("KA-PER-M", "kiloampere per metre", "千安每米", "kA/m", "Magnetization", 1000.0, 0.8)
+        .aliases(&["kiloampere per meter"])
+        .kw(&["magnetization", "coercivity", "magnet"]),
+    u("M3-PER-C", "cubic metre per coulomb", "立方米每库", "m³/C", "HallCoefficient", 1.0, 0.3)
+        .kw(&["hall", "semiconductor", "carrier"]),
+    u("C-PER-G", "coulomb per gram", "库每克", "C/g", "ChargeToMassRatio", 1000.0, 0.4)
+        .kw(&["electron", "ratio", "spectrometer"]),
+    u("C-PER-M", "coulomb per metre", "库每米", "C/m", "LinearChargeDensity", 1.0, 0.4)
+        .aliases(&["coulomb per meter"])
+        .kw(&["charge", "line", "electrostatics"]),
+    u("OHM-PER-SQ", "ohm per square", "欧姆每方", "Ω/sq", "SheetResistance", 1.0, 1.0)
+        .aliases(&["ohms per square"])
+        .kw(&["sheet", "thin", "film"]),
+    u("VA", "volt-ampere", "伏安", "VA", "ApparentPower", 1.0, 12.0)
+        .aliases(&["volt-amperes", "volt ampere"])
+        .kw(&["apparent", "transformer", "ups"])
+        .prefixable(),
+    u("VAR", "volt-ampere reactive", "乏", "var", "ReactivePower", 1.0, 5.0)
+        .aliases(&["vars", "reactive volt-ampere"])
+        .kw(&["reactive", "grid", "compensation"])
+        .prefixable(),
+    // ---- mechanics long tail -------------------------------------------
+    u("PER-PA", "reciprocal pascal", "每帕斯卡", "Pa⁻¹", "Compressibility", 1.0, 0.3)
+        .kw(&["compressibility", "fluid", "bulk"]),
+    u("NM-PER-RAD", "newton metre per radian", "牛米每弧度", "N·m/rad", "TorsionalStiffness", 1.0, 0.5)
+        .kw(&["torsion", "spring", "shaft"]),
+    u("N-SEC-PER-M", "newton second per metre", "牛秒每米", "N·s/m", "DampingCoefficient", 1.0, 0.5)
+        .kw(&["damper", "suspension", "vibration"]),
+    u("CM4", "centimetre to the fourth", "四次方厘米", "cm⁴", "AreaMomentOfInertia", 1e-8, 0.8)
+        .aliases(&["centimeter to the fourth"])
+        .kw(&["beam", "section", "bending"]),
+    u("HV-HARDNESS", "Vickers hardness number", "维氏硬度", "HV", "Hardness", 9.806_65e6, 2.0)
+        .aliases(&["Vickers pyramid number"])
+        .kw(&["vickers", "indentation", "metal"]),
+    u("KJ-PER-M2", "kilojoule per square metre", "千焦每平方米", "kJ/m²", "ImpactStrength", 1000.0, 0.8)
+        .kw(&["charpy", "impact", "toughness"]),
+    // ---- fluid & thermal long tail -------------------------------------
+    u("MM2-PER-SEC", "square millimetre per second", "平方毫米每秒", "mm²/s", "ThermalDiffusivity", 1e-6, 1.0)
+        .aliases(&["square millimeter per second"])
+        .kw(&["diffusivity", "thermal", "conduction"]),
+    u("LMH", "litre per square metre hour", "升每平方米时", "LMH", "VolumetricFlux", 0.001 / 3600.0, 0.5)
+        .aliases(&["liters per square meter per hour"])
+        .kw(&["membrane", "filtration", "permeate"]),
+    u("BTU-HR-FT2-F", "BTU per hour square foot Fahrenheit", "英热单位每时平方英尺华氏度", "BTU/(h·ft²·°F)", "ThermalTransmittance", 5.678_263, 0.8)
+        .aliases(&["U-factor"])
+        .kw(&["u-value", "window", "insulation"]),
+    u("CAL-PER-G", "calorie per gram", "卡每克", "cal/g", "LatentHeat", 4184.0, 1.5)
+        .kw(&["latent", "fusion", "vaporization"]),
+    u("DEG-DH", "German degree of hardness", "德国硬度", "°dH", "WaterHardness", 0.017_83, 1.0)
+        .aliases(&["degrees German hardness", "deutsche Härte"])
+        .kw(&["water", "hardness", "aquarium"]),
+    u("NTU", "nephelometric turbidity unit", "散射浊度单位", "NTU", "Turbidity", 1.0, 2.0)
+        .aliases(&["nephelometric turbidity units"])
+        .kw(&["turbidity", "water", "quality"]),
+    u("SABIN", "sabin", "赛宾", "sab", "SoundAbsorption", 0.092_903_04, 0.3)
+        .aliases(&["sabins"])
+        .kw(&["absorption", "acoustics", "room"]),
+    u("PW-PER-M2", "picowatt per square metre", "皮瓦每平方米", "pW/m²", "SoundIntensity", 1e-12, 0.3)
+        .kw(&["reference", "intensity", "hearing"]),
+    // ---- optics & photometry -------------------------------------------
+    u("DIOPTRE", "dioptre", "屈光度", "dpt", "OpticalPower", 1.0, 8.0)
+        .aliases(&["diopter", "diopters", "dioptres"])
+        .kw(&["lens", "eyeglasses", "vision"]),
+    u("LUX-SEC", "lux second", "勒克斯秒", "lx·s", "LuminousExposure", 1.0, 0.4)
+        .kw(&["exposure", "photometry", "film"]),
+    // ---- chemistry & biochemistry --------------------------------------
+    u("MOLAR-PER-SEC", "molar per second", "摩尔浓度每秒", "M/s", "ReactionRate", 1000.0, 0.8)
+        .kw(&["kinetics", "rate", "reaction"]),
+    u("OSM-PER-L", "osmole per litre", "渗透摩尔每升", "Osm/L", "Osmolarity", 1000.0, 1.0)
+        .aliases(&["osmole per liter", "osmolar"])
+        .kw(&["osmolarity", "saline", "clinical"]),
+    u("OSM-PER-KG", "osmole per kilogram", "渗透摩尔每千克", "Osm/kg", "Osmolality", 1.0, 1.0)
+        .aliases(&["osmolal"])
+        .kw(&["osmolality", "serum", "clinical"]),
+    u("EU-ENTROPY", "entropy unit", "熵单位", "eu", "MolarEntropy", 4.184, 0.3)
+        .aliases(&["entropy units"])
+        .kw(&["entropy", "molar", "thermochemistry"]),
+    u("CM2-PER-SEC", "square centimetre per second", "平方厘米每秒", "cm²/s", "DiffusionCoefficient", 1e-4, 0.8)
+        .aliases(&["square centimeter per second"])
+        .kw(&["diffusion", "solution", "transport"]),
+    u("SVEDBERG", "svedberg", "斯维德伯格", "Sv(sed)", "SedimentationCoefficient", 1e-13, 0.5)
+        .aliases(&["svedbergs"])
+        .kw(&["centrifuge", "ribosome", "sedimentation"]),
+    u("G-PER-100ML", "gram per 100 millilitres", "克每百毫升", "g/100mL", "Solubility", 10.0, 1.0)
+        .aliases(&["grams per 100 milliliters"])
+        .kw(&["solubility", "saturated", "solution"]),
+    // ---- radiation protection ------------------------------------------
+    u("R-PER-HR", "roentgen per hour", "伦琴每小时", "R/h", "ExposureRate", 2.58e-4 / 3600.0, 0.5)
+        .aliases(&["roentgens per hour"])
+        .kw(&["survey", "meter", "radiation"]),
+    u("BQ-PER-M3", "becquerel per cubic metre", "贝克每立方米", "Bq/m³", "ActivityConcentration", 1.0, 1.0)
+        .aliases(&["becquerel per cubic meter"])
+        .kw(&["radon", "indoor", "air"]),
+    u("BQ-PER-CM2", "becquerel per square centimetre", "贝克每平方厘米", "Bq/cm²", "SurfaceActivity", 1e4, 0.5)
+        .aliases(&["becquerel per square centimeter"])
+        .kw(&["contamination", "surface", "swipe"]),
+    u("USV-PER-HR", "microsievert per hour", "微希每小时", "µSv/h", "EquivalentDoseRate", 1e-6 / 3600.0, 2.0)
+        .aliases(&["microsieverts per hour"])
+        .kw(&["dosimeter", "background", "radiation"]),
+    // ---- agriculture & environment -------------------------------------
+    u("T-PER-HA", "tonne per hectare", "吨每公顷", "t/ha", "CropYield", 0.1, 2.0)
+        .aliases(&["tonnes per hectare"])
+        .kw(&["yield", "harvest", "field"]),
+    u("HEAD-PER-HA", "head per hectare", "头每公顷", "头/ha", "StockingDensity", 1e-4, 0.5)
+        .kw(&["livestock", "grazing", "pasture"]),
+    u("L-PER-HA", "litre per hectare", "升每公顷", "L/ha", "ApplicationRate", 1e-7, 0.8)
+        .aliases(&["liters per hectare"])
+        .kw(&["pesticide", "spray", "field"]),
+    u("MM-RAIN", "millimetre of rainfall", "降水毫米", "mm(rain)", "Rainfall", 0.001, 8.0)
+        .aliases(&["millimeters of rain"])
+        .kw(&["rainfall", "precipitation", "weather"]),
+    u("G-PER-KM", "gram per kilometre", "克每千米", "g/km", "EmissionIntensity", 1e-6, 3.0)
+        .aliases(&["grams per kilometer"])
+        .kw(&["co2", "emission", "vehicle"]),
+    u("KG-PER-KWH", "kilogram per kilowatt hour", "千克每千瓦时", "kg/kWh", "CarbonIntensity", 1.0 / 3.6e6, 1.0)
+        .kw(&["carbon", "grid", "intensity"]),
+    u("UG-PER-M3", "microgram per cubic metre", "微克每立方米", "µg/m³", "ParticulateConcentration", 1e-9, 5.0)
+        .aliases(&["micrograms per cubic meter"])
+        .kw(&["pm2.5", "air", "pollution"]),
+    u("PSU", "practical salinity unit", "实用盐度单位", "PSU", "Salinity", 0.001, 1.0)
+        .aliases(&["practical salinity units"])
+        .kw(&["seawater", "ocean", "salinity"]),
+    u("BRIX", "degree Brix", "白利糖度", "°Bx", "SugarContent", 0.01, 1.5)
+        .aliases(&["degrees Brix"])
+        .kw(&["sugar", "juice", "wine"]),
+    // ---- medicine & physiology -----------------------------------------
+    u("MG-PER-KG-BW", "milligram per kilogram of body weight", "毫克每千克体重", "mg/kg(bw)", "DrugDose", 1e-6, 2.0)
+        .kw(&["dose", "pharmacology", "toxicity"]),
+    u("ML-PER-HR", "millilitre per hour", "毫升每小时", "mL/h", "InfusionRate", 1e-6 / 3600.0, 2.0)
+        .aliases(&["milliliters per hour"])
+        .kw(&["infusion", "iv", "pump"]),
+    u("BR-PER-MIN", "breath per minute", "次呼吸每分", "br/min", "RespiratoryRate", 1.0 / 60.0, 2.0)
+        .aliases(&["breaths per minute"])
+        .kw(&["respiration", "vital", "sign"]),
+    u("G-PER-CM2", "gram per square centimetre", "克每平方厘米", "g/cm²", "BoneDensity", 10.0, 1.0)
+        .aliases(&["gram per square centimeter"])
+        .kw(&["bone", "dxa", "density"]),
+    u("KG-PER-M2-BMI", "kilogram per square metre", "千克每平方米", "kg/m²", "BodyMassIndex", 1.0, 6.0)
+        .aliases(&["kilogram per square meter"])
+        .kw(&["bmi", "body", "mass"]),
+    u("BAC-PCT", "percent blood alcohol", "血醇百分比", "% BAC", "BloodAlcohol", 10.0, 1.5)
+        .aliases(&["percent BAC"])
+        .kw(&["alcohol", "blood", "driving"]),
+    u("G-PER-DL", "gram per decilitre", "克每分升", "g/dL", "HemoglobinLevel", 10.0, 2.0)
+        .aliases(&["gram per deciliter"])
+        .kw(&["hemoglobin", "blood", "anemia"]),
+    u("PER-100K", "case per hundred thousand", "每十万人病例", "/100k", "Prevalence", 1e-5, 2.0)
+        .aliases(&["cases per 100000"])
+        .kw(&["incidence", "epidemiology", "population"]),
+    // ---- computing & information ---------------------------------------
+    u("MIPS", "million instructions per second", "百万指令每秒", "MIPS", "InstructionRate", 1e6, 2.0)
+        .kw(&["cpu", "benchmark", "instructions"]),
+    u("BAUD", "baud", "波特", "Bd", "SymbolRate", 1.0, 3.0)
+        .aliases(&["bauds"])
+        .kw(&["modem", "serial", "symbol"])
+        .prefixable(),
+    u("GB-PER-IN2", "gigabyte per square inch", "吉字节每平方英寸", "GB/in²", "ArealDataDensity", 8e9 / 6.4516e-4, 0.5)
+        .kw(&["areal", "density", "platter"]),
+    u("SHANNON", "shannon", "香农", "Sh", "InformationEntropy", 1.0, 0.5)
+        .aliases(&["shannons"])
+        .kw(&["entropy", "information", "theory"]),
+    // ---- astronomy & geoscience ----------------------------------------
+    u("MAS-PER-YR", "milliarcsecond per year", "毫角秒每年", "mas/yr", "ProperMotion", 4.848_136_811e-9 / 3.155_76e7, 0.3)
+        .aliases(&["milliarcseconds per year"])
+        .kw(&["proper", "motion", "star"]),
+    u("PER-CM2", "per square centimetre", "每平方厘米", "cm⁻²", "ColumnDensity", 1e4, 0.4)
+        .kw(&["column", "density", "absorption"]),
+    u("K-PER-KM", "kelvin per kilometre", "开每千米", "K/km", "GeothermalGradient", 0.001, 0.5)
+        .aliases(&["kelvin per kilometer"])
+        .kw(&["geothermal", "borehole", "gradient"]),
+    u("PER-CM2-SEC", "per square centimetre second", "每平方厘米秒", "cm⁻²·s⁻¹", "NeutronFlux", 1e4, 0.3)
+        .kw(&["neutron", "reactor", "flux"]),
+    // ---- built environment & society ------------------------------------
+    u("M-HEAD", "metre of head", "扬程米", "m(head)", "PumpHead", 1.0, 1.5)
+        .aliases(&["meters of head"])
+        .kw(&["pump", "head", "lift"]),
+    u("KM-VIS", "kilometre of visibility", "能见度千米", "km(vis)", "Visibility", 1000.0, 2.0)
+        .aliases(&["kilometers of visibility"])
+        .kw(&["visibility", "fog", "aviation"]),
+    u("OKTA", "okta", "八分云量", "okta", "CloudCover", 0.125, 0.8)
+        .aliases(&["oktas"])
+        .kw(&["cloud", "cover", "meteorology"]),
+    u("ACH", "air change per hour", "每小时换气次数", "ACH", "AirChangeRate", 1.0 / 3600.0, 1.0)
+        .aliases(&["air changes per hour"])
+        .kw(&["ventilation", "hvac", "room"]),
+    u("PERSON-PER-M2", "person per square metre", "人每平方米", "人/m²", "CrowdDensity", 1.0, 1.5)
+        .aliases(&["people per square meter"])
+        .kw(&["crowd", "density", "safety"]),
+    u("VEH-PER-HR", "vehicle per hour", "辆每小时", "veh/h", "TrafficFlow", 1.0 / 3600.0, 1.5)
+        .aliases(&["vehicles per hour"])
+        .kw(&["traffic", "flow", "road"]),
+    u("VEH-PER-KM", "vehicle per kilometre", "辆每千米", "veh/km", "TrafficDensity", 0.001, 0.8)
+        .aliases(&["vehicles per kilometer"])
+        .kw(&["traffic", "density", "congestion"]),
+    u("PERSON-PER-KM2", "person per square kilometre", "人每平方千米", "人/km²", "PopulationDensity", 1e-6, 4.0)
+        .aliases(&["people per square kilometer"])
+        .kw(&["population", "density", "census"]),
+    u("PERMILLE-PER-YR", "per mille per year", "千分之每年", "‰/yr", "BirthRate", 0.001 / 3.155_76e7, 0.8)
+        .kw(&["birth", "rate", "demography"]),
+    u("C-RATE", "C-rate", "充放电倍率", "C", "ChargeRate", 1.0 / 3600.0, 2.0)
+        .aliases(&["C rates"])
+        .kw(&["battery", "charge", "discharge"]),
+    u("PER-M-CURV", "reciprocal metre of curvature", "每米曲率", "m⁻¹(curv)", "Curvature", 1.0, 0.3)
+        .kw(&["curvature", "bend", "geometry"]),
+    u("PER-SEC-STRAIN", "strain per second", "每秒应变", "s⁻¹(ε̇)", "StrainRate", 1.0, 0.4)
+        .kw(&["strain", "rate", "deformation"]),
+    u("PER-SEC-SHEAR", "shear per second", "每秒剪切", "s⁻¹(γ̇)", "ShearRate", 1.0, 0.4)
+        .kw(&["shear", "rheology", "viscometer"]),
+    u("PER-CM-ABS", "per centimetre of absorption", "每厘米吸收", "cm⁻¹(abs)", "AbsorptionCoefficient", 100.0, 0.4)
+        .kw(&["absorption", "spectroscopy", "attenuation"]),
+    u("KARAT", "karat", "开金", "kt", "Fineness", 1.0 / 24.0, 3.0)
+        .aliases(&["karats", "carat gold"])
+        .kw(&["gold", "purity", "jewelry"]),
+    // ---- everyday & applied kinds ---------------------------------------
+    u("MIN-PER-KM", "minute per kilometre", "分钟每千米", "min/km", "Pace", 0.06, 5.0)
+        .aliases(&["minutes per kilometer"])
+        .kw(&["running", "pace", "marathon"]),
+    u("G-PER-KWH", "gram per kilowatt hour", "克每千瓦时", "g/kWh", "SpecificFuelConsumption", 1e-3 / 3.6e6, 0.8)
+        .kw(&["bsfc", "engine", "consumption"]),
+    u("UMOL-PER-M2-SEC", "micromole per square metre second", "微摩尔每平方米秒", "µmol/(m²·s)", "PhotonFluxDensity", 1e-6, 0.5)
+        .aliases(&["PPFD"])
+        .kw(&["ppfd", "grow", "light"]),
+    u("G-PER-M2-DAY", "gram per square metre day", "克每平方米天", "g/(m²·d)", "VapourTransmissionRate", 1e-3 / 86_400.0, 0.4)
+        .kw(&["vapor", "membrane", "breathability"]),
+    u("M2-PER-G", "square metre per gram", "平方米每克", "m²/g", "SpecificSurfaceArea", 1000.0, 0.5)
+        .aliases(&["square meters per gram"])
+        .kw(&["bet", "surface", "catalyst"]),
+    u("CMOL-PER-KG", "centimole per kilogram", "厘摩尔每千克", "cmol/kg", "CationExchange", 0.01, 0.4)
+        .aliases(&["cmol(+)/kg"])
+        .kw(&["soil", "cation", "exchange"]),
+    u("HP-PER-TONNE", "horsepower per tonne", "马力每吨", "hp/t", "PowerToWeight", 0.745_699_871_582_270_2, 1.5)
+        .aliases(&["horsepower per ton"])
+        .kw(&["power", "weight", "performance"]),
+    u("M2-PER-PERSON", "square metre per person", "人均平方米", "m²/人", "PerCapitaArea", 1.0, 2.0)
+        .aliases(&["square meters per person"])
+        .kw(&["housing", "floor", "capita"]),
+    u("MG-PER-DAY", "milligram per day", "毫克每天", "mg/d", "DailyDose", 1e-6 / 86_400.0, 2.0)
+        .aliases(&["milligrams per day"])
+        .kw(&["dose", "daily", "supplement"]),
+    u("MM-PER-YR", "millimetre per year", "毫米每年", "mm/yr", "CorrosionRate", 0.001 / 3.155_76e7, 0.8)
+        .aliases(&["millimeters per year"])
+        .kw(&["corrosion", "erosion", "rate"]),
+    u("T-PER-DAY", "tonne per day", "吨每天", "t/d", "SedimentTransport", 1000.0 / 86_400.0, 0.8)
+        .aliases(&["tonnes per day"])
+        .kw(&["sediment", "river", "load"]),
+    u("MM-PER-DAY", "millimetre per day", "毫米每天", "mm/d", "Evapotranspiration", 0.001 / 86_400.0, 0.8)
+        .aliases(&["millimeters per day"])
+        .kw(&["evapotranspiration", "irrigation", "crop"]),
+    u("ML-PER-KG-MIN", "millilitre per kilogram minute", "毫升每千克分钟", "mL/(kg·min)", "OxygenUptake", 1e-6 / 60.0, 1.0)
+        .aliases(&["VO2"])
+        .kw(&["vo2max", "fitness", "aerobic"]),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apparent_and_reactive_power_are_coherent_watts() {
+        for code in ["VA", "VAR"] {
+            let unit = UNITS.iter().find(|s| s.code == code).unwrap();
+            assert_eq!(unit.factor, 1.0, "{code} should be SI-coherent");
+            assert!(unit.prefixable, "{code} carries the kVA/kvar grid");
+        }
+    }
+
+    #[test]
+    fn c_rate_is_per_hour() {
+        let c = UNITS.iter().find(|s| s.code == "C-RATE").unwrap();
+        assert!((c.factor * 3600.0 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pace_inverts_speed() {
+        // 6 min/km pace = 10 km/h: 6 * 0.06 s/m = 0.36 s/m = 1 / (2.7778 m/s).
+        let pace = UNITS.iter().find(|s| s.code == "MIN-PER-KM").unwrap();
+        assert!((6.0 * pace.factor - 1.0 / (10_000.0 / 3600.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vickers_hardness_is_kgf_per_mm2() {
+        let hv = UNITS.iter().find(|s| s.code == "HV-HARDNESS").unwrap();
+        assert!((hv.factor - 9.806_65 / 1e-6).abs() < 1e-3);
+    }
+}

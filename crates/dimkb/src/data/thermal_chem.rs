@@ -9,10 +9,10 @@ pub const UNITS: &[UnitSpec] = &[
         .aliases(&["赫"])
         .kw(&["frequency", "wave", "signal", "si"])
         .prefixable(),
-    u("RPM", "revolution per minute", "转每分钟", "rpm", "Frequency", 1.0 / 60.0, 40.0)
+    u("RPM", "revolution per minute", "转每分钟", "rpm", "RotationalSpeed", 1.0 / 60.0, 40.0)
         .aliases(&["revolutions per minute", "rev/min", "r/min"])
         .kw(&["engine", "motor", "rotation"]),
-    u("BPM", "beat per minute", "次每分钟", "bpm", "Frequency", 1.0 / 60.0, 35.0)
+    u("BPM", "beat per minute", "次每分钟", "bpm", "HeartRate", 1.0 / 60.0, 35.0)
         .aliases(&["beats per minute"])
         .kw(&["heart", "music", "tempo"]),
     u("RAD-PER-SEC", "radian per second", "弧度每秒", "rad/s", "AngularVelocity", 1.0, 8.0)
@@ -59,7 +59,7 @@ pub const UNITS: &[UnitSpec] = &[
     u("MOL-PER-M3", "mole per cubic metre", "摩尔每立方米", "mol/m³", "Concentration", 1.0, 3.0)
         .aliases(&["mole per cubic meter", "mol/m3"])
         .kw(&["concentration", "si", "gas"]),
-    u("MMOL-PER-L", "millimole per litre", "毫摩尔每升", "mmol/L", "Concentration", 1.0, 18.0)
+    u("MMOL-PER-L", "millimole per litre", "毫摩尔每升", "mmol/L", "BloodGlucose", 1.0, 18.0)
         .aliases(&["millimole per liter", "mmol/l"])
         .kw(&["blood", "glucose", "medical"]),
     u("G-PER-L", "gram per litre", "克每升", "g/L", "MassConcentration", 1.0, 12.0)
@@ -85,7 +85,7 @@ pub const UNITS: &[UnitSpec] = &[
         .aliases(&["katals"])
         .kw(&["enzyme", "catalysis", "si"])
         .prefixable(),
-    u("ENZ-U", "enzyme unit", "酶活力单位", "U", "CatalyticActivity", 1.0 / 60.0 * 1e-6, 3.0)
+    u("ENZ-U", "enzyme unit", "酶活力单位", "U", "EnzymeActivity", 1.0 / 60.0 * 1e-6, 3.0)
         .aliases(&["enzyme units", "IU"])
         .kw(&["enzyme", "assay", "biochemistry"]),
     u("MOL-PER-KG", "mole per kilogram", "摩尔每千克", "mol/kg", "Molality", 1.0, 2.0)

@@ -185,6 +185,16 @@ impl DimUnitKb {
         self.by_dim.get(&dim).map(Vec::as_slice).unwrap_or(&[])
     }
 
+    /// The full kind index, for snapshot emission.
+    pub(crate) fn by_kind_map(&self) -> &HashMap<KindId, Vec<UnitId>> {
+        &self.by_kind
+    }
+
+    /// The full dimension index, for snapshot emission.
+    pub(crate) fn by_dim_map(&self) -> &HashMap<DimVec, Vec<UnitId>> {
+        &self.by_dim
+    }
+
     /// All distinct dimension vectors present in the KB.
     pub fn dimensions(&self) -> impl Iterator<Item = DimVec> + '_ {
         self.by_dim.keys().copied()
@@ -265,6 +275,73 @@ impl DimUnitKb {
             kb.units.push(unit);
         }
         Ok(kb)
+    }
+
+    /// Serializes this KB — records *and* every derived index, including
+    /// the interned [`crate::intern::LinkIndex`] — into the versioned
+    /// binary snapshot format of [`crate::snap`]. Emission is
+    /// deterministic: the same KB always produces byte-identical output.
+    pub fn to_snapshot(&self) -> Vec<u8> {
+        crate::snap::emit(self)
+    }
+
+    /// Opens a binary snapshot produced by [`Self::to_snapshot`]. The
+    /// returned handle validates the buffer (magic, version, bounds,
+    /// checksum) in microseconds; the full KB materializes lazily on first
+    /// access *by decoding* the stored indexes — nothing is re-derived.
+    pub fn from_snapshot(bytes: Vec<u8>) -> Result<crate::snap::SnapKb, crate::snap::SnapError> {
+        crate::snap::SnapKb::load(bytes)
+    }
+
+    /// A process-wide KB decoded from an in-memory snapshot of
+    /// [`DimUnitKb::standard`]. Tests and benches that exercise the
+    /// snapshot path share this copy the way [`DimUnitKb::shared`] shares
+    /// the built one — and because both sides are differentially tested
+    /// equal, they are interchangeable.
+    pub fn shared_snap() -> Arc<Self> {
+        static SNAP: OnceLock<Arc<DimUnitKb>> = OnceLock::new();
+        SNAP.get_or_init(|| {
+            let bytes = DimUnitKb::shared().to_snapshot();
+            let snap = crate::snap::SnapKb::load(bytes)
+                .expect("snapshot of the standard KB always validates");
+            Arc::new(snap.into_kb().expect("snapshot of the standard KB always decodes"))
+        })
+        .clone()
+    }
+
+    /// Assembles a KB from snapshot-decoded parts (the `dimkb::snap` load
+    /// path). `naming`/`naming_cased`/`by_kind`/`by_dim` arrive as decoded
+    /// pair lists; the trivial code/kind-name maps are rebuilt from the
+    /// records themselves (pure deserialization — no normalization,
+    /// sorting, or scoring runs here). `link_index` is pre-seeded so the
+    /// first link call decodes nothing.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        units: Vec<Unit>,
+        kinds: Vec<QuantityKind>,
+        naming: HashMap<String, Vec<UnitId>>,
+        naming_cased: HashMap<String, Vec<UnitId>>,
+        by_kind: HashMap<KindId, Vec<UnitId>>,
+        by_dim: HashMap<DimVec, Vec<UnitId>>,
+        link_index: crate::intern::LinkIndex,
+    ) -> Self {
+        let by_code = units.iter().map(|u| (u.code.clone(), u.id)).collect();
+        let kind_by_name =
+            kinds.iter().map(|k| (k.name_en.clone(), k.id)).collect();
+        let kb = DimUnitKb {
+            units,
+            kinds,
+            by_code,
+            kind_by_name,
+            naming,
+            naming_cased,
+            by_kind,
+            by_dim,
+            search_index: OnceLock::new(),
+            link_index: OnceLock::new(),
+        };
+        let _ = kb.link_index.set(link_index);
+        kb
     }
 }
 
@@ -472,15 +549,24 @@ impl Builder {
     /// covers are skipped too.
     fn expand_rates(&mut self) {
         const RATE_BASES: &[&str] = &[
-            "L", "MilliL", "M3", "CM3", "GM", "KiloGM", "TONNE", "MilliGM", "M", "KiloM",
-            "CentiM", "MilliM", "MI", "FT", "MOL", "MilliMOL", "J", "KiloJ", "KiloWH",
-            "BIT", "BYTE", "KiloBYTE", "MegaBYTE", "GigaBYTE", "GAL-US", "FT3", "REV",
-            "RAD-ANGLE", "DEG-ANGLE", "C", "KiloGM-PER-M3",
+            "L", "MilliL", "MicroL", "MegaL", "M3", "CM3", "GM", "KiloGM", "TONNE",
+            "MilliGM", "MicroGM", "M", "KiloM", "CentiM", "MilliM", "MI", "FT", "MOL",
+            "MilliMOL", "MicroMOL", "J", "KiloJ", "KiloCAL", "KiloWH", "BIT", "KiloBIT",
+            "MegaBIT", "GigaBIT", "BYTE", "KiloBYTE", "MegaBYTE", "GigaBYTE", "TeraBYTE",
+            "GAL-US", "FT3", "REV", "RAD-ANGLE", "DEG-ANGLE", "C", "KiloGM-PER-M3",
         ];
-        const RATE_TIMES: &[(&str, f64)] = &[("SEC", 1.0), ("MIN", 60.0), ("HR", 3600.0), ("DAY", 86_400.0)];
+        const RATE_TIMES: &[(&str, f64)] = &[
+            ("SEC", 1.0),
+            ("MIN", 60.0),
+            ("HR", 3600.0),
+            ("DAY", 86_400.0),
+            ("WK", 604_800.0),
+            ("YR", 31_557_600.0),
+        ];
         // Non-time denominators of the same QUDT growth family:
-        // per-area (yield, flux), per-mass (specific X), per-mole (molar X).
-        const OTHER_DENOMS: &[&str] = &["M2", "KiloGM", "MOL", "HA", "L"];
+        // per-area (yield, flux), per-mass (specific X), per-mole (molar X),
+        // per-distance (consumption, fares).
+        const OTHER_DENOMS: &[&str] = &["M2", "KiloGM", "MOL", "HA", "L", "KiloM"];
         const OTHER_NUMERATORS: &[&str] = &[
             "W", "J", "KiloJ", "N", "LM", "GM", "KiloGM", "TONNE", "L", "MilliL", "MOL",
             "MilliGM", "KiloWH", "KiloCAL", "M3",

@@ -1,0 +1,1071 @@
+//! `dimkb::snap` — the zero-copy binary KB snapshot.
+//!
+//! [`DimUnitKb::standard`] pays ~10ms of eager construction: curated-table
+//! expansion, SI-prefix and rate grids, frequency scoring, naming-dictionary
+//! normalization, and (lazily) the interned [`LinkIndex`]. Every serving
+//! process, test binary, and corpus run repays that cost. A snapshot freezes
+//! the *finished* KB — records **and** every derived index — into one
+//! versioned little-endian buffer that loads with validate-and-go cost:
+//! [`SnapKb::load`] checks magic/version/bounds and a 4-lane checksum in
+//! microseconds, and the full KB materializes lazily on first access by
+//! *decoding* the stored tables, never re-deriving them.
+//!
+//! # Layout (version 1)
+//!
+//! ```text
+//! [0..8)    magic  b"DIMKSNAP"
+//! [8..12)   version u32          (= 1)
+//! [12..16)  section count u32
+//! [16..24)  total length u64     (must equal the buffer length)
+//! [24..32)  checksum u64         (over buffer[32..], see `checksum`)
+//! [32..)    section table: per section, tag [u8;4] + pad u32
+//!           + absolute offset u64 + length u64   (24 bytes each)
+//! ...       section payloads, in table order, contiguous
+//! ```
+//!
+//! All integers are little-endian. Strings are `u32` byte length + UTF-8
+//! bytes. Section tags and per-section layouts are documented on
+//! [`Section`]. The format is append-only: readers reject unknown versions
+//! but tolerate unknown *sections*, so future versions can add tables
+//! without breaking old emitters' tests.
+//!
+//! Every read path is bounds-checked (`get`-based, no indexing) and every
+//! decoded cross-reference (kind ids, unit ids, symbol ids, slot tables) is
+//! range-validated, so a corrupted buffer yields a typed [`SnapError`],
+//! never a panic or an over-read.
+
+use crate::dim::{Base, DimVec};
+use crate::intern::{fnv1a, LenBucket, LinkIndex, SymbolTable};
+use crate::kb::DimUnitKb;
+use crate::kind::{KindId, QuantityKind};
+use crate::unit::{Conversion, Unit, UnitId};
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::Range;
+use std::sync::OnceLock;
+
+/// The 8-byte magic at offset 0.
+pub const MAGIC: [u8; 8] = *b"DIMKSNAP";
+
+/// The current (and only) format version.
+pub const VERSION: u32 = 1;
+
+/// Header length in bytes (magic + version + section count + total length
+/// + checksum).
+pub const HEADER_LEN: usize = 32;
+
+/// Bytes per section-table entry (tag + pad + offset + length).
+pub const SECTION_ENTRY_LEN: usize = 24;
+
+/// Section tags of format version 1, with their payload layouts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Section {
+    /// `META` — six `u32` counts: units, kinds, norm keys, cased keys,
+    /// fuzzy-prefilter buckets, distinct dimension vectors.
+    Meta,
+    /// `KIND` — kind records: `name_en` str, `name_zh` str, 7×`i8` dim.
+    Kinds,
+    /// `UOFF` — `u32` byte offset of each unit record inside `UNIT`.
+    UnitOffsets,
+    /// `UNIT` — unit records: code, label_en, label_zh, symbol, description
+    /// strs; alias count + strs; keyword count + strs; frequency `f64`
+    /// bits; kind `u32`; 7×`i8` dim; factor and offset `f64` bits;
+    /// prefixed `u8`.
+    Units,
+    /// `CODE` — FNV-1a open-addressing table over unit codes: cap `u32`,
+    /// then cap slots of `u32` unit index (`u32::MAX` = empty).
+    Codes,
+    /// `NSTR` — the case-insensitive interner's keys, in symbol-id
+    /// (= sorted) order.
+    NormStrings,
+    /// `NSLT` — the case-insensitive interner's probe table, verbatim:
+    /// cap `u32` + cap slots.
+    NormSlots,
+    /// `NUNT` — candidate-unit list per norm symbol: count `u32` + ids.
+    NormUnits,
+    /// `CSTR` — the case-exact interner's keys.
+    CasedStrings,
+    /// `CSLT` — the case-exact interner's probe table.
+    CasedSlots,
+    /// `CUNT` — candidate-unit list per cased symbol.
+    CasedUnits,
+    /// `FUZZ` — precomputed fuzzy-resolution list per norm symbol.
+    FuzzyUnits,
+    /// `BKTS` — per char-length prefilter bucket: count `u32`, syms, sigs.
+    Buckets,
+    /// `BKND` — kind index: entry count, then kind `u32` + count + ids.
+    ByKind,
+    /// `BDIM` — dimension index: entry count, then 7×`i8` + count + ids.
+    ByDim,
+}
+
+impl Section {
+    /// The 4-byte tag of this section.
+    pub fn tag(self) -> [u8; 4] {
+        match self {
+            Section::Meta => *b"META",
+            Section::Kinds => *b"KIND",
+            Section::UnitOffsets => *b"UOFF",
+            Section::Units => *b"UNIT",
+            Section::Codes => *b"CODE",
+            Section::NormStrings => *b"NSTR",
+            Section::NormSlots => *b"NSLT",
+            Section::NormUnits => *b"NUNT",
+            Section::CasedStrings => *b"CSTR",
+            Section::CasedSlots => *b"CSLT",
+            Section::CasedUnits => *b"CUNT",
+            Section::FuzzyUnits => *b"FUZZ",
+            Section::Buckets => *b"BKTS",
+            Section::ByKind => *b"BKND",
+            Section::ByDim => *b"BDIM",
+        }
+    }
+
+    /// Every section of format version 1, in emission order.
+    pub const ALL: [Section; 15] = [
+        Section::Meta,
+        Section::Kinds,
+        Section::UnitOffsets,
+        Section::Units,
+        Section::Codes,
+        Section::NormStrings,
+        Section::NormSlots,
+        Section::NormUnits,
+        Section::CasedStrings,
+        Section::CasedSlots,
+        Section::CasedUnits,
+        Section::FuzzyUnits,
+        Section::Buckets,
+        Section::ByKind,
+        Section::ByDim,
+    ];
+}
+
+/// A typed snapshot failure. Every loader and decoder path returns one of
+/// these; none panics, whatever the input bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapError {
+    /// The buffer is shorter than the fixed header (or the section table).
+    TooShort {
+        /// Bytes required for the structure being read.
+        need: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// The first eight bytes are not [`MAGIC`].
+    BadMagic,
+    /// The version field names a format this reader does not know.
+    UnsupportedVersion {
+        /// The version found in the header.
+        found: u32,
+    },
+    /// The header's total-length field disagrees with the buffer length.
+    LengthMismatch {
+        /// Length claimed by the header.
+        header: u64,
+        /// Actual buffer length.
+        actual: u64,
+    },
+    /// The stored checksum does not match the buffer contents.
+    ChecksumMismatch {
+        /// Checksum stored in the header.
+        stored: u64,
+        /// Checksum computed over the buffer.
+        computed: u64,
+    },
+    /// A section-table entry points outside the buffer.
+    SectionBounds {
+        /// Tag of the offending section.
+        tag: [u8; 4],
+    },
+    /// The same tag appears twice in the section table.
+    DuplicateSection {
+        /// The repeated tag.
+        tag: [u8; 4],
+    },
+    /// A section this version requires is absent.
+    MissingSection {
+        /// The absent tag.
+        tag: [u8; 4],
+    },
+    /// A section's payload failed structural validation.
+    Malformed {
+        /// Tag of the malformed section.
+        section: [u8; 4],
+        /// What was wrong, for diagnostics.
+        detail: &'static str,
+    },
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn tag_str(tag: &[u8; 4]) -> std::borrow::Cow<'_, str> {
+            String::from_utf8_lossy(tag)
+        }
+        match self {
+            SnapError::TooShort { need, got } => {
+                write!(f, "snapshot too short: need {need} bytes, got {got}")
+            }
+            SnapError::BadMagic => write!(f, "not a DimKB snapshot (bad magic)"),
+            SnapError::UnsupportedVersion { found } => {
+                write!(f, "unsupported snapshot version {found} (reader knows {VERSION})")
+            }
+            SnapError::LengthMismatch { header, actual } => {
+                write!(f, "length mismatch: header claims {header} bytes, buffer has {actual}")
+            }
+            SnapError::ChecksumMismatch { stored, computed } => {
+                write!(f, "checksum mismatch: stored {stored:#018x}, computed {computed:#018x}")
+            }
+            SnapError::SectionBounds { tag } => {
+                write!(f, "section {} points outside the buffer", tag_str(tag))
+            }
+            SnapError::DuplicateSection { tag } => {
+                write!(f, "duplicate section {}", tag_str(tag))
+            }
+            SnapError::MissingSection { tag } => {
+                write!(f, "missing required section {}", tag_str(tag))
+            }
+            SnapError::Malformed { section, detail } => {
+                write!(f, "malformed section {}: {detail}", tag_str(section))
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+/// The snapshot checksum: four independent XOR-rotate lanes over 32-byte
+/// chunks, tail bytes folded into the last lane, lanes mixed with an
+/// FNV-style combine. One pass, ~word speed, and sensitive to both value
+/// and position of every byte.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut a = 0x9E37_79B9_7F4A_7C15u64;
+    let mut b = 0xC2B2_AE3D_27D4_EB4Fu64;
+    let mut c = 0x1656_67B1_9E37_79F9u64;
+    let mut d = 0x27D4_EB2F_1656_67C5u64;
+    let word = |s: Option<&[u8]>| -> u64 {
+        match s.and_then(|s| <[u8; 8]>::try_from(s).ok()) {
+            Some(w) => u64::from_le_bytes(w),
+            None => 0,
+        }
+    };
+    let mut chunks = bytes.chunks_exact(32);
+    for chunk in &mut chunks {
+        a = (a ^ word(chunk.get(0..8))).rotate_left(29);
+        b = (b ^ word(chunk.get(8..16))).rotate_left(29);
+        c = (c ^ word(chunk.get(16..24))).rotate_left(29);
+        d = (d ^ word(chunk.get(24..32))).rotate_left(29);
+    }
+    for (i, byte) in chunks.remainder().iter().enumerate() {
+        d ^= u64::from(*byte) << ((i % 8) * 8);
+        d = d.rotate_left(7);
+    }
+    let p = 0x1000_0000_01B3u64;
+    ((((a.wrapping_mul(p) ^ b).wrapping_mul(p) ^ c).wrapping_mul(p)) ^ d).wrapping_mul(p)
+}
+
+/// Counts stored in the `META` section — O(1) snapshot statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Meta {
+    /// Number of unit records.
+    pub units: u32,
+    /// Number of quantity-kind records.
+    pub kinds: u32,
+    /// Keys in the case-insensitive naming interner.
+    pub norm_keys: u32,
+    /// Keys in the case-exact naming interner.
+    pub cased_keys: u32,
+    /// Fuzzy-prefilter length buckets (including empty ones).
+    pub buckets: u32,
+    /// Distinct dimension vectors.
+    pub dims: u32,
+}
+
+/// A borrowed view of one unit record, parsed straight off the buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitView<'a> {
+    /// QUDT-style identifier code.
+    pub code: &'a str,
+    /// English label.
+    pub label_en: &'a str,
+    /// Chinese label.
+    pub label_zh: &'a str,
+    /// Symbolic expression.
+    pub symbol: &'a str,
+    /// Descriptive text.
+    pub description: &'a str,
+    /// Alternative surface forms.
+    pub aliases: Vec<&'a str>,
+    /// Context keywords.
+    pub keywords: Vec<&'a str>,
+    /// Eq. 2 frequency.
+    pub frequency: f64,
+    /// Kind index.
+    pub kind: u32,
+    /// Dimension exponents in `A E L I M H T` order.
+    pub dim: [i8; 7],
+    /// SI conversion factor.
+    pub factor: f64,
+    /// SI conversion offset.
+    pub offset: f64,
+    /// Whether the record came from SI-prefix expansion.
+    pub prefixed: bool,
+}
+
+// ---- byte cursor -------------------------------------------------------
+
+/// A bounds-checked little-endian reader over a byte slice. Every failure
+/// is a `None`; callers map it to a [`SnapError::Malformed`] with context.
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(buf: &'a [u8]) -> Cur<'a> {
+        Cur { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let s = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).and_then(|s| s.first().copied())
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4).and_then(|s| <[u8; 4]>::try_from(s).ok()).map(u32::from_le_bytes)
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8).and_then(|s| <[u8; 8]>::try_from(s).ok()).map(u64::from_le_bytes)
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
+    }
+
+    fn str(&mut self) -> Option<&'a str> {
+        let len = self.u32()? as usize;
+        self.take(len).and_then(|s| std::str::from_utf8(s).ok())
+    }
+
+    fn dim(&mut self) -> Option<[i8; 7]> {
+        let s = self.take(7)?;
+        let mut out = [0i8; 7];
+        for (o, b) in out.iter_mut().zip(s) {
+            *o = *b as i8;
+        }
+        Some(out)
+    }
+
+    fn finished(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn dim_from_exps(exps: [i8; 7]) -> DimVec {
+    let pairs: Vec<(Base, i8)> = Base::ALL.iter().copied().zip(exps).collect();
+    DimVec::from_exponents(&pairs)
+}
+
+// ---- emitter -----------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_dim(out: &mut Vec<u8>, dim: DimVec) {
+    for e in dim.exponents() {
+        out.push(e as u8);
+    }
+}
+
+fn put_unit_lists(out: &mut Vec<u8>, lists: &[Vec<UnitId>]) {
+    for list in lists {
+        put_u32(out, list.len() as u32);
+        for id in list {
+            put_u32(out, id.0);
+        }
+    }
+}
+
+fn put_symbol_table(strings_out: &mut Vec<u8>, slots_out: &mut Vec<u8>, table: &SymbolTable) {
+    for s in table.strings() {
+        put_str(strings_out, s);
+    }
+    put_u32(slots_out, table.slots().len() as u32);
+    for slot in table.slots() {
+        put_u32(slots_out, *slot);
+    }
+}
+
+/// Builds the `CODE` FNV slot table over unit codes (open addressing,
+/// linear probing, ≤ 50% load — the same shape as [`SymbolTable`]).
+fn build_code_slots(units: &[Unit]) -> Vec<u32> {
+    let cap = (units.len().max(1) * 2).next_power_of_two();
+    let mask = cap - 1;
+    let mut slots = vec![u32::MAX; cap];
+    for (i, unit) in units.iter().enumerate() {
+        let mut slot = (fnv1a(unit.code.as_bytes()) as usize) & mask;
+        loop {
+            match slots.get_mut(slot) {
+                Some(s) if *s == u32::MAX => {
+                    *s = i as u32;
+                    break;
+                }
+                Some(_) => slot = (slot + 1) & mask,
+                None => break,
+            }
+        }
+    }
+    slots
+}
+
+fn encode_unit(out: &mut Vec<u8>, unit: &Unit) {
+    put_str(out, &unit.code);
+    put_str(out, &unit.label_en);
+    put_str(out, &unit.label_zh);
+    put_str(out, &unit.symbol);
+    put_str(out, &unit.description);
+    put_u32(out, unit.aliases.len() as u32);
+    for a in &unit.aliases {
+        put_str(out, a);
+    }
+    put_u32(out, unit.keywords.len() as u32);
+    for k in &unit.keywords {
+        put_str(out, k);
+    }
+    put_u64(out, unit.frequency.to_bits());
+    put_u32(out, unit.kind.0);
+    put_dim(out, unit.dim);
+    put_u64(out, unit.conversion.factor.to_bits());
+    put_u64(out, unit.conversion.offset.to_bits());
+    out.push(u8::from(unit.prefixed));
+}
+
+/// Serializes a KB into the version-1 snapshot format. Deterministic: the
+/// emitted bytes depend only on KB contents (hash maps are walked in
+/// sorted order), so the same KB always produces identical output.
+pub(crate) fn emit(kb: &DimUnitKb) -> Vec<u8> {
+    let link = kb.link_index();
+    let units = kb.units();
+    let kinds = kb.kinds();
+
+    // META.
+    let mut meta = Vec::with_capacity(24);
+    put_u32(&mut meta, units.len() as u32);
+    put_u32(&mut meta, kinds.len() as u32);
+    put_u32(&mut meta, link.norm_table().len() as u32);
+    put_u32(&mut meta, link.cased_table().len() as u32);
+    put_u32(&mut meta, link.all_buckets().len() as u32);
+    put_u32(&mut meta, kb.by_dim_map().len() as u32);
+
+    // KIND.
+    let mut kind_bytes = Vec::new();
+    for kind in kinds {
+        put_str(&mut kind_bytes, &kind.name_en);
+        put_str(&mut kind_bytes, &kind.name_zh);
+        put_dim(&mut kind_bytes, kind.dim);
+    }
+
+    // UNIT + UOFF.
+    let mut unit_bytes = Vec::new();
+    let mut unit_offsets = Vec::with_capacity(units.len() * 4);
+    for unit in units {
+        put_u32(&mut unit_offsets, unit_bytes.len() as u32);
+        encode_unit(&mut unit_bytes, unit);
+    }
+
+    // CODE.
+    let mut code_bytes = Vec::new();
+    let code_slots = build_code_slots(units);
+    put_u32(&mut code_bytes, code_slots.len() as u32);
+    for slot in &code_slots {
+        put_u32(&mut code_bytes, *slot);
+    }
+
+    // Interners and their per-symbol tables.
+    let (mut nstr, mut nslt) = (Vec::new(), Vec::new());
+    put_symbol_table(&mut nstr, &mut nslt, link.norm_table());
+    let (mut cstr, mut cslt) = (Vec::new(), Vec::new());
+    put_symbol_table(&mut cstr, &mut cslt, link.cased_table());
+    let mut nunt = Vec::new();
+    put_unit_lists(&mut nunt, link.norm_unit_lists());
+    let mut cunt = Vec::new();
+    put_unit_lists(&mut cunt, link.cased_unit_lists());
+    let mut fuzz = Vec::new();
+    put_unit_lists(&mut fuzz, link.fuzzy_unit_lists());
+
+    // BKTS.
+    let mut bkts = Vec::new();
+    for bucket in link.all_buckets() {
+        put_u32(&mut bkts, bucket.syms.len() as u32);
+        for sym in &bucket.syms {
+            put_u32(&mut bkts, sym.0);
+        }
+        for sig in &bucket.sigs {
+            put_u64(&mut bkts, *sig);
+        }
+    }
+
+    // BKND and BDIM, walked in sorted key order for determinism.
+    let mut bknd = Vec::new();
+    let mut kind_entries: Vec<_> = kb.by_kind_map().iter().collect();
+    kind_entries.sort_by_key(|(k, _)| k.0);
+    put_u32(&mut bknd, kind_entries.len() as u32);
+    for (kind, ids) in kind_entries {
+        put_u32(&mut bknd, kind.0);
+        put_u32(&mut bknd, ids.len() as u32);
+        for id in ids {
+            put_u32(&mut bknd, id.0);
+        }
+    }
+    let mut bdim = Vec::new();
+    let mut dim_entries: Vec<_> = kb.by_dim_map().iter().collect();
+    dim_entries.sort_by_key(|(d, _)| d.exponents());
+    put_u32(&mut bdim, dim_entries.len() as u32);
+    for (dim, ids) in dim_entries {
+        put_dim(&mut bdim, *dim);
+        put_u32(&mut bdim, ids.len() as u32);
+        for id in ids {
+            put_u32(&mut bdim, id.0);
+        }
+    }
+
+    // Assemble: header, section table, payloads.
+    let payloads: [(&[u8], Section); 15] = [
+        (&meta, Section::Meta),
+        (&kind_bytes, Section::Kinds),
+        (&unit_offsets, Section::UnitOffsets),
+        (&unit_bytes, Section::Units),
+        (&code_bytes, Section::Codes),
+        (&nstr, Section::NormStrings),
+        (&nslt, Section::NormSlots),
+        (&nunt, Section::NormUnits),
+        (&cstr, Section::CasedStrings),
+        (&cslt, Section::CasedSlots),
+        (&cunt, Section::CasedUnits),
+        (&fuzz, Section::FuzzyUnits),
+        (&bkts, Section::Buckets),
+        (&bknd, Section::ByKind),
+        (&bdim, Section::ByDim),
+    ];
+    let table_len = payloads.len() * SECTION_ENTRY_LEN;
+    let total: usize = HEADER_LEN
+        + table_len
+        + payloads.iter().map(|(p, _)| p.len()).sum::<usize>();
+    let mut out = Vec::with_capacity(total);
+    out.extend_from_slice(&MAGIC);
+    put_u32(&mut out, VERSION);
+    put_u32(&mut out, payloads.len() as u32);
+    put_u64(&mut out, total as u64);
+    put_u64(&mut out, 0); // checksum, stamped below
+    let mut offset = HEADER_LEN + table_len;
+    for (payload, section) in &payloads {
+        out.extend_from_slice(&section.tag());
+        put_u32(&mut out, 0);
+        put_u64(&mut out, offset as u64);
+        put_u64(&mut out, payload.len() as u64);
+        offset += payload.len();
+    }
+    for (payload, _) in &payloads {
+        out.extend_from_slice(payload);
+    }
+    let sum = checksum(out.get(HEADER_LEN..).unwrap_or(&[]));
+    if let Some(field) = out.get_mut(24..32) {
+        field.copy_from_slice(&sum.to_le_bytes());
+    }
+    out
+}
+
+// ---- loader ------------------------------------------------------------
+
+/// A validated snapshot buffer. Construction ([`Snapshot::load`]) verifies
+/// the header, section table, and checksum; it does **not** materialize any
+/// record — use [`Snapshot::decode`] (or [`SnapKb`]) for that, and the
+/// `unit_*`/`meta` accessors for O(1) reads straight off the buffer.
+#[derive(Debug)]
+pub struct Snapshot {
+    buf: Vec<u8>,
+    sections: Vec<([u8; 4], Range<usize>)>,
+}
+
+impl Snapshot {
+    /// Validates and adopts a snapshot buffer.
+    pub fn load(buf: Vec<u8>) -> Result<Snapshot, SnapError> {
+        let header = buf.get(..HEADER_LEN).ok_or(SnapError::TooShort {
+            need: HEADER_LEN,
+            got: buf.len(),
+        })?;
+        if header.get(..8) != Some(&MAGIC) {
+            return Err(SnapError::BadMagic);
+        }
+        let mut cur = Cur::new(header);
+        let _ = cur.take(8);
+        let version = cur.u32().unwrap_or(0);
+        if version != VERSION {
+            return Err(SnapError::UnsupportedVersion { found: version });
+        }
+        let section_count = cur.u32().unwrap_or(0) as usize;
+        let total_len = cur.u64().unwrap_or(0);
+        if total_len != buf.len() as u64 {
+            return Err(SnapError::LengthMismatch {
+                header: total_len,
+                actual: buf.len() as u64,
+            });
+        }
+        let stored = cur.u64().unwrap_or(0);
+        let computed = checksum(buf.get(HEADER_LEN..).unwrap_or(&[]));
+        if stored != computed {
+            return Err(SnapError::ChecksumMismatch { stored, computed });
+        }
+        let table_len = section_count
+            .checked_mul(SECTION_ENTRY_LEN)
+            .ok_or(SnapError::TooShort { need: usize::MAX, got: buf.len() })?;
+        let table_end = HEADER_LEN
+            .checked_add(table_len)
+            .ok_or(SnapError::TooShort { need: usize::MAX, got: buf.len() })?;
+        let table = buf.get(HEADER_LEN..table_end).ok_or(SnapError::TooShort {
+            need: table_end,
+            got: buf.len(),
+        })?;
+        let mut sections: Vec<([u8; 4], Range<usize>)> = Vec::with_capacity(section_count);
+        let mut cur = Cur::new(table);
+        // Payloads must tile [table end, buffer end] contiguously in table
+        // order. Emission guarantees this; enforcing it at load makes the
+        // section count and every offset/length structurally verifiable,
+        // so header fields outside the checksummed region cannot be forged.
+        let mut expected = table_end;
+        for _ in 0..section_count {
+            let tag: [u8; 4] = cur
+                .take(4)
+                .and_then(|s| <[u8; 4]>::try_from(s).ok())
+                .unwrap_or(*b"????");
+            let _pad = cur.u32();
+            let offset = cur.u64().unwrap_or(u64::MAX) as usize;
+            let len = cur.u64().unwrap_or(u64::MAX) as usize;
+            let end = offset.checked_add(len).ok_or(SnapError::SectionBounds { tag })?;
+            if offset != expected || end > buf.len() {
+                return Err(SnapError::SectionBounds { tag });
+            }
+            expected = end;
+            if sections.iter().any(|(t, _)| *t == tag) {
+                return Err(SnapError::DuplicateSection { tag });
+            }
+            sections.push((tag, offset..end));
+        }
+        if expected != buf.len() {
+            let tag = sections.last().map(|(t, _)| *t).unwrap_or(*b"????");
+            return Err(SnapError::SectionBounds { tag });
+        }
+        Ok(Snapshot { buf, sections })
+    }
+
+    /// Reads a snapshot file and validates it.
+    pub fn load_file(path: &std::path::Path) -> Result<Snapshot, SnapError> {
+        let buf = std::fs::read(path).map_err(|_| SnapError::TooShort { need: HEADER_LEN, got: 0 })?;
+        Snapshot::load(buf)
+    }
+
+    /// The checksum stored in the header (already verified against the
+    /// contents by [`Snapshot::load`]).
+    pub fn stored_checksum(&self) -> u64 {
+        let mut cur = Cur::new(self.buf.get(24..32).unwrap_or(&[]));
+        cur.u64().unwrap_or(0)
+    }
+
+    /// The raw validated buffer.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// A section's payload bytes, if the section is present.
+    pub fn section(&self, section: Section) -> Option<&[u8]> {
+        let tag = section.tag();
+        self.sections
+            .iter()
+            .find(|(t, _)| *t == tag)
+            .and_then(|(_, range)| self.buf.get(range.clone())) // lint:allow(hot_alloc, Range<usize> is two words; no heap allocation)
+    }
+
+    fn required(&self, section: Section) -> Result<&[u8], SnapError> {
+        self.section(section).ok_or(SnapError::MissingSection { tag: section.tag() })
+    }
+
+    fn malformed(section: Section, detail: &'static str) -> SnapError {
+        SnapError::Malformed { section: section.tag(), detail }
+    }
+
+    /// The O(1) counts from the `META` section.
+    pub fn meta(&self) -> Result<Meta, SnapError> {
+        let mut cur = Cur::new(self.required(Section::Meta)?);
+        let err = || Snapshot::malformed(Section::Meta, "truncated counts");
+        Ok(Meta {
+            units: cur.u32().ok_or_else(err)?,
+            kinds: cur.u32().ok_or_else(err)?,
+            norm_keys: cur.u32().ok_or_else(err)?,
+            cased_keys: cur.u32().ok_or_else(err)?,
+            buckets: cur.u32().ok_or_else(err)?,
+            dims: cur.u32().ok_or_else(err)?,
+        })
+    }
+
+    /// Parses the `index`-th unit record straight off the buffer (O(1) via
+    /// the `UOFF` table — no section scan, no owned allocation beyond the
+    /// alias/keyword list spines).
+    pub fn unit_view(&self, index: u32) -> Result<UnitView<'_>, SnapError> {
+        let offsets = self.required(Section::UnitOffsets)?;
+        let start = (index as usize)
+            .checked_mul(4)
+            .and_then(|p| offsets.get(p..p + 4))
+            .and_then(|s| <[u8; 4]>::try_from(s).ok())
+            .map(u32::from_le_bytes)
+            .ok_or_else(|| Snapshot::malformed(Section::UnitOffsets, "unit index out of range"))?;
+        let units = self.required(Section::Units)?;
+        let body = units
+            .get(start as usize..)
+            .ok_or_else(|| Snapshot::malformed(Section::UnitOffsets, "offset past section end"))?;
+        let mut cur = Cur::new(body);
+        decode_unit_view(&mut cur)
+            .ok_or_else(|| Snapshot::malformed(Section::Units, "truncated unit record"))
+    }
+
+    /// Looks a unit up by code via the stored FNV slot table — O(1) probes
+    /// over the raw buffer, no decode.
+    pub fn unit_by_code(&self, code: &str) -> Result<Option<UnitView<'_>>, SnapError> {
+        let mut cur = Cur::new(self.required(Section::Codes)?);
+        let cap = cur.u32().ok_or_else(|| Snapshot::malformed(Section::Codes, "missing cap"))? as usize;
+        if !cap.is_power_of_two() {
+            return Err(Snapshot::malformed(Section::Codes, "cap not a power of two"));
+        }
+        let slots = cur
+            .take(cap.saturating_mul(4))
+            .ok_or_else(|| Snapshot::malformed(Section::Codes, "truncated slots"))?;
+        let mask = cap - 1;
+        let mut slot = (fnv1a(code.as_bytes()) as usize) & mask;
+        for _ in 0..cap {
+            let raw = slot
+                .checked_mul(4)
+                .and_then(|p| slots.get(p..p + 4))
+                .and_then(|s| <[u8; 4]>::try_from(s).ok())
+                .map(u32::from_le_bytes)
+                .ok_or_else(|| Snapshot::malformed(Section::Codes, "slot out of range"))?;
+            if raw == u32::MAX {
+                return Ok(None);
+            }
+            let view = self.unit_view(raw)?;
+            if view.code == code {
+                return Ok(Some(view));
+            }
+            slot = (slot + 1) & mask;
+        }
+        Ok(None)
+    }
+
+    /// Fully decodes the snapshot into a [`DimUnitKb`]: records, naming
+    /// dictionaries, kind/dimension indexes, and the interned link index
+    /// are all read from their stored tables — nothing is re-derived.
+    pub fn decode(&self) -> Result<DimUnitKb, SnapError> {
+        let meta = self.meta()?;
+        let kinds = self.decode_kinds(meta)?;
+        let units = self.decode_units(meta)?;
+        let norm_strings = decode_strings(self.required(Section::NormStrings)?, meta.norm_keys)
+            .ok_or_else(|| Snapshot::malformed(Section::NormStrings, "bad string table"))?;
+        let norm_slots = decode_slots(self.required(Section::NormSlots)?)
+            .ok_or_else(|| Snapshot::malformed(Section::NormSlots, "bad slot table"))?;
+        let cased_strings = decode_strings(self.required(Section::CasedStrings)?, meta.cased_keys)
+            .ok_or_else(|| Snapshot::malformed(Section::CasedStrings, "bad string table"))?;
+        let cased_slots = decode_slots(self.required(Section::CasedSlots)?)
+            .ok_or_else(|| Snapshot::malformed(Section::CasedSlots, "bad slot table"))?;
+        let norm_units = decode_unit_lists(
+            self.required(Section::NormUnits)?,
+            meta.norm_keys,
+            meta.units,
+        )
+        .ok_or_else(|| Snapshot::malformed(Section::NormUnits, "bad unit lists"))?;
+        let cased_units = decode_unit_lists(
+            self.required(Section::CasedUnits)?,
+            meta.cased_keys,
+            meta.units,
+        )
+        .ok_or_else(|| Snapshot::malformed(Section::CasedUnits, "bad unit lists"))?;
+        let fuzzy_units = decode_unit_lists(
+            self.required(Section::FuzzyUnits)?,
+            meta.norm_keys,
+            meta.units,
+        )
+        .ok_or_else(|| Snapshot::malformed(Section::FuzzyUnits, "bad unit lists"))?;
+        let buckets = decode_buckets(self.required(Section::Buckets)?, meta.buckets)
+            .ok_or_else(|| Snapshot::malformed(Section::Buckets, "bad buckets"))?;
+
+        // The naming dictionaries re-read the string sections so the maps
+        // own their keys without cloning the interner's copies.
+        let naming_keys = decode_strings(self.required(Section::NormStrings)?, meta.norm_keys)
+            .ok_or_else(|| Snapshot::malformed(Section::NormStrings, "bad string table"))?;
+        let naming_vals = decode_unit_lists(
+            self.required(Section::NormUnits)?,
+            meta.norm_keys,
+            meta.units,
+        )
+        .ok_or_else(|| Snapshot::malformed(Section::NormUnits, "bad unit lists"))?;
+        let naming: HashMap<String, Vec<UnitId>> =
+            naming_keys.into_iter().zip(naming_vals).collect();
+        let cased_keys = decode_strings(self.required(Section::CasedStrings)?, meta.cased_keys)
+            .ok_or_else(|| Snapshot::malformed(Section::CasedStrings, "bad string table"))?;
+        let cased_vals = decode_unit_lists(
+            self.required(Section::CasedUnits)?,
+            meta.cased_keys,
+            meta.units,
+        )
+        .ok_or_else(|| Snapshot::malformed(Section::CasedUnits, "bad unit lists"))?;
+        let naming_cased: HashMap<String, Vec<UnitId>> =
+            cased_keys.into_iter().zip(cased_vals).collect();
+
+        let by_kind = self.decode_by_kind(meta)?;
+        let by_dim = self.decode_by_dim(meta)?;
+
+        let norm = SymbolTable::from_parts(norm_strings, norm_slots)
+            .ok_or_else(|| Snapshot::malformed(Section::NormSlots, "inconsistent interner"))?;
+        let cased = SymbolTable::from_parts(cased_strings, cased_slots)
+            .ok_or_else(|| Snapshot::malformed(Section::CasedSlots, "inconsistent interner"))?;
+        let link = LinkIndex::from_parts(norm, cased, norm_units, cased_units, fuzzy_units, buckets)
+            .ok_or_else(|| Snapshot::malformed(Section::Buckets, "inconsistent link index"))?;
+        Ok(DimUnitKb::from_parts(units, kinds, naming, naming_cased, by_kind, by_dim, link))
+    }
+
+    fn decode_kinds(&self, meta: Meta) -> Result<Vec<QuantityKind>, SnapError> {
+        let mut cur = Cur::new(self.required(Section::Kinds)?);
+        let err = || Snapshot::malformed(Section::Kinds, "truncated kind record");
+        let mut kinds = Vec::with_capacity((meta.kinds as usize).min(1 << 16));
+        for i in 0..meta.kinds {
+            let name_en = cur.str().ok_or_else(err)?;
+            let name_zh = cur.str().ok_or_else(err)?;
+            let dim = cur.dim().ok_or_else(err)?;
+            kinds.push(QuantityKind {
+                id: KindId(i),
+                name_en: name_en.into(),
+                name_zh: name_zh.into(),
+                dim: dim_from_exps(dim),
+            });
+        }
+        if !cur.finished() {
+            return Err(Snapshot::malformed(Section::Kinds, "trailing bytes"));
+        }
+        Ok(kinds)
+    }
+
+    fn decode_units(&self, meta: Meta) -> Result<Vec<Unit>, SnapError> {
+        let mut cur = Cur::new(self.required(Section::Units)?);
+        let mut units = Vec::with_capacity((meta.units as usize).min(1 << 16));
+        for i in 0..meta.units {
+            let view = decode_unit_view(&mut cur)
+                .ok_or_else(|| Snapshot::malformed(Section::Units, "truncated unit record"))?;
+            if view.kind >= meta.kinds {
+                return Err(Snapshot::malformed(Section::Units, "kind id out of range"));
+            }
+            units.push(Unit {
+                id: UnitId(i),
+                code: view.code.into(),
+                label_en: view.label_en.into(),
+                label_zh: view.label_zh.into(),
+                symbol: view.symbol.into(),
+                aliases: view.aliases.iter().map(|s| (*s).into()).collect(),
+                description: view.description.into(),
+                keywords: view.keywords.iter().map(|s| (*s).into()).collect(),
+                frequency: view.frequency,
+                kind: KindId(view.kind),
+                dim: dim_from_exps(view.dim),
+                conversion: Conversion::affine(view.factor, view.offset),
+                prefixed: view.prefixed,
+            });
+        }
+        if !cur.finished() {
+            return Err(Snapshot::malformed(Section::Units, "trailing bytes"));
+        }
+        Ok(units)
+    }
+
+    fn decode_by_kind(&self, meta: Meta) -> Result<HashMap<KindId, Vec<UnitId>>, SnapError> {
+        let mut cur = Cur::new(self.required(Section::ByKind)?);
+        let err = || Snapshot::malformed(Section::ByKind, "truncated kind index");
+        let entries = cur.u32().ok_or_else(err)?;
+        let mut map = HashMap::with_capacity((entries as usize).min(1 << 16));
+        for _ in 0..entries {
+            let kind = cur.u32().ok_or_else(err)?;
+            if kind >= meta.kinds {
+                return Err(Snapshot::malformed(Section::ByKind, "kind id out of range"));
+            }
+            let ids = decode_id_list(&mut cur, meta.units).ok_or_else(err)?;
+            map.insert(KindId(kind), ids);
+        }
+        if !cur.finished() {
+            return Err(Snapshot::malformed(Section::ByKind, "trailing bytes"));
+        }
+        Ok(map)
+    }
+
+    fn decode_by_dim(&self, meta: Meta) -> Result<HashMap<DimVec, Vec<UnitId>>, SnapError> {
+        let mut cur = Cur::new(self.required(Section::ByDim)?);
+        let err = || Snapshot::malformed(Section::ByDim, "truncated dim index");
+        let entries = cur.u32().ok_or_else(err)?;
+        let mut map = HashMap::with_capacity((entries as usize).min(1 << 16));
+        for _ in 0..entries {
+            let dim = cur.dim().ok_or_else(err)?;
+            let ids = decode_id_list(&mut cur, meta.units).ok_or_else(err)?;
+            map.insert(dim_from_exps(dim), ids);
+        }
+        if !cur.finished() {
+            return Err(Snapshot::malformed(Section::ByDim, "trailing bytes"));
+        }
+        if map.len() != meta.dims as usize {
+            return Err(Snapshot::malformed(Section::ByDim, "count disagrees with META"));
+        }
+        Ok(map)
+    }
+}
+
+fn decode_unit_view<'a>(cur: &mut Cur<'a>) -> Option<UnitView<'a>> {
+    let code = cur.str()?;
+    let label_en = cur.str()?;
+    let label_zh = cur.str()?;
+    let symbol = cur.str()?;
+    let description = cur.str()?;
+    let alias_count = cur.u32()? as usize;
+    let mut aliases = Vec::with_capacity(alias_count.min(64));
+    for _ in 0..alias_count {
+        aliases.push(cur.str()?);
+    }
+    let kw_count = cur.u32()? as usize;
+    let mut keywords = Vec::with_capacity(kw_count.min(64));
+    for _ in 0..kw_count {
+        keywords.push(cur.str()?);
+    }
+    Some(UnitView {
+        code,
+        label_en,
+        label_zh,
+        symbol,
+        description,
+        aliases,
+        keywords,
+        frequency: cur.f64()?,
+        kind: cur.u32()?,
+        dim: cur.dim()?,
+        factor: cur.f64()?,
+        offset: cur.f64()?,
+        prefixed: cur.u8()? != 0,
+    })
+}
+
+fn decode_strings(section: &[u8], count: u32) -> Option<Vec<String>> {
+    let mut cur = Cur::new(section);
+    let mut out = Vec::with_capacity((count as usize).min(1 << 16));
+    for _ in 0..count {
+        out.push(cur.str()?.into());
+    }
+    cur.finished().then_some(out)
+}
+
+fn decode_slots(section: &[u8]) -> Option<Vec<u32>> {
+    let mut cur = Cur::new(section);
+    let cap = cur.u32()? as usize;
+    let mut out = Vec::with_capacity(cap.min(1 << 20));
+    for _ in 0..cap {
+        out.push(cur.u32()?);
+    }
+    cur.finished().then_some(out)
+}
+
+fn decode_id_list(cur: &mut Cur<'_>, unit_count: u32) -> Option<Vec<UnitId>> {
+    let count = cur.u32()? as usize;
+    let mut ids = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        let id = cur.u32()?;
+        if id >= unit_count {
+            return None;
+        }
+        ids.push(UnitId(id));
+    }
+    Some(ids)
+}
+
+fn decode_unit_lists(section: &[u8], entries: u32, unit_count: u32) -> Option<Vec<Vec<UnitId>>> {
+    let mut cur = Cur::new(section);
+    let mut out = Vec::with_capacity((entries as usize).min(1 << 16));
+    for _ in 0..entries {
+        out.push(decode_id_list(&mut cur, unit_count)?);
+    }
+    cur.finished().then_some(out)
+}
+
+fn decode_buckets(section: &[u8], count: u32) -> Option<Vec<LenBucket>> {
+    let mut cur = Cur::new(section);
+    let mut out = Vec::with_capacity(count.min(1 << 16) as usize);
+    for _ in 0..count {
+        let n = cur.u32()? as usize;
+        let mut syms = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            syms.push(crate::intern::Symbol(cur.u32()?));
+        }
+        let mut sigs = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            sigs.push(cur.u64()?);
+        }
+        out.push(LenBucket { syms, sigs });
+    }
+    cur.finished().then_some(out)
+}
+
+// ---- the lazy KB handle ------------------------------------------------
+
+/// A snapshot-backed KB handle: validation up front (microseconds), full
+/// decode deferred to first use. This is what
+/// [`DimUnitKb::from_snapshot`] returns.
+#[derive(Debug)]
+pub struct SnapKb {
+    snap: Snapshot,
+    kb: OnceLock<Result<DimUnitKb, SnapError>>,
+}
+
+impl SnapKb {
+    /// Validates a snapshot buffer and wraps it for lazy decoding.
+    pub fn load(bytes: Vec<u8>) -> Result<SnapKb, SnapError> {
+        Ok(SnapKb { snap: Snapshot::load(bytes)?, kb: OnceLock::new() })
+    }
+
+    /// The validated snapshot, for O(1) buffer-level reads.
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snap
+    }
+
+    /// The decoded KB, materialized on first call and cached.
+    pub fn kb(&self) -> Result<&DimUnitKb, SnapError> {
+        match self.kb.get_or_init(|| self.snap.decode()) {
+            Ok(kb) => Ok(kb),
+            Err(e) => Err(e.clone()), // lint:allow(hot_alloc, error propagation out of the cached decode result, not the load path)
+        }
+    }
+
+    /// Decodes (if not already) and takes ownership of the KB.
+    pub fn into_kb(self) -> Result<DimUnitKb, SnapError> {
+        let _ = self.kb();
+        match self.kb.into_inner() {
+            Some(result) => result,
+            None => self.snap.decode(),
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Loader-robustness battery for `dimkb::snap`: truncations, bit flips,
+//! header forgery, and length-field corruption must all come back as typed
+//! [`SnapError`]s — never a panic, never an over-read. Corruptions that
+//! defeat the checksum (by re-stamping it) must still be caught by
+//! structural validation during load or decode.
+
+use dimkb::snap::{self, HEADER_LEN, MAGIC, SECTION_ENTRY_LEN, VERSION};
+use dimkb::{DimUnitKb, SnapError, SnapKb, Snapshot};
+use std::sync::OnceLock;
+
+/// A small sub-KB snapshot, so every-byte sweeps stay fast.
+fn mini_snapshot() -> &'static [u8] {
+    static MINI: OnceLock<Vec<u8>> = OnceLock::new();
+    MINI.get_or_init(|| {
+        let kb = DimUnitKb::shared().subset(|u| u.code.len() <= 3 && !u.prefixed);
+        assert!(!kb.units().is_empty(), "mini KB must not be empty");
+        kb.to_snapshot()
+    })
+}
+
+fn standard_snapshot() -> &'static [u8] {
+    static STD: OnceLock<Vec<u8>> = OnceLock::new();
+    STD.get_or_init(|| DimUnitKb::shared().to_snapshot())
+}
+
+/// Re-stamps the header checksum so a corruption survives the checksum
+/// gate and must be caught by structural validation instead.
+fn restamp(buf: &mut [u8]) {
+    let sum = snap::checksum(buf.get(HEADER_LEN..).unwrap_or(&[]));
+    if let Some(field) = buf.get_mut(24..32) {
+        field.copy_from_slice(&sum.to_le_bytes());
+    }
+}
+
+/// A tiny deterministic RNG (xorshift*), so the fuzz corpus is stable.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+#[test]
+fn truncation_at_every_offset_is_a_typed_error() {
+    let full = mini_snapshot();
+    for len in 0..full.len() {
+        let err = Snapshot::load(full[..len].to_vec())
+            .err()
+            .unwrap_or_else(|| panic!("truncation to {len} bytes must fail"));
+        match err {
+            SnapError::TooShort { .. } | SnapError::BadMagic | SnapError::LengthMismatch { .. } => {}
+            other => panic!("truncation to {len}: unexpected error {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn truncation_of_the_standard_snapshot_is_a_typed_error() {
+    let full = standard_snapshot();
+    for len in (0..full.len()).step_by(4096).chain([full.len() - 1]) {
+        assert!(
+            Snapshot::load(full[..len].to_vec()).is_err(),
+            "truncation to {len} bytes must fail"
+        );
+    }
+}
+
+#[test]
+fn every_single_bit_flip_is_rejected() {
+    // Exhaustive over the mini snapshot's first 4 KiB (header + section
+    // table + leading payload), then randomized over the rest.
+    let full = mini_snapshot();
+    let mut targets: Vec<(usize, u8)> = Vec::new();
+    for pos in 0..full.len().min(4096) {
+        for bit in 0..8 {
+            targets.push((pos, 1u8 << bit));
+        }
+    }
+    let mut rng = Rng(0x5eed1);
+    for _ in 0..4096 {
+        let pos = (rng.next() as usize) % full.len();
+        let mask = 1u8 << (rng.next() % 8);
+        targets.push((pos, mask));
+    }
+    for (pos, mask) in targets {
+        let mut buf = full.to_vec();
+        if let Some(b) = buf.get_mut(pos) {
+            *b ^= mask;
+        }
+        assert!(
+            Snapshot::load(buf).is_err(),
+            "bit flip at byte {pos} mask {mask:#04x} must be rejected"
+        );
+    }
+}
+
+#[test]
+fn bit_flips_in_the_standard_snapshot_are_rejected() {
+    let full = standard_snapshot();
+    let mut rng = Rng(0x5eed2);
+    for _ in 0..128 {
+        let pos = (rng.next() as usize) % full.len();
+        let mask = 1u8 << (rng.next() % 8);
+        let mut buf = full.to_vec();
+        if let Some(b) = buf.get_mut(pos) {
+            *b ^= mask;
+        }
+        assert!(Snapshot::load(buf).is_err(), "bit flip at byte {pos} must be rejected");
+    }
+}
+
+#[test]
+fn wrong_magic_and_version_are_typed_errors() {
+    let mut buf = mini_snapshot().to_vec();
+    if let Some(b) = buf.get_mut(0) {
+        *b = b'X';
+    }
+    assert_eq!(Snapshot::load(buf).err(), Some(SnapError::BadMagic));
+
+    let mut buf = mini_snapshot().to_vec();
+    if let Some(field) = buf.get_mut(8..12) {
+        field.copy_from_slice(&(VERSION + 1).to_le_bytes());
+    }
+    restamp(&mut buf);
+    assert_eq!(
+        Snapshot::load(buf).err(),
+        Some(SnapError::UnsupportedVersion { found: VERSION + 1 })
+    );
+
+    assert_eq!(Snapshot::load(MAGIC.to_vec()).err(), Some(SnapError::TooShort { need: 32, got: 8 }));
+    assert!(Snapshot::load(Vec::new()).is_err());
+}
+
+#[test]
+fn corrupted_section_lengths_survive_restamping_but_not_validation() {
+    let full = mini_snapshot();
+    let section_count = u32::from_le_bytes([full[12], full[13], full[14], full[15]]) as usize;
+    for i in 0..section_count {
+        let entry = HEADER_LEN + i * SECTION_ENTRY_LEN;
+        // Blow up the length field: the section now points past the buffer.
+        let mut buf = full.to_vec();
+        if let Some(field) = buf.get_mut(entry + 16..entry + 24) {
+            field.copy_from_slice(&u64::MAX.to_le_bytes());
+        }
+        restamp(&mut buf);
+        match Snapshot::load(buf) {
+            Err(SnapError::SectionBounds { .. }) => {}
+            other => panic!("oversized section {i}: expected SectionBounds, got {other:?}"),
+        }
+        // Point the offset into the header: overlapping the fixed layout
+        // is rejected even though it is "within" the buffer.
+        let mut buf = full.to_vec();
+        if let Some(field) = buf.get_mut(entry + 8..entry + 16) {
+            field.copy_from_slice(&4u64.to_le_bytes());
+        }
+        restamp(&mut buf);
+        match Snapshot::load(buf) {
+            Err(SnapError::SectionBounds { .. }) => {}
+            other => panic!("header-overlap section {i}: expected SectionBounds, got {other:?}"),
+        }
+        // Shrink the length by one byte: the buffer still validates
+        // structurally at load, but decode must fail, not panic.
+        let mut buf = full.to_vec();
+        let len_field = buf
+            .get(entry + 16..entry + 24)
+            .and_then(|s| <[u8; 8]>::try_from(s).ok())
+            .map(u64::from_le_bytes)
+            .unwrap_or(0);
+        if len_field == 0 {
+            continue;
+        }
+        if let Some(field) = buf.get_mut(entry + 16..entry + 24) {
+            field.copy_from_slice(&(len_field - 1).to_le_bytes());
+        }
+        restamp(&mut buf);
+        if let Ok(snapshot) = Snapshot::load(buf) {
+            assert!(
+                snapshot.decode().is_err(),
+                "shrunken section {i} must fail decode with a typed error"
+            );
+        }
+    }
+}
+
+#[test]
+fn duplicate_and_missing_sections_are_typed_errors() {
+    let full = mini_snapshot();
+    // Copy section 1's tag over section 2's.
+    let (a, b) = (HEADER_LEN, HEADER_LEN + SECTION_ENTRY_LEN);
+    let mut buf = full.to_vec();
+    let tag: [u8; 4] = buf
+        .get(a..a + 4)
+        .and_then(|s| <[u8; 4]>::try_from(s).ok())
+        .expect("section table present");
+    if let Some(field) = buf.get_mut(b..b + 4) {
+        field.copy_from_slice(&tag);
+    }
+    restamp(&mut buf);
+    assert_eq!(Snapshot::load(buf).err(), Some(SnapError::DuplicateSection { tag }));
+
+    // Rename a required section: load succeeds (unknown tags are legal,
+    // for forward compatibility) but decode reports the gap.
+    let mut buf = full.to_vec();
+    if let Some(field) = buf.get_mut(a..a + 4) {
+        field.copy_from_slice(b"zzZZ");
+    }
+    restamp(&mut buf);
+    let snapshot = Snapshot::load(buf).expect("unknown tags are tolerated at load");
+    assert_eq!(snapshot.decode().err(), Some(SnapError::MissingSection { tag }));
+}
+
+#[test]
+fn corrupted_meta_counts_fail_decode_not_panic() {
+    let full = mini_snapshot();
+    let _ = Snapshot::load(full.to_vec()).expect("pristine buffer validates");
+    // META is emitted first, directly after the section table.
+    let section_count = u32::from_le_bytes([full[12], full[13], full[14], full[15]]) as usize;
+    let meta_payload = HEADER_LEN + section_count * SECTION_ENTRY_LEN;
+    // Perturb each of the six counts in turn (±1 and huge).
+    for field in 0..6 {
+        for val in [1u32, u32::MAX, 0] {
+            let off = meta_payload + field * 4;
+            let mut buf = full.to_vec();
+            if let Some(slice) = buf.get_mut(off..off + 4) {
+                slice.copy_from_slice(&val.to_le_bytes());
+            }
+            restamp(&mut buf);
+            if let Ok(snapshot) = Snapshot::load(buf) {
+                // Must produce a typed result, never a panic; all of these
+                // corruptions break some cross-check.
+                assert!(
+                    snapshot.decode().is_err(),
+                    "META field {field} = {val} must fail decode"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn payload_bit_flips_with_restamped_checksum_never_panic() {
+    let full = mini_snapshot();
+    let mut rng = Rng(0x5eed3);
+    for _ in 0..400 {
+        let pos = HEADER_LEN + (rng.next() as usize) % (full.len() - HEADER_LEN);
+        let mask = 1u8 << (rng.next() % 8);
+        let mut buf = full.to_vec();
+        if let Some(b) = buf.get_mut(pos) {
+            *b ^= mask;
+        }
+        restamp(&mut buf);
+        // The corruption is checksum-invisible now; load-or-decode must
+        // still terminate with a typed result (Ok is legal — e.g. a flip
+        // inside a label changes content, not structure).
+        if let Ok(kb) = SnapKb::load(buf) {
+            let _ = kb.kb();
+        }
+    }
+}
+
+#[test]
+fn random_garbage_buffers_never_panic() {
+    let mut rng = Rng(0x5eed4);
+    for len in [0usize, 1, 8, 31, 32, 33, 64, 256, 4096] {
+        for _ in 0..32 {
+            let mut buf = vec![0u8; len];
+            for b in buf.iter_mut() {
+                *b = rng.next() as u8;
+            }
+            // Plant the magic half the time so parsing gets further.
+            if rng.next().is_multiple_of(2) {
+                let n = len.min(8);
+                buf[..n].copy_from_slice(&MAGIC[..n]);
+            }
+            let _ = Snapshot::load(buf);
+        }
+    }
+}

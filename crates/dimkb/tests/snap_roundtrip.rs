@@ -1,0 +1,174 @@
+//! Differential round-trip battery for `dimkb::snap`: a KB that goes
+//! built → snapshot → load must be behaviorally identical to the built
+//! original — same records, same statistics tables, same search results,
+//! same naming-dictionary lookups — and emission must be deterministic.
+
+use dimkb::snap;
+use dimkb::{search, stats, DimUnitKb, SnapKb};
+use proptest::prelude::*;
+
+fn roundtrip(kb: &DimUnitKb) -> DimUnitKb {
+    let bytes = kb.to_snapshot();
+    let snap = SnapKb::load(bytes).expect("emitted snapshot must validate");
+    snap.into_kb().expect("emitted snapshot must decode")
+}
+
+/// Every behavioral probe we compare across the built and loaded KBs.
+fn assert_equivalent(built: &DimUnitKb, loaded: &DimUnitKb) {
+    assert_eq!(built.units(), loaded.units(), "unit records must round-trip");
+    assert_eq!(built.kinds(), loaded.kinds(), "kind records must round-trip");
+    assert_eq!(
+        stats::statistics(built),
+        stats::statistics(loaded),
+        "statistics tables must round-trip"
+    );
+    assert_eq!(stats::top_units(built, 25), stats::top_units(loaded, 25));
+    assert_eq!(stats::top_kinds(built, 25), stats::top_kinds(loaded, 25));
+
+    // The full naming dictionary: every surface form resolves identically,
+    // including cased-index precedence.
+    for (surface, _) in built.naming_dictionary() {
+        assert_eq!(
+            built.lookup(surface),
+            loaded.lookup(surface),
+            "lookup({surface:?}) must round-trip"
+        );
+    }
+
+    // Kind and dimension indexes.
+    for kind in built.kinds() {
+        assert_eq!(built.units_of_kind(kind.id), loaded.units_of_kind(kind.id));
+    }
+    let mut dims: Vec<_> = built.dimensions().collect();
+    dims.sort_by_key(|d| d.exponents());
+    let mut loaded_dims: Vec<_> = loaded.dimensions().collect();
+    loaded_dims.sort_by_key(|d| d.exponents());
+    assert_eq!(dims, loaded_dims, "dimension sets must round-trip");
+    for dim in dims {
+        assert_eq!(built.units_with_dim(dim), loaded.units_with_dim(dim));
+    }
+}
+
+#[test]
+fn standard_kb_roundtrips_behaviorally() {
+    let built = DimUnitKb::shared();
+    let loaded = roundtrip(&built);
+    assert_equivalent(&built, &loaded);
+}
+
+#[test]
+fn search_results_roundtrip() {
+    let built = DimUnitKb::shared();
+    let loaded = roundtrip(&built);
+    for query in [
+        "kilometre",
+        "千米",
+        "mW",
+        "MW",
+        "dyn/cm",
+        "flow",
+        "pressure",
+        "light year",
+        "degree",
+        "newton metre",
+    ] {
+        assert_eq!(
+            search::search(&built, query, 10),
+            search::search(&loaded, query, 10),
+            "search({query:?}) must round-trip"
+        );
+    }
+}
+
+#[test]
+fn emission_is_deterministic() {
+    let kb = DimUnitKb::shared();
+    let first = kb.to_snapshot();
+    let second = kb.to_snapshot();
+    assert_eq!(first, second, "same KB, same bytes");
+}
+
+#[test]
+fn reemission_from_loaded_kb_is_byte_identical() {
+    let built = DimUnitKb::shared();
+    let bytes = built.to_snapshot();
+    let loaded = SnapKb::load(bytes.clone())
+        .expect("validates")
+        .into_kb()
+        .expect("decodes");
+    assert_eq!(loaded.to_snapshot(), bytes, "decode → re-emit must be the identity");
+}
+
+#[test]
+fn snapshot_meta_matches_statistics() {
+    let kb = DimUnitKb::shared();
+    let snap = SnapKb::load(kb.to_snapshot()).expect("validates");
+    let meta = snap.snapshot().meta().expect("META present");
+    let s = stats::statistics(&kb);
+    assert_eq!(meta.units as usize, s.units);
+    assert_eq!(meta.kinds as usize, kb.kinds().len());
+    assert_eq!(meta.dims as usize, s.dim_vectors);
+}
+
+#[test]
+fn raw_unit_views_match_decoded_records() {
+    let kb = DimUnitKb::shared();
+    let snap = SnapKb::load(kb.to_snapshot()).expect("validates");
+    for unit in kb.units().iter().take(64) {
+        let view = snap
+            .snapshot()
+            .unit_by_code(&unit.code)
+            .expect("CODE section valid")
+            .unwrap_or_else(|| panic!("code {} must be findable", unit.code));
+        assert_eq!(view.code, unit.code);
+        assert_eq!(view.label_en, unit.label_en);
+        assert_eq!(view.symbol, unit.symbol);
+        assert_eq!(view.kind, unit.kind.0);
+        assert_eq!(view.factor, unit.conversion.factor);
+        assert_eq!(view.prefixed, unit.prefixed);
+    }
+    assert!(snap
+        .snapshot()
+        .unit_by_code("NO-SUCH-UNIT-CODE")
+        .expect("CODE section valid")
+        .is_none());
+}
+
+#[test]
+fn shared_snap_matches_shared() {
+    let built = DimUnitKb::shared();
+    let snapped = DimUnitKb::shared_snap();
+    assert_equivalent(&built, &snapped);
+}
+
+#[test]
+fn checksum_is_position_sensitive() {
+    assert_ne!(snap::checksum(b"ab"), snap::checksum(b"ba"));
+    assert_ne!(snap::checksum(&[0u8; 64]), snap::checksum(&[0u8; 65]));
+    let mut long = vec![7u8; 96];
+    let base = snap::checksum(&long);
+    if let Some(b) = long.get_mut(40) {
+        *b ^= 0x10;
+    }
+    assert_ne!(base, snap::checksum(&long));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random sub-KBs (seeded code-hash subsets of the standard KB, with
+    /// varying keep rates) round-trip behaviorally.
+    #[test]
+    fn mini_kb_roundtrips(seed in 0u64..1000, keep_mod in 2u64..7) {
+        let standard = DimUnitKb::shared();
+        let mini = standard.subset(|u| {
+            let mut h = seed ^ 0xcbf2_9ce4_8422_2325;
+            for b in u.code.as_bytes() {
+                h = (h ^ u64::from(*b)).wrapping_mul(0x0100_0000_01b3);
+            }
+            h % keep_mod == 0
+        });
+        let loaded = roundtrip(&mini);
+        assert_equivalent(&mini, &loaded);
+    }
+}

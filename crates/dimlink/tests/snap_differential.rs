@@ -1,0 +1,110 @@
+//! Built-vs-snapshot differential battery for the linking stack: a linker
+//! or annotator over the snapshot-loaded KB must produce exactly the same
+//! results as one over the freshly built KB — the snapshot stores every
+//! derived index (naming dictionaries, interners, fuzzy prefilter), so any
+//! divergence means a codec bug, not a tolerance.
+
+use dimkb::DimUnitKb;
+use dimlink::{Annotator, LinkerConfig, ScratchSpace, UnitLinker};
+use proptest::prelude::*;
+
+fn built_linker() -> UnitLinker {
+    UnitLinker::new(DimUnitKb::shared(), None, LinkerConfig::default())
+}
+
+fn snap_linker() -> UnitLinker {
+    UnitLinker::new(DimUnitKb::shared_snap(), None, LinkerConfig::default())
+}
+
+#[test]
+fn link_matches_on_curated_mentions() {
+    let built = built_linker();
+    let snapped = snap_linker();
+    let mut scratch = ScratchSpace::new();
+    let cases: &[(&str, &str)] = &[
+        ("km", "the road is 12 km long"),
+        ("kilometre", ""),
+        ("千米", "全程约三千米"),
+        ("mW", "laser output of 5 mW"),
+        ("MW", "a 5 MW turbine"),
+        ("t", "a 3 t truck"),
+        ("T", "a 3 T magnet"),
+        ("dyn/cm", "surface tension in dyn/cm"),
+        ("kilometer", "spelling variant"),
+        ("kilmetre", "typo goes through the fuzzy prefilter"),
+        ("degree", "an angle of one degree"),
+        ("°C", "water boils at 100 °C"),
+        ("light year", "4.2 light year away"),
+        ("nonsense-unit", "no such thing"),
+        ("", ""),
+    ];
+    for (mention, context) in cases {
+        assert_eq!(
+            built.link(mention, context),
+            snapped.link(mention, context),
+            "link({mention:?}, {context:?}) must match built KB"
+        );
+        assert_eq!(
+            built.link(mention, context),
+            snapped.link_with(mention, context, &mut scratch),
+            "link_with({mention:?}) must match built KB"
+        );
+    }
+}
+
+#[test]
+fn annotate_batch_matches_at_widths_1_and_4() {
+    let built = Annotator::new(built_linker());
+    let snapped = Annotator::new(snap_linker());
+    let texts: Vec<&str> = vec![
+        "The pipe carries 30 L/s at 2.5 bar.",
+        "全长约120千米，限速80公里每小时。",
+        "A 5 mW laser and a 5 MW plant.",
+        "Dose was 20 mg/kg twice daily.",
+        "Surface tension of 72 dyn/cm at 25 °C.",
+        "no quantities here at all",
+        "",
+        "3 t of cargo in a 3 T field",
+    ];
+    for par in [1usize, 4] {
+        assert_eq!(
+            built.annotate_batch(&texts, dim_par::Parallelism::new(par)),
+            snapped.annotate_batch(&texts, dim_par::Parallelism::new(par)),
+            "annotate_batch at width {par} must match built KB"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary mentions and contexts link identically through the
+    /// snapshot-loaded KB.
+    #[test]
+    fn link_matches_on_arbitrary_utf8(
+        mention in "\\PC{0,24}",
+        context in "\\PC{0,48}",
+    ) {
+        let built = built_linker();
+        let snapped = snap_linker();
+        prop_assert_eq!(
+            built.link(&mention, &context),
+            snapped.link(&mention, &context)
+        );
+    }
+
+    /// Arbitrary sentence batches annotate identically at widths 1 and 4.
+    #[test]
+    fn annotate_batch_matches_on_arbitrary_texts(
+        texts in prop::collection::vec("\\PC{0,48}", 0..8)
+    ) {
+        let built = Annotator::new(built_linker());
+        let snapped = Annotator::new(snap_linker());
+        for par in [1usize, 4] {
+            prop_assert_eq!(
+                built.annotate_batch(&texts, dim_par::Parallelism::new(par)),
+                snapped.annotate_batch(&texts, dim_par::Parallelism::new(par))
+            );
+        }
+    }
+}

@@ -109,6 +109,9 @@ impl RuleId {
                     || rel_path.starts_with("crates/chaos/src/")
                     || rel_path == "crates/core/src/pipeline.rs"
                     || rel_path == "crates/dimkb/src/degrade.rs"
+                    // The snapshot loader parses attacker-shaped bytes; a
+                    // panic there is a crash on corrupt input.
+                    || rel_path == "crates/dimkb/src/snap.rs"
             }
             RuleId::Determinism => {
                 rel_path.starts_with("crates/dimeval/src/")
@@ -127,9 +130,12 @@ impl RuleId {
                 // The annotate/link hot paths. `reference.rs` is the retired
                 // String-based linker kept as a differential-testing oracle —
                 // allocating is its documented job.
-                (rel_path.starts_with("crates/dimlink/src/")
+                ((rel_path.starts_with("crates/dimlink/src/")
                     || rel_path.starts_with("crates/par/src/"))
-                    && rel_path != "crates/dimlink/src/reference.rs"
+                    && rel_path != "crates/dimlink/src/reference.rs")
+                    // The snapshot codec: load must stay allocation-lean so
+                    // validation holds its microsecond budget.
+                    || rel_path == "crates/dimkb/src/snap.rs"
             }
         }
     }
@@ -223,6 +229,8 @@ mod tests {
         assert!(np.applies_to("crates/dimlink/src/linker.rs"));
         assert!(np.applies_to("crates/serve/src/bin/dimserve.rs"));
         assert!(np.applies_to("crates/core/src/pipeline.rs"));
+        assert!(np.applies_to("crates/dimkb/src/snap.rs"), "the snapshot loader parses untrusted bytes");
+        assert!(!np.applies_to("crates/dimkb/src/kb.rs"), "KB construction may panic on bad curated data");
         assert!(!np.applies_to("crates/core/src/experiments.rs"));
         assert!(!np.applies_to("crates/obs/src/lib.rs"));
 
@@ -243,6 +251,7 @@ mod tests {
         assert!(ha.applies_to("crates/dimlink/src/linker.rs"));
         assert!(ha.applies_to("crates/dimlink/src/annotate.rs"));
         assert!(ha.applies_to("crates/par/src/lib.rs"));
+        assert!(ha.applies_to("crates/dimkb/src/snap.rs"), "snapshot validation is budgeted");
         assert!(!ha.applies_to("crates/dimlink/src/reference.rs"), "the oracle may allocate");
         assert!(!ha.applies_to("crates/dimkb/src/kb.rs"), "KB construction is cold");
         assert!(!ha.applies_to("crates/dimlink/tests/proptests.rs"), "tests are out of scope");

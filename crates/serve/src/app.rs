@@ -27,7 +27,7 @@ use dim_core::DimKs;
 use dimkb::degrade::{QuarantineEntry, RecordError};
 use dimlink::{LinkResult, QuantityMention};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 static REQUESTS: dim_obs::Counter = dim_obs::Counter::new("srv.requests");
@@ -37,6 +37,7 @@ static RESP_4XX: dim_obs::Counter = dim_obs::Counter::new("srv.responses.4xx");
 static RESP_5XX: dim_obs::Counter = dim_obs::Counter::new("srv.responses.5xx");
 static DEGRADED: dim_obs::Counter = dim_obs::Counter::new("srv.degraded");
 static QUARANTINED: dim_obs::Counter = dim_obs::Counter::new("srv.quarantined");
+static RELOADS: dim_obs::Counter = dim_obs::Counter::new("srv.reloads");
 
 /// Chaos/quarantine site for the request path (every `POST` consults it).
 pub const SITE_REQUEST: &str = "srv.request";
@@ -58,6 +59,9 @@ pub struct AppConfig {
     pub batch_window: Duration,
     /// Fan-out width for batched engine calls.
     pub parallelism: dim_par::Parallelism,
+    /// Load the KB from this `dimkb::snap` snapshot file instead of
+    /// building it; `/admin/reload` without an explicit path re-reads it.
+    pub snapshot_path: Option<String>,
 }
 
 impl Default for AppConfig {
@@ -68,13 +72,15 @@ impl Default for AppConfig {
             batch_max: 8,
             batch_window: Duration::from_micros(500),
             parallelism: dim_par::Parallelism::SEQUENTIAL,
+            snapshot_path: None,
         }
     }
 }
 
 /// The assembled application: DimKS plus serving infrastructure.
 pub struct App {
-    ks: DimKs,
+    ks: Mutex<Arc<DimKs>>,
+    snapshot_path: Option<String>,
     cache: ShardedLru,
     link_batcher: MicroBatcher<(String, String), Vec<LinkResult>>,
     annotate_batcher: MicroBatcher<String, Vec<QuantityMention>>,
@@ -85,10 +91,21 @@ pub struct App {
 }
 
 impl App {
-    /// Builds the app over the standard (lexical) DimKS.
+    /// Builds the app over the standard (lexical) DimKS, or over a
+    /// snapshot-loaded KB when `config.snapshot_path` is set (falling back
+    /// to the built KB, loudly, if the snapshot cannot be loaded).
     pub fn new(config: AppConfig) -> App {
+        let ks = match config.snapshot_path.as_deref().map(Self::load_snapshot_ks) {
+            Some(Ok(ks)) => ks,
+            Some(Err(e)) => {
+                eprintln!("dim-serve: snapshot load failed ({e}); building the KB instead");
+                DimKs::standard()
+            }
+            None => DimKs::standard(),
+        };
         App {
-            ks: DimKs::standard(),
+            ks: Mutex::new(Arc::new(ks)),
+            snapshot_path: config.snapshot_path.clone(),
             cache: ShardedLru::new(config.cache_shards, config.cache_per_shard),
             link_batcher: MicroBatcher::new(config.batch_max, config.batch_window),
             annotate_batcher: MicroBatcher::new(config.batch_max, config.batch_window),
@@ -102,6 +119,72 @@ impl App {
     /// The response cache (test/report hook).
     pub fn cache(&self) -> &ShardedLru {
         &self.cache
+    }
+
+    /// The current knowledge system. Requests clone the `Arc` once, so an
+    /// `/admin/reload` mid-flight never changes the KB under a handler.
+    pub fn ks(&self) -> Arc<DimKs> {
+        match self.ks.lock() {
+            Ok(g) => g.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        }
+    }
+
+    fn load_snapshot_ks(path: &str) -> Result<DimKs, String> {
+        let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let kb = dimkb::SnapKb::load(bytes)
+            .map_err(|e| format!("{path}: {e}"))?
+            .into_kb()
+            .map_err(|e| format!("{path}: {e}"))?;
+        Ok(DimKs::from_kb(Arc::new(kb)))
+    }
+
+    /// `POST /admin/reload` — hot-swaps the knowledge system. With a
+    /// `{"snapshot": path}` body the KB is decoded from that snapshot
+    /// file; with an empty body the startup source is re-read (the
+    /// configured snapshot, or a fresh standard build). On success the
+    /// response cache is emptied — cached bodies embed unit codes and
+    /// scores from the KB they were computed against.
+    fn reload(&self, req: &Request) -> Response {
+        let body = match req.body_utf8() {
+            Ok(b) => b,
+            Err(e) => return error_response(400, &e.to_string()),
+        };
+        let requested: Option<String> = if body.trim().is_empty() {
+            None
+        } else {
+            match json::parse(body) {
+                Ok(v) => match json::opt_str_field(&v, "snapshot") {
+                    Ok(path) => path.map(str::to_string),
+                    Err(e) => return error_response(400, &e),
+                },
+                Err(e) => return error_response(400, &format!("invalid JSON body: {e}")),
+            }
+        };
+        let path = requested.or_else(|| self.snapshot_path.clone());
+        let (ks, source) = match path.as_deref() {
+            Some(p) => match Self::load_snapshot_ks(p) {
+                Ok(ks) => (ks, "snapshot"),
+                Err(e) => return error_response(422, &e),
+            },
+            None => (DimKs::standard(), "built"),
+        };
+        let units = ks.kb().units().len();
+        let kinds = ks.kb().kinds().len();
+        {
+            let mut slot = match self.ks.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            *slot = Arc::new(ks);
+        }
+        self.cache.clear();
+        RELOADS.inc();
+        let mut out = String::from("{\"reloaded\":true,\"source\":");
+        json::string(&mut out, source);
+        out.push_str(&format!(",\"units\":{units},\"kinds\":{kinds}"));
+        out.push('}');
+        Response::json(200, out)
     }
 
     /// Requests handled so far (monotonic, includes degraded ones).
@@ -149,6 +232,7 @@ impl App {
                 }
                 Response::json(200, body)
             }
+            (Method::Post, "/admin/reload") => self.reload(req),
             (Method::Post, "/link" | "/annotate" | "/convert" | "/solve") => {
                 let seq = self.seq.fetch_add(1, Ordering::Relaxed); // lint:allow(relaxed_ordering, uniqueness comes from fetch_add atomicity; no ordering needed)
                 // The chaos hook: rate 0 ⇒ one acquire load, no effect.
@@ -198,10 +282,11 @@ impl App {
         let context =
             json::opt_str_field(v, "context").map_err(|e| (400, e))?.unwrap_or("").to_string();
         let par = self.parallelism;
+        let ks = self.ks();
         let links = self
             .link_batcher
             .submit((mention.clone(), context), |batch| {
-                dim_par::par_map(par, &batch, |(m, c)| self.ks.link(m, c))
+                dim_par::par_map(par, &batch, |(m, c)| ks.link(m, c))
             })
             .ok_or_else(|| (500, "batch processing failed".to_string()))?;
         let mut out = String::from("{\"mention\":");
@@ -211,24 +296,10 @@ impl App {
             if i > 0 {
                 out.push(',');
             }
-            self.render_link(&mut out, l);
+            render_link(&ks, &mut out, l);
         }
         out.push_str("]}");
         Ok(out)
-    }
-
-    fn render_link(&self, out: &mut String, l: &LinkResult) {
-        out.push_str("{\"code\":");
-        json::string(out, &self.ks.kb().unit(l.unit).code);
-        out.push_str(",\"score\":");
-        json::number(out, l.score);
-        out.push_str(",\"prior\":");
-        json::number(out, l.prior);
-        out.push_str(",\"mention_sim\":");
-        json::number(out, l.mention_sim);
-        out.push_str(",\"context_prob\":");
-        json::number(out, l.context_prob);
-        out.push('}');
     }
 
     /// `POST /annotate` — sentence annotation via the DimKS annotator,
@@ -236,10 +307,11 @@ impl App {
     fn annotate(&self, v: &serde::Value) -> Result<String, (u16, String)> {
         let text = json::str_field(v, "text").map_err(|e| (400, e))?.to_string();
         let par = self.parallelism;
+        let ks = self.ks();
         let mentions = self
             .annotate_batcher
             .submit(text.clone(), |batch| {
-                self.ks.annotator().annotate_batch(&batch, par)
+                ks.annotator().annotate_batch(&batch, par)
             })
             .ok_or_else(|| (500, "batch processing failed".to_string()))?;
         let mut out = String::from("{\"mentions\":[");
@@ -250,7 +322,7 @@ impl App {
             out.push_str("{\"value\":");
             json::number(&mut out, m.value);
             out.push_str(",\"unit\":");
-            json::string(&mut out, &self.ks.kb().unit(m.best_unit()).code);
+            json::string(&mut out, &ks.kb().unit(m.best_unit()).code);
             out.push_str(",\"surface\":");
             json::string(&mut out, &m.unit_surface);
             out.push_str(&format!(",\"start\":{},\"end\":{}", m.start, m.end));
@@ -267,13 +339,13 @@ impl App {
         let value = json::num_field(v, "value").map_err(|e| (400, e))?;
         let from = json::str_field(v, "from").map_err(|e| (400, e))?;
         let to = json::str_field(v, "to").map_err(|e| (400, e))?;
-        let from_id = self.resolve_unit(from).ok_or_else(|| {
+        let ks = self.ks();
+        let from_id = resolve_unit(&ks, from).ok_or_else(|| {
             (422, format!("unknown unit {from:?}"))
         })?;
-        let to_id = self
-            .resolve_unit(to)
-            .ok_or_else(|| (422, format!("unknown unit {to:?}")))?;
-        let kb = self.ks.kb();
+        let to_id =
+            resolve_unit(&ks, to).ok_or_else(|| (422, format!("unknown unit {to:?}")))?;
+        let kb = ks.kb();
         match kb.convert(value, from_id, to_id) {
             Ok(converted) => {
                 let mut out = String::from("{\"value\":");
@@ -301,15 +373,6 @@ impl App {
             }
             Err(e) => Err((422, e.to_string())),
         }
-    }
-
-    /// Resolves a unit surface form: exact naming-dictionary hit first,
-    /// then the linker's fuzzy ranking.
-    fn resolve_unit(&self, surface: &str) -> Option<dimkb::UnitId> {
-        if let Some(&id) = self.ks.kb().lookup(surface).first() {
-            return Some(id);
-        }
-        self.ks.annotator().linker().link(surface, "").first().map(|l| l.unit)
     }
 
     /// The structured degraded `503` for a chaos-faulted request, recording
@@ -350,6 +413,30 @@ impl App {
             Err(poisoned) => poisoned.into_inner(),
         }
     }
+}
+
+/// Resolves a unit surface form: exact naming-dictionary hit first, then
+/// the linker's fuzzy ranking.
+fn resolve_unit(ks: &DimKs, surface: &str) -> Option<dimkb::UnitId> {
+    if let Some(&id) = ks.kb().lookup(surface).first() {
+        return Some(id);
+    }
+    ks.annotator().linker().link(surface, "").first().map(|l| l.unit)
+}
+
+/// Renders one link candidate into the response body.
+fn render_link(ks: &DimKs, out: &mut String, l: &LinkResult) {
+    out.push_str("{\"code\":");
+    json::string(out, &ks.kb().unit(l.unit).code);
+    out.push_str(",\"score\":");
+    json::number(out, l.score);
+    out.push_str(",\"prior\":");
+    json::number(out, l.prior);
+    out.push_str(",\"mention_sim\":");
+    json::number(out, l.mention_sim);
+    out.push_str(",\"context_prob\":");
+    json::number(out, l.context_prob);
+    out.push('}')
 }
 
 /// The cache key for a `POST` request: route + raw body.
@@ -477,5 +564,86 @@ mod tests {
         let r = app.handle(&get("/metrics"));
         assert_eq!(r.status, 200);
         assert!(r.body.starts_with('{') && r.body.contains("\"counters\""), "{}", r.body);
+    }
+
+    #[test]
+    fn admin_reload_swaps_the_ks_and_clears_the_cache() {
+        let app = app();
+        let link = post("/link", "{\"mention\":\"km\",\"context\":\"road\"}");
+        let before = app.handle(&link);
+        assert_eq!(before.status, 200);
+        assert_eq!(app.cache().len(), 1);
+        let old_ks = app.ks();
+
+        let r = app.handle(&post("/admin/reload", ""));
+        assert_eq!(r.status, 200, "{}", r.body);
+        assert!(r.body.contains("\"reloaded\":true"), "{}", r.body);
+        assert!(r.body.contains("\"source\":\"built\""), "{}", r.body);
+        assert_eq!(app.cache().len(), 0, "reload must clear the cache");
+        assert!(!Arc::ptr_eq(&old_ks, &app.ks()), "reload must swap the Arc");
+
+        // The swapped-in KS answers identically.
+        assert_eq!(app.handle(&link).body, before.body);
+    }
+
+    #[test]
+    fn admin_reload_from_a_snapshot_file_serves_identically() {
+        let dir = std::env::temp_dir().join("dim_serve_reload_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("kb.dimksnap");
+        std::fs::write(&path, dimkb::DimUnitKb::shared().to_snapshot()).expect("write snapshot");
+
+        let app = app();
+        let link = post("/link", "{\"mention\":\"dyn/cm\",\"context\":\"surface tension\"}");
+        let convert = post("/convert", "{\"value\":2.5,\"from\":\"km\",\"to\":\"m\"}");
+        let (link_before, convert_before) = (app.handle(&link), app.handle(&convert));
+
+        let body = format!("{{\"snapshot\":{:?}}}", path.to_string_lossy());
+        let r = app.handle(&post("/admin/reload", &body));
+        assert_eq!(r.status, 200, "{}", r.body);
+        assert!(r.body.contains("\"source\":\"snapshot\""), "{}", r.body);
+        assert!(r.body.contains("\"units\":"), "{}", r.body);
+
+        assert_eq!(app.handle(&link).body, link_before.body);
+        assert_eq!(app.handle(&convert).body, convert_before.body);
+    }
+
+    #[test]
+    fn admin_reload_with_a_bad_snapshot_is_a_422_and_keeps_serving() {
+        let dir = std::env::temp_dir().join("dim_serve_reload_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("corrupt.dimksnap");
+        std::fs::write(&path, b"DIMKSNAPgarbage").expect("write corrupt file");
+
+        let app = app();
+        let old_ks = app.ks();
+        let body = format!("{{\"snapshot\":{:?}}}", path.to_string_lossy());
+        let r = app.handle(&post("/admin/reload", &body));
+        assert_eq!(r.status, 422, "{}", r.body);
+        assert!(Arc::ptr_eq(&old_ks, &app.ks()), "failed reload must keep the old KS");
+        assert_eq!(app.handle(&get("/healthz")).status, 200);
+    }
+
+    #[test]
+    fn snapshot_backed_app_answers_like_the_built_app() {
+        let dir = std::env::temp_dir().join("dim_serve_reload_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("kb_startup.dimksnap");
+        std::fs::write(&path, dimkb::DimUnitKb::shared().to_snapshot()).expect("write snapshot");
+
+        let built = app();
+        let snapped = App::new(AppConfig {
+            batch_window: Duration::ZERO,
+            snapshot_path: Some(path.to_string_lossy().into_owned()),
+            ..AppConfig::default()
+        });
+        for req in [
+            post("/link", "{\"mention\":\"mW\",\"context\":\"laser\"}"),
+            post("/annotate", "{\"text\":\"a 12 km road and a 3 t truck\"}"),
+            post("/convert", "{\"value\":1.0,\"from\":\"mi\",\"to\":\"km\"}"),
+        ] {
+            let (b, s) = (built.handle(&req), snapped.handle(&req));
+            assert_eq!((b.status, b.body), (s.status, s.body), "{}", req.target);
+        }
     }
 }

@@ -3,7 +3,11 @@
 //! ```text
 //! cargo run --release --bin dimserve -- [--port N] [--workers N]
 //!     [--queue N] [--threads N] [--chaos-seed S] [--chaos-rate R]
-//!     [--obs-out PATH]
+//!     [--obs-out PATH] [--snapshot PATH]
+//!
+//! With `--snapshot`, the KB is loaded from a `dimsnap emit` binary
+//! snapshot (microsecond validation + lazy decode) instead of being built;
+//! `POST /admin/reload` re-reads it without restarting the server.
 //! ```
 //!
 //! Serves `POST /link|/annotate|/convert|/solve` and `GET
@@ -37,6 +41,7 @@ fn main() {
     let chaos_seed: u64 = parse_flag("--chaos-seed", 7);
     let chaos_rate: f64 = parse_flag("--chaos-rate", 0.0);
     let obs_out = flag("--obs-out").unwrap_or_else(|| "obs_report.json".to_string());
+    let snapshot = flag("--snapshot");
 
     if chaos_rate > 0.0 {
         // Injected panics are expected and caught per-request; keep stderr
@@ -54,6 +59,7 @@ fn main() {
         idle_timeout_ticks: 2400, // ~60 s of idle keep-alive
         app: AppConfig {
             parallelism: dim_par::Parallelism::new(threads),
+            snapshot_path: snapshot,
             ..AppConfig::default()
         },
     };

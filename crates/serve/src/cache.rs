@@ -109,6 +109,16 @@ impl ShardedLru {
         evicted
     }
 
+    /// Empties every shard. Used on `/admin/reload`: cached responses
+    /// embed unit codes and scores from the KB they were computed against,
+    /// so a KB swap invalidates them all.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            lock(shard).entries.clear();
+        }
+        CACHE_ENTRIES.set(0);
+    }
+
     /// The keys of one shard, least- to most-recently-used (test hook for
     /// the eviction-order contract).
     pub fn shard_keys(&self, shard: usize) -> Vec<String> {

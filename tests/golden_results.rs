@@ -75,6 +75,33 @@ fn table4_matches_golden() {
     assert_matches_golden("table4.txt", &render::table4());
 }
 
+/// Paper parity for Table IV: the grown DimUnitKB must meet the scale the
+/// paper reports for its knowledge base — 1778 units across 327 quantity
+/// kinds — and the binary snapshot must reproduce exactly the same
+/// statistics. Floors, not equalities: the KB may keep growing, but it
+/// must never shrink below the paper again.
+#[test]
+fn table4_reaches_paper_scale_and_snapshot_agrees() {
+    use dimension_perception::kb::{stats, DimUnitKb};
+
+    let built = stats::statistics(&DimUnitKb::shared());
+    assert!(
+        built.units >= 1778,
+        "paper reports 1778 units; the KB has regressed to {}",
+        built.units,
+    );
+    assert!(
+        built.quantity_kinds >= 327,
+        "paper reports 327 quantity kinds; the KB has regressed to {}",
+        built.quantity_kinds,
+    );
+    assert_eq!(built.languages, "En&Zh");
+    assert!(built.has_frequency);
+
+    let snapped = stats::statistics(&DimUnitKb::shared_snap());
+    assert_eq!(snapped, built, "snapshot-loaded KB must report identical Table IV statistics");
+}
+
 #[test]
 fn fig3_matches_golden() {
     assert_matches_golden("fig3.txt", &render::fig3());
