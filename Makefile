@@ -1,12 +1,13 @@
-.PHONY: verify build test clippy lint smoke golden chaos serve-smoke no-panic-hotpath no-artifacts bench-baseline bench-serve bench-gate snap-gate
+.PHONY: verify build test clippy lint smoke golden chaos serve-smoke serve-soak no-panic-hotpath no-artifacts bench-baseline bench-serve bench-gate snap-gate
 
 # Full offline verification: release build, workspace tests, lints (clippy
 # plus the dim-lint invariant engine), the golden-results harness, the
 # chaos (fault-injection) harness, a quick end-to-end smoke of the
 # experiment suite (with the metrics layer live), the serving-layer smoke
-# (golden HTTP transcript over an ephemeral port), and a check that no
-# build artifacts are tracked. No network required.
-verify: build test clippy lint golden chaos smoke serve-smoke bench-gate snap-gate no-artifacts
+# (golden HTTP transcript over an ephemeral port), the overload/chaos soak
+# gate, and a check that no build artifacts are tracked. No network
+# required.
+verify: build test clippy lint golden chaos smoke serve-smoke serve-soak bench-gate snap-gate no-artifacts
 
 build:
 	cargo build --workspace --release
@@ -39,6 +40,16 @@ chaos:
 #   UPDATE_GOLDEN=1 cargo test --test serve
 serve-smoke:
 	cargo test --release --test serve -q
+
+# Overload/chaos soak gate: four short deterministic soaks of an
+# overloaded in-process server (clients beyond the admission limit, tight
+# deadlines). Asserts the deterministic block is byte-identical across
+# identical runs and under a rate-0 connection-fault plan, and that a
+# positive-rate plan (stall / partial-write / abrupt-close) is survived
+# with zero panics, zero leaked connection permits, and unchanged final
+# response bytes (see EXPERIMENTS.md "Overload soak methodology").
+serve-soak:
+	cargo run --release -p dim-serve --bin serve_soak
 
 # The workspace invariant linter (crates/lint, DESIGN.md §11): string- and
 # comment-aware enforcement of no-panic-hotpath, determinism,
@@ -78,9 +89,11 @@ snap-gate:
 bench-baseline:
 	BENCH_JSON=$(CURDIR)/BENCH_baseline.json cargo bench --workspace
 
-# Regenerates BENCH_serve.json: the seeded closed-loop load generator over
-# an in-process dim-serve (see EXPERIMENTS.md "Serving-layer load
-# methodology"). The "deterministic" block must be byte-identical
-# run-to-run; the "timing" block varies with the machine.
+# Regenerates BENCH_serve.json: the seeded retrying load generator over an
+# in-process dim-serve in the overload soak profile — ≥100k logical
+# requests against a server admitting fewer connections than there are
+# clients (see EXPERIMENTS.md "Serving-layer load methodology"). The
+# "deterministic" block must be byte-identical run-to-run; the "load" and
+# "timing" blocks vary with the machine.
 bench-serve:
-	cargo run --release -p dim-serve --bin loadgen -- --out $(CURDIR)/BENCH_serve.json
+	cargo run --release -p dim-serve --bin loadgen -- --soak --out $(CURDIR)/BENCH_serve.json

@@ -205,9 +205,12 @@ pub fn install(plan: FaultPlan) {
     ENABLED.store(plan.is_active(), Ordering::Release);
 }
 
-/// Disables injection (the default state).
+/// Disables injection (the default state). Also clears the connection-level
+/// plan, so `clear()` restores the fully chaos-free world — test harnesses
+/// rely on one call resetting everything.
 pub fn clear() {
     ENABLED.store(false, Ordering::Release);
+    CONN_ENABLED.store(false, Ordering::Release);
 }
 
 /// Whether a fault plan is installed and active. Acquire pairs with the
@@ -264,6 +267,200 @@ pub fn silence_injected_panic_reports() {
             prev(info);
         }));
     });
+}
+
+// ===================== connection-level faults =====================
+
+/// Transport-level fault kinds, injected by the serving layer per
+/// *connection* rather than per record. They are deliberately a separate
+/// taxonomy from [`FaultKind`]: adding members to [`FaultKind::ALL`] would
+/// shift the kind-selection stream of every existing record-fault plan and
+/// silently rewrite the chaos goldens, whereas connection faults get their
+/// own plan, their own globals, and their own decision stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ConnFault {
+    /// A bounded pause before the connection is served (a slow worker /
+    /// congested network in miniature).
+    Stall,
+    /// The first response is cut off mid-write and the connection closed —
+    /// the client observes a truncated frame.
+    PartialWrite,
+    /// The connection is closed before a single byte is read or written.
+    AbruptClose,
+}
+
+impl ConnFault {
+    /// All kinds, in the fixed order used for deterministic kind selection.
+    pub const ALL: [ConnFault; 3] =
+        [ConnFault::Stall, ConnFault::PartialWrite, ConnFault::AbruptClose];
+
+    /// Stable lowercase name, used in plan banners and soak reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ConnFault::Stall => "stall",
+            ConnFault::PartialWrite => "partial-write",
+            ConnFault::AbruptClose => "abrupt-close",
+        }
+    }
+
+    fn bit(self) -> u64 {
+        match self {
+            ConnFault::Stall => 1,
+            ConnFault::PartialWrite => 2,
+            ConnFault::AbruptClose => 4,
+        }
+    }
+}
+
+/// A set of [`ConnFault`]s, stored as a bitmask.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConnFaultKinds(u64);
+
+impl ConnFaultKinds {
+    /// The empty set (a plan with no kinds never fires).
+    pub const NONE: ConnFaultKinds = ConnFaultKinds(0);
+    /// Every connection fault kind.
+    pub const ALL: ConnFaultKinds = ConnFaultKinds(0b111);
+
+    /// A set containing exactly `kind`.
+    pub fn only(kind: ConnFault) -> ConnFaultKinds {
+        ConnFaultKinds(kind.bit())
+    }
+
+    /// This set plus `kind`.
+    pub fn with(self, kind: ConnFault) -> ConnFaultKinds {
+        ConnFaultKinds(self.0 | kind.bit())
+    }
+
+    /// Whether `kind` is in the set.
+    pub fn contains(self, kind: ConnFault) -> bool {
+        self.0 & kind.bit() != 0
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Members in the fixed [`ConnFault::ALL`] order.
+    pub fn members(self) -> Vec<ConnFault> {
+        ConnFault::ALL.into_iter().filter(|k| self.contains(*k)).collect()
+    }
+
+    /// `stall|partial-write|...` rendering for plan banners.
+    pub fn render(self) -> String {
+        let names: Vec<&str> = self.members().iter().map(|k| k.name()).collect();
+        if names.is_empty() {
+            "none".to_string()
+        } else {
+            names.join("|")
+        }
+    }
+}
+
+/// A connection-fault plan: which fraction of connections fault, which
+/// kinds are allowed, and the seed that makes every decision reproducible.
+/// Decisions are a pure function of `(seed, site, index)` exactly like
+/// [`FaultPlan::decide`], but salted differently so a shared seed does not
+/// correlate the record and connection streams.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConnPlan {
+    /// Master seed; decisions are a pure function of `(seed, site, index)`.
+    pub seed: u64,
+    /// Fault probability per connection in `[0, 1]`. Rate `0.0` never fires.
+    pub rate: f64,
+    /// Which connection fault kinds may be injected.
+    pub kinds: ConnFaultKinds,
+}
+
+impl ConnPlan {
+    /// A plan injecting every connection fault kind at `rate` under `seed`.
+    pub fn new(seed: u64, rate: f64) -> ConnPlan {
+        ConnPlan { seed, rate, kinds: ConnFaultKinds::ALL }
+    }
+
+    /// Whether this plan can ever fire.
+    pub fn is_active(&self) -> bool {
+        self.rate > 0.0 && !self.kinds.is_empty()
+    }
+
+    /// The pure decision function: does connection `site[index]` fault,
+    /// and how? Same finalizer discipline as [`FaultPlan::decide`].
+    pub fn decide(&self, site: &str, index: u64) -> Option<ConnFault> {
+        if !self.is_active() {
+            return None;
+        }
+        let h = mix(self.seed ^ CONN_STREAM_SALT, fnv1a(site.as_bytes()), index);
+        let draw = (h >> 11) as f64 / (1u64 << 53) as f64;
+        if draw >= self.rate {
+            return None;
+        }
+        let members = self.kinds.members();
+        let pick = mix(h, 0x9E37_79B9_7F4A_7C15, index) as usize % members.len();
+        // lint:allow(no_panic, pick < members.len() by the modulo above; members is non-empty because is_active() checked kinds)
+        Some(members[pick])
+    }
+
+    /// The deterministic stall duration for a [`ConnFault::Stall`] decision
+    /// at `site[index]`, in milliseconds — bounded to `1..=8` so a chaos
+    /// soak slows down but never wedges.
+    pub fn stall_ms(&self, site: &str, index: u64) -> u64 {
+        1 + (mix(self.seed ^ CONN_STREAM_SALT, fnv1a(site.as_bytes()), index.rotate_left(17)) % 8)
+    }
+}
+
+// Connection-plan globals: same publish discipline as the record plan —
+// `CONN_ENABLED` is the single acquire load on the disabled fast path, and
+// `install_conn` publishes the fields with its release store.
+static CONN_ENABLED: AtomicBool = AtomicBool::new(false);
+static CONN_SEED: AtomicU64 = AtomicU64::new(0);
+static CONN_RATE_BITS: AtomicU64 = AtomicU64::new(0);
+static CONN_KINDS: AtomicU64 = AtomicU64::new(0);
+
+/// Stream salt separating connection-fault draws from record-fault draws
+/// under a shared seed.
+const CONN_STREAM_SALT: u64 = 0x5EED_C044_FA17_0001;
+
+/// Installs `plan` as the global connection-fault plan. A plan that can
+/// never fire leaves the connection injector disabled, so a rate-0 plan is
+/// indistinguishable from no plan at all.
+pub fn install_conn(plan: ConnPlan) {
+    CONN_SEED.store(plan.seed, Ordering::Relaxed); // lint:allow(relaxed_ordering, published by the release store of CONN_ENABLED below)
+    CONN_RATE_BITS.store(plan.rate.to_bits(), Ordering::Relaxed); // lint:allow(relaxed_ordering, published by the release store of CONN_ENABLED below)
+    CONN_KINDS.store(plan.kinds.0, Ordering::Relaxed); // lint:allow(relaxed_ordering, published by the release store of CONN_ENABLED below)
+    CONN_ENABLED.store(plan.is_active(), Ordering::Release);
+}
+
+/// Disables connection-fault injection (the default state).
+pub fn clear_conn() {
+    CONN_ENABLED.store(false, Ordering::Release);
+}
+
+/// Whether a connection-fault plan is installed and active.
+pub fn conn_enabled() -> bool {
+    CONN_ENABLED.load(Ordering::Acquire)
+}
+
+/// The installed connection plan, if the injector is enabled.
+pub fn current_conn_plan() -> Option<ConnPlan> {
+    if !conn_enabled() {
+        return None;
+    }
+    Some(ConnPlan {
+        seed: CONN_SEED.load(Ordering::Relaxed), // lint:allow(relaxed_ordering, ordered by the acquire load of CONN_ENABLED in conn_enabled())
+        rate: f64::from_bits(CONN_RATE_BITS.load(Ordering::Relaxed)), // lint:allow(relaxed_ordering, ordered by the acquire load of CONN_ENABLED in conn_enabled())
+        kinds: ConnFaultKinds(CONN_KINDS.load(Ordering::Relaxed)), // lint:allow(relaxed_ordering, ordered by the acquire load of CONN_ENABLED in conn_enabled())
+    })
+}
+
+/// The per-connection injection check. Disabled: exactly one acquire
+/// atomic load. Enabled: delegates to [`ConnPlan::decide`].
+#[inline]
+pub fn conn_fault_at(site: &str, index: u64) -> Option<ConnFault> {
+    if !CONN_ENABLED.load(Ordering::Acquire) {
+        return None;
+    }
+    current_conn_plan().and_then(|plan| plan.decide(site, index))
 }
 
 /// FNV-1a over the site name: cheap, stable, and good enough to separate the
@@ -391,6 +588,97 @@ mod tests {
         assert_eq!(FaultKinds::ALL.render(), "panic|malformed-expr|corrupt-kb|oversize");
         assert_eq!(FaultKinds::NONE.render(), "none");
         assert_eq!(FaultKinds::only(FaultKind::CorruptKb).render(), "corrupt-kb");
+    }
+
+    #[test]
+    fn conn_plan_disabled_by_default_and_independent_of_record_plan() {
+        let _g = locked();
+        clear();
+        assert!(!conn_enabled());
+        assert_eq!(conn_fault_at("srv.conn", 0), None);
+        // Installing a record plan must not enable connection faults.
+        install(FaultPlan::new(7, 0.5));
+        assert!(!conn_enabled());
+        assert_eq!(conn_fault_at("srv.conn", 0), None);
+        // And vice versa: a conn plan leaves the record injector alone.
+        clear();
+        install_conn(ConnPlan::new(7, 0.5));
+        assert!(conn_enabled());
+        assert!(!enabled());
+        assert_eq!(fault_at("srv.request", 0), None);
+        clear();
+        assert!(!conn_enabled(), "clear() resets both plans");
+    }
+
+    #[test]
+    fn conn_rate_zero_plan_never_fires() {
+        let _g = locked();
+        install_conn(ConnPlan::new(9, 0.0));
+        assert!(!conn_enabled());
+        for i in 0..1000 {
+            assert_eq!(conn_fault_at("srv.conn", i), None);
+        }
+        clear_conn();
+    }
+
+    #[test]
+    fn conn_decisions_are_deterministic_and_decorrelated_from_record_stream() {
+        let conn = ConnPlan::new(0xC4A05, 0.25);
+        let rec = FaultPlan::new(0xC4A05, 0.25);
+        let a: Vec<_> = (0..500).map(|i| conn.decide("srv.conn", i)).collect();
+        let b: Vec<_> = (0..500).map(|i| conn.decide("srv.conn", i)).collect();
+        assert_eq!(a, b, "same inputs must give same decisions");
+        let fired: Vec<u64> = (0..500).filter(|&i| conn.decide("srv.conn", i).is_some()).collect();
+        let rec_fired: Vec<u64> = (0..500).filter(|&i| rec.decide("srv.conn", i).is_some()).collect();
+        assert_ne!(fired, rec_fired, "shared seed must not correlate the two streams");
+        assert!(!fired.is_empty(), "rate 0.25 over 500 connections must fire");
+    }
+
+    #[test]
+    fn conn_kind_filtering_and_rate_one() {
+        let plan = ConnPlan {
+            seed: 11,
+            rate: 1.0,
+            kinds: ConnFaultKinds::only(ConnFault::Stall).with(ConnFault::AbruptClose),
+        };
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..500 {
+            let k = plan.decide("srv.conn", i).expect("rate 1.0 always fires");
+            assert!(matches!(k, ConnFault::Stall | ConnFault::AbruptClose));
+            seen.insert(k);
+        }
+        assert_eq!(seen.len(), 2, "both allowed kinds should appear");
+    }
+
+    #[test]
+    fn conn_stall_is_bounded_and_deterministic() {
+        let plan = ConnPlan::new(3, 1.0);
+        for i in 0..200 {
+            let ms = plan.stall_ms("srv.conn", i);
+            assert!((1..=8).contains(&ms), "stall {ms}ms out of bounds");
+            assert_eq!(ms, plan.stall_ms("srv.conn", i));
+        }
+    }
+
+    #[test]
+    fn conn_kinds_render_in_fixed_order() {
+        assert_eq!(ConnFaultKinds::ALL.render(), "stall|partial-write|abrupt-close");
+        assert_eq!(ConnFaultKinds::NONE.render(), "none");
+        assert_eq!(ConnFaultKinds::only(ConnFault::PartialWrite).render(), "partial-write");
+    }
+
+    #[test]
+    fn conn_current_plan_round_trips() {
+        let _g = locked();
+        let plan = ConnPlan {
+            seed: 321,
+            rate: 0.0625,
+            kinds: ConnFaultKinds::only(ConnFault::AbruptClose),
+        };
+        install_conn(plan);
+        assert_eq!(current_conn_plan(), Some(plan));
+        clear_conn();
+        assert_eq!(current_conn_plan(), None);
     }
 
     #[test]

@@ -136,6 +136,11 @@ impl RuleId {
                     // The snapshot codec: load must stay allocation-lean so
                     // validation holds its microsecond budget.
                     || rel_path == "crates/dimkb/src/snap.rs"
+                    // Admission and deadline checks run once per accepted
+                    // connection / parsed request — the overload fast path
+                    // must shed without allocating.
+                    || rel_path == "crates/serve/src/admission.rs"
+                    || rel_path == "crates/serve/src/deadline.rs"
             }
         }
     }
@@ -252,6 +257,9 @@ mod tests {
         assert!(ha.applies_to("crates/dimlink/src/annotate.rs"));
         assert!(ha.applies_to("crates/par/src/lib.rs"));
         assert!(ha.applies_to("crates/dimkb/src/snap.rs"), "snapshot validation is budgeted");
+        assert!(ha.applies_to("crates/serve/src/admission.rs"), "shedding must not allocate");
+        assert!(ha.applies_to("crates/serve/src/deadline.rs"), "budget checks are per-request");
+        assert!(!ha.applies_to("crates/serve/src/load.rs"), "the load client may allocate");
         assert!(!ha.applies_to("crates/dimlink/src/reference.rs"), "the oracle may allocate");
         assert!(!ha.applies_to("crates/dimkb/src/kb.rs"), "KB construction is cold");
         assert!(!ha.applies_to("crates/dimlink/tests/proptests.rs"), "tests are out of scope");

@@ -21,6 +21,7 @@
 //! isolation and land in the same degraded path.
 
 use crate::cache::ShardedLru;
+use crate::deadline::Deadline;
 use crate::http::{Method, Request, Response};
 use crate::{batcher::MicroBatcher, json};
 use dim_core::DimKs;
@@ -70,7 +71,10 @@ impl Default for AppConfig {
             cache_shards: 8,
             cache_per_shard: 128,
             batch_max: 8,
-            batch_window: Duration::from_micros(500),
+            // Zero: the batcher's drain loop coalesces under load without a
+            // linger, so the window is purely opt-in extra coalescing — a
+            // positive default put a ~500µs floor under every cache miss.
+            batch_window: Duration::ZERO,
             parallelism: dim_par::Parallelism::SEQUENTIAL,
             snapshot_path: None,
         }
@@ -202,10 +206,18 @@ impl App {
     /// through the engine or an injected fault, and the server worker wraps
     /// this call in per-request isolation — see [`App::degraded_response`].)
     pub fn handle(&self, req: &Request) -> Response {
+        self.handle_with_deadline(req, Deadline::unbounded())
+    }
+
+    /// [`App::handle`] with the request's deadline budget. The deadline is
+    /// not re-checked here (the server sheds expired requests before
+    /// dispatch); it propagates into the micro-batchers, clamping how long
+    /// this request may linger waiting for batch-mates.
+    pub fn handle_with_deadline(&self, req: &Request, deadline: Deadline) -> Response {
         let _span = REQUEST_SPAN.span();
         REQUESTS.inc();
         self.handled.fetch_add(1, Ordering::Relaxed); // lint:allow(relaxed_ordering, pure counter; atomicity alone gives a lossless total)
-        let response = self.route(req);
+        let response = self.route(req, deadline);
         match response.status {
             200..=299 => RESP_2XX.inc(),
             400..=499 => RESP_4XX.inc(),
@@ -220,7 +232,7 @@ impl App {
         self.seq.load(Ordering::Relaxed) // lint:allow(relaxed_ordering, advisory read of the stamp counter; no data guarded by it)
     }
 
-    fn route(&self, req: &Request) -> Response {
+    fn route(&self, req: &Request, deadline: Deadline) -> Response {
         match (req.method, req.target.as_str()) {
             (Method::Get, "/healthz") => Response::json(200, "{\"status\":\"ok\"}".to_string()),
             (Method::Get, "/metrics") => {
@@ -239,14 +251,14 @@ impl App {
                 if let Err(e) = dimkb::degrade::inject(SITE_REQUEST, seq as usize) {
                     return self.quarantined_response(seq, e);
                 }
-                self.dispatch_post(req)
+                self.dispatch_post(req, deadline)
             }
             (Method::Post, _) => error_response(404, "no such endpoint"),
             (Method::Get, _) => error_response(404, "no such endpoint"),
         }
     }
 
-    fn dispatch_post(&self, req: &Request) -> Response {
+    fn dispatch_post(&self, req: &Request, deadline: Deadline) -> Response {
         let body = match req.body_utf8() {
             Ok(b) => b,
             Err(e) => return error_response(400, &e.to_string()),
@@ -260,8 +272,8 @@ impl App {
             Err(e) => return error_response(400, &format!("invalid JSON body: {e}")),
         };
         let result = match req.target.as_str() {
-            "/link" => self.link(&parsed),
-            "/annotate" => self.annotate(&parsed),
+            "/link" => self.link(&parsed, deadline),
+            "/annotate" => self.annotate(&parsed, deadline),
             "/convert" => self.convert(&parsed),
             "/solve" => self.solve(&parsed),
             _ => Err((404, "no such endpoint".to_string())),
@@ -277,7 +289,7 @@ impl App {
 
     /// `POST /link` — unit linking (Definition 1), micro-batched so
     /// concurrent queries share one `par_map` fan-out.
-    fn link(&self, v: &serde::Value) -> Result<String, (u16, String)> {
+    fn link(&self, v: &serde::Value, deadline: Deadline) -> Result<String, (u16, String)> {
         let mention = json::str_field(v, "mention").map_err(|e| (400, e))?.to_string();
         let context =
             json::opt_str_field(v, "context").map_err(|e| (400, e))?.unwrap_or("").to_string();
@@ -285,7 +297,7 @@ impl App {
         let ks = self.ks();
         let links = self
             .link_batcher
-            .submit((mention.clone(), context), |batch| {
+            .submit_deadline((mention.clone(), context), deadline.instant(), |batch| {
                 dim_par::par_map(par, &batch, |(m, c)| ks.link(m, c))
             })
             .ok_or_else(|| (500, "batch processing failed".to_string()))?;
@@ -304,13 +316,13 @@ impl App {
 
     /// `POST /annotate` — sentence annotation via the DimKS annotator,
     /// micro-batched into `annotate_batch`.
-    fn annotate(&self, v: &serde::Value) -> Result<String, (u16, String)> {
+    fn annotate(&self, v: &serde::Value, deadline: Deadline) -> Result<String, (u16, String)> {
         let text = json::str_field(v, "text").map_err(|e| (400, e))?.to_string();
         let par = self.parallelism;
         let ks = self.ks();
         let mentions = self
             .annotate_batcher
-            .submit(text.clone(), |batch| {
+            .submit_deadline(text.clone(), deadline.instant(), |batch| {
                 ks.annotator().annotate_batch(&batch, par)
             })
             .ok_or_else(|| (500, "batch processing failed".to_string()))?;

@@ -3,12 +3,17 @@
 //! `annotate_batch` / `par_map` fan-out paths the offline pipeline uses.
 //!
 //! Shape: the first worker to submit while no batch is forming becomes the
-//! *leader*. It waits up to the configured window (or until the batch cap
-//! is reached) for followers, then takes the whole pending set, runs the
-//! processing function once over the slice, and hands each submitter its
-//! result through a channel. Followers just block on their channel. Because
-//! the processing functions are item-independent (`annotate_batch` output
-//! per text equals `annotate`; `par_map` over link queries equals one
+//! *leader*. It optionally lingers for followers (up to the configured
+//! window, clamped by the tightest deadline among pending items), then
+//! enters a **drain loop**: flush whatever is pending, run the processing
+//! function once over the slice, hand each submitter its result, and repeat
+//! until nothing new arrived while it was busy. The drain loop is what lets
+//! a zero window still batch under load — followers that submit while the
+//! leader is processing form the next batch with no added latency, so the
+//! window is a throughput knob, not a latency floor.
+//!
+//! Because the processing functions are item-independent (`annotate_batch`
+//! output per text equals `annotate`; `par_map` over link queries equals one
 //! `link` each), *which* requests share a batch can never change any
 //! response byte — batching only changes throughput.
 
@@ -22,6 +27,10 @@ static BATCH_SIZE: dim_obs::Histogram = dim_obs::Histogram::with_unit("srv.batch
 
 struct Pending<T, R> {
     items: Vec<(T, mpsc::Sender<R>)>,
+    /// Tightest request deadline among pending items, if any carries one.
+    /// Clamps the leader's linger so no submitter waits for batch-mates it
+    /// cannot afford.
+    min_deadline: Option<Instant>,
     leader_active: bool,
 }
 
@@ -31,7 +40,7 @@ pub struct MicroBatcher<T, R> {
     arrived: Condvar,
     /// Flush as soon as this many items are pending.
     max_batch: usize,
-    /// How long a leader waits for followers before flushing.
+    /// How long a leader lingers for followers before the first flush.
     window: Duration,
 }
 
@@ -40,18 +49,33 @@ impl<T: Send, R: Send> MicroBatcher<T, R> {
     /// comes first (`max_batch` clamped to at least 1).
     pub fn new(max_batch: usize, window: Duration) -> MicroBatcher<T, R> {
         MicroBatcher {
-            state: Mutex::new(Pending { items: Vec::new(), leader_active: false }),
+            state: Mutex::new(Pending {
+                items: Vec::new(),
+                min_deadline: None,
+                leader_active: false,
+            }),
             arrived: Condvar::new(),
             max_batch: max_batch.max(1),
             window,
         }
     }
 
-    /// Submits one item and blocks until its result is ready. `process`
-    /// must return exactly one result per input, in input order (a
-    /// violation degrades to `None` for the affected submitters — it never
-    /// panics a worker).
+    /// Submits one item with no deadline and blocks until its result is
+    /// ready. See [`MicroBatcher::submit_deadline`].
     pub fn submit<F>(&self, item: T, process: F) -> Option<R>
+    where
+        F: Fn(Vec<T>) -> Vec<R>,
+    {
+        self.submit_deadline(item, None, process)
+    }
+
+    /// Submits one item carrying an optional absolute deadline and blocks
+    /// until its result is ready. The deadline does not cancel processing —
+    /// it only clamps how long a leader may linger while this item is
+    /// pending. `process` must return exactly one result per input, in
+    /// input order (a violation degrades to `None` for the affected
+    /// submitters — it never panics a worker).
+    pub fn submit_deadline<F>(&self, item: T, deadline: Option<Instant>, process: F) -> Option<R>
     where
         F: Fn(Vec<T>) -> Vec<R>,
     {
@@ -59,6 +83,10 @@ impl<T: Send, R: Send> MicroBatcher<T, R> {
         let lead = {
             let mut state = self.lock();
             state.items.push((item, tx));
+            state.min_deadline = match (state.min_deadline, deadline) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
             if state.leader_active {
                 // A leader is already collecting; it will flush this item.
                 self.arrived.notify_all();
@@ -69,40 +97,73 @@ impl<T: Send, R: Send> MicroBatcher<T, R> {
             }
         };
         if lead {
-            self.lead(process);
+            self.lead(&process);
         }
         rx.recv().ok()
     }
 
-    /// Leader duty: wait out the window (or the batch cap), then flush.
-    fn lead<F>(&self, process: F)
+    /// Leader duty: linger once for followers, then drain-loop until no
+    /// items are pending, and only then retire the leader role.
+    fn lead<F>(&self, process: &F)
     where
         F: Fn(Vec<T>) -> Vec<R>,
     {
-        let deadline = Instant::now() + self.window;
         let mut state = self.lock();
-        while state.items.len() < self.max_batch {
-            let now = Instant::now();
-            let Some(left) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
-            else {
-                break;
-            };
-            let (guard, timeout) = match self.arrived.wait_timeout(state, left) {
-                Ok(pair) => pair,
-                Err(poisoned) => {
-                    let pair = poisoned.into_inner();
-                    (pair.0, pair.1)
-                }
-            };
-            state = guard;
-            if timeout.timed_out() {
-                break;
-            }
+        if !self.window.is_zero() {
+            state = self.linger(state);
         }
-        let batch: Vec<(T, mpsc::Sender<R>)> = std::mem::take(&mut state.items);
-        state.leader_active = false;
-        drop(state);
+        loop {
+            let batch = std::mem::take(&mut state.items);
+            state.min_deadline = None;
+            if batch.is_empty() {
+                state.leader_active = false;
+                return;
+            }
+            drop(state);
+            self.flush(batch, process);
+            state = self.lock();
+        }
+    }
 
+    /// Waits for followers until the batch cap, the window, or the tightest
+    /// pending deadline — whichever comes first.
+    ///
+    /// The loop is spurious-wakeup safe by construction: every pass
+    /// recomputes the remaining budget from the clock and exits on a
+    /// non-positive budget *before* waiting again. It deliberately ignores
+    /// `WaitTimeoutResult` — trusting that flag, as the previous version
+    /// did, let a wakeup that raced the deadline re-enter `wait_timeout`
+    /// with a recomputed zero budget or mis-break early on a spurious
+    /// wakeup reported as a timeout.
+    fn linger<'a>(
+        &'a self,
+        mut state: MutexGuard<'a, Pending<T, R>>,
+    ) -> MutexGuard<'a, Pending<T, R>> {
+        let window_end = Instant::now() + self.window;
+        loop {
+            if state.items.len() >= self.max_batch {
+                return state;
+            }
+            let end = match state.min_deadline {
+                Some(d) => d.min(window_end),
+                None => window_end,
+            };
+            let Some(left) = end.checked_duration_since(Instant::now()).filter(|d| !d.is_zero())
+            else {
+                return state;
+            };
+            state = match self.arrived.wait_timeout(state, left) {
+                Ok((guard, _)) => guard,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
+        }
+    }
+
+    /// Runs `process` over one taken batch and distributes the results.
+    fn flush<F>(&self, batch: Vec<(T, mpsc::Sender<R>)>, process: &F)
+    where
+        F: Fn(Vec<T>) -> Vec<R>,
+    {
         BATCH_FLUSHES.inc();
         BATCH_ITEMS.add(batch.len() as u64);
         BATCH_SIZE.record(batch.len() as u64);
@@ -165,6 +226,34 @@ mod tests {
     }
 
     #[test]
+    fn zero_window_still_coalesces_under_load() {
+        // The drain loop — not the window — is what batches: with a zero
+        // window and a slow process fn, followers that submit while the
+        // leader is busy ride the next flush instead of each taking their
+        // own.
+        let b = Arc::new(MicroBatcher::new(64, Duration::ZERO));
+        let flushes = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8u64)
+            .map(|i| {
+                let b = b.clone();
+                let flushes = flushes.clone();
+                std::thread::spawn(move || {
+                    b.submit(i, move |items| {
+                        flushes.fetch_add(1, Ordering::SeqCst);
+                        std::thread::sleep(Duration::from_millis(10));
+                        items.into_iter().map(|x| x + 100).collect()
+                    })
+                })
+            })
+            .collect();
+        let mut results: Vec<u64> =
+            handles.into_iter().map(|h| h.join().expect("thread").expect("result")).collect();
+        results.sort_unstable();
+        assert_eq!(results, (100..108).collect::<Vec<_>>());
+        assert!(flushes.load(Ordering::SeqCst) < 8, "drain loop did not coalesce");
+    }
+
+    #[test]
     fn batch_cap_short_circuits_the_window() {
         let b = Arc::new(MicroBatcher::new(2, Duration::from_secs(30)));
         let started = Instant::now();
@@ -179,6 +268,41 @@ mod tests {
         let mut got = vec![here.expect("result"), joined.expect("result")];
         got.sort_unstable();
         assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn expired_deadline_clamps_the_linger_window() {
+        // Regression for the wait-loop restructure: an item whose deadline
+        // already passed must flush immediately even under a huge window —
+        // the old loop could only exit early via the batch cap or the
+        // (mis)trusted timeout flag.
+        let b: MicroBatcher<u8, u8> = MicroBatcher::new(64, Duration::from_secs(30));
+        let started = Instant::now();
+        let out = b.submit_deadline(9u8, Some(Instant::now()), |items| items);
+        assert_eq!(out, Some(9));
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "expired deadline failed to clamp the 30s window"
+        );
+    }
+
+    #[test]
+    fn tight_deadline_flushes_well_before_the_window() {
+        let b: Arc<MicroBatcher<u8, u8>> = Arc::new(MicroBatcher::new(64, Duration::from_secs(30)));
+        let started = Instant::now();
+        let b2 = b.clone();
+        let leader = std::thread::spawn(move || {
+            b2.submit_deadline(1u8, Some(Instant::now() + Duration::from_millis(20)), |items| {
+                items
+            })
+        });
+        let follower = b.submit_deadline(2u8, None, |items| items);
+        assert_eq!(leader.join().expect("thread"), Some(1));
+        assert_eq!(follower, Some(2));
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "tight deadline failed to clamp the linger"
+        );
     }
 
     #[test]

@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! cargo run --release --bin dimserve -- [--port N] [--workers N]
-//!     [--queue N] [--threads N] [--chaos-seed S] [--chaos-rate R]
+//!     [--queue N] [--threads N] [--max-conns N] [--deadline-ms N]
+//!     [--max-deadline-ms N] [--header-budget-ms N]
+//!     [--chaos-seed S] [--chaos-rate R] [--conn-chaos-rate R]
 //!     [--obs-out PATH] [--snapshot PATH]
 //!
 //! With `--snapshot`, the KB is loaded from a `dimsnap emit` binary
@@ -38,8 +40,13 @@ fn main() {
     let workers: usize = parse_flag("--workers", 2);
     let queue: usize = parse_flag("--queue", 64);
     let threads: usize = parse_flag("--threads", 1);
+    let max_conns: usize = parse_flag("--max-conns", 256);
+    let deadline_ms: u64 = parse_flag("--deadline-ms", 5000);
+    let max_deadline_ms: u64 = parse_flag("--max-deadline-ms", 30_000);
+    let header_budget_ms: u64 = parse_flag("--header-budget-ms", 2000);
     let chaos_seed: u64 = parse_flag("--chaos-seed", 7);
     let chaos_rate: f64 = parse_flag("--chaos-rate", 0.0);
+    let conn_chaos_rate: f64 = parse_flag("--conn-chaos-rate", 0.0);
     let obs_out = flag("--obs-out").unwrap_or_else(|| "obs_report.json".to_string());
     let snapshot = flag("--snapshot");
 
@@ -50,11 +57,19 @@ fn main() {
         dim_chaos::install(dim_chaos::FaultPlan::new(chaos_seed, chaos_rate));
         eprintln!("chaos: seed={chaos_seed} rate={chaos_rate}");
     }
+    if conn_chaos_rate > 0.0 {
+        dim_chaos::install_conn(dim_chaos::ConnPlan::new(chaos_seed, conn_chaos_rate));
+        eprintln!("conn-chaos: seed={chaos_seed} rate={conn_chaos_rate}");
+    }
 
     let config = ServerConfig {
         addr: format!("127.0.0.1:{port}"),
         workers,
         queue_capacity: queue,
+        max_connections: max_conns,
+        default_deadline: Duration::from_millis(deadline_ms),
+        max_deadline: Duration::from_millis(max_deadline_ms),
+        header_read_budget: Duration::from_millis(header_budget_ms),
         read_timeout: Duration::from_millis(25),
         idle_timeout_ticks: 2400, // ~60 s of idle keep-alive
         app: AppConfig {
@@ -62,6 +77,7 @@ fn main() {
             snapshot_path: snapshot,
             ..AppConfig::default()
         },
+        ..ServerConfig::default()
     };
     let server = match dim_serve::start(config) {
         Ok(s) => s,
@@ -82,7 +98,12 @@ fn main() {
         eprintln!("dimserve: writing {obs_out} failed: {e}");
     }
     println!(
-        "drained: requests={} connections={} rejected={} degraded={} (obs -> {obs_out})",
-        report.requests, report.connections, report.rejected, report.degraded
+        "drained: requests={} connections={} rejected={} deadline_shed={} degraded={} open={} (obs -> {obs_out})",
+        report.requests,
+        report.connections,
+        report.rejected,
+        report.deadline_shed,
+        report.degraded,
+        report.open_connections
     );
 }

@@ -2,30 +2,28 @@
 //!
 //! ```text
 //! cargo run --release --bin loadgen -- [--clients N] [--requests N]
-//!     [--seed S] [--workers N] [--threads N] [--queue N] [--out PATH]
+//!     [--seed S] [--workers N] [--threads N] [--queue N] [--max-conns N]
+//!     [--deadline-ms N] [--cache-per-shard N] [--warmup N]
+//!     [--retry-after-cap-ms N] [--out PATH] [--soak]
 //! ```
 //!
-//! Starts an in-process server on an ephemeral port and drives it with
-//! `--clients` seeded closed-loop clients (each sends, waits for the
-//! response, sends again). Each client draws uniformly from its own
-//! payload pool — a fixed mix of ~50% `/link`, 25% `/annotate`, 15%
-//! `/convert`, 7.5% `/solve`, 2.5% `/healthz` — built from
-//! `dim_par::seed_for(seed, client)` so run N and run N+1 issue the exact
-//! same requests.
+//! Starts an in-process server on an ephemeral port and drives it with the
+//! seeded retrying clients from `dim_serve::load` (capped exponential
+//! backoff, seeded jitter, `Retry-After` honored). `--soak` switches to the
+//! overload profile: more clients than the admission layer will admit at
+//! once, a tight default deadline, and ≥100k logical requests — the
+//! configuration committed as `BENCH_serve.json`.
 //!
-//! The report (`BENCH_serve.json` by default) separates the
-//! **deterministic** block — request/status counts, an order-independent
-//! response checksum, cache hit/miss counts — which must be byte-identical
-//! run-to-run for a fixed config, from the **timing** block (throughput,
-//! p50/p99/p999 latency) which varies with the machine. Payload pools are
-//! client-disjoint and well under cache capacity, so hit/miss counts are
-//! free of cross-client races and evictions.
+//! The report separates the **deterministic** block (final outcomes +
+//! response checksum + cache counts — byte-identical run-to-run), the
+//! **load** block (attempts/retries/sheds — real but timing-dependent),
+//! and the **timing** block (latency percentiles over steady-state
+//! keep-alive samples, warmup and first-on-connection excluded).
 
-use dim_serve::server::client::Conn;
+use dim_serve::load::{LoadConfig, LoadReport};
 use dim_serve::{cache, AppConfig, ServerConfig};
-use rand::{Rng, SeedableRng};
 use std::fmt::Write as _;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 fn flag(name: &str) -> Option<String> {
     let mut args = std::env::args();
@@ -37,163 +35,49 @@ fn flag(name: &str) -> Option<String> {
     None
 }
 
+fn has_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
 fn parse_flag<T: std::str::FromStr>(name: &str, default: T) -> T {
     flag(name).and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
-/// One request in a client's pool.
-struct Payload {
-    method: &'static str,
-    target: &'static str,
-    body: String,
-}
-
-/// Builds client `c`'s disjoint payload pool: 20 link + 10 annotate +
-/// 6 convert + 3 solve + 1 healthz = 40 entries, so a uniform draw gives
-/// the fixed mix. Client-disjointness comes from embedding `c` in every
-/// body, which keeps cache hits strictly within one client.
-fn build_pool(c: usize, rng: &mut rand::rngs::StdRng) -> Vec<Payload> {
-    const MENTIONS: &[&str] = &["km", "cm", "mm", "kg", "mg", "ms", "mph", "米", "千米", "小时"];
-    const CONVERSIONS: &[(&str, &str)] =
-        &[("km", "m"), ("m", "cm"), ("cm", "mm"), ("kg", "g"), ("g", "mg"), ("h", "min")];
-    let mut pool = Vec::with_capacity(40);
-    for _ in 0..20 {
-        let mention = MENTIONS[rng.gen_range(0..MENTIONS.len())]; // lint:allow(no_panic, gen_range(0..len) is in bounds for the non-empty const array)
-        pool.push(Payload {
-            method: "POST",
-            target: "/link",
-            body: format!(
-                "{{\"mention\":{:?},\"context\":\"client {c} measured the distance\"}}",
-                mention
-            ),
-        });
-    }
-    for _ in 0..10 {
-        let v = rng.gen_range(1..500) as f64 / 10.0;
-        let w = rng.gen_range(1..90);
-        pool.push(Payload {
-            method: "POST",
-            target: "/annotate",
-            body: format!(
-                "{{\"text\":\"Runner {c} covered {v} kilometers carrying {w} kg of gear.\"}}"
-            ),
-        });
-    }
-    for _ in 0..6 {
-        let (from, to) = CONVERSIONS[rng.gen_range(0..CONVERSIONS.len())]; // lint:allow(no_panic, gen_range(0..len) is in bounds for the non-empty const array)
-        let v = rng.gen_range(1..1000) as f64 / 4.0 + c as f64 * 1000.0;
-        pool.push(Payload {
-            method: "POST",
-            target: "/convert",
-            body: format!("{{\"value\":{v},\"from\":{from:?},\"to\":{to:?}}}"),
-        });
-    }
-    for _ in 0..3 {
-        let (a, b, d) = (rng.gen_range(1..50), rng.gen_range(1..50), rng.gen_range(1..9));
-        pool.push(Payload {
-            method: "POST",
-            target: "/solve",
-            body: format!("{{\"equation\":\"x=({a}+{b})*{d}\"}}"),
-        });
-    }
-    pool.push(Payload { method: "GET", target: "/healthz", body: String::new() });
-    pool
-}
-
-/// What one client observed.
-#[derive(Default)]
-struct ClientStats {
-    latencies_ns: Vec<u64>,
-    by_class: [u64; 3], // 2xx / 4xx / 5xx
-    checksum: u64,      // XOR of body hashes: order-independent
-    errors: u64,
-}
-
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
-}
-
-fn run_client(
-    addr: std::net::SocketAddr,
-    c: usize,
-    seed: u64,
-    requests: usize,
-) -> ClientStats {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(dim_par::seed_for(seed, c as u64));
-    let pool = build_pool(c, &mut rng);
-    let mut stats = ClientStats::default();
-    let Ok(mut conn) = Conn::connect(addr) else {
-        stats.errors = requests as u64;
-        return stats;
-    };
-    for _ in 0..requests {
-        let p = &pool[rng.gen_range(0..pool.len())]; // lint:allow(no_panic, build_pool always returns 40 entries; gen_range(0..len) is in bounds)
-        let t0 = Instant::now();
-        match conn.request(p.method, p.target, &p.body) {
-            Ok(resp) => {
-                stats.latencies_ns.push(t0.elapsed().as_nanos() as u64);
-                let class = match resp.status {
-                    200..=299 => 0,
-                    400..=499 => 1,
-                    _ => 2,
-                };
-                stats.by_class[class] += 1; // lint:allow(no_panic, class is 0, 1, or 2 from the match above; the array has 3 slots)
-                stats.checksum ^= fnv1a(resp.body.as_bytes());
-                if resp.close {
-                    match Conn::connect(addr) {
-                        Ok(fresh) => conn = fresh,
-                        Err(_) => {
-                            stats.errors += 1;
-                            break;
-                        }
-                    }
-                }
-            }
-            Err(_) => {
-                stats.errors += 1;
-                match Conn::connect(addr) {
-                    Ok(fresh) => conn = fresh,
-                    Err(_) => break,
-                }
-            }
-        }
-    }
-    stats
-}
-
-/// Nearest-rank percentile over a sorted slice.
-fn percentile(sorted: &[u64], q: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1] // lint:allow(no_panic, rank is clamped to 1..=len and the slice is non-empty, so rank - 1 < len)
-}
-
 fn main() {
-    let clients: usize = parse_flag("--clients", 4);
-    let requests: usize = parse_flag("--requests", 200);
+    let soak = has_flag("--soak");
+    // The soak profile: more clients than the gate admits, more admitted
+    // connections than workers, a deadline tight enough that queued
+    // connections shed, and ≥100k requests. Sized for a small machine —
+    // on one core, piling on threads measures the kernel scheduler, not
+    // the server (raise --clients/--workers on bigger hardware).
+    let (d_clients, d_requests, d_workers, d_queue, d_conns, d_deadline) =
+        if soak { (3, 33_600, 1, 2, 2, 200) } else { (4, 200, 2, 64, 256, 5000) };
+    let clients: usize = parse_flag("--clients", d_clients);
+    let requests: usize = parse_flag("--requests", d_requests);
     let seed: u64 = parse_flag("--seed", 7);
-    let workers: usize = parse_flag("--workers", 2);
+    let workers: usize = parse_flag("--workers", d_workers);
     let threads: usize = parse_flag("--threads", 1);
-    let queue: usize = parse_flag("--queue", 64);
+    let queue: usize = parse_flag("--queue", d_queue);
+    let max_conns: usize = parse_flag("--max-conns", d_conns);
+    let deadline_ms: u64 = parse_flag("--deadline-ms", d_deadline);
+    let cache_per_shard: usize = parse_flag("--cache-per-shard", 1024);
+    let warmup: usize = parse_flag("--warmup", 16);
+    let retry_after_cap_ms: u64 = parse_flag("--retry-after-cap-ms", 25);
     let out = flag("--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
 
     let server = match dim_serve::start(ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         workers,
         queue_capacity: queue,
-        read_timeout: Duration::from_millis(25),
+        max_connections: max_conns,
+        default_deadline: Duration::from_millis(deadline_ms),
         idle_timeout_ticks: 2400,
         app: AppConfig {
+            cache_per_shard,
             parallelism: dim_par::Parallelism::new(threads),
             ..AppConfig::default()
         },
+        ..ServerConfig::default()
     }) {
         Ok(s) => s,
         Err(e) => {
@@ -202,67 +86,69 @@ fn main() {
         }
     };
     let addr = server.addr();
-    eprintln!("loadgen: {clients} clients x {requests} requests against {addr}");
+    eprintln!(
+        "loadgen: {clients} clients x {requests} requests against {addr} \
+         (workers={workers} queue={queue} max-conns={max_conns} deadline={deadline_ms}ms)"
+    );
 
-    let t0 = Instant::now();
-    let handles: Vec<_> = (0..clients)
-        .map(|c| std::thread::spawn(move || run_client(addr, c, seed, requests)))
-        .collect();
-    let mut all = ClientStats::default();
-    for h in handles {
-        let Ok(stats) = h.join() else {
-            eprintln!("loadgen: client thread panicked");
-            continue;
-        };
-        all.latencies_ns.extend(stats.latencies_ns);
-        for i in 0..3 {
-            all.by_class[i] += stats.by_class[i]; // lint:allow(no_panic, i < 3 and both arrays are [u64; 3])
-        }
-        all.checksum ^= stats.checksum;
-        all.errors += stats.errors;
-    }
-    let elapsed = t0.elapsed();
-    let (hits, misses, evictions) = cache::counters();
+    let cache_before = cache::counters();
+    let config = LoadConfig {
+        clients,
+        requests_per_client: requests,
+        seed,
+        warmup,
+        retry_after_cap_ms,
+        ..LoadConfig::default()
+    };
+    let all: LoadReport = dim_serve::load::run(addr, &config);
+    let cache_after = cache::counters();
+    let cache_delta = (
+        cache_after.0 - cache_before.0,
+        cache_after.1 - cache_before.1,
+        cache_after.2 - cache_before.2,
+    );
     let report = server.shutdown();
 
-    all.latencies_ns.sort_unstable();
-    let total = all.latencies_ns.len() as u64;
-    let throughput = total as f64 / elapsed.as_secs_f64();
-    let hit_rate = if hits + misses > 0 { hits as f64 / (hits + misses) as f64 } else { 0.0 };
+    let samples = all.latencies_ns.len() as u64;
+    let throughput = all.logical_requests as f64 / all.elapsed.as_secs_f64();
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(
         json,
-        "  \"config\": {{\"clients\": {clients}, \"requests_per_client\": {requests}, \"seed\": {seed}, \"workers\": {workers}, \"threads\": {threads}, \"queue\": {queue}}},"
+        "  \"config\": {{\"clients\": {clients}, \"requests_per_client\": {requests}, \"seed\": {seed}, \"workers\": {workers}, \"threads\": {threads}, \"queue\": {queue}, \"max_connections\": {max_conns}, \"deadline_ms\": {deadline_ms}, \"cache_per_shard\": {cache_per_shard}, \"warmup\": {warmup}, \"soak\": {soak}}},"
     );
-    let _ = writeln!(json, "  \"deterministic\": {{");
-    let _ = writeln!(json, "    \"requests\": {},", total + all.errors);
+    let _ = writeln!(json, "  \"deterministic\": {},", all.deterministic_json(cache_delta));
+    let _ = writeln!(json, "  \"load\": {{");
     let _ = writeln!(
         json,
-        "    \"responses\": {{\"2xx\": {}, \"4xx\": {}, \"5xx\": {}, \"transport_errors\": {}}},",
-        all.by_class[0], all.by_class[1], all.by_class[2], all.errors // lint:allow(no_panic, constant indices into the [u64; 3] class array)
-    );
-    let _ = writeln!(json, "    \"response_checksum\": \"{:#018x}\",", all.checksum);
-    let _ = writeln!(
-        json,
-        "    \"cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"evictions\": {evictions}, \"hit_rate\": {hit_rate:.4}}},"
+        "    \"attempts\": {}, \"retries\": {}, \"sheds\": {}, \"transport_errors\": {}, \"gave_up\": {},",
+        all.attempts, all.retries, all.sheds, all.transport_errors, all.gave_up
     );
     let _ = writeln!(
         json,
-        "    \"server\": {{\"rejected\": {}, \"degraded\": {}}}",
-        report.rejected, report.degraded
+        "    \"server\": {{\"rejected\": {}, \"deadline_shed\": {}, \"conn_faults\": {}, \"degraded\": {}, \"open_connections_after_drain\": {}}}",
+        report.rejected,
+        report.deadline_shed,
+        report.conn_faults,
+        report.degraded,
+        report.open_connections
     );
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"timing\": {{");
-    let _ = writeln!(json, "    \"elapsed_ms\": {},", elapsed.as_millis());
+    let _ = writeln!(json, "    \"elapsed_ms\": {},", all.elapsed.as_millis());
     let _ = writeln!(json, "    \"throughput_rps\": {throughput:.1},");
     let _ = writeln!(
         json,
+        "    \"samples\": {samples}, \"excluded\": {{\"warmup\": {}, \"first_on_connection\": {}}},",
+        all.excluded_warmup, all.excluded_first_conn
+    );
+    let _ = writeln!(
+        json,
         "    \"latency_ns\": {{\"p50\": {}, \"p99\": {}, \"p999\": {}, \"max\": {}}}",
-        percentile(&all.latencies_ns, 0.50),
-        percentile(&all.latencies_ns, 0.99),
-        percentile(&all.latencies_ns, 0.999),
+        all.percentile(0.50),
+        all.percentile(0.99),
+        all.percentile(0.999),
         all.latencies_ns.last().copied().unwrap_or(0)
     );
     let _ = writeln!(json, "  }}");
@@ -274,10 +160,18 @@ fn main() {
     }
     // stderr gets the human summary; the JSON file is the artifact.
     eprintln!(
-        "loadgen: {total} ok (+{} errors) in {:.2}s ({throughput:.0} req/s), cache hit-rate {:.1}%, checksum {:#018x} -> {out}",
-        all.errors,
-        elapsed.as_secs_f64(),
-        hit_rate * 100.0,
-        all.checksum
+        "loadgen: {} logical requests ({} attempts, {} sheds, {} retries, {} gave up) in {:.2}s ({throughput:.0} req/s), p999 {}ns over {samples} samples, checksum {:#018x} -> {out}",
+        all.logical_requests,
+        all.attempts,
+        all.sheds,
+        all.retries,
+        all.gave_up,
+        all.elapsed.as_secs_f64(),
+        all.percentile(0.999),
+        all.response_checksum
     );
+    if all.gave_up > 0 {
+        eprintln!("loadgen: WARNING: {} requests gave up — deterministic block is broken", all.gave_up);
+        std::process::exit(2);
+    }
 }

@@ -1,0 +1,179 @@
+//! `serve_soak` — the deterministic overload/chaos soak gate behind
+//! `make serve-soak` (wired into `make verify`).
+//!
+//! Four runs against fresh in-process servers, each overload-inducing
+//! (clients > admission limit, tight deadlines) so the shed paths actually
+//! fire, asserting the overload-resilience contract:
+//!
+//! 1. **clean** — retries drive every logical request to a final `2xx`;
+//!    zero give-ups; zero caught panics; zero leaked connection permits.
+//! 2. **clean again** — the deterministic block (final outcomes, response
+//!    checksum, cache counts) is byte-identical to run 1.
+//! 3. **conn-chaos rate 0** — an installed-but-zero-rate connection fault
+//!    plan changes nothing: byte-identical to run 1.
+//! 4. **conn-chaos rate 0.12** (stall + partial-write + abrupt-close) —
+//!    faults fire, clients retry through them, and the server still ends
+//!    with every logical request `2xx`, no panics, no leaks. (Cache counts
+//!    are *not* compared here: a retried request that was already processed
+//!    once hits the cache, so chaos legitimately shifts hit/miss tallies.)
+//!
+//! Exit status 0 only if every assertion holds; any violation prints the
+//! offending run and exits 1.
+
+use dim_serve::load::{run, LoadConfig, LoadReport};
+use dim_serve::{cache, AppConfig, ServerConfig};
+use std::time::Duration;
+
+struct SoakOutcome {
+    report: LoadReport,
+    deterministic: String,
+    panics_delta: u64,
+    open_connections: usize,
+}
+
+fn soak_config() -> LoadConfig {
+    LoadConfig {
+        clients: 12,
+        requests_per_client: 300,
+        seed: 11,
+        warmup: 8,
+        backoff_base_ms: 1,
+        backoff_cap_ms: 16,
+        retry_after_cap_ms: 10,
+        max_attempts: 500,
+    }
+}
+
+fn panics_caught() -> u64 {
+    dim_obs::snapshot().counter("srv.panics_caught").unwrap_or(0)
+}
+
+fn one_run(label: &str) -> SoakOutcome {
+    let server = dim_serve::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_capacity: 4,
+        max_connections: 6,
+        default_deadline: Duration::from_millis(100),
+        idle_timeout_ticks: 2400,
+        app: AppConfig {
+            cache_per_shard: 1024,
+            ..AppConfig::default()
+        },
+        ..ServerConfig::default()
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("serve_soak: bind failed: {e}");
+        std::process::exit(1);
+    });
+    let addr = server.addr();
+    let cache_before = cache::counters();
+    let panics_before = panics_caught();
+    let report = run(addr, &soak_config());
+    let cache_after = cache::counters();
+    let panics_after = panics_caught();
+    let drain = server.shutdown();
+    let cache_delta = (
+        cache_after.0 - cache_before.0,
+        cache_after.1 - cache_before.1,
+        cache_after.2 - cache_before.2,
+    );
+    let deterministic = report.deterministic_json(cache_delta);
+    eprintln!(
+        "serve_soak[{label}]: {} logical, {} attempts, {} sheds, {} transport errors, \
+         {} server sheds ({} deadline), {} conn faults, {} gave up, {:.2}s",
+        report.logical_requests,
+        report.attempts,
+        report.sheds,
+        report.transport_errors,
+        drain.rejected,
+        drain.deadline_shed,
+        drain.conn_faults,
+        report.gave_up,
+        report.elapsed.as_secs_f64()
+    );
+    SoakOutcome {
+        report,
+        deterministic,
+        panics_delta: panics_after - panics_before,
+        open_connections: drain.open_connections,
+    }
+}
+
+fn assert_healthy(label: &str, outcome: &SoakOutcome, failures: &mut u32) {
+    let rep = &outcome.report;
+    let total = rep.logical_requests;
+    if rep.final_by_class != [total, 0, 0] {
+        eprintln!(
+            "serve_soak[{label}] FAIL: final outcomes {:?}, want [{total}, 0, 0]",
+            rep.final_by_class
+        );
+        *failures += 1;
+    }
+    if rep.gave_up != 0 {
+        eprintln!("serve_soak[{label}] FAIL: {} requests gave up", rep.gave_up);
+        *failures += 1;
+    }
+    if outcome.panics_delta != 0 {
+        eprintln!("serve_soak[{label}] FAIL: {} panics caught", outcome.panics_delta);
+        *failures += 1;
+    }
+    if outcome.open_connections != 0 {
+        eprintln!(
+            "serve_soak[{label}] FAIL: {} leaked connection permits",
+            outcome.open_connections
+        );
+        *failures += 1;
+    }
+}
+
+fn main() {
+    let mut failures = 0u32;
+    dim_chaos::clear();
+
+    let clean1 = one_run("clean-1");
+    assert_healthy("clean-1", &clean1, &mut failures);
+
+    let clean2 = one_run("clean-2");
+    assert_healthy("clean-2", &clean2, &mut failures);
+    if clean1.deterministic != clean2.deterministic {
+        eprintln!(
+            "serve_soak FAIL: deterministic blocks differ across identical runs\n--- run 1\n{}\n--- run 2\n{}",
+            clean1.deterministic, clean2.deterministic
+        );
+        failures += 1;
+    }
+
+    // Rate 0 must be byte-identical to no plan at all.
+    dim_chaos::install_conn(dim_chaos::ConnPlan::new(11, 0.0));
+    let rate0 = one_run("conn-chaos-rate-0");
+    assert_healthy("conn-chaos-rate-0", &rate0, &mut failures);
+    dim_chaos::clear_conn();
+    if rate0.deterministic != clean1.deterministic {
+        eprintln!(
+            "serve_soak FAIL: conn-chaos rate 0 changed the deterministic block\n--- clean\n{}\n--- rate 0\n{}",
+            clean1.deterministic, rate0.deterministic
+        );
+        failures += 1;
+    }
+
+    // Positive rate: faults fire, clients retry through them, nothing
+    // panics or leaks, and every logical request still resolves 2xx.
+    dim_chaos::install_conn(dim_chaos::ConnPlan::new(11, 0.12));
+    let chaos = one_run("conn-chaos-rate-0.12");
+    dim_chaos::clear_conn();
+    assert_healthy("conn-chaos-rate-0.12", &chaos, &mut failures);
+    if chaos.report.response_checksum != clean1.report.response_checksum {
+        eprintln!(
+            "serve_soak FAIL: chaos changed final response bytes ({:#018x} vs {:#018x})",
+            chaos.report.response_checksum, clean1.report.response_checksum
+        );
+        failures += 1;
+    }
+
+    if failures > 0 {
+        eprintln!("serve_soak: {failures} failure(s)");
+        std::process::exit(1);
+    }
+    eprintln!("serve_soak: OK (deterministic block stable, chaos survived, zero panics/leaks)");
+}

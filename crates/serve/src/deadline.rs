@@ -1,0 +1,149 @@
+//! Per-request deadline budgets.
+//!
+//! Every request carries a [`Deadline`] from the moment its connection is
+//! accepted: the server default ([`crate::server::ServerConfig::default_deadline`])
+//! unless the client narrows it with an `X-Deadline-Ms` header. The budget
+//! clock starts when the *bytes* started waiting, not when a worker got
+//! around to them — for the first request on a connection that is the accept
+//! instant (so time spent in the bounded queue counts), and for subsequent
+//! keep-alive requests it is the instant the request head started arriving.
+//!
+//! A request whose budget is exhausted before dispatch is **shed**: a
+//! deterministic `503` with `Retry-After`, counted under `srv.deadline.*`,
+//! and the connection stays open (the worker already owns it; the client's
+//! retry lands immediately). Budgets also propagate into the micro-batcher,
+//! which clamps its linger window to the tightest remaining budget in the
+//! pending batch — a request never waits for batch-mates it cannot afford.
+//!
+//! [`Deadline`] is a plain `Copy` wrapper over `Option<Instant>`;
+//! [`Deadline::unbounded`] is the identity element used by tests and
+//! internal callers that predate deadline plumbing.
+
+use std::time::{Duration, Instant};
+
+/// Floor for a client-requested budget: anything below 1 ms is treated as
+/// 1 ms rather than rejected, so `X-Deadline-Ms: 0` still gets a determinate
+/// answer (usually an immediate shed) instead of a parse error.
+pub const MIN_DEADLINE: Duration = Duration::from_millis(1);
+
+/// An absolute point in time after which a request is not worth serving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    /// A deadline that never expires.
+    pub fn unbounded() -> Deadline {
+        Deadline { at: None }
+    }
+
+    /// A deadline `budget` after `start`.
+    pub fn after(start: Instant, budget: Duration) -> Deadline {
+        Deadline { at: start.checked_add(budget) }
+    }
+
+    /// The absolute expiry instant, if bounded.
+    pub fn instant(self) -> Option<Instant> {
+        self.at
+    }
+
+    /// Whether the deadline has passed as of `now`.
+    pub fn expired_at(self, now: Instant) -> bool {
+        self.at.is_some_and(|at| now >= at)
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(self) -> bool {
+        self.expired_at(Instant::now())
+    }
+
+    /// Budget remaining as of `now` (zero once expired, `None` if unbounded).
+    pub fn remaining_at(self, now: Instant) -> Option<Duration> {
+        self.at.map(|at| at.saturating_duration_since(now))
+    }
+}
+
+/// Outcome of reading the optional `X-Deadline-Ms` request header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeaderBudget {
+    /// Header absent; use the server default.
+    Default,
+    /// Header present and valid; the clamped budget.
+    Requested(Duration),
+    /// Header present but not a positive integer; answer `400`.
+    Invalid,
+}
+
+/// Parses `X-Deadline-Ms`, clamping a valid value into
+/// `[MIN_DEADLINE, max]`. Clamping (rather than rejecting) out-of-range
+/// values keeps the header best-effort: a client asking for more budget than
+/// the server allows gets the server's ceiling, not an error.
+pub fn parse_header_budget(value: Option<&str>, max: Duration) -> HeaderBudget {
+    let Some(raw) = value else {
+        return HeaderBudget::Default;
+    };
+    match raw.trim().parse::<u64>() {
+        Ok(ms) => {
+            let budget = Duration::from_millis(ms).clamp(MIN_DEADLINE, max);
+            HeaderBudget::Requested(budget)
+        }
+        Err(_) => HeaderBudget::Invalid,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_never_expires() {
+        let d = Deadline::unbounded();
+        assert!(!d.expired());
+        assert_eq!(d.instant(), None);
+        assert_eq!(d.remaining_at(Instant::now()), None);
+    }
+
+    #[test]
+    fn bounded_expires_exactly_at_the_instant() {
+        let start = Instant::now();
+        let d = Deadline::after(start, Duration::from_millis(10));
+        assert!(!d.expired_at(start));
+        assert!(!d.expired_at(start + Duration::from_millis(9)));
+        assert!(d.expired_at(start + Duration::from_millis(10)));
+        assert!(d.expired_at(start + Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn remaining_saturates_to_zero() {
+        let start = Instant::now();
+        let d = Deadline::after(start, Duration::from_millis(5));
+        assert_eq!(d.remaining_at(start), Some(Duration::from_millis(5)));
+        assert_eq!(d.remaining_at(start + Duration::from_secs(1)), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn header_budget_absent_is_default() {
+        assert_eq!(parse_header_budget(None, Duration::from_secs(5)), HeaderBudget::Default);
+    }
+
+    #[test]
+    fn header_budget_is_clamped_both_ways() {
+        let max = Duration::from_secs(5);
+        assert_eq!(
+            parse_header_budget(Some("250"), max),
+            HeaderBudget::Requested(Duration::from_millis(250))
+        );
+        assert_eq!(parse_header_budget(Some("0"), max), HeaderBudget::Requested(MIN_DEADLINE));
+        assert_eq!(parse_header_budget(Some("999999999"), max), HeaderBudget::Requested(max));
+        assert_eq!(parse_header_budget(Some("  40 "), max), HeaderBudget::Requested(Duration::from_millis(40)));
+    }
+
+    #[test]
+    fn header_budget_garbage_is_invalid() {
+        let max = Duration::from_secs(5);
+        for bad in ["", "-5", "soon", "1.5", "10ms", "0x20"] {
+            assert_eq!(parse_header_budget(Some(bad), max), HeaderBudget::Invalid, "{bad:?}");
+        }
+    }
+}

@@ -246,9 +246,10 @@ fn is_token_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b)
 }
 
-/// An HTTP response. The writer emits exactly four headers — `Content-Type`,
-/// `Content-Length`, `Connection` and nothing else (no `Date`, no `Server`)
-/// — so responses are a pure function of the request.
+/// An HTTP response. The writer emits `Content-Type`, `Content-Length`,
+/// `Connection`, an optional `Retry-After` on overload sheds, and nothing
+/// else (no `Date`, no `Server`) — so responses are a pure function of the
+/// request and the server's admission decision.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Response {
     /// Status code.
@@ -259,12 +260,29 @@ pub struct Response {
     pub body: String,
     /// Whether the server will close the connection after this response.
     pub close: bool,
+    /// Optional `Retry-After` header, in whole seconds. `None` (the default
+    /// for every existing constructor) keeps the wire form byte-identical to
+    /// the pre-overload-control protocol, so goldens only change when a
+    /// response is explicitly a shed.
+    pub retry_after: Option<u16>,
 }
 
 impl Response {
     /// A JSON response.
     pub fn json(status: u16, body: String) -> Response {
-        Response { status, content_type: "application/json", body, close: false }
+        Response {
+            status,
+            content_type: "application/json",
+            body,
+            close: false,
+            retry_after: None,
+        }
+    }
+
+    /// Attaches a `Retry-After: secs` header (overload sheds only).
+    pub fn with_retry_after(mut self, secs: u16) -> Response {
+        self.retry_after = Some(secs);
+        self
     }
 
     /// The deterministic error-shaped response for a parse rejection.
@@ -273,22 +291,31 @@ impl Response {
         crate::json::string(&mut body, &err.to_string());
         body.push('}');
         // Parse errors leave the stream in an unknown state; always close.
-        Response { status: err.status(), content_type: "application/json", body, close: true }
+        Response {
+            status: err.status(),
+            content_type: "application/json",
+            body,
+            close: true,
+            retry_after: None,
+        }
     }
 
-    /// Serializes the response to `w` (status line, the three fixed
-    /// headers, blank line, body).
+    /// Serializes the response to `w` (status line, the fixed headers plus
+    /// `Retry-After` when set, blank line, body).
     pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
         write!(
             w,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{}",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             reason(self.status),
             self.content_type,
             self.body.len(),
             if self.close { "close" } else { "keep-alive" },
-            self.body
-        )
+        )?;
+        if let Some(secs) = self.retry_after {
+            write!(w, "Retry-After: {secs}\r\n")?;
+        }
+        write!(w, "\r\n{}", self.body)
     }
 
     /// The full wire form as a string (what transcripts and tests compare).
@@ -307,6 +334,7 @@ pub fn reason(status: u16) -> &'static str {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
+        408 => "Request Timeout",
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
         414 => "URI Too Long",
@@ -417,6 +445,15 @@ mod tests {
         let mut closing = r;
         closing.close = true;
         assert!(closing.render().contains("Connection: close"));
+    }
+
+    #[test]
+    fn retry_after_header_is_emitted_only_when_set() {
+        let shed = Response::json(503, "{\"error\":\"x\"}".to_string()).with_retry_after(1);
+        let wire = shed.render();
+        assert!(wire.contains("\r\nRetry-After: 1\r\n\r\n"), "{wire}");
+        let plain = Response::json(200, "{}".to_string());
+        assert!(!plain.render().contains("Retry-After"));
     }
 
     #[test]

@@ -22,24 +22,34 @@
 //! - **Chaos on the request path.** Every `POST` consults the workspace
 //!   fault-injection machinery; a faulted request degrades to a structured
 //!   `503` and a quarantine entry — the process never dies ([`app`]).
+//! - **Overload resilience.** Per-request deadline budgets ([`deadline`]),
+//!   a bounded connection gate plus queue-depth watermarks ([`admission`]),
+//!   and connection-level chaos faults prove the server sheds load as
+//!   deterministic `503 + Retry-After` instead of hanging or panicking; the
+//!   seeded retry client in [`load`] soaks it past 100k requests.
 //! - **Graceful drain.** Shutdown stops accepting, drains queued and
 //!   in-flight requests, and emits a final obs report
 //!   ([`server::ServerHandle::shutdown`]).
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod app;
 pub mod batcher;
 pub mod cache;
+pub mod deadline;
 pub mod http;
 pub mod json;
+pub mod load;
 pub mod queue;
 pub mod server;
 pub mod smoke;
 
+pub use admission::{ConnGate, ConnPermit, Watermarks};
 pub use app::{App, AppConfig};
 pub use batcher::MicroBatcher;
 pub use cache::ShardedLru;
+pub use deadline::Deadline;
 pub use http::{Method, Parsed, Request, Response};
 pub use queue::{Bounded, PushError};
 pub use server::{client, start, DrainReport, ServerConfig, ServerHandle};

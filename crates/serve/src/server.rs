@@ -1,34 +1,64 @@
-//! The server runtime: TCP acceptor, bounded connection queue, fixed worker
-//! pool, per-request panic isolation, and graceful drain.
+//! The server runtime: TCP acceptor, admission control, bounded connection
+//! queue, fixed worker pool, per-request deadlines, panic isolation, and
+//! graceful drain.
 //!
 //! Threading shape (fixed at startup, no growth under load):
 //!
 //! ```text
-//! acceptor ──▶ Bounded<TcpStream> ──▶ worker 0..N  ──▶ App::handle
-//!    │              (capacity Q)          │
-//!    └── queue full ⇒ deterministic 503   └── catch_unwind ⇒ degraded 503
+//! acceptor ──▶ ConnGate ──▶ Bounded<ConnTask> ──▶ worker 0..N ──▶ App::handle
+//!    │            │              (capacity Q)          │
+//!    │            └ gate full ⇒ 503 + Retry-After      ├── deadline expired ⇒ 503 shed
+//!    └ depth ≥ high watermark ⇒ 503 + Retry-After      └── catch_unwind ⇒ degraded 503
 //! ```
 //!
-//! Backpressure is explicit: a full queue never blocks the acceptor — the
-//! connection is answered with a fixed `503` body and the `srv.rejected`
-//! counter moves. Graceful shutdown follows the queue's own drain order:
-//! stop accepting, close the queue (workers finish the backlog), join
-//! everything, then emit the final [`DrainReport`] with the obs snapshot.
+//! Overload never blocks and never hangs: every shed is a fixed-byte `503`
+//! carrying `Retry-After`, every shed path is counted, and connection slots
+//! are RAII permits that release on any exit (including panic unwind and
+//! chaos-injected aborts). Requests carry a [`Deadline`] from the accept
+//! instant — one that expires while queued is shed at dispatch instead of
+//! burning a worker on an answer the client has given up on.
+//!
+//! Graceful shutdown follows the queue's own drain order: stop accepting,
+//! close the queue (workers finish the backlog), join everything, then emit
+//! the final [`DrainReport`] with the obs snapshot.
 
+use crate::admission::{ConnGate, ConnPermit, Watermarks};
 use crate::app::{App, AppConfig};
+use crate::deadline::{parse_header_budget, Deadline, HeaderBudget};
 use crate::http::{self, Parsed, Response};
 use crate::queue::{Bounded, PushError};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 static CONNECTIONS: dim_obs::Counter = dim_obs::Counter::new("srv.connections");
 static REJECTED: dim_obs::Counter = dim_obs::Counter::new("srv.rejected");
 static PANICS_CAUGHT: dim_obs::Counter = dim_obs::Counter::new("srv.panics_caught");
+static GATE_SHED: dim_obs::Counter = dim_obs::Counter::new("srv.admission.gate_shed");
+static WATERMARK_SHED: dim_obs::Counter = dim_obs::Counter::new("srv.admission.watermark_shed");
+static DEADLINE_SHED: dim_obs::Counter = dim_obs::Counter::new("srv.deadline.shed");
+static DEADLINE_SHED_QUEUE: dim_obs::Counter = dim_obs::Counter::new("srv.deadline.shed_queue");
+static HEADER_TIMEOUTS: dim_obs::Counter = dim_obs::Counter::new("srv.header_timeouts");
+static WRITE_FAILED: dim_obs::Counter = dim_obs::Counter::new("srv.write_failed");
+static CONN_FAULT_STALL: dim_obs::Counter = dim_obs::Counter::new("srv.conn_fault.stall");
+static CONN_FAULT_PARTIAL: dim_obs::Counter =
+    dim_obs::Counter::new("srv.conn_fault.partial_write");
+static CONN_FAULT_ABRUPT: dim_obs::Counter = dim_obs::Counter::new("srv.conn_fault.abrupt_close");
+
+/// Chaos site for connection-level faults (one decision per accepted
+/// connection, keyed by the acceptor's connection sequence number).
+pub const SITE_CONN: &str = "srv.conn";
+
+/// The fixed shed body for a request whose deadline expired before dispatch.
+pub const DEADLINE_SHED_BODY: &str = "{\"error\":\"deadline exceeded\",\"shed\":true}";
+
+/// `Retry-After` seconds on every overload shed (the smallest expressible
+/// backoff; the loadgen client treats it as a floor, not a sleep mandate).
+const RETRY_AFTER_SECS: u16 = 1;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -39,6 +69,22 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Connection queue capacity (the backpressure bound).
     pub queue_capacity: usize,
+    /// Hard cap on simultaneously open (admitted) connections.
+    pub max_connections: usize,
+    /// Queue-depth watermarks `(high, low)`; `None` derives
+    /// [`Watermarks::for_capacity`] from `queue_capacity`.
+    pub watermarks: Option<(usize, usize)>,
+    /// Default per-request deadline budget when the client sends no
+    /// `X-Deadline-Ms`.
+    pub default_deadline: Duration,
+    /// Ceiling for client-requested budgets (`X-Deadline-Ms` is clamped
+    /// into `[1ms, max_deadline]`).
+    pub max_deadline: Duration,
+    /// Total wall-clock budget for reading one request head + body; a peer
+    /// trickling bytes slower than this is answered `408` and closed
+    /// (slow-loris hardening — per-byte progress resets the idle clock but
+    /// not this one).
+    pub header_read_budget: Duration,
     /// Socket read timeout — also the shutdown-check cadence.
     pub read_timeout: Duration,
     /// Consecutive idle read timeouts before an open connection is closed.
@@ -53,11 +99,34 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 2,
             queue_capacity: 32,
+            max_connections: 256,
+            watermarks: None,
+            default_deadline: Duration::from_secs(5),
+            max_deadline: Duration::from_secs(30),
+            header_read_budget: Duration::from_secs(2),
             read_timeout: Duration::from_millis(25),
             idle_timeout_ticks: 400,
             app: AppConfig::default(),
         }
     }
+}
+
+/// One admitted connection traveling from the acceptor to a worker. The
+/// permit rides along so the gate slot releases exactly when the connection
+/// is done, whatever "done" turns out to mean.
+struct ConnTask {
+    stream: TcpStream,
+    permit: ConnPermit,
+    accepted: Instant,
+    seq: u64,
+}
+
+/// Per-server shed/fault tallies (obs counters are process-global, so
+/// multi-server tests and the soak harness need per-handle numbers).
+#[derive(Default)]
+struct ServerStats {
+    deadline_shed: AtomicU64,
+    conn_faults: AtomicU64,
 }
 
 /// What the server did over its lifetime, emitted by a graceful shutdown.
@@ -67,8 +136,15 @@ pub struct DrainReport {
     pub requests: u64,
     /// Connections accepted and queued.
     pub connections: u64,
-    /// Connections refused with the backpressure `503`.
+    /// Connections refused at admission (gate, watermark, or full queue).
     pub rejected: u64,
+    /// Requests shed because their deadline expired before dispatch.
+    pub deadline_shed: u64,
+    /// Connection-level chaos faults realized on this server.
+    pub conn_faults: u64,
+    /// Connections still holding a gate permit after the drain — always
+    /// zero unless a permit leaked.
+    pub open_connections: usize,
     /// Quarantined (chaos-degraded) requests.
     pub degraded: usize,
     /// The final `dim-obs` snapshot, rendered as JSON.
@@ -80,10 +156,23 @@ pub struct DrainReport {
 pub struct ServerHandle {
     local_addr: SocketAddr,
     app: Arc<App>,
-    queue: Arc<Bounded<TcpStream>>,
+    queue: Arc<Bounded<ConnTask>>,
+    gate: Arc<ConnGate>,
+    stats: Arc<ServerStats>,
     stop: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<u64>>,
     workers: Vec<JoinHandle<()>>,
+}
+
+/// Per-connection serving parameters (the subset of [`ServerConfig`] each
+/// worker needs, copied once at startup).
+#[derive(Clone, Copy)]
+struct ConnParams {
+    read_timeout: Duration,
+    idle_timeout_ticks: u32,
+    default_deadline: Duration,
+    max_deadline: Duration,
+    header_read_budget: Duration,
 }
 
 /// Binds, spawns the acceptor and worker pool, and returns the handle.
@@ -96,24 +185,37 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
     let local_addr = listener.local_addr()?;
     let app = Arc::new(App::new(config.app.clone()));
     let queue = Arc::new(Bounded::new(config.queue_capacity));
+    let gate = ConnGate::new(config.max_connections);
+    let stats = Arc::new(ServerStats::default());
     let stop = Arc::new(AtomicBool::new(false));
+    let watermarks = match config.watermarks {
+        Some((high, low)) => Watermarks::new(high, low),
+        None => Watermarks::for_capacity(config.queue_capacity),
+    };
 
     let acceptor = {
         let queue = queue.clone();
+        let gate = gate.clone();
         let stop = stop.clone();
-        std::thread::spawn(move || accept_loop(&listener, &queue, &stop))
+        std::thread::spawn(move || accept_loop(&listener, &queue, &gate, watermarks, &stop))
     };
 
+    let params = ConnParams {
+        read_timeout: config.read_timeout,
+        idle_timeout_ticks: config.idle_timeout_ticks,
+        default_deadline: config.default_deadline,
+        max_deadline: config.max_deadline,
+        header_read_budget: config.header_read_budget,
+    };
     let workers = (0..config.workers.max(1))
         .map(|_| {
             let app = app.clone();
             let queue = queue.clone();
+            let stats = stats.clone();
             let stop = stop.clone();
-            let read_timeout = config.read_timeout;
-            let idle_ticks = config.idle_timeout_ticks;
             std::thread::spawn(move || {
-                while let Some(stream) = queue.pop() {
-                    serve_connection(&app, stream, &stop, read_timeout, idle_ticks);
+                while let Some(task) = queue.pop() {
+                    serve_connection(&app, task, &stats, &stop, params);
                 }
             })
         })
@@ -123,6 +225,8 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
         local_addr,
         app,
         queue,
+        gate,
+        stats,
         stop,
         acceptor: Some(acceptor),
         workers,
@@ -138,6 +242,11 @@ impl ServerHandle {
     /// The application (test/report hook).
     pub fn app(&self) -> &Arc<App> {
         &self.app
+    }
+
+    /// Connections currently holding a gate permit (test/report hook).
+    pub fn open_connections(&self) -> usize {
+        self.gate.open()
     }
 
     /// Graceful shutdown: stop accepting, drain queued connections and
@@ -159,16 +268,26 @@ impl ServerHandle {
             requests: self.app.requests_handled(),
             connections: CONNECTIONS.get(),
             rejected,
+            deadline_shed: self.stats.deadline_shed.load(Ordering::Acquire),
+            conn_faults: self.stats.conn_faults.load(Ordering::Acquire),
+            open_connections: self.gate.open(),
             degraded: self.app.quarantine_entries().len(),
             obs_json: dim_obs::snapshot().to_json(),
         }
     }
 }
 
-/// Accepts until the stop flag is raised. Returns the number of refused
-/// (backpressured) connections.
-fn accept_loop(listener: &TcpListener, queue: &Bounded<TcpStream>, stop: &AtomicBool) -> u64 {
+/// Accepts until the stop flag is raised, shedding at the connection gate
+/// and the queue watermarks. Returns the number of refused connections.
+fn accept_loop(
+    listener: &TcpListener,
+    queue: &Bounded<ConnTask>,
+    gate: &Arc<ConnGate>,
+    mut watermarks: Watermarks,
+    stop: &AtomicBool,
+) -> u64 {
     let mut rejected = 0u64;
+    let mut seq = 0u64;
     loop {
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
@@ -181,78 +300,207 @@ fn accept_loop(listener: &TcpListener, queue: &Bounded<TcpStream>, stop: &Atomic
         };
         if stop.load(Ordering::SeqCst) {
             // The wake-up dial (or a late client); refuse politely.
-            reject(stream, "shutting down");
+            reject(stream, "shutting down", None);
             break;
         }
-        match queue.push(stream) {
+        let Some(permit) = gate.try_admit() else {
+            rejected += 1;
+            REJECTED.inc();
+            GATE_SHED.inc();
+            reject(stream, "too many connections", Some(RETRY_AFTER_SECS));
+            continue;
+        };
+        if watermarks.should_shed(queue.len()) {
+            rejected += 1;
+            REJECTED.inc();
+            WATERMARK_SHED.inc();
+            reject(stream, "queue full", Some(RETRY_AFTER_SECS));
+            drop(permit);
+            continue;
+        }
+        let task = ConnTask { stream, permit, accepted: Instant::now(), seq };
+        seq += 1;
+        match queue.push(task) {
             Ok(()) => CONNECTIONS.inc(),
-            Err(PushError::Full(stream)) | Err(PushError::Closed(stream)) => {
+            Err(PushError::Full(task)) | Err(PushError::Closed(task)) => {
                 rejected += 1;
                 REJECTED.inc();
-                reject(stream, "queue full");
+                reject(task.stream, "queue full", Some(RETRY_AFTER_SECS));
             }
         }
     }
     rejected
 }
 
-/// The deterministic backpressure refusal: fixed bytes, connection closed.
-fn reject(mut stream: TcpStream, why: &str) {
+/// The deterministic admission refusal: fixed bytes, connection closed.
+///
+/// The close is graceful on purpose: the peer's request bytes are still
+/// unread in our receive buffer, and closing a socket with unread data
+/// sends an RST that may discard the in-flight `503` before the client
+/// reads it. So: respond, FIN our side, then drain the peer's bytes
+/// (bounded by a short timeout) until it closes.
+fn reject(mut stream: TcpStream, why: &str, retry_after: Option<u16>) {
     let mut body = String::from("{\"error\":");
     crate::json::string(&mut body, why);
     body.push('}');
     let mut resp = Response::json(503, body);
     resp.close = true;
-    let _ = resp.write_to(&mut stream);
+    resp.retry_after = retry_after;
+    if resp.write_to(&mut stream).is_err() {
+        WRITE_FAILED.inc();
+        return;
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut sink = [0u8; 1024];
+    while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+}
+
+/// The deterministic shed for a request whose deadline expired before
+/// dispatch. Keep-alive: the worker already owns the connection, so the
+/// client's immediate retry is the cheapest possible next request.
+fn deadline_shed_response() -> Response {
+    Response::json(503, DEADLINE_SHED_BODY.to_string()).with_retry_after(RETRY_AFTER_SECS)
 }
 
 /// Serves one connection's keep-alive request loop until the peer closes,
-/// an error forces a close, the idle budget runs out, or shutdown.
+/// an error forces a close, a budget runs out, or shutdown.
 fn serve_connection(
     app: &App,
-    mut stream: TcpStream,
+    task: ConnTask,
+    stats: &ServerStats,
     stop: &AtomicBool,
-    read_timeout: Duration,
-    idle_timeout_ticks: u32,
+    params: ConnParams,
 ) {
-    let _ = stream.set_read_timeout(Some(read_timeout));
+    let ConnTask { mut stream, permit, accepted, seq } = task;
+    let _permit = permit; // held for the connection's whole lifetime
+    let mut truncate_next_write = false;
+    if let Some(fault) = dim_chaos::conn_fault_at(SITE_CONN, seq) {
+        stats.conn_faults.fetch_add(1, Ordering::AcqRel);
+        match fault {
+            dim_chaos::ConnFault::AbruptClose => {
+                // The peer's view: connection accepted, then dropped with
+                // no bytes — the client must survive an unexpected EOF.
+                CONN_FAULT_ABRUPT.inc();
+                return;
+            }
+            dim_chaos::ConnFault::Stall => {
+                CONN_FAULT_STALL.inc();
+                let plan = dim_chaos::current_conn_plan();
+                let ms = plan.map_or(1, |p| p.stall_ms(SITE_CONN, seq));
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+            dim_chaos::ConnFault::PartialWrite => {
+                CONN_FAULT_PARTIAL.inc();
+                truncate_next_write = true;
+            }
+        }
+    }
+    let _ = stream.set_read_timeout(Some(params.read_timeout));
     let _ = stream.set_nodelay(true);
     let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
     let mut idle_ticks = 0u32;
+    let mut first_request = true;
+    // When the bytes of the currently-incomplete request started arriving;
+    // `None` while the connection is idle between requests.
+    let mut head_started: Option<Instant> = None;
     loop {
         // Parse-first so pipelined requests drain without extra reads.
         match http::parse(&buf) {
             Ok(Parsed::Complete { request, consumed }) => {
                 buf.drain(..consumed);
                 idle_ticks = 0;
-                let mut response =
-                    match catch_unwind(AssertUnwindSafe(|| app.handle(&request))) {
+                // The budget clock starts when the request's bytes started
+                // waiting: the accept instant for a connection's first
+                // request (queue time counts), the head-arrival instant
+                // after that.
+                let started = if first_request {
+                    accepted
+                } else {
+                    head_started.unwrap_or_else(Instant::now)
+                };
+                head_started = if buf.is_empty() { None } else { Some(Instant::now()) };
+                let budget = match parse_header_budget(
+                    request.header("x-deadline-ms"),
+                    params.max_deadline,
+                ) {
+                    HeaderBudget::Default => params.default_deadline,
+                    HeaderBudget::Requested(d) => d,
+                    HeaderBudget::Invalid => {
+                        first_request = false;
+                        let resp = Response::json(
+                            400,
+                            "{\"error\":\"invalid x-deadline-ms header\"}".to_string(),
+                        );
+                        if write_response(&mut stream, &resp, &mut truncate_next_write).is_err() {
+                            return;
+                        }
+                        continue;
+                    }
+                };
+                let deadline = Deadline::after(started, budget);
+                let mut response = if deadline.expired() {
+                    DEADLINE_SHED.inc();
+                    if first_request {
+                        // Expired before a worker ever saw the connection:
+                        // the time went to the admission queue.
+                        DEADLINE_SHED_QUEUE.inc();
+                    }
+                    stats.deadline_shed.fetch_add(1, Ordering::AcqRel);
+                    deadline_shed_response()
+                } else {
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        app.handle_with_deadline(&request, deadline)
+                    })) {
                         Ok(response) => response,
                         Err(payload) => {
                             PANICS_CAUGHT.inc();
                             app.degraded_response(panic_message(payload))
                         }
-                    };
+                    }
+                };
+                first_request = false;
                 let draining = stop.load(Ordering::SeqCst);
                 if request.wants_close() || draining {
                     response.close = true;
                 }
-                if response.write_to(&mut stream).is_err() || response.close {
+                if write_response(&mut stream, &response, &mut truncate_next_write).is_err()
+                    || response.close
+                {
                     return;
                 }
                 continue;
             }
             Ok(Parsed::Partial) => {}
             Err(e) => {
-                let _ = Response::from_error(&e).write_to(&mut stream);
+                let resp = Response::from_error(&e);
+                let _ = write_response(&mut stream, &resp, &mut truncate_next_write);
                 return;
             }
+        }
+        // Slow-loris guard: per-byte progress resets the idle clock below,
+        // but the *total* time spent trickling one request head/body is
+        // bounded — a peer can hold a worker for at most this budget.
+        if head_started.is_some_and(|t| t.elapsed() >= params.header_read_budget) {
+            HEADER_TIMEOUTS.inc();
+            let resp = Response::json(
+                408,
+                "{\"error\":\"request header read budget exceeded\"}".to_string(),
+            )
+            .with_retry_after(RETRY_AFTER_SECS);
+            let mut closing = resp;
+            closing.close = true;
+            let _ = write_response(&mut stream, &closing, &mut truncate_next_write);
+            return;
         }
         match stream.read(&mut chunk) {
             Ok(0) => return, // peer closed
             Ok(n) => {
                 idle_ticks = 0;
+                if buf.is_empty() {
+                    head_started = Some(Instant::now());
+                }
                 buf.extend_from_slice(&chunk[..n]); // lint:allow(no_panic, read() returns n <= chunk.len())
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
@@ -262,7 +510,7 @@ fn serve_connection(
                     return;
                 }
                 idle_ticks += 1;
-                if idle_ticks >= idle_timeout_ticks {
+                if idle_ticks >= params.idle_timeout_ticks {
                     return;
                 }
             }
@@ -270,6 +518,31 @@ fn serve_connection(
             Err(_) => return,
         }
     }
+}
+
+/// Writes one response, honoring a pending chaos partial-write (emit only
+/// half the rendered bytes, then report failure so the connection closes).
+/// Every failed write moves the `srv.write_failed` counter — a peer that
+/// vanished mid-response is routine under overload, never a panic.
+fn write_response(
+    stream: &mut TcpStream,
+    response: &Response,
+    truncate_next_write: &mut bool,
+) -> std::io::Result<()> {
+    if *truncate_next_write {
+        *truncate_next_write = false;
+        let wire = response.render();
+        let half = wire.len() / 2;
+        let _ = stream.write_all(&wire.as_bytes()[..half]); // lint:allow(no_panic, half <= wire.len() by construction)
+        let _ = stream.flush();
+        WRITE_FAILED.inc();
+        return Err(std::io::Error::new(ErrorKind::WriteZero, "chaos partial write"));
+    }
+    let result = response.write_to(stream);
+    if result.is_err() {
+        WRITE_FAILED.inc();
+    }
+    result
 }
 
 /// Renders a caught panic payload (string payloads pass through, anything
@@ -296,7 +569,7 @@ pub mod client {
         buf: Vec<u8>,
     }
 
-    /// A parsed response: status and body.
+    /// A parsed response: status, body, and backoff hints.
     #[derive(Debug, Clone, PartialEq, Eq)]
     pub struct ClientResponse {
         /// HTTP status code.
@@ -305,6 +578,8 @@ pub mod client {
         pub body: String,
         /// Whether the server asked to close the connection.
         pub close: bool,
+        /// Parsed `Retry-After` seconds, if the server sent one.
+        pub retry_after: Option<u16>,
     }
 
     impl Conn {
@@ -322,12 +597,36 @@ pub mod client {
             target: &str,
             body: &str,
         ) -> std::io::Result<ClientResponse> {
-            let head = format!(
-                "{method} {target} HTTP/1.1\r\nHost: dimserve\r\nContent-Length: {}\r\n\r\n",
-                body.len()
-            );
+            self.request_with_headers(method, target, body, &[])
+        }
+
+        /// Sends one request with extra headers and reads the full response.
+        pub fn request_with_headers(
+            &mut self,
+            method: &str,
+            target: &str,
+            body: &str,
+            extra_headers: &[(&str, &str)],
+        ) -> std::io::Result<ClientResponse> {
+            let mut head = format!("{method} {target} HTTP/1.1\r\nHost: dimserve\r\n");
+            for (name, value) in extra_headers {
+                head.push_str(&format!("{name}: {value}\r\n"));
+            }
+            head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
             self.stream.write_all(head.as_bytes())?;
             self.stream.write_all(body.as_bytes())?;
+            self.read_response()
+        }
+
+        /// The raw stream — the hook tests use to write partial requests,
+        /// trickle bytes, or half-close.
+        pub fn stream(&mut self) -> &mut TcpStream {
+            &mut self.stream
+        }
+
+        /// Reads one full response; pairs with raw writes via
+        /// [`Conn::stream`].
+        pub fn read_one(&mut self) -> std::io::Result<ClientResponse> {
             self.read_response()
         }
 
@@ -374,6 +673,7 @@ pub mod client {
             .ok_or_else(|| bad_response("missing status code"))?;
         let mut content_length = 0usize;
         let mut close = false;
+        let mut retry_after = None;
         for line in lines {
             let Some((name, value)) = line.split_once(':') else { continue };
             let name = name.trim().to_ascii_lowercase();
@@ -383,6 +683,8 @@ pub mod client {
                     value.parse().map_err(|_| bad_response("bad content-length"))?;
             } else if name == "connection" {
                 close = value.eq_ignore_ascii_case("close");
+            } else if name == "retry-after" {
+                retry_after = value.parse().ok();
             }
         }
         let total = head_end + 4 + content_length;
@@ -391,7 +693,7 @@ pub mod client {
         }
         let body = String::from_utf8_lossy(&buf[head_end + 4..total]).into_owned(); // lint:allow(no_panic, the length check above guarantees buf.len() >= total >= head_end + 4)
         buf.drain(..total);
-        Ok(Some(ClientResponse { status, body, close }))
+        Ok(Some(ClientResponse { status, body, close, retry_after }))
     }
 
     fn find_head_end(buf: &[u8]) -> Option<usize> {
@@ -411,7 +713,6 @@ mod tests {
         start(ServerConfig {
             workers,
             queue_capacity: queue,
-            app: AppConfig { batch_window: Duration::ZERO, ..AppConfig::default() },
             ..ServerConfig::default()
         })
         .expect("bind ephemeral")
@@ -429,6 +730,7 @@ mod tests {
         let report = server.shutdown();
         assert!(report.requests >= 1);
         assert_eq!(report.rejected, 0);
+        assert_eq!(report.open_connections, 0, "no leaked gate permits");
     }
 
     #[test]
@@ -465,5 +767,74 @@ mod tests {
         assert!(report.obs_json.contains("\"counters\""));
         // The listener is gone (or refuses) after shutdown.
         assert!(client::request(addr, "GET", "/healthz", "").is_err());
+    }
+
+    #[test]
+    fn connection_gate_sheds_excess_connections_with_retry_after() {
+        let server = start(ServerConfig {
+            workers: 1,
+            queue_capacity: 16,
+            max_connections: 1,
+            ..ServerConfig::default()
+        })
+        .expect("bind ephemeral");
+        let addr = server.addr();
+        // Occupy the single slot with a live keep-alive connection.
+        let mut held = client::Conn::connect(addr).expect("connect");
+        let ok = held.request("GET", "/healthz", "").expect("healthz");
+        assert_eq!(ok.status, 200);
+        // The next connection must be shed at the gate, deterministically.
+        let shed = client::request(addr, "GET", "/healthz", "").expect("shed response");
+        assert_eq!(shed.status, 503);
+        assert_eq!(shed.body, "{\"error\":\"too many connections\"}");
+        assert_eq!(shed.retry_after, Some(1));
+        assert!(shed.close);
+        // Releasing the slot restores admission.
+        drop(held);
+        let report = server.shutdown();
+        assert!(report.rejected >= 1);
+        assert_eq!(report.open_connections, 0);
+    }
+
+    #[test]
+    fn expired_header_deadline_is_shed_keep_alive_with_retry_after() {
+        let server = tiny_server(1, 8);
+        let mut conn = client::Conn::connect(server.addr()).expect("connect");
+        // Warm the connection so the next request's budget clock starts at
+        // head arrival (not at accept, where queue time also counts).
+        let warm = conn.request("GET", "/healthz", "").expect("warm");
+        assert_eq!(warm.status, 200);
+        // A 1ms budget consumed by a deliberate pause between the head
+        // hitting the server and... no — the server computes the deadline
+        // from head arrival, so force expiry with the smallest budget and a
+        // stalled body: send the head, wait out the budget, then the body.
+        let head = "POST /solve HTTP/1.1\r\nHost: x\r\nX-Deadline-Ms: 1\r\nContent-Length: 24\r\n\r\n";
+        conn.stream().write_all(head.as_bytes()).expect("head");
+        std::thread::sleep(Duration::from_millis(30));
+        conn.stream().write_all(b"{\"equation\":\"x=21*2\"}   ").expect("body");
+        let resp = conn.read_one().expect("shed response");
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.body, DEADLINE_SHED_BODY);
+        assert_eq!(resp.retry_after, Some(1));
+        assert!(!resp.close, "deadline sheds keep the connection alive");
+        // The same connection immediately serves the retry.
+        let retry = conn.request("POST", "/solve", "{\"equation\":\"x=21*2\"}").expect("retry");
+        assert_eq!((retry.status, retry.body.as_str()), (200, "{\"answer\":42}"));
+        let report = server.shutdown();
+        assert_eq!(report.deadline_shed, 1);
+    }
+
+    #[test]
+    fn invalid_deadline_header_is_400_without_closing() {
+        let server = tiny_server(1, 8);
+        let mut conn = client::Conn::connect(server.addr()).expect("connect");
+        let bad = conn
+            .request_with_headers("GET", "/healthz", "", &[("X-Deadline-Ms", "soon")])
+            .expect("response");
+        assert_eq!(bad.status, 400);
+        assert!(bad.body.contains("invalid x-deadline-ms"), "{}", bad.body);
+        let ok = conn.request("GET", "/healthz", "").expect("still serving");
+        assert_eq!(ok.status, 200);
+        server.shutdown();
     }
 }

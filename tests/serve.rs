@@ -12,10 +12,15 @@
 //! - chaos rate 0 is byte-identical to a chaos-free server; rate > 0
 //!   degrades faulted requests to structured `503`s — reproducibly across
 //!   runs — and never kills the process;
+//! - slow-loris trickling exhausts a bounded header-read budget (`408` +
+//!   close), half-closes and abrupt disconnects never panic a worker, and
+//!   connection-level chaos at rate 0 is byte-identical to no plan;
 //! - the sharded LRU reaches identical contents at dim-par widths 1 and 4;
 //! - the hand-rolled HTTP parser survives header soup, multi-script UTF-8,
-//!   truncation at every byte, and oversize declarations (proptests).
+//!   truncation at every byte, and oversize declarations (proptests), and
+//!   the `X-Deadline-Ms` budget parser clamps without ever panicking.
 
+use dim_serve::deadline::{parse_header_budget, HeaderBudget, MIN_DEADLINE};
 use dim_serve::http::{self, Parsed};
 use dim_serve::server::client;
 use dim_serve::{AppConfig, ServerConfig, ShardedLru};
@@ -163,6 +168,124 @@ fn queue_full_is_deterministic_503_and_backlog_still_drains() {
     assert_eq!(report.rejected, 1, "exactly one backpressure rejection");
 }
 
+// ===================== overload hardening =====================
+
+/// A peer trickling header bytes holds a worker for at most the total
+/// header-read budget, then gets a `408` with `Retry-After` and a close —
+/// per-byte progress must NOT keep resetting the clock.
+#[test]
+fn slow_loris_trickle_is_408_and_closed_after_total_budget() {
+    let server = dim_serve::start(ServerConfig {
+        workers: 1,
+        queue_capacity: 4,
+        header_read_budget: Duration::from_millis(150),
+        app: AppConfig { batch_window: Duration::ZERO, ..AppConfig::default() },
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = server.addr();
+
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone for writer");
+    let started = std::time::Instant::now();
+    // Drip one header byte every 20 ms — each write is progress, so only a
+    // *total* budget (not an idle timeout) can end this connection.
+    let trickler = std::thread::spawn(move || {
+        let bytes = b"POST /solve HTTP/1.1\r\nX-Slow: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa";
+        for b in bytes {
+            if writer.write_all(std::slice::from_ref(b)).is_err() {
+                break; // server gave up on us, as it should
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    });
+    let resp = read_raw_response(&mut stream);
+    let elapsed = started.elapsed();
+    trickler.join().expect("trickler");
+    assert!(resp.starts_with("HTTP/1.1 408"), "want 408 for a slow-loris peer: {resp}");
+    assert!(resp.contains("Retry-After: 1"), "{resp}");
+    assert!(resp.contains("Connection: close"), "{resp}");
+    assert!(
+        elapsed >= Duration::from_millis(150),
+        "cut off before the budget elapsed: {elapsed:?}"
+    );
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "a trickling peer held a worker far past the budget: {elapsed:?}"
+    );
+
+    // The worker that served the attacker is free again.
+    let ok = client::request(addr, "GET", "/healthz", "").expect("healthz after loris");
+    assert_eq!(ok.status, 200);
+    let report = server.shutdown();
+    assert_eq!(report.open_connections, 0, "no leaked gate permits");
+}
+
+/// A peer that half-closes (shutdown of its write side) after a complete
+/// request still receives the full response; the worker sees EOF afterward
+/// and moves on without panicking.
+#[test]
+fn half_close_after_request_still_receives_the_response() {
+    let server = test_server(1, 4);
+    let addr = server.addr();
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    let body = "{\"equation\":\"x=6*7\"}";
+    stream
+        .write_all(
+            format!("POST /solve HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}", body.len())
+                .as_bytes(),
+        )
+        .expect("send request");
+    stream.shutdown(std::net::Shutdown::Write).expect("half-close");
+    let resp = read_raw_response(&mut stream);
+    assert!(resp.contains("HTTP/1.1 200"), "half-closed peer still gets its answer: {resp}");
+    assert!(resp.contains("{\"answer\":42}"), "{resp}");
+
+    // The worker survived EOF; the next connection is served normally.
+    let ok = client::request(addr, "GET", "/healthz", "").expect("healthz after half-close");
+    assert_eq!(ok.status, 200);
+    let report = server.shutdown();
+    assert_eq!(report.open_connections, 0);
+}
+
+/// Abrupt disconnects — full requests, partial heads, zero bytes — never
+/// panic a worker and never leak a connection permit.
+#[test]
+fn abrupt_disconnects_never_panic_workers_or_leak_permits() {
+    let _guard = chaos_lock(); // serializes the panics-counter delta below
+    let panics_before =
+        dim_obs::snapshot().counter("srv.panics_caught").unwrap_or(0);
+    let server = test_server(1, 8);
+    let addr = server.addr();
+    for i in 0..6 {
+        let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+        match i % 3 {
+            0 => {
+                // Complete request, then vanish before reading the answer.
+                let body = "{\"equation\":\"x=1+1\"}";
+                let _ = stream.write_all(
+                    format!("POST /solve HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}", body.len())
+                        .as_bytes(),
+                );
+            }
+            1 => {
+                // Head only — the worker is left waiting on a body.
+                let _ = stream.write_all(b"POST /solve HTTP/1.1\r\nContent-Length: 20\r\n\r\n");
+            }
+            _ => {} // connect and drop without a single byte
+        }
+        drop(stream);
+        // Let the worker adopt (and abandon) the dead connection.
+        std::thread::sleep(Duration::from_millis(40));
+    }
+    let ok = client::request(addr, "GET", "/healthz", "").expect("healthz after disconnects");
+    assert_eq!(ok.status, 200);
+    let report = server.shutdown();
+    assert_eq!(report.open_connections, 0, "a dead peer leaked a gate permit");
+    let panics_after = dim_obs::snapshot().counter("srv.panics_caught").unwrap_or(0);
+    assert_eq!(panics_after, panics_before, "a disconnect panicked a worker");
+}
+
 // ===================== chaos =====================
 
 fn chaos_script() -> Vec<(String, String)> {
@@ -233,6 +356,58 @@ fn chaos_rate_positive_degrades_structurally_and_reproducibly() {
             assert_eq!((sa, ba), (sc, bc), "surviving responses must match clean bytes");
         }
     }
+}
+
+/// A rate-0 connection plan must be indistinguishable from no plan at all:
+/// same response bytes, same quarantine (none), zero realized faults.
+#[test]
+fn conn_chaos_rate_zero_is_byte_identical_to_no_plan() {
+    let _guard = chaos_lock();
+    let (clean, clean_q) = run_chaos_script(1);
+    dim_chaos::install_conn(dim_chaos::ConnPlan::new(13, 0.0));
+    assert!(!dim_chaos::conn_enabled(), "a rate-0 plan must not arm the injector");
+    let (zero_rate, zero_q) = run_chaos_script(1);
+    dim_chaos::clear_conn();
+    assert_eq!(clean, zero_rate, "conn-chaos rate 0 must not change a single byte");
+    assert!(clean_q.is_empty() && zero_q.is_empty());
+}
+
+/// With every connection abrupt-closed at adoption, clients see clean
+/// transport errors (never garbage bytes), the server neither panics nor
+/// leaks permits, and clearing the plan restores service on the same server.
+#[test]
+fn conn_chaos_abrupt_close_surfaces_as_transport_error_and_clears() {
+    let _guard = chaos_lock();
+    let server = test_server(1, 8);
+    let addr = server.addr();
+    dim_chaos::install_conn(dim_chaos::ConnPlan {
+        seed: 13,
+        rate: 1.0,
+        kinds: dim_chaos::ConnFaultKinds::only(dim_chaos::ConnFault::AbruptClose),
+    });
+    for _ in 0..3 {
+        // The drop may surface as EOF, a reset, or a broken pipe depending
+        // on whether our bytes were still unread — any *clean* error is the
+        // contract; garbage bytes or a hang are not.
+        let err = client::request(addr, "GET", "/healthz", "")
+            .expect_err("every connection is dropped at adoption");
+        assert!(
+            matches!(
+                err.kind(),
+                std::io::ErrorKind::UnexpectedEof
+                    | std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::ConnectionAborted
+                    | std::io::ErrorKind::BrokenPipe
+            ),
+            "unexpected error kind: {err}"
+        );
+    }
+    dim_chaos::clear_conn();
+    let ok = client::request(addr, "GET", "/healthz", "").expect("served after clear");
+    assert_eq!(ok.status, 200);
+    let report = server.shutdown();
+    assert_eq!(report.conn_faults, 3, "exactly the three faulted connections");
+    assert_eq!(report.open_connections, 0, "faulted connections released their permits");
 }
 
 // ===================== sharded LRU under dim-par =====================
@@ -366,5 +541,43 @@ proptest! {
                 prop_assert!((400..=599).contains(&s), "status {s} out of range");
             }
         }
+    }
+
+    /// Every numeric `X-Deadline-Ms` value (with arbitrary surrounding
+    /// whitespace) parses to a budget clamped into `[MIN_DEADLINE, max]` —
+    /// never `Invalid`, never out of range, never a panic.
+    #[test]
+    fn deadline_budget_clamps_every_numeric_header(
+        ms in 0u64..u64::MAX / 2,
+        pad_left in "[ ]{0,3}",
+        pad_right in "[ ]{0,3}",
+        max_ms in 1u64..600_000,
+    ) {
+        let max = Duration::from_millis(max_ms);
+        let raw = format!("{pad_left}{ms}{pad_right}");
+        match parse_header_budget(Some(&raw), max) {
+            HeaderBudget::Requested(d) => {
+                prop_assert!(d >= MIN_DEADLINE, "below floor: {d:?}");
+                prop_assert!(d <= max, "above ceiling: {d:?} > {max:?}");
+                let clamped = Duration::from_millis(ms).clamp(MIN_DEADLINE, max);
+                prop_assert_eq!(d, clamped);
+            }
+            other => prop_assert!(false, "numeric value {raw:?} parsed as {other:?}"),
+        }
+    }
+
+    /// Any header value that is not a plain non-negative integer is
+    /// `Invalid` (a deterministic `400` upstream), and an absent header is
+    /// always `Default` — no input string can panic the parser.
+    #[test]
+    fn deadline_budget_rejects_non_numeric_headers(value in "\\PC{0,24}") {
+        let max = Duration::from_secs(30);
+        let expected_numeric = value.trim().parse::<u64>().is_ok();
+        match parse_header_budget(Some(&value), max) {
+            HeaderBudget::Requested(_) => prop_assert!(expected_numeric, "{value:?}"),
+            HeaderBudget::Invalid => prop_assert!(!expected_numeric, "{value:?}"),
+            HeaderBudget::Default => prop_assert!(false, "present header parsed as Default"),
+        }
+        prop_assert_eq!(parse_header_budget(None, max), HeaderBudget::Default);
     }
 }
