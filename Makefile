@@ -1,4 +1,4 @@
-.PHONY: verify build test clippy lint smoke golden chaos serve-smoke serve-soak no-panic-hotpath no-artifacts bench-baseline bench-serve bench-gate snap-gate
+.PHONY: verify build test clippy lint smoke golden chaos serve-smoke serve-soak no-panic-hotpath no-artifacts bench-baseline bench-serve bench-gate snap-gate verify-gate
 
 # Full offline verification: release build, workspace tests, lints (clippy
 # plus the dim-lint invariant engine), the golden-results harness, the
@@ -7,7 +7,7 @@
 # (golden HTTP transcript over an ephemeral port), the overload/chaos soak
 # gate, and a check that no build artifacts are tracked. No network
 # required.
-verify: build test clippy lint golden chaos smoke serve-smoke serve-soak bench-gate snap-gate no-artifacts
+verify: build test clippy lint golden chaos smoke serve-smoke serve-soak bench-gate snap-gate verify-gate no-artifacts
 
 build:
 	cargo build --workspace --release
@@ -83,6 +83,17 @@ bench-gate:
 # (see EXPERIMENTS.md "Snapshot cold-start gate").
 snap-gate:
 	cargo run --release -p dim-bench --bin snap_gate
+
+# Dimensional-verification regression gate: regenerates the dim-verify
+# repair table and the perturbation detection table at thread widths 1
+# and 4, byte-compares them against results/quick/verify_repair.txt and
+# verify_perturb.txt, and asserts the after >= before repair invariant
+# plus nonzero detection on every mutation class (see EXPERIMENTS.md
+# "Perturbation methodology"). Refresh goldens after an intentional
+# change with
+#   UPDATE_GOLDEN=1 cargo run --release -p dim-bench --bin verify_gate
+verify-gate:
+	cargo run --release -p dim-bench --bin verify_gate
 
 # Regenerates BENCH_baseline.json (criterion micro-benchmarks with JSON
 # aggregation; see EXPERIMENTS.md "Micro-benchmark methodology").

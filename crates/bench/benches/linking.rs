@@ -60,6 +60,34 @@ fn bench_linking(c: &mut Criterion) {
             },
         );
     }
+
+    // Batch solution verification at 1 vs 4 threads, next to
+    // annotate_batch: the full rejection/repair pass (beam generation,
+    // literal binding, both checker layers, repair search) over a
+    // generated problem set.
+    let kb3 = DimUnitKb::shared();
+    let problems = dim_mwp::generate(
+        dim_mwp::Source::Math23k,
+        &dim_mwp::GenConfig { count: 120, seed: 33 },
+    );
+    for threads in [1usize, 4] {
+        c.bench_function_meta(
+            &format!("verify_batch_threads{threads}"),
+            &[("threads", threads as f64), ("problems", problems.len() as f64)],
+            |b| {
+                b.iter(|| {
+                    dim_verify::repair_row(
+                        "bench",
+                        black_box(&problems),
+                        &kb3,
+                        33,
+                        dim_verify::DEFAULT_NOISE,
+                        dim_par::Parallelism::new(threads),
+                    )
+                })
+            },
+        );
+    }
 }
 
 criterion_group!(benches, bench_linking);

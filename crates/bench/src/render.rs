@@ -422,6 +422,94 @@ pub fn ablation_linking() -> String {
     out
 }
 
+/// The dim-verify repair table — accuracy of the simulated beam's top
+/// candidate before and after the dimensional rejection/repair pass, per
+/// evaluation set (DESIGN.md §15). Gold equations always verify (a tested
+/// invariant), so the after column can never fall below the before column.
+pub fn verify_repair(cfg: &ExperimentConfig) -> String {
+    use dim_verify::{repair_row, DEFAULT_NOISE};
+
+    let kb = dimkb::DimUnitKb::shared();
+    let sets = experiments::build_mwp_eval(cfg);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "dim-verify repair — beam top-1 accuracy before/after dimensional verification"
+    );
+    let _ = writeln!(
+        out,
+        "(beam-sim noise = {DEFAULT_NOISE}, seed = {}, beam width = {})",
+        cfg.seed,
+        dim_verify::BEAM
+    );
+    rule_to(&mut out, 72);
+    let _ = writeln!(
+        out,
+        "{:<12} {:>6} {:>9} {:>9} {:>9} {:>9}",
+        "Dataset", "#Prob", "Before", "After", "Rejected", "Promoted"
+    );
+    rule_to(&mut out, 72);
+    for (name, problems) in sets.iter() {
+        let row = repair_row(name, problems, &kb, cfg.seed, DEFAULT_NOISE, cfg.parallelism);
+        let _ = writeln!(
+            out,
+            "{:<12} {:>6} {:>8}% {:>8}% {:>9} {:>9}",
+            row.dataset,
+            row.n,
+            pct(row.before),
+            pct(row.after),
+            row.rejected,
+            row.promoted
+        );
+    }
+    rule_to(&mut out, 72);
+    let _ = writeln!(out, "Invariant: after >= before on every row — verification only ever");
+    let _ = writeln!(out, "replaces a top candidate that fails the dimension or conversion law.");
+    out
+}
+
+/// The NUMCoT-style perturbation table — detection rate of the two-law
+/// checker per mutation class, over the Q-MWP evaluation sets (mutating
+/// a unit mid-problem must flip the verdict for the mutation to count as
+/// detected; see EXPERIMENTS.md "Perturbation methodology").
+pub fn verify_perturb(cfg: &ExperimentConfig) -> String {
+    use dimeval::detection_rates;
+
+    let kb = dimkb::DimUnitKb::shared();
+    let sets = experiments::build_mwp_eval(cfg);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "dim-verify perturbation — unit-mutation detection rates (seed = {})",
+        cfg.seed
+    );
+    rule_to(&mut out, 64);
+    let _ = writeln!(
+        out,
+        "{:<12} {:<18} {:>6} {:>9} {:>8}",
+        "Dataset", "Mutation", "n", "Detected", "Rate"
+    );
+    rule_to(&mut out, 64);
+    for (name, problems) in sets.iter() {
+        for row in detection_rates(problems, &kb, cfg.seed, cfg.parallelism) {
+            let _ = writeln!(
+                out,
+                "{:<12} {:<18} {:>6} {:>9} {:>7}%",
+                name,
+                row.class.name(),
+                row.n,
+                row.detected,
+                pct(row.rate())
+            );
+        }
+    }
+    rule_to(&mut out, 64);
+    let _ = writeln!(out, "cross-dimension breaks the dimension law; prefix-swap and");
+    let _ = writeln!(out, "cross-lingual keep the dimension and are caught (when the written");
+    let _ = writeln!(out, "value no longer reconciles) by the conversion law's scale sets.");
+    out
+}
+
 /// Chaos stage — the degraded-mode pipeline under a deterministic fault
 /// plan. Installs `FaultPlan { seed, rate }` for the duration of the call
 /// (and clears it before returning, so classic stages never see it), runs

@@ -24,10 +24,12 @@ mod benchmark;
 pub mod cot;
 pub mod gen;
 pub mod metrics;
+pub mod perturb;
 mod task;
 
 pub use benchmark::{evaluate, DimEval, DimEvalConfig, EvalReport};
 pub use gen::{Generator, NUM_OPTIONS, OPTION_LETTERS};
+pub use perturb::{detection_rates, mutate, Mutation, MutationClass, PerturbRow};
 pub use metrics::{ChoiceScore, ExtractionScore, PrfCounts};
 pub use task::{
     Category, ChoiceItem, DimEvalSolver, ExtractedQuantity, ExtractionItem, GoldExtraction,

@@ -185,6 +185,43 @@ impl DimUnitKb {
         self.by_dim.get(&dim).map(Vec::as_slice).unwrap_or(&[])
     }
 
+    // ---- Dimension-resolution helpers (dim-verify) ------------------------
+    //
+    // The solution checker needs to go straight from a unit code or a
+    // surface form to a dimension vector / linear SI scale, without
+    // materializing the `Unit` record at every equation leaf.
+
+    /// The dimension vector of a unit code; `None` for unknown codes.
+    pub fn dim_of_code(&self, code: &str) -> Option<DimVec> {
+        self.unit_by_code(code).map(|u| u.dim)
+    }
+
+    /// The multiplicative SI factor of a unit code; `None` for unknown
+    /// codes and for affine conversions (temperature scales have no
+    /// single factor).
+    pub fn linear_scale_of_code(&self, code: &str) -> Option<f64> {
+        self.unit_by_code(code)
+            .filter(|u| !u.conversion.is_affine())
+            .map(|u| u.conversion.factor)
+    }
+
+    /// The dimension vector a surface form resolves to through the
+    /// naming dictionary (first candidate, in dictionary preference
+    /// order); `None` for unknown surfaces.
+    pub fn dim_of_surface(&self, surface: &str) -> Option<DimVec> {
+        self.lookup(surface).first().map(|&id| self.unit(id).dim)
+    }
+
+    /// The multiplicative SI factor a surface form resolves to (first
+    /// candidate); `None` for unknown surfaces and affine conversions.
+    pub fn linear_scale_of_surface(&self, surface: &str) -> Option<f64> {
+        self.lookup(surface)
+            .first()
+            .map(|&id| self.unit(id))
+            .filter(|u| !u.conversion.is_affine())
+            .map(|u| u.conversion.factor)
+    }
+
     /// The full kind index, for snapshot emission.
     pub(crate) fn by_kind_map(&self) -> &HashMap<KindId, Vec<UnitId>> {
         &self.by_kind
@@ -927,5 +964,18 @@ mod tests {
     fn micro_symbol_gets_ascii_alias() {
         let kb = DimUnitKb::shared();
         assert!(!kb.lookup("um").is_empty(), "µm should have ascii alias um");
+    }
+
+    #[test]
+    fn dimension_resolution_helpers() {
+        let kb = DimUnitKb::shared();
+        let metre = DimVec::parse("L1").expect("length vector");
+        assert_eq!(kb.dim_of_code("KiloM"), Some(metre));
+        assert_eq!(kb.dim_of_code("NO-SUCH"), None);
+        assert_eq!(kb.linear_scale_of_code("KiloM"), Some(1000.0));
+        assert_eq!(kb.linear_scale_of_code("DEG-C"), None, "affine units have no single factor");
+        assert_eq!(kb.dim_of_surface("千米"), Some(metre));
+        assert_eq!(kb.linear_scale_of_surface("千米"), Some(1000.0));
+        assert_eq!(kb.dim_of_surface("不是单位"), None);
     }
 }

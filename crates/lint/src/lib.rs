@@ -112,6 +112,10 @@ impl RuleId {
                     // The snapshot loader parses attacker-shaped bytes; a
                     // panic there is a crash on corrupt input.
                     || rel_path == "crates/dimkb/src/snap.rs"
+                    // The verification checker runs on every /verify
+                    // request and inside the solver's repair loop — it
+                    // must reject, never die, on malformed ASTs.
+                    || rel_path.starts_with("crates/verify/src/")
             }
             RuleId::Determinism => {
                 rel_path.starts_with("crates/dimeval/src/")
@@ -141,6 +145,9 @@ impl RuleId {
                     // must shed without allocating.
                     || rel_path == "crates/serve/src/admission.rs"
                     || rel_path == "crates/serve/src/deadline.rs"
+                    // The two checker layers run per beam candidate per
+                    // problem inside the repair search.
+                    || rel_path.starts_with("crates/verify/src/")
             }
         }
     }
@@ -235,12 +242,15 @@ mod tests {
         assert!(np.applies_to("crates/serve/src/bin/dimserve.rs"));
         assert!(np.applies_to("crates/core/src/pipeline.rs"));
         assert!(np.applies_to("crates/dimkb/src/snap.rs"), "the snapshot loader parses untrusted bytes");
+        assert!(np.applies_to("crates/verify/src/check.rs"), "the checker serves /verify requests");
+        assert!(np.applies_to("crates/verify/src/solution.rs"), "the repair search is request-path");
         assert!(!np.applies_to("crates/dimkb/src/kb.rs"), "KB construction may panic on bad curated data");
         assert!(!np.applies_to("crates/core/src/experiments.rs"));
         assert!(!np.applies_to("crates/obs/src/lib.rs"));
 
         let det = RuleId::Determinism;
         assert!(det.applies_to("crates/dimeval/src/benchmark.rs"));
+        assert!(det.applies_to("crates/dimeval/src/perturb.rs"), "mutation picks must be seeded");
         assert!(det.applies_to("crates/bench/src/render.rs"));
         assert!(!det.applies_to("crates/bench/src/lib.rs"), "CLI arg parsing may read env");
 
@@ -259,6 +269,7 @@ mod tests {
         assert!(ha.applies_to("crates/dimkb/src/snap.rs"), "snapshot validation is budgeted");
         assert!(ha.applies_to("crates/serve/src/admission.rs"), "shedding must not allocate");
         assert!(ha.applies_to("crates/serve/src/deadline.rs"), "budget checks are per-request");
+        assert!(ha.applies_to("crates/verify/src/scale.rs"), "scale sets run per beam candidate");
         assert!(!ha.applies_to("crates/serve/src/load.rs"), "the load client may allocate");
         assert!(!ha.applies_to("crates/dimlink/src/reference.rs"), "the oracle may allocate");
         assert!(!ha.applies_to("crates/dimkb/src/kb.rs"), "KB construction is cold");

@@ -25,6 +25,24 @@ pub trait MwpSolver {
     fn solve(&mut self, problem: &MwpProblem) -> Prediction;
 }
 
+/// Solvers that can expose a *ranked list* of candidate predictions,
+/// best first. This is the hook verification passes (`dim-verify`) plug
+/// into: a reranker walks the beam and promotes the first candidate that
+/// survives dimensional checking. The default implementation wraps
+/// [`MwpSolver::solve`] as a beam of one.
+pub trait CandidateSolver: MwpSolver {
+    /// Up to `k` candidate predictions, best first. Must be a superset
+    /// ordering of [`MwpSolver::solve`]: the first candidate is the
+    /// prediction `solve` would return.
+    fn candidates(&mut self, problem: &MwpProblem, k: usize) -> Vec<Prediction> {
+        if k == 0 {
+            Vec::new()
+        } else {
+            vec![self.solve(problem)]
+        }
+    }
+}
+
 /// Relative tolerance for answer matching.
 const REL_TOL: f64 = 1e-4;
 
@@ -82,6 +100,16 @@ mod tests {
         fn solve(&mut self, _p: &MwpProblem) -> Prediction {
             Prediction::None
         }
+    }
+
+    impl CandidateSolver for GoldEq {}
+
+    #[test]
+    fn default_candidates_wrap_solve() {
+        let ps = generate(Source::Math23k, &GenConfig { count: 1, seed: 3 });
+        let mut s = GoldEq;
+        assert_eq!(s.candidates(&ps[0], 0), Vec::<Prediction>::new());
+        assert_eq!(s.candidates(&ps[0], 3), vec![s.solve(&ps[0])]);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! | `POST /annotate` | `{"text"}`                                | linked quantity mentions      |
 //! | `POST /convert`  | `{"value", "from", "to"}`                 | converted value (dimension law)|
 //! | `POST /solve`    | `{"equation"}`                            | calculator answer (§VI-D)     |
+//! | `POST /verify`   | `{"equation", "quantities", "answer_unit"?}` | typed dimensional verdict  |
 //! | `GET /healthz`   | —                                         | liveness                      |
 //! | `GET /metrics`   | —                                         | `dim-obs` snapshot JSON       |
 //!
@@ -253,6 +254,16 @@ impl App {
                 }
                 self.dispatch_post(req, deadline)
             }
+            // Same per-request chaos wiring as the other POST routes, in
+            // its own arm so the established chaos transcripts (which
+            // never call `/verify`) stay byte-identical.
+            (Method::Post, "/verify") => {
+                let seq = self.seq.fetch_add(1, Ordering::Relaxed); // lint:allow(relaxed_ordering, uniqueness comes from fetch_add atomicity; no ordering needed)
+                if let Err(e) = dimkb::degrade::inject(SITE_REQUEST, seq as usize) {
+                    return self.quarantined_response(seq, e);
+                }
+                self.dispatch_post(req, deadline)
+            }
             (Method::Post, _) => error_response(404, "no such endpoint"),
             (Method::Get, _) => error_response(404, "no such endpoint"),
         }
@@ -276,6 +287,7 @@ impl App {
             "/annotate" => self.annotate(&parsed, deadline),
             "/convert" => self.convert(&parsed),
             "/solve" => self.solve(&parsed),
+            "/verify" => self.verify(&parsed),
             _ => Err((404, "no such endpoint".to_string())),
         };
         match result {
@@ -385,6 +397,111 @@ impl App {
             }
             Err(e) => Err((422, e.to_string())),
         }
+    }
+
+    /// `POST /verify` — dimensional verification of a solution equation
+    /// against its quantities' units (the `dim-verify` two-law checker).
+    /// Equation literals are bound to quantities by written value; unit
+    /// surfaces resolve through the naming dictionary with the linker as
+    /// fallback. The verdict is typed, never a bare bool: the dimension
+    /// law reports the offending node and expected-vs-found vectors, the
+    /// conversion law the node whose admissible scales are disjoint.
+    fn verify(&self, v: &serde::Value) -> Result<String, (u16, String)> {
+        let equation = json::str_field(v, "equation").map_err(|e| (400, e))?;
+        let items = match json::field(v, "quantities") {
+            Some(serde::Value::Arr(items)) => items,
+            Some(_) => return Err((400, "field \"quantities\" must be an array".to_string())),
+            None => return Err((400, "missing field \"quantities\"".to_string())),
+        };
+        let ks = self.ks();
+        let kb = ks.kb();
+        let mut quantities = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            let value =
+                json::num_field(item, "value").map_err(|e| (400, format!("quantity {i}: {e}")))?;
+            let unit = json::opt_str_field(item, "unit")
+                .map_err(|e| (400, format!("quantity {i}: {e}")))?
+                .unwrap_or("");
+            let (unit_code, is_percent) = if unit.is_empty() {
+                (None, false)
+            } else if unit == "%" {
+                (None, true)
+            } else {
+                let id = resolve_unit(&ks, unit)
+                    .ok_or_else(|| (422, format!("unresolvable unit {unit:?} in quantity {i}")))?;
+                (Some(kb.unit(id).code.clone()), false)
+            };
+            quantities.push(dim_mwp::ProblemQuantity {
+                value,
+                unit_code,
+                surface: unit.to_string(),
+                is_percent,
+            });
+        }
+        let (answer_dim, answer_scale) = match json::opt_str_field(v, "answer_unit")
+            .map_err(|e| (400, e))?
+        {
+            None | Some("") => {
+                (dim_verify::Ty::Dim(dimkb::DimVec::DIMENSIONLESS), dim_verify::Scales::one(1.0))
+            }
+            Some(surface) => {
+                let id = resolve_unit(&ks, surface)
+                    .ok_or_else(|| (422, format!("unresolvable answer unit {surface:?}")))?;
+                let u = kb.unit(id);
+                let scales = if u.conversion.is_affine() {
+                    dim_verify::Scales::Free
+                } else {
+                    dim_verify::Scales::one(u.conversion.factor)
+                };
+                (dim_verify::Ty::Dim(u.dim), scales)
+            }
+        };
+        let tree = dim_mwp::parse(equation).map_err(|e| (422, e.to_string()))?;
+        let bound = dim_verify::bind_quantities(&tree, &quantities);
+        let (dims, scales) = dim_verify::resolve_quantities(&quantities, kb);
+        let report = dim_verify::check(&bound, &dims, Some(answer_dim));
+        let scale_report = dim_verify::check_scales(&bound, &scales, &answer_scale);
+
+        let accepted = report.is_consistent() && scale_report.is_consistent();
+        let mut out = String::from("{\"accepted\":");
+        out.push_str(if accepted { "true" } else { "false" });
+        out.push_str(",\"dim\":");
+        match report {
+            dim_verify::VerifyReport::Consistent { dim } => {
+                out.push_str("{\"consistent\":true,\"vector\":");
+                let vector = match dim {
+                    dim_verify::Ty::Any => "any".to_string(),
+                    dim_verify::Ty::Dim(d) => d.vector_form(),
+                };
+                json::string(&mut out, &vector);
+                out.push('}');
+            }
+            dim_verify::VerifyReport::Inconsistent { node, site, expected, found } => {
+                out.push_str(&format!("{{\"consistent\":false,\"node\":{node},\"site\":"));
+                json::string(&mut out, site.symbol());
+                out.push_str(",\"expected\":");
+                json::string(&mut out, &expected.vector_form());
+                out.push_str(",\"found\":");
+                json::string(&mut out, &found.vector_form());
+                out.push('}');
+            }
+            dim_verify::VerifyReport::UnresolvableUnit { quantity } => {
+                out.push_str(&format!(
+                    "{{\"consistent\":false,\"unresolvable_quantity\":{quantity}}}"
+                ));
+            }
+        }
+        out.push_str(",\"scale\":");
+        match scale_report {
+            dim_verify::ScaleReport::Consistent => out.push_str("{\"consistent\":true}"),
+            dim_verify::ScaleReport::Mismatch { node, site } => {
+                out.push_str(&format!("{{\"consistent\":false,\"node\":{node},\"site\":"));
+                json::string(&mut out, site.symbol());
+                out.push('}');
+            }
+        }
+        out.push('}');
+        Ok(out)
     }
 
     /// The structured degraded `503` for a chaos-faulted request, recording
@@ -533,6 +650,72 @@ mod tests {
         assert_eq!(r.body, "{\"answer\":450}");
         let bad = app.handle(&post("/solve", "{\"equation\":\"x=1+\"}"));
         assert_eq!(bad.status, 422);
+    }
+
+    #[test]
+    fn verify_accepts_a_consistent_solution() {
+        let app = app();
+        let r = app.handle(&post(
+            "/verify",
+            "{\"equation\":\"x=100+50\",\"quantities\":[{\"value\":100,\"unit\":\"米\"},{\"value\":50,\"unit\":\"米\"}],\"answer_unit\":\"米\"}",
+        ));
+        assert_eq!(r.status, 200, "{}", r.body);
+        assert!(r.body.starts_with("{\"accepted\":true"), "{}", r.body);
+        assert!(r.body.contains("\"vector\":\"A0E0L1I0M0H0T0D0\""), "{}", r.body);
+    }
+
+    #[test]
+    fn verify_flags_a_dimension_break_at_the_node() {
+        let app = app();
+        let r = app.handle(&post(
+            "/verify",
+            "{\"equation\":\"x=100+50\",\"quantities\":[{\"value\":100,\"unit\":\"米\"},{\"value\":50,\"unit\":\"千克\"}],\"answer_unit\":\"米\"}",
+        ));
+        assert_eq!(r.status, 200, "{}", r.body);
+        assert!(r.body.starts_with("{\"accepted\":false"), "{}", r.body);
+        assert!(r.body.contains("\"site\":\"+\""), "{}", r.body);
+        assert!(r.body.contains("\"expected\"") && r.body.contains("\"found\""), "{}", r.body);
+    }
+
+    #[test]
+    fn verify_flags_a_conversion_break_through_the_scale_law() {
+        let app = app();
+        // metres + centimetres: dimensionally clean, numerically wrong.
+        let r = app.handle(&post(
+            "/verify",
+            "{\"equation\":\"x=100+50\",\"quantities\":[{\"value\":100,\"unit\":\"米\"},{\"value\":50,\"unit\":\"厘米\"}],\"answer_unit\":\"米\"}",
+        ));
+        assert_eq!(r.status, 200, "{}", r.body);
+        assert!(r.body.starts_with("{\"accepted\":false"), "{}", r.body);
+        assert!(r.body.contains("\"dim\":{\"consistent\":true"), "{}", r.body);
+        assert!(r.body.contains("\"scale\":{\"consistent\":false"), "{}", r.body);
+
+        // The same shape with an explicit conversion constant passes: the
+        // constant is admitted in its unit-conversion reading. (Values
+        // distinct from the constant, so literal binding is unambiguous.)
+        let ok = app.handle(&post(
+            "/verify",
+            "{\"equation\":\"x=2+50/100\",\"quantities\":[{\"value\":2,\"unit\":\"米\"},{\"value\":50,\"unit\":\"厘米\"}],\"answer_unit\":\"米\"}",
+        ));
+        assert_eq!(ok.status, 200, "{}", ok.body);
+        assert!(ok.body.starts_with("{\"accepted\":true"), "{}", ok.body);
+    }
+
+    #[test]
+    fn verify_rejects_unresolvable_units_and_bad_equations() {
+        let app = app();
+        let unknown = app.handle(&post(
+            "/verify",
+            "{\"equation\":\"x=1\",\"quantities\":[{\"value\":1,\"unit\":\"zorblax9000\"}]}",
+        ));
+        assert_eq!(unknown.status, 422, "{}", unknown.body);
+        let bad_eq = app.handle(&post(
+            "/verify",
+            "{\"equation\":\"x=1+\",\"quantities\":[]}",
+        ));
+        assert_eq!(bad_eq.status, 422, "{}", bad_eq.body);
+        let not_array = app.handle(&post("/verify", "{\"equation\":\"x=1\",\"quantities\":3}"));
+        assert_eq!(not_array.status, 400, "{}", not_array.body);
     }
 
     #[test]

@@ -24,6 +24,21 @@ pub const SCRIPT: &[(&str, &str, &str)] = &[
     ("POST", "/convert", "{\"value\":1,\"from\":\"m\",\"to\":\"s\"}"),
     ("POST", "/solve", "{\"equation\":\"x=150*20%/5%-150\"}"),
     ("POST", "/solve", "{\"equation\":\"x=((3+5)*2-6)/2\"}"),
+    (
+        "POST",
+        "/verify",
+        "{\"equation\":\"x=100+50\",\"quantities\":[{\"value\":100,\"unit\":\"米\"},{\"value\":50,\"unit\":\"米\"}],\"answer_unit\":\"米\"}",
+    ),
+    (
+        "POST",
+        "/verify",
+        "{\"equation\":\"x=100+50\",\"quantities\":[{\"value\":100,\"unit\":\"米\"},{\"value\":50,\"unit\":\"千克\"}]}",
+    ),
+    (
+        "POST",
+        "/verify",
+        "{\"equation\":\"x=3*2\",\"quantities\":[{\"value\":3,\"unit\":\"zorblax\"},{\"value\":2}]}",
+    ),
     ("POST", "/link", "{\"mention\":\"km\",\"context\":\"the road is long\"}"),
     ("POST", "/nowhere", "{}"),
     ("POST", "/link", "{not json"),

@@ -1,0 +1,261 @@
+//! The dimensional type-checker over equation ASTs (the dimension law).
+//!
+//! Each `Q(i)` leaf carries a dimension type resolved from the KB;
+//! constants are dimensionless literals that unify with anything. The
+//! operator laws are the paper's dimension calculus: `+`/`-`/`=` require
+//! equal vectors, `*`/`÷` add/subtract exponent vectors, and integer
+//! powers scale them ([`Ty::powi`]; the MWP AST spells powers as repeated
+//! multiplication, which composes to the same vector through the `*` rule).
+
+use dim_mwp::{Node, Op};
+use dimkb::DimVec;
+
+/// The dimension type of a subexpression.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Ty {
+    /// A dimensionless literal: unifies with any vector. A bare constant
+    /// in an equation may be a count, a ratio, or a conversion factor, so
+    /// it must not force the surrounding expression to dimension zero.
+    Any,
+    /// A known dimension vector.
+    Dim(DimVec),
+}
+
+impl Ty {
+    /// The `^` rule: raising to the integer power `n` scales the vector.
+    pub fn powi(self, n: i8) -> Ty {
+        match self {
+            Ty::Any => Ty::Any,
+            Ty::Dim(d) => Ty::Dim(d.powi(n)),
+        }
+    }
+
+    /// The concrete vector, defaulting a literal to dimensionless.
+    pub fn vector(self) -> DimVec {
+        match self {
+            Ty::Any => DimVec::DIMENSIONLESS,
+            Ty::Dim(d) => d,
+        }
+    }
+}
+
+/// Where an inconsistency was found.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Site {
+    /// At a binary operator node.
+    Op(Op),
+    /// At the implicit `=` between the equation root and the answer unit.
+    Answer,
+}
+
+impl Site {
+    /// Rendering symbol (`+ - * / =`).
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Site::Op(Op::Add) => "+",
+            Site::Op(Op::Sub) => "-",
+            Site::Op(Op::Mul) => "*",
+            Site::Op(Op::Div) => "/",
+            Site::Answer => "=",
+        }
+    }
+}
+
+/// The typed verification verdict of the dimension layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum VerifyReport {
+    /// Every operator law holds; the root resolves to `dim`.
+    Consistent {
+        /// Resolved dimension of the whole expression.
+        dim: Ty,
+    },
+    /// `+`/`-`/`=` was applied to unequal vectors.
+    Inconsistent {
+        /// Preorder index of the offending node (root = 0).
+        node: usize,
+        /// The operator (or the root `=`) whose law failed.
+        site: Site,
+        /// Vector required by the left operand (or the answer unit).
+        expected: DimVec,
+        /// Vector actually found on the right operand (or the root).
+        found: DimVec,
+    },
+    /// A leaf references a quantity whose unit the KB cannot resolve.
+    /// `quantity` equal to the quantity count denotes the answer unit.
+    UnresolvableUnit {
+        /// Quantity index of the unresolvable leaf.
+        quantity: usize,
+    },
+}
+
+impl VerifyReport {
+    /// True iff the dimension law holds everywhere.
+    pub fn is_consistent(&self) -> bool {
+        matches!(self, VerifyReport::Consistent { .. })
+    }
+}
+
+/// Checks `node`, whose `Q(i)` leaves carry the types `leaves` (`None`
+/// marks an unresolvable unit; out-of-range indices are likewise
+/// unresolvable, never a panic), and whose root must unify with `answer`.
+pub fn check(node: &Node, leaves: &[Option<Ty>], answer: Option<Ty>) -> VerifyReport {
+    let mut next = 0usize;
+    let root = match walk(node, leaves, &mut next) {
+        Ok(ty) => ty,
+        Err(report) => return report,
+    };
+    let Some(answer) = answer else {
+        return VerifyReport::UnresolvableUnit { quantity: leaves.len() };
+    };
+    match unify(answer, root) {
+        Ok(_) => VerifyReport::Consistent { dim: root },
+        Err((expected, found)) => VerifyReport::Inconsistent {
+            node: 0,
+            site: Site::Answer,
+            expected,
+            found,
+        },
+    }
+}
+
+fn walk(node: &Node, leaves: &[Option<Ty>], next: &mut usize) -> Result<Ty, VerifyReport> {
+    let here = *next;
+    *next += 1;
+    match node {
+        Node::Const(_) => Ok(Ty::Any),
+        Node::Q(i) => match leaves.get(*i) {
+            Some(Some(ty)) => Ok(*ty),
+            _ => Err(VerifyReport::UnresolvableUnit { quantity: *i }),
+        },
+        Node::Bin(op, l, r) => {
+            let lt = walk(l, leaves, next)?;
+            let rt = walk(r, leaves, next)?;
+            match op {
+                Op::Add | Op::Sub => {
+                    unify(lt, rt).map_err(|(expected, found)| VerifyReport::Inconsistent {
+                        node: here,
+                        site: Site::Op(*op),
+                        expected,
+                        found,
+                    })
+                }
+                Op::Mul => Ok(mul(lt, rt)),
+                Op::Div => Ok(div(lt, rt)),
+            }
+        }
+    }
+}
+
+/// The `+`/`-`/`=` law: literals adopt the other side's vector; two known
+/// vectors must be equal.
+fn unify(a: Ty, b: Ty) -> Result<Ty, (DimVec, DimVec)> {
+    match (a, b) {
+        (Ty::Any, t) | (t, Ty::Any) => Ok(t),
+        (Ty::Dim(x), Ty::Dim(y)) if x == y => Ok(Ty::Dim(x)),
+        (Ty::Dim(x), Ty::Dim(y)) => Err((x, y)),
+    }
+}
+
+/// The `*` law: exponent vectors add; literals are the identity.
+fn mul(a: Ty, b: Ty) -> Ty {
+    match (a, b) {
+        (Ty::Any, t) | (t, Ty::Any) => t,
+        (Ty::Dim(x), Ty::Dim(y)) => Ty::Dim(x * y),
+    }
+}
+
+/// The `÷` law: exponent vectors subtract; a literal numerator inverts
+/// the denominator.
+fn div(a: Ty, b: Ty) -> Ty {
+    match (a, b) {
+        (t, Ty::Any) => t,
+        (Ty::Any, Ty::Dim(y)) => Ty::Dim(y.recip()),
+        (Ty::Dim(x), Ty::Dim(y)) => Ty::Dim(x / y),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dimkb::DimVec;
+
+    fn dim(s: &str) -> Ty {
+        Ty::Dim(DimVec::parse(s).expect("test vector"))
+    }
+
+    #[test]
+    fn addition_requires_equal_vectors() {
+        let eq = Node::bin(Op::Add, Node::Q(0), Node::Q(1));
+        let leaves = [Some(dim("L1")), Some(dim("M1"))];
+        match check(&eq, &leaves, Some(Ty::Any)) {
+            VerifyReport::Inconsistent { node, site, expected, found } => {
+                assert_eq!(node, 0);
+                assert_eq!(site, Site::Op(Op::Add));
+                assert_eq!(expected, DimVec::parse("L1").expect("L"));
+                assert_eq!(found, DimVec::parse("M1").expect("M"));
+            }
+            r => panic!("expected Inconsistent, got {r:?}"),
+        }
+    }
+
+    #[test]
+    fn multiplication_composes_vectors() {
+        // speed * time = length
+        let eq = Node::bin(Op::Mul, Node::Q(0), Node::Q(1));
+        let leaves = [Some(dim("L1T-1")), Some(dim("T1"))];
+        let report = check(&eq, &leaves, Some(dim("L1")));
+        assert!(report.is_consistent(), "{report:?}");
+    }
+
+    #[test]
+    fn literals_unify_with_anything() {
+        // (Q0 + 5) / 2 with Q0 in metres, answer in metres.
+        let eq = Node::bin(
+            Op::Div,
+            Node::bin(Op::Add, Node::Q(0), Node::Const(5.0)),
+            Node::Const(2.0),
+        );
+        let report = check(&eq, &[Some(dim("L1"))], Some(dim("L1")));
+        assert!(report.is_consistent());
+    }
+
+    #[test]
+    fn literal_numerator_inverts() {
+        // 1 / (1/Q0 + 1/Q1), days.
+        let inv = |q| Node::bin(Op::Div, Node::Const(1.0), Node::Q(q));
+        let eq = Node::bin(Op::Div, Node::Const(1.0), Node::bin(Op::Add, inv(0), inv(1)));
+        let leaves = [Some(dim("T1")), Some(dim("T1"))];
+        assert!(check(&eq, &leaves, Some(dim("T1"))).is_consistent());
+    }
+
+    #[test]
+    fn answer_mismatch_reports_at_root() {
+        let eq = Node::bin(Op::Mul, Node::Q(0), Node::Q(1));
+        let leaves = [Some(dim("L1")), Some(dim("T1"))];
+        match check(&eq, &leaves, Some(dim("L1"))) {
+            VerifyReport::Inconsistent { node, site, .. } => {
+                assert_eq!(node, 0);
+                assert_eq!(site, Site::Answer);
+            }
+            r => panic!("expected answer mismatch, got {r:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_units_are_typed_errors() {
+        let eq = Node::bin(Op::Add, Node::Q(0), Node::Q(7));
+        let report = check(&eq, &[Some(dim("L1"))], Some(Ty::Any));
+        assert_eq!(report, VerifyReport::UnresolvableUnit { quantity: 7 });
+    }
+
+    #[test]
+    fn pow_rule_scales_vectors_like_repeated_multiplication() {
+        let cube = dim("L1").powi(3);
+        let eq = Node::bin(Op::Mul, Node::bin(Op::Mul, Node::Q(0), Node::Q(0)), Node::Q(0));
+        match check(&eq, &[Some(dim("L1"))], Some(Ty::Any)) {
+            VerifyReport::Consistent { dim } => assert_eq!(dim, cube),
+            r => panic!("expected Consistent, got {r:?}"),
+        }
+        assert_eq!(Ty::Any.powi(5), Ty::Any);
+    }
+}

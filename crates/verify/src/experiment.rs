@@ -1,0 +1,273 @@
+//! The before/after repair-accuracy experiment.
+//!
+//! A deterministic simulated equation-generating model ([`BeamSim`])
+//! emits a small ranked beam per problem: the gold equation plus
+//! corruptions in the classes NUMCoT identifies as the dominant failure
+//! modes (wrong quantity picked, wrong operator, dropped unit-conversion
+//! step). With probability `noise` a corruption outranks gold. The
+//! *before* column scores the beam's top candidate; the *after* column
+//! scores the [`crate::VerifiedSolver`] policy — first candidate that
+//! survives both checker layers, top candidate when none does. Because
+//! gold equations always verify (a tested invariant), the after column
+//! can never fall below the before column on any problem.
+
+use crate::solution::verify_prediction;
+use dim_mwp::solve::prediction_correct;
+use dim_mwp::{CandidateSolver, MwpProblem, MwpSolver, Node, Op, Prediction};
+use dim_par::{par_map_indexed, seed_for, Parallelism};
+use dimkb::DimUnitKb;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-item seed stream salt for candidate generation.
+const BEAM_SALT: u64 = 0x5EAB;
+
+/// Probability that a corruption outranks gold in the simulated beam.
+pub const DEFAULT_NOISE: f64 = 0.5;
+
+/// One row of the before/after repair table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairRow {
+    /// Evaluation-set label.
+    pub dataset: &'static str,
+    /// Problems evaluated.
+    pub n: usize,
+    /// Top-candidate accuracy without verification.
+    pub before: f64,
+    /// Accuracy with the rejection/repair pass.
+    pub after: f64,
+    /// Problems whose top candidate failed verification.
+    pub rejected: usize,
+    /// Problems where a lower-ranked candidate was promoted.
+    pub promoted: usize,
+}
+
+/// Swaps two quantity references throughout the tree.
+fn swap_quantities(node: &Node, a: usize, b: usize) -> Node {
+    node.map_q(&mut |i| {
+        if i == a {
+            Node::Q(b)
+        } else if i == b {
+            Node::Q(a)
+        } else {
+            Node::Q(i)
+        }
+    })
+}
+
+/// Flips the operator of the `target`-th binary node (preorder).
+fn flip_op(node: &Node, target: usize, next: &mut usize) -> Node {
+    match node {
+        Node::Q(i) => Node::Q(*i),
+        Node::Const(c) => Node::Const(*c),
+        Node::Bin(op, l, r) => {
+            let here = *next;
+            *next += 1;
+            let op = if here == target {
+                match op {
+                    Op::Add => Op::Mul,
+                    Op::Mul => Op::Add,
+                    Op::Sub => Op::Div,
+                    Op::Div => Op::Sub,
+                }
+            } else {
+                *op
+            };
+            Node::bin(op, flip_op(l, target, next), flip_op(r, target, next))
+        }
+    }
+}
+
+/// Drops the first `Q(i) ∘ const` wrap (a unit-conversion step).
+fn strip_conversion(node: &Node, stripped: &mut bool) -> Node {
+    match node {
+        Node::Q(i) => Node::Q(*i),
+        Node::Const(c) => Node::Const(*c),
+        Node::Bin(op, l, r) => {
+            if !*stripped {
+                if let (Op::Mul | Op::Div, Node::Q(i), Node::Const(_)) = (op, &**l, &**r) {
+                    *stripped = true;
+                    return Node::Q(*i);
+                }
+            }
+            Node::bin(*op, strip_conversion(l, stripped), strip_conversion(r, stripped))
+        }
+    }
+}
+
+fn literals(problem: &MwpProblem) -> Vec<String> {
+    problem.quantities.iter().map(|q| q.equation_literal()).collect()
+}
+
+/// The deterministic simulated beam for one problem.
+pub fn beam_candidates(problem: &MwpProblem, seed: u64, noise: f64, k: usize) -> Vec<Prediction> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let lits = literals(problem);
+    let gold = Prediction::Equation(problem.equation.render(&lits));
+
+    let nq = problem.quantities.len();
+    let corrupt_swap = if nq >= 2 {
+        let a = rng.gen_range(0..nq);
+        let step = rng.gen_range(1..nq);
+        let b = (a + step) % nq;
+        Some(Prediction::Equation(swap_quantities(&problem.equation, a, b).render(&lits)))
+    } else {
+        None
+    };
+    let corrupt_op = {
+        let ops = problem.equation.op_count();
+        if ops > 0 {
+            let target = rng.gen_range(0..ops);
+            let mut next = 0usize;
+            Some(Prediction::Equation(flip_op(&problem.equation, target, &mut next).render(&lits)))
+        } else {
+            None
+        }
+    };
+    let corrupt_conv = if problem.conversions.is_empty() {
+        None
+    } else {
+        let mut stripped = false;
+        let t = strip_conversion(&problem.equation, &mut stripped);
+        if stripped {
+            Some(Prediction::Equation(t.render(&lits)))
+        } else {
+            None
+        }
+    };
+
+    let mut corruptions: Vec<Prediction> = Vec::new();
+    // A dropped conversion is the most NUMCoT-typical slip; prefer it
+    // when the problem has one.
+    for c in [corrupt_conv, corrupt_swap, corrupt_op].into_iter().flatten() {
+        if !corruptions.contains(&c) {
+            corruptions.push(c);
+        }
+    }
+
+    let wrong_top = !corruptions.is_empty() && rng.gen_bool(noise.clamp(0.0, 1.0));
+    let mut out: Vec<Prediction> = Vec::new();
+    let mut rest = corruptions.into_iter();
+    if wrong_top {
+        out.extend(rest.next());
+        out.push(gold);
+    } else {
+        out.push(gold);
+    }
+    out.extend(rest);
+    out.truncate(k.max(1));
+    out
+}
+
+/// The simulated equation-generating model, as a [`CandidateSolver`]
+/// (per-problem seed streams keyed by the stable problem id, so the
+/// beam is identical at every thread width).
+pub struct BeamSim {
+    /// Master seed.
+    pub seed: u64,
+    /// Probability a corruption outranks gold.
+    pub noise: f64,
+}
+
+impl MwpSolver for BeamSim {
+    fn name(&self) -> String {
+        "beam-sim".into()
+    }
+
+    fn solve(&mut self, problem: &MwpProblem) -> Prediction {
+        self.candidates(problem, 1).into_iter().next().unwrap_or(Prediction::None)
+    }
+}
+
+impl CandidateSolver for BeamSim {
+    fn candidates(&mut self, problem: &MwpProblem, k: usize) -> Vec<Prediction> {
+        beam_candidates(problem, seed_for(self.seed ^ BEAM_SALT, problem.id), self.noise, k)
+    }
+}
+
+/// Scores one evaluation set before and after the rejection/repair
+/// pass. Deterministic at every thread width: candidate generation and
+/// verification are pure per-item functions over seeded streams.
+pub fn repair_row(
+    dataset: &'static str,
+    problems: &[MwpProblem],
+    kb: &DimUnitKb,
+    seed: u64,
+    noise: f64,
+    par: Parallelism,
+) -> RepairRow {
+    let per_item = par_map_indexed(par, problems, |i, p| {
+        let beam =
+            beam_candidates(p, seed_for(seed ^ BEAM_SALT, i as u64), noise, crate::solver::BEAM);
+        let accepted = |c: &Prediction| {
+            verify_prediction(p, kb, c).is_some_and(|v| v.accepted())
+        };
+        let top_ok = beam.first().is_some_and(|c| prediction_correct(p, c));
+        let pick = beam.iter().position(accepted).unwrap_or(0);
+        let pick_ok = beam.get(pick).is_some_and(|c| prediction_correct(p, c));
+        let top_rejected = beam.first().is_some_and(|c| !accepted(c));
+        (top_ok, pick_ok, top_rejected, pick > 0)
+    });
+    let n = problems.len().max(1);
+    let before = per_item.iter().filter(|r| r.0).count() as f64 / n as f64;
+    let after = per_item.iter().filter(|r| r.1).count() as f64 / n as f64;
+    RepairRow {
+        dataset,
+        n: problems.len(),
+        before,
+        after,
+        rejected: per_item.iter().filter(|r| r.2).count(),
+        promoted: per_item.iter().filter(|r| r.3).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dim_mwp::{generate, GenConfig, Source};
+
+    fn problems() -> Vec<MwpProblem> {
+        generate(Source::Math23k, &GenConfig { count: 80, seed: 21 })
+    }
+
+    #[test]
+    fn beams_are_deterministic_and_contain_gold() {
+        let ps = problems();
+        for (i, p) in ps.iter().enumerate() {
+            let a = beam_candidates(p, seed_for(9, i as u64), 0.5, 4);
+            let b = beam_candidates(p, seed_for(9, i as u64), 0.5, 4);
+            assert_eq!(a, b);
+            let gold = Prediction::Equation(p.equation_text());
+            assert!(a.contains(&gold), "beam must contain gold for #{}", p.id);
+        }
+    }
+
+    #[test]
+    fn repair_never_hurts_and_sometimes_helps() {
+        let kb = DimUnitKb::shared();
+        let ps = problems();
+        let row = repair_row("t", &ps, &kb, 2024, 0.5, Parallelism::new(1));
+        assert!(row.after >= row.before, "{row:?}");
+        assert!(row.after > row.before, "with noise 0.5 some repair should land: {row:?}");
+        assert!(row.rejected > 0 && row.promoted > 0, "{row:?}");
+    }
+
+    #[test]
+    fn rows_are_identical_across_thread_widths() {
+        let kb = DimUnitKb::shared();
+        let ps = problems();
+        let w1 = repair_row("t", &ps, &kb, 2024, 0.5, Parallelism::new(1));
+        let w4 = repair_row("t", &ps, &kb, 2024, 0.5, Parallelism::new(4));
+        assert_eq!(w1, w4);
+    }
+
+    #[test]
+    fn zero_noise_beam_keeps_gold_on_top() {
+        let kb = DimUnitKb::shared();
+        let ps = problems();
+        let row = repair_row("t", &ps, &kb, 7, 0.0, Parallelism::new(1));
+        assert_eq!(row.before, 1.0);
+        assert_eq!(row.after, 1.0);
+        assert_eq!(row.promoted, 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! `dim-verify`: dimensional self-verification of MWP solutions.
+//!
+//! VerityMath (PAPERS.md) shows that *unit-consistency self-checking*
+//! improves math-word-problem accuracy, and NUMCoT shows models break
+//! precisely on numeral/unit conversion steps. This crate is that check
+//! as a type system: a solution equation is an AST whose leaves carry
+//! dimension vectors resolved through the DimUnitKB, and two laws are
+//! enforced over it —
+//!
+//! * the **dimension law** ([`check`]): `+`/`-`/`=` require equal
+//!   vectors, `*`/`÷` add/subtract exponent vectors, integer powers
+//!   scale them, and dimensionless literals unify with anything;
+//! * the **conversion law** ([`scale`]): written values carry their
+//!   unit's linear SI scale, and `+`/`-`/`=` additionally need a shared
+//!   scale, with constants admitted in both their arithmetic and their
+//!   unit-conversion reading.
+//!
+//! Verdicts are typed ([`VerifyReport`], [`ScaleReport`]) — consistent,
+//! inconsistent at a node with expected-vs-found vectors, or
+//! unresolvable unit — never a bare bool, so callers (the `/verify`
+//! endpoint, the DimEval perturbation suite, the repair pass) can report
+//! *where* a solution broke. See DESIGN.md §15.
+
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod experiment;
+pub mod resolve;
+pub mod scale;
+pub mod solution;
+pub mod solver;
+
+pub use check::{check, Site, Ty, VerifyReport};
+pub use experiment::{beam_candidates, repair_row, BeamSim, RepairRow, DEFAULT_NOISE};
+pub use resolve::{resolve_problem, resolve_quantities, ResolvedLeaves};
+pub use scale::{check_scales, ScaleReport, Scales};
+pub use solution::{
+    bind, bind_quantities, verify, verify_equation_text, verify_prediction, verify_problem,
+    Verdict,
+};
+pub use solver::{VerifiedSolver, BEAM};

@@ -1,0 +1,461 @@
+//! Leaf-dimension resolution: from problem quantities to dimension types
+//! and linear SI scales, via the linked KB.
+//!
+//! Two subtleties make this more than a code→vector lookup:
+//!
+//! * **Implicit rates.** Chinese MWPs write rates as `每小时80千米`
+//!   ("80 km *per hour*"): the quantity slot carries the unit `千米`
+//!   (`L¹`), while the `per hour` lives in the text segment *before* the
+//!   slot. Taking the annotated unit at face value would flag every gold
+//!   travel problem. Resolution therefore scans the preceding segment for
+//!   a trailing `每<unit>` marker and divides the quantity's vector (and
+//!   scale) by the marker's: `每小时` + `千米` ⇒ `L¹T⁻¹`. A `每` followed
+//!   by a counter word the KB does not know (`每车`, `每袋`) divides by
+//!   dimensionless 1 — exactly the written semantics.
+//! * **Marker scope.** A `每` marker distributes over later quantities in
+//!   the same sentence: `每小时灌溉60亩，用水550升` makes *both* the area
+//!   and the volume per-hour rates. A marker applies to the quantity it
+//!   immediately precedes unconditionally; it persists to later
+//!   quantities of a *different* dimension, while a quantity carrying the
+//!   marker's own dimension (`行驶了5小时` after `每小时`) is read as the
+//!   total and closes the scope. Sentence punctuation or a fresh `每`
+//!   (resolvable or counter) also ends the previous scope.
+//! * **Percent and bare counts.** Both are dimensionless with scale 1
+//!   (arithmetic already uses the ratio value for percents).
+//!
+//! Affine units (temperature scales) have a dimension but no single
+//! multiplicative scale; their scale resolves to [`Scales::Free`].
+
+use crate::check::Ty;
+use crate::scale::Scales;
+use dim_mwp::{MwpProblem, ProblemQuantity, Seg};
+use dimkb::{DimUnitKb, DimVec};
+
+/// Longest surface form (in chars) tried after a `每` rate marker.
+const MARKER_MAX_CHARS: usize = 6;
+
+/// Dimension types and scales for every quantity of a problem, plus the
+/// answer unit, resolved through the KB.
+#[derive(Debug, Clone)]
+pub struct ResolvedLeaves {
+    /// Per-quantity dimension type; `None` = unresolvable unit.
+    pub dims: Vec<Option<Ty>>,
+    /// Per-quantity admissible scales.
+    pub scales: Vec<Scales>,
+    /// The answer unit's dimension type; `None` = unresolvable.
+    pub answer_dim: Option<Ty>,
+    /// The answer unit's admissible scales.
+    pub answer_scale: Scales,
+}
+
+/// One resolved unit: dimension vector and linear SI scale (`None` for
+/// affine conversions).
+#[derive(Debug, Clone, Copy)]
+struct UnitMeaning {
+    dim: DimVec,
+    scale: Option<f64>,
+}
+
+fn meaning_of_code(kb: &DimUnitKb, code: &str) -> Option<UnitMeaning> {
+    let dim = kb.dim_of_code(code)?;
+    Some(UnitMeaning { dim, scale: kb.linear_scale_of_code(code) })
+}
+
+fn meaning_of_surface(kb: &DimUnitKb, surface: &str) -> Option<UnitMeaning> {
+    let dim = kb.dim_of_surface(surface)?;
+    Some(UnitMeaning { dim, scale: kb.linear_scale_of_surface(surface) })
+}
+
+/// The longest KB-resolvable unit surface starting at the beginning of
+/// `tail`, up to [`MARKER_MAX_CHARS`] characters.
+fn longest_unit_prefix(kb: &DimUnitKb, tail: &str) -> Option<UnitMeaning> {
+    let mut best = None;
+    for (chars, (end, c)) in tail.char_indices().enumerate() {
+        if chars >= MARKER_MAX_CHARS {
+            break;
+        }
+        let slice = tail.get(..end + c.len_utf8())?;
+        if let Some(meaning) = meaning_of_surface(kb, slice) {
+            best = Some(meaning);
+        }
+    }
+    best
+}
+
+/// What a text segment does to the active rate-marker scope.
+enum MarkerSignal {
+    /// No `每` and no sentence boundary: the previous scope persists.
+    Keep,
+    /// Sentence boundary without a new marker, or a `每` followed by an
+    /// unresolvable counter word (`每车`): the previous scope ends.
+    Clear,
+    /// A resolvable `每<unit>` marker opens a new scope.
+    Set(UnitMeaning),
+}
+
+/// Reads the trailing rate-marker signal of one text segment. Only the
+/// text after the segment's last sentence-ending punctuation counts.
+fn marker_signal(kb: &DimUnitKb, text: &str) -> MarkerSignal {
+    let boundary = text
+        .char_indices()
+        .filter(|(_, c)| matches!(c, '。' | '？' | '！' | '；'))
+        .map(|(i, c)| i + c.len_utf8())
+        .next_back();
+    let tail = boundary.and_then(|b| text.get(b..)).unwrap_or(text);
+    match tail.rfind('每') {
+        None => {
+            if boundary.is_some() {
+                MarkerSignal::Clear
+            } else {
+                MarkerSignal::Keep
+            }
+        }
+        Some(pos) => {
+            let after = tail.get(pos + '每'.len_utf8()..).unwrap_or("");
+            match longest_unit_prefix(kb, after) {
+                Some(m) => MarkerSignal::Set(m),
+                None => MarkerSignal::Clear,
+            }
+        }
+    }
+}
+
+/// Scans `text` for a trailing rate marker `每<unit>` and resolves the
+/// unit surface through the KB (longest match). Returns `None` when
+/// there is no resolvable marker — including the counter-word case
+/// (`每车`). This is the *immediate* marker rule, used for the answer
+/// unit and as the first layer of the per-quantity scope walk.
+fn rate_marker(kb: &DimUnitKb, text: &str) -> Option<UnitMeaning> {
+    match marker_signal(kb, text) {
+        MarkerSignal::Set(m) => Some(m),
+        _ => None,
+    }
+}
+
+/// The dimension a quantity carries before any marker is applied, for
+/// the scope-closing test. Percents don't participate in marker scopes.
+fn base_dim(kb: &DimUnitKb, q: &ProblemQuantity) -> Option<DimVec> {
+    if q.is_percent {
+        return None;
+    }
+    match &q.unit_code {
+        None => Some(DimVec::DIMENSIONLESS),
+        Some(code) => kb.dim_of_code(code),
+    }
+}
+
+/// The effective rate marker for each quantity, from a sequential walk
+/// of the problem's segments. A marker in the immediately preceding
+/// text applies unconditionally; a marker persisted from earlier in the
+/// sentence applies only to quantities of a different dimension, and a
+/// quantity carrying the marker's own dimension is the total that
+/// closes the scope.
+fn effective_markers(problem: &MwpProblem, kb: &DimUnitKb) -> Vec<Option<UnitMeaning>> {
+    let mut out = vec![None; problem.quantities.len()];
+    let mut active: Option<UnitMeaning> = None;
+    let mut immediate: Option<UnitMeaning> = None;
+    for seg in &problem.segs {
+        match seg {
+            Seg::Text(t) => match marker_signal(kb, t) {
+                MarkerSignal::Set(m) => {
+                    active = Some(m);
+                    immediate = Some(m);
+                }
+                MarkerSignal::Clear => {
+                    active = None;
+                    immediate = None;
+                }
+                MarkerSignal::Keep => immediate = None,
+            },
+            Seg::Qty(i) => {
+                let q = problem.quantities.get(*i);
+                let dim = q.and_then(|q| base_dim(kb, q));
+                if let (Some(slot), Some(_)) = (out.get_mut(*i), dim) {
+                    if let Some(m) = immediate {
+                        *slot = Some(m);
+                    } else if let Some(m) = active {
+                        if dim == Some(m.dim) {
+                            // The total quantity of the per-<unit> scope.
+                            active = None;
+                        } else {
+                            *slot = Some(m);
+                        }
+                    }
+                }
+                immediate = None;
+            }
+            _ => immediate = None,
+        }
+    }
+    out
+}
+
+/// The text segment immediately preceding segment `pos`, if any.
+fn preceding_text(problem: &MwpProblem, pos: usize) -> Option<&str> {
+    match pos.checked_sub(1).and_then(|p| problem.segs.get(p)) {
+        Some(Seg::Text(t)) => Some(t.as_str()),
+        _ => None,
+    }
+}
+
+/// Divides a base unit meaning by an optional rate marker.
+fn apply_marker(base: UnitMeaning, marker: Option<UnitMeaning>) -> (Ty, Scales) {
+    let (dim, scale) = match marker {
+        None => (base.dim, base.scale),
+        Some(m) => (
+            base.dim / m.dim,
+            match (base.scale, m.scale) {
+                (Some(b), Some(ms)) if ms != 0.0 => Some(b / ms),
+                _ => None,
+            },
+        ),
+    };
+    let scales = match scale {
+        Some(f) => Scales::one(f),
+        None => Scales::Free,
+    };
+    (Ty::Dim(dim), scales)
+}
+
+/// Resolves one quantity under an already-scoped rate marker.
+fn resolve_quantity(
+    kb: &DimUnitKb,
+    q: &ProblemQuantity,
+    marker: Option<UnitMeaning>,
+) -> (Option<Ty>, Scales) {
+    if q.is_percent {
+        return (Some(Ty::Dim(DimVec::DIMENSIONLESS)), Scales::one(1.0));
+    }
+    let base = match &q.unit_code {
+        None => UnitMeaning { dim: DimVec::DIMENSIONLESS, scale: Some(1.0) },
+        Some(code) => match meaning_of_code(kb, code) {
+            Some(m) => m,
+            None => return (None, Scales::Free),
+        },
+    };
+    let (ty, scales) = apply_marker(base, marker);
+    (Some(ty), scales)
+}
+
+/// Resolves every quantity and the answer unit of `problem` through
+/// `kb`, applying the scoped rate-marker rule from the problem text.
+pub fn resolve_problem(problem: &MwpProblem, kb: &DimUnitKb) -> ResolvedLeaves {
+    let markers = effective_markers(problem, kb);
+    let mut dims = Vec::with_capacity(problem.quantities.len());
+    let mut scales = Vec::with_capacity(problem.quantities.len());
+    for (i, q) in problem.quantities.iter().enumerate() {
+        let marker = markers.get(i).copied().flatten();
+        let (ty, sc) = resolve_quantity(kb, q, marker);
+        dims.push(ty);
+        scales.push(sc);
+    }
+    let (answer_dim, answer_scale) = resolve_answer(problem, kb);
+    ResolvedLeaves { dims, scales, answer_dim, answer_scale }
+}
+
+fn resolve_answer(problem: &MwpProblem, kb: &DimUnitKb) -> (Option<Ty>, Scales) {
+    let base = match &problem.answer_unit_code {
+        None => UnitMeaning { dim: DimVec::DIMENSIONLESS, scale: Some(1.0) },
+        Some(code) => match meaning_of_code(kb, code) {
+            Some(m) => m,
+            None => return (None, Scales::Free),
+        },
+    };
+    let pos = problem.segs.iter().position(|s| matches!(s, Seg::AnswerUnit));
+    let marker = pos
+        .and_then(|p| preceding_text(problem, p))
+        .and_then(|t| rate_marker(kb, t));
+    let (ty, scales) = apply_marker(base, marker);
+    (Some(ty), scales)
+}
+
+/// Cap on candidate readings per quantity in the repair search.
+const CANDIDATE_CAP: usize = 4;
+
+/// Candidate readings for quantity `i`: the primary reading first, then
+/// alternative units the quantity's surface form may refer to through
+/// the naming dictionary (the repair search's same-surface retry set —
+/// `分` as minute vs. cent). The quantity's rate marker, if any, applies
+/// to every reading. Distinct dimensions only, capped at
+/// [`CANDIDATE_CAP`].
+pub(crate) fn leaf_candidates(
+    problem: &MwpProblem,
+    kb: &DimUnitKb,
+    i: usize,
+) -> Vec<(Ty, Scales)> {
+    let Some(q) = problem.quantities.get(i) else {
+        return Vec::new();
+    };
+    if q.is_percent || q.unit_code.is_none() {
+        let (ty, sc) = resolve_quantity(kb, q, None);
+        return match ty {
+            Some(t) => vec![(t, sc)],
+            None => Vec::new(),
+        };
+    }
+    let marker = effective_markers(problem, kb).get(i).copied().flatten();
+
+    let mut out: Vec<(Ty, Scales)> = Vec::new();
+    let push = |m: UnitMeaning, out: &mut Vec<(Ty, Scales)>| {
+        let (ty, sc) = apply_marker(m, marker);
+        if out.len() < CANDIDATE_CAP && !out.iter().any(|(t, _)| *t == ty) {
+            out.push((ty, sc));
+        }
+    };
+    if let Some(m) = q.unit_code.as_deref().and_then(|c| meaning_of_code(kb, c)) {
+        push(m, &mut out);
+    }
+    for &id in kb.lookup(&q.surface) {
+        let u = kb.unit(id);
+        let scale = if u.conversion.is_affine() { None } else { Some(u.conversion.factor) };
+        push(UnitMeaning { dim: u.dim, scale }, &mut out);
+    }
+    out
+}
+
+/// Resolves a bare quantity list (no problem text, so no rate markers):
+/// the form used by the `POST /verify` endpoint, where units arrive as
+/// already-linked KB codes.
+pub fn resolve_quantities(
+    quantities: &[ProblemQuantity],
+    kb: &DimUnitKb,
+) -> (Vec<Option<Ty>>, Vec<Scales>) {
+    let mut dims = Vec::with_capacity(quantities.len());
+    let mut scales = Vec::with_capacity(quantities.len());
+    for q in quantities {
+        let (ty, sc) = resolve_quantity(kb, q, None);
+        dims.push(ty);
+        scales.push(sc);
+    }
+    (dims, scales)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dim_mwp::{generate, GenConfig, Source};
+
+    fn kb() -> std::sync::Arc<DimUnitKb> {
+        DimUnitKb::shared()
+    }
+
+    #[test]
+    fn percent_and_bare_are_dimensionless() {
+        let kb = kb();
+        let q = ProblemQuantity {
+            value: 20.0,
+            unit_code: None,
+            surface: "%".into(),
+            is_percent: true,
+        };
+        let (ty, sc) = resolve_quantity(&kb, &q, None);
+        assert_eq!(ty, Some(Ty::Dim(DimVec::DIMENSIONLESS)));
+        assert_eq!(sc, Scales::one(1.0));
+    }
+
+    #[test]
+    fn rate_marker_divides_the_vector() {
+        let kb = kb();
+        let q = ProblemQuantity {
+            value: 80.0,
+            unit_code: Some("KiloM".into()),
+            surface: "千米".into(),
+            is_percent: false,
+        };
+        let (ty, sc) = resolve_quantity(&kb, &q, rate_marker(&kb, "一辆汽车以每小时"));
+        let speed = DimVec::parse("L1T-1").expect("speed vector");
+        assert_eq!(ty, Some(Ty::Dim(speed)));
+        assert_eq!(sc, Scales::one(1000.0 / 3600.0));
+    }
+
+    #[test]
+    fn counter_marker_is_dimensionless() {
+        let kb = kb();
+        let q = ProblemQuantity {
+            value: 25.0,
+            unit_code: Some("KiloGM".into()),
+            surface: "千克".into(),
+            is_percent: false,
+        };
+        assert!(rate_marker(&kb, "筐苹果，每筐重").is_none());
+        let (ty, _) = resolve_quantity(&kb, &q, rate_marker(&kb, "筐苹果，每筐重"));
+        assert_eq!(ty, Some(Ty::Dim(DimVec::parse("M1").expect("mass"))));
+    }
+
+    #[test]
+    fn unknown_codes_resolve_to_none() {
+        let kb = kb();
+        let q = ProblemQuantity {
+            value: 1.0,
+            unit_code: Some("NO-SUCH-UNIT".into()),
+            surface: "瞎".into(),
+            is_percent: false,
+        };
+        let (ty, sc) = resolve_quantity(&kb, &q, None);
+        assert_eq!(ty, None);
+        assert_eq!(sc, Scales::Free);
+    }
+
+    #[test]
+    fn marker_scope_persists_until_the_total_closes_it() {
+        // 每小时灌溉60亩，用水550升，工作6小时: the marker applies to the
+        // area AND the volume; the hours are the total that closes the
+        // scope and stay a plain duration.
+        let kb = kb();
+        let t = |s: &str| Seg::Text(s.into());
+        let q = |v: f64, code: &str, surface: &str| ProblemQuantity {
+            value: v,
+            unit_code: if code.is_empty() { None } else { Some(code.into()) },
+            surface: surface.into(),
+            is_percent: false,
+        };
+        let problem = MwpProblem {
+            id: 0,
+            source: dim_mwp::Source::Ape210k,
+            segs: vec![
+                t("一台抽水机每小时可以灌溉"),
+                Seg::Qty(0),
+                t("的农田，用水"),
+                Seg::Qty(1),
+                t("，工作"),
+                Seg::Qty(2),
+                t("后，"),
+                t("一共用水多少"),
+                Seg::AnswerUnit,
+                t("？"),
+            ],
+            question_seg: 7,
+            quantities: vec![q(60.0, "MU-ZH", "亩"), q(550.0, "L", "升"), q(6.0, "HR", "小时")],
+            equation: dim_mwp::Node::bin(
+                dim_mwp::Op::Mul,
+                dim_mwp::Node::Q(1),
+                dim_mwp::Node::Q(2),
+            ),
+            answer_unit_code: Some("L".into()),
+            answer_unit_surface: "升".into(),
+            conversions: vec![],
+            answer_conversion: 1.0,
+        };
+        let r = resolve_problem(&problem, &kb);
+        let volume_rate = DimVec::parse("L3T-1").expect("volume per time");
+        let time = DimVec::parse("T1").expect("time");
+        assert_eq!(r.dims.get(1), Some(&Some(Ty::Dim(volume_rate))));
+        assert_eq!(r.dims.get(2), Some(&Some(Ty::Dim(time))));
+        assert_eq!(r.answer_dim, Some(Ty::Dim(DimVec::parse("L3").expect("volume"))));
+    }
+
+    #[test]
+    fn every_generated_problem_resolves_fully() {
+        let kb = kb();
+        for source in [Source::Math23k, Source::Ape210k] {
+            let ps = generate(source, &GenConfig { count: 60, seed: 11 });
+            for p in &ps {
+                let r = resolve_problem(p, &kb);
+                assert!(r.answer_dim.is_some(), "answer unit of #{} unresolvable", p.id);
+                for (i, d) in r.dims.iter().enumerate() {
+                    assert!(d.is_some(), "quantity {i} of #{} unresolvable", p.id);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! The scale-consistency layer (the conversion law).
+//!
+//! The dimension layer cannot see the difference between metres and
+//! centimetres — both are `L¹` — yet a unit swapped mid-problem breaks
+//! the solution exactly there (NUMCoT's failure class). This layer
+//! propagates the *linear SI scale* of every written value through the
+//! tree: a leaf in unit `u` carries `u`'s conversion factor, and `+`/`-`/
+//! `=` additionally require a shared scale. A constant multiplying or
+//! dividing a quantity is ambiguous — it may be plain arithmetic (`×2`
+//! for a perimeter) or a unit conversion (`÷1000` rewriting grams to
+//! kilograms) — so both readings stay admissible and the checker carries
+//! a small *set* of candidate scales, the repair search over the KB's
+//! same-kind alternatives (DESIGN.md §15).
+
+use crate::check::Site;
+use dim_mwp::{Node, Op};
+
+/// Relative tolerance for scale comparison (conversion factors are exact
+/// ratios represented in binary floating point).
+const REL_TOL: f64 = 1e-9;
+
+/// Candidate-set size cap; past this the set degrades to [`Scales::Free`]
+/// (conservative: never a false flag).
+const CAP: usize = 12;
+
+/// The admissible linear SI scales of a written value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scales {
+    /// Unconstrained (affine unit, unknown unit, or set overflow).
+    Free,
+    /// A non-empty set of admissible scales, sorted ascending.
+    Set(Vec<f64>),
+}
+
+impl Scales {
+    /// A single known scale.
+    pub fn one(f: f64) -> Scales {
+        Scales::Set(vec![f])
+    }
+}
+
+/// Verdict of the scale layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScaleReport {
+    /// A shared scale exists at every `+`/`-` and at the root `=`.
+    Consistent,
+    /// No shared scale at the given preorder node.
+    Mismatch {
+        /// Preorder index of the offending node (root = 0).
+        node: usize,
+        /// The operator (or the root `=`) without a shared scale.
+        site: Site,
+    },
+}
+
+impl ScaleReport {
+    /// True iff the conversion law holds everywhere.
+    pub fn is_consistent(&self) -> bool {
+        matches!(self, ScaleReport::Consistent)
+    }
+}
+
+/// A subexpression's scale value: a pure number or a scaled quantity.
+enum SVal {
+    /// A constant subtree; the numeric value is kept so that quantity ×
+    /// constant sites can admit the conversion reading.
+    Scalar(f64),
+    /// A quantity with its admissible scales.
+    Qty(Scales),
+}
+
+fn approx(a: f64, b: f64) -> bool {
+    (a - b).abs() <= REL_TOL * a.abs().max(b.abs())
+}
+
+fn push_scale(set: &mut Vec<f64>, f: f64) {
+    if f.is_finite() && f > 0.0 && !set.iter().any(|&s| approx(s, f)) {
+        set.push(f);
+    }
+}
+
+fn normalized(mut set: Vec<f64>) -> Scales {
+    if set.is_empty() || set.len() > CAP {
+        return Scales::Free;
+    }
+    set.sort_by(f64::total_cmp);
+    Scales::Set(set)
+}
+
+/// Pairwise products/quotients of two scale sets.
+fn combine_sets(a: &Scales, b: &Scales, f: impl Fn(f64, f64) -> f64) -> Scales {
+    match (a, b) {
+        (Scales::Free, _) | (_, Scales::Free) => Scales::Free,
+        (Scales::Set(xs), Scales::Set(ys)) => {
+            let mut out = Vec::new();
+            for &x in xs {
+                for &y in ys {
+                    push_scale(&mut out, f(x, y));
+                }
+            }
+            normalized(out)
+        }
+    }
+}
+
+/// A quantity scaled by a constant: the plain reading keeps the scale,
+/// the conversion reading shifts it by the constant.
+fn absorb(q: &Scales, k: f64, conv: impl Fn(f64, f64) -> f64) -> Scales {
+    match q {
+        Scales::Free => Scales::Free,
+        Scales::Set(xs) => {
+            let mut out = Vec::new();
+            for &x in xs {
+                push_scale(&mut out, x);
+                push_scale(&mut out, conv(x, k));
+            }
+            normalized(out)
+        }
+    }
+}
+
+fn intersect(a: &Scales, b: &Scales) -> Scales {
+    match (a, b) {
+        (Scales::Free, other) | (other, Scales::Free) => match other {
+            Scales::Free => Scales::Free,
+            Scales::Set(xs) => normalized(xs.to_vec()),
+        },
+        (Scales::Set(xs), Scales::Set(ys)) => {
+            let mut out = Vec::new();
+            for &x in xs {
+                if ys.iter().any(|&y| approx(x, y)) {
+                    push_scale(&mut out, x);
+                }
+            }
+            if out.is_empty() {
+                // Signalled by the caller as a mismatch.
+                Scales::Set(out)
+            } else {
+                normalized(out)
+            }
+        }
+    }
+}
+
+/// Checks the conversion law over `node`. Leaves carry `scales` (out of
+/// range ⇒ `Free`); the root must admit `answer`'s scale.
+pub fn check_scales(node: &Node, scales: &[Scales], answer: &Scales) -> ScaleReport {
+    let mut next = 0usize;
+    let root = match walk(node, scales, &mut next) {
+        Ok(v) => v,
+        Err(report) => return report,
+    };
+    match (&root, answer) {
+        (SVal::Scalar(_), _) | (_, Scales::Free) | (SVal::Qty(Scales::Free), _) => {
+            ScaleReport::Consistent
+        }
+        (SVal::Qty(Scales::Set(xs)), Scales::Set(ys)) => {
+            if ys.iter().any(|&y| xs.iter().any(|&x| approx(x, y))) {
+                ScaleReport::Consistent
+            } else {
+                ScaleReport::Mismatch { node: 0, site: Site::Answer }
+            }
+        }
+    }
+}
+
+fn walk(node: &Node, scales: &[Scales], next: &mut usize) -> Result<SVal, ScaleReport> {
+    let here = *next;
+    *next += 1;
+    match node {
+        Node::Const(v) => Ok(SVal::Scalar(*v)),
+        Node::Q(i) => Ok(match scales.get(*i) {
+            Some(Scales::Set(xs)) => SVal::Qty(normalized(xs.to_vec())),
+            _ => SVal::Qty(Scales::Free),
+        }),
+        Node::Bin(op, l, r) => {
+            let lv = walk(l, scales, next)?;
+            let rv = walk(r, scales, next)?;
+            match op {
+                Op::Add | Op::Sub => add_like(lv, rv, here, *op),
+                Op::Mul => Ok(mul_like(lv, rv, |x, y| x * y, |x, k| x / k)),
+                Op::Div => Ok(div_like(lv, rv)),
+            }
+        }
+    }
+}
+
+fn add_like(l: SVal, r: SVal, here: usize, op: Op) -> Result<SVal, ScaleReport> {
+    match (l, r) {
+        (SVal::Scalar(a), SVal::Scalar(b)) => Ok(SVal::Scalar(if op == Op::Sub {
+            a - b
+        } else {
+            a + b
+        })),
+        // A literal adopts the quantity's scale (the `unify` rule).
+        (SVal::Scalar(_), SVal::Qty(s)) | (SVal::Qty(s), SVal::Scalar(_)) => Ok(SVal::Qty(s)),
+        (SVal::Qty(a), SVal::Qty(b)) => match intersect(&a, &b) {
+            Scales::Set(xs) if xs.is_empty() => {
+                Err(ScaleReport::Mismatch { node: here, site: Site::Op(op) })
+            }
+            s => Ok(SVal::Qty(s)),
+        },
+    }
+}
+
+fn mul_like(
+    l: SVal,
+    r: SVal,
+    both: impl Fn(f64, f64) -> f64,
+    conv: impl Fn(f64, f64) -> f64,
+) -> SVal {
+    match (l, r) {
+        (SVal::Scalar(a), SVal::Scalar(b)) => SVal::Scalar(both(a, b)),
+        (SVal::Qty(s), SVal::Scalar(k)) | (SVal::Scalar(k), SVal::Qty(s)) => {
+            SVal::Qty(absorb(&s, k, &conv))
+        }
+        (SVal::Qty(a), SVal::Qty(b)) => SVal::Qty(combine_sets(&a, &b, &both)),
+    }
+}
+
+fn div_like(l: SVal, r: SVal) -> SVal {
+    match (l, r) {
+        (SVal::Scalar(a), SVal::Scalar(b)) => SVal::Scalar(a / b),
+        // Quantity ÷ constant: plain reading keeps the scale, conversion
+        // reading multiplies it (v÷k at scale f·k is the same SI value).
+        (SVal::Qty(s), SVal::Scalar(k)) => SVal::Qty(absorb(&s, k, |x, kk| x * kk)),
+        // Constant ÷ quantity inverts the scale (a reciprocal rate).
+        (SVal::Scalar(_), SVal::Qty(s)) => SVal::Qty(match s {
+            Scales::Free => Scales::Free,
+            Scales::Set(xs) => {
+                let mut out = Vec::new();
+                for &x in &xs {
+                    push_scale(&mut out, 1.0 / x);
+                }
+                normalized(out)
+            }
+        }),
+        (SVal::Qty(a), SVal::Qty(b)) => SVal::Qty(combine_sets(&a, &b, |x, y| x / y)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_scales_are_consistent() {
+        let eq = Node::bin(Op::Add, Node::Q(0), Node::Q(1));
+        let scales = [Scales::one(1.0), Scales::one(1.0)];
+        assert!(check_scales(&eq, &scales, &Scales::one(1.0)).is_consistent());
+    }
+
+    #[test]
+    fn metre_plus_centimetre_is_flagged() {
+        let eq = Node::bin(Op::Add, Node::Q(0), Node::Q(1));
+        let scales = [Scales::one(1.0), Scales::one(0.01)];
+        assert_eq!(
+            check_scales(&eq, &scales, &Scales::one(1.0)),
+            ScaleReport::Mismatch { node: 0, site: Site::Op(Op::Add) }
+        );
+    }
+
+    #[test]
+    fn conversion_constant_is_absorbed() {
+        // grams/1000 + kilograms, answer in kilograms.
+        let eq = Node::bin(
+            Op::Add,
+            Node::bin(Op::Div, Node::Q(0), Node::Const(1000.0)),
+            Node::Q(1),
+        );
+        let scales = [Scales::one(0.001), Scales::one(1.0)];
+        assert!(check_scales(&eq, &scales, &Scales::one(1.0)).is_consistent());
+    }
+
+    #[test]
+    fn plain_arithmetic_constant_keeps_the_scale() {
+        // (Q0 + Q1) * 2 in metres (a perimeter).
+        let eq = Node::bin(
+            Op::Mul,
+            Node::bin(Op::Add, Node::Q(0), Node::Q(1)),
+            Node::Const(2.0),
+        );
+        let scales = [Scales::one(1.0), Scales::one(1.0)];
+        assert!(check_scales(&eq, &scales, &Scales::one(1.0)).is_consistent());
+    }
+
+    #[test]
+    fn root_scale_must_match_the_answer_unit() {
+        let eq = Node::bin(Op::Mul, Node::Q(0), Node::Q(1));
+        let scales = [Scales::one(1.0), Scales::one(1.0)];
+        assert_eq!(
+            check_scales(&eq, &scales, &Scales::one(0.01)),
+            ScaleReport::Mismatch { node: 0, site: Site::Answer }
+        );
+    }
+
+    #[test]
+    fn free_scales_never_flag() {
+        let eq = Node::bin(Op::Add, Node::Q(0), Node::Q(9));
+        let scales = [Scales::Free];
+        assert!(check_scales(&eq, &scales, &Scales::one(1.0)).is_consistent());
+    }
+
+    #[test]
+    fn reciprocal_rates_compose() {
+        // 1 / (1/Q0 + 1/Q1) in days (scale 86400).
+        let inv = |q| Node::bin(Op::Div, Node::Const(1.0), Node::Q(q));
+        let eq = Node::bin(Op::Div, Node::Const(1.0), Node::bin(Op::Add, inv(0), inv(1)));
+        let scales = [Scales::one(86400.0), Scales::one(86400.0)];
+        assert!(check_scales(&eq, &scales, &Scales::one(86400.0)).is_consistent());
+    }
+}

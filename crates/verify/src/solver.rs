@@ -1,0 +1,111 @@
+//! The rejection/repair pass over solver outputs: a reranking wrapper
+//! that walks a solver's candidate beam and returns the first candidate
+//! that survives dimensional verification.
+
+use crate::solution::verify_prediction;
+use dim_mwp::{CandidateSolver, MwpProblem, MwpSolver, Prediction};
+use dimkb::DimUnitKb;
+use std::sync::Arc;
+
+/// Beam width requested from the wrapped solver.
+pub const BEAM: usize = 4;
+
+/// Wraps a [`CandidateSolver`] with the dimensional rejection/repair
+/// pass. `solve` walks the beam in rank order and returns the first
+/// candidate both checker layers accept; if none verifies, the top
+/// candidate is returned unchanged (verification never makes the solver
+/// mute, only reranks).
+pub struct VerifiedSolver<S> {
+    inner: S,
+    kb: Arc<DimUnitKb>,
+}
+
+impl<S: CandidateSolver> VerifiedSolver<S> {
+    /// Wraps `inner`, verifying against `kb`.
+    pub fn new(inner: S, kb: Arc<DimUnitKb>) -> Self {
+        VerifiedSolver { inner, kb }
+    }
+
+    /// The wrapped solver.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: CandidateSolver> MwpSolver for VerifiedSolver<S> {
+    fn name(&self) -> String {
+        let inner = self.inner.name();
+        let mut out = String::with_capacity(inner.len() + 10);
+        out.push_str("verified(");
+        out.push_str(&inner);
+        out.push(')');
+        out
+    }
+
+    fn solve(&mut self, problem: &MwpProblem) -> Prediction {
+        let candidates = self.inner.candidates(problem, BEAM);
+        for c in &candidates {
+            let accepted =
+                verify_prediction(problem, &self.kb, c).is_some_and(|v| v.accepted());
+            if accepted {
+                return c.clone(); // lint:allow(hot_alloc, beam candidates are owned per problem, not per token)
+            }
+        }
+        candidates.into_iter().next().unwrap_or(Prediction::None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dim_mwp::{accuracy, generate, GenConfig, Source};
+
+    /// A solver whose top candidate is always a dimension-broken
+    /// constant-sum and whose second candidate is gold.
+    struct GoldSecond;
+
+    impl MwpSolver for GoldSecond {
+        fn name(&self) -> String {
+            "gold-second".into()
+        }
+
+        fn solve(&mut self, p: &MwpProblem) -> Prediction {
+            self.candidates(p, 1).into_iter().next().unwrap_or(Prediction::None)
+        }
+    }
+
+    impl CandidateSolver for GoldSecond {
+        fn candidates(&mut self, p: &MwpProblem, k: usize) -> Vec<Prediction> {
+            // Top candidate: subtract the first two quantities regardless
+            // of their units — wrong for nearly every problem and
+            // dimension-broken whenever the units differ.
+            let lits: Vec<String> =
+                p.quantities.iter().map(|q| q.equation_literal()).collect();
+            let broken = dim_mwp::Node::bin(
+                dim_mwp::Op::Sub,
+                dim_mwp::Node::Q(0),
+                dim_mwp::Node::Q(p.quantities.len().saturating_sub(1)),
+            );
+            let mut out = vec![Prediction::Equation(broken.render(&lits))];
+            if k > 1 {
+                out.push(Prediction::Equation(p.equation_text()));
+            }
+            out.truncate(k);
+            out
+        }
+    }
+
+    #[test]
+    fn verification_promotes_the_gold_candidate() {
+        let kb = DimUnitKb::shared();
+        let ps = generate(Source::Math23k, &GenConfig { count: 60, seed: 13 });
+        let before = accuracy(&mut GoldSecond, &ps);
+        let mut verified = VerifiedSolver::new(GoldSecond, kb);
+        let after = accuracy(&mut verified, &ps);
+        assert!(
+            after > before,
+            "verification should improve accuracy: before={before} after={after}"
+        );
+        assert_eq!(verified.name(), "verified(gold-second)");
+    }
+}

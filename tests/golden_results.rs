@@ -141,6 +141,30 @@ fn quick_table7_matches_golden_at_every_thread_width() {
     }
 }
 
+/// The dim-verify repair table (before/after accuracy of the dimensional
+/// rejection/repair pass, DESIGN.md §15) is a paper-facing output like
+/// Tables VI/VII: byte-identical at both fan-out widths and pinned
+/// against the committed golden. `make verify-gate` additionally asserts
+/// the after >= before invariant on the underlying numbers.
+#[test]
+fn quick_verify_repair_matches_golden_at_every_thread_width() {
+    for threads in [1, 4] {
+        assert_matches_golden("quick/verify_repair.txt", &render::verify_repair(&quick_at(threads)));
+    }
+}
+
+/// Same contract for the NUMCoT-style perturbation table (unit-mutation
+/// detection rates per mutation class).
+#[test]
+fn quick_verify_perturb_matches_golden_at_every_thread_width() {
+    for threads in [1, 4] {
+        assert_matches_golden(
+            "quick/verify_perturb.txt",
+            &render::verify_perturb(&quick_at(threads)),
+        );
+    }
+}
+
 /// The chaos stage under a fixed `FaultPlan` (seed 7, rate 0.05) renders a
 /// byte-identical report — plan banner, stage outcomes, and the full
 /// quarantine manifest — at both fan-out widths. This pins the

@@ -328,6 +328,60 @@ fn chaos_rate_zero_is_byte_identical_to_no_plan() {
     assert!(clean.iter().all(|(s, _)| *s == 200), "clean script is all 200s");
 }
 
+/// `/verify` goes through the same per-request chaos wiring as the other
+/// POST routes (its own `srv.request` arm, so the established chaos
+/// goldens above are untouched): a rate-0 plan must not change a byte of
+/// its responses — consistent, inconsistent, and unresolvable alike.
+#[test]
+fn verify_chaos_rate_zero_is_byte_identical_to_no_plan() {
+    let _guard = chaos_lock();
+    let script: Vec<String> = (0..12)
+        .map(|i| match i % 3 {
+            0 => format!(
+                "{{\"equation\":\"x={i}+50\",\"quantities\":[{{\"value\":{i},\"unit\":\"米\"}},{{\"value\":50,\"unit\":\"米\"}}],\"answer_unit\":\"米\"}}"
+            ),
+            1 => format!(
+                "{{\"equation\":\"x={i}+50\",\"quantities\":[{{\"value\":{i},\"unit\":\"米\"}},{{\"value\":50,\"unit\":\"千克\"}}]}}"
+            ),
+            _ => format!(
+                "{{\"equation\":\"x={i}*2\",\"quantities\":[{{\"value\":{i},\"unit\":\"zorblax\"}},{{\"value\":2}}]}}"
+            ),
+        })
+        .collect();
+    let run = || {
+        let server = test_server(1, 16);
+        let mut conn = client::Conn::connect(server.addr()).expect("connect");
+        let out: Vec<(u16, String)> = script
+            .iter()
+            .map(|body| {
+                let resp = conn.request("POST", "/verify", body).expect("verify response");
+                (resp.status, resp.body)
+            })
+            .collect();
+        server.shutdown();
+        out
+    };
+    let clean = run();
+    dim_chaos::install(dim_chaos::FaultPlan::new(9, 0.0));
+    let zero_rate = run();
+    dim_chaos::clear();
+    assert_eq!(clean, zero_rate, "rate 0 must not change a single /verify byte");
+    for (i, (status, body)) in clean.iter().enumerate() {
+        match i % 3 {
+            0 => {
+                assert_eq!(*status, 200, "{body}");
+                assert!(body.contains("\"accepted\":true"), "{body}");
+            }
+            1 => {
+                assert_eq!(*status, 200, "{body}");
+                assert!(body.contains("\"accepted\":false"), "{body}");
+                assert!(body.contains("\"site\":\"+\""), "{body}");
+            }
+            _ => assert_eq!(*status, 422, "{body}"),
+        }
+    }
+}
+
 #[test]
 fn chaos_rate_positive_degrades_structurally_and_reproducibly() {
     let _guard = chaos_lock();
