@@ -1,4 +1,4 @@
-.PHONY: verify build test clippy lint smoke golden chaos serve-smoke serve-soak no-panic-hotpath no-artifacts bench-baseline bench-serve bench-gate snap-gate verify-gate
+.PHONY: verify build test clippy lint lint-gate smoke golden chaos serve-smoke serve-soak no-panic-hotpath no-artifacts bench-baseline bench-serve bench-gate snap-gate verify-gate
 
 # Full offline verification: release build, workspace tests, lints (clippy
 # plus the dim-lint invariant engine), the golden-results harness, the
@@ -7,7 +7,7 @@
 # (golden HTTP transcript over an ephemeral port), the overload/chaos soak
 # gate, and a check that no build artifacts are tracked. No network
 # required.
-verify: build test clippy lint golden chaos smoke serve-smoke serve-soak bench-gate snap-gate verify-gate no-artifacts
+verify: build test clippy lint golden chaos smoke serve-smoke serve-soak bench-gate snap-gate lint-gate verify-gate no-artifacts
 
 build:
 	cargo build --workspace --release
@@ -51,12 +51,21 @@ serve-smoke:
 serve-soak:
 	cargo run --release -p dim-serve --bin serve_soak
 
-# The workspace invariant linter (crates/lint, DESIGN.md §11): string- and
-# comment-aware enforcement of no-panic-hotpath, determinism,
-# thread-discipline, relaxed-ordering, and zero-dep. Also writes the
-# machine-readable report consumed alongside obs_report.json.
+# The workspace invariant linter (crates/lint, DESIGN.md §11 and §16):
+# the string- and comment-aware per-file rules (no-panic-hotpath,
+# determinism, thread-discipline, relaxed-ordering, zero-dep, hot-alloc)
+# plus the --deep workspace analyses over the cross-crate call graph
+# (panic-reachability, lock-order, atomic-pairing). Exits nonzero on any
+# error-severity finding; warnings print but do not gate. Also writes the
+# machine-readable v2 report consumed alongside obs_report.json.
 lint:
-	cargo run --release -p dim-lint --bin dimlint -- --json lint_report.json
+	cargo run --release -p dim-lint --bin dimlint -- --deep --json lint_report.json
+
+# Deep-lint regression gate: byte-identical reports at thread widths 1
+# and 4, and a 20-sample median runtime budget for the full deep run
+# (see EXPERIMENTS.md "Deep-lint gate").
+lint-gate:
+	cargo run --release -p dim-bench --bin lint_gate
 
 # The no-panic rule alone (degraded-mode hot paths must degrade, never
 # die). Kept as a named target because it predates the full engine; it now

@@ -220,6 +220,7 @@ impl Default for CorpusConfig {
 
 /// How a unit surface form is rendered within a sentence.
 fn render_unit(rng: &mut StdRng, kb: &DimUnitKb, code: &str, zh_context: bool) -> (String, String) {
+    // lint:allow(no_panic, template unit codes are curated constants cross-checked against the KB by the corpus tests; an unknown code is a build-time data bug, not a runtime input)
     let unit = kb.unit_by_code(code).unwrap_or_else(|| panic!("unknown unit {code}"));
     let surface = if zh_context {
         match rng.gen_range(0..10) {

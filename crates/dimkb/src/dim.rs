@@ -249,11 +249,11 @@ impl DimVec {
                 _ => return Err(DimParseError::UnknownBase(c)),
             };
             let mut num = String::new();
-            if matches!(chars.peek(), Some('-') | Some('+')) {
-                num.push(chars.next().expect("peeked"));
+            if let Some(sign) = chars.next_if(|c| matches!(c, '-' | '+')) {
+                num.push(sign);
             }
-            while matches!(chars.peek(), Some(d) if d.is_ascii_digit()) {
-                num.push(chars.next().expect("peeked"));
+            while let Some(d) = chars.next_if(char::is_ascii_digit) {
+                num.push(d);
             }
             let exp: i8 = if num.is_empty() {
                 1

@@ -465,6 +465,7 @@ struct Builder {
 impl Builder {
     fn add_kind_family(&mut self, spec: &KindSpec) {
         let dim = DimVec::parse(spec.dim).unwrap_or_else(|e| {
+            // lint:allow(no_panic, KIND_SPECS dimensions are curated constants parsed once per process; a bad literal is a compile-time-class data bug caught by the kb tests)
             panic!("kind {} has invalid dimension {:?}: {e}", spec.name_en, spec.dim)
         });
         self.add_kind(spec.name_en, spec.name_zh, dim);
@@ -483,6 +484,7 @@ impl Builder {
         *self
             .kind_by_name
             .get(name)
+            // lint:allow(no_panic, unit specs and kind specs are curated constants registered together at build time; a dangling kind name is a data bug the kb tests catch, not a runtime input)
             .unwrap_or_else(|| panic!("unit references unknown kind {name:?}"))
     }
 
@@ -516,6 +518,7 @@ impl Builder {
 
     fn push_unit(&mut self, unit: Unit, pop: f64, prefixable: bool) {
         if self.codes.insert(unit.code.clone(), self.pending.len()).is_some() {
+            // lint:allow(no_panic, unit codes come from the curated spec tables; a collision is a build-time data bug the kb uniqueness tests catch, not a runtime input)
             panic!("duplicate unit code {:?}", unit.code);
         }
         self.pending.push((unit, pop, prefixable));

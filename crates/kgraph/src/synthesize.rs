@@ -257,6 +257,7 @@ pub fn synthesize(kb: &DimUnitKb, config: &SynthConfig) -> SynthKg {
                 let (code, lo, hi) = q.units[rng.gen_range(0..q.units.len())];
                 let unit = kb
                     .unit_by_code(code)
+                    // lint:allow(no_panic, archetype tables are curated constants cross-checked against the KB by this crate's tests; an unknown code is a build-time data bug, not a runtime input)
                     .unwrap_or_else(|| panic!("archetype references unknown unit {code}"));
                 let value = round_sig(10f64.powf(rng.gen_range(lo..hi)), 3);
                 let surface = match rng.gen_range(0..10) {

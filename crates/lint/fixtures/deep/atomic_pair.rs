@@ -1,0 +1,31 @@
+//! atomic-pairing fixture: one atomic per violation class, one per
+//! exemption. `FLAG` is the PR 5 shape (Release store read Relaxed),
+//! `LONE` a Release store nobody acquires, `ORPHAN` an Acquire load
+//! nobody publishes to; `STAT` (SeqCst counter read Relaxed), `COUNT`
+//! (all-Relaxed) and `GOOD` (properly paired) must stay silent.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+static FLAG: AtomicBool = AtomicBool::new(false);
+static LONE: AtomicU64 = AtomicU64::new(0);
+static ORPHAN: AtomicUsize = AtomicUsize::new(0);
+static STAT: AtomicU64 = AtomicU64::new(0);
+static COUNT: AtomicU64 = AtomicU64::new(0);
+static GOOD: AtomicBool = AtomicBool::new(false);
+
+pub fn publish() {
+    FLAG.store(true, Ordering::Release);
+    LONE.store(1, Ordering::Release);
+    STAT.store(2, Ordering::SeqCst);
+    COUNT.fetch_add(1, Ordering::Relaxed);
+    GOOD.store(true, Ordering::Release);
+}
+
+pub fn consume() -> bool {
+    let f = FLAG.load(Ordering::Relaxed);
+    let o = ORPHAN.load(Ordering::Acquire);
+    let s = STAT.load(Ordering::Relaxed);
+    let c = COUNT.load(Ordering::Relaxed);
+    let g = GOOD.load(Ordering::Acquire);
+    f && g && o + s as usize + c as usize == 0
+}

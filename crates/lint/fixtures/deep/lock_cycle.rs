@@ -1,0 +1,64 @@
+//! lock-order fixture: `ab` and `ba` acquire the same pair of mutexes in
+//! opposite orders — the seeded deadlock cycle the rule must report — next
+//! to decoys that must not fire: a consistently-ordered pair (direct and
+//! through a helper call), a guard dropped before the next acquisition,
+//! and one blocking-I/O-under-lock site that must warn rather than error.
+
+use std::io::Read;
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+    c: Mutex<u32>,
+    d: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn ab(&self) -> u32 {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        *ga + *gb
+    }
+
+    pub fn ba(&self) -> u32 {
+        let gb = self.b.lock().unwrap();
+        let ga = self.a.lock().unwrap();
+        *ga - *gb
+    }
+
+    // Decoy: the same order from two sites (one interprocedural) is
+    // consistent — no cycle.
+    pub fn cd(&self) -> u32 {
+        let gc = self.c.lock().unwrap();
+        let gd = self.d.lock().unwrap();
+        *gc + *gd
+    }
+
+    pub fn cd_again(&self) -> u32 {
+        let gc = self.c.lock().unwrap();
+        *gc + self.take_d()
+    }
+
+    fn take_d(&self) -> u32 {
+        *self.d.lock().unwrap()
+    }
+
+    // Decoy: dropping the first guard before the second acquisition means
+    // no `d -> c` edge, so the consistent `c -> d` order stands.
+    pub fn sequential(&self) -> u32 {
+        let gd = self.d.lock().unwrap();
+        let x = *gd;
+        drop(gd);
+        let gc = self.c.lock().unwrap();
+        x + *gc
+    }
+
+    // Advisory: blocking socket I/O while holding `a` warns (not errors).
+    pub fn held_io(&self, src: &mut std::net::TcpStream) -> u32 {
+        let ga = self.a.lock().unwrap();
+        let mut buf = [0u8; 4];
+        let _ = src.read_exact(&mut buf);
+        *ga
+    }
+}

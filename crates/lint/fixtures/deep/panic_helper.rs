@@ -1,0 +1,10 @@
+//! panic-reachability fixture, cold side: the panic the hot entry in
+//! `panic_hot.rs` transitively reaches lives at the bottom of this file.
+
+pub fn classify(s: &str) -> usize {
+    depth(s)
+}
+
+fn depth(s: &str) -> usize {
+    s.find(':').unwrap()
+}

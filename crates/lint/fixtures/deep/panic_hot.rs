@@ -1,0 +1,38 @@
+//! panic-reachability fixture, hot side: `handle` reaches a panic three
+//! frames down (`route` → `classify` → `depth`, the panic living in the
+//! companion `panic_helper.rs`), next to decoys that must stay silent —
+//! a total function, a justified call edge, a call into an unknown crate,
+//! and test code.
+
+pub fn handle(req: &str) -> usize {
+    route(req)
+}
+
+fn route(req: &str) -> usize {
+    helper::classify(req)
+}
+
+// Decoy: calls nothing that panics.
+pub fn safe(req: &str) -> usize {
+    req.len()
+}
+
+// Decoy: the edge is justified, so nothing propagates through it.
+pub fn justified(req: &str) -> usize {
+    // lint:allow(panic_reachable, fixture decoy - the input is pre-validated upstream)
+    route(req)
+}
+
+// Decoy: an unresolvable external call contributes no edge.
+pub fn external_only(req: &str) -> usize {
+    mystery_crate::transform(req)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_freely_in_tests() {
+        assert_eq!(super::handle("x:y"), 1);
+        "7".parse::<usize>().unwrap();
+    }
+}

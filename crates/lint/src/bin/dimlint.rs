@@ -1,31 +1,43 @@
-//! `dimlint` — the workspace invariant linter (see DESIGN.md §11).
+//! `dimlint` — the workspace invariant linter (see DESIGN.md §11, §16).
 //!
 //! ```text
-//! dimlint [--root DIR] [--rule NAME]... [--json FILE] [--list-rules]
+//! dimlint [--root DIR] [--deep] [--rule NAME[,NAME...]]... [--threads N]
+//!         [--json FILE] [--list-rules]
 //! ```
 //!
 //! Human diagnostics (`file:line: [rule] message`) go to stdout; `--json`
-//! additionally writes the machine-readable report. Exit codes: 0 clean,
-//! 1 violations found, 2 usage or I/O error.
+//! additionally writes the machine-readable v2 report. `--deep` adds the
+//! workspace-level analyses (panic-reachability, lock-order,
+//! atomic-pairing); naming a deep rule with `--rule` also enables it.
+//! `--threads` parallelizes the file pass — output is byte-identical at
+//! any width. Exit codes: 0 clean (warnings allowed), 1 error-severity
+//! violations found, 2 usage or I/O error.
 
 use dim_lint::{run, LintOptions, RuleId};
 use std::process::ExitCode;
 
+const USAGE: &str = "usage: dimlint [--root DIR] [--deep] [--rule NAME[,NAME...]]... \
+                     [--threads N] [--json FILE] [--list-rules]";
+
 fn main() -> ExitCode {
-    let mut root = String::from(".");
-    let mut rules: Vec<RuleId> = Vec::new();
+    let mut opts = LintOptions::new(".");
     let mut json_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => match args.next() {
-                Some(v) => root = v,
+                Some(v) => opts.root = v.into(),
                 None => return usage("--root needs a directory"),
             },
-            "--rule" => match args.next().as_deref().map(RuleId::parse) {
-                Some(Some(r)) => rules.push(r),
+            "--deep" => opts.deep = true,
+            "--rule" => match args.next().as_deref().map(RuleId::parse_list) {
+                Some(Some(rs)) => opts.rules.extend(rs),
                 Some(None) => return usage("unknown rule (try --list-rules)"),
-                None => return usage("--rule needs a rule name"),
+                None => return usage("--rule needs a rule name or comma-separated list"),
+            },
+            "--threads" => match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => opts.threads = n,
+                _ => return usage("--threads needs a positive integer"),
             },
             "--json" => match args.next() {
                 Some(v) => json_path = Some(v),
@@ -34,8 +46,9 @@ fn main() -> ExitCode {
             "--list-rules" => {
                 for r in RuleId::ALL {
                     println!(
-                        "{:<18} suppression: {}",
+                        "{:<18} {} suppression: {}",
                         r.name(),
+                        if r.is_deep() { "(deep)" } else { "      " },
                         r.allow_key()
                             .map(|k| format!("lint:allow({k}, reason)"))
                             .unwrap_or_else(|| "none (never justifiable)".to_string())
@@ -44,14 +57,13 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             "--help" | "-h" => {
-                println!("usage: dimlint [--root DIR] [--rule NAME]... [--json FILE] [--list-rules]");
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument `{other}`")),
         }
     }
 
-    let opts = LintOptions { root: root.into(), rules };
     let report = match run(&opts) {
         Ok(r) => r,
         Err(e) => {
@@ -66,14 +78,14 @@ fn main() -> ExitCode {
         }
     }
     print!("{}", report.render_human());
-    if report.diagnostics.is_empty() {
-        ExitCode::SUCCESS
-    } else {
+    if report.has_errors() {
         ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
 fn usage(msg: &str) -> ExitCode {
-    eprintln!("dimlint: {msg}\nusage: dimlint [--root DIR] [--rule NAME]... [--json FILE] [--list-rules]");
+    eprintln!("dimlint: {msg}\n{USAGE}");
     ExitCode::from(2)
 }

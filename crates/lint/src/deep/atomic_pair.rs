@@ -1,0 +1,193 @@
+//! **atomic-pairing**: pairs `Ordering::Release` stores with
+//! `Acquire`/`AcqRel` loads on the same atomic field path (and vice
+//! versa), mechanizing the bug class PR 5 found by hand — a `Release`
+//! store whose readers all load `Relaxed` synchronizes nothing.
+//!
+//! An atomic field's identity is `crate::receiver-ident`
+//! (`chaos::ENABLED`, `serve::open`). Only operations that *literally*
+//! name an `Ordering::…` variant in their arguments are classified;
+//! orderings passed through variables are skipped (rare, and a variable
+//! ordering defeats textual analysis honestly). Three findings, all
+//! errors:
+//!
+//! 1. an exact-`Release` store on a path with no acquire-capable read;
+//! 2. an `Acquire` load on a path with no release-capable write;
+//! 3. the PR 5 class — an exact-`Release` store coexisting with a
+//!    `Relaxed` load of the same path (the load can never observe the
+//!    release edge; it must be `Acquire`).
+//!
+//! `SeqCst` stores read by `Relaxed` loads are deliberately *not*
+//! flagged: that is the obs counter pattern, where the `Relaxed` reads
+//! carry their own `relaxed-ordering` justifications. All-`Relaxed`
+//! paths are likewise out of scope — justifying `Relaxed` is the
+//! `relaxed-ordering` rule's job; this rule checks pairing.
+
+use crate::graph::ParsedFile;
+use crate::items::{ident_at, path_sep_at, punct_at};
+use crate::lexer::TokKind;
+use crate::report::{Diagnostic, Severity};
+use crate::RuleId;
+use std::collections::BTreeMap;
+
+/// Atomic method names that write (RMWs are both read and write).
+const WRITE_OPS: &[&str] = &[
+    "store", "swap", "compare_exchange", "compare_exchange_weak", "fetch_add", "fetch_sub",
+    "fetch_and", "fetch_or", "fetch_xor", "fetch_nand", "fetch_max", "fetch_min", "fetch_update",
+];
+
+/// Atomic method names that read.
+const READ_OPS: &[&str] = &[
+    "load", "swap", "compare_exchange", "compare_exchange_weak", "fetch_add", "fetch_sub",
+    "fetch_and", "fetch_or", "fetch_xor", "fetch_nand", "fetch_max", "fetch_min", "fetch_update",
+];
+
+/// One atomic operation site.
+struct Op {
+    file: usize,
+    line: u32,
+    /// Method name (`store`, `load`, `fetch_add`, …).
+    method: &'static str,
+    /// `Ordering::` variants named in the argument list, in order.
+    orderings: Vec<&'static str>,
+}
+
+impl Op {
+    fn is_write(&self) -> bool {
+        WRITE_OPS.contains(&self.method)
+    }
+    fn is_read(&self) -> bool {
+        READ_OPS.contains(&self.method)
+    }
+    /// A write that publishes (release-capable).
+    fn releases(&self) -> bool {
+        self.is_write()
+            && self.orderings.iter().any(|o| matches!(*o, "Release" | "AcqRel" | "SeqCst"))
+    }
+    /// A read that can observe a release edge (acquire-capable).
+    fn acquires(&self) -> bool {
+        self.is_read()
+            && self.orderings.iter().any(|o| matches!(*o, "Acquire" | "AcqRel" | "SeqCst"))
+    }
+    /// A store-side op that names `Release` exactly.
+    fn exact_release_write(&self) -> bool {
+        self.is_write() && self.orderings.contains(&"Release")
+    }
+    /// A pure-`Relaxed` load.
+    fn relaxed_load(&self) -> bool {
+        self.method == "load" && self.orderings == ["Relaxed"]
+    }
+    /// A load that names `Acquire`.
+    fn acquire_load(&self) -> bool {
+        self.method == "load" && self.orderings.contains(&"Acquire")
+    }
+}
+
+/// Runs the rule, appending findings.
+pub(crate) fn check(files: &[ParsedFile], out: &mut Vec<Diagnostic>) {
+    let mut by_path: BTreeMap<String, Vec<Op>> = BTreeMap::new();
+    for (fi, f) in files.iter().enumerate() {
+        collect_ops(fi, f, &mut by_path);
+    }
+
+    for (path, ops) in &by_path {
+        let any_acquire_read = ops.iter().any(Op::acquires);
+        let any_release_write = ops.iter().any(Op::releases);
+        let release_site =
+            ops.iter().find(|o| o.exact_release_write()).map(|o| (o.file, o.line));
+        for op in ops {
+            if op.exact_release_write() && !any_acquire_read {
+                emit(files, out, op, format!(
+                    "`Release` store on `{path}` is never observed by an Acquire/AcqRel \
+                     load — add the acquiring read or justify with \
+                     lint:allow(atomic_pairing, reason)"
+                ));
+            }
+            if op.acquire_load() && !any_release_write {
+                emit(files, out, op, format!(
+                    "`Acquire` load on `{path}` has no Release/AcqRel/SeqCst store to \
+                     synchronize with — publish with Release or justify with \
+                     lint:allow(atomic_pairing, reason)"
+                ));
+            }
+            if op.relaxed_load() {
+                if let Some((rf, rl)) = release_site {
+                    emit(files, out, op, format!(
+                        "`Relaxed` load on `{path}` cannot synchronize with the `Release` \
+                         store at {}:{rl} — load with Acquire or justify with \
+                         lint:allow(atomic_pairing, reason)",
+                        files[rf].source.rel_path,
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn emit(files: &[ParsedFile], out: &mut Vec<Diagnostic>, op: &Op, message: String) {
+    out.push(Diagnostic {
+        severity: Severity::Error,
+        ..Diagnostic::new(
+            files[op.file].source.rel_path.clone(),
+            op.line,
+            RuleId::AtomicPairing.name(),
+            message,
+        )
+    });
+}
+
+/// Scans one file for atomic operations with literal orderings.
+fn collect_ops(fi: usize, f: &ParsedFile, by_path: &mut BTreeMap<String, Vec<Op>>) {
+    let t = &f.source.tokens;
+    for i in 0..t.len() {
+        let Some(name) = ident_at(t, i) else { continue };
+        let method = match WRITE_OPS.iter().chain(READ_OPS).find(|m| **m == name) {
+            Some(m) => *m,
+            None => continue,
+        };
+        if !punct_at(t, i.wrapping_sub(1), '.') || !punct_at(t, i + 1, '(') {
+            continue;
+        }
+        let line = t[i].line;
+        if f.source.in_test_code(line) || f.source.suppressed("atomic_pairing", line) {
+            continue;
+        }
+        let orderings = call_orderings(t, i + 1);
+        if orderings.is_empty() {
+            continue; // not an atomic op, or a variable ordering: skip
+        }
+        let Some(recv) = super::receiver_ident(t, i) else { continue };
+        let path = format!("{}::{recv}", f.crate_name);
+        by_path.entry(path).or_default().push(Op { file: fi, line, method, orderings });
+    }
+}
+
+/// `Ordering::X` variants named inside the call's argument list, scanning
+/// from the opening paren to its match (bounded).
+fn call_orderings(t: &[crate::lexer::Token], open: usize) -> Vec<&'static str> {
+    const VARIANTS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut j = open;
+    let cap = (open + 256).min(t.len());
+    while j < cap {
+        match &t[j].kind {
+            TokKind::Punct('(') => depth += 1,
+            TokKind::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            TokKind::Ident(n) if n == "Ordering" && path_sep_at(t, j + 1) => {
+                if let Some(v) = ident_at(t, j + 3) {
+                    if let Some(v) = VARIANTS.iter().find(|x| **x == v) {
+                        out.push(*v);
+                    }
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    out
+}

@@ -1,0 +1,472 @@
+//! **lock-order**: extracts per-function lock-acquisition scopes, builds
+//! the workspace lock-order graph, and reports (a) cycles — two functions
+//! acquiring the same pair of locks in opposite orders — as potential
+//! deadlocks with the cycle path, and (b) locks held across blocking
+//! calls (condvar waits, socket I/O, `catch_unwind`, or a call into a
+//! function that itself blocks) as advisory warnings.
+//!
+//! A lock's identity is `crate::receiver-ident` (`serve::state`,
+//! `obs::REGISTRY`): field-name granularity, which conflates distinct
+//! instances behind one name (the sharded cache's `shard` guards) and so
+//! self-edges `A → A` are dropped rather than reported — with receiver
+//! aliasing they are overwhelmingly re-acquisitions of *different*
+//! instances, not reentrant deadlocks. Guard scopes are syntactic: a
+//! `let`-bound guard is held to the end of its enclosing block (or an
+//! explicit `drop(guard)`); an unbound temporary to the end of its
+//! statement. Condvar `wait*` calls release their guard while parked, so
+//! a wait with exactly one lock held is the handoff idiom and exempt;
+//! with two or more held it warns.
+
+use crate::graph::{Graph, ParsedFile};
+use crate::items::{ident_at, punct_at};
+use crate::lexer::TokKind;
+use crate::report::{Diagnostic, Severity};
+use crate::RuleId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Methods that park or block the calling thread.
+const BLOCKING_METHODS: &[&str] =
+    &["wait", "wait_timeout", "wait_while", "accept", "recv", "recv_timeout", "read_exact", "write_all"];
+
+/// The condvar subset of [`BLOCKING_METHODS`] (guard-releasing waits).
+const CONDVAR_WAITS: &[&str] = &["wait", "wait_timeout", "wait_while"];
+
+/// One lock acquisition and the token range its guard is held over.
+struct Acq {
+    /// Lock identity: `crate::receiver`.
+    lock: String,
+    line: u32,
+    /// Token index of the acquiring method ident.
+    start: usize,
+    /// Last token index covered by the guard.
+    end: usize,
+}
+
+/// One edge of the lock-order graph with its earliest witness site.
+struct EdgeSite {
+    file: usize,
+    line: u32,
+    func: String,
+    /// The callee the held-lock edge flowed through, if interprocedural.
+    via: Option<String>,
+}
+
+/// Runs the rule, appending findings.
+pub(crate) fn check(files: &[ParsedFile], g: &Graph, out: &mut Vec<Diagnostic>) {
+    let rwlocks = rwlock_names(files);
+    let n = g.nodes.len();
+    let acqs: Vec<Vec<Acq>> = (0..n).map(|i| acquisitions(files, g, i, &rwlocks)).collect();
+
+    // Transitive lock sets: every lock a call into `u` may acquire.
+    let mut trans: Vec<BTreeSet<String>> =
+        acqs.iter().map(|a| a.iter().map(|x| x.lock.clone()).collect()).collect();
+    loop {
+        let mut changed = false;
+        for u in 0..n {
+            for e in &g.edges[u] {
+                let add: Vec<String> =
+                    trans[e.callee].iter().filter(|l| !trans[u].contains(*l)).cloned().collect();
+                if !add.is_empty() {
+                    trans[u].extend(add);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Does a function's own body block (directly)?
+    let blocks: Vec<bool> = (0..n).map(|i| blocks_directly(files, g, i)).collect();
+
+    let mut order: BTreeMap<(String, String), EdgeSite> = BTreeMap::new();
+    for (u, fn_acqs) in acqs.iter().enumerate() {
+        let file_idx = g.nodes[u].file;
+        let file = &files[file_idx];
+        let def = g.def(files, u);
+        if def.in_test {
+            continue;
+        }
+        let t = &file.source.tokens;
+        for a in fn_acqs {
+            if file.source.suppressed("lock_order", a.line) {
+                continue;
+            }
+            // (1) Nested direct acquisitions: a → b order edges.
+            for b in fn_acqs {
+                if b.start > a.start && b.start <= a.end && b.lock != a.lock {
+                    order.entry((a.lock.clone(), b.lock.clone())).or_insert_with(|| EdgeSite {
+                        file: file_idx,
+                        line: b.line,
+                        func: g.display_name(files, u),
+                        via: None,
+                    });
+                }
+            }
+            // (2) Calls made while the guard is held: edges into everything
+            // the callee may transitively acquire, and a warning when the
+            // callee itself blocks.
+            for e in &g.edges[u] {
+                if e.token <= a.start || e.token > a.end {
+                    continue;
+                }
+                for l in &trans[e.callee] {
+                    if *l != a.lock {
+                        order.entry((a.lock.clone(), l.clone())).or_insert_with(|| EdgeSite {
+                            file: file_idx,
+                            line: e.line,
+                            func: g.display_name(files, u),
+                            via: Some(g.display_name(files, e.callee)),
+                        });
+                    }
+                }
+                if blocks[e.callee]
+                    && !file.source.suppressed("lock_order", e.line)
+                    && !file.source.in_test_code(e.line)
+                {
+                    warn(out, file, e.line, format!(
+                        "lock `{}` held across call to `{}`, which can block — \
+                         narrow the guard or justify with lint:allow(lock_order, reason)",
+                        a.lock,
+                        g.display_name(files, e.callee),
+                    ));
+                }
+            }
+            // (3) Blocking operations inside the guard scope.
+            let mut i = a.start + 1;
+            while i <= a.end && i < t.len() {
+                if let Some(m) = ident_at(t, i) {
+                    let held = fn_acqs.iter().filter(|x| i > x.start && i <= x.end).count();
+                    let is_blocking_method = BLOCKING_METHODS.contains(&m)
+                        && punct_at(t, i.wrapping_sub(1), '.')
+                        && punct_at(t, i + 1, '(');
+                    let is_catch_unwind = m == "catch_unwind" && punct_at(t, i + 1, '(');
+                    // A condvar wait that holds exactly one lock is the
+                    // handoff idiom: the guard is released while parked.
+                    let exempt = CONDVAR_WAITS.contains(&m) && held == 1;
+                    if (is_blocking_method || is_catch_unwind)
+                        && !exempt
+                        && !file.source.suppressed("lock_order", t[i].line)
+                        && !file.source.in_test_code(t[i].line)
+                    {
+                        warn(out, file, t[i].line, format!(
+                            "lock `{}` held across blocking `{m}` — narrow the guard \
+                             or justify with lint:allow(lock_order, reason)",
+                            a.lock,
+                        ));
+                    }
+                }
+                i += 1;
+            }
+        }
+    }
+
+    report_cycles(files, &order, out);
+}
+
+fn warn(out: &mut Vec<Diagnostic>, file: &ParsedFile, line: u32, message: String) {
+    let d = Diagnostic {
+        severity: Severity::Warn,
+        ..Diagnostic::new(file.source.rel_path.clone(), line, RuleId::LockOrder.name(), message)
+    };
+    if !out.contains(&d) {
+        out.push(d);
+    }
+}
+
+/// Finds strongly-connected components of the lock-order graph and reports
+/// each (size ≥ 2) as a potential deadlock with a concrete cycle path.
+fn report_cycles(
+    files: &[ParsedFile],
+    order: &BTreeMap<(String, String), EdgeSite>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (a, b) in order.keys() {
+        adj.entry(a.as_str()).or_default().insert(b.as_str());
+        adj.entry(b.as_str()).or_default();
+    }
+    // Reachability closure (the graph is tiny: one node per named lock).
+    let reach: BTreeMap<&str, BTreeSet<&str>> = adj
+        .keys()
+        .map(|&start| {
+            let mut seen: BTreeSet<&str> = BTreeSet::new();
+            let mut stack = vec![start];
+            while let Some(v) = stack.pop() {
+                for &w in adj.get(v).into_iter().flatten() {
+                    if seen.insert(w) {
+                        stack.push(w);
+                    }
+                }
+            }
+            (start, seen)
+        })
+        .collect();
+
+    let mut assigned: BTreeSet<&str> = BTreeSet::new();
+    for &a in adj.keys() {
+        if assigned.contains(a) || !reach[a].contains(a) {
+            continue;
+        }
+        let comp: BTreeSet<&str> = reach[a]
+            .iter()
+            .copied()
+            .filter(|&b| reach[b].contains(a))
+            .collect();
+        assigned.extend(comp.iter().copied());
+        let cycle = cycle_path(a, &comp, &adj, &reach);
+        // The witness site: the first edge of the cycle.
+        let site = order
+            .get(&(cycle[0].clone(), cycle[1].clone()))
+            .expect("cycle edges come from the order map");
+        let file = &files[site.file];
+        if file.source.suppressed("lock_order", site.line) {
+            continue;
+        }
+        let via = site
+            .via
+            .as_ref()
+            .map(|v| format!(" via call to `{v}`"))
+            .unwrap_or_default();
+        out.push(Diagnostic {
+            path: file.source.rel_path.clone(),
+            line: site.line,
+            rule: RuleId::LockOrder.name(),
+            message: format!(
+                "potential deadlock: lock-order cycle `{}` (first edge in `{}`{via}) — \
+                 acquire these locks in one global order or justify with \
+                 lint:allow(lock_order, reason)",
+                cycle.join(" -> "),
+                site.func,
+            ),
+            severity: Severity::Error,
+            witness: Vec::new(),
+            cycle,
+        });
+    }
+}
+
+/// A concrete cycle through `comp` starting and ending at `start`,
+/// following smallest-named edges first.
+fn cycle_path(
+    start: &str,
+    comp: &BTreeSet<&str>,
+    adj: &BTreeMap<&str, BTreeSet<&str>>,
+    reach: &BTreeMap<&str, BTreeSet<&str>>,
+) -> Vec<String> {
+    let mut path = vec![start.to_string()];
+    let mut cur = start;
+    for _ in 0..comp.len() {
+        let next = adj
+            .get(cur)
+            .into_iter()
+            .flatten()
+            .copied()
+            .filter(|w| comp.contains(w))
+            .find(|&w| {
+                (w == start && path.len() >= 2)
+                    || (w != start && !path.iter().any(|p| p == w) && reach[w].contains(start))
+            });
+        match next {
+            Some(w) => {
+                path.push(w.to_string());
+                if w == start {
+                    return path;
+                }
+                cur = w;
+            }
+            None => break,
+        }
+    }
+    path.push(start.to_string());
+    path
+}
+
+/// Names declared with a `RwLock` type, per crate — `.read()`/`.write()`
+/// only count as acquisitions on these receivers (everything else named
+/// `read`/`write` is I/O).
+fn rwlock_names(files: &[ParsedFile]) -> BTreeMap<String, BTreeSet<String>> {
+    let mut out: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for f in files {
+        let t = &f.source.tokens;
+        for k in 0..t.len() {
+            if ident_at(t, k) != Some("RwLock") {
+                continue;
+            }
+            // Walk back over `std :: sync ::`-style path segments.
+            let mut j = k;
+            while j >= 3 && crate::items::path_sep_at(t, j - 2) && ident_at(t, j - 3).is_some() {
+                j -= 3;
+            }
+            // `name : RwLock<…>` — a single `:` (not `::`) before the type.
+            if j >= 2
+                && punct_at(t, j - 1, ':')
+                && !punct_at(t, j.wrapping_sub(2), ':')
+            {
+                if let Some(name) = ident_at(t, j - 2) {
+                    out.entry(f.crate_name.clone()).or_default().insert(name.to_string());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Extracts the lock acquisitions (and guard scopes) of one function.
+fn acquisitions(
+    files: &[ParsedFile],
+    g: &Graph,
+    idx: usize,
+    rwlocks: &BTreeMap<String, BTreeSet<String>>,
+) -> Vec<Acq> {
+    let node = g.nodes[idx];
+    let file = &files[node.file];
+    let def = &file.items.fns[node.fn_idx];
+    let Some((lo, hi)) = def.body else { return Vec::new() };
+    let nested = g.nested_ranges(files, idx);
+    let t = &file.source.tokens;
+    let empty = BTreeSet::new();
+    let crate_rwlocks = rwlocks.get(&file.crate_name).unwrap_or(&empty);
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut i = lo;
+    while i <= hi && i < t.len() {
+        if nested.iter().any(|&(a, b)| i >= a && i <= b) {
+            i += 1;
+            continue;
+        }
+        match &t[i].kind {
+            TokKind::Punct('{') => depth += 1,
+            TokKind::Punct('}') => depth = depth.saturating_sub(1),
+            TokKind::Ident(m) if super::is_method_call(t, i) => {
+                let is_acq = match m.as_str() {
+                    "lock" => true,
+                    "read" | "write" => {
+                        super::receiver_ident(t, i).is_some_and(|r| crate_rwlocks.contains(r))
+                    }
+                    _ => false,
+                };
+                if is_acq {
+                    if let Some(recv) = super::receiver_ident(t, i) {
+                        // `self.lock()` where `lock` is a same-impl method
+                        // is a call, not an acquisition — the call graph
+                        // carries its effects instead.
+                        let is_helper = recv == "self"
+                            && file.items.fns.iter().any(|f2| {
+                                f2.name == *m && f2.impl_type == def.impl_type
+                            });
+                        if !is_helper {
+                            let lock_name = if recv == "self" {
+                                def.impl_type.clone().unwrap_or_else(|| "self".to_string())
+                            } else {
+                                recv.to_string()
+                            };
+                            let end = guard_end(t, i, lo, hi, depth);
+                            out.push(Acq {
+                                lock: format!("{}::{}", file.crate_name, lock_name),
+                                line: t[i].line,
+                                start: i,
+                                end,
+                            });
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+/// The last token index a guard acquired at `i` (depth `depth`) is held
+/// over: to its binding's `drop(…)`, to the end of the enclosing block for
+/// `let`-bound guards, or to the end of the statement for temporaries.
+fn guard_end(t: &[crate::lexer::Token], i: usize, lo: usize, hi: usize, depth: usize) -> usize {
+    let binding = let_binding(t, i, lo);
+    let mut d = depth;
+    let mut j = i + 1;
+    let last = hi.min(t.len().saturating_sub(1));
+    while j <= last {
+        match &t[j].kind {
+            TokKind::Punct('{') => d += 1,
+            TokKind::Punct('}') => {
+                if d == depth {
+                    return j; // leaving the guard's block
+                }
+                d = d.saturating_sub(1);
+            }
+            TokKind::Punct(';') if binding.is_none() && d == depth => return j,
+            TokKind::Ident(name) if name == "drop" && punct_at(t, j + 1, '(') => {
+                if let (Some(b), Some(arg)) = (binding, ident_at(t, j + 2)) {
+                    if arg == b && punct_at(t, j + 3, ')') {
+                        return j;
+                    }
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    last
+}
+
+/// The `let` binding a guard expression is assigned to, if the statement
+/// has the `let [mut] name = …` shape within a few tokens back.
+fn let_binding(t: &[crate::lexer::Token], i: usize, lo: usize) -> Option<&str> {
+    let floor = lo.max(i.saturating_sub(24));
+    let mut j = i;
+    while j > floor {
+        j -= 1;
+        match &t[j].kind {
+            TokKind::Punct(';') | TokKind::Punct('{') | TokKind::Punct('}') => return None,
+            TokKind::Punct('=')
+                if !punct_at(t, j + 1, '=')
+                    && !punct_at(t, j + 1, '>')
+                    && !matches!(
+                        t.get(j.wrapping_sub(1)).map(|x| &x.kind),
+                        Some(TokKind::Punct(
+                            '=' | '!' | '<' | '>' | '+' | '-' | '*' | '/' | '%' | '&' | '|' | '^'
+                        ))
+                    ) =>
+            {
+                let name = ident_at(t, j - 1)?;
+                let kw = ident_at(t, j.wrapping_sub(2));
+                return (kw == Some("let") || kw == Some("mut") && ident_at(t, j.wrapping_sub(3)) == Some("let"))
+                    .then_some(name);
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Does this function's own body contain a blocking operation (condvar
+/// wait, socket/channel blocking call, `catch_unwind`)? Deliberately
+/// *not* transitive — one level keeps the heuristic's noise bounded.
+fn blocks_directly(files: &[ParsedFile], g: &Graph, idx: usize) -> bool {
+    let node = g.nodes[idx];
+    let file = &files[node.file];
+    let def = &file.items.fns[node.fn_idx];
+    let Some((lo, hi)) = def.body else { return false };
+    let nested = g.nested_ranges(files, idx);
+    let t = &file.source.tokens;
+    let mut i = lo;
+    while i <= hi && i < t.len() {
+        if nested.iter().any(|&(a, b)| i >= a && i <= b) {
+            i += 1;
+            continue;
+        }
+        if let Some(m) = ident_at(t, i) {
+            if (BLOCKING_METHODS.contains(&m)
+                && punct_at(t, i.wrapping_sub(1), '.')
+                && punct_at(t, i + 1, '('))
+                || (m == "catch_unwind" && punct_at(t, i + 1, '('))
+            {
+                return true;
+            }
+        }
+        i += 1;
+    }
+    false
+}

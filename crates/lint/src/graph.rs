@@ -1,0 +1,515 @@
+//! The workspace symbol table and approximate call graph the deep rules
+//! run on (see DESIGN.md §16 for the full model and its error bars).
+//!
+//! Every scanned file is parsed into [`FileItems`]; the functions of all
+//! files become graph nodes, and call edges are extracted by scanning each
+//! body for `name(…)`, `recv.name(…)`, and `path::name(…)` shapes and
+//! resolving the callee name against the symbol table.
+//!
+//! Resolution is deliberately approximate — a real name resolver needs a
+//! type checker — and errs in documented directions:
+//!
+//! * **method calls** (`x.f(…)`) resolve to same-crate `impl` functions
+//!   named `f` only; `self.f(…)` narrows further to the enclosing impl
+//!   type. Cross-crate method calls produce no edge (under-approximation);
+//!   same-crate same-name methods on different types over-approximate.
+//! * **qualified calls** (`a::b::f(…)`) resolve by matching the last
+//!   qualifier against impl types, module names — both `mod` declarations
+//!   and the file-level module a file stem names — and crate names (via
+//!   the file's `use` map). An unknown qualifier (e.g. `Vec::new`) is external:
+//!   no edge (under-approximation — std is assumed panic-free at the
+//!   granularity this linter cares about; std panics inside hot files are
+//!   caught by the intraprocedural token rules).
+//! * **bare calls** (`f(…)`) resolve same-file first, then through the
+//!   file's `use` imports, then same-crate free functions.
+//! * **closures and higher-order calls** are invisible (the classic
+//!   under-approximation of a syntactic call graph): a panic reached only
+//!   through a function-pointer indirection is not propagated.
+
+use crate::items::{ident_at, path_sep_at, punct_at, FileItems, UseDef};
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One scanned file: the lexed source plus its parsed items and the crate
+/// it belongs to.
+pub struct ParsedFile {
+    /// The lexed file (tokens, test regions, suppressions).
+    pub source: SourceFile,
+    /// Parsed `fn` / `use` items.
+    pub items: FileItems,
+    /// Crate directory name (`serve`, `dimkb`, …; `__root__` for `src/`).
+    pub crate_name: String,
+}
+
+impl ParsedFile {
+    /// Lexes and item-parses one file.
+    pub fn parse(rel_path: &str, text: &str) -> ParsedFile {
+        let source = SourceFile::parse(rel_path, text);
+        let items = FileItems::parse(&source);
+        let crate_name = crate_of(rel_path).to_string();
+        ParsedFile { source, items, crate_name }
+    }
+}
+
+/// The crate directory a workspace-relative path belongs to.
+pub fn crate_of(rel_path: &str) -> &str {
+    let mut parts = rel_path.split('/');
+    match parts.next() {
+        Some("crates") => parts.next().unwrap_or("__root__"),
+        _ => "__root__",
+    }
+}
+
+/// One call edge out of a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edge {
+    /// Callee node index.
+    pub callee: usize,
+    /// 1-based line of the call site.
+    pub line: u32,
+    /// Token index of the callee name at the call site.
+    pub token: usize,
+}
+
+/// A graph node: function `fn_idx` of file `file`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Node {
+    /// Index into the `ParsedFile` slice the graph was built from.
+    pub file: usize,
+    /// Index into that file's `items.fns`.
+    pub fn_idx: usize,
+}
+
+/// The workspace call graph.
+pub struct Graph {
+    /// All function nodes, in (file, source) order.
+    pub nodes: Vec<Node>,
+    /// Outgoing call edges per node, in call-site order.
+    pub edges: Vec<Vec<Edge>>,
+    /// Simple name → node indices.
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+/// Maps a `use`-path head segment (a lib name like `dim_par`) to a crate
+/// directory name (`par`), given the set of crate directories present.
+fn lib_to_crate<'a>(head: &'a str, crates: &'a BTreeSet<String>) -> Option<&'a str> {
+    if crates.contains(head) {
+        return Some(head);
+    }
+    if let Some(rest) = head.strip_prefix("dim_") {
+        if crates.contains(rest) {
+            return Some(rest);
+        }
+    }
+    if head == "dimension_perception" {
+        return Some("__root__");
+    }
+    None
+}
+
+/// Keywords that look like `ident (` call shapes but are not calls.
+const CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "fn", "in", "as", "move", "mut", "ref",
+    "let", "else", "break", "continue", "unsafe", "where", "impl", "dyn", "use", "pub", "crate",
+    "super", "self", "Self", "static", "const", "type", "struct", "enum", "union", "trait", "mod",
+    "box", "yield", "async", "await",
+];
+
+impl Graph {
+    /// Builds the call graph over all parsed files.
+    pub fn build(files: &[ParsedFile]) -> Graph {
+        let mut nodes = Vec::new();
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut crates: BTreeSet<String> = BTreeSet::new();
+        for (fi, f) in files.iter().enumerate() {
+            crates.insert(f.crate_name.clone());
+            for (gi, def) in f.items.fns.iter().enumerate() {
+                let idx = nodes.len();
+                nodes.push(Node { file: fi, fn_idx: gi });
+                by_name.entry(def.name.clone()).or_default().push(idx);
+            }
+        }
+        let mut g = Graph { nodes, edges: Vec::new(), by_name };
+        let mut edges = Vec::with_capacity(g.nodes.len());
+        for idx in 0..g.nodes.len() {
+            edges.push(g.extract_edges(files, idx, &crates));
+        }
+        g.edges = edges;
+        g
+    }
+
+    /// The function definition a node refers to.
+    pub fn def<'a>(&self, files: &'a [ParsedFile], idx: usize) -> &'a crate::items::FnDef {
+        let n = self.nodes[idx];
+        &files[n.file].items.fns[n.fn_idx]
+    }
+
+    /// A human-readable name for a node (`Type::name` or `name`).
+    pub fn display_name(&self, files: &[ParsedFile], idx: usize) -> String {
+        let def = self.def(files, idx);
+        match &def.impl_type {
+            Some(ty) => format!("{ty}::{}", def.name),
+            None => def.name.clone(),
+        }
+    }
+
+    /// Token ranges of functions nested inside `idx`'s body (their calls
+    /// belong to the inner function, not to `idx`).
+    pub(crate) fn nested_ranges(&self, files: &[ParsedFile], idx: usize) -> Vec<(usize, usize)> {
+        let n = self.nodes[idx];
+        let def = &files[n.file].items.fns[n.fn_idx];
+        let Some((lo, hi)) = def.body else { return Vec::new() };
+        files[n.file]
+            .items
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(gi, other)| {
+                *gi != n.fn_idx && other.sig_start > lo && other.sig_start < hi
+            })
+            .map(|(_, other)| (other.sig_start, other.body.map(|(_, e)| e).unwrap_or(other.sig_start)))
+            .collect()
+    }
+
+    /// Scans one function's body for call shapes and resolves them.
+    fn extract_edges(
+        &self,
+        files: &[ParsedFile],
+        idx: usize,
+        crates: &BTreeSet<String>,
+    ) -> Vec<Edge> {
+        let n = self.nodes[idx];
+        let file = &files[n.file];
+        let def = &file.items.fns[n.fn_idx];
+        let Some((lo, hi)) = def.body else { return Vec::new() };
+        let nested = self.nested_ranges(files, idx);
+        let t = &file.source.tokens;
+        let mut out = Vec::new();
+        let mut i = lo;
+        while i <= hi && i < t.len() {
+            if nested.iter().any(|&(a, b)| i >= a && i <= b) {
+                i += 1;
+                continue;
+            }
+            let Some(name) = ident_at(t, i) else {
+                i += 1;
+                continue;
+            };
+            // `name (` — possibly with a `::<T>` turbofish between.
+            let open = call_paren(t, i);
+            if open.is_none() || CALL_KEYWORDS.contains(&name) {
+                i += 1;
+                continue;
+            }
+            let callees = self.resolve(files, n.file, def, t, i, name, crates);
+            for callee in callees {
+                if callee != idx {
+                    out.push(Edge { callee, line: t[i].line, token: i });
+                }
+            }
+            i += 1;
+        }
+        out
+    }
+
+    /// Resolves the callee name at token `i` to node indices. Empty means
+    /// external (std or unresolvable): no edge.
+    #[allow(clippy::too_many_arguments)]
+    fn resolve(
+        &self,
+        files: &[ParsedFile],
+        file_idx: usize,
+        caller: &crate::items::FnDef,
+        t: &[crate::lexer::Token],
+        i: usize,
+        name: &str,
+        crates: &BTreeSet<String>,
+    ) -> Vec<usize> {
+        let file = &files[file_idx];
+        let Some(candidates) = self.by_name.get(name) else { return Vec::new() };
+
+        // Method call: `recv.name(…)`.
+        if i >= 1 && punct_at(t, i - 1, '.') {
+            let receiver_is_self = ident_at(t, i.wrapping_sub(2)) == Some("self");
+            let mut found: Vec<usize> = candidates
+                .iter()
+                .copied()
+                .filter(|&c| {
+                    let d = self.def(files, c);
+                    let same_crate = files[self.nodes[c].file].crate_name == file.crate_name;
+                    if !same_crate || d.impl_type.is_none() {
+                        return false;
+                    }
+                    // `self.f(…)` can only reach the enclosing impl type.
+                    if receiver_is_self {
+                        d.impl_type == caller.impl_type
+                    } else {
+                        true
+                    }
+                })
+                .collect();
+            found.sort_unstable();
+            return found;
+        }
+
+        // Qualified call: `…::Q::name(…)`.
+        if i >= 2 && path_sep_at(t, i - 2) {
+            let qualifier = ident_at(t, i.wrapping_sub(3));
+            let seg = match qualifier {
+                Some("Self") => caller.impl_type.as_deref(),
+                other => other,
+            };
+            let Some(seg) = seg else { return Vec::new() };
+            // Walk further back for the path head (crate narrowing).
+            let head = path_head(t, i);
+            let head_crate = head
+                .and_then(|h| match h {
+                    "crate" | "self" | "super" => Some(file.crate_name.as_str()),
+                    other => lib_to_crate(other, crates),
+                })
+                .or_else(|| {
+                    // The head may itself be a `use`-imported module/type.
+                    head.and_then(|h| {
+                        file.items
+                            .uses
+                            .iter()
+                            .find(|u| u.name == h)
+                            .and_then(|u| lib_to_crate(&u.head, crates))
+                    })
+                });
+            let mut found: Vec<usize> = candidates
+                .iter()
+                .copied()
+                .filter(|&c| {
+                    let d = self.def(files, c);
+                    let c_crate = files[self.nodes[c].file].crate_name.as_str();
+                    if let Some(hc) = head_crate {
+                        if c_crate != hc {
+                            return false;
+                        }
+                    }
+                    d.impl_type.as_deref() == Some(seg)
+                        || d.module.last().map(|m| m.as_str()) == Some(seg)
+                        // A fn in no `mod` block lives in the file-level
+                        // module its file stem names (`helper.rs` ⇒
+                        // `helper::f`).
+                        || (d.module.is_empty()
+                            && file_module(&files[self.nodes[c].file].source.rel_path)
+                                == Some(seg))
+                        || (head_crate.is_some() && head == Some(seg) && d.impl_type.is_none())
+                })
+                .collect();
+            // A qualifier that matches nothing names an external item
+            // (`Vec::new`, `Ordering::Relaxed`): no edge.
+            found.sort_unstable();
+            found.dedup();
+            return found;
+        }
+
+        // Bare call: same file, then `use` imports, then same-crate free fns.
+        let same_file: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&c| self.nodes[c].file == file_idx && self.def(files, c).impl_type.is_none())
+            .collect();
+        if !same_file.is_empty() {
+            return same_file;
+        }
+        if let Some(u) = file.items.uses.iter().find(|u: &&UseDef| u.name == name) {
+            if let Some(target_crate) = lib_to_crate(&u.head, crates) {
+                let found: Vec<usize> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&c| {
+                        files[self.nodes[c].file].crate_name == target_crate
+                            && self.def(files, c).name == u.leaf
+                            && self.def(files, c).impl_type.is_none()
+                    })
+                    .collect();
+                return found;
+            }
+            if u.head == "crate" || u.head == "super" || u.head == "self" {
+                let found: Vec<usize> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&c| {
+                        files[self.nodes[c].file].crate_name == file.crate_name
+                            && self.def(files, c).impl_type.is_none()
+                    })
+                    .collect();
+                return found;
+            }
+            return Vec::new(); // imported from std or an unknown crate
+        }
+        candidates
+            .iter()
+            .copied()
+            .filter(|&c| {
+                files[self.nodes[c].file].crate_name == file.crate_name
+                    && self.def(files, c).impl_type.is_none()
+            })
+            .collect()
+    }
+}
+
+/// If token `i` (an ident) is followed by a call's opening paren —
+/// directly or through a `::<…>` turbofish — returns the paren index.
+pub(crate) fn call_paren(t: &[crate::lexer::Token], i: usize) -> Option<usize> {
+    if punct_at(t, i + 1, '(') {
+        return Some(i + 1);
+    }
+    if path_sep_at(t, i + 1) && punct_at(t, i + 3, '<') {
+        let mut depth = 0usize;
+        let mut j = i + 3;
+        let cap = (i + 64).min(t.len());
+        while j < cap {
+            match t[j].kind {
+                TokKind::Punct('<') => depth += 1,
+                TokKind::Punct('>') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return punct_at(t, j + 1, '(').then_some(j + 1);
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    None
+}
+
+/// The module a file's stem names (`crates/serve/src/helper.rs` ⇒
+/// `helper`); `lib.rs`, `main.rs` and `mod.rs` name no module of their own.
+fn file_module(rel_path: &str) -> Option<&str> {
+    let stem = rel_path.rsplit('/').next()?.strip_suffix(".rs")?;
+    (!matches!(stem, "lib" | "main" | "mod")).then_some(stem)
+}
+
+/// The first segment of the `::`-path ending at the callee ident `i`
+/// (`a::b::f(` at `f` ⇒ `a`). `None` when the path is just `Q::f`’s `Q`
+/// with nothing before it — the caller then treats `Q` itself as the head.
+fn path_head(t: &[crate::lexer::Token], i: usize) -> Option<&str> {
+    let mut j = i;
+    let mut head = None;
+    while j >= 3 && path_sep_at(t, j - 2) {
+        j -= 3;
+        head = ident_at(t, j);
+        if j < 3 {
+            break;
+        }
+    }
+    head
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(files: &[(&str, &str)]) -> (Vec<ParsedFile>, Graph) {
+        let parsed: Vec<ParsedFile> =
+            files.iter().map(|(p, s)| ParsedFile::parse(p, s)).collect();
+        let g = Graph::build(&parsed);
+        (parsed, g)
+    }
+
+    fn callees(files: &[ParsedFile], g: &Graph, name: &str) -> Vec<String> {
+        let idx = (0..g.nodes.len()).find(|&i| g.def(files, i).name == name).unwrap();
+        let mut out: Vec<String> =
+            g.edges[idx].iter().map(|e| g.display_name(files, e.callee)).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    #[test]
+    fn bare_calls_resolve_same_file_first() {
+        let (files, g) = build(&[
+            ("crates/a/src/lib.rs", "fn helper() {}\nfn caller() { helper(); }\n"),
+            ("crates/b/src/lib.rs", "fn helper() {}\n"),
+        ]);
+        let idx = (0..g.nodes.len()).find(|&i| g.def(&files, i).name == "caller").unwrap();
+        assert_eq!(g.edges[idx].len(), 1);
+        assert_eq!(g.nodes[g.edges[idx][0].callee].file, 0, "same-file helper wins");
+    }
+
+    #[test]
+    fn use_imports_resolve_cross_crate() {
+        let (files, g) = build(&[
+            (
+                "crates/a/src/lib.rs",
+                "use dim_b::helper;\nfn caller() { helper(); }\n",
+            ),
+            ("crates/b/src/lib.rs", "pub fn helper() {}\n"),
+        ]);
+        assert_eq!(callees(&files, &g, "caller"), vec!["helper"]);
+    }
+
+    #[test]
+    fn std_imports_produce_no_edges() {
+        let (files, g) = build(&[(
+            "crates/a/src/lib.rs",
+            "use std::mem::take;\nfn helper() {}\nfn caller() { take(&mut x); }\n",
+        )]);
+        assert!(callees(&files, &g, "caller").is_empty(), "std::mem::take is external");
+    }
+
+    #[test]
+    fn self_method_calls_stay_in_the_impl() {
+        let (files, g) = build(&[(
+            "crates/a/src/lib.rs",
+            "struct A; struct B;\nimpl A { fn go(&self) { self.step(); } fn step(&self) {} }\nimpl B { fn step(&self) {} }\n",
+        )]);
+        assert_eq!(callees(&files, &g, "go"), vec!["A::step"]);
+    }
+
+    #[test]
+    fn qualified_calls_match_type_module_and_crate() {
+        let (files, g) = build(&[
+            (
+                "crates/a/src/lib.rs",
+                "fn caller() { dim_b::worker::run(); Other::make(); Vec::with_capacity(4); }\nstruct Other;\nimpl Other { fn make() {} }\n",
+            ),
+            ("crates/b/src/worker.rs", "mod worker { pub fn run() {} }\n"),
+        ]);
+        let c = callees(&files, &g, "caller");
+        assert!(c.contains(&"run".to_string()), "{c:?}");
+        assert!(c.contains(&"Other::make".to_string()), "{c:?}");
+        assert!(!c.iter().any(|n| n.contains("with_capacity")), "std stays external: {c:?}");
+    }
+
+    #[test]
+    fn qualified_calls_reach_file_level_modules() {
+        let (files, g) = build(&[
+            ("crates/a/src/lib.rs", "fn caller() { helper::classify(); }\n"),
+            ("crates/a/src/helper.rs", "pub fn classify() {}\n"),
+        ]);
+        assert_eq!(callees(&files, &g, "caller"), vec!["classify"]);
+        // `lib.rs` names no module: `lib::caller()` resolves nothing.
+        let (files2, g2) = build(&[
+            ("crates/a/src/other.rs", "fn go() { lib::caller(); }\n"),
+            ("crates/a/src/lib.rs", "pub fn caller() {}\n"),
+        ]);
+        assert!(callees(&files2, &g2, "go").is_empty());
+    }
+
+    #[test]
+    fn turbofish_is_still_a_call() {
+        let (files, g) = build(&[(
+            "crates/a/src/lib.rs",
+            "fn generic<T>() {}\nfn caller() { generic::<u32>(); }\n",
+        )]);
+        // `generic::<u32>(` — the `::<` path-seps make the shape look
+        // qualified; the qualifier walk must still land on the bare name.
+        let c = callees(&files, &g, "caller");
+        assert_eq!(c, vec!["generic"], "{c:?}");
+    }
+
+    #[test]
+    fn crate_of_maps_paths() {
+        assert_eq!(crate_of("crates/serve/src/app.rs"), "serve");
+        assert_eq!(crate_of("src/lib.rs"), "__root__");
+        assert_eq!(crate_of("examples/x.rs"), "__root__");
+    }
+}

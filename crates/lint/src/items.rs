@@ -1,0 +1,440 @@
+//! A lightweight item parser over the lexed token stream: just enough
+//! `fn` / `impl` / `mod` / `use` structure to build the workspace symbol
+//! table and call graph the deep rules run on (see [`crate::graph`]).
+//!
+//! This is *not* a Rust parser. It recognizes item headers and matches
+//! braces; everything it cannot classify it walks over. The contract is
+//! totality, not fidelity: any token stream — including arbitrary soup —
+//! produces a `FileItems` without panicking and in one bounded pass
+//! (a property test pins this). Known approximations are documented on
+//! [`crate::graph`], which is where their consequences live.
+
+use crate::lexer::{TokKind, Token};
+use crate::source::SourceFile;
+
+/// One `fn` definition found in a file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnDef {
+    /// The function's name.
+    pub name: String,
+    /// The `impl` block's self type, when defined inside one
+    /// (`impl Foo { fn bar … }` ⇒ `Some("Foo")`; trait impls record the
+    /// implementing type, not the trait).
+    pub impl_type: Option<String>,
+    /// Enclosing in-file `mod` path, outermost first.
+    pub module: Vec<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index of the `fn` keyword.
+    pub sig_start: usize,
+    /// Token range `[open_brace, close_brace]` of the body, when the item
+    /// has one (trait method signatures and `extern` declarations do not).
+    /// The end index is `tokens.len() - 1` for an unterminated body at EOF.
+    pub body: Option<(usize, usize)>,
+    /// Whether the definition sits inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+/// One name imported by a `use` declaration, flattened out of groups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseDef {
+    /// The name as visible in this file (the alias, after `as`).
+    pub name: String,
+    /// The first path segment (`dimkb`, `crate`, `std`, …).
+    pub head: String,
+    /// The imported item's own name (last real segment before any alias).
+    pub leaf: String,
+}
+
+/// All items parsed from one file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FileItems {
+    /// Function definitions in source order.
+    pub fns: Vec<FnDef>,
+    /// Flattened `use` imports.
+    pub uses: Vec<UseDef>,
+}
+
+/// Token-inspection helpers shared by the item parser and the deep rules.
+pub(crate) fn ident_at(t: &[Token], i: usize) -> Option<&str> {
+    match t.get(i).map(|x| &x.kind) {
+        Some(TokKind::Ident(name)) => Some(name.as_str()),
+        _ => None,
+    }
+}
+
+pub(crate) fn punct_at(t: &[Token], i: usize, c: char) -> bool {
+    matches!(t.get(i), Some(x) if x.kind == TokKind::Punct(c))
+}
+
+/// `::` — two consecutive `:` punct tokens.
+pub(crate) fn path_sep_at(t: &[Token], i: usize) -> bool {
+    punct_at(t, i, ':') && punct_at(t, i + 1, ':')
+}
+
+/// What an opening brace is about to introduce.
+enum Pending {
+    Mod(String),
+    Impl(Option<String>),
+    Fn(usize),
+}
+
+/// A scope on the brace stack.
+enum Scope {
+    Mod(String),
+    Impl(Option<String>),
+    Fn(usize),
+    Block,
+}
+
+impl FileItems {
+    /// Parses the items of one lexed file. Total: never panics, always
+    /// terminates (the cursor advances on every iteration).
+    pub fn parse(file: &SourceFile) -> FileItems {
+        let t = &file.tokens;
+        let mut items = FileItems::default();
+        let mut stack: Vec<Scope> = Vec::new();
+        let mut pending: Option<(usize, Pending)> = None; // (brace index, scope)
+        let mut i = 0usize;
+        while i < t.len() {
+            match &t[i].kind {
+                TokKind::Punct('{') => {
+                    // A pending scope that never met its brace (malformed
+                    // input) must not attach to a later one.
+                    if pending.as_ref().is_some_and(|(at, _)| *at < i) {
+                        pending = None;
+                    }
+                    let scope = match pending.take_if(|(at, _)| *at == i) {
+                        Some((_, Pending::Mod(m))) => Scope::Mod(m),
+                        Some((_, Pending::Impl(ty))) => Scope::Impl(ty),
+                        Some((_, Pending::Fn(idx))) => Scope::Fn(idx),
+                        _ => Scope::Block,
+                    };
+                    stack.push(scope);
+                    i += 1;
+                }
+                TokKind::Punct('}') => {
+                    if let Some(Scope::Fn(idx)) = stack.pop() {
+                        if let Some(def) = items.fns.get_mut(idx) {
+                            if let Some((start, _)) = def.body {
+                                def.body = Some((start, i));
+                            }
+                        }
+                    }
+                    i += 1;
+                }
+                TokKind::Ident(kw) if kw == "mod" && pending.is_none() => {
+                    if let Some(name) = ident_at(t, i + 1) {
+                        if punct_at(t, i + 2, '{') {
+                            pending = Some((i + 2, Pending::Mod(name.to_string())));
+                        }
+                    }
+                    i += 1;
+                }
+                TokKind::Ident(kw) if kw == "impl" && pending.is_none() => {
+                    if let Some((brace, ty)) = parse_impl_header(t, i) {
+                        pending = Some((brace, Pending::Impl(ty)));
+                    }
+                    i += 1;
+                }
+                TokKind::Ident(kw) if kw == "fn" && pending.is_none() => {
+                    if let Some((def, brace)) = parse_fn_header(file, t, i, &stack) {
+                        items.fns.push(def);
+                        let idx = items.fns.len() - 1;
+                        if let Some(b) = brace {
+                            items.fns[idx].body = Some((b, t.len().saturating_sub(1)));
+                            pending = Some((b, Pending::Fn(idx)));
+                        }
+                    }
+                    i += 1;
+                }
+                TokKind::Ident(kw) if kw == "use" => {
+                    parse_use(t, i + 1, &mut items.uses);
+                    i += 1;
+                }
+                _ => i += 1,
+            }
+        }
+        items
+    }
+}
+
+/// Parses an `impl` header starting at the `impl` keyword. Returns the
+/// token index of the opening body brace and the self type (the last path
+/// segment of the type after `for`, or of the only type). `None` when the
+/// header never reaches a `{` (malformed or EOF).
+fn parse_impl_header(t: &[Token], i: usize) -> Option<(usize, Option<String>)> {
+    let mut j = i + 1;
+    let mut last_seg: Option<String> = None;
+    let mut after_for: Option<String> = None;
+    let mut saw_for = false;
+    let mut in_where = false;
+    let mut angle = 0usize;
+    while j < t.len() {
+        match &t[j].kind {
+            TokKind::Punct('{') if angle == 0 => {
+                let ty = after_for.or(last_seg);
+                return Some((j, ty));
+            }
+            TokKind::Punct(';') if angle == 0 => return None,
+            TokKind::Punct('<') => angle += 1,
+            TokKind::Punct('>') => angle = angle.saturating_sub(1),
+            TokKind::Ident(name) if angle == 0 && !in_where => match name.as_str() {
+                "for" => saw_for = true,
+                "where" => in_where = true,
+                "dyn" | "unsafe" | "const" | "mut" => {}
+                _ => {
+                    if saw_for {
+                        if after_for.is_none() || path_sep_at(t, j.wrapping_sub(2)) {
+                            after_for = Some(name.clone());
+                        }
+                    } else {
+                        last_seg = Some(name.clone());
+                    }
+                }
+            },
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Parses a `fn` header starting at the `fn` keyword: the name, then a
+/// bounded scan to the body `{` (paren-depth 0) or to `;` (no body).
+/// `fn` immediately followed by `(` is a function-pointer type, not an
+/// item. Returns the definition and the body-brace index, if any.
+fn parse_fn_header(
+    file: &SourceFile,
+    t: &[Token],
+    i: usize,
+    stack: &[Scope],
+) -> Option<(FnDef, Option<usize>)> {
+    let name = ident_at(t, i + 1)?;
+    let mut module = Vec::new();
+    let mut impl_type = None;
+    for s in stack {
+        match s {
+            Scope::Mod(m) => module.push(m.clone()),
+            Scope::Impl(ty) => impl_type = ty.clone(),
+            _ => {}
+        }
+    }
+    let line = t[i].line;
+    let def = FnDef {
+        name: name.to_string(),
+        impl_type,
+        module,
+        line,
+        sig_start: i,
+        body: None,
+        in_test: file.in_test_code(line),
+    };
+    // Scan the signature for the body brace.
+    let mut j = i + 2;
+    let mut paren = 0usize;
+    while j < t.len() {
+        match &t[j].kind {
+            TokKind::Punct('(') | TokKind::Punct('[') => paren += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') => paren = paren.saturating_sub(1),
+            TokKind::Punct('{') if paren == 0 => return Some((def, Some(j))),
+            TokKind::Punct(';') if paren == 0 => return Some((def, None)),
+            _ => {}
+        }
+        j += 1;
+    }
+    Some((def, None))
+}
+
+/// Parses one `use` declaration's path starting just past the `use`
+/// keyword, flattening `{…}` groups (including nested ones) and `as`
+/// aliases into [`UseDef`]s.
+fn parse_use(t: &[Token], start: usize, out: &mut Vec<UseDef>) {
+    let mut head: Option<String> = None;
+    let mut last: Option<String> = None;
+    let mut j = start;
+    // Walk the leading simple path until `{`, `;`, or something unexpected.
+    while j < t.len() {
+        match &t[j].kind {
+            TokKind::Ident(seg) if seg == "as" => {
+                // `use a::b as c;`
+                if let (Some(h), Some(l)) = (&head, &last) {
+                    if let Some(alias) = ident_at(t, j + 1) {
+                        out.push(UseDef {
+                            name: alias.to_string(),
+                            head: h.clone(),
+                            leaf: l.clone(),
+                        });
+                    }
+                }
+                return;
+            }
+            TokKind::Ident(seg) => {
+                if head.is_none() {
+                    head = Some(seg.clone());
+                }
+                last = Some(seg.clone());
+                j += 1;
+            }
+            TokKind::Punct(':') => j += 1,
+            TokKind::Punct('{') => {
+                let Some(h) = head else { return };
+                parse_use_group(t, j + 1, &h, out);
+                return;
+            }
+            TokKind::Punct(';') => {
+                if let (Some(h), Some(l)) = (head, last) {
+                    out.push(UseDef { name: l.clone(), head: h, leaf: l });
+                }
+                return;
+            }
+            TokKind::Punct('*') => return, // glob: resolves nothing by name
+            _ => return,
+        }
+    }
+    if let (Some(h), Some(l)) = (head, last) {
+        out.push(UseDef { name: l.clone(), head: h, leaf: l });
+    }
+}
+
+/// Parses the inside of a `use …::{…}` group starting just past the `{`.
+/// Nested groups reuse the same head (only the crate matters for
+/// resolution). Bounded by the group's closing brace or EOF.
+fn parse_use_group(t: &[Token], start: usize, head: &str, out: &mut Vec<UseDef>) {
+    let mut j = start;
+    let mut last: Option<String> = None;
+    let mut depth = 1usize;
+    while j < t.len() && depth > 0 {
+        match &t[j].kind {
+            TokKind::Punct('{') => {
+                depth += 1;
+                last = None;
+            }
+            TokKind::Punct('}') => {
+                depth -= 1;
+                if let Some(l) = last.take() {
+                    out.push(UseDef { name: l.clone(), head: head.to_string(), leaf: l });
+                }
+            }
+            TokKind::Punct(',') => {
+                if let Some(l) = last.take() {
+                    out.push(UseDef { name: l.clone(), head: head.to_string(), leaf: l });
+                }
+            }
+            TokKind::Ident(seg) if seg == "as" => {
+                if let (Some(l), Some(alias)) = (last.take(), ident_at(t, j + 1)) {
+                    out.push(UseDef { name: alias.to_string(), head: head.to_string(), leaf: l });
+                    j += 1; // skip the alias ident
+                }
+            }
+            TokKind::Ident(seg) if seg == "self" => {
+                // `use a::b::{self, c}` imports `b` itself — the group head
+                // stands in for it; nothing callable by simple name.
+                last = None;
+            }
+            TokKind::Ident(seg) => last = Some(seg.clone()),
+            TokKind::Punct(';') => break,
+            _ => {}
+        }
+        j += 1;
+    }
+    if let Some(l) = last {
+        out.push(UseDef { name: l.clone(), head: head.to_string(), leaf: l });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> FileItems {
+        FileItems::parse(&SourceFile::parse("x.rs", src))
+    }
+
+    #[test]
+    fn free_fns_and_bodies() {
+        let it = parse("fn a() { one(); }\nfn b(x: u32) -> u32 { x }\nfn sig_only();\n");
+        assert_eq!(it.fns.len(), 3);
+        assert_eq!(it.fns[0].name, "a");
+        assert!(it.fns[0].body.is_some());
+        assert_eq!(it.fns[2].name, "sig_only");
+        assert!(it.fns[2].body.is_none());
+    }
+
+    #[test]
+    fn impl_methods_carry_self_type() {
+        let it = parse("struct Foo;\nimpl Foo { fn m(&self) {} }\nimpl Display for Foo { fn fmt(&self) {} }\n");
+        assert_eq!(it.fns.len(), 2);
+        assert_eq!(it.fns[0].impl_type.as_deref(), Some("Foo"));
+        assert_eq!(it.fns[1].name, "fmt");
+        assert_eq!(it.fns[1].impl_type.as_deref(), Some("Foo"), "trait impls record the self type");
+    }
+
+    #[test]
+    fn generic_impl_headers_resolve_the_type() {
+        let it = parse("impl<T: Clone> Wrapper<T> { fn get(&self) {} }\n");
+        assert_eq!(it.fns[0].impl_type.as_deref(), Some("Wrapper"));
+        let it = parse("impl<'a> Iterator for Iter<'a> where Self: Sized { fn next(&mut self) {} }\n");
+        assert_eq!(it.fns[0].impl_type.as_deref(), Some("Iter"));
+    }
+
+    #[test]
+    fn module_paths_nest() {
+        let it = parse("mod outer { mod inner { fn deep() {} } fn shallow() {} }\nfn top() {}\n");
+        assert_eq!(it.fns[0].module, vec!["outer", "inner"]);
+        assert_eq!(it.fns[1].module, vec!["outer"]);
+        assert!(it.fns[2].module.is_empty());
+    }
+
+    #[test]
+    fn nested_fns_both_recorded() {
+        let it = parse("fn outer() { fn inner() { x(); } inner(); }\n");
+        assert_eq!(it.fns.len(), 2);
+        let (oa, ob) = it.fns[0].body.unwrap();
+        let (ia, ib) = it.fns[1].body.unwrap();
+        assert!(oa < ia && ib < ob, "inner body nests inside outer body");
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let it = parse("fn real(cb: fn(u32) -> u32) { cb(1); }\ntype F = fn() -> bool;\n");
+        assert_eq!(it.fns.len(), 1);
+        assert_eq!(it.fns[0].name, "real");
+    }
+
+    #[test]
+    fn cfg_test_fns_are_marked() {
+        let it = parse("fn live() {}\n#[cfg(test)]\nmod t {\n fn helper() {}\n}\n");
+        assert!(!it.fns[0].in_test);
+        assert!(it.fns[1].in_test);
+    }
+
+    #[test]
+    fn use_declarations_flatten() {
+        let it = parse(
+            "use dimkb::degrade::quarantine;\nuse dim_par::{par_map, seed_for as seed};\nuse std::collections::{HashMap, HashSet};\nuse crate::helper;\n",
+        );
+        let names: Vec<(&str, &str, &str)> =
+            it.uses.iter().map(|u| (u.name.as_str(), u.head.as_str(), u.leaf.as_str())).collect();
+        assert!(names.contains(&("quarantine", "dimkb", "quarantine")));
+        assert!(names.contains(&("par_map", "dim_par", "par_map")));
+        assert!(names.contains(&("seed", "dim_par", "seed_for")), "{names:?}");
+        assert!(names.contains(&("HashMap", "std", "HashMap")));
+        assert!(names.contains(&("helper", "crate", "helper")));
+    }
+
+    #[test]
+    fn unterminated_body_extends_to_eof() {
+        let it = parse("fn open() { loop {\n");
+        assert_eq!(it.fns.len(), 1);
+        let (_, end) = it.fns[0].body.unwrap();
+        assert!(end > 0);
+    }
+
+    #[test]
+    fn soup_is_survivable() {
+        for src in ["fn", "impl {", "use ;;", "fn (", "mod", "impl<T", "fn a(", "use a::{b,"] {
+            let _ = parse(src);
+        }
+    }
+}

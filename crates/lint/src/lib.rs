@@ -1,19 +1,30 @@
-//! `dim-lint`: a zero-dependency workspace lint engine enforcing the
-//! repository's determinism, no-panic, and zero-dep invariants.
+//! `dim-lint`: the workspace lint engine enforcing the repository's
+//! determinism, no-panic, concurrency, and zero-dep invariants. Its only
+//! dependency is the vendored `dim-par` fan-out for the parallel file pass.
 //!
 //! The reproduction's core claim — DimEval/DimPerc outputs are
 //! byte-identical across runs and thread widths — has been broken twice by
-//! the same bug class (unordered hash-collection iteration feeding output).
-//! This crate mechanizes the invariants instead of re-fixing violations:
+//! the same bug class (unordered hash-collection iteration feeding output),
+//! and PR 5's textual rules caught a real Release/Relaxed pairing bug in
+//! chaos. This crate mechanizes the invariants instead of re-fixing
+//! violations:
 //!
-//! | rule | what it enforces |
-//! |------|------------------|
-//! | `no-panic-hotpath`  | no `unwrap`/`expect`/panicking macros/direct indexing in degraded-mode hot paths |
-//! | `determinism`       | no hash-collection iteration, clocks, or env reads in output-producing paths |
-//! | `thread-discipline` | raw `thread::spawn` only inside `crates/par` and `crates/serve` |
-//! | `relaxed-ordering`  | every `Ordering::Relaxed` carries a written justification |
-//! | `zero-dep`          | every `Cargo.toml` dependency resolves to a vendored in-repo path |
-//! | `hot-alloc`         | no `.clone()`/`.to_string()`/`String::from`/`format!` in the annotate/link hot paths |
+//! | rule | depth | what it enforces |
+//! |------|-------|------------------|
+//! | `no-panic-hotpath`   | file | no `unwrap`/`expect`/panicking macros/direct indexing in degraded-mode hot paths |
+//! | `determinism`        | file | no hash-collection iteration, clocks, or env reads in output-producing paths |
+//! | `thread-discipline`  | file | raw `thread::spawn` only inside `crates/par` and `crates/serve` |
+//! | `relaxed-ordering`   | file | every `Ordering::Relaxed` carries a written justification |
+//! | `zero-dep`           | file | every `Cargo.toml` dependency resolves to a vendored in-repo path |
+//! | `hot-alloc`          | file | no `.clone()`/`.to_string()`/`String::from`/`format!` in the annotate/link hot paths |
+//! | `panic-reachability` | deep | nothing a hot-path fn *calls* can panic (call-graph closure, witness chains) |
+//! | `lock-order`         | deep | no lock-order cycles across the workspace; no locks held over blocking calls |
+//! | `atomic-pairing`     | deep | every `Release` store pairs with an `Acquire`-capable load on the same atomic, and vice versa |
+//!
+//! The `file` rules run per file over the token stream; the `deep` rules
+//! ([`deep`], enabled by `--deep` or by naming them with `--rule`) build a
+//! cross-crate symbol table and approximate call graph ([`items`],
+//! [`graph`]) first and reason over the whole workspace.
 //!
 //! Matching is string- and comment-aware: a hand-rolled lexer
 //! ([`lexer`]) tokenizes each file, so `".unwrap()"` inside a string
@@ -22,8 +33,12 @@
 //! regions are exempt, and individual sites can be justified with
 //! `// lint:allow(<key>, <reason>)` ([`source`]); the reason is mandatory.
 //!
-//! See DESIGN.md §11 for the rule catalog and how to add a rule.
+//! See DESIGN.md §11 for the per-file rule catalog and §16 for the deep
+//! analysis model and the v2 report schema.
 
+pub mod deep;
+pub mod graph;
+pub mod items;
 pub mod lexer;
 pub mod manifest;
 pub mod report;
@@ -31,7 +46,7 @@ pub mod rules;
 pub mod source;
 pub mod walk;
 
-pub use report::{Diagnostic, LintReport};
+pub use report::{Diagnostic, LintReport, Severity, WitnessStep};
 
 use source::SourceFile;
 use std::path::Path;
@@ -51,11 +66,30 @@ pub enum RuleId {
     ZeroDep,
     /// No per-item allocation in the annotate/link hot paths.
     HotAlloc,
+    /// No panic reachable through the call graph from a hot-path fn.
+    PanicReachability,
+    /// No lock-order cycles; no locks held across blocking calls.
+    LockOrder,
+    /// `Release` stores and `Acquire` loads pair up per atomic path.
+    AtomicPairing,
 }
 
 impl RuleId {
     /// Every rule, in catalog order.
-    pub const ALL: [RuleId; 6] = [
+    pub const ALL: [RuleId; 9] = [
+        RuleId::NoPanicHotpath,
+        RuleId::Determinism,
+        RuleId::ThreadDiscipline,
+        RuleId::RelaxedOrdering,
+        RuleId::ZeroDep,
+        RuleId::HotAlloc,
+        RuleId::PanicReachability,
+        RuleId::LockOrder,
+        RuleId::AtomicPairing,
+    ];
+
+    /// The per-file rules — what a default (non-`--deep`) run executes.
+    pub const SHALLOW: [RuleId; 6] = [
         RuleId::NoPanicHotpath,
         RuleId::Determinism,
         RuleId::ThreadDiscipline,
@@ -63,6 +97,18 @@ impl RuleId {
         RuleId::ZeroDep,
         RuleId::HotAlloc,
     ];
+
+    /// The workspace-level rules `--deep` adds.
+    pub const DEEP: [RuleId; 3] =
+        [RuleId::PanicReachability, RuleId::LockOrder, RuleId::AtomicPairing];
+
+    /// Does this rule need the workspace call graph?
+    pub fn is_deep(self) -> bool {
+        matches!(
+            self,
+            RuleId::PanicReachability | RuleId::LockOrder | RuleId::AtomicPairing
+        )
+    }
 
     /// CLI/report name.
     pub fn name(self) -> &'static str {
@@ -73,6 +119,9 @@ impl RuleId {
             RuleId::RelaxedOrdering => "relaxed-ordering",
             RuleId::ZeroDep => "zero-dep",
             RuleId::HotAlloc => "hot-alloc",
+            RuleId::PanicReachability => "panic-reachability",
+            RuleId::LockOrder => "lock-order",
+            RuleId::AtomicPairing => "atomic-pairing",
         }
     }
 
@@ -86,6 +135,9 @@ impl RuleId {
             RuleId::RelaxedOrdering => Some("relaxed_ordering"),
             RuleId::ZeroDep => None,
             RuleId::HotAlloc => Some("hot_alloc"),
+            RuleId::PanicReachability => Some("panic_reachable"),
+            RuleId::LockOrder => Some("lock_order"),
+            RuleId::AtomicPairing => Some("atomic_pairing"),
         }
     }
 
@@ -93,6 +145,19 @@ impl RuleId {
     pub fn parse(name: &str) -> Option<RuleId> {
         let n = source::normalize_key(name);
         RuleId::ALL.into_iter().find(|r| source::normalize_key(r.name()) == n)
+    }
+
+    /// Parses a comma-separated rule list (`lock-order,atomic-pairing`).
+    /// A single name still parses — the list form is a superset. `None` if
+    /// any element is unknown or the list is empty.
+    pub fn parse_list(names: &str) -> Option<Vec<RuleId>> {
+        let parsed: Option<Vec<RuleId>> = names
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(RuleId::parse)
+            .collect();
+        parsed.filter(|v| !v.is_empty())
     }
 
     /// Does this rule cover the file at workspace-relative `rel_path`?
@@ -149,6 +214,15 @@ impl RuleId {
                     // problem inside the repair search.
                     || rel_path.starts_with("crates/verify/src/")
             }
+            // Reachability roots are the no-panic hot paths, minus binary
+            // entry points (binaries may die loudly on startup errors —
+            // config parsing, bind failures — before serving begins).
+            RuleId::PanicReachability => {
+                RuleId::NoPanicHotpath.applies_to(rel_path) && !rel_path.contains("/bin/")
+            }
+            // The lock and atomic analyses scope themselves by *content*
+            // (where locks/atomics live), not by path.
+            RuleId::LockOrder | RuleId::AtomicPairing => rel_path.ends_with(".rs"),
         }
     }
 }
@@ -158,26 +232,61 @@ impl RuleId {
 pub struct LintOptions {
     /// Workspace root to scan.
     pub root: std::path::PathBuf,
-    /// Rules to run; empty means all.
+    /// Rules to run; empty means the default set ([`RuleId::SHALLOW`], or
+    /// [`RuleId::ALL`] when `deep` is set). Naming a deep rule explicitly
+    /// runs it regardless of `deep`.
     pub rules: Vec<RuleId>,
+    /// Run the workspace-level analyses too.
+    pub deep: bool,
+    /// Worker threads for the file pass (0 or 1 = sequential). Output is
+    /// byte-identical at any width: diagnostics are fully sorted.
+    pub threads: usize,
+}
+
+impl LintOptions {
+    /// Default options rooted at `root`: shallow rules, sequential.
+    pub fn new(root: impl Into<std::path::PathBuf>) -> LintOptions {
+        LintOptions { root: root.into(), rules: Vec::new(), deep: false, threads: 1 }
+    }
 }
 
 /// Runs the selected rules over the workspace at `opts.root`.
 pub fn run(opts: &LintOptions) -> Result<LintReport, String> {
-    let rules: Vec<RuleId> =
-        if opts.rules.is_empty() { RuleId::ALL.to_vec() } else { opts.rules.clone() };
+    let rules: Vec<RuleId> = if opts.rules.is_empty() {
+        if opts.deep { RuleId::ALL.to_vec() } else { RuleId::SHALLOW.to_vec() }
+    } else {
+        opts.rules.clone()
+    };
+    let deep_rules: Vec<RuleId> = rules.iter().copied().filter(|r| r.is_deep()).collect();
     let files = walk::discover(&opts.root)
         .map_err(|e| format!("cannot scan {}: {e}", opts.root.display()))?;
     let mut report = LintReport {
         rules: rules.iter().map(|r| r.name()).collect(),
+        deep: !deep_rules.is_empty(),
         ..LintReport::default()
     };
     let run_rust = rules.iter().any(|r| *r != RuleId::ZeroDep);
     if run_rust {
-        for rel in &files.rust {
+        // The file pass — read, lex, item-parse, per-file rules — is
+        // embarrassingly parallel; each file is one coarse item. The final
+        // sort makes output independent of completion order.
+        let par = dim_par::Parallelism::new(opts.threads.max(1));
+        type FileResult = Result<(graph::ParsedFile, Vec<Diagnostic>), String>;
+        let results: Vec<FileResult> = dim_par::par_map_coarse(par, &files.rust, |_, rel| {
             let text = read(&opts.root, rel)?;
+            let parsed = graph::ParsedFile::parse(rel, &text);
+            let diags = check_parsed(&parsed.source, &rules, false);
+            Ok((parsed, diags))
+        });
+        let mut parsed_files = Vec::with_capacity(results.len());
+        for r in results {
+            let (parsed, diags) = r?;
             report.files_scanned += 1;
-            report.diagnostics.extend(check_rust_source(rel, &text, &rules, false));
+            report.diagnostics.extend(diags);
+            parsed_files.push(parsed);
+        }
+        if !deep_rules.is_empty() {
+            deep::analyze(&parsed_files, &deep_rules, &mut report.diagnostics);
         }
     }
     if rules.contains(&RuleId::ZeroDep) {
@@ -201,18 +310,40 @@ pub fn check_rust_source(
     ignore_scope: bool,
 ) -> Vec<Diagnostic> {
     let file = SourceFile::parse(rel_path, text);
+    check_parsed(&file, rules, ignore_scope)
+}
+
+/// Runs the deep (workspace-level) rules over an in-memory source set —
+/// the fixture tests' entry point. Paths choose rule scope exactly as on
+/// disk, so a fixture placed at `crates/serve/src/…` counts as hot.
+pub fn check_deep_sources(sources: &[(&str, &str)], rules: &[RuleId]) -> Vec<Diagnostic> {
+    let parsed: Vec<graph::ParsedFile> =
+        sources.iter().map(|(p, s)| graph::ParsedFile::parse(p, s)).collect();
+    let mut out = Vec::new();
+    deep::analyze(&parsed, rules, &mut out);
+    out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    out
+}
+
+/// The per-file rule dispatch over an already-parsed source.
+fn check_parsed(file: &SourceFile, rules: &[RuleId], ignore_scope: bool) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     for rule in rules {
-        if !ignore_scope && !rule.applies_to(rel_path) {
+        if !ignore_scope && !rule.applies_to(&file.rel_path) {
             continue;
         }
         match rule {
-            RuleId::NoPanicHotpath => rules::no_panic_hotpath(&file, &mut out),
-            RuleId::Determinism => rules::determinism(&file, &mut out),
-            RuleId::ThreadDiscipline => rules::thread_discipline(&file, &mut out),
-            RuleId::RelaxedOrdering => rules::relaxed_ordering(&file, &mut out),
-            RuleId::ZeroDep => {}
-            RuleId::HotAlloc => rules::hot_alloc(&file, &mut out),
+            RuleId::NoPanicHotpath => rules::no_panic_hotpath(file, &mut out),
+            RuleId::Determinism => rules::determinism(file, &mut out),
+            RuleId::ThreadDiscipline => rules::thread_discipline(file, &mut out),
+            RuleId::RelaxedOrdering => rules::relaxed_ordering(file, &mut out),
+            // zero-dep runs on manifests; the deep rules run on the whole
+            // workspace after the file pass.
+            RuleId::ZeroDep
+            | RuleId::PanicReachability
+            | RuleId::LockOrder
+            | RuleId::AtomicPairing => {}
+            RuleId::HotAlloc => rules::hot_alloc(file, &mut out),
         }
     }
     out
@@ -233,6 +364,34 @@ mod tests {
         }
         assert_eq!(RuleId::parse("no_panic_hotpath"), Some(RuleId::NoPanicHotpath));
         assert_eq!(RuleId::parse("nope"), None);
+    }
+
+    #[test]
+    fn rule_lists_parse_comma_separated() {
+        assert_eq!(
+            RuleId::parse_list("lock-order,atomic-pairing"),
+            Some(vec![RuleId::LockOrder, RuleId::AtomicPairing])
+        );
+        assert_eq!(
+            RuleId::parse_list(" determinism , zero_dep "),
+            Some(vec![RuleId::Determinism, RuleId::ZeroDep])
+        );
+        assert_eq!(RuleId::parse_list("hot-alloc"), Some(vec![RuleId::HotAlloc]), "single name");
+        assert_eq!(RuleId::parse_list("lock-order,nope"), None, "unknown member fails the list");
+        assert_eq!(RuleId::parse_list(""), None);
+        assert_eq!(RuleId::parse_list(","), None);
+    }
+
+    #[test]
+    fn shallow_and_deep_partition_the_catalog() {
+        assert_eq!(RuleId::SHALLOW.len() + RuleId::DEEP.len(), RuleId::ALL.len());
+        for r in RuleId::SHALLOW {
+            assert!(!r.is_deep());
+        }
+        for r in RuleId::DEEP {
+            assert!(r.is_deep());
+            assert!(r.allow_key().is_some(), "deep rules are site-justifiable");
+        }
     }
 
     #[test]
@@ -274,5 +433,13 @@ mod tests {
         assert!(!ha.applies_to("crates/dimlink/src/reference.rs"), "the oracle may allocate");
         assert!(!ha.applies_to("crates/dimkb/src/kb.rs"), "KB construction is cold");
         assert!(!ha.applies_to("crates/dimlink/tests/proptests.rs"), "tests are out of scope");
+
+        let pr = RuleId::PanicReachability;
+        assert!(pr.applies_to("crates/dimlink/src/linker.rs"));
+        assert!(pr.applies_to("crates/core/src/pipeline.rs"));
+        assert!(!pr.applies_to("crates/serve/src/bin/dimserve.rs"), "binaries may die on startup");
+        assert!(!pr.applies_to("crates/dimkb/src/kb.rs"));
+        assert!(RuleId::LockOrder.applies_to("crates/obs/src/lib.rs"));
+        assert!(RuleId::AtomicPairing.applies_to("crates/chaos/src/lib.rs"));
     }
 }

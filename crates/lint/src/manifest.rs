@@ -189,7 +189,7 @@ fn strip_toml_comment(line: &str) -> &str {
 }
 
 fn diag(path: &str, line: u32, message: String) -> Diagnostic {
-    Diagnostic { path: path.to_string(), line, rule: RULE, message }
+    Diagnostic::new(path.to_string(), line, RULE, message)
 }
 
 #[cfg(test)]

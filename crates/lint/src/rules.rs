@@ -53,7 +53,7 @@ fn emit(
     if file.in_test_code(line) || file.suppressed(allow_key, line) {
         return;
     }
-    out.push(Diagnostic { path: file.rel_path.clone(), line, rule, message });
+    out.push(Diagnostic::new(file.rel_path.clone(), line, rule, message));
 }
 
 // ===================== no-panic-hotpath =====================

@@ -1,22 +1,48 @@
 //! The self-test that gives `make lint` its teeth: the workspace itself
-//! must be clean under every rule. A violation introduced anywhere in the
-//! scanned tree fails this test (and the `dimlint` binary run in `verify`)
+//! must be clean under every rule — including the deep (call-graph) rules,
+//! which run here exactly as `dimlint --deep` runs them in `make verify`.
+//! A violation introduced anywhere in the scanned tree fails this test
 //! with a file:line diagnostic.
 
-use dim_lint::{run, LintOptions};
+use dim_lint::{run, LintOptions, Severity};
 
 #[test]
 fn the_workspace_is_lint_clean() {
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let report = run(&LintOptions { root, rules: Vec::new() }).expect("lint run");
+    let mut opts = LintOptions::new(root);
+    opts.deep = true;
+    let report = run(&opts).expect("lint run");
     assert!(
         report.files_scanned > 100,
         "scan set collapsed to {} files — walk is broken",
         report.files_scanned
     );
     assert!(
-        report.diagnostics.is_empty(),
+        !report.has_errors(),
         "workspace has lint violations:\n{}",
         report.render_human()
     );
+    let warns: Vec<_> =
+        report.diagnostics.iter().filter(|d| d.severity == Severity::Warn).collect();
+    assert!(
+        warns.is_empty(),
+        "workspace has unjustified lint warnings (add lint:allow with a reason):\n{}",
+        report.render_human()
+    );
+}
+
+/// The parallel file pass must not change a single output byte: width 1
+/// and width 4 renderings are compared bit-for-bit, human and JSON.
+#[test]
+fn output_is_byte_identical_across_thread_widths() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut w1 = LintOptions::new(root);
+    w1.deep = true;
+    w1.threads = 1;
+    let mut w4 = w1.clone();
+    w4.threads = 4;
+    let r1 = run(&w1).expect("width-1 run");
+    let r4 = run(&w4).expect("width-4 run");
+    assert_eq!(r1.render_human(), r4.render_human(), "human output differs across widths");
+    assert_eq!(r1.render_json(), r4.render_json(), "json output differs across widths");
 }

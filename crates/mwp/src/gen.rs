@@ -770,6 +770,7 @@ fn gen_one(
             }
         })
         .map(|(t, _)| t)
+        // lint:allow(no_panic, pick is drawn from 0..total_weight so the weighted scan always lands on a template)
         .expect("weights cover range");
     template(&mut rng, id, source)
 }

@@ -69,7 +69,7 @@ static REGISTRY: Mutex<RegistryInner> =
 /// re-register on their next recorded value). Test isolation helper; the
 /// bench binaries never need it because each process reports once.
 pub fn reset() {
-    let mut r = REGISTRY.lock().unwrap();
+    let mut r = REGISTRY.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     for c in r.counters.drain(..) {
         c.value.store(0, Ordering::SeqCst);
         c.registered.store(false, Ordering::SeqCst);
@@ -139,7 +139,7 @@ impl Counter {
         if !self.registered.load(Ordering::Relaxed) // lint:allow(relaxed_ordering, fast-path pre-check; the SeqCst swap below is authoritative)
             && !self.registered.swap(true, Ordering::SeqCst)
         {
-            REGISTRY.lock().unwrap().counters.push(self);
+            REGISTRY.lock().unwrap_or_else(std::sync::PoisonError::into_inner).counters.push(self);
         }
     }
 }
@@ -168,7 +168,7 @@ impl Gauge {
         if !self.registered.load(Ordering::Relaxed) // lint:allow(relaxed_ordering, fast-path pre-check; the SeqCst swap below is authoritative)
             && !self.registered.swap(true, Ordering::SeqCst)
         {
-            REGISTRY.lock().unwrap().gauges.push(self);
+            REGISTRY.lock().unwrap_or_else(std::sync::PoisonError::into_inner).gauges.push(self);
         }
         self.value.store(v, Ordering::Relaxed); // lint:allow(relaxed_ordering, last-value-wins cell; only the value matters)
     }
@@ -259,7 +259,7 @@ impl Histogram {
         if !self.registered.load(Ordering::Relaxed) // lint:allow(relaxed_ordering, fast-path pre-check; the SeqCst swap below is authoritative)
             && !self.registered.swap(true, Ordering::SeqCst)
         {
-            REGISTRY.lock().unwrap().histograms.push(self);
+            REGISTRY.lock().unwrap_or_else(std::sync::PoisonError::into_inner).histograms.push(self);
         }
         // Independent stat cells; a snapshot may observe a torn cross-cell
         // view (count updated, sum not yet), which the quantile clamp and
@@ -378,7 +378,7 @@ pub struct Snapshot {
 
 /// Freezes the current registry contents.
 pub fn snapshot() -> Snapshot {
-    let r = REGISTRY.lock().unwrap();
+    let r = REGISTRY.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     let mut counters: Vec<(String, u64)> =
         r.counters.iter().map(|c| (c.name.to_string(), c.get())).collect();
     let mut gauges: Vec<(String, u64)> =
